@@ -1,0 +1,69 @@
+// Ablation A1: FLAT crawl-page size and the rescue completeness pass.
+// Page size trades seed-tree size and neighborhood fanout against wasted
+// scanning; rescue adds memory-resident seed-tree work but no data-page
+// I/O on connected data.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "flat/flat_index.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+using geom::Aabb;
+using geom::Vec3;
+
+int main() {
+  std::printf("A1: FLAT page-size and rescue ablation\n\n");
+
+  const Aabb domain(Vec3(0, 0, 0), Vec3(120, 120, 120));
+  neuro::SegmentDataset data =
+      neuro::UniformSegments(150000, domain, 6.0f, 1.5f, 0.4f, 31);
+  geom::ElementVec elements = data.Elements();
+
+  TableWriter table("A1: per-query work vs page size (20 queries, side 25)",
+                    {"elems/page", "rescue", "data pages", "seed nodes",
+                     "rescue nodes", "extra seeds", "scanned", "metadata"});
+
+  for (size_t page_size : {32, 64, 128, 253, 512}) {
+    for (bool rescue : {true, false}) {
+      storage::PageStore store;
+      flat::FlatOptions options;
+      options.elems_per_page = page_size;
+      options.rescue = rescue;
+      auto index = flat::FlatIndex::Build(elements, &store, options);
+      if (!index.ok()) return 1;
+
+      auto queries = neuro::DataCenteredQueries(elements, 25.0f, 20, 13);
+      storage::BufferPool pool(&store, 1 << 20);
+      flat::FlatQueryStats total;
+      for (const auto& q : queries) {
+        flat::FlatQueryStats stats;
+        std::vector<geom::ElementId> out;
+        if (!index->RangeQuery(q, &pool, &out, &stats).ok()) return 1;
+        total.data_pages_read += stats.data_pages_read;
+        total.seed_nodes_visited += stats.seed_nodes_visited;
+        total.rescue_nodes_visited += stats.rescue_nodes_visited;
+        total.extra_seeds += stats.extra_seeds;
+        total.elements_scanned += stats.elements_scanned;
+        pool.EvictAll();
+      }
+      const uint64_t q = queries.size();
+      table.AddRow({TableWriter::Int(page_size), rescue ? "on" : "off",
+                    TableWriter::Int(total.data_pages_read / q),
+                    TableWriter::Int(total.seed_nodes_visited / q),
+                    TableWriter::Int(total.rescue_nodes_visited / q),
+                    TableWriter::Int(total.extra_seeds),
+                    TableWriter::Int(total.elements_scanned / q),
+                    TableWriter::Bytes(index->MetadataBytes())});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: bigger pages -> fewer page reads but more wasted scanning "
+      "and coarser prefetch granularity; rescue costs only memory-resident "
+      "seed-tree visits (same data pages, zero extra seeds on dense "
+      "data).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation A2: TOUCH's partitioning-tree shape — internal fanout and data
+// leaf size. Small fanout buckets probes deep (few comparisons, more node
+// tests); large leaves cut tree overhead but grow per-bucket nested loops.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "touch/spatial_join.h"
+
+using namespace neurodb;
+
+int main() {
+  std::printf("A2: TOUCH fanout / leaf-size ablation\n\n");
+
+  neuro::Circuit circuit = bench::MakeColumn(150, 41);
+  auto axons = circuit.FlattenSegments(neuro::NeuriteFilter::kAxons);
+  auto dendrites = circuit.FlattenSegments(neuro::NeuriteFilter::kDendrites);
+  touch::JoinInput a =
+      touch::JoinInput::FromSegments(axons.segments, axons.ids);
+  touch::JoinInput b =
+      touch::JoinInput::FromSegments(dendrites.segments, dendrites.ids);
+  std::printf("|A| = %zu, |B| = %zu, eps = 3\n\n", a.size(), b.size());
+
+  TableWriter table("A2: TOUCH cost vs tree shape",
+                    {"fanout", "leaf", "total ms", "assign ms", "probe ms",
+                     "comparisons", "node tests", "filtered", "memory"});
+
+  uint64_t reference_results = 0;
+  for (size_t fanout : {4, 8, 16, 32, 64}) {
+    for (size_t leaf : {32, 96, 256}) {
+      touch::JoinOptions options;
+      options.epsilon = 3.0f;
+      options.touch_fanout = fanout;
+      options.touch_leaf = leaf;
+      auto result = touch::TouchJoin(a, b, options);
+      if (!result.ok()) return 1;
+      const auto& s = result->stats;
+      if (reference_results == 0) {
+        reference_results = s.results;
+      } else if (s.results != reference_results) {
+        std::fprintf(stderr, "TUNING CHANGED RESULTS — bug!\n");
+        return 1;
+      }
+      table.AddRow({TableWriter::Int(fanout), TableWriter::Int(leaf),
+                    TableWriter::Num(s.total_ns / 1e6, 1),
+                    bench::Ms(s.assign_ns), bench::Ms(s.probe_ns),
+                    TableWriter::Int(s.mbr_tests),
+                    TableWriter::Int(s.node_tests),
+                    TableWriter::Int(s.filtered),
+                    TableWriter::Bytes(s.peak_bytes)});
+    }
+  }
+  table.Print();
+  std::printf("\nAll rows returned the identical %llu synapse pairs.\n",
+              static_cast<unsigned long long>(reference_results));
+  return 0;
+}

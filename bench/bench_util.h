@@ -1,0 +1,55 @@
+// NeuroDB — shared helpers for the benchmark harnesses.
+//
+// Each bench binary reproduces one exhibit/claim of the paper (see
+// DESIGN.md Section 6 and EXPERIMENTS.md) and prints its rows through
+// common/table.h. Everything is seeded and sized to run in seconds on a
+// laptop while preserving the paper's effect shapes.
+
+#ifndef NEURODB_BENCH_BENCH_UTIL_H_
+#define NEURODB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "neuro/circuit.h"
+#include "neuro/circuit_generator.h"
+
+namespace neurodb {
+namespace bench {
+
+/// Standard microcircuit used by the exhibit benches: a cortical column
+/// with strongly non-uniform layer densities (the demo's dense/sparse
+/// regions). ~`neurons` cells, ~1-2k segments each.
+inline neuro::Circuit MakeColumn(uint32_t neurons, uint64_t seed) {
+  neuro::CircuitParams params;
+  params.num_neurons = neurons;
+  params.seed = seed;
+  // Layer 2 dense, layer 5 sparse — mirrors neocortex counts.
+  params.layer_weights = {0.05f, 0.40f, 0.25f, 0.20f, 0.10f};
+  auto circuit = neuro::CircuitGenerator(params).Generate();
+  if (!circuit.ok()) {
+    std::fprintf(stderr, "circuit generation failed: %s\n",
+                 circuit.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(circuit).value();
+}
+
+/// Nanoseconds rendered as milliseconds with 2 decimals.
+inline std::string Ms(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ns / 1e6);
+  return buf;
+}
+
+/// Simulated microseconds rendered as milliseconds.
+inline std::string UsToMs(uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us / 1e3);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace neurodb
+
+#endif  // NEURODB_BENCH_BENCH_UTIL_H_

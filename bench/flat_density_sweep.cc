@@ -1,0 +1,93 @@
+// Experiment E2 (paper Section 2.1 claim): FLAT's query cost is independent
+// of dataset density; the R-tree degrades as density rises. Fixed domain
+// and query size, element count swept 1x..16x. The density-independence
+// metric is pages read per result page — constant for FLAT.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/table.h"
+#include "flat/flat_index.h"
+#include "neuro/workload.h"
+#include "rtree/paged_rtree.h"
+
+using namespace neurodb;
+using geom::Aabb;
+using geom::Vec3;
+
+int main() {
+  std::printf(
+      "E2: density sweep at fixed query size (paper Sec 2.1 claim)\n"
+      "Domain 100^3 um, query side 25 um, 20 data-centered queries/row.\n\n");
+
+  TableWriter table(
+      "E2: avg pages read per query vs density",
+      {"density", "elements", "method", "pages", "results",
+       "pages/Kresult", "time ms"});
+
+  const Aabb domain(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  storage::DiskCostModel cost;
+
+  for (size_t scale : {1, 2, 4, 8, 16}) {
+    const size_t n = 25000 * scale;
+    neuro::SegmentDataset data =
+        neuro::UniformSegments(n, domain, 6.0f, 1.5f, 0.4f, 99);
+    geom::ElementVec elements = data.Elements();
+    auto queries = neuro::DataCenteredQueries(elements, 25.0f, 20, 3);
+
+    // FLAT.
+    storage::PageStore flat_store;
+    auto flat = flat::FlatIndex::Build(elements, &flat_store);
+    if (!flat.ok()) return 1;
+
+    // Disk R-tree over the same elements.
+    storage::PageStore rt_store;
+    auto tree = rtree::RTree::BulkLoadStr(elements);
+    if (!tree.ok()) return 1;
+    auto paged = rtree::PagedRTree::Build(std::move(tree).value(), &rt_store);
+    if (!paged.ok()) return 1;
+
+    uint64_t flat_pages = 0, flat_results = 0, flat_us = 0;
+    uint64_t rt_pages = 0, rt_us = 0;
+    for (const auto& q : queries) {
+      {
+        SimClock clock;
+        storage::BufferPool pool(&flat_store, 1 << 20, &clock, cost);
+        flat::FlatQueryStats stats;
+        std::vector<geom::ElementId> out;
+        if (!flat->RangeQuery(q, &pool, &out, &stats).ok()) return 1;
+        flat_pages += stats.data_pages_read;
+        flat_results += stats.results;
+        flat_us += clock.NowMicros();
+      }
+      {
+        SimClock clock;
+        storage::BufferPool pool(&rt_store, 1 << 20, &clock, cost);
+        rtree::QueryStats stats;
+        std::vector<geom::ElementId> out;
+        if (!paged->RangeQuery(q, &out, &pool, &stats).ok()) return 1;
+        rt_pages += stats.nodes_visited;
+        rt_us += clock.NowMicros();
+      }
+    }
+    const uint64_t q = queries.size();
+    std::string density = std::to_string(scale) + "x";
+    table.AddRow({density, TableWriter::Int(n), "FLAT",
+                  TableWriter::Int(flat_pages / q),
+                  TableWriter::Int(flat_results / q),
+                  TableWriter::Num(1000.0 * flat_pages / flat_results, 1),
+                  bench::UsToMs(flat_us / q)});
+    table.AddRow({density, TableWriter::Int(n), "R-Tree",
+                  TableWriter::Int(rt_pages / q),
+                  TableWriter::Int(flat_results / q),
+                  TableWriter::Num(1000.0 * rt_pages / flat_results, 1),
+                  bench::UsToMs(rt_us / q)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: FLAT's pages/Kresult stays flat with density; the "
+      "R-tree's grows (overlap pays per node, not per result).\n");
+  return 0;
+}

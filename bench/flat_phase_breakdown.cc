@@ -1,0 +1,62 @@
+// Experiment E3 (paper Section 2.1): "Both phases of the query execution
+// are independent of the dataset density. Finding an arbitrary element in a
+// query range typically only depends on the height of the R-Tree [...]
+// Retrieving all neighboring elements [...] only depends on the size of the
+// result." This bench splits a FLAT query into its phases across a density
+// sweep.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "flat/flat_index.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+using geom::Aabb;
+using geom::Vec3;
+
+int main() {
+  std::printf(
+      "E3: FLAT phase breakdown across densities (paper Sec 2.1)\n\n");
+
+  TableWriter table("E3: seed vs crawl work per query",
+                    {"density", "seed tree height", "seed nodes",
+                     "crawl pages", "results", "crawl pages/Kresult"});
+
+  const Aabb domain(Vec3(0, 0, 0), Vec3(100, 100, 100));
+  for (size_t scale : {1, 2, 4, 8, 16}) {
+    const size_t n = 25000 * scale;
+    neuro::SegmentDataset data =
+        neuro::UniformSegments(n, domain, 6.0f, 1.5f, 0.4f, 55);
+    geom::ElementVec elements = data.Elements();
+    storage::PageStore store;
+    auto index = flat::FlatIndex::Build(elements, &store);
+    if (!index.ok()) return 1;
+
+    auto queries = neuro::DataCenteredQueries(elements, 25.0f, 20, 11);
+    storage::BufferPool pool(&store, 1 << 20);
+    uint64_t seed_nodes = 0, crawl_pages = 0, results = 0;
+    for (const auto& q : queries) {
+      flat::FlatQueryStats stats;
+      std::vector<geom::ElementId> out;
+      if (!index->RangeQuery(q, &pool, &out, &stats).ok()) return 1;
+      seed_nodes += stats.seed_nodes_visited;
+      crawl_pages += stats.data_pages_read;
+      results += stats.results;
+      pool.EvictAll();
+    }
+    const uint64_t q = queries.size();
+    table.AddRow({std::to_string(scale) + "x",
+                  TableWriter::Int(index->seed_tree().Height()),
+                  TableWriter::Num(static_cast<double>(seed_nodes) / q, 1),
+                  TableWriter::Int(crawl_pages / q),
+                  TableWriter::Int(results / q),
+                  TableWriter::Num(1000.0 * crawl_pages / results, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: seed nodes ~ tree height (flat in density); crawl "
+      "pages per result constant.\n");
+  return 0;
+}

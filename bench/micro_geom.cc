@@ -1,0 +1,108 @@
+// M1 micro-benchmarks: geometry kernel hot paths (google-benchmark).
+// These dominate the inner loops of every index and join.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/aabb.h"
+#include "geom/hilbert.h"
+#include "geom/morton.h"
+#include "geom/segment.h"
+
+namespace {
+
+using neurodb::Pcg32;
+using neurodb::geom::Aabb;
+using neurodb::geom::CapsuleDistance;
+using neurodb::geom::HilbertEncode;
+using neurodb::geom::MortonEncode;
+using neurodb::geom::Segment;
+using neurodb::geom::SquaredDistanceSegmentSegment;
+using neurodb::geom::Vec3;
+
+std::vector<Segment> RandomSegments(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Segment> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec3 a(static_cast<float>(rng.Uniform(0, 100)),
+           static_cast<float>(rng.Uniform(0, 100)),
+           static_cast<float>(rng.Uniform(0, 100)));
+    Vec3 b = a + Vec3(static_cast<float>(rng.Uniform(-5, 5)),
+                      static_cast<float>(rng.Uniform(-5, 5)),
+                      static_cast<float>(rng.Uniform(-5, 5)));
+    out.emplace_back(a, b, 0.4f);
+  }
+  return out;
+}
+
+void BM_SegmentSegmentDistance(benchmark::State& state) {
+  auto segs = RandomSegments(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Segment& s = segs[i % segs.size()];
+    const Segment& t = segs[(i * 7 + 13) % segs.size()];
+    benchmark::DoNotOptimize(
+        SquaredDistanceSegmentSegment(s.a, s.b, t.a, t.b));
+    ++i;
+  }
+}
+BENCHMARK(BM_SegmentSegmentDistance);
+
+void BM_CapsuleDistance(benchmark::State& state) {
+  auto segs = RandomSegments(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CapsuleDistance(segs[i % segs.size()],
+                                             segs[(i * 11 + 5) % segs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CapsuleDistance);
+
+void BM_AabbIntersects(benchmark::State& state) {
+  auto segs = RandomSegments(1024, 3);
+  std::vector<Aabb> boxes;
+  for (const auto& s : segs) boxes.push_back(s.Bounds());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        boxes[i % boxes.size()].Intersects(boxes[(i * 13 + 7) % boxes.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AabbIntersects);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  Pcg32 rng(4);
+  uint32_t x = rng.NextU32() & 0x1fffff;
+  uint32_t y = rng.NextU32() & 0x1fffff;
+  uint32_t z = rng.NextU32() & 0x1fffff;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertEncode(x, y, z));
+    x = (x + 0x9e37) & 0x1fffff;
+    y = (y + 0x79b9) & 0x1fffff;
+    z = (z + 0x7f4a) & 0x1fffff;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_MortonEncode(benchmark::State& state) {
+  Pcg32 rng(5);
+  uint32_t x = rng.NextU32() & 0x1fffff;
+  uint32_t y = rng.NextU32() & 0x1fffff;
+  uint32_t z = rng.NextU32() & 0x1fffff;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MortonEncode(x, y, z));
+    x = (x + 0x9e37) & 0x1fffff;
+    y = (y + 0x79b9) & 0x1fffff;
+    z = (z + 0x7f4a) & 0x1fffff;
+  }
+}
+BENCHMARK(BM_MortonEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// M1 micro-benchmarks: R-tree operations (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rtree/rtree.h"
+
+namespace {
+
+using neurodb::Pcg32;
+using neurodb::geom::Aabb;
+using neurodb::geom::ElementId;
+using neurodb::geom::ElementVec;
+using neurodb::geom::Vec3;
+using neurodb::rtree::RTree;
+using neurodb::rtree::RTreeOptions;
+
+ElementVec RandomElements(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  ElementVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec3 c(static_cast<float>(rng.Uniform(0, 100)),
+           static_cast<float>(rng.Uniform(0, 100)),
+           static_cast<float>(rng.Uniform(0, 100)));
+    out.emplace_back(i, Aabb::Cube(c, 1.5f));
+  }
+  return out;
+}
+
+void BM_BulkLoadStr(benchmark::State& state) {
+  ElementVec elements = RandomElements(state.range(0), 1);
+  for (auto _ : state) {
+    auto tree = RTree::BulkLoadStr(elements);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkLoadStr)->Arg(10000)->Arg(100000);
+
+void BM_RangeQuery(benchmark::State& state) {
+  ElementVec elements = RandomElements(100000, 2);
+  auto tree = RTree::BulkLoadStr(elements);
+  Pcg32 rng(3);
+  std::vector<ElementId> out;
+  const float side = static_cast<float>(state.range(0));
+  for (auto _ : state) {
+    out.clear();
+    Aabb box = Aabb::Cube(Vec3(static_cast<float>(rng.Uniform(10, 90)),
+                               static_cast<float>(rng.Uniform(10, 90)),
+                               static_cast<float>(rng.Uniform(10, 90))),
+                          side);
+    tree->RangeQuery(box, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RangeQuery)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_Knn(benchmark::State& state) {
+  ElementVec elements = RandomElements(100000, 4);
+  auto tree = RTree::BulkLoadStr(elements);
+  Pcg32 rng(5);
+  for (auto _ : state) {
+    Vec3 p(static_cast<float>(rng.Uniform(0, 100)),
+           static_cast<float>(rng.Uniform(0, 100)),
+           static_cast<float>(rng.Uniform(0, 100)));
+    benchmark::DoNotOptimize(tree->Knn(p, state.range(0)));
+  }
+}
+BENCHMARK(BM_Knn)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_InsertRStar(benchmark::State& state) {
+  ElementVec elements = RandomElements(20000, 6);
+  for (auto _ : state) {
+    RTree tree{RTreeOptions{}};
+    for (const auto& e : elements) {
+      benchmark::DoNotOptimize(tree.Insert(e));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * elements.size());
+}
+BENCHMARK(BM_InsertRStar)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

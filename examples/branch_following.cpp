@@ -1,0 +1,85 @@
+// branch_following — the demo's SCOUT exhibit (paper Figures 5-6) as a
+// console program: walk along a neuron branch issuing moving range queries
+// with each prefetching method, and print the per-step panel (stall, pages,
+// candidate structures) plus the end-of-run statistics.
+//
+//   ./examples/branch_following
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "flat/flat_index.h"
+#include "neuro/circuit_generator.h"
+#include "neuro/workload.h"
+#include "scout/session.h"
+
+using namespace neurodb;
+
+int main() {
+  neuro::CircuitParams params;
+  params.num_neurons = 80;
+  params.seed = 21;
+  auto circuit = neuro::CircuitGenerator(params).Generate();
+  if (!circuit.ok()) return 1;
+
+  neuro::SegmentDataset dataset = circuit->FlattenSegments();
+  neuro::SegmentResolver resolver;
+  resolver.AddDataset(dataset);
+
+  storage::PageStore store;
+  flat::FlatOptions flat_options;
+  flat_options.elems_per_page = 128;
+  auto index = flat::FlatIndex::Build(dataset.Elements(), &store, flat_options);
+  if (!index.ok()) return 1;
+
+  auto path = neuro::FollowBranchPath(*circuit, 0, 12.0f, 1);
+  if (!path.ok()) return 1;
+  auto queries = neuro::PathQueries(*path, 35.0f);
+  std::printf(
+      "following the longest branch of neuron 0: %zu steps, %.0f um\n\n",
+      queries.size(), path->Length());
+
+  scout::SessionOptions options;
+  options.think_time_us = 400'000;  // the scientist looks at each frame
+  options.cost.page_read_micros = 5000;
+  scout::WalkthroughSession session(&*index, &store, &resolver, options);
+
+  // Per-step panel for SCOUT (the demo updated this live).
+  auto scout_run = session.Run(queries, scout::PrefetchMethod::kScout);
+  if (!scout_run.ok()) return 1;
+  TableWriter steps("SCOUT per-step panel (paper Fig 5/6)",
+                    {"step", "stall ms", "missed", "hits", "prefetched",
+                     "candidates"});
+  for (size_t i = 0; i < scout_run->steps.size() && i < 12; ++i) {
+    const auto& s = scout_run->steps[i];
+    steps.AddRow({TableWriter::Int(i), TableWriter::Num(s.stall_us / 1e3, 1),
+                  TableWriter::Int(s.pages_missed),
+                  TableWriter::Int(s.pages_hit), TableWriter::Int(s.prefetched),
+                  TableWriter::Int(s.candidates)});
+  }
+  steps.Print();
+
+  // Method comparison.
+  TableWriter summary("walkthrough summary by method",
+                      {"method", "stall ms", "speedup", "prefetched", "used",
+                       "precision"});
+  uint64_t none_stall = 1;
+  for (auto method : scout::AllPrefetchMethods()) {
+    auto run = session.Run(queries, method);
+    if (!run.ok()) return 1;
+    if (method == scout::PrefetchMethod::kNone) {
+      none_stall = std::max<uint64_t>(1, run->total_stall_us);
+    }
+    summary.AddRow(
+        {scout::PrefetchMethodName(method),
+         TableWriter::Num(run->total_stall_us / 1e3, 1),
+         TableWriter::Factor(static_cast<double>(none_stall) /
+                             std::max<uint64_t>(1, run->total_stall_us)),
+         TableWriter::Int(run->prefetch_issued),
+         TableWriter::Int(run->prefetch_used),
+         TableWriter::Num(100.0 * run->PrefetchPrecision(), 1) + "%"});
+  }
+  std::printf("\n");
+  summary.Print();
+  return 0;
+}

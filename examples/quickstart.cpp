@@ -1,0 +1,80 @@
+// Quickstart: generate a small synthetic microcircuit, load it into the
+// toolkit, and run each of the demo's three exhibits once — a FLAT vs
+// R-tree range query, a SCOUT walkthrough step, and a TOUCH synapse join.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/toolkit.h"
+#include "neuro/circuit_generator.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+
+int main() {
+  // 1. A small rat-cortex-like column (deterministic).
+  neuro::CircuitParams params;
+  params.num_neurons = 60;
+  params.seed = 7;
+  auto circuit = neuro::CircuitGenerator(params).Generate();
+  if (!circuit.ok()) {
+    std::fprintf(stderr, "generate: %s\n", circuit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("circuit: %zu neurons, %zu branch segments, %.0f um of cable\n",
+              circuit->NumNeurons(), circuit->TotalSegments(),
+              circuit->TotalCableLength());
+
+  // 2. Load into the toolkit: lays data out on simulated disk pages and
+  // builds FLAT plus the baseline R-tree. Page granularity is the main
+  // knob: finer pages sharpen both crawling and prefetching.
+  core::ToolkitOptions options;
+  options.flat.elems_per_page = 64;
+  core::NeuroToolkit tk(options);
+  if (Status s = tk.LoadCircuit(*circuit); !s.ok()) {
+    std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Range query, FLAT vs R-tree (paper Figure 3's panel).
+  geom::Aabb query = geom::Aabb::Cube(tk.domain().Center(), 40.0f);
+  auto report = tk.CompareRangeQuery(query);
+  if (!report.ok()) return 1;
+  std::printf("\nrange query (40 um cube @ center): %llu elements\n",
+              static_cast<unsigned long long>(report->flat.results));
+  std::printf("  FLAT   : %4llu pages, %6llu us\n",
+              static_cast<unsigned long long>(report->flat.pages_read),
+              static_cast<unsigned long long>(report->flat.time_us));
+  std::printf("  R-Tree : %4llu pages, %6llu us\n",
+              static_cast<unsigned long long>(report->rtree.pages_read),
+              static_cast<unsigned long long>(report->rtree.time_us));
+
+  // 4. Walk along a branch with SCOUT prefetching (paper Figure 6).
+  auto path = neuro::FollowBranchPath(*circuit, 0, 12.0f, 1);
+  if (!path.ok()) return 1;
+  auto queries = neuro::PathQueries(*path, 30.0f);
+  auto none = tk.WalkThrough(queries, scout::PrefetchMethod::kNone);
+  auto scout = tk.WalkThrough(queries, scout::PrefetchMethod::kScout);
+  if (!none.ok() || !scout.ok()) return 1;
+  std::printf("\nwalkthrough (%zu steps along a branch):\n", queries.size());
+  std::printf("  no prefetch : stall %6.1f ms\n", none->total_stall_us / 1e3);
+  std::printf("  SCOUT       : stall %6.1f ms (%.1fx), %llu/%llu prefetches used\n",
+              scout->total_stall_us / 1e3,
+              static_cast<double>(none->total_stall_us) /
+                  std::max<uint64_t>(1, scout->total_stall_us),
+              static_cast<unsigned long long>(scout->prefetch_used),
+              static_cast<unsigned long long>(scout->prefetch_issued));
+
+  // 5. Find synapse candidates with TOUCH (paper Figure 7).
+  touch::JoinOptions join_options;
+  join_options.epsilon = 3.0f;
+  auto synapses = tk.FindSynapses(touch::JoinMethod::kTouch, join_options);
+  if (!synapses.ok()) return 1;
+  std::printf("\nsynapse discovery (axon-dendrite pairs within 3 um):\n");
+  std::printf("  TOUCH found %zu candidate synapses in %.1f ms "
+              "(%llu comparisons)\n",
+              synapses->pairs.size(), synapses->stats.total_ns / 1e6,
+              static_cast<unsigned long long>(synapses->stats.mbr_tests));
+  return 0;
+}

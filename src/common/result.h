@@ -1,0 +1,78 @@
+// NeuroDB — Result<T>: value-or-Status, the return type of fallible
+// value-producing operations.
+
+#ifndef NEURODB_COMMON_RESULT_H_
+#define NEURODB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace neurodb {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<Circuit> r = LoadCircuit(path);
+///   if (!r.ok()) return r.status();
+///   Circuit c = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Construct from a value (implicit, so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Construct from a non-OK status (implicit, so `return status;` works).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assign the value of a Result expression to `lhs`, or propagate its error.
+#define NEURODB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define NEURODB_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  NEURODB_ASSIGN_OR_RETURN_IMPL(NEURODB_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define NEURODB_CONCAT_(a, b) NEURODB_CONCAT_2_(a, b)
+#define NEURODB_CONCAT_2_(a, b) a##b
+
+}  // namespace neurodb
+
+#endif  // NEURODB_COMMON_RESULT_H_

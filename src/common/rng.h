@@ -1,0 +1,90 @@
+// NeuroDB — Pcg32: small, fast, reproducible pseudo-random number generator.
+//
+// PCG-XSH-RR 64/32 (O'Neill 2014). Every stochastic component in the library
+// (morphology generation, workloads, test sweeps) takes an explicit seed so
+// all experiments are reproducible bit-for-bit across platforms.
+
+#ifndef NEURODB_COMMON_RNG_H_
+#define NEURODB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace neurodb {
+
+/// Deterministic 32-bit PRNG with 64-bit state.
+class Pcg32 {
+ public:
+  /// `seed` selects the stream starting point; `seq` selects one of 2^63
+  /// independent streams.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t seq = 0xda3e39cb94b95bdbULL) {
+    state_ = 0u;
+    inc_ = (seq << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform value in [0, bound). Unbiased (rejection sampling).
+  uint32_t NextBounded(uint32_t bound) {
+    if (bound == 0) return 0;
+    uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return NextU32() * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state replayable
+  /// from the call count alone).
+  double NextGaussian() {
+    double u1;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-12);
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Derive an independent child generator (for parallel structures).
+  Pcg32 Fork() { return Pcg32(NextU64(), NextU64() | 1u); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace neurodb
+
+#endif  // NEURODB_COMMON_RNG_H_

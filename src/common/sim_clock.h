@@ -1,0 +1,44 @@
+// NeuroDB — SimClock: a discrete simulated clock for I/O cost modelling.
+//
+// The paper's FLAT/SCOUT experiments measure wall time on a disk-resident
+// index. To make those experiments portable and exactly reproducible we
+// model time instead of measuring it: page misses, think time and prefetch
+// work advance a simulated clock (see storage::DiskCostModel). CPU-bound
+// experiments (the TOUCH joins) use real wall time via common::Timer.
+
+#ifndef NEURODB_COMMON_SIM_CLOCK_H_
+#define NEURODB_COMMON_SIM_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace neurodb {
+
+/// Monotonic simulated clock counting microseconds.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time in microseconds.
+  uint64_t NowMicros() const { return now_us_; }
+
+  /// Advance the clock by `us` microseconds.
+  void Advance(uint64_t us) { now_us_ += us; }
+
+  /// Move the clock forward to `t_us` if it is in the future; no-op if the
+  /// clock is already past it. Returns the wait actually performed.
+  uint64_t AdvanceTo(uint64_t t_us) {
+    uint64_t waited = t_us > now_us_ ? t_us - now_us_ : 0;
+    now_us_ = std::max(now_us_, t_us);
+    return waited;
+  }
+
+  void Reset() { now_us_ = 0; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+}  // namespace neurodb
+
+#endif  // NEURODB_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,18 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace neurodb {
+
+std::string Stats::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& kv : tickers_) {
+    if (!first) os << ' ';
+    os << kv.first << '=' << kv.second;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace neurodb

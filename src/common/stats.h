@@ -1,0 +1,112 @@
+// NeuroDB — statistics registry (RocksDB-style named tickers) and timers.
+//
+// Every subsystem reports its runtime behaviour (pages read, nodes visited,
+// comparisons performed, ...) through a Stats object so the demo-style live
+// statistics panels (paper Figures 3, 6, 7) can be reproduced as tables.
+
+#ifndef NEURODB_COMMON_STATS_H_
+#define NEURODB_COMMON_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace neurodb {
+
+/// A monotonically increasing named counter store.
+///
+/// Not thread-safe by design: each experiment/session owns its Stats
+/// instance (single-writer), which keeps increments branch-free and cheap.
+class Stats {
+ public:
+  /// Add `delta` to the named ticker (creating it at zero if absent).
+  void Add(const std::string& name, uint64_t delta) { tickers_[name] += delta; }
+
+  /// Increment the named ticker by one.
+  void Bump(const std::string& name) { Add(name, 1); }
+
+  /// Overwrite the named ticker (for gauges such as peak memory).
+  void Set(const std::string& name, uint64_t value) { tickers_[name] = value; }
+
+  /// Record the maximum seen for a gauge.
+  void SetMax(const std::string& name, uint64_t value) {
+    uint64_t& slot = tickers_[name];
+    if (value > slot) slot = value;
+  }
+
+  /// Current value of a ticker (0 if never touched).
+  uint64_t Get(const std::string& name) const {
+    auto it = tickers_.find(name);
+    return it == tickers_.end() ? 0 : it->second;
+  }
+
+  /// All tickers in name order.
+  const std::map<std::string, uint64_t>& tickers() const { return tickers_; }
+
+  /// Reset all tickers to zero (keeps names).
+  void Reset() {
+    for (auto& kv : tickers_) kv.second = 0;
+  }
+
+  /// Remove all tickers.
+  void Clear() { tickers_.clear(); }
+
+  /// Merge another Stats into this one (ticker-wise addition).
+  void Merge(const Stats& other) {
+    for (const auto& kv : other.tickers()) tickers_[kv.first] += kv.second;
+  }
+
+  /// "name=value name=value ..." in name order.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> tickers_;
+};
+
+/// Wall-clock stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// RAII helper: adds the elapsed nanoseconds to `stats[ticker]` on scope exit.
+class ScopedTimer {
+ public:
+  ScopedTimer(Stats* stats, std::string ticker)
+      : stats_(stats), ticker_(std::move(ticker)) {}
+  ~ScopedTimer() {
+    if (stats_ != nullptr) stats_->Add(ticker_, timer_.ElapsedNanos());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stats* stats_;
+  std::string ticker_;
+  Timer timer_;
+};
+
+}  // namespace neurodb
+
+#endif  // NEURODB_COMMON_STATS_H_

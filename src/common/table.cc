@@ -1,0 +1,77 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace neurodb {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TableWriter::Int(uint64_t v) { return std::to_string(v); }
+
+std::string TableWriter::Bytes(uint64_t bytes) {
+  static const char* kSuffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int s = 0;
+  while (v >= 1024.0 && s < 4) {
+    v /= 1024.0;
+    ++s;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << ' '
+     << kSuffix[s];
+  return os.str();
+}
+
+std::string TableWriter::Factor(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << 'x';
+  return os.str();
+}
+
+std::string TableWriter::ToString() const {
+  std::vector<size_t> width(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  size_t total = 1;
+  for (size_t c = 0; c < columns_.size(); ++c) total += width[c] + 3;
+  std::string rule(total, '-');
+  os << rule << '\n';
+  emit_row(columns_);
+  os << rule << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  os << rule << '\n';
+  return os.str();
+}
+
+void TableWriter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace neurodb

@@ -1,0 +1,47 @@
+// NeuroDB — TableWriter: aligned ASCII tables for benchmark harness output.
+//
+// Every bench binary prints the rows/series the corresponding paper exhibit
+// reports (see DESIGN.md Section 6) through this writer, so outputs are
+// uniform and diffable.
+
+#ifndef NEURODB_COMMON_TABLE_H_
+#define NEURODB_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace neurodb {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TableWriter {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Append a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(uint64_t v);
+  /// Bytes rendered with a binary suffix, e.g. "3.2 MiB".
+  static std::string Bytes(uint64_t bytes);
+  /// Factor rendered as "12.3x".
+  static std::string Factor(double v, int precision = 1);
+
+  /// Render the full table.
+  std::string ToString() const;
+
+  /// Render and write to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace neurodb
+
+#endif  // NEURODB_COMMON_TABLE_H_

@@ -1,0 +1,120 @@
+// NeuroDB — NeuroToolkit: the integrated demonstration tool.
+//
+// The paper demonstrates "a tool that integrates three spatial data
+// management techniques": FLAT for range queries (Section 2), SCOUT for
+// exploration (Section 3) and TOUCH for synapse discovery (Section 4).
+// NeuroToolkit is that tool as a library facade: load a circuit once, then
+//
+//   * CompareRangeQuery — runs a query on FLAT and on a disk R-tree side by
+//     side and reports the live statistics panel of Figure 3 (pages
+//     retrieved, time, nodes per level);
+//   * WalkThrough       — replays a navigation path with a chosen
+//     prefetcher (Figure 6 statistics);
+//   * FindSynapses      — joins axon segments against dendrite segments
+//     with a chosen algorithm (Figure 7 statistics).
+
+#ifndef NEURODB_CORE_TOOLKIT_H_
+#define NEURODB_CORE_TOOLKIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flat/flat_index.h"
+#include "geom/aabb.h"
+#include "neuro/circuit.h"
+#include "rtree/paged_rtree.h"
+#include "scout/session.h"
+#include "storage/page_store.h"
+#include "touch/spatial_join.h"
+
+namespace neurodb {
+namespace core {
+
+/// Toolkit configuration.
+struct ToolkitOptions {
+  flat::FlatOptions flat;
+  /// The baseline disk-resident R-tree configuration.
+  rtree::RTreeOptions rtree;
+  /// Buffer pool capacity used for range query comparisons.
+  size_t pool_pages = 4096;
+  storage::DiskCostModel cost;
+  scout::SessionOptions session;
+};
+
+/// One method's row of the Figure 3 panel.
+struct RangeQueryRow {
+  std::string method;
+  uint64_t pages_read = 0;        // disk pages retrieved (cold cache)
+  uint64_t time_us = 0;           // modeled time
+  uint64_t results = 0;
+  uint64_t elements_scanned = 0;  // candidates tested
+  /// R-tree only: node fetches per level (leaf = index 0).
+  std::vector<uint64_t> nodes_per_level;
+};
+
+/// Result of CompareRangeQuery.
+struct RangeQueryReport {
+  RangeQueryRow flat;
+  RangeQueryRow rtree;
+  /// Both methods returned the same element set (always true; checked).
+  bool results_match = false;
+};
+
+/// The integrated tool.
+class NeuroToolkit {
+ public:
+  explicit NeuroToolkit(ToolkitOptions options = ToolkitOptions());
+
+  NeuroToolkit(const NeuroToolkit&) = delete;
+  NeuroToolkit& operator=(const NeuroToolkit&) = delete;
+
+  /// Flatten `circuit` into segment datasets, lay them out on simulated
+  /// disk, and build both indexes (FLAT and the paged R-tree).
+  Status LoadCircuit(const neuro::Circuit& circuit);
+
+  bool loaded() const { return flat_.has_value(); }
+
+  /// Demo exhibit 1 (Figures 2–4): run `box` on FLAT and on the R-tree,
+  /// both from a cold buffer pool, and report the statistics panel.
+  Result<RangeQueryReport> CompareRangeQuery(const geom::Aabb& box);
+
+  /// Demo exhibit 2 (Figures 5–6): replay a query sequence with the given
+  /// prefetching method.
+  Result<scout::SessionResult> WalkThrough(
+      const std::vector<geom::Aabb>& queries, scout::PrefetchMethod method);
+
+  /// Demo exhibit 3 (Figure 7): find synapse candidates — axon segments
+  /// within `options.epsilon` of dendrite segments — with `method`.
+  Result<touch::JoinResult> FindSynapses(touch::JoinMethod method,
+                                         const touch::JoinOptions& options);
+
+  // Accessors for examples and tests.
+  const geom::Aabb& domain() const { return domain_; }
+  size_t NumSegments() const { return num_segments_; }
+  const flat::FlatIndex& flat_index() const { return *flat_; }
+  const rtree::PagedRTree& paged_rtree() const { return *paged_rtree_; }
+  const neuro::SegmentResolver& resolver() const { return resolver_; }
+  const touch::JoinInput& axons() const { return axons_; }
+  const touch::JoinInput& dendrites() const { return dendrites_; }
+  const ToolkitOptions& options() const { return options_; }
+
+ private:
+  ToolkitOptions options_;
+  storage::PageStore flat_store_;
+  storage::PageStore rtree_store_;
+  std::optional<flat::FlatIndex> flat_;
+  std::optional<rtree::PagedRTree> paged_rtree_;
+  neuro::SegmentResolver resolver_;
+  touch::JoinInput axons_;
+  touch::JoinInput dendrites_;
+  geom::Aabb domain_;
+  size_t num_segments_ = 0;
+};
+
+}  // namespace core
+}  // namespace neurodb
+
+#endif  // NEURODB_CORE_TOOLKIT_H_

@@ -1,0 +1,171 @@
+// NeuroDB — Aabb: axis-aligned bounding box, the unit of spatial filtering
+// used by every index and join in the library.
+
+#ifndef NEURODB_GEOM_AABB_H_
+#define NEURODB_GEOM_AABB_H_
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "geom/vec3.h"
+
+namespace neurodb {
+namespace geom {
+
+/// Axis-aligned box [min, max] in 3-D. A default-constructed Aabb is empty
+/// (min > max) and behaves as the identity of Extend/Union.
+struct Aabb {
+  Vec3 min{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+           std::numeric_limits<float>::max()};
+  Vec3 max{std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest(),
+           std::numeric_limits<float>::lowest()};
+
+  Aabb() = default;
+  Aabb(const Vec3& mn, const Vec3& mx) : min(mn), max(mx) {}
+
+  /// Box containing a single point.
+  static Aabb FromPoint(const Vec3& p) { return Aabb(p, p); }
+
+  /// Cube of side `side` centered at `c`.
+  static Aabb Cube(const Vec3& c, float side) {
+    float h = side * 0.5f;
+    return Aabb({c.x - h, c.y - h, c.z - h}, {c.x + h, c.y + h, c.z + h});
+  }
+
+  /// True if the box contains no points (never Extended).
+  bool IsEmpty() const { return min.x > max.x || min.y > max.y || min.z > max.z; }
+
+  /// True if min <= max on every axis (degenerate zero-width boxes are valid).
+  bool IsValid() const { return !IsEmpty(); }
+
+  Vec3 Center() const { return (min + max) * 0.5f; }
+  Vec3 Extent() const { return max - min; }
+
+  double Volume() const {
+    if (IsEmpty()) return 0.0;
+    Vec3 e = Extent();
+    return static_cast<double>(e.x) * e.y * e.z;
+  }
+
+  /// Half of the surface area (the classic R*-tree "margin" proxy is the
+  /// full surface; we expose both).
+  double SurfaceArea() const {
+    if (IsEmpty()) return 0.0;
+    Vec3 e = Extent();
+    return 2.0 * (static_cast<double>(e.x) * e.y + static_cast<double>(e.y) * e.z +
+                  static_cast<double>(e.z) * e.x);
+  }
+
+  /// Sum of the three edge lengths (R*-tree margin).
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    Vec3 e = Extent();
+    return static_cast<double>(e.x) + e.y + e.z;
+  }
+
+  /// Grow to contain point `p`.
+  void Extend(const Vec3& p) {
+    min = Min(min, p);
+    max = Max(max, p);
+  }
+
+  /// Grow to contain box `b`.
+  void Extend(const Aabb& b) {
+    if (b.IsEmpty()) return;
+    min = Min(min, b.min);
+    max = Max(max, b.max);
+  }
+
+  /// Smallest box containing both inputs.
+  static Aabb Union(const Aabb& a, const Aabb& b) {
+    Aabb u = a;
+    u.Extend(b);
+    return u;
+  }
+
+  /// Intersection box (empty if disjoint).
+  static Aabb Intersection(const Aabb& a, const Aabb& b) {
+    Aabb r(Max(a.min, b.min), Min(a.max, b.max));
+    if (r.min.x > r.max.x || r.min.y > r.max.y || r.min.z > r.max.z) {
+      return Aabb();  // empty
+    }
+    return r;
+  }
+
+  /// Closed-interval overlap test (boxes sharing a face intersect).
+  bool Intersects(const Aabb& o) const {
+    return min.x <= o.max.x && o.min.x <= max.x && min.y <= o.max.y &&
+           o.min.y <= max.y && min.z <= o.max.z && o.min.z <= max.z;
+  }
+
+  /// True if `p` lies inside or on the boundary.
+  bool Contains(const Vec3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  /// True if `o` lies fully inside or on the boundary.
+  bool Contains(const Aabb& o) const {
+    return !o.IsEmpty() && o.min.x >= min.x && o.max.x <= max.x &&
+           o.min.y >= min.y && o.max.y <= max.y && o.min.z >= min.z &&
+           o.max.z <= max.z;
+  }
+
+  /// Box grown by `eps` on every side (Minkowski sum with a cube). Used for
+  /// epsilon-distance joins.
+  Aabb Expanded(float eps) const {
+    if (IsEmpty()) return *this;
+    return Aabb({min.x - eps, min.y - eps, min.z - eps},
+                {max.x + eps, max.y + eps, max.z + eps});
+  }
+
+  /// Squared distance from `p` to the box (0 if inside).
+  double SquaredDistanceTo(const Vec3& p) const {
+    auto axis = [](float v, float lo, float hi) -> double {
+      if (v < lo) return static_cast<double>(lo) - v;
+      if (v > hi) return static_cast<double>(v) - hi;
+      return 0.0;
+    };
+    double dx = axis(p.x, min.x, max.x);
+    double dy = axis(p.y, min.y, max.y);
+    double dz = axis(p.z, min.z, max.z);
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  /// Squared minimum distance between two boxes (0 if they intersect).
+  double SquaredDistanceTo(const Aabb& o) const {
+    auto axis = [](float amin, float amax, float bmin, float bmax) -> double {
+      if (amax < bmin) return static_cast<double>(bmin) - amax;
+      if (bmax < amin) return static_cast<double>(amin) - bmax;
+      return 0.0;
+    };
+    double dx = axis(min.x, max.x, o.min.x, o.max.x);
+    double dy = axis(min.y, max.y, o.min.y, o.max.y);
+    double dz = axis(min.z, max.z, o.min.z, o.max.z);
+    return dx * dx + dy * dy + dz * dz;
+  }
+
+  bool operator==(const Aabb& o) const { return min == o.min && max == o.max; }
+  bool operator!=(const Aabb& o) const { return !(*this == o); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Aabb& b) {
+  return os << '[' << b.min << " .. " << b.max << ']';
+}
+
+/// Additional volume needed for `base` to cover `add` (ChooseSubtree metric).
+inline double Enlargement(const Aabb& base, const Aabb& add) {
+  return Aabb::Union(base, add).Volume() - base.Volume();
+}
+
+/// Volume of the intersection (R*-tree overlap metric).
+inline double OverlapVolume(const Aabb& a, const Aabb& b) {
+  return Aabb::Intersection(a, b).Volume();
+}
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_AABB_H_

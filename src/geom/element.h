@@ -1,0 +1,35 @@
+// NeuroDB — SpatialElement: the (id, bounds) unit every index operates on.
+
+#ifndef NEURODB_GEOM_ELEMENT_H_
+#define NEURODB_GEOM_ELEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+
+namespace neurodb {
+namespace geom {
+
+/// Opaque identifier of a spatial element. For circuit data this encodes
+/// (neuron id, section id, segment index); the geometry layer treats it as
+/// an opaque 64-bit handle.
+using ElementId = uint64_t;
+
+/// A spatial element as seen by indexes: its id and bounding box. The exact
+/// geometry (capsule, triangle) lives in the owning dataset and is consulted
+/// only in refinement steps.
+struct SpatialElement {
+  ElementId id = 0;
+  Aabb bounds;
+
+  SpatialElement() = default;
+  SpatialElement(ElementId id_, const Aabb& b) : id(id_), bounds(b) {}
+};
+
+using ElementVec = std::vector<SpatialElement>;
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_ELEMENT_H_

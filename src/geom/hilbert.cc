@@ -1,0 +1,114 @@
+#include "geom/hilbert.h"
+
+#include <algorithm>
+
+namespace neurodb {
+namespace geom {
+
+namespace {
+
+constexpr int kDims = 3;
+
+// Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707 (2004).
+// Converts coordinates into the "transposed" Hilbert representation in
+// place: after the call, interleaving the bits of x[0..2] (x[0] carries the
+// most significant bit of each triple) yields the Hilbert index.
+void AxesToTranspose(uint32_t x[kDims], int bits) {
+  uint32_t m = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    uint32_t p = q - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        uint32_t t = (x[0] ^ x[i]) & p;  // exchange
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[kDims - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < kDims; ++i) x[i] ^= t;
+}
+
+// Inverse of AxesToTranspose.
+void TransposeToAxes(uint32_t x[kDims], int bits) {
+  uint32_t n = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  uint32_t t = x[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != n; q <<= 1) {
+    uint32_t p = q - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        uint32_t t2 = (x[0] ^ x[i]) & p;
+        x[0] ^= t2;
+        x[i] ^= t2;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode(uint32_t xi, uint32_t yi, uint32_t zi, int bits) {
+  uint32_t x[kDims] = {xi, yi, zi};
+  AxesToTranspose(x, bits);
+  uint64_t index = 0;
+  for (int bit = bits - 1; bit >= 0; --bit) {
+    for (int i = 0; i < kDims; ++i) {
+      index = (index << 1) | ((x[i] >> bit) & 1u);
+    }
+  }
+  return index;
+}
+
+void HilbertDecode(uint64_t index, uint32_t* xo, uint32_t* yo, uint32_t* zo,
+                   int bits) {
+  uint32_t x[kDims] = {0, 0, 0};
+  int pos = kDims * bits - 1;
+  for (int bit = bits - 1; bit >= 0; --bit) {
+    for (int i = 0; i < kDims; ++i) {
+      x[i] |= static_cast<uint32_t>((index >> pos) & 1u) << bit;
+      --pos;
+    }
+  }
+  TransposeToAxes(x, bits);
+  *xo = x[0];
+  *yo = x[1];
+  *zo = x[2];
+}
+
+HilbertMapper::HilbertMapper(const Aabb& domain, int bits)
+    : domain_(domain), bits_(bits) {
+  double cells = static_cast<double>((1ull << bits_) - 1);
+  Vec3 extent = domain.Extent();
+  for (int axis = 0; axis < 3; ++axis) {
+    double e = extent[axis];
+    scale_[axis] = e > 0.0 ? cells / e : 0.0;
+  }
+}
+
+uint64_t HilbertMapper::Key(const Vec3& p) const {
+  uint32_t grid[3];
+  uint32_t max_cell = static_cast<uint32_t>((1ull << bits_) - 1);
+  for (int axis = 0; axis < 3; ++axis) {
+    double rel = (static_cast<double>(p[axis]) - domain_.min[axis]) * scale_[axis];
+    rel = std::clamp(rel, 0.0, static_cast<double>(max_cell));
+    grid[axis] = static_cast<uint32_t>(rel);
+  }
+  return HilbertEncode(grid[0], grid[1], grid[2], bits_);
+}
+
+}  // namespace geom
+}  // namespace neurodb

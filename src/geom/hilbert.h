@@ -1,0 +1,54 @@
+// NeuroDB — 3-D Hilbert curve encoding (Skilling's transpose algorithm).
+//
+// The Hilbert curve provides the locality-preserving linear order used to
+// pack spatially close elements into the same disk page (FLAT crawl pages)
+// and drives the Hilbert-order prefetching baseline of SCOUT.
+
+#ifndef NEURODB_GEOM_HILBERT_H_
+#define NEURODB_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace neurodb {
+namespace geom {
+
+/// Number of bits per axis used by the curve (3*21 = 63 bits total).
+inline constexpr int kHilbertBits = 21;
+
+/// Map grid coordinates (each < 2^bits) to their Hilbert index.
+uint64_t HilbertEncode(uint32_t x, uint32_t y, uint32_t z,
+                       int bits = kHilbertBits);
+
+/// Inverse of HilbertEncode.
+void HilbertDecode(uint64_t index, uint32_t* x, uint32_t* y, uint32_t* z,
+                   int bits = kHilbertBits);
+
+/// Quantises points of `domain` onto a 2^bits grid and returns Hilbert keys.
+/// Points outside the domain are clamped onto its boundary.
+class HilbertMapper {
+ public:
+  HilbertMapper(const Aabb& domain, int bits = kHilbertBits);
+
+  /// Hilbert key of point `p`.
+  uint64_t Key(const Vec3& p) const;
+
+  /// Hilbert key of the center of `box` (the standard choice for packing
+  /// extended objects).
+  uint64_t Key(const Aabb& box) const { return Key(box.Center()); }
+
+  int bits() const { return bits_; }
+  const Aabb& domain() const { return domain_; }
+
+ private:
+  Aabb domain_;
+  int bits_;
+  double scale_[3];
+};
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_HILBERT_H_

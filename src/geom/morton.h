@@ -1,0 +1,54 @@
+// NeuroDB — 3-D Morton (Z-order) curve encoding.
+//
+// Used as a cheap space-filling-curve baseline and by storage pagination.
+
+#ifndef NEURODB_GEOM_MORTON_H_
+#define NEURODB_GEOM_MORTON_H_
+
+#include <cstdint>
+
+namespace neurodb {
+namespace geom {
+
+namespace detail {
+/// Spread the low 21 bits of `v` so that there are two zero bits between
+/// consecutive input bits.
+inline uint64_t Part1By2(uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of Part1By2.
+inline uint64_t Compact1By2(uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return v;
+}
+}  // namespace detail
+
+/// Interleave three 21-bit grid coordinates into a 63-bit Morton code.
+inline uint64_t MortonEncode(uint32_t x, uint32_t y, uint32_t z) {
+  return detail::Part1By2(x) | (detail::Part1By2(y) << 1) |
+         (detail::Part1By2(z) << 2);
+}
+
+/// Recover the three 21-bit grid coordinates from a Morton code.
+inline void MortonDecode(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z) {
+  *x = static_cast<uint32_t>(detail::Compact1By2(code));
+  *y = static_cast<uint32_t>(detail::Compact1By2(code >> 1));
+  *z = static_cast<uint32_t>(detail::Compact1By2(code >> 2));
+}
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_MORTON_H_

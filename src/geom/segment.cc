@@ -1,0 +1,90 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neurodb {
+namespace geom {
+
+namespace {
+double Clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+}  // namespace
+
+double SquaredDistancePointSegment(const Vec3& p, const Vec3& a,
+                                   const Vec3& b) {
+  Vec3 ab = b - a;
+  double denom = ab.SquaredNorm();
+  if (denom <= 0.0) return SquaredDistance(p, a);
+  double t = Clamp01((p - a).Dot(ab) / denom);
+  Vec3 closest = a + ab * static_cast<float>(t);
+  return SquaredDistance(p, closest);
+}
+
+double SquaredDistanceSegmentSegment(const Vec3& p1, const Vec3& q1,
+                                     const Vec3& p2, const Vec3& q2) {
+  // Ericson 5.1.9: closest points of two segments S1(s)=p1+s*d1,
+  // S2(t)=p2+t*d2 with s,t in [0,1].
+  Vec3 d1 = q1 - p1;
+  Vec3 d2 = q2 - p2;
+  Vec3 r = p1 - p2;
+  double a = d1.SquaredNorm();
+  double e = d2.SquaredNorm();
+  double f = d2.Dot(r);
+
+  double s = 0.0;
+  double t = 0.0;
+  constexpr double kEps = 1e-12;
+
+  if (a <= kEps && e <= kEps) {
+    // Both segments degenerate to points.
+    return SquaredDistance(p1, p2);
+  }
+  if (a <= kEps) {
+    // First segment is a point.
+    t = Clamp01(f / e);
+  } else {
+    double c = d1.Dot(r);
+    if (e <= kEps) {
+      // Second segment is a point.
+      s = Clamp01(-c / a);
+    } else {
+      double b = d1.Dot(d2);
+      double denom = a * e - b * b;
+      // If not parallel, pick closest point on infinite lines, clamped.
+      if (denom > kEps) {
+        s = Clamp01((b * f - c * e) / denom);
+      } else {
+        s = 0.0;
+      }
+      t = (b * s + f) / e;
+      // If t is outside [0,1], clamp t and recompute s.
+      if (t < 0.0) {
+        t = 0.0;
+        s = Clamp01(-c / a);
+      } else if (t > 1.0) {
+        t = 1.0;
+        s = Clamp01((b - c) / a);
+      }
+    }
+  }
+
+  Vec3 c1 = p1 + d1 * static_cast<float>(s);
+  Vec3 c2 = p2 + d2 * static_cast<float>(t);
+  return SquaredDistance(c1, c2);
+}
+
+double CapsuleDistance(const Segment& s, const Segment& t) {
+  double center =
+      std::sqrt(SquaredDistanceSegmentSegment(s.a, s.b, t.a, t.b));
+  double d = center - s.radius - t.radius;
+  return d > 0.0 ? d : 0.0;
+}
+
+bool WithinDistance(const Segment& s, const Segment& t, float eps) {
+  // Early out via AABBs: a cheap necessary condition.
+  if (!s.Bounds().Expanded(eps).Intersects(t.Bounds())) return false;
+  return CapsuleDistance(s, t) <= static_cast<double>(eps);
+}
+
+}  // namespace geom
+}  // namespace neurodb

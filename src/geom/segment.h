@@ -1,0 +1,60 @@
+// NeuroDB — Segment: a neuron-branch cylinder segment (capsule).
+//
+// Neuron morphologies are piecewise-linear: each branch is a chain of
+// cylinders with a start/end point and radius. This is the element type
+// indexed by FLAT and joined by TOUCH ("find pairs of neuron branches
+// within distance e of each other", paper Section 4).
+
+#ifndef NEURODB_GEOM_SEGMENT_H_
+#define NEURODB_GEOM_SEGMENT_H_
+
+#include <cstdint>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace neurodb {
+namespace geom {
+
+/// Capsule: the set of points within `radius` of the line segment [a, b].
+struct Segment {
+  Vec3 a;
+  Vec3 b;
+  float radius = 0.0f;
+
+  Segment() = default;
+  Segment(const Vec3& a_, const Vec3& b_, float r) : a(a_), b(b_), radius(r) {}
+
+  Vec3 Midpoint() const { return (a + b) * 0.5f; }
+  Vec3 Direction() const { return (b - a).Normalized(); }
+  double Length() const { return Distance(a, b); }
+
+  /// Tight AABB of the capsule (segment box inflated by the radius).
+  Aabb Bounds() const {
+    Aabb box(Min(a, b), Max(a, b));
+    return box.Expanded(radius);
+  }
+};
+
+/// Squared distance from point `p` to line segment [a, b] (centerline, the
+/// radius is not considered).
+double SquaredDistancePointSegment(const Vec3& p, const Vec3& a, const Vec3& b);
+
+/// Squared minimum distance between the centerlines of two segments.
+/// Robust closed-form clamp method (Ericson, "Real-Time Collision
+/// Detection", 5.1.9), computed in double precision.
+double SquaredDistanceSegmentSegment(const Vec3& p1, const Vec3& q1,
+                                     const Vec3& p2, const Vec3& q2);
+
+/// Minimum distance between two capsule *surfaces*: centerline distance
+/// minus both radii, clamped at zero (overlapping capsules have distance 0).
+double CapsuleDistance(const Segment& s, const Segment& t);
+
+/// True if the two capsules approach within `eps` of each other — the
+/// synapse-candidate predicate of the paper's distance join.
+bool WithinDistance(const Segment& s, const Segment& t, float eps);
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_SEGMENT_H_

@@ -1,0 +1,59 @@
+#include "geom/triangle.h"
+
+#include "geom/segment.h"
+
+namespace neurodb {
+namespace geom {
+
+double SquaredDistancePointTriangle(const Vec3& p, const Triangle& tri) {
+  // Ericson 5.1.5 (ClosestPtPointTriangle), specialised to return the
+  // squared distance.
+  const Vec3& a = tri.v0;
+  const Vec3& b = tri.v1;
+  const Vec3& c = tri.v2;
+
+  Vec3 ab = b - a;
+  Vec3 ac = c - a;
+  Vec3 ap = p - a;
+  double d1 = ab.Dot(ap);
+  double d2 = ac.Dot(ap);
+  if (d1 <= 0.0 && d2 <= 0.0) return SquaredDistance(p, a);
+
+  Vec3 bp = p - b;
+  double d3 = ab.Dot(bp);
+  double d4 = ac.Dot(bp);
+  if (d3 >= 0.0 && d4 <= d3) return SquaredDistance(p, b);
+
+  double vc = d1 * d4 - d3 * d2;
+  if (vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0) {
+    double v = d1 / (d1 - d3);
+    return SquaredDistance(p, a + ab * static_cast<float>(v));
+  }
+
+  Vec3 cp = p - c;
+  double d5 = ab.Dot(cp);
+  double d6 = ac.Dot(cp);
+  if (d6 >= 0.0 && d5 <= d6) return SquaredDistance(p, c);
+
+  double vb = d5 * d2 - d1 * d6;
+  if (vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0) {
+    double w = d2 / (d2 - d6);
+    return SquaredDistance(p, a + ac * static_cast<float>(w));
+  }
+
+  double va = d3 * d6 - d5 * d4;
+  if (va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0) {
+    double w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+    return SquaredDistance(p, b + (c - b) * static_cast<float>(w));
+  }
+
+  // Inside face region: project onto the plane.
+  double denom = 1.0 / (va + vb + vc);
+  double v = vb * denom;
+  double w = vc * denom;
+  Vec3 closest = a + ab * static_cast<float>(v) + ac * static_cast<float>(w);
+  return SquaredDistance(p, closest);
+}
+
+}  // namespace geom
+}  // namespace neurodb

@@ -1,0 +1,46 @@
+// NeuroDB — Triangle: surface-mesh facet primitive.
+//
+// The demo visualises neurons as surface meshes (paper Figure 1 right);
+// triangles are the element type when indexing at mesh granularity.
+
+#ifndef NEURODB_GEOM_TRIANGLE_H_
+#define NEURODB_GEOM_TRIANGLE_H_
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace neurodb {
+namespace geom {
+
+/// A triangle given by its three vertices.
+struct Triangle {
+  Vec3 v0;
+  Vec3 v1;
+  Vec3 v2;
+
+  Triangle() = default;
+  Triangle(const Vec3& a, const Vec3& b, const Vec3& c) : v0(a), v1(b), v2(c) {}
+
+  Vec3 Centroid() const { return (v0 + v1 + v2) / 3.0f; }
+
+  /// Unnormalized normal (cross of two edges); its norm is twice the area.
+  Vec3 ScaledNormal() const { return (v1 - v0).Cross(v2 - v0); }
+
+  double Area() const { return 0.5 * ScaledNormal().Norm(); }
+
+  Aabb Bounds() const {
+    Aabb box;
+    box.Extend(v0);
+    box.Extend(v1);
+    box.Extend(v2);
+    return box;
+  }
+};
+
+/// Squared distance from a point to a (solid) triangle.
+double SquaredDistancePointTriangle(const Vec3& p, const Triangle& tri);
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_TRIANGLE_H_

@@ -1,0 +1,111 @@
+// NeuroDB — Vec3: 3-D vector with float storage and double arithmetic.
+//
+// Model coordinates are stored as float (micrometres; matches the precision
+// of anatomical reconstructions), while reductions (dot, norm, distances)
+// are computed in double to keep the geometric predicates well-conditioned.
+
+#ifndef NEURODB_GEOM_VEC3_H_
+#define NEURODB_GEOM_VEC3_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace neurodb {
+namespace geom {
+
+/// 3-D point / vector.
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  Vec3() = default;
+  Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  float operator[](int axis) const { return axis == 0 ? x : (axis == 1 ? y : z); }
+  float& operator[](int axis) {
+    return axis == 0 ? x : (axis == 1 ? y : z);
+  }
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(float s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+  bool operator!=(const Vec3& o) const { return !(*this == o); }
+
+  /// Dot product (double precision).
+  double Dot(const Vec3& o) const {
+    return static_cast<double>(x) * o.x + static_cast<double>(y) * o.y +
+           static_cast<double>(z) * o.z;
+  }
+
+  /// Cross product.
+  Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double SquaredNorm() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Unit-length copy; returns the zero vector unchanged.
+  Vec3 Normalized() const {
+    double n = Norm();
+    if (n <= 0.0) return *this;
+    float inv = static_cast<float>(1.0 / n);
+    return {x * inv, y * inv, z * inv};
+  }
+};
+
+inline Vec3 operator*(float s, const Vec3& v) { return v * s; }
+
+/// Euclidean distance between two points (double precision).
+inline double Distance(const Vec3& a, const Vec3& b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance.
+inline double SquaredDistance(const Vec3& a, const Vec3& b) {
+  return (a - b).SquaredNorm();
+}
+
+/// Linear interpolation a + t*(b-a).
+inline Vec3 Lerp(const Vec3& a, const Vec3& b, float t) {
+  return a + (b - a) * t;
+}
+
+/// Componentwise min / max.
+inline Vec3 Min(const Vec3& a, const Vec3& b) {
+  return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+inline Vec3 Max(const Vec3& a, const Vec3& b) {
+  return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_VEC3_H_

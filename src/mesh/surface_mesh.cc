@@ -1,0 +1,73 @@
+#include "mesh/surface_mesh.h"
+
+#include <map>
+
+namespace neurodb {
+namespace mesh {
+
+void SurfaceMesh::Append(const SurfaceMesh& other) {
+  uint32_t base = static_cast<uint32_t>(vertices_.size());
+  vertices_.insert(vertices_.end(), other.vertices_.begin(),
+                   other.vertices_.end());
+  triangles_.reserve(triangles_.size() + other.triangles_.size());
+  for (const auto& t : other.triangles_) {
+    triangles_.push_back({t[0] + base, t[1] + base, t[2] + base});
+  }
+}
+
+geom::Aabb SurfaceMesh::Bounds() const {
+  geom::Aabb box;
+  for (const auto& v : vertices_) box.Extend(v);
+  return box;
+}
+
+double SurfaceMesh::TotalArea() const {
+  double area = 0.0;
+  for (size_t i = 0; i < triangles_.size(); ++i) area += TriangleAt(i).Area();
+  return area;
+}
+
+geom::ElementVec SurfaceMesh::ToElements(geom::ElementId id_base) const {
+  geom::ElementVec out;
+  out.reserve(triangles_.size());
+  for (size_t i = 0; i < triangles_.size(); ++i) {
+    out.emplace_back(id_base + i, TriangleAt(i).Bounds());
+  }
+  return out;
+}
+
+Status SurfaceMesh::Validate(bool require_closed) const {
+  const uint32_t n = static_cast<uint32_t>(vertices_.size());
+  std::map<std::pair<uint32_t, uint32_t>, int> edge_count;
+  for (const auto& t : triangles_) {
+    for (int k = 0; k < 3; ++k) {
+      if (t[k] >= n) {
+        return Status::Corruption("facet references missing vertex");
+      }
+    }
+    if (t[0] == t[1] || t[1] == t[2] || t[0] == t[2]) {
+      return Status::Corruption("degenerate facet (repeated vertex)");
+    }
+    if (require_closed) {
+      for (int k = 0; k < 3; ++k) {
+        uint32_t a = t[k];
+        uint32_t b = t[(k + 1) % 3];
+        if (a > b) std::swap(a, b);
+        ++edge_count[{a, b}];
+      }
+    }
+  }
+  if (require_closed) {
+    for (const auto& [edge, count] : edge_count) {
+      if (count != 2) {
+        return Status::Corruption(
+            "mesh not watertight: edge shared by " + std::to_string(count) +
+            " facets");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mesh
+}  // namespace neurodb

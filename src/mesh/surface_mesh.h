@@ -1,0 +1,76 @@
+// NeuroDB — SurfaceMesh: indexed triangle mesh.
+//
+// The demo renders neurons as surface meshes (paper Figure 1 right) and the
+// FLAT exhibit queries "real neuroscience data representing a small part of
+// the rat neocortex (represented by a surface mesh)". TubeMesher
+// (tube_mesher.h) produces such meshes from branch skeletons; ToElements()
+// turns facets into indexable spatial elements.
+
+#ifndef NEURODB_MESH_SURFACE_MESH_H_
+#define NEURODB_MESH_SURFACE_MESH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "geom/triangle.h"
+#include "geom/vec3.h"
+
+namespace neurodb {
+namespace mesh {
+
+/// Indexed triangle mesh.
+class SurfaceMesh {
+ public:
+  SurfaceMesh() = default;
+
+  /// Append a vertex, returning its index.
+  uint32_t AddVertex(const geom::Vec3& v) {
+    vertices_.push_back(v);
+    return static_cast<uint32_t>(vertices_.size() - 1);
+  }
+
+  /// Append a triangle by vertex indices (must already exist).
+  void AddTriangle(uint32_t a, uint32_t b, uint32_t c) {
+    triangles_.push_back({a, b, c});
+  }
+
+  /// Append another mesh (vertex indices are rebased).
+  void Append(const SurfaceMesh& other);
+
+  size_t NumVertices() const { return vertices_.size(); }
+  size_t NumTriangles() const { return triangles_.size(); }
+  const std::vector<geom::Vec3>& vertices() const { return vertices_; }
+  const std::vector<std::array<uint32_t, 3>>& triangles() const {
+    return triangles_;
+  }
+
+  /// Materialize facet `i` as a geometric triangle.
+  geom::Triangle TriangleAt(size_t i) const {
+    const auto& t = triangles_[i];
+    return geom::Triangle(vertices_[t[0]], vertices_[t[1]], vertices_[t[2]]);
+  }
+
+  geom::Aabb Bounds() const;
+  double TotalArea() const;
+
+  /// One SpatialElement per facet; element ids are id_base + facet index.
+  geom::ElementVec ToElements(geom::ElementId id_base = 0) const;
+
+  /// Structural validation: vertex indices in range, no degenerate
+  /// (repeated-vertex) facets, and — if `require_closed` — every edge
+  /// shared by exactly two facets (watertight 2-manifold).
+  Status Validate(bool require_closed = false) const;
+
+ private:
+  std::vector<geom::Vec3> vertices_;
+  std::vector<std::array<uint32_t, 3>> triangles_;
+};
+
+}  // namespace mesh
+}  // namespace neurodb
+
+#endif  // NEURODB_MESH_SURFACE_MESH_H_

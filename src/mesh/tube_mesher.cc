@@ -1,0 +1,156 @@
+#include "mesh/tube_mesher.h"
+
+#include <cmath>
+
+namespace neurodb {
+namespace mesh {
+
+using geom::Vec3;
+
+namespace {
+
+constexpr double kTau = 6.283185307179586;
+
+/// Any unit vector orthogonal to `d` (assumed unit length).
+Vec3 AnyPerpendicular(const Vec3& d) {
+  // Pick the axis least aligned with d to avoid degeneracy.
+  Vec3 axis = std::fabs(d.x) < 0.9f ? Vec3(1, 0, 0) : Vec3(0, 1, 0);
+  return d.Cross(axis).Normalized();
+}
+
+}  // namespace
+
+Result<SurfaceMesh> MeshTube(const std::vector<Vec3>& centers,
+                             const std::vector<float>& radii,
+                             const TubeMesherOptions& options) {
+  if (options.sides < 3) {
+    return Status::InvalidArgument("MeshTube: sides must be >= 3");
+  }
+  if (centers.size() < 2) {
+    return Status::InvalidArgument("MeshTube: need at least 2 centers");
+  }
+  if (centers.size() != radii.size()) {
+    return Status::InvalidArgument("MeshTube: centers/radii size mismatch");
+  }
+  for (float r : radii) {
+    if (!(r > 0.0f)) {
+      return Status::InvalidArgument("MeshTube: radii must be positive");
+    }
+  }
+  for (size_t i = 0; i + 1 < centers.size(); ++i) {
+    if (geom::SquaredDistance(centers[i], centers[i + 1]) <= 0.0) {
+      return Status::InvalidArgument("MeshTube: repeated consecutive center");
+    }
+  }
+
+  const int sides = options.sides;
+  const size_t n = centers.size();
+  SurfaceMesh out;
+
+  // Transport a frame (u, v) along the polyline to avoid ring twisting.
+  std::vector<Vec3> tangents(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec3 t;
+    if (i == 0) {
+      t = centers[1] - centers[0];
+    } else if (i == n - 1) {
+      t = centers[n - 1] - centers[n - 2];
+    } else {
+      t = centers[i + 1] - centers[i - 1];
+    }
+    tangents[i] = t.Normalized();
+  }
+
+  Vec3 u = AnyPerpendicular(tangents[0]);
+  std::vector<uint32_t> prev_ring(sides);
+  std::vector<uint32_t> ring(sides);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      // Project previous u onto the plane orthogonal to the new tangent.
+      Vec3 t = tangents[i];
+      Vec3 proj = u - t * static_cast<float>(u.Dot(t));
+      u = proj.SquaredNorm() > 1e-12 ? proj.Normalized() : AnyPerpendicular(t);
+    }
+    Vec3 v = tangents[i].Cross(u).Normalized();
+    for (int s = 0; s < sides; ++s) {
+      double ang = kTau * s / sides;
+      Vec3 offset = u * static_cast<float>(std::cos(ang) * radii[i]) +
+                    v * static_cast<float>(std::sin(ang) * radii[i]);
+      ring[s] = out.AddVertex(centers[i] + offset);
+    }
+    if (i > 0) {
+      for (int s = 0; s < sides; ++s) {
+        int sn = (s + 1) % sides;
+        // Quad (prev[s], prev[sn], ring[sn], ring[s]) as two triangles.
+        out.AddTriangle(prev_ring[s], prev_ring[sn], ring[sn]);
+        out.AddTriangle(prev_ring[s], ring[sn], ring[s]);
+      }
+    }
+    prev_ring = ring;
+  }
+
+  // End caps: fans around the endpoint centers.
+  uint32_t start_center = out.AddVertex(centers[0]);
+  uint32_t end_center = out.AddVertex(centers[n - 1]);
+  for (int s = 0; s < sides; ++s) {
+    int sn = (s + 1) % sides;
+    // Start ring vertices are indices 0..sides-1.
+    out.AddTriangle(start_center, static_cast<uint32_t>(sn),
+                    static_cast<uint32_t>(s));
+    // End ring vertices are the last ring written before the caps.
+    uint32_t base = static_cast<uint32_t>((n - 1) * sides);
+    out.AddTriangle(end_center, base + s, base + sn);
+  }
+  return out;
+}
+
+SurfaceMesh MeshSphere(const Vec3& center, float radius, int slices,
+                       int stacks) {
+  SurfaceMesh out;
+  if (slices < 3) slices = 3;
+  if (stacks < 2) stacks = 2;
+
+  uint32_t top = out.AddVertex(center + Vec3(0, radius, 0));
+  // Interior rings (stacks-1 of them).
+  for (int st = 1; st < stacks; ++st) {
+    double phi = M_PI * st / stacks;  // polar angle from +y
+    for (int sl = 0; sl < slices; ++sl) {
+      double theta = kTau * sl / slices;
+      Vec3 p(static_cast<float>(radius * std::sin(phi) * std::cos(theta)),
+             static_cast<float>(radius * std::cos(phi)),
+             static_cast<float>(radius * std::sin(phi) * std::sin(theta)));
+      out.AddVertex(center + p);
+    }
+  }
+  uint32_t bottom = out.AddVertex(center - Vec3(0, radius, 0));
+
+  auto ring_vertex = [&](int st, int sl) -> uint32_t {
+    return 1 + static_cast<uint32_t>((st - 1) * slices + (sl % slices));
+  };
+
+  // Top fan.
+  for (int sl = 0; sl < slices; ++sl) {
+    out.AddTriangle(top, ring_vertex(1, sl + 1), ring_vertex(1, sl));
+  }
+  // Body quads.
+  for (int st = 1; st < stacks - 1; ++st) {
+    for (int sl = 0; sl < slices; ++sl) {
+      uint32_t a = ring_vertex(st, sl);
+      uint32_t b = ring_vertex(st, sl + 1);
+      uint32_t c = ring_vertex(st + 1, sl + 1);
+      uint32_t d = ring_vertex(st + 1, sl);
+      out.AddTriangle(a, b, c);
+      out.AddTriangle(a, c, d);
+    }
+  }
+  // Bottom fan.
+  for (int sl = 0; sl < slices; ++sl) {
+    out.AddTriangle(bottom, ring_vertex(stacks - 1, sl),
+                    ring_vertex(stacks - 1, sl + 1));
+  }
+  return out;
+}
+
+}  // namespace mesh
+}  // namespace neurodb

@@ -1,0 +1,41 @@
+// NeuroDB — TubeMesher: triangulated tube surfaces around branch skeletons.
+//
+// Converts a neuron branch (polyline of centers with per-point radii) into
+// the watertight tube mesh the demo visualises. Rings of `sides` vertices
+// are placed around each skeleton point in a frame transported along the
+// polyline; consecutive rings are stitched with quads (two triangles), and
+// both ends are capped with vertex fans.
+
+#ifndef NEURODB_MESH_TUBE_MESHER_H_
+#define NEURODB_MESH_TUBE_MESHER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geom/vec3.h"
+#include "mesh/surface_mesh.h"
+
+namespace neurodb {
+namespace mesh {
+
+/// Options for tube meshing.
+struct TubeMesherOptions {
+  /// Vertices per cross-section ring (>= 3).
+  int sides = 8;
+};
+
+/// Mesh one tube. `centers` and `radii` must have equal size >= 2 and
+/// positive radii; consecutive centers must be distinct.
+Result<SurfaceMesh> MeshTube(const std::vector<geom::Vec3>& centers,
+                             const std::vector<float>& radii,
+                             const TubeMesherOptions& options =
+                                 TubeMesherOptions());
+
+/// Mesh a sphere (icosphere-style UV sphere) for somata.
+SurfaceMesh MeshSphere(const geom::Vec3& center, float radius, int slices = 8,
+                       int stacks = 6);
+
+}  // namespace mesh
+}  // namespace neurodb
+
+#endif  // NEURODB_MESH_TUBE_MESHER_H_

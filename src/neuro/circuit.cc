@@ -1,0 +1,65 @@
+#include "neuro/circuit.h"
+
+namespace neurodb {
+namespace neuro {
+
+uint32_t Circuit::AddNeuron(Morphology morphology) {
+  uint32_t gid = static_cast<uint32_t>(neurons_.size());
+  neurons_.push_back(Neuron{gid, std::move(morphology)});
+  return gid;
+}
+
+size_t Circuit::TotalSegments() const {
+  size_t n = 0;
+  for (const auto& neuron : neurons_) n += neuron.morphology.NumSegments();
+  return n;
+}
+
+double Circuit::TotalCableLength() const {
+  double len = 0.0;
+  for (const auto& neuron : neurons_) len += neuron.morphology.TotalLength();
+  return len;
+}
+
+geom::Aabb Circuit::Bounds() const {
+  geom::Aabb box;
+  for (const auto& neuron : neurons_) box.Extend(neuron.morphology.Bounds());
+  return box;
+}
+
+SegmentDataset Circuit::FlattenSegments(NeuriteFilter filter) const {
+  SegmentDataset out;
+  for (const auto& neuron : neurons_) {
+    for (const auto& section : neuron.morphology.sections()) {
+      bool keep = false;
+      switch (filter) {
+        case NeuriteFilter::kAll:
+          keep = true;
+          break;
+        case NeuriteFilter::kAxons:
+          keep = section.type == SectionType::kAxon;
+          break;
+        case NeuriteFilter::kDendrites:
+          keep = IsDendrite(section.type);
+          break;
+      }
+      if (!keep) continue;
+      for (size_t i = 0; i < section.NumSegments(); ++i) {
+        out.Add(section.SegmentAt(i),
+                EncodeSegmentId(neuron.gid, section.id,
+                                static_cast<uint32_t>(i)));
+      }
+    }
+  }
+  return out;
+}
+
+Status Circuit::Validate() const {
+  for (const auto& neuron : neurons_) {
+    NEURODB_RETURN_NOT_OK(neuron.morphology.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace neuro
+}  // namespace neurodb

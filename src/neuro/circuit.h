@@ -1,0 +1,129 @@
+// NeuroDB — Circuit: a population of placed neuron morphologies.
+//
+// The demo's model is "several thousand neurons" placed in a cortical
+// volume (paper Section 1). A Circuit owns the morphologies and can flatten
+// them into segment datasets — the element collections that FLAT indexes and
+// TOUCH joins (axons vs dendrites for synapse discovery).
+
+#ifndef NEURODB_NEURO_CIRCUIT_H_
+#define NEURODB_NEURO_CIRCUIT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "geom/segment.h"
+#include "neuro/element_id.h"
+#include "neuro/morphology.h"
+
+namespace neurodb {
+namespace neuro {
+
+/// A flattened set of branch segments with their encoded element ids.
+/// Kept as parallel arrays (column layout) for join/index performance.
+struct SegmentDataset {
+  std::vector<geom::Segment> segments;
+  std::vector<geom::ElementId> ids;
+
+  size_t size() const { return segments.size(); }
+  bool empty() const { return segments.empty(); }
+
+  void Add(const geom::Segment& s, geom::ElementId id) {
+    segments.push_back(s);
+    ids.push_back(id);
+  }
+
+  /// (id, bounds) view for index construction.
+  geom::ElementVec Elements() const {
+    geom::ElementVec out;
+    out.reserve(segments.size());
+    for (size_t i = 0; i < segments.size(); ++i) {
+      out.emplace_back(ids[i], segments[i].Bounds());
+    }
+    return out;
+  }
+
+  geom::Aabb Bounds() const {
+    geom::Aabb box;
+    for (const auto& s : segments) box.Extend(s.Bounds());
+    return box;
+  }
+};
+
+/// Maps element ids back to their capsule geometry (needed by SCOUT's
+/// skeleton extraction and by exact join refinement).
+class SegmentResolver {
+ public:
+  SegmentResolver() = default;
+
+  /// Index a dataset; ids must be unique across all added datasets.
+  void AddDataset(const SegmentDataset& dataset) {
+    map_.reserve(map_.size() + dataset.size());
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      map_.emplace(dataset.ids[i], dataset.segments[i]);
+    }
+  }
+
+  /// Look up the segment for `id`.
+  Result<geom::Segment> Find(geom::ElementId id) const {
+    auto it = map_.find(id);
+    if (it == map_.end()) {
+      return Status::NotFound("SegmentResolver: unknown element id");
+    }
+    return it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<geom::ElementId, geom::Segment> map_;
+};
+
+/// A placed neuron.
+struct Neuron {
+  uint32_t gid = 0;
+  Morphology morphology;
+};
+
+/// Which neurite classes to include when flattening a circuit.
+enum class NeuriteFilter {
+  kAll,
+  kAxons,
+  kDendrites,
+};
+
+/// A population of neurons.
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Add a neuron; the assigned gid (its index) is returned.
+  uint32_t AddNeuron(Morphology morphology);
+
+  const std::vector<Neuron>& neurons() const { return neurons_; }
+  const Neuron& neuron(uint32_t gid) const { return neurons_[gid]; }
+  size_t NumNeurons() const { return neurons_.size(); }
+
+  size_t TotalSegments() const;
+  double TotalCableLength() const;
+  geom::Aabb Bounds() const;
+
+  /// Flatten branch segments into a dataset, optionally restricted by
+  /// neurite type. Ids encode (gid, section, segment).
+  SegmentDataset FlattenSegments(NeuriteFilter filter = NeuriteFilter::kAll) const;
+
+  /// Validate every morphology.
+  Status Validate() const;
+
+ private:
+  std::vector<Neuron> neurons_;
+};
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_CIRCUIT_H_

@@ -1,0 +1,84 @@
+#include "neuro/circuit_generator.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace neurodb {
+namespace neuro {
+
+Status CircuitParams::Validate() const {
+  if (num_neurons == 0) {
+    return Status::InvalidArgument("CircuitParams: num_neurons == 0");
+  }
+  if (layer_weights.empty()) {
+    return Status::InvalidArgument("CircuitParams: no layers");
+  }
+  float sum = std::accumulate(layer_weights.begin(), layer_weights.end(), 0.0f);
+  if (!(sum > 0.0f)) {
+    return Status::InvalidArgument("CircuitParams: layer weights sum to <= 0");
+  }
+  for (float w : layer_weights) {
+    if (w < 0.0f) {
+      return Status::InvalidArgument("CircuitParams: negative layer weight");
+    }
+  }
+  if (pyramidal_fraction < 0.0f || pyramidal_fraction > 1.0f) {
+    return Status::InvalidArgument(
+        "CircuitParams: pyramidal_fraction outside [0,1]");
+  }
+  if (!(column_size.x > 0 && column_size.y > 0 && column_size.z > 0)) {
+    return Status::InvalidArgument("CircuitParams: non-positive column size");
+  }
+  return Status::OK();
+}
+
+CircuitGenerator::CircuitGenerator(CircuitParams params)
+    : params_(std::move(params)) {}
+
+std::pair<float, float> CircuitGenerator::LayerBand(size_t layer) const {
+  // Layers split the y-extent evenly; index 0 is the top band.
+  const size_t n = params_.layer_weights.size();
+  float band = params_.column_size.y / static_cast<float>(n);
+  float hi = params_.column_size.y - band * static_cast<float>(layer);
+  return {hi - band, hi};
+}
+
+Result<Circuit> CircuitGenerator::Generate() const {
+  NEURODB_RETURN_NOT_OK(params_.Validate());
+
+  Pcg32 rng(params_.seed, 0xabcdef1234567890ULL);
+  float weight_sum = std::accumulate(params_.layer_weights.begin(),
+                                     params_.layer_weights.end(), 0.0f);
+
+  Circuit circuit;
+  for (uint32_t i = 0; i < params_.num_neurons; ++i) {
+    // Pick the layer by weight.
+    double pick = rng.NextDouble() * weight_sum;
+    size_t layer = 0;
+    double acc = 0.0;
+    for (size_t l = 0; l < params_.layer_weights.size(); ++l) {
+      acc += params_.layer_weights[l];
+      if (pick <= acc) {
+        layer = l;
+        break;
+      }
+    }
+    auto [y_lo, y_hi] = LayerBand(layer);
+
+    geom::Vec3 soma(
+        static_cast<float>(rng.Uniform(0.0, params_.column_size.x)),
+        static_cast<float>(rng.Uniform(y_lo, y_hi)),
+        static_cast<float>(rng.Uniform(0.0, params_.column_size.z)));
+
+    bool pyramidal = rng.NextBool(params_.pyramidal_fraction);
+    const MorphologyParams& mp =
+        pyramidal ? params_.pyramidal : params_.interneuron;
+    MorphologyGenerator gen(mp, rng.NextU64());
+    circuit.AddNeuron(gen.Generate(soma));
+  }
+  return circuit;
+}
+
+}  // namespace neuro
+}  // namespace neurodb

@@ -1,0 +1,61 @@
+// NeuroDB — CircuitGenerator: synthetic cortical microcircuits.
+//
+// Places synthetic neurons in a layered column (cortical layers have very
+// different cell densities, which is what makes the demo's "dense vs sparse
+// region" comparison meaningful — paper Section 2.2). Layer weights control
+// the per-layer share of neurons; the column dimensions control absolute
+// density.
+
+#ifndef NEURODB_NEURO_CIRCUIT_GENERATOR_H_
+#define NEURODB_NEURO_CIRCUIT_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/aabb.h"
+#include "neuro/circuit.h"
+#include "neuro/morphology_generator.h"
+
+namespace neurodb {
+namespace neuro {
+
+/// Parameters of a synthetic microcircuit.
+struct CircuitParams {
+  uint32_t num_neurons = 200;
+  /// Column dimensions in micrometres: x and z horizontal, y = depth axis.
+  geom::Vec3 column_size = geom::Vec3(300.0f, 500.0f, 300.0f);
+  /// Relative neuron share per layer, top (index 0) to bottom. Mirrors the
+  /// strongly non-uniform density of the neocortex. Must be non-empty with
+  /// a positive sum.
+  std::vector<float> layer_weights = {0.08f, 0.32f, 0.22f, 0.28f, 0.10f};
+  /// Fraction of pyramidal-type cells (rest are interneurons).
+  float pyramidal_fraction = 0.8f;
+  MorphologyParams pyramidal = MorphologyParams::Pyramidal();
+  MorphologyParams interneuron = MorphologyParams::Interneuron();
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Deterministic circuit generation from CircuitParams.
+class CircuitGenerator {
+ public:
+  explicit CircuitGenerator(CircuitParams params);
+
+  /// Generate the circuit (same params => same circuit).
+  Result<Circuit> Generate() const;
+
+  /// The y-interval [lo, hi) of a layer within the column.
+  std::pair<float, float> LayerBand(size_t layer) const;
+
+  const CircuitParams& params() const { return params_; }
+
+ private:
+  CircuitParams params_;
+};
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_CIRCUIT_GENERATOR_H_

@@ -1,0 +1,52 @@
+// NeuroDB — element id encoding for circuit segments.
+//
+// Spatial element ids are opaque 64-bit handles at the index layer; for
+// circuit data they encode (neuron gid, section id, segment index) so that
+// query and join results can be mapped back to anatomy:
+//
+//   bits 63..40: neuron gid      (24 bits, up to 16.7M neurons)
+//   bits 39..20: section id      (20 bits)
+//   bits 19..0 : segment index   (20 bits)
+
+#ifndef NEURODB_NEURO_ELEMENT_ID_H_
+#define NEURODB_NEURO_ELEMENT_ID_H_
+
+#include <cstdint>
+
+#include "geom/element.h"
+
+namespace neurodb {
+namespace neuro {
+
+inline constexpr int kGidBits = 24;
+inline constexpr int kSectionBits = 20;
+inline constexpr int kSegmentBits = 20;
+
+/// Pack (gid, section, segment) into an ElementId.
+inline geom::ElementId EncodeSegmentId(uint32_t gid, uint32_t section,
+                                       uint32_t segment) {
+  return (static_cast<uint64_t>(gid) << (kSectionBits + kSegmentBits)) |
+         (static_cast<uint64_t>(section) << kSegmentBits) |
+         static_cast<uint64_t>(segment);
+}
+
+/// Neuron gid of an encoded id.
+inline uint32_t GidOf(geom::ElementId id) {
+  return static_cast<uint32_t>(id >> (kSectionBits + kSegmentBits));
+}
+
+/// Section id of an encoded id.
+inline uint32_t SectionOf(geom::ElementId id) {
+  return static_cast<uint32_t>(id >> kSegmentBits) &
+         ((1u << kSectionBits) - 1);
+}
+
+/// Segment index of an encoded id.
+inline uint32_t SegmentOf(geom::ElementId id) {
+  return static_cast<uint32_t>(id) & ((1u << kSegmentBits) - 1);
+}
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_ELEMENT_ID_H_

@@ -1,0 +1,104 @@
+#include "neuro/morphology.h"
+
+#include <cmath>
+
+namespace neurodb {
+namespace neuro {
+
+Status Morphology::AddSection(Section section) {
+  if (section.id != sections_.size()) {
+    return Status::InvalidArgument("AddSection: id must be consecutive");
+  }
+  if (section.parent >= 0 &&
+      static_cast<size_t>(section.parent) >= sections_.size()) {
+    return Status::InvalidArgument("AddSection: parent does not exist");
+  }
+  if (section.points.size() < 2) {
+    return Status::InvalidArgument("AddSection: need at least 2 points");
+  }
+  if (section.points.size() != section.radii.size()) {
+    return Status::InvalidArgument("AddSection: points/radii size mismatch");
+  }
+  sections_.push_back(std::move(section));
+  return Status::OK();
+}
+
+size_t Morphology::NumSegments() const {
+  size_t n = 0;
+  for (const auto& s : sections_) n += s.NumSegments();
+  return n;
+}
+
+double Morphology::TotalLength() const {
+  double len = 0.0;
+  for (const auto& s : sections_) len += s.Length();
+  return len;
+}
+
+geom::Aabb Morphology::Bounds() const {
+  geom::Aabb box;
+  box.Extend(geom::Aabb::Cube(soma_center_, 2.0f * soma_radius_));
+  for (const auto& s : sections_) {
+    for (size_t i = 0; i < s.points.size(); ++i) {
+      geom::Aabb p = geom::Aabb::FromPoint(s.points[i]);
+      box.Extend(p.Expanded(s.radii[i]));
+    }
+  }
+  return box;
+}
+
+std::vector<uint32_t> Morphology::ChildrenOf(int32_t id) const {
+  std::vector<uint32_t> out;
+  for (const auto& s : sections_) {
+    if (s.parent == id) out.push_back(s.id);
+  }
+  return out;
+}
+
+std::vector<uint32_t> Morphology::Terminals() const {
+  std::vector<bool> has_child(sections_.size(), false);
+  for (const auto& s : sections_) {
+    if (s.parent >= 0) has_child[s.parent] = true;
+  }
+  std::vector<uint32_t> out;
+  for (const auto& s : sections_) {
+    if (!has_child[s.id]) out.push_back(s.id);
+  }
+  return out;
+}
+
+Status Morphology::Validate(float tol) const {
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const Section& s = sections_[i];
+    if (s.id != i) return Status::Corruption("section id mismatch");
+    if (s.parent >= 0 && static_cast<size_t>(s.parent) >= i) {
+      return Status::Corruption("section parent does not precede child");
+    }
+    if (s.points.size() < 2 || s.points.size() != s.radii.size()) {
+      return Status::Corruption("malformed section geometry");
+    }
+    for (float r : s.radii) {
+      if (!(r > 0.0f) || !std::isfinite(r)) {
+        return Status::Corruption("non-positive section radius");
+      }
+    }
+    if (s.parent >= 0) {
+      const Section& p = sections_[s.parent];
+      double gap = geom::Distance(s.points.front(), p.points.back());
+      if (gap > tol) {
+        return Status::Corruption("child section detached from parent end");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Morphology::Translate(const geom::Vec3& delta) {
+  soma_center_ += delta;
+  for (auto& s : sections_) {
+    for (auto& p : s.points) p += delta;
+  }
+}
+
+}  // namespace neuro
+}  // namespace neurodb

@@ -1,0 +1,116 @@
+// NeuroDB — Morphology: a neuron's branching structure.
+//
+// A morphology is a tree of *sections*; each section is an unbranched
+// polyline of 3-D points with per-point radii (the SWC model used by
+// anatomical reconstructions). Branch *segments* — the capsules between
+// consecutive points — are the spatial elements the paper's indexes and
+// joins operate on.
+
+#ifndef NEURODB_NEURO_MORPHOLOGY_H_
+#define NEURODB_NEURO_MORPHOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/aabb.h"
+#include "geom/segment.h"
+#include "geom/vec3.h"
+
+namespace neurodb {
+namespace neuro {
+
+/// Neurite type of a section (mirrors SWC type codes).
+enum class SectionType : uint8_t {
+  kSoma = 1,
+  kAxon = 2,
+  kBasalDendrite = 3,
+  kApicalDendrite = 4,
+};
+
+/// Returns true for the two dendrite types.
+inline bool IsDendrite(SectionType t) {
+  return t == SectionType::kBasalDendrite || t == SectionType::kApicalDendrite;
+}
+
+/// One unbranched stretch of neurite between branch points.
+struct Section {
+  uint32_t id = 0;
+  /// Parent section id, or -1 for sections rooted at the soma.
+  int32_t parent = -1;
+  SectionType type = SectionType::kBasalDendrite;
+  /// Polyline points; size() >= 2 for a valid section.
+  std::vector<geom::Vec3> points;
+  /// Per-point radii, parallel to points.
+  std::vector<float> radii;
+
+  size_t NumSegments() const {
+    return points.size() >= 2 ? points.size() - 1 : 0;
+  }
+
+  /// Segment `i` (capsule between points i and i+1; radius = mean of ends).
+  geom::Segment SegmentAt(size_t i) const {
+    return geom::Segment(points[i], points[i + 1],
+                         0.5f * (radii[i] + radii[i + 1]));
+  }
+
+  double Length() const {
+    double len = 0.0;
+    for (size_t i = 0; i + 1 < points.size(); ++i) {
+      len += geom::Distance(points[i], points[i + 1]);
+    }
+    return len;
+  }
+};
+
+/// A full neuron morphology: soma plus a section tree.
+class Morphology {
+ public:
+  Morphology() = default;
+  Morphology(geom::Vec3 soma_center, float soma_radius)
+      : soma_center_(soma_center), soma_radius_(soma_radius) {}
+
+  /// Append a section; its `id` must equal the current section count and its
+  /// parent (if any) must already exist.
+  Status AddSection(Section section);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  const Section& section(uint32_t id) const { return sections_[id]; }
+  size_t NumSections() const { return sections_.size(); }
+
+  const geom::Vec3& soma_center() const { return soma_center_; }
+  float soma_radius() const { return soma_radius_; }
+
+  /// Total number of branch segments across all sections.
+  size_t NumSegments() const;
+
+  /// Total cable length in micrometres.
+  double TotalLength() const;
+
+  /// Bounding box of all points (soma sphere included).
+  geom::Aabb Bounds() const;
+
+  /// Child sections of `id` (computed; morphologies are small).
+  std::vector<uint32_t> ChildrenOf(int32_t id) const;
+
+  /// Ids of terminal (leaf) sections.
+  std::vector<uint32_t> Terminals() const;
+
+  /// Structural validation: ids consecutive, parents precede children,
+  /// every section has >= 2 points with positive radii, child sections
+  /// start where the parent ends (within `tol`).
+  Status Validate(float tol = 1.0f) const;
+
+  /// Translate the whole morphology by `delta`.
+  void Translate(const geom::Vec3& delta);
+
+ private:
+  geom::Vec3 soma_center_;
+  float soma_radius_ = 0.0f;
+  std::vector<Section> sections_;
+};
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_MORPHOLOGY_H_

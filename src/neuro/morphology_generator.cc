@@ -1,0 +1,163 @@
+#include "neuro/morphology_generator.h"
+
+#include <cmath>
+#include <deque>
+
+namespace neurodb {
+namespace neuro {
+
+using geom::Vec3;
+
+namespace {
+constexpr float kDegToRad = 0.017453292519943295f;
+}  // namespace
+
+MorphologyParams MorphologyParams::Pyramidal() {
+  MorphologyParams p;
+  p.dendrite_stems = 6;
+  p.with_axon = true;
+  p.segment_length_mean = 9.0f;
+  p.segment_length_std = 2.5f;
+  p.tortuosity_deg = 13.0f;
+  p.bifurcation_prob = 0.68f;
+  p.max_branch_order = 5;
+  p.initial_radius = 1.6f;
+  p.extent_limit = 320.0f;
+  return p;
+}
+
+MorphologyParams MorphologyParams::Interneuron() {
+  MorphologyParams p;
+  p.dendrite_stems = 8;
+  p.with_axon = true;
+  p.segment_length_mean = 6.0f;
+  p.segment_length_std = 1.5f;
+  p.tortuosity_deg = 18.0f;
+  p.bifurcation_prob = 0.55f;
+  p.max_branch_order = 3;
+  p.initial_radius = 1.0f;
+  p.extent_limit = 160.0f;
+  p.axon_length_factor = 1.4f;
+  return p;
+}
+
+MorphologyGenerator::MorphologyGenerator(MorphologyParams params,
+                                         uint64_t seed)
+    : params_(params), rng_(seed, 0x9e3779b97f4a7c15ULL) {}
+
+Vec3 MorphologyGenerator::RandomUnit() {
+  // Marsaglia: uniform on the sphere.
+  for (;;) {
+    double u = rng_.Uniform(-1.0, 1.0);
+    double v = rng_.Uniform(-1.0, 1.0);
+    double s = u * u + v * v;
+    if (s >= 1.0 || s == 0.0) continue;
+    double root = std::sqrt(1.0 - s);
+    return Vec3(static_cast<float>(2.0 * u * root),
+                static_cast<float>(2.0 * v * root),
+                static_cast<float>(1.0 - 2.0 * s));
+  }
+}
+
+Vec3 MorphologyGenerator::Jitter(const Vec3& direction, float angle_deg) {
+  // Rotate `direction` by a Gaussian angle around a random perpendicular
+  // axis (Rodrigues), producing the jagged growth of real neurites.
+  double angle = rng_.Gaussian(0.0, angle_deg * kDegToRad);
+  Vec3 axis = direction.Cross(RandomUnit());
+  if (axis.SquaredNorm() < 1e-12) return direction;
+  axis = axis.Normalized();
+  float c = static_cast<float>(std::cos(angle));
+  float s = static_cast<float>(std::sin(angle));
+  Vec3 rotated = direction * c + axis.Cross(direction) * s +
+                 axis * static_cast<float>(axis.Dot(direction) * (1.0 - c));
+  return rotated.Normalized();
+}
+
+void MorphologyGenerator::GrowTree(Morphology* morph, const Vec3& soma_center,
+                                   const Vec3& stem_direction,
+                                   SectionType type, float length_factor,
+                                   float radius_factor) {
+  std::deque<GrowthFront> fronts;
+  fronts.push_back(GrowthFront{
+      soma_center + stem_direction * params_.soma_radius, stem_direction,
+      params_.initial_radius * radius_factor, -1, 0, type});
+
+  float extent = params_.extent_limit * length_factor;
+
+  while (!fronts.empty()) {
+    GrowthFront front = fronts.front();
+    fronts.pop_front();
+    if (front.radius < params_.min_radius) continue;
+
+    Section section;
+    section.id = static_cast<uint32_t>(morph->NumSections());
+    section.parent = front.parent_section;
+    section.type = front.type;
+    section.points.push_back(front.position);
+    section.radii.push_back(front.radius);
+
+    uint32_t num_segments =
+        params_.min_segments_per_section +
+        rng_.NextBounded(params_.max_segments_per_section -
+                         params_.min_segments_per_section + 1);
+
+    Vec3 pos = front.position;
+    Vec3 dir = front.direction;
+    float radius = front.radius;
+    bool clipped = false;
+    for (uint32_t i = 0; i < num_segments; ++i) {
+      double len = std::max<double>(
+          0.5, rng_.Gaussian(params_.segment_length_mean * length_factor,
+                             params_.segment_length_std * length_factor));
+      dir = Jitter(dir, params_.tortuosity_deg);
+      pos = pos + dir * static_cast<float>(len);
+      // Per-point radius shrinks smoothly towards the section-end taper.
+      radius *= std::pow(params_.taper, 1.0f / num_segments);
+      section.points.push_back(pos);
+      section.radii.push_back(std::max(radius, params_.min_radius));
+      if (geom::Distance(pos, soma_center) > extent) {
+        clipped = true;
+        break;
+      }
+    }
+    if (section.points.size() < 2) continue;
+    // AddSection cannot fail here: ids are consecutive by construction.
+    morph->AddSection(section);
+
+    bool can_branch = !clipped && front.order + 1 < params_.max_branch_order &&
+                      radius * params_.taper >= params_.min_radius;
+    if (can_branch && rng_.NextBool(params_.bifurcation_prob)) {
+      float half = 0.5f * params_.branch_angle_deg;
+      for (int child = 0; child < 2; ++child) {
+        Vec3 child_dir = Jitter(dir, half);
+        fronts.push_back(GrowthFront{pos, child_dir, radius * params_.taper,
+                                     static_cast<int32_t>(section.id),
+                                     front.order + 1, front.type});
+      }
+    }
+  }
+}
+
+Morphology MorphologyGenerator::Generate(const Vec3& soma_center) {
+  Morphology morph(soma_center, params_.soma_radius);
+
+  for (uint32_t stem = 0; stem < params_.dendrite_stems; ++stem) {
+    Vec3 dir = RandomUnit();
+    // First stem of a pyramidal-style cell grows upward (apical trunk).
+    SectionType type = SectionType::kBasalDendrite;
+    if (stem == 0) {
+      dir = (dir * 0.4f + Vec3(0, 1, 0)).Normalized();
+      type = SectionType::kApicalDendrite;
+    }
+    GrowTree(&morph, soma_center, dir, type, 1.0f, 1.0f);
+  }
+  if (params_.with_axon) {
+    Vec3 dir = (RandomUnit() * 0.4f + Vec3(0, -1, 0)).Normalized();
+    GrowTree(&morph, soma_center, dir, SectionType::kAxon,
+             params_.axon_length_factor, params_.axon_radius_factor);
+  }
+  return morph;
+}
+
+}  // namespace neuro
+}  // namespace neurodb

@@ -1,0 +1,94 @@
+// NeuroDB — MorphologyGenerator: synthetic neuron morphologies.
+//
+// The paper's datasets are proprietary Blue Brain Project reconstructions;
+// this generator is the documented substitution (DESIGN.md Section 5). It
+// grows branching trees whose *statistics* — segment length, tortuosity
+// ("irregular and jagged" branches, paper Section 3), bifurcation depth,
+// radius taper, spatial extent — are the properties the indexes under study
+// are sensitive to. Two presets approximate pyramidal cells and
+// interneurons.
+
+#ifndef NEURODB_NEURO_MORPHOLOGY_GENERATOR_H_
+#define NEURODB_NEURO_MORPHOLOGY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "neuro/morphology.h"
+
+namespace neurodb {
+namespace neuro {
+
+/// Growth parameters for one synthetic cell class.
+struct MorphologyParams {
+  /// Number of dendritic stems sprouting from the soma.
+  uint32_t dendrite_stems = 5;
+  /// Grow an axon (one stem, longer and thinner than dendrites).
+  bool with_axon = true;
+  /// Mean / stddev of one segment's length in micrometres.
+  float segment_length_mean = 8.0f;
+  float segment_length_std = 2.0f;
+  /// Per-segment direction jitter in degrees (tortuosity / jaggedness).
+  float tortuosity_deg = 14.0f;
+  /// Probability that a section ends in a bifurcation (vs a terminal tip).
+  float bifurcation_prob = 0.65f;
+  /// Branching angle between the two children at a bifurcation, degrees.
+  float branch_angle_deg = 40.0f;
+  /// Maximum branch order (stem = order 0).
+  uint32_t max_branch_order = 4;
+  /// Segments per section: uniform in [min, max].
+  uint32_t min_segments_per_section = 6;
+  uint32_t max_segments_per_section = 24;
+  /// Initial stem radius; each child section's radius shrinks by `taper`.
+  float initial_radius = 1.4f;
+  float taper = 0.8f;
+  float min_radius = 0.15f;
+  /// Soma sphere radius.
+  float soma_radius = 8.0f;
+  /// Hard cap on distance from the soma (growth stops beyond it).
+  float extent_limit = 280.0f;
+  /// Axon multipliers relative to dendrites.
+  float axon_length_factor = 2.2f;
+  float axon_radius_factor = 0.5f;
+
+  /// Preset approximating a cortical pyramidal cell (apical trunk + basal
+  /// dendrites + long axon).
+  static MorphologyParams Pyramidal();
+  /// Preset approximating a small interneuron (bushy, short-range).
+  static MorphologyParams Interneuron();
+};
+
+/// Deterministic generator: the same (params, seed, soma center) always
+/// yields the same morphology.
+class MorphologyGenerator {
+ public:
+  MorphologyGenerator(MorphologyParams params, uint64_t seed);
+
+  /// Generate one morphology rooted at `soma_center`.
+  Morphology Generate(const geom::Vec3& soma_center);
+
+ private:
+  struct GrowthFront {
+    geom::Vec3 position;
+    geom::Vec3 direction;
+    float radius;
+    int32_t parent_section;
+    uint32_t order;
+    SectionType type;
+  };
+
+  void GrowTree(Morphology* morph, const geom::Vec3& soma_center,
+                const geom::Vec3& stem_direction, SectionType type,
+                float length_factor, float radius_factor);
+
+  geom::Vec3 Jitter(const geom::Vec3& direction, float angle_deg);
+  geom::Vec3 RandomUnit();
+
+  MorphologyParams params_;
+  Pcg32 rng_;
+};
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_MORPHOLOGY_GENERATOR_H_

@@ -1,0 +1,152 @@
+#include "neuro/swc_io.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace neurodb {
+namespace neuro {
+
+void WriteSwc(const Morphology& morph, std::ostream* os) {
+  *os << "# NeuroDB SWC export\n";
+  *os << "# id type x y z radius parent\n";
+
+  int64_t next_id = 1;
+  const int64_t soma_id = next_id++;
+  const geom::Vec3& sc = morph.soma_center();
+  *os << soma_id << " 1 " << sc.x << ' ' << sc.y << ' ' << sc.z << ' '
+      << morph.soma_radius() << " -1\n";
+
+  // Last sample id written for each section (anchor for children).
+  std::vector<int64_t> section_end(morph.NumSections(), -1);
+
+  for (const auto& section : morph.sections()) {
+    int64_t prev =
+        section.parent >= 0 ? section_end[section.parent] : soma_id;
+    for (size_t k = 0; k < section.points.size(); ++k) {
+      int64_t id = next_id++;
+      const geom::Vec3& p = section.points[k];
+      *os << id << ' ' << static_cast<int>(section.type) << ' ' << p.x << ' '
+          << p.y << ' ' << p.z << ' ' << section.radii[k] << ' ' << prev
+          << '\n';
+      prev = id;
+    }
+    section_end[section.id] = prev;
+  }
+}
+
+std::string ToSwcString(const Morphology& morph) {
+  std::ostringstream os;
+  WriteSwc(morph, &os);
+  return os.str();
+}
+
+namespace {
+
+struct Sample {
+  int type = 0;
+  geom::Vec3 pos;
+  float radius = 0.0f;
+  int64_t parent = -1;
+};
+
+}  // namespace
+
+Result<Morphology> ReadSwc(std::istream* is) {
+  std::map<int64_t, Sample> samples;  // ordered: parents precede children
+  int64_t soma_id = -1;
+  geom::Vec3 soma_center;
+  float soma_radius = 0.0f;
+
+  std::string line;
+  while (std::getline(*is, line)) {
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    int64_t id;
+    Sample s;
+    if (!(ls >> id >> s.type >> s.pos.x >> s.pos.y >> s.pos.z >> s.radius >>
+          s.parent)) {
+      return Status::Corruption("ReadSwc: malformed line: " + line);
+    }
+    if (samples.count(id) > 0 || (soma_id >= 0 && id == soma_id)) {
+      return Status::Corruption("ReadSwc: duplicate sample id");
+    }
+    if (s.type == 1) {
+      if (soma_id < 0) {
+        soma_id = id;
+        soma_center = s.pos;
+        soma_radius = s.radius;
+      }
+      continue;  // collapse multi-point somata
+    }
+    samples.emplace(id, s);
+  }
+  if (soma_id < 0) {
+    return Status::Corruption("ReadSwc: no soma (type 1) sample");
+  }
+
+  Morphology morph(soma_center, soma_radius);
+
+  // children adjacency among neurite samples.
+  std::map<int64_t, std::vector<int64_t>> children;
+  for (const auto& [id, s] : samples) {
+    if (s.parent != soma_id) {
+      auto parent_it = samples.find(s.parent);
+      if (parent_it == samples.end()) {
+        return Status::Corruption("ReadSwc: sample references missing parent");
+      }
+      if (s.parent >= id) {
+        return Status::Corruption("ReadSwc: parent sample does not precede child");
+      }
+    }
+    children[s.parent].push_back(id);
+  }
+
+  // Map from a chain-ending sample id to the section that ends there.
+  std::map<int64_t, uint32_t> section_of_end;
+
+  for (const auto& [id, s] : samples) {
+    bool starts_chain =
+        s.parent == soma_id || children[s.parent].size() >= 2;
+    if (!starts_chain) continue;
+
+    Section section;
+    section.id = static_cast<uint32_t>(morph.NumSections());
+    section.type = static_cast<SectionType>(s.type);
+    if (s.parent == soma_id) {
+      section.parent = -1;
+    } else {
+      auto it = section_of_end.find(s.parent);
+      if (it == section_of_end.end()) {
+        return Status::Corruption("ReadSwc: branch parent section not found");
+      }
+      section.parent = static_cast<int32_t>(it->second);
+    }
+
+    // Walk the unbranched chain.
+    int64_t cur = id;
+    for (;;) {
+      const Sample& cs = samples.at(cur);
+      section.points.push_back(cs.pos);
+      section.radii.push_back(cs.radius);
+      auto it = children.find(cur);
+      if (it == children.end() || it->second.size() != 1) break;
+      cur = it->second[0];
+    }
+    if (section.points.size() < 2) {
+      return Status::Corruption("ReadSwc: section with a single sample");
+    }
+    section_of_end[cur] = section.id;
+    NEURODB_RETURN_NOT_OK(morph.AddSection(std::move(section)));
+  }
+  return morph;
+}
+
+Result<Morphology> FromSwcString(const std::string& text) {
+  std::istringstream is(text);
+  return ReadSwc(&is);
+}
+
+}  // namespace neuro
+}  // namespace neurodb

@@ -1,0 +1,38 @@
+// NeuroDB — SWC text I/O for morphologies.
+//
+// SWC is the interchange format of anatomical reconstructions (one point
+// per line: id type x y z radius parent). Export flattens sections into
+// point rows; import reconstructs the section tree, so round-tripping a
+// generated morphology preserves its segments.
+
+#ifndef NEURODB_NEURO_SWC_IO_H_
+#define NEURODB_NEURO_SWC_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/result.h"
+#include "neuro/morphology.h"
+
+namespace neurodb {
+namespace neuro {
+
+/// Serialize `morph` as SWC text.
+void WriteSwc(const Morphology& morph, std::ostream* os);
+
+/// Convenience: SWC text into a string.
+std::string ToSwcString(const Morphology& morph);
+
+/// Parse SWC text into a morphology. Lines starting with '#' are comments.
+/// Soma is expected as a single type-1 point (the exporter's convention);
+/// multi-point somata are collapsed to their first point.
+Result<Morphology> ReadSwc(std::istream* is);
+
+/// Convenience: parse from a string.
+Result<Morphology> FromSwcString(const std::string& text);
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_SWC_IO_H_

@@ -1,0 +1,238 @@
+#include "neuro/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace neurodb {
+namespace neuro {
+
+using geom::Aabb;
+using geom::Vec3;
+
+namespace {
+
+Vec3 UniformPoint(Pcg32* rng, const Aabb& domain) {
+  return Vec3(static_cast<float>(rng->Uniform(domain.min.x, domain.max.x)),
+              static_cast<float>(rng->Uniform(domain.min.y, domain.max.y)),
+              static_cast<float>(rng->Uniform(domain.min.z, domain.max.z)));
+}
+
+Vec3 UnitVector(Pcg32* rng) {
+  for (;;) {
+    double u = rng->Uniform(-1.0, 1.0);
+    double v = rng->Uniform(-1.0, 1.0);
+    double s = u * u + v * v;
+    if (s >= 1.0 || s == 0.0) continue;
+    double root = std::sqrt(1.0 - s);
+    return Vec3(static_cast<float>(2.0 * u * root),
+                static_cast<float>(2.0 * v * root),
+                static_cast<float>(1.0 - 2.0 * s));
+  }
+}
+
+}  // namespace
+
+std::vector<Aabb> UniformQueries(const Aabb& domain, float side, size_t n,
+                                 uint64_t seed) {
+  Pcg32 rng(seed, 1);
+  std::vector<Aabb> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Aabb::Cube(UniformPoint(&rng, domain), side));
+  }
+  return out;
+}
+
+std::vector<Aabb> DataCenteredQueries(const geom::ElementVec& elements,
+                                      float side, size_t n, uint64_t seed) {
+  Pcg32 rng(seed, 2);
+  std::vector<Aabb> out;
+  if (elements.empty()) return out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& e = elements[rng.NextBounded(
+        static_cast<uint32_t>(elements.size()))];
+    out.push_back(Aabb::Cube(e.bounds.Center(), side));
+  }
+  return out;
+}
+
+std::vector<Aabb> LayerQueries(const Aabb& domain, float y_lo, float y_hi,
+                               float side, size_t n, uint64_t seed) {
+  Pcg32 rng(seed, 3);
+  std::vector<Aabb> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Vec3 c(static_cast<float>(rng.Uniform(domain.min.x, domain.max.x)),
+           static_cast<float>(rng.Uniform(y_lo, y_hi)),
+           static_cast<float>(rng.Uniform(domain.min.z, domain.max.z)));
+    out.push_back(Aabb::Cube(c, side));
+  }
+  return out;
+}
+
+double NavigationPath::Length() const {
+  double len = 0.0;
+  for (size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    len += geom::Distance(waypoints[i], waypoints[i + 1]);
+  }
+  return len;
+}
+
+namespace {
+
+/// Depth-first search for the longest root-to-tip polyline of a morphology.
+void LongestPathFrom(const Morphology& morph, uint32_t section_id,
+                     std::vector<Vec3> prefix, double prefix_len,
+                     std::vector<Vec3>* best, double* best_len) {
+  const Section& s = morph.section(section_id);
+  // Append this section's points (skip the first if it repeats the prefix
+  // end).
+  for (size_t i = 0; i < s.points.size(); ++i) {
+    if (!prefix.empty() && i == 0 &&
+        geom::SquaredDistance(prefix.back(), s.points[0]) < 1e-6) {
+      continue;
+    }
+    prefix.push_back(s.points[i]);
+  }
+  prefix_len += s.Length();
+
+  std::vector<uint32_t> kids = morph.ChildrenOf(static_cast<int32_t>(section_id));
+  if (kids.empty()) {
+    if (prefix_len > *best_len) {
+      *best_len = prefix_len;
+      *best = prefix;
+    }
+    return;
+  }
+  for (uint32_t kid : kids) {
+    LongestPathFrom(morph, kid, prefix, prefix_len, best, best_len);
+  }
+}
+
+/// Resample a polyline at (approximately) uniform arc-length steps.
+std::vector<Vec3> Resample(const std::vector<Vec3>& polyline, float step) {
+  std::vector<Vec3> out;
+  if (polyline.empty()) return out;
+  out.push_back(polyline.front());
+  double carried = 0.0;
+  for (size_t i = 0; i + 1 < polyline.size(); ++i) {
+    Vec3 a = polyline[i];
+    Vec3 b = polyline[i + 1];
+    double seg_len = geom::Distance(a, b);
+    double t = step - carried;
+    while (t <= seg_len) {
+      out.push_back(geom::Lerp(a, b, static_cast<float>(t / seg_len)));
+      t += step;
+    }
+    carried = (carried + seg_len);
+    carried = std::fmod(carried, step);
+  }
+  if (out.size() < 2) out.push_back(polyline.back());
+  return out;
+}
+
+}  // namespace
+
+Result<NavigationPath> FollowBranchPath(const Circuit& circuit, uint32_t gid,
+                                        float step, uint64_t seed) {
+  (void)seed;  // deterministic: the longest path is unique for our data
+  if (gid >= circuit.NumNeurons()) {
+    return Status::InvalidArgument("FollowBranchPath: no such neuron");
+  }
+  if (!(step > 0.0f)) {
+    return Status::InvalidArgument("FollowBranchPath: step must be positive");
+  }
+  const Morphology& morph = circuit.neuron(gid).morphology;
+  if (morph.NumSections() == 0) {
+    return Status::NotFound("FollowBranchPath: neuron has no sections");
+  }
+
+  std::vector<Vec3> best;
+  double best_len = -1.0;
+  for (const auto& s : morph.sections()) {
+    if (s.parent != -1) continue;
+    LongestPathFrom(morph, s.id, {}, 0.0, &best, &best_len);
+  }
+  if (best.size() < 2) {
+    return Status::NotFound("FollowBranchPath: degenerate branch path");
+  }
+
+  NavigationPath path;
+  path.waypoints = Resample(best, step);
+  return path;
+}
+
+NavigationPath RandomWalkPath(const Aabb& domain, size_t steps, float step,
+                              uint64_t seed) {
+  Pcg32 rng(seed, 4);
+  NavigationPath path;
+  Vec3 pos = UniformPoint(&rng, domain);
+  Vec3 dir = UnitVector(&rng);
+  path.waypoints.push_back(pos);
+  for (size_t i = 1; i < steps; ++i) {
+    // Heavy direction churn: prediction-hostile by construction.
+    Vec3 turn = UnitVector(&rng);
+    dir = (dir * 0.3f + turn * 0.7f).Normalized();
+    pos = pos + dir * step;
+    // Reflect off the domain walls.
+    for (int axis = 0; axis < 3; ++axis) {
+      if (pos[axis] < domain.min[axis] || pos[axis] > domain.max[axis]) {
+        dir[axis] = -dir[axis];
+        pos[axis] = std::clamp(pos[axis], domain.min[axis], domain.max[axis]);
+      }
+    }
+    path.waypoints.push_back(pos);
+  }
+  return path;
+}
+
+std::vector<Aabb> PathQueries(const NavigationPath& path, float side) {
+  std::vector<Aabb> out;
+  out.reserve(path.waypoints.size());
+  for (const auto& w : path.waypoints) out.push_back(Aabb::Cube(w, side));
+  return out;
+}
+
+SegmentDataset UniformSegments(size_t n, const Aabb& domain, float length_mean,
+                               float length_std, float radius, uint64_t seed) {
+  Pcg32 rng(seed, 5);
+  SegmentDataset out;
+  for (size_t i = 0; i < n; ++i) {
+    Vec3 mid = UniformPoint(&rng, domain);
+    Vec3 dir = UnitVector(&rng);
+    float half = 0.5f * std::max(0.25f, static_cast<float>(rng.Gaussian(
+                                            length_mean, length_std)));
+    out.Add(geom::Segment(mid - dir * half, mid + dir * half, radius),
+            static_cast<geom::ElementId>(i));
+  }
+  return out;
+}
+
+SegmentDataset ClusteredSegments(size_t n, const Aabb& domain, size_t clusters,
+                                 float sigma, float length_mean, float radius,
+                                 uint64_t seed) {
+  Pcg32 rng(seed, 6);
+  std::vector<Vec3> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    centers.push_back(UniformPoint(&rng, domain));
+  }
+  SegmentDataset out;
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3& c = centers[rng.NextBounded(static_cast<uint32_t>(clusters))];
+    Vec3 mid(c.x + static_cast<float>(rng.Gaussian(0, sigma)),
+             c.y + static_cast<float>(rng.Gaussian(0, sigma)),
+             c.z + static_cast<float>(rng.Gaussian(0, sigma)));
+    Vec3 dir = UnitVector(&rng);
+    float half = 0.5f * length_mean;
+    out.Add(geom::Segment(mid - dir * half, mid + dir * half, radius),
+            static_cast<geom::ElementId>(i));
+  }
+  return out;
+}
+
+}  // namespace neuro
+}  // namespace neurodb

@@ -1,0 +1,88 @@
+// NeuroDB — workload generators.
+//
+// Produces the query mixes the demo exhibits run: uniform / data-centered /
+// layer-targeted range queries (FLAT, Section 2.2), branch-following and
+// random-walk navigation paths (SCOUT, Section 3.2), and controlled
+// synthetic segment clouds for density sweeps and join property tests.
+
+#ifndef NEURODB_NEURO_WORKLOAD_H_
+#define NEURODB_NEURO_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "neuro/circuit.h"
+
+namespace neurodb {
+namespace neuro {
+
+// ---------------------------------------------------------------------------
+// Range query workloads
+// ---------------------------------------------------------------------------
+
+/// `n` cubes of side `side` with centers uniform in `domain`.
+std::vector<geom::Aabb> UniformQueries(const geom::Aabb& domain, float side,
+                                       size_t n, uint64_t seed);
+
+/// `n` cubes centered on randomly chosen element centers (guaranteed
+/// non-empty results; the demo audience clicks *on* the model).
+std::vector<geom::Aabb> DataCenteredQueries(const geom::ElementVec& elements,
+                                            float side, size_t n,
+                                            uint64_t seed);
+
+/// `n` cubes whose centers have y in [y_lo, y_hi] — targets one cortical
+/// layer, i.e. a dense or a sparse region of the model.
+std::vector<geom::Aabb> LayerQueries(const geom::Aabb& domain, float y_lo,
+                                     float y_hi, float side, size_t n,
+                                     uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Navigation (moving range query) workloads
+// ---------------------------------------------------------------------------
+
+/// A polyline of view positions; the session issues one range query per
+/// waypoint ("at every step they retrieve the surroundings of the branch",
+/// paper Section 3).
+struct NavigationPath {
+  std::vector<geom::Vec3> waypoints;
+
+  double Length() const;
+};
+
+/// Follow neuron `gid`'s longest root-to-tip branch path, resampled every
+/// `step` micrometres. Fails if the neuron has no sections.
+Result<NavigationPath> FollowBranchPath(const Circuit& circuit, uint32_t gid,
+                                        float step, uint64_t seed);
+
+/// A jagged random walk through `domain` ("moving through the model
+/// randomly", paper Section 3.2) — the adversarial case for prefetching.
+NavigationPath RandomWalkPath(const geom::Aabb& domain, size_t steps,
+                              float step, uint64_t seed);
+
+/// One range query (cube of side `side`) per waypoint.
+std::vector<geom::Aabb> PathQueries(const NavigationPath& path, float side);
+
+// ---------------------------------------------------------------------------
+// Synthetic segment clouds (controlled density experiments)
+// ---------------------------------------------------------------------------
+
+/// `n` capsules with uniform random midpoints in `domain`, uniform random
+/// orientation, Gaussian length and fixed radius.
+SegmentDataset UniformSegments(size_t n, const geom::Aabb& domain,
+                               float length_mean, float length_std,
+                               float radius, uint64_t seed);
+
+/// `n` capsules grouped around `clusters` Gaussian cluster centers with
+/// spatial sigma `sigma` (skewed data; the PBSM-adversarial case).
+SegmentDataset ClusteredSegments(size_t n, const geom::Aabb& domain,
+                                 size_t clusters, float sigma,
+                                 float length_mean, float radius,
+                                 uint64_t seed);
+
+}  // namespace neuro
+}  // namespace neurodb
+
+#endif  // NEURODB_NEURO_WORKLOAD_H_

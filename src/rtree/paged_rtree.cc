@@ -1,0 +1,74 @@
+#include "rtree/paged_rtree.h"
+
+namespace neurodb {
+namespace rtree {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::SpatialElement;
+
+Result<PagedRTree> PagedRTree::Build(RTree tree, storage::PageStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("PagedRTree::Build: null store");
+  }
+  PagedRTree paged(std::move(tree));
+  const RTree& t = paged.tree_;
+  paged.node_pages_.resize(t.NumNodes(), storage::kInvalidPageId);
+  for (size_t id = 0; id < t.NumNodes(); ++id) {
+    const RTree::Node& n = t.node(static_cast<int32_t>(id));
+    storage::PageId page = store->Allocate();
+    std::vector<SpatialElement> payload;
+    if (n.IsLeaf()) {
+      payload = n.entries;
+    } else {
+      payload.reserve(n.children.size());
+      for (int32_t c : n.children) {
+        payload.emplace_back(static_cast<ElementId>(c), t.node(c).bounds);
+      }
+    }
+    NEURODB_RETURN_NOT_OK(store->Write(page, std::move(payload)));
+    paged.node_pages_[id] = page;
+  }
+  return paged;
+}
+
+Status PagedRTree::RangeQuery(const Aabb& box, std::vector<ElementId>* out,
+                              storage::BufferPool* pool,
+                              QueryStats* stats) const {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("PagedRTree::RangeQuery: null pool");
+  }
+  if (tree_.root() == -1) return Status::OK();
+
+  std::vector<int32_t> stack = {tree_.root()};
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const RTree::Node& n = tree_.node(id);
+    // Fetching the node's page is what the disk-resident index would do.
+    auto page = pool->Fetch(node_pages_[id]);
+    if (!page.ok()) return page.status();
+    if (stats != nullptr) stats->CountNode(n.level);
+
+    if (n.IsLeaf()) {
+      for (const auto& e : (*page)->elements) {
+        if (stats != nullptr) ++stats->entries_tested;
+        if (e.bounds.Intersects(box)) {
+          out->push_back(e.id);
+          if (stats != nullptr) ++stats->results;
+        }
+      }
+    } else {
+      for (const auto& branch : (*page)->elements) {
+        if (stats != nullptr) ++stats->entries_tested;
+        if (branch.bounds.Intersects(box)) {
+          stack.push_back(static_cast<int32_t>(branch.id));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rtree
+}  // namespace neurodb

@@ -1,0 +1,58 @@
+// NeuroDB — PagedRTree: an RTree whose nodes live on simulated disk pages.
+//
+// The demo compares FLAT and the R-tree by "disk pages retrieved" (paper
+// Figure 3). PagedRTree maps every tree node onto one page of a PageStore;
+// query traversal fetches each visited node through a BufferPool, so page
+// counts and modeled time come out of the same machinery FLAT uses.
+
+#ifndef NEURODB_RTREE_PAGED_RTREE_H_
+#define NEURODB_RTREE_PAGED_RTREE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace rtree {
+
+/// Disk-resident view of an RTree.
+class PagedRTree {
+ public:
+  /// Materialize `tree` into `store`: one page per node. Leaf pages hold the
+  /// data entries; internal pages hold one (child-node-id, child-bounds)
+  /// element per child, mirroring the branch-entry layout of a disk R-tree.
+  static Result<PagedRTree> Build(RTree tree, storage::PageStore* store);
+
+  PagedRTree(PagedRTree&&) = default;
+  PagedRTree& operator=(PagedRTree&&) = default;
+
+  /// Range query executed through `pool`: every visited node costs one page
+  /// fetch. Results are appended to `out`.
+  Status RangeQuery(const geom::Aabb& box, std::vector<geom::ElementId>* out,
+                    storage::BufferPool* pool,
+                    QueryStats* stats = nullptr) const;
+
+  /// The in-memory structure (geometry of nodes; used by tests).
+  const RTree& tree() const { return tree_; }
+
+  /// Page id backing a node.
+  storage::PageId NodePage(int32_t node_id) const { return node_pages_[node_id]; }
+
+  /// Pages occupied by the whole index.
+  size_t NumPages() const { return node_pages_.size(); }
+
+ private:
+  explicit PagedRTree(RTree tree) : tree_(std::move(tree)) {}
+
+  RTree tree_;
+  std::vector<storage::PageId> node_pages_;  // indexed by node id
+};
+
+}  // namespace rtree
+}  // namespace neurodb
+
+#endif  // NEURODB_RTREE_PAGED_RTREE_H_

@@ -1,0 +1,256 @@
+#include "scout/prefetcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace neurodb {
+namespace scout {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::Vec3;
+
+const char* PrefetchMethodName(PrefetchMethod method) {
+  switch (method) {
+    case PrefetchMethod::kNone:
+      return "None";
+    case PrefetchMethod::kHilbert:
+      return "Hilbert";
+    case PrefetchMethod::kExtrapolation:
+      return "Extrapolation";
+    case PrefetchMethod::kScout:
+      return "SCOUT";
+  }
+  return "Unknown";
+}
+
+std::vector<PrefetchMethod> AllPrefetchMethods() {
+  return {PrefetchMethod::kNone, PrefetchMethod::kHilbert,
+          PrefetchMethod::kExtrapolation, PrefetchMethod::kScout};
+}
+
+namespace {
+
+/// Prefetch the given page indexes (skipping cached ones) up to the budget.
+/// Returns the number of pages actually loaded.
+size_t PrefetchPages(const PrefetchContext& ctx,
+                     const std::vector<uint32_t>& page_indexes,
+                     size_t budget) {
+  size_t loaded = 0;
+  for (uint32_t page_index : page_indexes) {
+    if (loaded >= budget) break;
+    storage::PageId id = ctx.index->PageAt(page_index);
+    if (ctx.pool->Contains(id)) continue;
+    if (ctx.pool->Prefetch(id).ok()) ++loaded;
+  }
+  return loaded;
+}
+
+// ---------------------------------------------------------------------------
+
+class NonePrefetcher : public Prefetcher {
+ public:
+  const char* Name() const override { return "None"; }
+  size_t AfterQuery(const Aabb&, const std::vector<ElementId>&,
+                    size_t) override {
+    return 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+/// Park & Kim style: the data is laid out in Hilbert order, so prefetch the
+/// pages that follow (and precede) the pages the current query touched in
+/// layout order.
+class HilbertPrefetcher : public Prefetcher {
+ public:
+  explicit HilbertPrefetcher(const PrefetchContext& ctx) : ctx_(ctx) {}
+
+  const char* Name() const override { return "Hilbert"; }
+
+  size_t AfterQuery(const Aabb& query, const std::vector<ElementId>&,
+                    size_t budget_pages) override {
+    std::vector<uint32_t> touched = ctx_.index->PagesInRange(query);
+    if (touched.empty()) return 0;
+    uint32_t lo = touched.front();
+    uint32_t hi = touched.back();
+    std::vector<uint32_t> wanted;
+    wanted.reserve(budget_pages);
+    const uint32_t num_pages = static_cast<uint32_t>(ctx_.index->NumPages());
+    // Alternate forward/backward from the touched run.
+    for (uint32_t d = 1; wanted.size() < budget_pages; ++d) {
+      bool any = false;
+      if (hi + d < num_pages) {
+        wanted.push_back(hi + d);
+        any = true;
+      }
+      if (wanted.size() < budget_pages && lo >= d) {
+        wanted.push_back(lo - d);
+        any = true;
+      }
+      if (!any) break;
+    }
+    return PrefetchPages(ctx_, wanted, budget_pages);
+  }
+
+ private:
+  PrefetchContext ctx_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Linear extrapolation of the last two query centers.
+class ExtrapolationPrefetcher : public Prefetcher {
+ public:
+  explicit ExtrapolationPrefetcher(const PrefetchContext& ctx) : ctx_(ctx) {}
+
+  const char* Name() const override { return "Extrapolation"; }
+
+  void Reset() override { prev_center_.reset(); }
+
+  size_t AfterQuery(const Aabb& query, const std::vector<ElementId>&,
+                    size_t budget_pages) override {
+    Vec3 center = query.Center();
+    size_t loaded = 0;
+    if (prev_center_.has_value()) {
+      Vec3 delta = center - *prev_center_;
+      float side = query.Extent().x;
+      // One and two steps ahead along the motion vector.
+      for (int step = 1; step <= 2 && loaded < budget_pages; ++step) {
+        Aabb predicted =
+            Aabb::Cube(center + delta * static_cast<float>(step), side);
+        loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(predicted),
+                                budget_pages - loaded);
+      }
+    }
+    prev_center_ = center;
+    return loaded;
+  }
+
+ private:
+  PrefetchContext ctx_;
+  std::optional<Vec3> prev_center_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// SCOUT: reconstruct structures in the result, prune candidates across the
+/// sequence, extrapolate the exits of the surviving candidates.
+class ScoutPrefetcher : public Prefetcher {
+ public:
+  ScoutPrefetcher(const PrefetchContext& ctx, const ScoutOptions& options)
+      : ctx_(ctx), options_(options) {}
+
+  const char* Name() const override { return "SCOUT"; }
+
+  void Reset() override {
+    candidate_ids_.clear();
+    prev_center_.reset();
+    last_candidates_ = 0;
+  }
+
+  size_t CandidateCount() const override { return last_candidates_; }
+
+  size_t AfterQuery(const Aabb& query, const std::vector<ElementId>& result,
+                    size_t budget_pages) override {
+    auto structures_or = ExtractStructures(result, *ctx_.resolver, query,
+                                           options_.structure);
+    if (!structures_or.ok()) return 0;
+    std::vector<Structure>& structures = structures_or.value();
+
+    // Candidate pruning (paper Figure 5): the structure being followed must
+    // appear in consecutive queries, so intersect the previous candidate
+    // set with the structures present now.
+    std::vector<const Structure*> candidates;
+    if (!candidate_ids_.empty()) {
+      for (const Structure& s : structures) {
+        if (!s.HasExit()) continue;
+        for (ElementId e : s.elements) {
+          if (candidate_ids_.count(e) > 0) {
+            candidates.push_back(&s);
+            break;
+          }
+        }
+      }
+    }
+    if (candidates.empty()) {
+      // First query of the sequence (or track lost): every structure that
+      // leaves the box is a candidate.
+      for (const Structure& s : structures) {
+        if (s.HasExit()) candidates.push_back(&s);
+      }
+    }
+    last_candidates_ = candidates.size();
+
+    candidate_ids_.clear();
+    for (const Structure* s : candidates) {
+      candidate_ids_.insert(s->elements.begin(), s->elements.end());
+    }
+
+    // Predict the next query location(s) by extrapolating the candidate
+    // exits linearly, one user step beyond the boundary.
+    Vec3 center = query.Center();
+    float side = query.Extent().x;
+    float step = side * 0.5f;
+    if (prev_center_.has_value()) {
+      double moved = geom::Distance(center, *prev_center_);
+      if (moved > 0.0) step = static_cast<float>(moved);
+    }
+    prev_center_ = center;
+
+    size_t loaded = 0;
+    bool deep = options_.deep_lookahead && candidates.size() == 1;
+    for (const Structure* s : candidates) {
+      for (const StructureExit& exit : s->exits) {
+        if (loaded >= budget_pages) break;
+        Aabb predicted = Aabb::Cube(exit.point + exit.direction * step, side);
+        loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(predicted),
+                                budget_pages - loaded);
+        if (deep && loaded < budget_pages) {
+          Aabb two_ahead =
+              Aabb::Cube(exit.point + exit.direction * (2.0f * step), side);
+          loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(two_ahead),
+                                  budget_pages - loaded);
+        }
+      }
+    }
+    return loaded;
+  }
+
+ private:
+  PrefetchContext ctx_;
+  ScoutOptions options_;
+  std::unordered_set<ElementId> candidate_ids_;
+  std::optional<Vec3> prev_center_;
+  size_t last_candidates_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Prefetcher>> MakePrefetcher(
+    PrefetchMethod method, const PrefetchContext& context,
+    const ScoutOptions& scout_options) {
+  if (method != PrefetchMethod::kNone &&
+      (context.index == nullptr || context.pool == nullptr)) {
+    return Status::InvalidArgument("MakePrefetcher: null index or pool");
+  }
+  switch (method) {
+    case PrefetchMethod::kNone:
+      return std::unique_ptr<Prefetcher>(new NonePrefetcher());
+    case PrefetchMethod::kHilbert:
+      return std::unique_ptr<Prefetcher>(new HilbertPrefetcher(context));
+    case PrefetchMethod::kExtrapolation:
+      return std::unique_ptr<Prefetcher>(new ExtrapolationPrefetcher(context));
+    case PrefetchMethod::kScout:
+      if (context.resolver == nullptr) {
+        return Status::InvalidArgument(
+            "MakePrefetcher: SCOUT needs a segment resolver");
+      }
+      return std::unique_ptr<Prefetcher>(
+          new ScoutPrefetcher(context, scout_options));
+  }
+  return Status::InvalidArgument("MakePrefetcher: unknown method");
+}
+
+}  // namespace scout
+}  // namespace neurodb

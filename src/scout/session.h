@@ -1,0 +1,108 @@
+// NeuroDB — WalkthroughSession: the interactive exploration loop.
+//
+// Reproduces the demo's walkthrough (paper Section 3.2): a scientist issues
+// range queries in close succession along a path; between queries there is
+// *think time* during which data is visualized and analyzed — and during
+// which a prefetcher may warm the buffer pool. Time is modeled on a
+// SimClock so the experiments are exact and portable (DESIGN.md Section 3):
+// each demand page miss costs DiskCostModel::page_read_micros of stall; a
+// prefetcher may load think_time/page_read pages per step for free (the
+// reads overlap the user's thinking).
+
+#ifndef NEURODB_SCOUT_SESSION_H_
+#define NEURODB_SCOUT_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "flat/flat_index.h"
+#include "geom/aabb.h"
+#include "neuro/circuit.h"
+#include "scout/prefetcher.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace scout {
+
+/// Session tuning.
+struct SessionOptions {
+  /// Buffer pool capacity in pages.
+  size_t pool_pages = 4096;
+  /// Simulated think time between queries, microseconds.
+  uint64_t think_time_us = 400'000;
+  /// Disk cost model (drives both stall and the prefetch budget).
+  storage::DiskCostModel cost;
+  /// SCOUT tuning (ignored by other methods).
+  ScoutOptions scout;
+
+  /// Pages a prefetcher can load during one think pause.
+  size_t PrefetchBudget() const {
+    return cost.page_read_micros == 0
+               ? 0
+               : static_cast<size_t>(think_time_us / cost.page_read_micros);
+  }
+};
+
+/// Per-query record (the demo's live panel rows).
+struct StepRecord {
+  uint64_t stall_us = 0;       // time the user waited for this query
+  uint64_t pages_missed = 0;   // demand misses
+  uint64_t pages_hit = 0;      // pool hits
+  uint64_t results = 0;        // result elements
+  uint64_t prefetched = 0;     // pages prefetched after this query
+  uint64_t candidates = 0;     // SCOUT candidate structures (else 0)
+};
+
+/// Whole-walkthrough summary (paper Figure 6's statistics).
+struct SessionResult {
+  std::vector<StepRecord> steps;
+  uint64_t total_stall_us = 0;   // sum of per-query stalls
+  uint64_t total_time_us = 0;    // stalls + think time
+  uint64_t pages_missed = 0;     // "additionally retrieved"
+  uint64_t pages_hit = 0;
+  uint64_t prefetch_issued = 0;  // "prefetched in total"
+  uint64_t prefetch_used = 0;    // "correctly prefetched"
+
+  /// Fraction of prefetched pages that were later demanded.
+  double PrefetchPrecision() const {
+    return prefetch_issued == 0
+               ? 0.0
+               : static_cast<double>(prefetch_used) / prefetch_issued;
+  }
+
+  /// Fraction of demand fetches served from cache.
+  double HitRate() const {
+    uint64_t total = pages_hit + pages_missed;
+    return total == 0 ? 0.0 : static_cast<double>(pages_hit) / total;
+  }
+};
+
+/// Runs query sequences against a FLAT-indexed model through a private
+/// buffer pool with a simulated clock.
+class WalkthroughSession {
+ public:
+  /// `resolver` may be null if SCOUT is never requested.
+  WalkthroughSession(const flat::FlatIndex* index, storage::PageStore* store,
+                     const neuro::SegmentResolver* resolver,
+                     SessionOptions options = SessionOptions());
+
+  /// Execute the query sequence with the given prefetching method. Each run
+  /// starts with a cold pool and a fresh clock.
+  Result<SessionResult> Run(const std::vector<geom::Aabb>& queries,
+                            PrefetchMethod method);
+
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  const flat::FlatIndex* index_;
+  storage::PageStore* store_;
+  const neuro::SegmentResolver* resolver_;
+  SessionOptions options_;
+};
+
+}  // namespace scout
+}  // namespace neurodb
+
+#endif  // NEURODB_SCOUT_SESSION_H_

@@ -1,0 +1,177 @@
+#include "scout/structure.h"
+#include <array>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace neurodb {
+namespace scout {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::Segment;
+using geom::Vec3;
+
+bool Structure::SharesElements(
+    const std::vector<ElementId>& other_sorted) const {
+  // Both lists sorted: linear merge scan.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < elements.size() && j < other_sorted.size()) {
+    if (elements[i] == other_sorted[j]) return true;
+    if (elements[i] < other_sorted[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Disjoint-set over segment indices.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+/// Quantized 3-D grid key for endpoint hashing.
+struct CellKey {
+  int64_t x;
+  int64_t y;
+  int64_t z;
+  bool operator==(const CellKey& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+struct CellKeyHash {
+  size_t operator()(const CellKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.x) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(k.y) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= static_cast<uint64_t>(k.z) * 0x165667b19e3779f9ULL;
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
+};
+
+CellKey CellOf(const Vec3& p, float cell) {
+  return CellKey{static_cast<int64_t>(std::floor(p.x / cell)),
+                 static_cast<int64_t>(std::floor(p.y / cell)),
+                 static_cast<int64_t>(std::floor(p.z / cell))};
+}
+
+}  // namespace
+
+Result<std::vector<Structure>> ExtractStructures(
+    const std::vector<ElementId>& ids, const neuro::SegmentResolver& resolver,
+    const Aabb& box, const StructureOptions& options) {
+  if (!(options.connect_tol > 0.0f)) {
+    return Status::InvalidArgument("StructureOptions: connect_tol must be > 0");
+  }
+
+  const size_t n = ids.size();
+  std::vector<Segment> segs(n);
+  for (size_t i = 0; i < n; ++i) {
+    NEURODB_ASSIGN_OR_RETURN(segs[i], resolver.Find(ids[i]));
+  }
+
+  // Hash all endpoints into a grid of cell size connect_tol; segments with
+  // endpoints in the same or adjacent cells within tolerance are connected.
+  const float cell = options.connect_tol;
+  const double tol2 =
+      static_cast<double>(options.connect_tol) * options.connect_tol;
+  std::unordered_map<CellKey, std::vector<uint32_t>, CellKeyHash> grid;
+  grid.reserve(2 * n);
+  auto endpoints = [&](uint32_t i) {
+    return std::array<Vec3, 2>{{segs[i].a, segs[i].b}};
+  };
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const Vec3& p : endpoints(i)) grid[CellOf(p, cell)].push_back(i);
+  }
+
+  UnionFind uf(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const Vec3& p : endpoints(i)) {
+      CellKey base = CellOf(p, cell);
+      for (int dz = -1; dz <= 1; ++dz) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            auto it = grid.find(CellKey{base.x + dx, base.y + dy, base.z + dz});
+            if (it == grid.end()) continue;
+            for (uint32_t j : it->second) {
+              if (j == i) continue;
+              // Endpoint-to-endpoint proximity test.
+              for (const Vec3& q : endpoints(j)) {
+                if (geom::SquaredDistance(p, q) <= tol2) {
+                  uf.Union(i, j);
+                  break;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Group by component root.
+  std::unordered_map<uint32_t, uint32_t> root_to_structure;
+  std::vector<Structure> structures;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t root = uf.Find(i);
+    auto [it, inserted] =
+        root_to_structure.emplace(root, static_cast<uint32_t>(structures.size()));
+    if (inserted) structures.emplace_back();
+    Structure& s = structures[it->second];
+    s.elements.push_back(ids[i]);
+
+    // Exit detection: an endpoint outside the box means the skeleton leaves
+    // the query there.
+    const Vec3& a = segs[i].a;
+    const Vec3& b = segs[i].b;
+    bool a_in = box.Contains(a);
+    bool b_in = box.Contains(b);
+    if (a_in != b_in) {
+      const Vec3& inside = a_in ? a : b;
+      const Vec3& outside = a_in ? b : a;
+      // Blend the local segment direction with the chord from the query
+      // center to the exit: real branches are jagged (paper Section 3), so
+      // the chord smooths the extrapolation the way the skeleton graph
+      // does, while the local direction keeps the turn information.
+      Vec3 local = (outside - inside).Normalized();
+      Vec3 chord = (outside - box.Center()).Normalized();
+      Vec3 dir = (local + chord).Normalized();
+      if (dir.SquaredNorm() > 0.0) {
+        s.exits.push_back(StructureExit{outside, dir});
+      }
+    }
+  }
+  for (auto& s : structures) {
+    std::sort(s.elements.begin(), s.elements.end());
+  }
+  return structures;
+}
+
+}  // namespace scout
+}  // namespace neurodb

@@ -1,0 +1,66 @@
+// NeuroDB — structure (topological skeleton) extraction from query results.
+//
+// SCOUT's key idea (paper Section 3.1): "While the result of query q in the
+// sequence is loaded, SCOUT already starts to reconstruct the dominating
+// structures/the topological skeleton in q and approximates them with a
+// graph. Once the graph is constructed, it is traversed to find the
+// locations where its edges exit q."
+//
+// Here a *structure* is a connected component of branch segments (segments
+// are adjacent when their endpoints nearly touch); its *exits* are the
+// points and outward directions where the component's skeleton crosses the
+// query boundary.
+
+#ifndef NEURODB_SCOUT_STRUCTURE_H_
+#define NEURODB_SCOUT_STRUCTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "geom/segment.h"
+#include "neuro/circuit.h"
+
+namespace neurodb {
+namespace scout {
+
+/// A boundary crossing of a structure's skeleton.
+struct StructureExit {
+  /// Where the skeleton leaves the query box.
+  geom::Vec3 point;
+  /// Outward direction at the exit (unit length).
+  geom::Vec3 direction;
+};
+
+/// One connected structure inside a query result.
+struct Structure {
+  /// Member element ids, sorted (used for cross-query identity matching).
+  std::vector<geom::ElementId> elements;
+  std::vector<StructureExit> exits;
+
+  bool HasExit() const { return !exits.empty(); }
+
+  /// True if the two structures share at least one element id (both sorted).
+  bool SharesElements(const std::vector<geom::ElementId>& other_sorted) const;
+};
+
+/// Extraction tuning.
+struct StructureOptions {
+  /// Segments whose endpoints are closer than this are connected (µm).
+  float connect_tol = 1.0f;
+};
+
+/// Reconstruct the structures present in a query result. `ids` is the
+/// result of a range query over `box`; geometry is resolved via `resolver`.
+/// Ids missing from the resolver yield NotFound.
+Result<std::vector<Structure>> ExtractStructures(
+    const std::vector<geom::ElementId>& ids,
+    const neuro::SegmentResolver& resolver, const geom::Aabb& box,
+    const StructureOptions& options = StructureOptions());
+
+}  // namespace scout
+}  // namespace neurodb
+
+#endif  // NEURODB_SCOUT_STRUCTURE_H_

@@ -1,0 +1,79 @@
+#include "storage/buffer_pool.h"
+
+namespace neurodb {
+namespace storage {
+
+BufferPool::BufferPool(PageStore* store, size_t capacity_pages, SimClock* clock,
+                       DiskCostModel cost)
+    : store_(store),
+      capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      clock_(clock),
+      cost_(cost) {}
+
+void BufferPool::Touch(PageId id) {
+  auto it = map_.find(id);
+  lru_.erase(it->second);
+  lru_.push_front(id);
+  it->second = lru_.begin();
+}
+
+void BufferPool::EvictIfFull() {
+  while (lru_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    if (prefetched_pending_.erase(victim) > 0) {
+      // Prefetched but evicted before ever being used.
+      stats_.Bump("pool.prefetch_evicted_unused");
+    }
+    stats_.Bump("pool.evictions");
+  }
+}
+
+void BufferPool::Insert(PageId id) {
+  EvictIfFull();
+  lru_.push_front(id);
+  map_[id] = lru_.begin();
+}
+
+Result<const Page*> BufferPool::Fetch(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    Touch(id);
+    stats_.Bump("pool.hits");
+    if (prefetched_pending_.erase(id) > 0) {
+      stats_.Bump("pool.prefetch_used");
+    }
+    if (clock_ != nullptr) clock_->Advance(cost_.page_hit_micros);
+    return store_->Read(id);
+  }
+  // Miss: demand read from the store.
+  auto page = store_->Read(id);
+  if (!page.ok()) return page.status();
+  Insert(id);
+  stats_.Bump("pool.misses");
+  if (clock_ != nullptr) clock_->Advance(cost_.page_read_micros);
+  return page;
+}
+
+Status BufferPool::Prefetch(PageId id) {
+  if (map_.find(id) != map_.end()) {
+    stats_.Bump("pool.prefetch_redundant");
+    return Status::OK();
+  }
+  auto page = store_->Read(id);
+  if (!page.ok()) return page.status();
+  Insert(id);
+  prefetched_pending_.insert(id);
+  stats_.Bump("pool.prefetch_issued");
+  return Status::OK();
+}
+
+void BufferPool::EvictAll() {
+  lru_.clear();
+  map_.clear();
+  prefetched_pending_.clear();
+}
+
+}  // namespace storage
+}  // namespace neurodb

@@ -1,0 +1,86 @@
+// NeuroDB — BufferPool: LRU page cache with prefetch accounting and a
+// simulated time model.
+//
+// Demand fetches charge DiskCostModel::page_read_micros to the attached
+// SimClock on a miss; prefetches load pages without charging the demand
+// clock (the caller — e.g. the SCOUT walkthrough session — accounts for
+// prefetch time out of the user's think time). The pool tracks how many
+// prefetched pages were later used, reproducing the demo's
+// "prefetched total / correctly prefetched / additionally retrieved" panel
+// (paper Figure 6).
+
+#ifndef NEURODB_STORAGE_BUFFER_POOL_H_
+#define NEURODB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace storage {
+
+/// LRU buffer pool over a PageStore.
+class BufferPool {
+ public:
+  /// `capacity_pages` must be >= 1. `clock` may be null (no time modelling).
+  BufferPool(PageStore* store, size_t capacity_pages, SimClock* clock = nullptr,
+             DiskCostModel cost = DiskCostModel{});
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Demand-fetch a page. On miss: reads from the store, charges
+  /// `cost.page_read_micros` to the clock, possibly evicts the LRU page.
+  /// On hit: charges `cost.page_hit_micros`.
+  Result<const Page*> Fetch(PageId id);
+
+  /// Load a page into the pool without charging the demand clock. Marks it
+  /// as prefetched; a later demand Fetch of the page counts as
+  /// "pool.prefetch_used". Prefetching an already cached page is a no-op
+  /// (counted as "pool.prefetch_redundant").
+  Status Prefetch(PageId id);
+
+  /// True if the page is currently cached.
+  bool Contains(PageId id) const { return map_.find(id) != map_.end(); }
+
+  /// Drop every cached page (cold cache). Prefetch markers are cleared too.
+  void EvictAll();
+
+  size_t NumCached() const { return lru_.size(); }
+  size_t capacity() const { return capacity_; }
+  const DiskCostModel& cost() const { return cost_; }
+
+  const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
+
+ private:
+  void Touch(PageId id);
+  void Insert(PageId id);
+  void EvictIfFull();
+
+  PageStore* store_;
+  size_t capacity_;
+  SimClock* clock_;
+  DiskCostModel cost_;
+
+  // Front = most recently used.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+  // Pages brought in by Prefetch() and not yet demanded.
+  std::unordered_set<PageId> prefetched_pending_;
+
+  Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,57 @@
+// NeuroDB — PageStore: the simulated disk.
+//
+// Holds all pages of a dataset and counts raw I/O. Access normally goes
+// through a BufferPool (buffer_pool.h) which adds caching, prefetch
+// tracking and the time model.
+
+#ifndef NEURODB_STORAGE_PAGE_STORE_H_
+#define NEURODB_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace neurodb {
+namespace storage {
+
+/// An append-oriented store of pages ("the disk").
+class PageStore {
+ public:
+  PageStore() = default;
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+  PageStore(PageStore&&) = default;
+  PageStore& operator=(PageStore&&) = default;
+
+  /// Allocate a new empty page and return its id.
+  PageId Allocate();
+
+  /// Replace the contents of page `id`. The page's `id` field is set.
+  Status Write(PageId id, std::vector<geom::SpatialElement> elements);
+
+  /// Read page `id`. The returned pointer is stable until the store is
+  /// destroyed. Counts one raw read in stats ("store.reads").
+  Result<const Page*> Read(PageId id) const;
+
+  size_t NumPages() const { return pages_.size(); }
+
+  /// Total serialized bytes across all pages.
+  size_t TotalBytes() const;
+
+  const Stats& stats() const { return stats_; }
+  Stats& stats() { return stats_; }
+
+ private:
+  std::vector<Page> pages_;
+  mutable Stats stats_;
+};
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,123 @@
+#include "storage/pagination.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "geom/hilbert.h"
+
+namespace neurodb {
+namespace storage {
+
+namespace {
+
+geom::Aabb DomainOf(const geom::ElementVec& elements) {
+  geom::Aabb box;
+  for (const auto& e : elements) box.Extend(e.bounds);
+  return box;
+}
+
+std::vector<uint32_t> HilbertOrder(const geom::ElementVec& elements,
+                                   const geom::Aabb& domain) {
+  geom::HilbertMapper mapper(domain);
+  std::vector<std::pair<uint64_t, uint32_t>> keyed(elements.size());
+  for (uint32_t i = 0; i < elements.size(); ++i) {
+    keyed[i] = {mapper.Key(elements[i].bounds), i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<uint32_t> order(elements.size());
+  for (uint32_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+  return order;
+}
+
+}  // namespace
+
+std::vector<uint32_t> StrOrder(const geom::ElementVec& elements,
+                               size_t group_size) {
+  const size_t n = elements.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  if (n == 0 || group_size == 0) return order;
+
+  const size_t num_groups = (n + group_size - 1) / group_size;
+  // S slabs along x, each split into S runs along y, each tiled along z.
+  const size_t s =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                              std::cbrt(static_cast<double>(num_groups)))));
+
+  auto center = [&](uint32_t idx, int axis) {
+    return elements[idx].bounds.Center()[axis];
+  };
+
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return center(a, 0) < center(b, 0);
+  });
+
+  const size_t slab = (n + s - 1) / s;  // elements per x-slab
+  for (size_t x0 = 0; x0 < n; x0 += slab) {
+    size_t x1 = std::min(n, x0 + slab);
+    std::sort(order.begin() + x0, order.begin() + x1,
+              [&](uint32_t a, uint32_t b) { return center(a, 1) < center(b, 1); });
+    const size_t run = (x1 - x0 + s - 1) / s;  // elements per y-run
+    for (size_t y0 = x0; y0 < x1; y0 += run) {
+      size_t y1 = std::min(x1, y0 + run);
+      std::sort(order.begin() + y0, order.begin() + y1,
+                [&](uint32_t a, uint32_t b) {
+                  return center(a, 2) < center(b, 2);
+                });
+    }
+  }
+  return order;
+}
+
+Result<Layout> PaginateElements(const geom::ElementVec& elements,
+                                PageStore* store, size_t elems_per_page,
+                                PackOrder order, bool track_element_pages) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("PaginateElements: null store");
+  }
+  if (elems_per_page == 0) {
+    return Status::InvalidArgument("PaginateElements: elems_per_page == 0");
+  }
+
+  Layout layout;
+  layout.domain = DomainOf(elements);
+  if (elements.empty()) return layout;
+
+  std::vector<uint32_t> perm;
+  switch (order) {
+    case PackOrder::kHilbert:
+      perm = HilbertOrder(elements, layout.domain);
+      break;
+    case PackOrder::kStr:
+      perm = StrOrder(elements, elems_per_page);
+      break;
+    case PackOrder::kInput:
+      perm.resize(elements.size());
+      std::iota(perm.begin(), perm.end(), 0u);
+      break;
+  }
+
+  for (size_t at = 0; at < perm.size(); at += elems_per_page) {
+    size_t end = std::min(perm.size(), at + elems_per_page);
+    std::vector<geom::SpatialElement> run;
+    run.reserve(end - at);
+    geom::Aabb bounds;
+    for (size_t i = at; i < end; ++i) {
+      const auto& e = elements[perm[i]];
+      run.push_back(e);
+      bounds.Extend(e.bounds);
+    }
+    PageId id = store->Allocate();
+    if (track_element_pages) {
+      for (const auto& e : run) layout.element_pages.emplace_back(e.id, id);
+    }
+    NEURODB_RETURN_NOT_OK(store->Write(id, std::move(run)));
+    layout.page_ids.push_back(id);
+    layout.page_bounds.push_back(bounds);
+  }
+  return layout;
+}
+
+}  // namespace storage
+}  // namespace neurodb

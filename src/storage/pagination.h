@@ -1,0 +1,64 @@
+// NeuroDB — Pagination: lay a dataset of spatial elements out on disk pages
+// so that spatially close elements share pages.
+//
+// This is the physical layout beneath FLAT's crawl pages and beneath the
+// Hilbert-order prefetching baseline: both need a page sequence in which
+// page adjacency correlates with spatial adjacency.
+
+#ifndef NEURODB_STORAGE_PAGINATION_H_
+#define NEURODB_STORAGE_PAGINATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace storage {
+
+/// Order in which elements are packed into pages.
+enum class PackOrder {
+  /// Sort by the Hilbert key of the element center, pack sequentially.
+  kHilbert,
+  /// Sort-Tile-Recursive tiling (Leutenegger et al., ICDE'97) with the page
+  /// as the tile: slabs in x, runs in y, tiles in z.
+  kStr,
+  /// Keep the input order (baseline for layout-sensitivity ablations).
+  kInput,
+};
+
+/// Layout produced by PaginateElements.
+struct Layout {
+  /// Page ids in pack order (ascending ids; adjacency == pack adjacency).
+  std::vector<PageId> page_ids;
+  /// Bounding box of each page (parallel to page_ids).
+  std::vector<geom::Aabb> page_bounds;
+  /// Bounding box of the whole dataset.
+  geom::Aabb domain;
+  /// Which page each input element landed on, keyed by element id.
+  /// (Only filled when `track_element_pages` is set in the call.)
+  std::vector<std::pair<geom::ElementId, PageId>> element_pages;
+};
+
+/// Group `elements` into runs of at most `elems_per_page`, in the given
+/// order, and write each run as one page into `store`. Never fails on
+/// non-empty input; empty input yields an empty layout.
+Result<Layout> PaginateElements(const geom::ElementVec& elements,
+                                PageStore* store, size_t elems_per_page,
+                                PackOrder order,
+                                bool track_element_pages = false);
+
+/// Sort-Tile-Recursive grouping used by PackOrder::kStr, exposed for reuse
+/// by the rtree bulk loader: returns the element order (indices into
+/// `elements`) such that consecutive runs of `group_size` form STR tiles.
+std::vector<uint32_t> StrOrder(const geom::ElementVec& elements,
+                               size_t group_size);
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_PAGINATION_H_

@@ -1,0 +1,38 @@
+// Nested loop join — the O(|A|*|B|) baseline the paper cites as the status
+// quo for in-memory spatial joins ([11] in the paper).
+
+#include "common/stats.h"
+#include "touch/join_common.h"
+#include "touch/spatial_join.h"
+
+namespace neurodb {
+namespace touch {
+
+Result<JoinResult> NestedLoopJoin(const JoinInput& a, const JoinInput& b,
+                                  const JoinOptions& options) {
+  NEURODB_RETURN_NOT_OK(internal::ValidateJoinArgs(a, b, options));
+
+  JoinResult out;
+  Timer total;
+
+  Timer build;
+  std::vector<geom::Aabb> ea = internal::ExpandAll(a.boxes, options.epsilon);
+  out.stats.build_ns = build.ElapsedNanos();
+  out.stats.peak_bytes = ea.capacity() * sizeof(geom::Aabb);
+
+  Timer probe;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    for (uint32_t j = 0; j < b.size(); ++j) {
+      if (internal::PairMatches(a, b, ea, i, j, options, &out.stats)) {
+        out.pairs.push_back(JoinPair{a.ids[i], b.ids[j]});
+      }
+    }
+  }
+  out.stats.probe_ns = probe.ElapsedNanos();
+  out.stats.total_ns = total.ElapsedNanos();
+  out.stats.results = out.pairs.size();
+  return out;
+}
+
+}  // namespace touch
+}  // namespace neurodb

@@ -1,0 +1,74 @@
+// Plane sweep join — sort both inputs along x and sweep, testing y/z
+// overlap inside the sweep window. The paper notes it "can become
+// inefficient if too many elements are on the sweep line (likely in case of
+// dense data/detailed models)" — the dense-data benches show exactly that.
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stats.h"
+#include "touch/join_common.h"
+#include "touch/spatial_join.h"
+
+namespace neurodb {
+namespace touch {
+
+Result<JoinResult> PlaneSweepJoin(const JoinInput& a, const JoinInput& b,
+                                  const JoinOptions& options) {
+  NEURODB_RETURN_NOT_OK(internal::ValidateJoinArgs(a, b, options));
+
+  JoinResult out;
+  Timer total;
+
+  Timer build;
+  std::vector<geom::Aabb> ea = internal::ExpandAll(a.boxes, options.epsilon);
+  std::vector<uint32_t> oa(a.size());
+  std::vector<uint32_t> ob(b.size());
+  std::iota(oa.begin(), oa.end(), 0u);
+  std::iota(ob.begin(), ob.end(), 0u);
+  std::sort(oa.begin(), oa.end(), [&](uint32_t x, uint32_t y) {
+    return ea[x].min.x < ea[y].min.x;
+  });
+  std::sort(ob.begin(), ob.end(), [&](uint32_t x, uint32_t y) {
+    return b.boxes[x].min.x < b.boxes[y].min.x;
+  });
+  out.stats.build_ns = build.ElapsedNanos();
+  out.stats.peak_bytes = ea.capacity() * sizeof(geom::Aabb) +
+                         (oa.capacity() + ob.capacity()) * sizeof(uint32_t);
+
+  Timer probe;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < oa.size() && ib < ob.size()) {
+    uint32_t i = oa[ia];
+    uint32_t j = ob[ib];
+    if (ea[i].min.x <= b.boxes[j].min.x) {
+      // a[i] opens first: scan b's whose x-interval starts inside a[i]'s.
+      for (size_t k = ib; k < ob.size(); ++k) {
+        uint32_t jj = ob[k];
+        if (b.boxes[jj].min.x > ea[i].max.x) break;
+        if (internal::PairMatches(a, b, ea, i, jj, options, &out.stats)) {
+          out.pairs.push_back(JoinPair{a.ids[i], b.ids[jj]});
+        }
+      }
+      ++ia;
+    } else {
+      // b[j] opens first: scan a's whose x-interval starts inside b[j]'s.
+      for (size_t k = ia; k < oa.size(); ++k) {
+        uint32_t ii = oa[k];
+        if (ea[ii].min.x > b.boxes[j].max.x) break;
+        if (internal::PairMatches(a, b, ea, ii, j, options, &out.stats)) {
+          out.pairs.push_back(JoinPair{a.ids[ii], b.ids[j]});
+        }
+      }
+      ++ib;
+    }
+  }
+  out.stats.probe_ns = probe.ElapsedNanos();
+  out.stats.total_ns = total.ElapsedNanos();
+  out.stats.results = out.pairs.size();
+  return out;
+}
+
+}  // namespace touch
+}  // namespace neurodb

@@ -1,0 +1,106 @@
+#include "touch/spatial_join.h"
+
+namespace neurodb {
+namespace touch {
+
+JoinInput JoinInput::FromElements(const geom::ElementVec& elements) {
+  JoinInput in;
+  in.boxes.reserve(elements.size());
+  in.ids.reserve(elements.size());
+  for (const auto& e : elements) {
+    in.boxes.push_back(e.bounds);
+    in.ids.push_back(e.id);
+  }
+  return in;
+}
+
+JoinInput JoinInput::FromSegments(std::vector<geom::Segment> segments,
+                                  std::vector<geom::ElementId> ids) {
+  JoinInput in;
+  in.boxes.reserve(segments.size());
+  for (const auto& s : segments) in.boxes.push_back(s.Bounds());
+  in.segments = std::move(segments);
+  in.ids = std::move(ids);
+  return in;
+}
+
+Status JoinInput::Validate() const {
+  if (boxes.size() != ids.size()) {
+    return Status::InvalidArgument("JoinInput: boxes/ids size mismatch");
+  }
+  if (!segments.empty() && segments.size() != boxes.size()) {
+    return Status::InvalidArgument("JoinInput: segments size mismatch");
+  }
+  for (const auto& b : boxes) {
+    if (b.IsEmpty()) {
+      return Status::InvalidArgument("JoinInput: empty bounding box");
+    }
+  }
+  return Status::OK();
+}
+
+Status JoinOptions::Validate() const {
+  if (!(epsilon >= 0.0f)) {
+    return Status::InvalidArgument("JoinOptions: epsilon must be >= 0");
+  }
+  if (touch_fanout < 2) {
+    return Status::InvalidArgument("JoinOptions: touch_fanout must be >= 2");
+  }
+  if (touch_leaf < 1) {
+    return Status::InvalidArgument("JoinOptions: touch_leaf must be >= 1");
+  }
+  if (s3_fanout < 2) {
+    return Status::InvalidArgument("JoinOptions: s3_fanout must be >= 2");
+  }
+  if (pbsm_max_cells_per_dim < 1) {
+    return Status::InvalidArgument(
+        "JoinOptions: pbsm_max_cells_per_dim must be >= 1");
+  }
+  return Status::OK();
+}
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kNestedLoop:
+      return "NestedLoop";
+    case JoinMethod::kPlaneSweep:
+      return "PlaneSweep";
+    case JoinMethod::kScalableSweep:
+      return "ScalableSweep";
+    case JoinMethod::kPbsm:
+      return "PBSM";
+    case JoinMethod::kS3:
+      return "S3";
+    case JoinMethod::kTouch:
+      return "TOUCH";
+  }
+  return "Unknown";
+}
+
+std::vector<JoinMethod> AllJoinMethods() {
+  return {JoinMethod::kTouch,      JoinMethod::kPbsm,
+          JoinMethod::kS3,         JoinMethod::kPlaneSweep,
+          JoinMethod::kScalableSweep, JoinMethod::kNestedLoop};
+}
+
+Result<JoinResult> RunJoin(JoinMethod method, const JoinInput& a,
+                           const JoinInput& b, const JoinOptions& options) {
+  switch (method) {
+    case JoinMethod::kNestedLoop:
+      return NestedLoopJoin(a, b, options);
+    case JoinMethod::kPlaneSweep:
+      return PlaneSweepJoin(a, b, options);
+    case JoinMethod::kScalableSweep:
+      return ScalableSweepJoin(a, b, options);
+    case JoinMethod::kPbsm:
+      return PbsmJoin(a, b, options);
+    case JoinMethod::kS3:
+      return S3Join(a, b, options);
+    case JoinMethod::kTouch:
+      return TouchJoin(a, b, options);
+  }
+  return Status::InvalidArgument("RunJoin: unknown method");
+}
+
+}  // namespace touch
+}  // namespace neurodb

@@ -1,0 +1,242 @@
+// TOUCH — in-memory spatial join by hierarchical data-oriented partitioning
+// (Nobari et al., SIGMOD'13; paper Section 4.1).
+//
+// Phase 1 (build): dataset A is packed into an STR hierarchy. Data-oriented
+// partitioning opens up *empty space* between partitions and — unlike
+// PBSM's space-oriented grid — never replicates elements.
+//
+// Phase 2 (assign): each object b of B descends from the root towards the
+// single child whose epsilon-expanded MBR it intersects. If no child
+// matches, b lies in empty space and is *filtered* (it can join nothing).
+// If several match, b stops and is bucketed at the current internal node.
+//
+// Phase 3 (probe): buckets are joined against the subtree below their node.
+// The whole bucket descends as a group, filtering the group against each
+// child's (pre-expanded) MBR, so the tree is walked once per bucket rather
+// than once per object and every leaf's entries are scanned with the group
+// of survivors that actually reach it.
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "rtree/rtree.h"
+#include "touch/join_common.h"
+#include "touch/spatial_join.h"
+
+namespace neurodb {
+namespace touch {
+
+namespace {
+
+/// Per-leaf local-join acceleration: the entries' epsilon-expanded boxes
+/// sorted by min.x (with the original entry position alongside), plus the
+/// widest x-extent in the leaf. A probe then only scans the x-window
+/// [b.min.x - max_width, b.max.x] — the in-partition sweep the TOUCH paper
+/// uses for its local joins.
+struct LeafIndex {
+  std::vector<geom::Aabb> boxes;     // expanded, sorted by min.x
+  std::vector<uint32_t> positions;   // position in A, parallel to boxes
+  float max_width = 0.0f;
+};
+
+struct TouchContext {
+  const JoinInput* a;
+  const JoinInput* b;
+  const rtree::RTree* tree;
+  const std::vector<geom::Aabb>* node_expanded;  // node MBRs + epsilon
+  const std::vector<LeafIndex>* leaves;          // indexed by node id
+  const JoinOptions* options;
+  JoinResult* out;
+};
+
+/// Join the group `bs` (indices into B) against the subtree at `node_id`.
+/// `scratch` provides one reusable survivor buffer per tree level.
+void ProbeGroup(const TouchContext& ctx, int32_t node_id,
+                const std::vector<uint32_t>& bs,
+                std::vector<std::vector<uint32_t>>* scratch, int depth) {
+  const rtree::RTree::Node& n = ctx.tree->node(node_id);
+  JoinStats* stats = &ctx.out->stats;
+
+  if (n.IsLeaf()) {
+    const bool refine =
+        ctx.options->refine && ctx.a->HasGeometry() && ctx.b->HasGeometry();
+    const LeafIndex& leaf = (*ctx.leaves)[node_id];
+    const size_t entries = leaf.boxes.size();
+    for (uint32_t j : bs) {
+      const geom::Aabb bj = ctx.b->boxes[j];
+      // x-window: entries sorted by min.x can only intersect bj if their
+      // min.x lies in [bj.min.x - widest extent, bj.max.x].
+      const float lo = bj.min.x - leaf.max_width;
+      size_t k = std::lower_bound(leaf.boxes.begin(), leaf.boxes.end(), lo,
+                                  [](const geom::Aabb& box, float v) {
+                                    return box.min.x < v;
+                                  }) -
+                 leaf.boxes.begin();
+      for (; k < entries && leaf.boxes[k].min.x <= bj.max.x; ++k) {
+        ++stats->mbr_tests;
+        if (!leaf.boxes[k].Intersects(bj)) continue;
+        uint32_t i = leaf.positions[k];
+        if (refine) {
+          ++stats->refine_tests;
+          if (geom::CapsuleDistance(ctx.a->segments[i], ctx.b->segments[j]) >
+              static_cast<double>(ctx.options->epsilon)) {
+            continue;
+          }
+        }
+        ctx.out->pairs.push_back(JoinPair{ctx.a->ids[i], ctx.b->ids[j]});
+      }
+    }
+    return;
+  }
+
+  // `scratch` is pre-sized to the tree height by the caller; resizing here
+  // would invalidate the survivor buffers of shallower recursion levels.
+  std::vector<uint32_t>& survivors = (*scratch)[depth];
+  for (int32_t child : n.children) {
+    const geom::Aabb& child_box = (*ctx.node_expanded)[child];
+    survivors.clear();
+    for (uint32_t j : bs) {
+      ++stats->node_tests;
+      if (child_box.Intersects(ctx.b->boxes[j])) survivors.push_back(j);
+    }
+    if (!survivors.empty()) {
+      // Hand the survivor list down by copy-free swap: deeper levels use
+      // their own scratch slot, so this level's buffer stays intact.
+      ProbeGroup(ctx, child, survivors, scratch, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+Result<JoinResult> TouchJoin(const JoinInput& a, const JoinInput& b,
+                             const JoinOptions& options) {
+  NEURODB_RETURN_NOT_OK(internal::ValidateJoinArgs(a, b, options));
+
+  JoinResult out;
+  Timer total;
+  if (a.size() == 0 || b.size() == 0) {
+    out.stats.filtered = b.size();
+    out.stats.total_ns = total.ElapsedNanos();
+    return out;
+  }
+
+  // Phase 1: build the data-oriented hierarchy over A.
+  Timer build;
+  rtree::RTreeOptions tree_options;
+  tree_options.max_entries = options.touch_fanout;
+  // min_entries only gates dynamic splits (unused by bulk loading) but must
+  // satisfy RTreeOptions validation against both capacities.
+  tree_options.min_entries = std::max<size_t>(
+      1, std::min(options.touch_fanout, options.touch_leaf) * 2 / 5);
+  tree_options.leaf_capacity = options.touch_leaf;
+
+  geom::ElementVec elems_a;
+  elems_a.reserve(a.size());
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    elems_a.emplace_back(static_cast<geom::ElementId>(i), a.boxes[i]);
+  }
+  NEURODB_ASSIGN_OR_RETURN(rtree::RTree tree,
+                           rtree::RTree::BulkLoadStr(elems_a, tree_options));
+
+  // Epsilon-expanded node MBRs, computed once: the prune test of both the
+  // assignment and the probe phases. Leaf entries additionally get a
+  // min.x-sorted expanded-box array for the local sweep.
+  std::vector<geom::Aabb> node_expanded(tree.NumNodes());
+  std::vector<LeafIndex> leaves(tree.NumNodes());
+  for (size_t id = 0; id < tree.NumNodes(); ++id) {
+    const rtree::RTree::Node& n = tree.node(static_cast<int32_t>(id));
+    node_expanded[id] = n.bounds.Expanded(options.epsilon);
+    if (!n.IsLeaf()) continue;
+    LeafIndex& leaf = leaves[id];
+    std::vector<uint32_t> order(n.entries.size());
+    for (uint32_t k = 0; k < n.entries.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+      return n.entries[x].bounds.min.x < n.entries[y].bounds.min.x;
+    });
+    leaf.boxes.reserve(order.size());
+    leaf.positions.reserve(order.size());
+    for (uint32_t k : order) {
+      geom::Aabb expanded = n.entries[k].bounds.Expanded(options.epsilon);
+      leaf.max_width =
+          std::max(leaf.max_width, expanded.max.x - expanded.min.x);
+      leaf.boxes.push_back(expanded);
+      leaf.positions.push_back(static_cast<uint32_t>(n.entries[k].id));
+    }
+  }
+  out.stats.build_ns = build.ElapsedNanos();
+
+  // Phase 2: hierarchical assignment of B (with empty-space filtering).
+  Timer assign;
+  std::vector<std::vector<uint32_t>> buckets(tree.NumNodes());
+  for (uint32_t j = 0; j < b.size(); ++j) {
+    const geom::Aabb& bj = b.boxes[j];
+    int32_t cur = tree.root();
+    // Check the root itself first: B objects outside A's space are dead.
+    ++out.stats.node_tests;
+    if (!node_expanded[cur].Intersects(bj)) {
+      ++out.stats.filtered;
+      continue;
+    }
+    for (;;) {
+      const rtree::RTree::Node& n = tree.node(cur);
+      if (n.IsLeaf()) {
+        buckets[cur].push_back(j);
+        break;
+      }
+      int32_t matched = -1;
+      int matches = 0;
+      for (int32_t child : n.children) {
+        ++out.stats.node_tests;
+        if (node_expanded[child].Intersects(bj)) {
+          ++matches;
+          matched = child;
+          if (matches > 1) break;
+        }
+      }
+      if (matches == 0) {
+        // Empty space between the children's partitions: filtered.
+        ++out.stats.filtered;
+        break;
+      }
+      if (matches == 1) {
+        cur = matched;
+        continue;
+      }
+      // Overlaps several partitions: bucket here.
+      buckets[cur].push_back(j);
+      break;
+    }
+  }
+  out.stats.assign_ns = assign.ElapsedNanos();
+
+  uint64_t bucket_bytes = buckets.capacity() * sizeof(std::vector<uint32_t>);
+  for (const auto& bucket : buckets) {
+    bucket_bytes += bucket.capacity() * sizeof(uint32_t);
+  }
+  uint64_t expanded_bytes = node_expanded.capacity() * sizeof(geom::Aabb) +
+                            leaves.capacity() * sizeof(LeafIndex);
+  for (const auto& leaf : leaves) {
+    expanded_bytes += leaf.boxes.capacity() * sizeof(geom::Aabb) +
+                      leaf.positions.capacity() * sizeof(uint32_t);
+  }
+  out.stats.peak_bytes = tree.MemoryBytes() + bucket_bytes + expanded_bytes;
+
+  // Phase 3: probe each bucket (as a group) against the subtree below it.
+  Timer probe;
+  TouchContext ctx{&a, &b, &tree, &node_expanded, &leaves, &options, &out};
+  std::vector<std::vector<uint32_t>> scratch(tree.Height() + 1);
+  for (size_t node_id = 0; node_id < buckets.size(); ++node_id) {
+    if (!buckets[node_id].empty()) {
+      ProbeGroup(ctx, static_cast<int32_t>(node_id), buckets[node_id],
+                 &scratch, 0);
+    }
+  }
+  out.stats.probe_ns = probe.ElapsedNanos();
+  out.stats.total_ns = total.ElapsedNanos();
+  out.stats.results = out.pairs.size();
+  return out;
+}
+
+}  // namespace touch
+}  // namespace neurodb

@@ -1,0 +1,157 @@
+#include "geom/aabb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace neurodb {
+namespace geom {
+namespace {
+
+TEST(AabbTest, DefaultIsEmpty) {
+  Aabb box;
+  EXPECT_TRUE(box.IsEmpty());
+  EXPECT_FALSE(box.IsValid());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  EXPECT_DOUBLE_EQ(box.SurfaceArea(), 0.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 0.0);
+}
+
+TEST(AabbTest, FromPointIsDegenerateButValid) {
+  Aabb box = Aabb::FromPoint(Vec3(1, 2, 3));
+  EXPECT_TRUE(box.IsValid());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  EXPECT_TRUE(box.Contains(Vec3(1, 2, 3)));
+}
+
+TEST(AabbTest, CubeCenterAndExtent) {
+  Aabb box = Aabb::Cube(Vec3(10, 10, 10), 4.0f);
+  EXPECT_EQ(box.Center(), Vec3(10, 10, 10));
+  EXPECT_EQ(box.Extent(), Vec3(4, 4, 4));
+  EXPECT_DOUBLE_EQ(box.Volume(), 64.0);
+  EXPECT_DOUBLE_EQ(box.SurfaceArea(), 96.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 12.0);
+}
+
+TEST(AabbTest, ExtendGrowsToCoverPoints) {
+  Aabb box;
+  box.Extend(Vec3(0, 0, 0));
+  box.Extend(Vec3(2, -1, 3));
+  EXPECT_EQ(box.min, Vec3(0, -1, 0));
+  EXPECT_EQ(box.max, Vec3(2, 0, 3));
+}
+
+TEST(AabbTest, ExtendWithEmptyBoxIsIdentity) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb copy = box;
+  box.Extend(Aabb());
+  EXPECT_EQ(box, copy);
+}
+
+TEST(AabbTest, UnionCoversBoth) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb b(Vec3(2, 2, 2), Vec3(3, 3, 3));
+  Aabb u = Aabb::Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+}
+
+TEST(AabbTest, IntersectionOfDisjointIsEmpty) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb b(Vec3(2, 2, 2), Vec3(3, 3, 3));
+  EXPECT_TRUE(Aabb::Intersection(a, b).IsEmpty());
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(AabbTest, TouchingBoxesIntersect) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb b(Vec3(1, 0, 0), Vec3(2, 1, 1));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(Aabb::Intersection(a, b).Volume(), 0.0);
+}
+
+TEST(AabbTest, ContainsPointBoundaryInclusive) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_TRUE(box.Contains(Vec3(0, 0, 0)));
+  EXPECT_TRUE(box.Contains(Vec3(1, 1, 1)));
+  EXPECT_TRUE(box.Contains(Vec3(0.5f, 0.5f, 0.5f)));
+  EXPECT_FALSE(box.Contains(Vec3(1.01f, 0.5f, 0.5f)));
+}
+
+TEST(AabbTest, ContainsBox) {
+  Aabb outer(Vec3(0, 0, 0), Vec3(10, 10, 10));
+  Aabb inner(Vec3(1, 1, 1), Vec3(2, 2, 2));
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Aabb()));  // empty box is not contained
+}
+
+TEST(AabbTest, ExpandedGrowsSymmetrically) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb e = box.Expanded(0.5f);
+  EXPECT_EQ(e.min, Vec3(-0.5f, -0.5f, -0.5f));
+  EXPECT_EQ(e.max, Vec3(1.5f, 1.5f, 1.5f));
+  EXPECT_TRUE(Aabb().Expanded(1.0f).IsEmpty());
+}
+
+TEST(AabbTest, DistanceToPoint) {
+  Aabb box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo(Vec3(0.5f, 0.5f, 0.5f)), 0.0);
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo(Vec3(2, 0.5f, 0.5f)), 1.0);
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo(Vec3(2, 2, 0.5f)), 2.0);
+}
+
+TEST(AabbTest, DistanceBetweenBoxes) {
+  Aabb a(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb b(Vec3(3, 0, 0), Vec3(4, 1, 1));
+  EXPECT_DOUBLE_EQ(a.SquaredDistanceTo(b), 4.0);
+  Aabb c(Vec3(0.5f, 0.5f, 0.5f), Vec3(2, 2, 2));
+  EXPECT_DOUBLE_EQ(a.SquaredDistanceTo(c), 0.0);
+}
+
+TEST(AabbTest, EnlargementMetric) {
+  Aabb base(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  Aabb inside(Vec3(0.2f, 0.2f, 0.2f), Vec3(0.8f, 0.8f, 0.8f));
+  EXPECT_DOUBLE_EQ(Enlargement(base, inside), 0.0);
+  Aabb outside(Vec3(0, 0, 0), Vec3(2, 1, 1));
+  EXPECT_DOUBLE_EQ(Enlargement(base, outside), 1.0);
+}
+
+TEST(AabbTest, OverlapVolume) {
+  Aabb a(Vec3(0, 0, 0), Vec3(2, 2, 2));
+  Aabb b(Vec3(1, 1, 1), Vec3(3, 3, 3));
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapVolume(a, Aabb(Vec3(5, 5, 5), Vec3(6, 6, 6))), 0.0);
+}
+
+// Property sweep: intersection symmetry and containment coherence on random
+// boxes.
+TEST(AabbPropertyTest, RandomBoxesSymmetryAndCoherence) {
+  Pcg32 rng(7);
+  auto random_box = [&]() {
+    Vec3 a(static_cast<float>(rng.Uniform(-10, 10)),
+           static_cast<float>(rng.Uniform(-10, 10)),
+           static_cast<float>(rng.Uniform(-10, 10)));
+    Vec3 b(static_cast<float>(rng.Uniform(-10, 10)),
+           static_cast<float>(rng.Uniform(-10, 10)),
+           static_cast<float>(rng.Uniform(-10, 10)));
+    return Aabb(Min(a, b), Max(a, b));
+  };
+  for (int i = 0; i < 500; ++i) {
+    Aabb a = random_box();
+    Aabb b = random_box();
+    ASSERT_EQ(a.Intersects(b), b.Intersects(a));
+    ASSERT_EQ(!Aabb::Intersection(a, b).IsEmpty() ||
+                  a.SquaredDistanceTo(b) == 0.0,
+              a.Intersects(b));
+    Aabb u = Aabb::Union(a, b);
+    ASSERT_TRUE(u.Contains(a));
+    ASSERT_TRUE(u.Contains(b));
+    ASSERT_GE(u.Volume() + 1e-9, a.Volume());
+    ASSERT_GE(u.Volume() + 1e-9, b.Volume());
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace neurodb

@@ -1,0 +1,130 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+
+namespace neurodb {
+namespace storage {
+namespace {
+
+PageStore MakeStore(size_t pages) {
+  PageStore store;
+  for (size_t i = 0; i < pages; ++i) {
+    PageId id = store.Allocate();
+    std::vector<geom::SpatialElement> elems(1);
+    elems[0].id = i;
+    EXPECT_TRUE(store.Write(id, std::move(elems)).ok());
+  }
+  return store;
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  PageStore store = MakeStore(4);
+  BufferPool pool(&store, 4);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().Get("pool.misses"), 1u);
+  EXPECT_EQ(pool.stats().Get("pool.hits"), 1u);
+  EXPECT_TRUE(pool.Contains(0));
+  EXPECT_FALSE(pool.Contains(1));
+}
+
+TEST(BufferPoolTest, LruEvictionOrder) {
+  PageStore store = MakeStore(4);
+  BufferPool pool(&store, 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // touch 0: 1 becomes LRU
+  ASSERT_TRUE(pool.Fetch(2).ok());  // evicts 1
+  EXPECT_TRUE(pool.Contains(0));
+  EXPECT_FALSE(pool.Contains(1));
+  EXPECT_TRUE(pool.Contains(2));
+  EXPECT_EQ(pool.stats().Get("pool.evictions"), 1u);
+}
+
+TEST(BufferPoolTest, CapacityZeroBecomesOne) {
+  PageStore store = MakeStore(2);
+  BufferPool pool(&store, 0);
+  EXPECT_EQ(pool.capacity(), 1u);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.NumCached(), 1u);
+}
+
+TEST(BufferPoolTest, FetchUnknownPageFails) {
+  PageStore store = MakeStore(1);
+  BufferPool pool(&store, 2);
+  EXPECT_FALSE(pool.Fetch(9).ok());
+  // A failed fetch must not corrupt the cache.
+  EXPECT_EQ(pool.NumCached(), 0u);
+}
+
+TEST(BufferPoolTest, ClockChargesMissAndHitCosts) {
+  PageStore store = MakeStore(2);
+  SimClock clock;
+  DiskCostModel cost;
+  cost.page_read_micros = 1000;
+  cost.page_hit_micros = 10;
+  BufferPool pool(&store, 2, &clock, cost);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(clock.NowMicros(), 1000u);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(clock.NowMicros(), 1010u);
+}
+
+TEST(BufferPoolTest, PrefetchDoesNotChargeDemandClock) {
+  PageStore store = MakeStore(2);
+  SimClock clock;
+  BufferPool pool(&store, 2, &clock, DiskCostModel{});
+  ASSERT_TRUE(pool.Prefetch(0).ok());
+  EXPECT_EQ(clock.NowMicros(), 0u);
+  EXPECT_TRUE(pool.Contains(0));
+}
+
+TEST(BufferPoolTest, PrefetchAccounting) {
+  PageStore store = MakeStore(4);
+  BufferPool pool(&store, 4);
+  ASSERT_TRUE(pool.Prefetch(0).ok());
+  ASSERT_TRUE(pool.Prefetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // uses the prefetched page
+  EXPECT_EQ(pool.stats().Get("pool.prefetch_issued"), 2u);
+  EXPECT_EQ(pool.stats().Get("pool.prefetch_used"), 1u);
+  // Demanding the same page again is a plain hit, not another use.
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().Get("pool.prefetch_used"), 1u);
+}
+
+TEST(BufferPoolTest, RedundantPrefetchIsCounted) {
+  PageStore store = MakeStore(2);
+  BufferPool pool(&store, 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Prefetch(0).ok());
+  EXPECT_EQ(pool.stats().Get("pool.prefetch_redundant"), 1u);
+  EXPECT_EQ(pool.stats().Get("pool.prefetch_issued"), 0u);
+}
+
+TEST(BufferPoolTest, EvictedUnusedPrefetchIsCounted) {
+  PageStore store = MakeStore(4);
+  BufferPool pool(&store, 1);
+  ASSERT_TRUE(pool.Prefetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());  // evicts 0 before it was ever used
+  EXPECT_EQ(pool.stats().Get("pool.prefetch_evicted_unused"), 1u);
+}
+
+TEST(BufferPoolTest, EvictAllColdResets) {
+  PageStore store = MakeStore(3);
+  BufferPool pool(&store, 3);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Prefetch(1).ok());
+  pool.EvictAll();
+  EXPECT_EQ(pool.NumCached(), 0u);
+  EXPECT_FALSE(pool.Contains(0));
+  // After a cold reset the next fetch is a miss again.
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().Get("pool.misses"), 2u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace neurodb

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "neuro/circuit.h"
+#include "neuro/circuit_generator.h"
+#include "neuro/element_id.h"
+#include "neuro/morphology_generator.h"
+
+namespace neurodb {
+namespace neuro {
+namespace {
+
+using geom::Vec3;
+
+CircuitParams SmallParams(uint32_t n = 20, uint64_t seed = 7) {
+  CircuitParams p;
+  p.num_neurons = n;
+  p.seed = seed;
+  return p;
+}
+
+TEST(ElementIdTest, EncodeDecodeRoundTrip) {
+  for (uint32_t gid : {0u, 1u, 999u, (1u << 24) - 1}) {
+    for (uint32_t section : {0u, 5u, (1u << 20) - 1}) {
+      for (uint32_t segment : {0u, 17u, (1u << 20) - 1}) {
+        geom::ElementId id = EncodeSegmentId(gid, section, segment);
+        EXPECT_EQ(GidOf(id), gid);
+        EXPECT_EQ(SectionOf(id), section);
+        EXPECT_EQ(SegmentOf(id), segment);
+      }
+    }
+  }
+}
+
+TEST(ElementIdTest, DistinctTriplesGetDistinctIds) {
+  EXPECT_NE(EncodeSegmentId(1, 0, 0), EncodeSegmentId(0, 1, 0));
+  EXPECT_NE(EncodeSegmentId(0, 1, 0), EncodeSegmentId(0, 0, 1));
+}
+
+TEST(CircuitTest, AddNeuronAssignsGids) {
+  Circuit c;
+  Morphology m = MorphologyGenerator(MorphologyParams::Interneuron(), 1)
+                     .Generate(Vec3(0, 0, 0));
+  EXPECT_EQ(c.AddNeuron(m), 0u);
+  EXPECT_EQ(c.AddNeuron(m), 1u);
+  EXPECT_EQ(c.NumNeurons(), 2u);
+  EXPECT_EQ(c.neuron(1).gid, 1u);
+}
+
+TEST(CircuitTest, FlattenCountsMatchMorphologies) {
+  CircuitGenerator gen(SmallParams());
+  auto circuit = gen.Generate();
+  ASSERT_TRUE(circuit.ok());
+  SegmentDataset all = circuit->FlattenSegments(NeuriteFilter::kAll);
+  EXPECT_EQ(all.size(), circuit->TotalSegments());
+  EXPECT_GT(all.size(), 500u);
+
+  SegmentDataset axons = circuit->FlattenSegments(NeuriteFilter::kAxons);
+  SegmentDataset dendrites =
+      circuit->FlattenSegments(NeuriteFilter::kDendrites);
+  EXPECT_EQ(axons.size() + dendrites.size(), all.size());
+  EXPECT_GT(axons.size(), 0u);
+  EXPECT_GT(dendrites.size(), 0u);
+}
+
+TEST(CircuitTest, FlattenedIdsIdentifyTheirNeuron) {
+  CircuitGenerator gen(SmallParams(10, 3));
+  auto circuit = gen.Generate();
+  ASSERT_TRUE(circuit.ok());
+  SegmentDataset all = circuit->FlattenSegments();
+  for (size_t i = 0; i < all.size(); ++i) {
+    uint32_t gid = GidOf(all.ids[i]);
+    uint32_t section = SectionOf(all.ids[i]);
+    uint32_t segment = SegmentOf(all.ids[i]);
+    ASSERT_LT(gid, circuit->NumNeurons());
+    const Morphology& m = circuit->neuron(gid).morphology;
+    ASSERT_LT(section, m.NumSections());
+    ASSERT_LT(segment, m.section(section).NumSegments());
+    // The stored capsule matches the morphology's segment.
+    geom::Segment expect = m.section(section).SegmentAt(segment);
+    ASSERT_EQ(all.segments[i].a, expect.a);
+    ASSERT_EQ(all.segments[i].b, expect.b);
+  }
+}
+
+TEST(SegmentResolverTest, FindsEveryFlattenedSegment) {
+  CircuitGenerator gen(SmallParams(8, 5));
+  auto circuit = gen.Generate();
+  ASSERT_TRUE(circuit.ok());
+  SegmentDataset all = circuit->FlattenSegments();
+  SegmentResolver resolver;
+  resolver.AddDataset(all);
+  EXPECT_EQ(resolver.size(), all.size());
+  for (size_t i = 0; i < all.size(); i += 13) {
+    auto seg = resolver.Find(all.ids[i]);
+    ASSERT_TRUE(seg.ok());
+    EXPECT_EQ(seg->a, all.segments[i].a);
+  }
+  EXPECT_TRUE(resolver.Find(EncodeSegmentId(9999, 0, 0)).status().IsNotFound());
+}
+
+TEST(CircuitGeneratorTest, DeterministicForSameSeed) {
+  auto a = CircuitGenerator(SmallParams(15, 99)).Generate();
+  auto b = CircuitGenerator(SmallParams(15, 99)).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->TotalSegments(), b->TotalSegments());
+  EXPECT_EQ(a->neuron(7).morphology.soma_center(),
+            b->neuron(7).morphology.soma_center());
+}
+
+TEST(CircuitGeneratorTest, ValidatesParams) {
+  CircuitParams bad = SmallParams();
+  bad.num_neurons = 0;
+  EXPECT_FALSE(CircuitGenerator(bad).Generate().ok());
+
+  bad = SmallParams();
+  bad.layer_weights.clear();
+  EXPECT_FALSE(CircuitGenerator(bad).Generate().ok());
+
+  bad = SmallParams();
+  bad.layer_weights = {0.0f, 0.0f};
+  EXPECT_FALSE(CircuitGenerator(bad).Generate().ok());
+
+  bad = SmallParams();
+  bad.pyramidal_fraction = 1.5f;
+  EXPECT_FALSE(CircuitGenerator(bad).Generate().ok());
+
+  bad = SmallParams();
+  bad.column_size.y = -1.0f;
+  EXPECT_FALSE(CircuitGenerator(bad).Generate().ok());
+}
+
+TEST(CircuitGeneratorTest, SomataRespectColumnAndLayers) {
+  CircuitParams params = SmallParams(60, 11);
+  CircuitGenerator gen(params);
+  auto circuit = gen.Generate();
+  ASSERT_TRUE(circuit.ok());
+  for (const auto& neuron : circuit->neurons()) {
+    const Vec3& soma = neuron.morphology.soma_center();
+    EXPECT_GE(soma.x, 0.0f);
+    EXPECT_LE(soma.x, params.column_size.x);
+    EXPECT_GE(soma.y, 0.0f);
+    EXPECT_LE(soma.y, params.column_size.y);
+    EXPECT_GE(soma.z, 0.0f);
+    EXPECT_LE(soma.z, params.column_size.z);
+  }
+}
+
+TEST(CircuitGeneratorTest, LayerBandsPartitionTheColumn) {
+  CircuitGenerator gen(SmallParams());
+  float prev_hi = -1.0f;
+  const size_t layers = gen.params().layer_weights.size();
+  float column_height = gen.params().column_size.y;
+  for (size_t l = layers; l-- > 0;) {  // bottom-up
+    auto [lo, hi] = gen.LayerBand(l);
+    EXPECT_LT(lo, hi);
+    if (prev_hi >= 0.0f) EXPECT_FLOAT_EQ(lo, prev_hi);
+    prev_hi = hi;
+  }
+  EXPECT_FLOAT_EQ(prev_hi, column_height);
+}
+
+TEST(CircuitGeneratorTest, LayerWeightsSkewDensity) {
+  // Put almost everything in the top layer; somata must concentrate there.
+  CircuitParams params = SmallParams(100, 17);
+  params.layer_weights = {0.9f, 0.025f, 0.025f, 0.025f, 0.025f};
+  auto circuit = CircuitGenerator(params).Generate();
+  ASSERT_TRUE(circuit.ok());
+  auto [lo, hi] = CircuitGenerator(params).LayerBand(0);
+  size_t in_top = 0;
+  for (const auto& n : circuit->neurons()) {
+    float y = n.morphology.soma_center().y;
+    if (y >= lo && y <= hi) ++in_top;
+  }
+  EXPECT_GT(in_top, 75u);
+}
+
+TEST(CircuitTest, GeneratedCircuitValidates) {
+  auto circuit = CircuitGenerator(SmallParams(12, 23)).Generate();
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_TRUE(circuit->Validate().ok());
+  EXPECT_TRUE(circuit->Bounds().IsValid());
+  EXPECT_GT(circuit->TotalCableLength(), 0.0);
+}
+
+}  // namespace
+}  // namespace neuro
+}  // namespace neurodb

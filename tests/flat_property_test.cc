@@ -1,0 +1,203 @@
+// Property sweep: FLAT (rescue on) must equal brute force for every pack
+// order, page size, data shape and seed; on dense connected data the crawl
+// alone (rescue off) must already be complete.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "flat/flat_index.h"
+#include "neuro/circuit_generator.h"
+
+namespace neurodb {
+namespace flat {
+namespace {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::ElementVec;
+using geom::Vec3;
+
+enum class Shape { kUniformDense, kCircuit, kLayeredSkew };
+
+std::string ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kUniformDense:
+      return "UniformDense";
+    case Shape::kCircuit:
+      return "Circuit";
+    case Shape::kLayeredSkew:
+      return "LayeredSkew";
+  }
+  return "Unknown";
+}
+
+ElementVec MakeData(Shape shape, uint64_t seed) {
+  Pcg32 rng(seed);
+  ElementVec out;
+  switch (shape) {
+    case Shape::kUniformDense:
+      for (size_t i = 0; i < 3000; ++i) {
+        Vec3 c(static_cast<float>(rng.Uniform(0, 80)),
+               static_cast<float>(rng.Uniform(0, 80)),
+               static_cast<float>(rng.Uniform(0, 80)));
+        out.emplace_back(i, Aabb::Cube(c, 3.0f));
+      }
+      break;
+    case Shape::kCircuit: {
+      neuro::CircuitParams params;
+      params.num_neurons = 15;
+      params.seed = seed;
+      auto circuit = neuro::CircuitGenerator(params).Generate();
+      EXPECT_TRUE(circuit.ok());
+      out = circuit->FlattenSegments().Elements();
+      break;
+    }
+    case Shape::kLayeredSkew:
+      // 90% of elements in a thin dense slab, the rest sparse.
+      for (size_t i = 0; i < 3000; ++i) {
+        bool dense = rng.NextBool(0.9);
+        Vec3 c(static_cast<float>(rng.Uniform(0, 100)),
+               dense ? static_cast<float>(rng.Uniform(40, 50))
+                     : static_cast<float>(rng.Uniform(0, 100)),
+               static_cast<float>(rng.Uniform(0, 100)));
+        out.emplace_back(i, Aabb::Cube(c, 2.5f));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<ElementId> BruteForce(const ElementVec& elements,
+                                  const Aabb& box) {
+  std::vector<ElementId> out;
+  for (const auto& e : elements) {
+    if (e.bounds.Intersects(box)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using Param = std::tuple<storage::PackOrder, size_t, Shape, uint64_t>;
+
+class FlatEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(FlatEquivalenceTest, RescueQueriesMatchBruteForce) {
+  auto [pack, page_size, shape, seed] = GetParam();
+  ElementVec elements = MakeData(shape, seed);
+
+  storage::PageStore store;
+  FlatOptions options;
+  options.pack = pack;
+  options.elems_per_page = page_size;
+  options.rescue = true;
+  auto index = FlatIndex::Build(elements, &store, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->CheckInvariants().ok());
+
+  Aabb domain = index->domain();
+  storage::BufferPool pool(&store, 1 << 20);
+  Pcg32 rng(seed ^ 0xbeef);
+  for (int q = 0; q < 20; ++q) {
+    Vec3 c(static_cast<float>(
+               rng.Uniform(domain.min.x - 10, domain.max.x + 10)),
+           static_cast<float>(
+               rng.Uniform(domain.min.y - 10, domain.max.y + 10)),
+           static_cast<float>(
+               rng.Uniform(domain.min.z - 10, domain.max.z + 10)));
+    Aabb box = Aabb::Cube(c, static_cast<float>(rng.Uniform(2, 50)));
+    std::vector<ElementId> got;
+    ASSERT_TRUE(index->RangeQuery(box, &pool, &got).ok());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForce(elements, box))
+        << ShapeName(shape) << " page=" << page_size << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FlatEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(storage::PackOrder::kHilbert,
+                          storage::PackOrder::kStr),
+        ::testing::Values<size_t>(16, 64, 253),
+        ::testing::Values(Shape::kUniformDense, Shape::kCircuit,
+                          Shape::kLayeredSkew),
+        ::testing::Values<uint64_t>(1, 2)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) == storage::PackOrder::kHilbert
+                             ? "Hilbert"
+                             : "Str";
+      return name + "P" + std::to_string(std::get<1>(info.param)) +
+             ShapeName(std::get<2>(info.param)) + "S" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+class FlatDenseCrawlTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatDenseCrawlTest, CrawlAloneIsCompleteOnDenseData) {
+  // The paper's setting: dense continuous tissue. Crawl-only execution
+  // (rescue off) must already return the full result.
+  ElementVec elements = MakeData(Shape::kUniformDense, GetParam());
+  storage::PageStore store;
+  FlatOptions options;
+  options.elems_per_page = 64;
+  options.rescue = false;
+  auto index = FlatIndex::Build(elements, &store, options);
+  ASSERT_TRUE(index.ok());
+  storage::BufferPool pool(&store, 1 << 20);
+  Pcg32 rng(GetParam() ^ 0xcafe);
+  for (int q = 0; q < 15; ++q) {
+    Aabb box = Aabb::Cube(Vec3(static_cast<float>(rng.Uniform(10, 70)),
+                               static_cast<float>(rng.Uniform(10, 70)),
+                               static_cast<float>(rng.Uniform(10, 70))),
+                          static_cast<float>(rng.Uniform(5, 30)));
+    std::vector<ElementId> got;
+    ASSERT_TRUE(index->RangeQuery(box, &pool, &got).ok());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForce(elements, box)) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatDenseCrawlTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(FlatDensityTest, PagesReadTrackResultSizeNotDensity) {
+  // Double the density at a fixed query size: FLAT's page reads should
+  // scale with the result (roughly 2x), not explode superlinearly.
+  auto run = [](size_t n, uint64_t seed) {
+    Pcg32 rng(seed);
+    ElementVec elements;
+    for (size_t i = 0; i < n; ++i) {
+      Vec3 c(static_cast<float>(rng.Uniform(0, 60)),
+             static_cast<float>(rng.Uniform(0, 60)),
+             static_cast<float>(rng.Uniform(0, 60)));
+      elements.emplace_back(i, Aabb::Cube(c, 2.0f));
+    }
+    storage::PageStore store;
+    FlatOptions options;
+    options.elems_per_page = 64;
+    auto index = FlatIndex::Build(elements, &store, options);
+    EXPECT_TRUE(index.ok());
+    storage::BufferPool pool(&store, 1 << 20);
+    FlatQueryStats stats;
+    std::vector<ElementId> got;
+    EXPECT_TRUE(index
+                    ->RangeQuery(Aabb::Cube(Vec3(30, 30, 30), 20), &pool,
+                                 &got, &stats)
+                    .ok());
+    return std::make_pair(stats.data_pages_read, got.size());
+  };
+  auto [pages_1x, results_1x] = run(2000, 7);
+  auto [pages_4x, results_4x] = run(8000, 7);
+  ASSERT_GT(results_4x, 2 * results_1x);
+  // Pages per result element must not degrade materially with density.
+  double per_result_1x = static_cast<double>(pages_1x) / results_1x;
+  double per_result_4x = static_cast<double>(pages_4x) / results_4x;
+  EXPECT_LT(per_result_4x, per_result_1x * 1.5);
+}
+
+}  // namespace
+}  // namespace flat
+}  // namespace neurodb

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/surface_mesh.h"
+#include "mesh/tube_mesher.h"
+
+namespace neurodb {
+namespace mesh {
+namespace {
+
+using geom::Vec3;
+
+TEST(SurfaceMeshTest, AddAndQuery) {
+  SurfaceMesh m;
+  uint32_t a = m.AddVertex(Vec3(0, 0, 0));
+  uint32_t b = m.AddVertex(Vec3(1, 0, 0));
+  uint32_t c = m.AddVertex(Vec3(0, 1, 0));
+  m.AddTriangle(a, b, c);
+  EXPECT_EQ(m.NumVertices(), 3u);
+  EXPECT_EQ(m.NumTriangles(), 1u);
+  EXPECT_DOUBLE_EQ(m.TriangleAt(0).Area(), 0.5);
+  EXPECT_DOUBLE_EQ(m.TotalArea(), 0.5);
+}
+
+TEST(SurfaceMeshTest, ValidateCatchesBadIndices) {
+  SurfaceMesh m;
+  m.AddVertex(Vec3(0, 0, 0));
+  m.AddVertex(Vec3(1, 0, 0));
+  m.AddTriangle(0, 1, 5);  // vertex 5 missing
+  EXPECT_TRUE(m.Validate().IsCorruption());
+}
+
+TEST(SurfaceMeshTest, ValidateCatchesDegenerateFacet) {
+  SurfaceMesh m;
+  m.AddVertex(Vec3(0, 0, 0));
+  m.AddVertex(Vec3(1, 0, 0));
+  m.AddTriangle(0, 1, 1);
+  EXPECT_TRUE(m.Validate().IsCorruption());
+}
+
+TEST(SurfaceMeshTest, OpenMeshFailsClosedCheck) {
+  SurfaceMesh m;
+  m.AddVertex(Vec3(0, 0, 0));
+  m.AddVertex(Vec3(1, 0, 0));
+  m.AddVertex(Vec3(0, 1, 0));
+  m.AddTriangle(0, 1, 2);
+  EXPECT_TRUE(m.Validate(false).ok());
+  EXPECT_TRUE(m.Validate(true).IsCorruption());
+}
+
+TEST(SurfaceMeshTest, AppendRebasesIndices) {
+  SurfaceMesh a;
+  a.AddVertex(Vec3(0, 0, 0));
+  a.AddVertex(Vec3(1, 0, 0));
+  a.AddVertex(Vec3(0, 1, 0));
+  a.AddTriangle(0, 1, 2);
+  SurfaceMesh b = a;
+  b.Append(a);
+  EXPECT_EQ(b.NumVertices(), 6u);
+  EXPECT_EQ(b.NumTriangles(), 2u);
+  EXPECT_TRUE(b.Validate().ok());
+  EXPECT_EQ(b.triangles()[1][0], 3u);
+}
+
+TEST(SurfaceMeshTest, ToElementsUsesBaseId) {
+  SurfaceMesh m;
+  m.AddVertex(Vec3(0, 0, 0));
+  m.AddVertex(Vec3(1, 0, 0));
+  m.AddVertex(Vec3(0, 1, 0));
+  m.AddTriangle(0, 1, 2);
+  auto elems = m.ToElements(1000);
+  ASSERT_EQ(elems.size(), 1u);
+  EXPECT_EQ(elems[0].id, 1000u);
+  EXPECT_TRUE(elems[0].bounds.Contains(Vec3(0.5f, 0.5f, 0)));
+}
+
+TEST(TubeMesherTest, StraightTubeIsWatertight) {
+  std::vector<Vec3> centers = {Vec3(0, 0, 0), Vec3(5, 0, 0), Vec3(10, 0, 0)};
+  std::vector<float> radii = {1.0f, 1.0f, 1.0f};
+  auto mesh = MeshTube(centers, radii);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_TRUE(mesh->Validate(/*require_closed=*/true).ok())
+      << mesh->Validate(true).ToString();
+  // 3 rings of 8 + 2 cap centers.
+  EXPECT_EQ(mesh->NumVertices(), 3u * 8 + 2);
+  // 2 ring bands * 16 triangles + 2 caps * 8.
+  EXPECT_EQ(mesh->NumTriangles(), 2u * 16 + 16);
+}
+
+TEST(TubeMesherTest, CurvedJaggedTubeIsWatertight) {
+  std::vector<Vec3> centers;
+  std::vector<float> radii;
+  for (int i = 0; i < 20; ++i) {
+    centers.emplace_back(static_cast<float>(i),
+                         std::sin(i * 0.7f) * 3.0f,
+                         std::cos(i * 1.3f) * 2.0f);
+    radii.push_back(1.0f - 0.03f * i);
+  }
+  TubeMesherOptions options;
+  options.sides = 6;
+  auto mesh = MeshTube(centers, radii, options);
+  ASSERT_TRUE(mesh.ok());
+  EXPECT_TRUE(mesh->Validate(true).ok()) << mesh->Validate(true).ToString();
+}
+
+TEST(TubeMesherTest, SurfaceAreaApproximatesCylinder) {
+  // A straight unit-radius tube of length 10: lateral area 2*pi*r*L ~ 62.8.
+  std::vector<Vec3> centers = {Vec3(0, 0, 0), Vec3(10, 0, 0)};
+  std::vector<float> radii = {1.0f, 1.0f};
+  TubeMesherOptions options;
+  options.sides = 32;
+  auto mesh = MeshTube(centers, radii, options);
+  ASSERT_TRUE(mesh.ok());
+  double lateral = 2 * M_PI * 1.0 * 10.0;
+  double caps = 2 * M_PI * 1.0;  // two unit disks
+  EXPECT_NEAR(mesh->TotalArea(), lateral + caps, 2.5);
+}
+
+TEST(TubeMesherTest, RejectsBadInput) {
+  EXPECT_FALSE(MeshTube({Vec3(0, 0, 0)}, {1.0f}).ok());
+  EXPECT_FALSE(MeshTube({Vec3(0, 0, 0), Vec3(1, 0, 0)}, {1.0f}).ok());
+  EXPECT_FALSE(
+      MeshTube({Vec3(0, 0, 0), Vec3(1, 0, 0)}, {1.0f, -1.0f}).ok());
+  EXPECT_FALSE(
+      MeshTube({Vec3(0, 0, 0), Vec3(0, 0, 0)}, {1.0f, 1.0f}).ok());
+  TubeMesherOptions bad;
+  bad.sides = 2;
+  EXPECT_FALSE(
+      MeshTube({Vec3(0, 0, 0), Vec3(1, 0, 0)}, {1.0f, 1.0f}, bad).ok());
+}
+
+TEST(MeshSphereTest, SphereIsWatertightAndRound) {
+  SurfaceMesh sphere = MeshSphere(Vec3(5, 5, 5), 2.0f, 12, 8);
+  EXPECT_TRUE(sphere.Validate(true).ok()) << sphere.Validate(true).ToString();
+  // Area approaches 4*pi*r^2 = 50.27.
+  EXPECT_NEAR(sphere.TotalArea(), 4 * M_PI * 4.0, 3.0);
+  geom::Aabb b = sphere.Bounds();
+  EXPECT_NEAR(b.Center().x, 5.0f, 1e-4);
+  EXPECT_NEAR(b.Extent().y, 4.0f, 1e-4);
+}
+
+}  // namespace
+}  // namespace mesh
+}  // namespace neurodb

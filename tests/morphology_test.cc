@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "neuro/morphology.h"
+#include "neuro/morphology_generator.h"
+#include "neuro/swc_io.h"
+
+namespace neurodb {
+namespace neuro {
+namespace {
+
+using geom::Vec3;
+
+Section MakeSection(uint32_t id, int32_t parent, Vec3 from, Vec3 to) {
+  Section s;
+  s.id = id;
+  s.parent = parent;
+  s.points = {from, (from + to) * 0.5f, to};
+  s.radii = {1.0f, 0.9f, 0.8f};
+  return s;
+}
+
+TEST(MorphologyTest, AddSectionEnforcesStructure) {
+  Morphology m(Vec3(0, 0, 0), 5.0f);
+  EXPECT_TRUE(m.AddSection(MakeSection(0, -1, Vec3(5, 0, 0), Vec3(15, 0, 0))).ok());
+  // Wrong id.
+  EXPECT_TRUE(m.AddSection(MakeSection(5, -1, Vec3(0, 0, 0), Vec3(1, 0, 0)))
+                  .IsInvalidArgument());
+  // Missing parent.
+  EXPECT_TRUE(m.AddSection(MakeSection(1, 9, Vec3(0, 0, 0), Vec3(1, 0, 0)))
+                  .IsInvalidArgument());
+  // Too few points.
+  Section degenerate;
+  degenerate.id = 1;
+  degenerate.points = {Vec3(0, 0, 0)};
+  degenerate.radii = {1.0f};
+  EXPECT_TRUE(m.AddSection(degenerate).IsInvalidArgument());
+}
+
+TEST(MorphologyTest, CountsAndLength) {
+  Morphology m(Vec3(0, 0, 0), 5.0f);
+  ASSERT_TRUE(
+      m.AddSection(MakeSection(0, -1, Vec3(5, 0, 0), Vec3(15, 0, 0))).ok());
+  ASSERT_TRUE(
+      m.AddSection(MakeSection(1, 0, Vec3(15, 0, 0), Vec3(15, 10, 0))).ok());
+  EXPECT_EQ(m.NumSections(), 2u);
+  EXPECT_EQ(m.NumSegments(), 4u);  // 2 per section
+  EXPECT_DOUBLE_EQ(m.TotalLength(), 20.0);
+}
+
+TEST(MorphologyTest, ChildrenAndTerminals) {
+  Morphology m(Vec3(0, 0, 0), 5.0f);
+  ASSERT_TRUE(m.AddSection(MakeSection(0, -1, Vec3(5, 0, 0), Vec3(15, 0, 0))).ok());
+  ASSERT_TRUE(m.AddSection(MakeSection(1, 0, Vec3(15, 0, 0), Vec3(20, 5, 0))).ok());
+  ASSERT_TRUE(m.AddSection(MakeSection(2, 0, Vec3(15, 0, 0), Vec3(20, -5, 0))).ok());
+  EXPECT_EQ(m.ChildrenOf(0), (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(m.ChildrenOf(1).empty());
+  EXPECT_EQ(m.Terminals(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(MorphologyTest, ValidateDetectsDetachedChild) {
+  Morphology m(Vec3(0, 0, 0), 5.0f);
+  ASSERT_TRUE(m.AddSection(MakeSection(0, -1, Vec3(5, 0, 0), Vec3(15, 0, 0))).ok());
+  ASSERT_TRUE(
+      m.AddSection(MakeSection(1, 0, Vec3(50, 50, 50), Vec3(60, 50, 50))).ok());
+  EXPECT_TRUE(m.Validate().IsCorruption());
+}
+
+TEST(MorphologyTest, TranslateMovesEverything) {
+  Morphology m(Vec3(0, 0, 0), 5.0f);
+  ASSERT_TRUE(m.AddSection(MakeSection(0, -1, Vec3(5, 0, 0), Vec3(15, 0, 0))).ok());
+  geom::Aabb before = m.Bounds();
+  m.Translate(Vec3(10, 20, 30));
+  geom::Aabb after = m.Bounds();
+  EXPECT_NEAR(after.min.x - before.min.x, 10.0f, 1e-4);
+  EXPECT_NEAR(after.max.y - before.max.y, 20.0f, 1e-4);
+  EXPECT_EQ(m.soma_center(), Vec3(10, 20, 30));
+}
+
+TEST(MorphologyGeneratorTest, DeterministicForSameSeed) {
+  MorphologyParams params = MorphologyParams::Pyramidal();
+  MorphologyGenerator g1(params, 777);
+  MorphologyGenerator g2(params, 777);
+  Morphology a = g1.Generate(Vec3(10, 10, 10));
+  Morphology b = g2.Generate(Vec3(10, 10, 10));
+  ASSERT_EQ(a.NumSections(), b.NumSections());
+  ASSERT_EQ(a.NumSegments(), b.NumSegments());
+  for (size_t i = 0; i < a.NumSections(); ++i) {
+    ASSERT_EQ(a.section(i).points.size(), b.section(i).points.size());
+    for (size_t k = 0; k < a.section(i).points.size(); ++k) {
+      ASSERT_EQ(a.section(i).points[k], b.section(i).points[k]);
+    }
+  }
+}
+
+TEST(MorphologyGeneratorTest, DifferentSeedsDiffer) {
+  MorphologyParams params = MorphologyParams::Pyramidal();
+  Morphology a = MorphologyGenerator(params, 1).Generate(Vec3(0, 0, 0));
+  Morphology b = MorphologyGenerator(params, 2).Generate(Vec3(0, 0, 0));
+  // Extremely unlikely to coincide.
+  EXPECT_NE(a.NumSegments(), b.NumSegments());
+}
+
+TEST(MorphologyGeneratorTest, GeneratedMorphologyIsValid) {
+  for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Morphology m = MorphologyGenerator(MorphologyParams::Pyramidal(), seed)
+                       .Generate(Vec3(100, 100, 100));
+    EXPECT_TRUE(m.Validate().ok()) << "seed " << seed;
+    EXPECT_GT(m.NumSections(), 3u);
+    EXPECT_GT(m.NumSegments(), 30u);
+    EXPECT_GT(m.TotalLength(), 100.0);
+  }
+}
+
+TEST(MorphologyGeneratorTest, HasAxonAndDendrites) {
+  Morphology m = MorphologyGenerator(MorphologyParams::Pyramidal(), 5)
+                     .Generate(Vec3(0, 0, 0));
+  bool axon = false;
+  bool dendrite = false;
+  bool apical = false;
+  for (const auto& s : m.sections()) {
+    if (s.type == SectionType::kAxon) axon = true;
+    if (s.type == SectionType::kBasalDendrite) dendrite = true;
+    if (s.type == SectionType::kApicalDendrite) apical = true;
+  }
+  EXPECT_TRUE(axon);
+  EXPECT_TRUE(dendrite);
+  EXPECT_TRUE(apical);
+}
+
+TEST(MorphologyGeneratorTest, RespectsExtentLimit) {
+  MorphologyParams params = MorphologyParams::Interneuron();
+  params.extent_limit = 80.0f;
+  Morphology m = MorphologyGenerator(params, 9).Generate(Vec3(0, 0, 0));
+  geom::Aabb b = m.Bounds();
+  // Growth stops shortly after the limit; one segment of slack plus the
+  // axon factor.
+  float slack = params.extent_limit * params.axon_length_factor +
+                3 * params.segment_length_mean * params.axon_length_factor;
+  EXPECT_LT(b.Extent().Norm(), 2.0 * slack);
+}
+
+TEST(SwcIoTest, RoundTripPreservesGeometry) {
+  Morphology original =
+      MorphologyGenerator(MorphologyParams::Interneuron(), 31)
+          .Generate(Vec3(50, 60, 70));
+  std::string text = ToSwcString(original);
+  auto parsed = FromSwcString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->NumSections(), original.NumSections());
+  EXPECT_EQ(parsed->NumSegments(), original.NumSegments());
+  EXPECT_EQ(parsed->soma_center(), original.soma_center());
+  EXPECT_FLOAT_EQ(parsed->soma_radius(), original.soma_radius());
+  EXPECT_NEAR(parsed->TotalLength(), original.TotalLength(), 1e-2);
+  EXPECT_TRUE(parsed->Validate().ok());
+}
+
+TEST(SwcIoTest, ParsesCommentsAndRejectsGarbage) {
+  EXPECT_FALSE(FromSwcString("# only a comment\n").ok());
+  EXPECT_FALSE(FromSwcString("1 2 not numbers here x y\n").ok());
+  // Minimal valid file: a soma and one two-point neurite.
+  const char* text =
+      "# comment\n"
+      "1 1 0 0 0 5.0 -1\n"
+      "2 3 5 0 0 1.0 1\n"
+      "3 3 10 0 0 0.8 2\n";
+  auto m = FromSwcString(text);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->NumSections(), 1u);
+  EXPECT_EQ(m->NumSegments(), 1u);
+}
+
+TEST(SwcIoTest, RejectsMissingParent) {
+  const char* text =
+      "1 1 0 0 0 5.0 -1\n"
+      "2 3 5 0 0 1.0 99\n";
+  EXPECT_FALSE(FromSwcString(text).ok());
+}
+
+}  // namespace
+}  // namespace neuro
+}  // namespace neurodb

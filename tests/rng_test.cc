@@ -1,0 +1,113 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace neurodb {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInBounds) {
+  Pcg32 rng(99);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Pcg32Test, NextBoundedCoversAllValues) {
+  Pcg32 rng(5);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U(0,1) = 0.5; tolerance ~5 sigma.
+  EXPECT_NEAR(sum / n, 0.5, 0.011);
+}
+
+TEST(Pcg32Test, UniformRespectsRange) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-4.0, 9.0);
+    ASSERT_GE(v, -4.0);
+    ASSERT_LT(v, 9.0);
+  }
+}
+
+TEST(Pcg32Test, GaussianMomentsAreSane) {
+  Pcg32 rng(29);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Pcg32Test, GaussianScaled) {
+  Pcg32 rng(31);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Pcg32Test, NextBoolFrequency) {
+  Pcg32 rng(41);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Pcg32Test, ForkProducesIndependentStream) {
+  Pcg32 parent(55);
+  Pcg32 child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU32() == child.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace neurodb

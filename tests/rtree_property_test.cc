@@ -1,0 +1,241 @@
+// Property tests: for every construction path (dynamic insertion with both
+// split algorithms, STR and Hilbert bulk loading) and across seeds and
+// dataset shapes, the R-tree must (a) satisfy its structural invariants and
+// (b) answer range queries exactly like brute force.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.h"
+#include "rtree/rtree.h"
+
+namespace neurodb {
+namespace rtree {
+namespace {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::ElementVec;
+using geom::Vec3;
+
+enum class BuildKind { kInsertQuadratic, kInsertRStar, kBulkStr, kBulkHilbert };
+
+std::string BuildKindName(BuildKind k) {
+  switch (k) {
+    case BuildKind::kInsertQuadratic:
+      return "InsertQuadratic";
+    case BuildKind::kInsertRStar:
+      return "InsertRStar";
+    case BuildKind::kBulkStr:
+      return "BulkStr";
+    case BuildKind::kBulkHilbert:
+      return "BulkHilbert";
+  }
+  return "Unknown";
+}
+
+enum class DataShape { kUniform, kClustered, kSkewedLine };
+
+std::string DataShapeName(DataShape s) {
+  switch (s) {
+    case DataShape::kUniform:
+      return "Uniform";
+    case DataShape::kClustered:
+      return "Clustered";
+    case DataShape::kSkewedLine:
+      return "SkewedLine";
+  }
+  return "Unknown";
+}
+
+ElementVec MakeData(DataShape shape, size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  ElementVec out;
+  switch (shape) {
+    case DataShape::kUniform:
+      for (size_t i = 0; i < n; ++i) {
+        Vec3 c(static_cast<float>(rng.Uniform(0, 100)),
+               static_cast<float>(rng.Uniform(0, 100)),
+               static_cast<float>(rng.Uniform(0, 100)));
+        out.emplace_back(i, Aabb::Cube(c, static_cast<float>(rng.Uniform(0.2, 3))));
+      }
+      break;
+    case DataShape::kClustered: {
+      const int kClusters = 8;
+      std::vector<Vec3> centers;
+      for (int c = 0; c < kClusters; ++c) {
+        centers.emplace_back(static_cast<float>(rng.Uniform(10, 90)),
+                             static_cast<float>(rng.Uniform(10, 90)),
+                             static_cast<float>(rng.Uniform(10, 90)));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const Vec3& c = centers[rng.NextBounded(kClusters)];
+        Vec3 p(c.x + static_cast<float>(rng.Gaussian(0, 3)),
+               c.y + static_cast<float>(rng.Gaussian(0, 3)),
+               c.z + static_cast<float>(rng.Gaussian(0, 3)));
+        out.emplace_back(i, Aabb::Cube(p, 1.0f));
+      }
+      break;
+    }
+    case DataShape::kSkewedLine:
+      // Elongated boxes along a diagonal: high-overlap adversarial case.
+      for (size_t i = 0; i < n; ++i) {
+        float t = static_cast<float>(rng.Uniform(0, 100));
+        Vec3 a(t, t, t);
+        Vec3 b(t + static_cast<float>(rng.Uniform(1, 10)),
+               t + static_cast<float>(rng.Uniform(0.1, 1)),
+               t + static_cast<float>(rng.Uniform(0.1, 1)));
+        out.emplace_back(i, Aabb(a, b));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<ElementId> BruteForce(const ElementVec& elements,
+                                  const Aabb& box) {
+  std::vector<ElementId> out;
+  for (const auto& e : elements) {
+    if (e.bounds.Intersects(box)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using Param = std::tuple<BuildKind, DataShape, uint64_t>;
+
+class RTreeEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RTreeEquivalenceTest, InvariantsHoldAndQueriesMatchBruteForce) {
+  auto [kind, shape, seed] = GetParam();
+  const size_t n = 900;
+  ElementVec elements = MakeData(shape, n, seed);
+
+  RTreeOptions options;
+  options.max_entries = 12;
+  options.min_entries = 5;
+
+  RTree tree{options};
+  switch (kind) {
+    case BuildKind::kInsertQuadratic:
+    case BuildKind::kInsertRStar: {
+      options.split = kind == BuildKind::kInsertQuadratic
+                          ? SplitAlgorithm::kQuadratic
+                          : SplitAlgorithm::kRStar;
+      tree = RTree{options};
+      for (const auto& e : elements) {
+        ASSERT_TRUE(tree.Insert(e).ok());
+      }
+      break;
+    }
+    case BuildKind::kBulkStr: {
+      auto built = RTree::BulkLoadStr(elements, options);
+      ASSERT_TRUE(built.ok());
+      tree = std::move(built).value();
+      break;
+    }
+    case BuildKind::kBulkHilbert: {
+      auto built = RTree::BulkLoadHilbert(elements, options);
+      ASSERT_TRUE(built.ok());
+      tree = std::move(built).value();
+      break;
+    }
+  }
+
+  ASSERT_EQ(tree.size(), n);
+  Status invariants = tree.CheckInvariants();
+  ASSERT_TRUE(invariants.ok()) << invariants.ToString();
+
+  Pcg32 rng(seed ^ 0xfeed);
+  for (int q = 0; q < 30; ++q) {
+    Aabb box = Aabb::Cube(Vec3(static_cast<float>(rng.Uniform(-10, 110)),
+                               static_cast<float>(rng.Uniform(-10, 110)),
+                               static_cast<float>(rng.Uniform(-10, 110))),
+                          static_cast<float>(rng.Uniform(0.5, 40)));
+    std::vector<ElementId> got;
+    tree.RangeQuery(box, &got);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForce(elements, box))
+        << BuildKindName(kind) << "/" << DataShapeName(shape) << " query " << q;
+  }
+}
+
+TEST_P(RTreeEquivalenceTest, FindAnySucceedsIffRangeNonEmpty) {
+  auto [kind, shape, seed] = GetParam();
+  if (kind != BuildKind::kBulkStr) {
+    GTEST_SKIP() << "seed-lookup property only exercised on the bulk tree";
+  }
+  ElementVec elements = MakeData(shape, 700, seed);
+  auto tree = RTree::BulkLoadStr(elements);
+  ASSERT_TRUE(tree.ok());
+  Pcg32 rng(seed ^ 0xabcd);
+  for (int q = 0; q < 40; ++q) {
+    Aabb box = Aabb::Cube(Vec3(static_cast<float>(rng.Uniform(-20, 120)),
+                               static_cast<float>(rng.Uniform(-20, 120)),
+                               static_cast<float>(rng.Uniform(-20, 120))),
+                          static_cast<float>(rng.Uniform(0.5, 25)));
+    geom::SpatialElement found;
+    bool any = tree->FindAny(box, &found);
+    bool expect = !BruteForce(elements, box).empty();
+    ASSERT_EQ(any, expect);
+    if (any) {
+      ASSERT_TRUE(found.bounds.Intersects(box));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreeEquivalenceTest,
+    ::testing::Combine(::testing::Values(BuildKind::kInsertQuadratic,
+                                         BuildKind::kInsertRStar,
+                                         BuildKind::kBulkStr,
+                                         BuildKind::kBulkHilbert),
+                       ::testing::Values(DataShape::kUniform,
+                                         DataShape::kClustered,
+                                         DataShape::kSkewedLine),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return BuildKindName(std::get<0>(info.param)) +
+             DataShapeName(std::get<1>(info.param)) + "Seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Mixed workload: bulk load, then keep inserting — the tree must stay
+// consistent through repeated splits on top of a packed structure.
+TEST(RTreeMixedTest, BulkThenInsertStaysConsistent) {
+  ElementVec initial = MakeData(DataShape::kUniform, 500, 50);
+  RTreeOptions options;
+  options.max_entries = 10;
+  options.min_entries = 4;
+  auto built = RTree::BulkLoadStr(initial, options);
+  ASSERT_TRUE(built.ok());
+  RTree tree = std::move(built).value();
+
+  ElementVec extra = MakeData(DataShape::kClustered, 500, 51);
+  ElementVec all = initial;
+  for (auto e : extra) {
+    e.id += 10000;
+    ASSERT_TRUE(tree.Insert(e).ok());
+    all.push_back(e);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_EQ(tree.size(), 1000u);
+
+  Pcg32 rng(52);
+  for (int q = 0; q < 25; ++q) {
+    Aabb box = Aabb::Cube(Vec3(static_cast<float>(rng.Uniform(0, 100)),
+                               static_cast<float>(rng.Uniform(0, 100)),
+                               static_cast<float>(rng.Uniform(0, 100))),
+                          static_cast<float>(rng.Uniform(2, 30)));
+    std::vector<ElementId> got;
+    tree.RangeQuery(box, &got);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForce(all, box));
+  }
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace neurodb

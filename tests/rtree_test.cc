@@ -1,0 +1,228 @@
+#include "rtree/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace neurodb {
+namespace rtree {
+namespace {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::ElementVec;
+using geom::SpatialElement;
+using geom::Vec3;
+
+ElementVec RandomElements(size_t n, uint64_t seed, float domain = 100.0f) {
+  Pcg32 rng(seed);
+  ElementVec out;
+  for (size_t i = 0; i < n; ++i) {
+    Vec3 c(static_cast<float>(rng.Uniform(0, domain)),
+           static_cast<float>(rng.Uniform(0, domain)),
+           static_cast<float>(rng.Uniform(0, domain)));
+    out.emplace_back(i, Aabb::Cube(c, static_cast<float>(rng.Uniform(0.5, 2))));
+  }
+  return out;
+}
+
+std::vector<ElementId> BruteForce(const ElementVec& elements,
+                                  const Aabb& box) {
+  std::vector<ElementId> out;
+  for (const auto& e : elements) {
+    if (e.bounds.Intersects(box)) out.push_back(e.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RTreeOptionsTest, ValidationRules) {
+  RTreeOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+  RTreeOptions too_small;
+  too_small.max_entries = 2;
+  EXPECT_FALSE(too_small.Validate().ok());
+  RTreeOptions bad_min;
+  bad_min.max_entries = 10;
+  bad_min.min_entries = 6;  // > max/2
+  EXPECT_FALSE(bad_min.Validate().ok());
+  RTreeOptions leaf;
+  leaf.leaf_capacity = 128;
+  EXPECT_TRUE(leaf.Validate().ok());
+  EXPECT_EQ(leaf.LeafCapacity(), 128u);
+  EXPECT_EQ(ok.LeafCapacity(), ok.max_entries);
+}
+
+TEST(RTreeTest, EmptyTreeBehaves) {
+  RTree tree{RTreeOptions{}};
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  std::vector<ElementId> out;
+  tree.RangeQuery(Aabb::Cube(Vec3(0, 0, 0), 10), &out);
+  EXPECT_TRUE(out.empty());
+  SpatialElement e;
+  EXPECT_FALSE(tree.FindAny(Aabb::Cube(Vec3(0, 0, 0), 10), &e));
+  EXPECT_TRUE(tree.Knn(Vec3(0, 0, 0), 3).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, BulkLoadStrMatchesBruteForce) {
+  ElementVec elements = RandomElements(2000, 5);
+  auto tree = RTree::BulkLoadStr(elements);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), elements.size());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  Pcg32 rng(6);
+  for (int q = 0; q < 50; ++q) {
+    Aabb box = Aabb::Cube(Vec3(static_cast<float>(rng.Uniform(0, 100)),
+                               static_cast<float>(rng.Uniform(0, 100)),
+                               static_cast<float>(rng.Uniform(0, 100))),
+                          static_cast<float>(rng.Uniform(1, 30)));
+    std::vector<ElementId> got;
+    tree->RangeQuery(box, &got);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForce(elements, box));
+  }
+}
+
+TEST(RTreeTest, BulkLoadHilbertMatchesBruteForce) {
+  ElementVec elements = RandomElements(1500, 15);
+  auto tree = RTree::BulkLoadHilbert(elements);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  Aabb box = Aabb::Cube(Vec3(50, 50, 50), 25);
+  std::vector<ElementId> got;
+  tree->RangeQuery(box, &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, BruteForce(elements, box));
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndSingle) {
+  auto empty = RTree::BulkLoadStr({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_TRUE(empty->CheckInvariants().ok());
+
+  ElementVec one = RandomElements(1, 3);
+  auto single = RTree::BulkLoadStr(one);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->size(), 1u);
+  EXPECT_EQ(single->Height(), 1);
+  EXPECT_TRUE(single->CheckInvariants().ok());
+}
+
+TEST(RTreeTest, InsertRejectsEmptyBounds) {
+  RTree tree{RTreeOptions{}};
+  SpatialElement bad;
+  EXPECT_TRUE(tree.Insert(bad).IsInvalidArgument());
+}
+
+TEST(RTreeTest, FindAnyReturnsIntersectingElement) {
+  ElementVec elements = RandomElements(500, 21);
+  auto tree = RTree::BulkLoadStr(elements);
+  ASSERT_TRUE(tree.ok());
+  Aabb box = Aabb::Cube(elements[123].bounds.Center(), 3.0f);
+  SpatialElement found;
+  QueryStats stats;
+  ASSERT_TRUE(tree->FindAny(box, &found, &stats));
+  EXPECT_TRUE(found.bounds.Intersects(box));
+  EXPECT_GT(stats.nodes_visited, 0u);
+  // A query far outside the domain finds nothing.
+  EXPECT_FALSE(tree->FindAny(Aabb::Cube(Vec3(1e6f, 1e6f, 1e6f), 1), &found));
+}
+
+TEST(RTreeTest, KnnMatchesBruteForce) {
+  ElementVec elements = RandomElements(800, 33);
+  auto tree = RTree::BulkLoadStr(elements);
+  ASSERT_TRUE(tree.ok());
+  Vec3 p(40, 60, 20);
+  const size_t k = 10;
+  auto got = tree->Knn(p, k);
+  ASSERT_EQ(got.size(), k);
+  // Brute-force reference by box distance.
+  std::vector<std::pair<double, ElementId>> ref;
+  for (const auto& e : elements) {
+    ref.emplace_back(e.bounds.SquaredDistanceTo(p), e.id);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(got[i].second * got[i].second, ref[i].first, 1e-6)
+        << "rank " << i;
+  }
+  // Distances are non-decreasing.
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i].second, got[i - 1].second);
+  }
+}
+
+TEST(RTreeTest, KnnWithKLargerThanTree) {
+  ElementVec elements = RandomElements(5, 77);
+  auto tree = RTree::BulkLoadStr(elements);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Knn(Vec3(0, 0, 0), 50).size(), 5u);
+  EXPECT_TRUE(tree->Knn(Vec3(0, 0, 0), 0).empty());
+}
+
+TEST(RTreeTest, QueryStatsCountPerLevel) {
+  ElementVec elements = RandomElements(5000, 9);
+  RTreeOptions options;
+  options.max_entries = 16;
+  options.min_entries = 6;
+  auto tree = RTree::BulkLoadStr(elements, options);
+  ASSERT_TRUE(tree.ok());
+  QueryStats stats;
+  std::vector<ElementId> out;
+  tree->RangeQuery(Aabb::Cube(Vec3(50, 50, 50), 40), &out, &stats);
+  ASSERT_EQ(stats.nodes_per_level.size(),
+            static_cast<size_t>(tree->Height()));
+  uint64_t sum = 0;
+  for (uint64_t c : stats.nodes_per_level) sum += c;
+  EXPECT_EQ(sum, stats.nodes_visited);
+  // Exactly one root visit.
+  EXPECT_EQ(stats.nodes_per_level.back(), 1u);
+  EXPECT_EQ(stats.results, out.size());
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  auto small = RTree::BulkLoadStr(RandomElements(8, 1), options);
+  auto large = RTree::BulkLoadStr(RandomElements(4096, 1), options);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(small->Height(), 1);
+  EXPECT_GE(large->Height(), 4);  // 8^4 = 4096
+  EXPECT_LE(large->Height(), 6);
+}
+
+TEST(RTreeTest, MemoryBytesIsPositiveAndGrows) {
+  auto small = RTree::BulkLoadStr(RandomElements(100, 2));
+  auto large = RTree::BulkLoadStr(RandomElements(10000, 2));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small->MemoryBytes(), 0u);
+  EXPECT_GT(large->MemoryBytes(), small->MemoryBytes());
+}
+
+TEST(RTreeTest, LeafCapacityIsRespectedByBulkLoad) {
+  RTreeOptions options;
+  options.max_entries = 8;
+  options.min_entries = 3;
+  options.leaf_capacity = 100;
+  auto tree = RTree::BulkLoadStr(RandomElements(1000, 4), options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  // With 100-entry leaves, 1000 elements need only 10 leaves.
+  size_t leaves = 0;
+  for (size_t i = 0; i < tree->NumNodes(); ++i) {
+    if (tree->node(static_cast<int32_t>(i)).IsLeaf()) ++leaves;
+  }
+  EXPECT_EQ(leaves, 10u);
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace neurodb

@@ -1,0 +1,167 @@
+#include "scout/structure.h"
+
+#include <gtest/gtest.h>
+
+#include "scout/prefetcher.h"
+
+namespace neurodb {
+namespace scout {
+namespace {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::Segment;
+using geom::Vec3;
+
+/// Builds a resolver over a hand-crafted set of segments.
+class StructureFixture : public ::testing::Test {
+ protected:
+  void AddChain(ElementId base, Vec3 start, Vec3 step, int count,
+                float radius = 0.3f) {
+    Vec3 p = start;
+    for (int i = 0; i < count; ++i) {
+      Vec3 q = p + step;
+      dataset_.Add(Segment(p, q, radius), base + i);
+      p = q;
+    }
+  }
+
+  void Finish() { resolver_.AddDataset(dataset_); }
+
+  std::vector<ElementId> AllIds() const { return dataset_.ids; }
+
+  neuro::SegmentDataset dataset_;
+  neuro::SegmentResolver resolver_;
+};
+
+TEST_F(StructureFixture, SingleChainIsOneStructure) {
+  AddChain(100, Vec3(0, 0, 0), Vec3(2, 0, 0), 10);
+  Finish();
+  Aabb box(Vec3(-1, -1, -1), Vec3(30, 1, 1));
+  auto structures = ExtractStructures(AllIds(), resolver_, box);
+  ASSERT_TRUE(structures.ok());
+  ASSERT_EQ(structures->size(), 1u);
+  EXPECT_EQ((*structures)[0].elements.size(), 10u);
+}
+
+TEST_F(StructureFixture, DisjointChainsAreSeparateStructures) {
+  AddChain(100, Vec3(0, 0, 0), Vec3(2, 0, 0), 5);
+  AddChain(200, Vec3(0, 50, 0), Vec3(2, 0, 0), 5);
+  Finish();
+  Aabb box(Vec3(-5, -5, -5), Vec3(60, 60, 5));
+  auto structures = ExtractStructures(AllIds(), resolver_, box);
+  ASSERT_TRUE(structures.ok());
+  EXPECT_EQ(structures->size(), 2u);
+}
+
+TEST_F(StructureFixture, ExitDetectionFindsBoundaryCrossing) {
+  // Chain runs from x=0 to x=20; the box ends at x=10.
+  AddChain(100, Vec3(0, 0, 0), Vec3(2, 0, 0), 10);
+  Finish();
+  Aabb box(Vec3(-1, -1, -1), Vec3(10.5f, 1, 1));
+  // Result = segments intersecting the box (first 6 segments: [0,2]..[10,12]).
+  std::vector<ElementId> result;
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    if (dataset_.segments[i].Bounds().Intersects(box)) {
+      result.push_back(dataset_.ids[i]);
+    }
+  }
+  auto structures = ExtractStructures(result, resolver_, box);
+  ASSERT_TRUE(structures.ok());
+  ASSERT_EQ(structures->size(), 1u);
+  const Structure& s = (*structures)[0];
+  ASSERT_TRUE(s.HasExit());
+  // The exit direction points in +x.
+  EXPECT_GT(s.exits[0].direction.x, 0.9f);
+  EXPECT_GT(s.exits[0].point.x, 10.0f);
+}
+
+TEST_F(StructureFixture, FullyInteriorStructureHasNoExit) {
+  AddChain(100, Vec3(5, 5, 5), Vec3(1, 0, 0), 4);
+  Finish();
+  Aabb box(Vec3(0, 0, 0), Vec3(50, 50, 50));
+  auto structures = ExtractStructures(AllIds(), resolver_, box);
+  ASSERT_TRUE(structures.ok());
+  ASSERT_EQ(structures->size(), 1u);
+  EXPECT_FALSE((*structures)[0].HasExit());
+}
+
+TEST_F(StructureFixture, BranchingChainsRemainOneStructure) {
+  // A trunk with two children sharing its endpoint.
+  AddChain(100, Vec3(0, 0, 0), Vec3(2, 0, 0), 5);   // ends at (10,0,0)
+  AddChain(200, Vec3(10, 0, 0), Vec3(1, 2, 0), 4);  // branch up
+  AddChain(300, Vec3(10, 0, 0), Vec3(1, -2, 0), 4);  // branch down
+  Finish();
+  Aabb box(Vec3(-5, -20, -5), Vec3(30, 20, 5));
+  auto structures = ExtractStructures(AllIds(), resolver_, box);
+  ASSERT_TRUE(structures.ok());
+  EXPECT_EQ(structures->size(), 1u);
+  EXPECT_EQ((*structures)[0].elements.size(), 13u);
+}
+
+TEST_F(StructureFixture, ConnectTolControlsMerging) {
+  // Two chains 2 apart: connected at tol=3, separate at tol=1.
+  AddChain(100, Vec3(0, 0, 0), Vec3(2, 0, 0), 3);
+  AddChain(200, Vec3(0, 2, 0), Vec3(2, 0, 0), 3);
+  Finish();
+  Aabb box(Vec3(-5, -5, -5), Vec3(20, 20, 5));
+  StructureOptions loose;
+  loose.connect_tol = 3.0f;
+  auto merged = ExtractStructures(AllIds(), resolver_, box, loose);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->size(), 1u);
+
+  StructureOptions tight;
+  tight.connect_tol = 1.0f;
+  auto split = ExtractStructures(AllIds(), resolver_, box, tight);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->size(), 2u);
+}
+
+TEST_F(StructureFixture, UnknownIdFails) {
+  AddChain(100, Vec3(0, 0, 0), Vec3(1, 0, 0), 2);
+  Finish();
+  auto bad = ExtractStructures({999999}, resolver_,
+                               Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST_F(StructureFixture, InvalidToleranceFails) {
+  Finish();
+  StructureOptions bad;
+  bad.connect_tol = 0.0f;
+  EXPECT_FALSE(
+      ExtractStructures({}, resolver_, Aabb(Vec3(0, 0, 0), Vec3(1, 1, 1)), bad)
+          .ok());
+}
+
+TEST(StructureTest, SharesElementsMergeScan) {
+  Structure s;
+  s.elements = {2, 5, 9};
+  EXPECT_TRUE(s.SharesElements({1, 5, 7}));
+  EXPECT_FALSE(s.SharesElements({1, 3, 7}));
+  EXPECT_FALSE(s.SharesElements({}));
+}
+
+TEST(PrefetcherFactoryTest, ValidatesContext) {
+  PrefetchContext empty;
+  // None works without wiring.
+  EXPECT_TRUE(MakePrefetcher(PrefetchMethod::kNone, empty).ok());
+  // Others need index + pool.
+  EXPECT_FALSE(MakePrefetcher(PrefetchMethod::kHilbert, empty).ok());
+  EXPECT_FALSE(MakePrefetcher(PrefetchMethod::kScout, empty).ok());
+}
+
+TEST(PrefetcherFactoryTest, NamesMatchMethods) {
+  EXPECT_STREQ(PrefetchMethodName(PrefetchMethod::kNone), "None");
+  EXPECT_STREQ(PrefetchMethodName(PrefetchMethod::kHilbert), "Hilbert");
+  EXPECT_STREQ(PrefetchMethodName(PrefetchMethod::kExtrapolation),
+               "Extrapolation");
+  EXPECT_STREQ(PrefetchMethodName(PrefetchMethod::kScout), "SCOUT");
+  EXPECT_EQ(AllPrefetchMethods().size(), 4u);
+}
+
+}  // namespace
+}  // namespace scout
+}  // namespace neurodb

@@ -1,0 +1,160 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace neurodb {
+namespace geom {
+namespace {
+
+Vec3 RandomPoint(Pcg32* rng, double lo = -10, double hi = 10) {
+  return Vec3(static_cast<float>(rng->Uniform(lo, hi)),
+              static_cast<float>(rng->Uniform(lo, hi)),
+              static_cast<float>(rng->Uniform(lo, hi)));
+}
+
+TEST(SegmentTest, BasicProperties) {
+  Segment s(Vec3(0, 0, 0), Vec3(4, 0, 0), 1.0f);
+  EXPECT_DOUBLE_EQ(s.Length(), 4.0);
+  EXPECT_EQ(s.Midpoint(), Vec3(2, 0, 0));
+  EXPECT_EQ(s.Direction(), Vec3(1, 0, 0));
+}
+
+TEST(SegmentTest, BoundsIncludeRadius) {
+  Segment s(Vec3(0, 0, 0), Vec3(4, 0, 0), 0.5f);
+  Aabb b = s.Bounds();
+  EXPECT_EQ(b.min, Vec3(-0.5f, -0.5f, -0.5f));
+  EXPECT_EQ(b.max, Vec3(4.5f, 0.5f, 0.5f));
+}
+
+TEST(PointSegmentDistanceTest, KnownCases) {
+  Vec3 a(0, 0, 0);
+  Vec3 b(10, 0, 0);
+  // Perpendicular foot inside the segment.
+  EXPECT_DOUBLE_EQ(SquaredDistancePointSegment(Vec3(5, 3, 0), a, b), 9.0);
+  // Beyond endpoint a.
+  EXPECT_DOUBLE_EQ(SquaredDistancePointSegment(Vec3(-3, 4, 0), a, b), 25.0);
+  // Beyond endpoint b.
+  EXPECT_DOUBLE_EQ(SquaredDistancePointSegment(Vec3(13, 0, 4), a, b), 25.0);
+  // On the segment.
+  EXPECT_DOUBLE_EQ(SquaredDistancePointSegment(Vec3(7, 0, 0), a, b), 0.0);
+}
+
+TEST(PointSegmentDistanceTest, DegenerateSegmentIsPoint) {
+  Vec3 p(1, 1, 1);
+  EXPECT_DOUBLE_EQ(SquaredDistancePointSegment(p, Vec3(4, 5, 1), Vec3(4, 5, 1)),
+                   25.0);
+}
+
+TEST(SegmentSegmentDistanceTest, ParallelSegments) {
+  // Two parallel segments 3 apart.
+  double d2 = SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(10, 0, 0),
+                                            Vec3(0, 3, 0), Vec3(10, 3, 0));
+  EXPECT_DOUBLE_EQ(d2, 9.0);
+}
+
+TEST(SegmentSegmentDistanceTest, CrossingSegmentsTouch) {
+  double d2 = SquaredDistanceSegmentSegment(Vec3(-1, 0, 0), Vec3(1, 0, 0),
+                                            Vec3(0, -1, 0), Vec3(0, 1, 0));
+  EXPECT_NEAR(d2, 0.0, 1e-12);
+}
+
+TEST(SegmentSegmentDistanceTest, SkewLines) {
+  // Closest points are the segment midlines at z distance 2.
+  double d2 = SquaredDistanceSegmentSegment(Vec3(-1, 0, 0), Vec3(1, 0, 0),
+                                            Vec3(0, -1, 2), Vec3(0, 1, 2));
+  EXPECT_NEAR(d2, 4.0, 1e-9);
+}
+
+TEST(SegmentSegmentDistanceTest, EndpointToEndpoint) {
+  double d2 = SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(1, 0, 0),
+                                            Vec3(4, 0, 0), Vec3(6, 0, 0));
+  EXPECT_DOUBLE_EQ(d2, 9.0);
+}
+
+TEST(SegmentSegmentDistanceTest, BothDegenerate) {
+  double d2 = SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(0, 0, 0),
+                                            Vec3(0, 0, 5), Vec3(0, 0, 5));
+  EXPECT_DOUBLE_EQ(d2, 25.0);
+}
+
+TEST(SegmentSegmentDistanceTest, OneDegenerate) {
+  double d2 = SquaredDistanceSegmentSegment(Vec3(0, 0, 0), Vec3(0, 0, 0),
+                                            Vec3(-5, 3, 0), Vec3(5, 3, 0));
+  EXPECT_DOUBLE_EQ(d2, 9.0);
+}
+
+// Property: symmetric in the two segments, and never exceeds any
+// endpoint-pair distance.
+TEST(SegmentSegmentDistanceTest, PropertySymmetryAndUpperBound) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    Vec3 p1 = RandomPoint(&rng);
+    Vec3 q1 = RandomPoint(&rng);
+    Vec3 p2 = RandomPoint(&rng);
+    Vec3 q2 = RandomPoint(&rng);
+    double d12 = SquaredDistanceSegmentSegment(p1, q1, p2, q2);
+    double d21 = SquaredDistanceSegmentSegment(p2, q2, p1, q1);
+    ASSERT_NEAR(d12, d21, 1e-6);
+    double endpoint_min =
+        std::min({SquaredDistance(p1, p2), SquaredDistance(p1, q2),
+                  SquaredDistance(q1, p2), SquaredDistance(q1, q2)});
+    // Closest points are reconstructed in float, so allow rounding at the
+    // scale of the coordinates (~1e-6 relative).
+    ASSERT_LE(d12, endpoint_min * (1.0 + 1e-5) + 1e-5);
+    ASSERT_GE(d12, -1e-12);
+  }
+}
+
+// Property: matches a dense sampling approximation of the true minimum.
+TEST(SegmentSegmentDistanceTest, PropertyMatchesSampling) {
+  Pcg32 rng(13);
+  const int kSamples = 60;
+  for (int trial = 0; trial < 100; ++trial) {
+    Vec3 p1 = RandomPoint(&rng);
+    Vec3 q1 = RandomPoint(&rng);
+    Vec3 p2 = RandomPoint(&rng);
+    Vec3 q2 = RandomPoint(&rng);
+    double exact = std::sqrt(SquaredDistanceSegmentSegment(p1, q1, p2, q2));
+    double sampled = 1e300;
+    for (int i = 0; i <= kSamples; ++i) {
+      Vec3 a = Lerp(p1, q1, static_cast<float>(i) / kSamples);
+      for (int j = 0; j <= kSamples; ++j) {
+        Vec3 b = Lerp(p2, q2, static_cast<float>(j) / kSamples);
+        sampled = std::min(sampled, Distance(a, b));
+      }
+    }
+    // Sampling only overestimates, by at most the sampling resolution.
+    double resolution =
+        (Distance(p1, q1) + Distance(p2, q2)) / kSamples;
+    ASSERT_LE(exact, sampled + 1e-6);
+    ASSERT_GE(exact, sampled - resolution);
+  }
+}
+
+TEST(CapsuleDistanceTest, SubtractsRadiiAndClamps) {
+  Segment s(Vec3(0, 0, 0), Vec3(10, 0, 0), 1.0f);
+  Segment t(Vec3(0, 5, 0), Vec3(10, 5, 0), 1.5f);
+  EXPECT_NEAR(CapsuleDistance(s, t), 2.5, 1e-9);
+  // Overlapping capsules: zero, not negative.
+  Segment u(Vec3(0, 1, 0), Vec3(10, 1, 0), 1.0f);
+  EXPECT_DOUBLE_EQ(CapsuleDistance(s, u), 0.0);
+}
+
+TEST(WithinDistanceTest, ConsistentWithCapsuleDistance) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    Segment s(RandomPoint(&rng, -5, 5), RandomPoint(&rng, -5, 5), 0.3f);
+    Segment t(RandomPoint(&rng, -5, 5), RandomPoint(&rng, -5, 5), 0.4f);
+    float eps = static_cast<float>(rng.Uniform(0.0, 4.0));
+    ASSERT_EQ(WithinDistance(s, t, eps), CapsuleDistance(s, t) <= eps)
+        << "eps=" << eps;
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace neurodb

@@ -1,0 +1,74 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace neurodb {
+namespace {
+
+TEST(TableTest, FormatsHeaderAndRows) {
+  TableWriter t("demo", {"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha"), std::string::npos);
+  EXPECT_NE(s.find("| 22"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  TableWriter t("", {"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TableTest, ExtraCellsAreDropped) {
+  TableWriter t("", {"a"});
+  t.AddRow({"keep", "drop"});
+  EXPECT_EQ(t.ToString().find("drop"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Num(2.0, 0), "2");
+}
+
+TEST(TableTest, IntFormats) {
+  EXPECT_EQ(TableWriter::Int(12345), "12345");
+}
+
+TEST(TableTest, BytesUsesBinarySuffixes) {
+  EXPECT_EQ(TableWriter::Bytes(512), "512.0 B");
+  EXPECT_EQ(TableWriter::Bytes(2048), "2.00 KiB");
+  EXPECT_EQ(TableWriter::Bytes(3 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(TableTest, FactorAppendsX) {
+  EXPECT_EQ(TableWriter::Factor(12.34, 1), "12.3x");
+}
+
+TEST(TableTest, ColumnsAlignAcrossRows) {
+  TableWriter t("", {"col"});
+  t.AddRow({"short"});
+  t.AddRow({"a much longer cell"});
+  std::string s = t.ToString();
+  // Every data line must have the same length (aligned box).
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find('\n', pos);
+    std::string line = s.substr(pos, end - pos);
+    if (!line.empty() && line[0] == '|') {
+      if (first_len == std::string::npos) {
+        first_len = line.size();
+      } else {
+        EXPECT_EQ(line.size(), first_len);
+      }
+    }
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace neurodb

@@ -1,0 +1,165 @@
+// Integration tests of the NeuroToolkit facade — the three demo exhibits
+// end to end on a generated circuit.
+
+#include "core/toolkit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "neuro/circuit_generator.h"
+#include "neuro/workload.h"
+
+namespace neurodb {
+namespace core {
+namespace {
+
+using geom::Aabb;
+using geom::Vec3;
+
+class ToolkitFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    neuro::CircuitParams params;
+    params.num_neurons = 20;
+    params.seed = 2024;
+    auto circuit = neuro::CircuitGenerator(params).Generate();
+    ASSERT_TRUE(circuit.ok());
+    circuit_ = std::move(circuit).value();
+
+    ToolkitOptions options;
+    options.flat.elems_per_page = 64;
+    options.rtree.max_entries = 64;
+    options.rtree.min_entries = 26;
+    tk_ = std::make_unique<NeuroToolkit>(options);
+    ASSERT_TRUE(tk_->LoadCircuit(circuit_).ok());
+  }
+
+  neuro::Circuit circuit_;
+  std::unique_ptr<NeuroToolkit> tk_;
+};
+
+TEST_F(ToolkitFixture, LoadPopulatesEverything) {
+  EXPECT_TRUE(tk_->loaded());
+  EXPECT_EQ(tk_->NumSegments(), circuit_.TotalSegments());
+  EXPECT_GT(tk_->flat_index().NumPages(), 0u);
+  EXPECT_GT(tk_->paged_rtree().NumPages(), 0u);
+  EXPECT_GT(tk_->axons().size(), 0u);
+  EXPECT_GT(tk_->dendrites().size(), 0u);
+  EXPECT_EQ(tk_->resolver().size(), tk_->NumSegments());
+}
+
+TEST_F(ToolkitFixture, DoubleLoadFails) {
+  EXPECT_TRUE(tk_->LoadCircuit(circuit_).IsAlreadyExists());
+}
+
+TEST_F(ToolkitFixture, QueriesBeforeLoadFail) {
+  NeuroToolkit fresh;
+  EXPECT_FALSE(fresh.CompareRangeQuery(Aabb::Cube(Vec3(0, 0, 0), 5)).ok());
+  EXPECT_FALSE(fresh.WalkThrough({}, scout::PrefetchMethod::kNone).ok());
+  EXPECT_FALSE(
+      fresh.FindSynapses(touch::JoinMethod::kTouch, touch::JoinOptions()).ok());
+  EXPECT_TRUE(
+      fresh.LoadCircuit(neuro::Circuit()).IsInvalidArgument());  // empty
+}
+
+TEST_F(ToolkitFixture, CompareRangeQueryAgreesAndReportsStats) {
+  auto queries = neuro::DataCenteredQueries(
+      circuit_.FlattenSegments().Elements(), 40.0f, 5, 3);
+  for (const auto& q : queries) {
+    auto report = tk_->CompareRangeQuery(q);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->results_match);
+    EXPECT_EQ(report->flat.results, report->rtree.results);
+    EXPECT_GT(report->flat.results, 0u);
+    EXPECT_GT(report->flat.pages_read, 0u);
+    EXPECT_GT(report->rtree.pages_read, 0u);
+    // The R-tree panel shows per-level node fetches summing to the total.
+    uint64_t level_sum = 0;
+    for (uint64_t c : report->rtree.nodes_per_level) level_sum += c;
+    EXPECT_EQ(level_sum, report->rtree.pages_read);
+  }
+}
+
+TEST_F(ToolkitFixture, FlatReadsFewerPagesOnSelectiveQueries) {
+  // The demo's headline: on selective queries over dense data FLAT reads
+  // only result pages while the R-tree pays for overlap. Compare averages.
+  auto queries = neuro::DataCenteredQueries(
+      circuit_.FlattenSegments().Elements(), 25.0f, 8, 5);
+  uint64_t flat_pages = 0;
+  uint64_t rtree_pages = 0;
+  for (const auto& q : queries) {
+    auto report = tk_->CompareRangeQuery(q);
+    ASSERT_TRUE(report.ok());
+    flat_pages += report->flat.pages_read;
+    rtree_pages += report->rtree.pages_read;
+  }
+  EXPECT_LT(flat_pages, rtree_pages);
+}
+
+TEST_F(ToolkitFixture, WalkThroughWorksForAllMethods) {
+  auto path = neuro::FollowBranchPath(circuit_, 1, 12.0f, 1);
+  ASSERT_TRUE(path.ok());
+  auto queries = neuro::PathQueries(*path, 30.0f);
+
+  uint64_t none_stall = 0;
+  for (auto method : scout::AllPrefetchMethods()) {
+    auto result = tk_->WalkThrough(queries, method);
+    ASSERT_TRUE(result.ok()) << scout::PrefetchMethodName(method);
+    EXPECT_EQ(result->steps.size(), queries.size());
+    if (method == scout::PrefetchMethod::kNone) {
+      none_stall = result->total_stall_us;
+    } else if (method == scout::PrefetchMethod::kScout) {
+      EXPECT_LT(result->total_stall_us, none_stall);
+    }
+  }
+}
+
+TEST_F(ToolkitFixture, FindSynapsesIsMethodInvariant) {
+  touch::JoinOptions options;
+  options.epsilon = 3.0f;
+
+  auto sort_pairs = [](std::vector<touch::JoinPair> pairs) {
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+
+  auto reference =
+      tk_->FindSynapses(touch::JoinMethod::kNestedLoop, options);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_GT(reference->pairs.size(), 0u)
+      << "a 20-neuron circuit must produce synapse candidates";
+  auto expected = sort_pairs(reference->pairs);
+
+  for (auto method :
+       {touch::JoinMethod::kTouch, touch::JoinMethod::kPbsm,
+        touch::JoinMethod::kS3, touch::JoinMethod::kPlaneSweep}) {
+    auto result = tk_->FindSynapses(method, options);
+    ASSERT_TRUE(result.ok()) << touch::JoinMethodName(method);
+    EXPECT_EQ(sort_pairs(result->pairs), expected)
+        << touch::JoinMethodName(method);
+  }
+}
+
+TEST_F(ToolkitFixture, SynapsePairsConnectAxonToDendrite) {
+  touch::JoinOptions options;
+  options.epsilon = 3.0f;
+  auto result = tk_->FindSynapses(touch::JoinMethod::kTouch, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& pair : result->pairs) {
+    uint32_t pre = neuro::GidOf(pair.a);
+    uint32_t post = neuro::GidOf(pair.b);
+    EXPECT_LT(pre, circuit_.NumNeurons());
+    EXPECT_LT(post, circuit_.NumNeurons());
+    uint32_t section = neuro::SectionOf(pair.a);
+    EXPECT_EQ(circuit_.neuron(pre).morphology.section(section).type,
+              neuro::SectionType::kAxon);
+    uint32_t post_section = neuro::SectionOf(pair.b);
+    EXPECT_TRUE(neuro::IsDendrite(
+        circuit_.neuron(post).morphology.section(post_section).type));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace neurodb

@@ -1,0 +1,103 @@
+#include "geom/triangle.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace neurodb {
+namespace geom {
+namespace {
+
+Triangle UnitRight() {
+  return Triangle(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(0, 1, 0));
+}
+
+TEST(TriangleTest, AreaAndCentroid) {
+  Triangle t = UnitRight();
+  EXPECT_DOUBLE_EQ(t.Area(), 0.5);
+  Vec3 c = t.Centroid();
+  EXPECT_NEAR(c.x, 1.0 / 3, 1e-6);
+  EXPECT_NEAR(c.y, 1.0 / 3, 1e-6);
+  EXPECT_NEAR(c.z, 0.0, 1e-6);
+}
+
+TEST(TriangleTest, ScaledNormalDirection) {
+  Vec3 n = UnitRight().ScaledNormal();
+  EXPECT_EQ(n, Vec3(0, 0, 1));
+}
+
+TEST(TriangleTest, BoundsCoverVertices) {
+  Triangle t(Vec3(-1, 2, 3), Vec3(4, -5, 6), Vec3(7, 8, -9));
+  Aabb b = t.Bounds();
+  EXPECT_TRUE(b.Contains(t.v0));
+  EXPECT_TRUE(b.Contains(t.v1));
+  EXPECT_TRUE(b.Contains(t.v2));
+  EXPECT_EQ(b.min, Vec3(-1, -5, -9));
+  EXPECT_EQ(b.max, Vec3(7, 8, 6));
+}
+
+TEST(PointTriangleDistanceTest, AboveFace) {
+  EXPECT_DOUBLE_EQ(
+      SquaredDistancePointTriangle(Vec3(0.25f, 0.25f, 2), UnitRight()), 4.0);
+}
+
+TEST(PointTriangleDistanceTest, OnFaceIsZero) {
+  EXPECT_NEAR(SquaredDistancePointTriangle(Vec3(0.2f, 0.2f, 0), UnitRight()),
+              0.0, 1e-12);
+}
+
+TEST(PointTriangleDistanceTest, VertexRegions) {
+  Triangle t = UnitRight();
+  EXPECT_DOUBLE_EQ(SquaredDistancePointTriangle(Vec3(-1, -1, 0), t), 2.0);
+  EXPECT_DOUBLE_EQ(SquaredDistancePointTriangle(Vec3(2, -1, 0), t), 2.0);
+  EXPECT_DOUBLE_EQ(SquaredDistancePointTriangle(Vec3(-1, 2, 0), t), 2.0);
+}
+
+TEST(PointTriangleDistanceTest, EdgeRegions) {
+  Triangle t = UnitRight();
+  // Below the bottom edge.
+  EXPECT_DOUBLE_EQ(SquaredDistancePointTriangle(Vec3(0.5f, -2, 0), t), 4.0);
+  // Left of the left edge.
+  EXPECT_DOUBLE_EQ(SquaredDistancePointTriangle(Vec3(-3, 0.5f, 0), t), 9.0);
+  // Beyond the hypotenuse: closest point is (0.5, 0.5, 0).
+  EXPECT_NEAR(SquaredDistancePointTriangle(Vec3(1, 1, 0), t), 0.5, 1e-9);
+}
+
+// Property: never exceeds distance to any vertex, and matches barycentric
+// sampling to within the sampling resolution.
+TEST(PointTriangleDistanceTest, PropertyMatchesSampling) {
+  Pcg32 rng(23);
+  auto random_point = [&]() {
+    return Vec3(static_cast<float>(rng.Uniform(-5, 5)),
+                static_cast<float>(rng.Uniform(-5, 5)),
+                static_cast<float>(rng.Uniform(-5, 5)));
+  };
+  const int kGrid = 50;
+  for (int trial = 0; trial < 100; ++trial) {
+    Triangle t(random_point(), random_point(), random_point());
+    Vec3 p = random_point();
+    double exact = std::sqrt(SquaredDistancePointTriangle(p, t));
+    double vertex_min = std::min(
+        {Distance(p, t.v0), Distance(p, t.v1), Distance(p, t.v2)});
+    ASSERT_LE(exact, vertex_min + 1e-6);
+
+    double sampled = 1e300;
+    for (int i = 0; i <= kGrid; ++i) {
+      for (int j = 0; j <= kGrid - i; ++j) {
+        float u = static_cast<float>(i) / kGrid;
+        float v = static_cast<float>(j) / kGrid;
+        Vec3 q = t.v0 + (t.v1 - t.v0) * u + (t.v2 - t.v0) * v;
+        sampled = std::min(sampled, Distance(p, q));
+      }
+    }
+    double edge_scale = Distance(t.v0, t.v1) + Distance(t.v0, t.v2);
+    ASSERT_LE(exact, sampled + 1e-6);
+    ASSERT_GE(exact, sampled - edge_scale / kGrid);
+  }
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace neurodb

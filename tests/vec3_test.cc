@@ -1,0 +1,94 @@
+#include "geom/vec3.h"
+
+#include <gtest/gtest.h>
+
+namespace neurodb {
+namespace geom {
+namespace {
+
+TEST(Vec3Test, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v, Vec3(0, 0, 0));
+}
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a(1, 2, 3);
+  Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0f, Vec3(0.5f, 1.0f, 1.5f));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v(1, 1, 1);
+  v += Vec3(1, 2, 3);
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3(1, 1, 1);
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0f;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3Test, Indexing) {
+  Vec3 v(7, 8, 9);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 8);
+  EXPECT_EQ(v[2], 9);
+  v[1] = 10;
+  EXPECT_EQ(v.y, 10);
+}
+
+TEST(Vec3Test, DotAndCross) {
+  Vec3 x(1, 0, 0);
+  Vec3 y(0, 1, 0);
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), Vec3(0, 0, 1));
+  EXPECT_EQ(y.Cross(x), Vec3(0, 0, -1));
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).Dot(Vec3(4, 5, 6)), 32.0);
+}
+
+TEST(Vec3Test, NormAndNormalize) {
+  Vec3 v(3, 4, 0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  Vec3 n = v.Normalized();
+  EXPECT_NEAR(n.Norm(), 1.0, 1e-6);
+  EXPECT_NEAR(n.x, 0.6f, 1e-6);
+}
+
+TEST(Vec3Test, NormalizeZeroIsZero) {
+  EXPECT_EQ(Vec3(0, 0, 0).Normalized(), Vec3(0, 0, 0));
+}
+
+TEST(Vec3Test, DistanceFunctions) {
+  EXPECT_DOUBLE_EQ(Distance(Vec3(0, 0, 0), Vec3(0, 3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Vec3(1, 1, 1), Vec3(2, 2, 2)), 3.0);
+}
+
+TEST(Vec3Test, Lerp) {
+  Vec3 mid = Lerp(Vec3(0, 0, 0), Vec3(10, 20, 30), 0.5f);
+  EXPECT_EQ(mid, Vec3(5, 10, 15));
+  EXPECT_EQ(Lerp(Vec3(1, 1, 1), Vec3(2, 2, 2), 0.0f), Vec3(1, 1, 1));
+}
+
+TEST(Vec3Test, MinMaxComponentwise) {
+  Vec3 a(1, 5, 3);
+  Vec3 b(2, 4, 3);
+  EXPECT_EQ(Min(a, b), Vec3(1, 4, 3));
+  EXPECT_EQ(Max(a, b), Vec3(2, 5, 3));
+}
+
+TEST(Vec3Test, CrossIsOrthogonal) {
+  Vec3 a(1.5f, -2.0f, 0.5f);
+  Vec3 b(0.3f, 4.0f, -1.0f);
+  Vec3 c = a.Cross(b);
+  EXPECT_NEAR(c.Dot(a), 0.0, 1e-5);
+  EXPECT_NEAR(c.Dot(b), 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace neurodb

@@ -1,0 +1,154 @@
+#include "neuro/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "neuro/circuit_generator.h"
+
+namespace neurodb {
+namespace neuro {
+namespace {
+
+using geom::Aabb;
+using geom::Vec3;
+
+const Aabb kDomain(Vec3(0, 0, 0), Vec3(100, 100, 100));
+
+TEST(RangeWorkloadTest, UniformQueriesStayInDomain) {
+  auto queries = UniformQueries(kDomain, 10.0f, 50, 1);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_TRUE(kDomain.Contains(q.Center()));
+    EXPECT_FLOAT_EQ(q.Extent().x, 10.0f);
+  }
+}
+
+TEST(RangeWorkloadTest, UniformQueriesAreDeterministic) {
+  auto a = UniformQueries(kDomain, 10.0f, 20, 42);
+  auto b = UniformQueries(kDomain, 10.0f, 20, 42);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RangeWorkloadTest, DataCenteredQueriesHitData) {
+  geom::ElementVec elements;
+  for (int i = 0; i < 100; ++i) {
+    elements.emplace_back(i, Aabb::Cube(Vec3(50, 50, static_cast<float>(i)),
+                                        1.0f));
+  }
+  auto queries = DataCenteredQueries(elements, 5.0f, 30, 2);
+  ASSERT_EQ(queries.size(), 30u);
+  for (const auto& q : queries) {
+    bool hits = false;
+    for (const auto& e : elements) {
+      if (e.bounds.Intersects(q)) hits = true;
+    }
+    EXPECT_TRUE(hits);
+  }
+  EXPECT_TRUE(DataCenteredQueries({}, 5.0f, 3, 2).empty());
+}
+
+TEST(RangeWorkloadTest, LayerQueriesTargetBand) {
+  auto queries = LayerQueries(kDomain, 20.0f, 40.0f, 8.0f, 40, 3);
+  for (const auto& q : queries) {
+    float y = q.Center().y;
+    EXPECT_GE(y, 20.0f);
+    EXPECT_LE(y, 40.0f);
+  }
+}
+
+TEST(NavigationTest, RandomWalkStaysInDomainAndSteps) {
+  NavigationPath path = RandomWalkPath(kDomain, 100, 5.0f, 4);
+  ASSERT_EQ(path.waypoints.size(), 100u);
+  for (const auto& w : path.waypoints) {
+    EXPECT_TRUE(kDomain.Contains(w));
+  }
+  EXPECT_GT(path.Length(), 0.0);
+}
+
+TEST(NavigationTest, FollowBranchPathResamplesUniformly) {
+  neuro::CircuitParams params;
+  params.num_neurons = 3;
+  params.seed = 5;
+  auto circuit = CircuitGenerator(params).Generate();
+  ASSERT_TRUE(circuit.ok());
+  auto path = FollowBranchPath(*circuit, 0, 4.0f, 1);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  ASSERT_GE(path->waypoints.size(), 3u);
+  // Steps between consecutive waypoints are close to the requested step
+  // (resampling across polyline corners can shorten them slightly).
+  for (size_t i = 1; i + 1 < path->waypoints.size(); ++i) {
+    double step = geom::Distance(path->waypoints[i - 1], path->waypoints[i]);
+    EXPECT_LE(step, 4.0 + 1e-3);
+    EXPECT_GT(step, 0.5);
+  }
+}
+
+TEST(NavigationTest, FollowBranchPathErrors) {
+  neuro::CircuitParams params;
+  params.num_neurons = 2;
+  params.seed = 6;
+  auto circuit = CircuitGenerator(params).Generate();
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_TRUE(FollowBranchPath(*circuit, 99, 4.0f, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FollowBranchPath(*circuit, 0, 0.0f, 1).status()
+                  .IsInvalidArgument());
+}
+
+TEST(NavigationTest, PathQueriesCenterOnWaypoints) {
+  NavigationPath path;
+  path.waypoints = {Vec3(1, 2, 3), Vec3(4, 5, 6)};
+  auto queries = PathQueries(path, 10.0f);
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[0].Center(), Vec3(1, 2, 3));
+  EXPECT_FLOAT_EQ(queries[1].Extent().z, 10.0f);
+}
+
+TEST(SyntheticDataTest, UniformSegmentsRespectDomainAndCount) {
+  SegmentDataset data = UniformSegments(500, kDomain, 5.0f, 1.0f, 0.5f, 7);
+  ASSERT_EQ(data.size(), 500u);
+  Aabb domain_with_slack = kDomain.Expanded(12.0f);
+  for (const auto& s : data.segments) {
+    EXPECT_TRUE(domain_with_slack.Contains(s.a));
+    EXPECT_TRUE(domain_with_slack.Contains(s.b));
+    EXPECT_FLOAT_EQ(s.radius, 0.5f);
+    EXPECT_GT(s.Length(), 0.0);
+  }
+  // Ids are unique positions.
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data.ids[i], i);
+  }
+}
+
+TEST(SyntheticDataTest, ClusteredSegmentsAreDenserThanUniform) {
+  SegmentDataset uniform = UniformSegments(2000, kDomain, 4.0f, 1.0f, 0.3f, 8);
+  SegmentDataset clustered =
+      ClusteredSegments(2000, kDomain, 5, 3.0f, 4.0f, 0.3f, 8);
+  // Clustered data occupies far less volume: compare bounding volumes of
+  // random sub-batches via a crude proxy — mean pairwise midpoint distance.
+  auto mean_spread = [](const SegmentDataset& d) {
+    double sum = 0;
+    int pairs = 0;
+    for (size_t i = 0; i < d.size(); i += 97) {
+      for (size_t j = i + 1; j < d.size(); j += 97) {
+        sum += geom::Distance(d.segments[i].Midpoint(),
+                              d.segments[j].Midpoint());
+        ++pairs;
+      }
+    }
+    return sum / pairs;
+  };
+  EXPECT_LT(mean_spread(clustered), mean_spread(uniform));
+}
+
+TEST(SyntheticDataTest, Deterministic) {
+  SegmentDataset a = UniformSegments(100, kDomain, 5.0f, 1.0f, 0.5f, 99);
+  SegmentDataset b = UniformSegments(100, kDomain, 5.0f, 1.0f, 0.5f, 99);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.segments[i].a, b.segments[i].a);
+    EXPECT_EQ(a.segments[i].b, b.segments[i].b);
+  }
+}
+
+}  // namespace
+}  // namespace neuro
+}  // namespace neurodb
