@@ -1,16 +1,33 @@
 // Experiment E1 (paper Figures 2-3): FLAT vs R-tree range queries in dense
-// and sparse regions of a cortical column. Reports the statistics the demo
-// GUI showed live: disk pages retrieved, modeled time, results — and the
-// R-tree's per-level node fetches (Figure 4's overlap illustration).
+// and sparse regions of a cortical column, run through the engine's batch
+// API: each (region, side) cell is one ExecuteBatch of cold RangeRequests
+// against every backend. Reports the statistics the demo GUI showed live:
+// disk pages retrieved, modeled time, results — and the R-tree's per-level
+// node fetches (Figure 4's overlap illustration).
 
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
-#include "core/toolkit.h"
+#include "engine/query_engine.h"
 #include "neuro/workload.h"
 
 using namespace neurodb;
+
+namespace {
+
+struct MethodAgg {
+  uint64_t pages = 0;
+  uint64_t us = 0;
+  uint64_t results = 0;
+  uint64_t scanned = 0;
+  std::vector<uint64_t> per_level;
+};
+
+}  // namespace
 
 int main() {
   std::printf(
@@ -18,11 +35,10 @@ int main() {
       "Model: 300-neuron layered column; cold buffer pool per query.\n\n");
 
   neuro::Circuit circuit = bench::MakeColumn(300, 1);
-  core::ToolkitOptions options;
-  core::NeuroToolkit tk(options);
-  if (!tk.LoadCircuit(circuit).ok()) return 1;
+  engine::QueryEngine db;
+  if (!db.LoadCircuit(circuit).ok()) return 1;
 
-  geom::Aabb domain = tk.domain();
+  geom::Aabb domain = db.domain();
   struct Region {
     const char* name;
     float y_lo;
@@ -41,48 +57,61 @@ int main() {
     for (float side : {20.0f, 40.0f, 80.0f}) {
       auto queries =
           neuro::LayerQueries(domain, region.y_lo, region.y_hi, side, 12, 7);
-      uint64_t flat_pages = 0, flat_us = 0, flat_results = 0, flat_scan = 0;
-      uint64_t rt_pages = 0, rt_us = 0, rt_scan = 0;
-      std::vector<uint64_t> per_level;
+      std::vector<engine::RangeRequest> batch;
+      batch.reserve(queries.size());
       for (const auto& q : queries) {
-        auto report = tk.CompareRangeQuery(q);
-        if (!report.ok()) {
-          std::fprintf(stderr, "query failed: %s\n",
-                       report.status().ToString().c_str());
+        engine::RangeRequest request;
+        request.box = q;
+        request.backend = engine::BackendChoice::kAll;
+        request.cache = engine::CachePolicy::kCold;
+        batch.push_back(request);
+      }
+      auto result = db.ExecuteBatch(batch);
+      if (!result.ok()) {
+        std::fprintf(stderr, "batch failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+
+      // Per-method aggregation over the batch's per-query rows.
+      std::map<std::string, MethodAgg> methods;
+      for (const auto& report : result->reports) {
+        if (!report.results_match) {
+          std::fprintf(stderr, "FLAT and R-tree results disagree\n");
           return 1;
         }
-        flat_pages += report->flat.pages_read;
-        flat_us += report->flat.time_us;
-        flat_results += report->flat.results;
-        flat_scan += report->flat.elements_scanned;
-        rt_pages += report->rtree.pages_read;
-        rt_us += report->rtree.time_us;
-        rt_scan += report->rtree.elements_scanned;
-        if (report->rtree.nodes_per_level.size() > per_level.size()) {
-          per_level.resize(report->rtree.nodes_per_level.size(), 0);
-        }
-        for (size_t l = 0; l < report->rtree.nodes_per_level.size(); ++l) {
-          per_level[l] += report->rtree.nodes_per_level[l];
+        for (const auto& row : report.rows) {
+          MethodAgg& agg = methods[row.method];
+          agg.pages += row.stats.pages_read;
+          agg.us += row.stats.time_us;
+          agg.results += row.stats.results;
+          agg.scanned += row.stats.elements_scanned;
+          if (row.stats.nodes_per_level.size() > agg.per_level.size()) {
+            agg.per_level.resize(row.stats.nodes_per_level.size(), 0);
+          }
+          for (size_t l = 0; l < row.stats.nodes_per_level.size(); ++l) {
+            agg.per_level[l] += row.stats.nodes_per_level[l];
+          }
         }
       }
+
       const uint64_t n = queries.size();
-      table.AddRow({region.name, TableWriter::Num(side, 0), "FLAT",
-                    TableWriter::Int(flat_pages / n),
-                    bench::UsToMs(flat_us / n),
-                    TableWriter::Int(flat_results / n),
-                    TableWriter::Int(flat_scan / n)});
-      table.AddRow({region.name, TableWriter::Num(side, 0), "R-Tree",
-                    TableWriter::Int(rt_pages / n), bench::UsToMs(rt_us / n),
-                    TableWriter::Int(flat_results / n),
-                    TableWriter::Int(rt_scan / n)});
-      if (side == 40.0f) {
-        std::string levels;
-        for (size_t l = per_level.size(); l-- > 0;) {
-          levels += "L" + std::to_string(l) + "=" +
-                    std::to_string(per_level[l] / n) + " ";
+      for (const char* method : {"FLAT", "R-Tree"}) {
+        const MethodAgg& agg = methods[method];
+        table.AddRow({region.name, TableWriter::Num(side, 0), method,
+                      TableWriter::Int(agg.pages / n),
+                      bench::UsToMs(agg.us / n),
+                      TableWriter::Int(agg.results / n),
+                      TableWriter::Int(agg.scanned / n)});
+        if (side == 40.0f && !agg.per_level.empty()) {
+          std::string levels;
+          for (size_t l = agg.per_level.size(); l-- > 0;) {
+            levels += "L" + std::to_string(l) + "=" +
+                      std::to_string(agg.per_level[l] / n) + " ";
+          }
+          std::printf("  %s nodes/level (%s, side 40): %s\n", method,
+                      region.name, levels.c_str());
         }
-        std::printf("  R-tree nodes/level (%s, side 40): %s\n", region.name,
-                    levels.c_str());
       }
     }
   }

@@ -1,17 +1,17 @@
 // branch_following — the demo's SCOUT exhibit (paper Figures 5-6) as a
-// console program: walk along a neuron branch issuing moving range queries
-// with each prefetching method, and print the per-step panel (stall, pages,
-// candidate structures) plus the end-of-run statistics.
+// console program, on the engine's interactive session API: open a Session,
+// walk along a neuron branch issuing one Step per waypoint (the per-step
+// panel updates live — stall, pages, candidate structures), then replay the
+// same path with every prefetching method for the end-of-run statistics.
 //
 //   ./examples/branch_following
 
 #include <cstdio>
 
 #include "common/table.h"
-#include "flat/flat_index.h"
+#include "engine/query_engine.h"
 #include "neuro/circuit_generator.h"
 #include "neuro/workload.h"
-#include "scout/session.h"
 
 using namespace neurodb;
 
@@ -22,15 +22,12 @@ int main() {
   auto circuit = neuro::CircuitGenerator(params).Generate();
   if (!circuit.ok()) return 1;
 
-  neuro::SegmentDataset dataset = circuit->FlattenSegments();
-  neuro::SegmentResolver resolver;
-  resolver.AddDataset(dataset);
-
-  storage::PageStore store;
-  flat::FlatOptions flat_options;
-  flat_options.elems_per_page = 128;
-  auto index = flat::FlatIndex::Build(dataset.Elements(), &store, flat_options);
-  if (!index.ok()) return 1;
+  engine::EngineOptions options;
+  options.flat.elems_per_page = 128;
+  options.session.think_time_us = 400'000;  // the scientist looks at each frame
+  options.cost.page_read_micros = 5000;
+  engine::QueryEngine db(options);
+  if (!db.LoadCircuit(*circuit).ok()) return 1;
 
   auto path = neuro::FollowBranchPath(*circuit, 0, 12.0f, 1);
   if (!path.ok()) return 1;
@@ -39,33 +36,37 @@ int main() {
       "following the longest branch of neuron 0: %zu steps, %.0f um\n\n",
       queries.size(), path->Length());
 
-  scout::SessionOptions options;
-  options.think_time_us = 400'000;  // the scientist looks at each frame
-  options.cost.page_read_micros = 5000;
-  scout::WalkthroughSession session(&*index, &store, &resolver, options);
-
-  // Per-step panel for SCOUT (the demo updated this live).
-  auto scout_run = session.Run(queries, scout::PrefetchMethod::kScout);
-  if (!scout_run.ok()) return 1;
+  // Interactive exploration: one Step at a time through a SCOUT session —
+  // the incremental form of the demo's live panel.
+  auto session = db.OpenSession(scout::PrefetchMethod::kScout);
+  if (!session.ok()) return 1;
   TableWriter steps("SCOUT per-step panel (paper Fig 5/6)",
                     {"step", "stall ms", "missed", "hits", "prefetched",
                      "candidates"});
-  for (size_t i = 0; i < scout_run->steps.size() && i < 12; ++i) {
-    const auto& s = scout_run->steps[i];
-    steps.AddRow({TableWriter::Int(i), TableWriter::Num(s.stall_us / 1e3, 1),
-                  TableWriter::Int(s.pages_missed),
-                  TableWriter::Int(s.pages_hit), TableWriter::Int(s.prefetched),
-                  TableWriter::Int(s.candidates)});
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto step = session->Step(queries[i]);
+    if (!step.ok()) return 1;
+    if (i < 12) {
+      steps.AddRow({TableWriter::Int(i),
+                    TableWriter::Num(step->stall_us / 1e3, 1),
+                    TableWriter::Int(step->pages_missed),
+                    TableWriter::Int(step->pages_hit),
+                    TableWriter::Int(step->prefetched),
+                    TableWriter::Int(step->candidates)});
+    }
   }
   steps.Print();
 
-  // Method comparison.
+  // Method comparison via whole-path replay requests.
   TableWriter summary("walkthrough summary by method",
                       {"method", "stall ms", "speedup", "prefetched", "used",
                        "precision"});
   uint64_t none_stall = 1;
   for (auto method : scout::AllPrefetchMethods()) {
-    auto run = session.Run(queries, method);
+    engine::WalkthroughRequest request;
+    request.queries = queries;
+    request.method = method;
+    auto run = db.Execute(request);
     if (!run.ok()) return 1;
     if (method == scout::PrefetchMethod::kNone) {
       none_stall = std::max<uint64_t>(1, run->total_stall_us);

@@ -1,16 +1,15 @@
 // flat_explorer — the demo's FLAT exhibit (paper Figures 2-4) as a console
-// program: run a query in a dense and a sparse region, show the live
-// statistics panel, and visualize FLAT's crawl order (the order in which
-// result pages are loaded while "crawling through the query range") plus
-// the R-tree's node fetches per level.
+// program on the engine API: run a RangeRequest{kAll} in a dense and a
+// sparse region, show the live statistics panel, and visualize FLAT's crawl
+// order (the order in which result pages are loaded while "crawling through
+// the query range") plus the R-tree's node fetches per level.
 //
 //   ./examples/flat_explorer
 
 #include <cstdio>
 
-#include "common/sim_clock.h"
 #include "common/table.h"
-#include "core/toolkit.h"
+#include "engine/query_engine.h"
 #include "flat/flat_index.h"
 #include "neuro/circuit_generator.h"
 #include "neuro/workload.h"
@@ -26,13 +25,13 @@ int main() {
   auto circuit = neuro::CircuitGenerator(params).Generate();
   if (!circuit.ok()) return 1;
 
-  core::NeuroToolkit tk;
-  if (!tk.LoadCircuit(*circuit).ok()) return 1;
+  engine::QueryEngine db;
+  if (!db.LoadCircuit(*circuit).ok()) return 1;
   std::printf("model: %zu neurons / %zu segments on %zu data pages\n\n",
-              circuit->NumNeurons(), tk.NumSegments(),
-              tk.flat_index().NumPages());
+              circuit->NumNeurons(), db.NumSegments(),
+              db.flat_index().NumPages());
 
-  geom::Aabb domain = tk.domain();
+  geom::Aabb domain = db.domain();
   float band = 500.0f / 5;
   struct Probe {
     const char* name;
@@ -42,43 +41,46 @@ int main() {
 
   for (const Probe& probe : probes) {
     geom::Vec3 center(domain.Center().x, probe.y, domain.Center().z);
-    geom::Aabb query = geom::Aabb::Cube(center, 45.0f);
-    auto report = tk.CompareRangeQuery(query);
+    engine::RangeRequest request;
+    request.box = geom::Aabb::Cube(center, 45.0f);
+    request.backend = engine::BackendChoice::kAll;
+    auto report = db.Execute(request);
     if (!report.ok()) return 1;
 
     std::printf("=== %s ===\n", probe.name);
     TableWriter panel("live statistics (paper Fig 3)",
                       {"method", "disk pages", "time us", "results"});
-    panel.AddRow({"FLAT", TableWriter::Int(report->flat.pages_read),
-                  TableWriter::Int(report->flat.time_us),
-                  TableWriter::Int(report->flat.results)});
-    panel.AddRow({"R-Tree", TableWriter::Int(report->rtree.pages_read),
-                  TableWriter::Int(report->rtree.time_us),
-                  TableWriter::Int(report->rtree.results)});
+    for (const auto& row : report->rows) {
+      panel.AddRow({row.method, TableWriter::Int(row.stats.pages_read),
+                    TableWriter::Int(row.stats.time_us),
+                    TableWriter::Int(row.stats.results)});
+    }
     panel.Print();
 
-    std::printf("R-tree node fetches per level (root on the left): ");
-    for (size_t l = report->rtree.nodes_per_level.size(); l-- > 0;) {
-      std::printf("%llu ", static_cast<unsigned long long>(
-                               report->rtree.nodes_per_level[l]));
+    for (const auto& row : report->rows) {
+      if (row.stats.nodes_per_level.empty()) continue;
+      std::printf("%s node fetches per level (root on the left): ",
+                  row.method.c_str());
+      for (size_t l = row.stats.nodes_per_level.size(); l-- > 0;) {
+        std::printf("%llu ", static_cast<unsigned long long>(
+                                 row.stats.nodes_per_level[l]));
+      }
+      std::printf("\n");
     }
-    std::printf("\n\n");
+    std::printf("\n");
   }
 
-  // Crawl-order trace (paper Figure 4): the toolkit owns its page store, so
-  // build a standalone FLAT index over the same elements to trace against.
-  neuro::SegmentDataset dataset = circuit->FlattenSegments();
-  storage::PageStore store;
-  auto index = flat::FlatIndex::Build(dataset.Elements(), &store);
-  if (!index.ok()) return 1;
-  storage::BufferPool pool(&store, 1 << 20);
+  // Crawl-order trace (paper Figure 4): trace directly against the engine's
+  // FLAT backend through a private pool over its page store.
+  const flat::FlatIndex& index = db.flat_index();
+  storage::BufferPool pool(db.flat_backend()->store(), 1 << 20);
   geom::Aabb query = geom::Aabb::Cube(
       geom::Vec3(domain.Center().x, 500 - 1.5f * band, domain.Center().z),
       45.0f);
   std::vector<uint32_t> order;
-  std::vector<geom::ElementId> out;
+  geom::CountingVisitor out;
   flat::FlatQueryStats stats;
-  if (!index->RangeQueryTraced(query, &pool, &out, &order, &stats).ok()) {
+  if (!index.RangeQueryTraced(query, &pool, out, &order, &stats).ok()) {
     return 1;
   }
   std::printf("=== FLAT crawl order (paper Fig 4) ===\n");
@@ -87,11 +89,11 @@ int main() {
       "crawled:\n",
       static_cast<unsigned long long>(stats.seed_nodes_visited), order.size());
   for (size_t i = 0; i < order.size(); ++i) {
-    const geom::Aabb& b = index->PageBounds(order[i]);
+    const geom::Aabb& b = index.PageBounds(order[i]);
     std::printf("  step %2zu: page %4u  center=(%.0f, %.0f, %.0f)  "
                 "neighbors=%zu\n",
                 i, order[i], b.Center().x, b.Center().y, b.Center().z,
-                index->NeighborsOf(order[i]).size());
+                index.NeighborsOf(order[i]).size());
     if (i == 14 && order.size() > 16) {
       std::printf("  ... (%zu more)\n", order.size() - 15);
       break;

@@ -1,12 +1,13 @@
 // Quickstart: generate a small synthetic microcircuit, load it into the
-// toolkit, and run each of the demo's three exhibits once — a FLAT vs
-// R-tree range query, a SCOUT walkthrough step, and a TOUCH synapse join.
+// query engine, and run each of the demo's three exhibits once through the
+// typed-request API — a FLAT vs R-tree range query (RangeRequest), a SCOUT
+// walkthrough (WalkthroughRequest), and a TOUCH synapse join (JoinRequest).
 //
 //   ./examples/quickstart
 
 #include <cstdio>
 
-#include "core/toolkit.h"
+#include "engine/query_engine.h"
 #include "neuro/circuit_generator.h"
 #include "neuro/workload.h"
 
@@ -26,38 +27,45 @@ int main() {
               circuit->NumNeurons(), circuit->TotalSegments(),
               circuit->TotalCableLength());
 
-  // 2. Load into the toolkit: lays data out on simulated disk pages and
-  // builds FLAT plus the baseline R-tree. Page granularity is the main
+  // 2. Load into the engine: lays data out on each backend's simulated disk
+  // and builds FLAT plus the baseline R-tree. Page granularity is the main
   // knob: finer pages sharpen both crawling and prefetching.
-  core::ToolkitOptions options;
+  engine::EngineOptions options;
   options.flat.elems_per_page = 64;
-  core::NeuroToolkit tk(options);
-  if (Status s = tk.LoadCircuit(*circuit); !s.ok()) {
+  engine::QueryEngine db(options);
+  if (Status s = db.LoadCircuit(*circuit); !s.ok()) {
     std::fprintf(stderr, "load: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  // 3. Range query, FLAT vs R-tree (paper Figure 3's panel).
-  geom::Aabb query = geom::Aabb::Cube(tk.domain().Center(), 40.0f);
-  auto report = tk.CompareRangeQuery(query);
+  // 3. Range query on every backend (paper Figure 3's panel). Results
+  // stream through a visitor; here we only need the statistics rows.
+  engine::RangeRequest range;
+  range.box = geom::Aabb::Cube(db.domain().Center(), 40.0f);
+  range.backend = engine::BackendChoice::kAll;
+  auto report = db.Execute(range);
   if (!report.ok()) return 1;
-  std::printf("\nrange query (40 um cube @ center): %llu elements\n",
-              static_cast<unsigned long long>(report->flat.results));
-  std::printf("  FLAT   : %4llu pages, %6llu us\n",
-              static_cast<unsigned long long>(report->flat.pages_read),
-              static_cast<unsigned long long>(report->flat.time_us));
-  std::printf("  R-Tree : %4llu pages, %6llu us\n",
-              static_cast<unsigned long long>(report->rtree.pages_read),
-              static_cast<unsigned long long>(report->rtree.time_us));
+  std::printf("\nrange query (40 um cube @ center): %llu elements%s\n",
+              static_cast<unsigned long long>(report->results),
+              report->results_match ? "" : "  [BACKENDS DISAGREE]");
+  for (const auto& row : report->rows) {
+    std::printf("  %-7s: %4llu pages, %6llu us\n", row.method.c_str(),
+                static_cast<unsigned long long>(row.stats.pages_read),
+                static_cast<unsigned long long>(row.stats.time_us));
+  }
 
   // 4. Walk along a branch with SCOUT prefetching (paper Figure 6).
   auto path = neuro::FollowBranchPath(*circuit, 0, 12.0f, 1);
   if (!path.ok()) return 1;
-  auto queries = neuro::PathQueries(*path, 30.0f);
-  auto none = tk.WalkThrough(queries, scout::PrefetchMethod::kNone);
-  auto scout = tk.WalkThrough(queries, scout::PrefetchMethod::kScout);
+  engine::WalkthroughRequest walk;
+  walk.queries = neuro::PathQueries(*path, 30.0f);
+  walk.method = scout::PrefetchMethod::kNone;
+  auto none = db.Execute(walk);
+  walk.method = scout::PrefetchMethod::kScout;
+  auto scout = db.Execute(walk);
   if (!none.ok() || !scout.ok()) return 1;
-  std::printf("\nwalkthrough (%zu steps along a branch):\n", queries.size());
+  std::printf("\nwalkthrough (%zu steps along a branch):\n",
+              walk.queries.size());
   std::printf("  no prefetch : stall %6.1f ms\n", none->total_stall_us / 1e3);
   std::printf("  SCOUT       : stall %6.1f ms (%.1fx), %llu/%llu prefetches used\n",
               scout->total_stall_us / 1e3,
@@ -67,9 +75,10 @@ int main() {
               static_cast<unsigned long long>(scout->prefetch_issued));
 
   // 5. Find synapse candidates with TOUCH (paper Figure 7).
-  touch::JoinOptions join_options;
-  join_options.epsilon = 3.0f;
-  auto synapses = tk.FindSynapses(touch::JoinMethod::kTouch, join_options);
+  engine::JoinRequest join;
+  join.method = touch::JoinMethod::kTouch;
+  join.options.epsilon = 3.0f;
+  auto synapses = db.Execute(join);
   if (!synapses.ok()) return 1;
   std::printf("\nsynapse discovery (axon-dendrite pairs within 3 um):\n");
   std::printf("  TOUCH found %zu candidate synapses in %.1f ms "

@@ -1,106 +1,63 @@
 #include "core/toolkit.h"
 
-#include <algorithm>
-
-#include "common/sim_clock.h"
-#include "storage/buffer_pool.h"
-
 namespace neurodb {
 namespace core {
 
 using geom::Aabb;
-using geom::ElementId;
+
+engine::EngineOptions ToolkitOptions::ToEngineOptions() const {
+  engine::EngineOptions options;
+  options.flat = flat;
+  options.rtree = rtree;
+  options.pool_pages = pool_pages;
+  options.cost = cost;
+  options.session = session;
+  return options;
+}
 
 NeuroToolkit::NeuroToolkit(ToolkitOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), engine_(options_.ToEngineOptions()) {}
 
 Status NeuroToolkit::LoadCircuit(const neuro::Circuit& circuit) {
-  if (loaded()) {
+  Status status = engine_.LoadCircuit(circuit);
+  if (status.IsAlreadyExists()) {
     return Status::AlreadyExists("NeuroToolkit: circuit already loaded");
   }
-  NEURODB_RETURN_NOT_OK(circuit.Validate());
-
-  neuro::SegmentDataset all = circuit.FlattenSegments(neuro::NeuriteFilter::kAll);
-  if (all.empty()) {
-    return Status::InvalidArgument("NeuroToolkit: circuit has no segments");
-  }
-  num_segments_ = all.size();
-  domain_ = all.Bounds();
-  resolver_.AddDataset(all);
-
-  geom::ElementVec elements = all.Elements();
-
-  // FLAT over the data pages.
-  NEURODB_ASSIGN_OR_RETURN(
-      flat::FlatIndex index,
-      flat::FlatIndex::Build(elements, &flat_store_, options_.flat));
-  flat_.emplace(std::move(index));
-
-  // The baseline: a disk-resident R-tree over the same elements.
-  NEURODB_ASSIGN_OR_RETURN(rtree::RTree tree,
-                           rtree::RTree::BulkLoadStr(elements, options_.rtree));
-  NEURODB_ASSIGN_OR_RETURN(rtree::PagedRTree paged,
-                           rtree::PagedRTree::Build(std::move(tree),
-                                                    &rtree_store_));
-  paged_rtree_.emplace(std::move(paged));
-
-  // Join inputs for synapse discovery.
-  neuro::SegmentDataset axons =
-      circuit.FlattenSegments(neuro::NeuriteFilter::kAxons);
-  neuro::SegmentDataset dendrites =
-      circuit.FlattenSegments(neuro::NeuriteFilter::kDendrites);
-  axons_ = touch::JoinInput::FromSegments(std::move(axons.segments),
-                                          std::move(axons.ids));
-  dendrites_ = touch::JoinInput::FromSegments(std::move(dendrites.segments),
-                                              std::move(dendrites.ids));
-  return Status::OK();
+  return status;
 }
 
 Result<RangeQueryReport> NeuroToolkit::CompareRangeQuery(const Aabb& box) {
   if (!loaded()) {
     return Status::InvalidArgument("NeuroToolkit: no circuit loaded");
   }
-  RangeQueryReport report;
-
-  // FLAT, cold pool.
-  std::vector<ElementId> flat_results;
-  {
-    SimClock clock;
-    storage::BufferPool pool(&flat_store_, options_.pool_pages, &clock,
-                             options_.cost);
-    flat::FlatQueryStats stats;
-    NEURODB_RETURN_NOT_OK(
-        flat_->RangeQuery(box, &pool, &flat_results, &stats));
-    report.flat.method = "FLAT";
-    report.flat.pages_read = stats.data_pages_read;
-    report.flat.time_us = clock.NowMicros();
-    report.flat.results = stats.results;
-    report.flat.elements_scanned = stats.elements_scanned;
-  }
-
-  // R-tree, cold pool.
-  std::vector<ElementId> rtree_results;
-  {
-    SimClock clock;
-    storage::BufferPool pool(&rtree_store_, options_.pool_pages, &clock,
-                             options_.cost);
-    rtree::QueryStats stats;
-    NEURODB_RETURN_NOT_OK(
-        paged_rtree_->RangeQuery(box, &rtree_results, &pool, &stats));
-    report.rtree.method = "R-Tree";
-    report.rtree.pages_read = stats.nodes_visited;
-    report.rtree.time_us = clock.NowMicros();
-    report.rtree.results = stats.results;
-    report.rtree.elements_scanned = stats.entries_tested;
-    report.rtree.nodes_per_level = stats.nodes_per_level;
-  }
-
-  std::sort(flat_results.begin(), flat_results.end());
-  std::sort(rtree_results.begin(), rtree_results.end());
-  report.results_match = flat_results == rtree_results;
-  if (!report.results_match) {
+  engine::RangeRequest request;
+  request.box = box;
+  request.backend = engine::BackendChoice::kAll;
+  request.cache = engine::CachePolicy::kCold;
+  NEURODB_ASSIGN_OR_RETURN(engine::RangeReport engine_report,
+                           engine_.Execute(request));
+  if (!engine_report.results_match) {
     return Status::Internal(
         "CompareRangeQuery: FLAT and R-tree results disagree");
+  }
+
+  RangeQueryReport report;
+  report.results_match = true;
+  for (const engine::RangeRow& row : engine_report.rows) {
+    RangeQueryRow* out = nullptr;
+    if (row.method == "FLAT") {
+      out = &report.flat;
+    } else if (row.method == "R-Tree") {
+      out = &report.rtree;
+    } else {
+      continue;  // extra registered backends have no panel slot
+    }
+    out->method = row.method;
+    out->pages_read = row.stats.pages_read;
+    out->time_us = row.stats.time_us;
+    out->results = row.stats.results;
+    out->elements_scanned = row.stats.elements_scanned;
+    out->nodes_per_level = row.stats.nodes_per_level;
   }
   return report;
 }
@@ -110,11 +67,10 @@ Result<scout::SessionResult> NeuroToolkit::WalkThrough(
   if (!loaded()) {
     return Status::InvalidArgument("NeuroToolkit: no circuit loaded");
   }
-  scout::SessionOptions session_options = options_.session;
-  session_options.cost = options_.cost;
-  scout::WalkthroughSession session(&*flat_, &flat_store_, &resolver_,
-                                    session_options);
-  return session.Run(queries, method);
+  engine::WalkthroughRequest request;
+  request.queries = queries;
+  request.method = method;
+  return engine_.Execute(request);
 }
 
 Result<touch::JoinResult> NeuroToolkit::FindSynapses(
@@ -122,7 +78,10 @@ Result<touch::JoinResult> NeuroToolkit::FindSynapses(
   if (!loaded()) {
     return Status::InvalidArgument("NeuroToolkit: no circuit loaded");
   }
-  return touch::RunJoin(method, axons_, dendrites_, options);
+  engine::JoinRequest request;
+  request.method = method;
+  request.options = options;
+  return engine_.Execute(request);
 }
 
 }  // namespace core

@@ -3,25 +3,26 @@
 // The paper demonstrates "a tool that integrates three spatial data
 // management techniques": FLAT for range queries (Section 2), SCOUT for
 // exploration (Section 3) and TOUCH for synapse discovery (Section 4).
-// NeuroToolkit is that tool as a library facade: load a circuit once, then
+// NeuroToolkit is that tool as a library facade — kept as a thin
+// compatibility shim over engine::QueryEngine, which owns the backends,
+// page stores and buffer pools. New code should use QueryEngine directly
+// (docs/API.md has the migration table):
 //
-//   * CompareRangeQuery — runs a query on FLAT and on a disk R-tree side by
-//     side and reports the live statistics panel of Figure 3 (pages
-//     retrieved, time, nodes per level);
-//   * WalkThrough       — replays a navigation path with a chosen
-//     prefetcher (Figure 6 statistics);
-//   * FindSynapses      — joins axon segments against dendrite segments
-//     with a chosen algorithm (Figure 7 statistics).
+//   * CompareRangeQuery — RangeRequest{BackendChoice::kAll} re-shaped into
+//     the two-row Figure 3 panel;
+//   * WalkThrough       — WalkthroughRequest (whole-path replay; use
+//     QueryEngine::OpenSession for incremental exploration);
+//   * FindSynapses      — JoinRequest.
 
 #ifndef NEURODB_CORE_TOOLKIT_H_
 #define NEURODB_CORE_TOOLKIT_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "engine/query_engine.h"
 #include "flat/flat_index.h"
 #include "geom/aabb.h"
 #include "neuro/circuit.h"
@@ -42,6 +43,9 @@ struct ToolkitOptions {
   size_t pool_pages = 4096;
   storage::DiskCostModel cost;
   scout::SessionOptions session;
+
+  /// The engine configuration this maps to.
+  engine::EngineOptions ToEngineOptions() const;
 };
 
 /// One method's row of the Figure 3 panel.
@@ -63,7 +67,7 @@ struct RangeQueryReport {
   bool results_match = false;
 };
 
-/// The integrated tool.
+/// The integrated tool (compatibility shim over engine::QueryEngine).
 class NeuroToolkit {
  public:
   explicit NeuroToolkit(ToolkitOptions options = ToolkitOptions());
@@ -75,7 +79,7 @@ class NeuroToolkit {
   /// disk, and build both indexes (FLAT and the paged R-tree).
   Status LoadCircuit(const neuro::Circuit& circuit);
 
-  bool loaded() const { return flat_.has_value(); }
+  bool loaded() const { return engine_.loaded(); }
 
   /// Demo exhibit 1 (Figures 2–4): run `box` on FLAT and on the R-tree,
   /// both from a cold buffer pool, and report the statistics panel.
@@ -91,27 +95,28 @@ class NeuroToolkit {
   Result<touch::JoinResult> FindSynapses(touch::JoinMethod method,
                                          const touch::JoinOptions& options);
 
+  /// The engine underneath — the full redesigned API (batching, sessions,
+  /// streaming visitors, extra backends).
+  engine::QueryEngine& engine() { return engine_; }
+  const engine::QueryEngine& engine() const { return engine_; }
+
   // Accessors for examples and tests.
-  const geom::Aabb& domain() const { return domain_; }
-  size_t NumSegments() const { return num_segments_; }
-  const flat::FlatIndex& flat_index() const { return *flat_; }
-  const rtree::PagedRTree& paged_rtree() const { return *paged_rtree_; }
-  const neuro::SegmentResolver& resolver() const { return resolver_; }
-  const touch::JoinInput& axons() const { return axons_; }
-  const touch::JoinInput& dendrites() const { return dendrites_; }
+  const geom::Aabb& domain() const { return engine_.domain(); }
+  size_t NumSegments() const { return engine_.NumSegments(); }
+  const flat::FlatIndex& flat_index() const { return engine_.flat_index(); }
+  const rtree::PagedRTree& paged_rtree() const {
+    return engine_.paged_rtree();
+  }
+  const neuro::SegmentResolver& resolver() const {
+    return engine_.resolver();
+  }
+  const touch::JoinInput& axons() const { return engine_.axons(); }
+  const touch::JoinInput& dendrites() const { return engine_.dendrites(); }
   const ToolkitOptions& options() const { return options_; }
 
  private:
   ToolkitOptions options_;
-  storage::PageStore flat_store_;
-  storage::PageStore rtree_store_;
-  std::optional<flat::FlatIndex> flat_;
-  std::optional<rtree::PagedRTree> paged_rtree_;
-  neuro::SegmentResolver resolver_;
-  touch::JoinInput axons_;
-  touch::JoinInput dendrites_;
-  geom::Aabb domain_;
-  size_t num_segments_ = 0;
+  engine::QueryEngine engine_;
 };
 
 }  // namespace core

@@ -1,0 +1,90 @@
+// NeuroDB — SpatialBackend: the pluggable index interface of QueryEngine.
+//
+// A backend owns one simulated disk (PageStore), knows how to lay a dataset
+// out on it (Build) and how to answer range queries through a BufferPool
+// with streaming visitor delivery (RangeQuery). FLAT and the paged R-tree
+// are the two shipped backends; the interface is what future backends
+// (in-memory grid, sharded stores) implement to join BackendChoice::kAll
+// comparisons without facade changes.
+
+#ifndef NEURODB_ENGINE_BACKEND_H_
+#define NEURODB_ENGINE_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "geom/visitor.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace engine {
+
+using geom::CollectingVisitor;
+using geom::CountingVisitor;
+using geom::ResultVisitor;
+
+/// Index footprint report (SpatialBackend::Stats()).
+struct BackendStats {
+  /// Disk pages occupied by the backend's data + index structure.
+  size_t index_pages = 0;
+  /// Memory-resident metadata bytes (seed trees, neighbor lists, ...).
+  size_t metadata_bytes = 0;
+};
+
+/// Per-query counters, normalized across backends — one row of the demo's
+/// live statistics panel (paper Figure 3).
+struct RangeStats {
+  /// Disk pages fetched on the demand path.
+  uint64_t pages_read = 0;
+  /// Modeled query time in microseconds (filled in by the engine's clock).
+  uint64_t time_us = 0;
+  uint64_t results = 0;
+  /// Candidate elements tested against the query box.
+  uint64_t elements_scanned = 0;
+  /// Tree backends: node fetches per level (leaf = index 0); else empty.
+  std::vector<uint64_t> nodes_per_level;
+};
+
+/// Abstract index backend. Build once, then answer range queries through a
+/// caller-supplied BufferPool (the pool determines cache behaviour and time
+/// accounting; the engine owns pools and clocks).
+class SpatialBackend {
+ public:
+  SpatialBackend() = default;
+  SpatialBackend(const SpatialBackend&) = delete;
+  SpatialBackend& operator=(const SpatialBackend&) = delete;
+  virtual ~SpatialBackend() = default;
+
+  /// Short display name ("FLAT", "R-Tree"); also the registry key.
+  virtual const char* name() const = 0;
+
+  /// Lay `elements` out in this backend's page store and build the index.
+  /// Called exactly once per backend instance.
+  virtual Status Build(const geom::ElementVec& elements) = 0;
+
+  /// Stream every element intersecting `box` to `visitor`; page I/O goes
+  /// through `pool`, which must be a pool over this backend's store().
+  virtual Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+                            ResultVisitor& visitor,
+                            RangeStats* stats = nullptr) const = 0;
+
+  /// Index footprint.
+  virtual BackendStats Stats() const = 0;
+
+  /// The simulated disk holding this backend's pages. The engine builds
+  /// buffer pools over it.
+  storage::PageStore* store() { return &store_; }
+  const storage::PageStore& store() const { return store_; }
+
+ protected:
+  storage::PageStore store_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_BACKEND_H_

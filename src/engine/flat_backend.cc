@@ -1,0 +1,43 @@
+#include "engine/flat_backend.h"
+
+namespace neurodb {
+namespace engine {
+
+Status FlatBackend::Build(const geom::ElementVec& elements) {
+  if (built()) {
+    return Status::AlreadyExists("FlatBackend: already built");
+  }
+  NEURODB_ASSIGN_OR_RETURN(flat::FlatIndex index,
+                           flat::FlatIndex::Build(elements, &store_, options_));
+  index_.emplace(std::move(index));
+  return Status::OK();
+}
+
+Status FlatBackend::RangeQuery(const geom::Aabb& box,
+                               storage::BufferPool* pool,
+                               ResultVisitor& visitor,
+                               RangeStats* stats) const {
+  if (!built()) {
+    return Status::InvalidArgument("FlatBackend: not built");
+  }
+  flat::FlatQueryStats flat_stats;
+  NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool, visitor, &flat_stats));
+  if (stats != nullptr) {
+    stats->pages_read = flat_stats.data_pages_read;
+    stats->results = flat_stats.results;
+    stats->elements_scanned = flat_stats.elements_scanned;
+  }
+  return Status::OK();
+}
+
+BackendStats FlatBackend::Stats() const {
+  BackendStats stats;
+  if (built()) {
+    stats.index_pages = index_->NumPages();
+    stats.metadata_bytes = index_->MetadataBytes();
+  }
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace neurodb

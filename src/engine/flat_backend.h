@@ -1,0 +1,46 @@
+// NeuroDB — FlatBackend: the FLAT index as a QueryEngine backend.
+
+#ifndef NEURODB_ENGINE_FLAT_BACKEND_H_
+#define NEURODB_ENGINE_FLAT_BACKEND_H_
+
+#include <optional>
+
+#include "engine/backend.h"
+#include "flat/flat_index.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Adapter wrapping flat::FlatIndex. Owns the crawl-page store; the seed
+/// tree and neighborhood graph stay memory resident (FLAT's design).
+class FlatBackend : public SpatialBackend {
+ public:
+  explicit FlatBackend(flat::FlatOptions options = flat::FlatOptions())
+      : options_(options) {}
+
+  const char* name() const override { return "FLAT"; }
+
+  Status Build(const geom::ElementVec& elements) override;
+
+  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+                    ResultVisitor& visitor,
+                    RangeStats* stats = nullptr) const override;
+
+  BackendStats Stats() const override;
+
+  bool built() const { return index_.has_value(); }
+
+  /// The wrapped index — SCOUT sessions crawl and prefetch through it.
+  const flat::FlatIndex& index() const { return *index_; }
+
+  const flat::FlatOptions& options() const { return options_; }
+
+ private:
+  flat::FlatOptions options_;
+  std::optional<flat::FlatIndex> index_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_FLAT_BACKEND_H_

@@ -1,0 +1,278 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+
+namespace neurodb {
+namespace engine {
+
+using geom::Aabb;
+using geom::ElementId;
+
+Status EngineOptions::Validate() const {
+  if (pool_pages == 0) {
+    return Status::InvalidArgument("EngineOptions: pool_pages must be > 0");
+  }
+  if (session.pool_pages == 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: session.pool_pages must be > 0");
+  }
+  NEURODB_RETURN_NOT_OK(flat.Validate());
+  return rtree.Validate();
+}
+
+QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
+  auto flat = std::make_unique<FlatBackend>(options_.flat);
+  auto rtree = std::make_unique<PagedRTreeBackend>(options_.rtree);
+  flat_ = flat.get();
+  rtree_ = rtree.get();
+  backends_.push_back(std::move(flat));
+  backends_.push_back(std::move(rtree));
+}
+
+Status QueryEngine::RegisterBackend(std::unique_ptr<SpatialBackend> backend) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("QueryEngine: null backend");
+  }
+  if (loaded_) {
+    return Status::InvalidArgument(
+        "QueryEngine: backends must be registered before LoadCircuit");
+  }
+  for (const auto& existing : backends_) {
+    if (std::string(existing->name()) == backend->name()) {
+      return Status::AlreadyExists(std::string("QueryEngine: backend '") +
+                                   backend->name() + "' already registered");
+    }
+  }
+  backends_.push_back(std::move(backend));
+  return Status::OK();
+}
+
+Status QueryEngine::LoadCircuit(const neuro::Circuit& circuit) {
+  if (loaded_) {
+    return Status::AlreadyExists("QueryEngine: circuit already loaded");
+  }
+  NEURODB_RETURN_NOT_OK(options_.Validate());
+  NEURODB_RETURN_NOT_OK(circuit.Validate());
+
+  neuro::SegmentDataset all =
+      circuit.FlattenSegments(neuro::NeuriteFilter::kAll);
+  if (all.empty()) {
+    return Status::InvalidArgument("QueryEngine: circuit has no segments");
+  }
+  num_segments_ = all.size();
+  domain_ = all.Bounds();
+  resolver_.AddDataset(all);
+
+  geom::ElementVec elements = all.Elements();
+  for (auto& backend : backends_) {
+    NEURODB_RETURN_NOT_OK(backend->Build(elements));
+  }
+
+  // Join inputs for synapse discovery.
+  neuro::SegmentDataset axons =
+      circuit.FlattenSegments(neuro::NeuriteFilter::kAxons);
+  neuro::SegmentDataset dendrites =
+      circuit.FlattenSegments(neuro::NeuriteFilter::kDendrites);
+  axons_ = touch::JoinInput::FromSegments(std::move(axons.segments),
+                                          std::move(axons.ids));
+  dendrites_ = touch::JoinInput::FromSegments(std::move(dendrites.segments),
+                                              std::move(dendrites.ids));
+
+  // Persistent pools for the warm path, one per backend.
+  warm_clock_ = std::make_unique<SimClock>();
+  warm_pools_.reserve(backends_.size());
+  for (auto& backend : backends_) {
+    warm_pools_.push_back(std::make_unique<storage::BufferPool>(
+        backend->store(), options_.pool_pages, warm_clock_.get(),
+        options_.cost));
+  }
+
+  loaded_ = true;
+  return Status::OK();
+}
+
+Status QueryEngine::RequireLoaded(const char* op) const {
+  if (!loaded_) {
+    return Status::InvalidArgument(std::string("QueryEngine::") + op +
+                                   ": no circuit loaded");
+  }
+  return Status::OK();
+}
+
+std::vector<const SpatialBackend*> QueryEngine::Select(
+    BackendChoice choice) const {
+  std::vector<const SpatialBackend*> out;
+  switch (choice) {
+    case BackendChoice::kFlat:
+      out.push_back(flat_);
+      break;
+    case BackendChoice::kRTree:
+      out.push_back(rtree_);
+      break;
+    case BackendChoice::kAll:
+      for (const auto& backend : backends_) out.push_back(backend.get());
+      break;
+  }
+  return out;
+}
+
+scout::SessionOptions QueryEngine::EffectiveSessionOptions() const {
+  scout::SessionOptions session_options = options_.session;
+  session_options.cost = options_.cost;
+  return session_options;
+}
+
+Status QueryEngine::ExecuteOn(const RangeRequest& request,
+                              ResultVisitor* visitor,
+                              const std::vector<storage::BufferPool*>& pools,
+                              SimClock* clock, RangeReport* report) const {
+  std::vector<const SpatialBackend*> selected = Select(request.backend);
+  const bool parity_check = selected.size() > 1;
+  std::vector<std::vector<ElementId>> id_sets;
+
+  report->rows.reserve(selected.size());
+  for (size_t k = 0; k < selected.size(); ++k) {
+    const SpatialBackend* backend = selected[k];
+    // Locate the pool paired with this backend.
+    storage::BufferPool* pool = nullptr;
+    for (size_t i = 0; i < backends_.size(); ++i) {
+      if (backends_[i].get() == backend) pool = pools[i];
+    }
+
+    RangeRow row;
+    row.method = backend->name();
+    uint64_t t0 = clock->NowMicros();
+
+    Status status;
+    if (parity_check) {
+      id_sets.emplace_back();
+      geom::VectorVisitor ids(&id_sets.back());
+      // The primary backend additionally streams to the caller.
+      geom::TeeVisitor tee(k == 0 ? visitor : nullptr, &ids);
+      status = backend->RangeQuery(request.box, pool, tee, &row.stats);
+    } else if (visitor != nullptr) {
+      status = backend->RangeQuery(request.box, pool, *visitor, &row.stats);
+    } else {
+      geom::CountingVisitor count;
+      status = backend->RangeQuery(request.box, pool, count, &row.stats);
+    }
+    NEURODB_RETURN_NOT_OK(status);
+
+    row.stats.time_us = clock->NowMicros() - t0;
+    report->rows.push_back(std::move(row));
+  }
+
+  report->results = report->rows.empty() ? 0 : report->rows[0].stats.results;
+  report->results_match = true;
+  if (parity_check) {
+    for (auto& ids : id_sets) std::sort(ids.begin(), ids.end());
+    for (size_t k = 1; k < id_sets.size(); ++k) {
+      if (id_sets[k] != id_sets[0]) report->results_match = false;
+    }
+  }
+  return Status::OK();
+}
+
+Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
+                                         ResultVisitor& visitor) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
+  if (!request.box.IsValid()) {
+    return Status::InvalidArgument(
+        "QueryEngine::Execute: invalid box (lo > hi)");
+  }
+
+  RangeReport report;
+  if (request.cache == CachePolicy::kWarm) {
+    std::vector<storage::BufferPool*> pools;
+    for (auto& pool : warm_pools_) pools.push_back(pool.get());
+    NEURODB_RETURN_NOT_OK(
+        ExecuteOn(request, &visitor, pools, warm_clock_.get(), &report));
+    return report;
+  }
+
+  // Cold: a fresh pool per backend, as the paper's per-query cost model.
+  SimClock clock;
+  std::vector<std::unique_ptr<storage::BufferPool>> owned;
+  std::vector<storage::BufferPool*> pools;
+  for (auto& backend : backends_) {
+    owned.push_back(std::make_unique<storage::BufferPool>(
+        backend->store(), options_.pool_pages, &clock, options_.cost));
+    pools.push_back(owned.back().get());
+  }
+  NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, pools, &clock, &report));
+  return report;
+}
+
+Result<RangeReport> QueryEngine::Execute(const RangeRequest& request) {
+  CountingVisitor ignore;
+  return Execute(request, ignore);
+}
+
+Result<BatchResult> QueryEngine::ExecuteBatch(
+    std::span<const RangeRequest> requests) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("ExecuteBatch"));
+  for (const RangeRequest& request : requests) {
+    if (!request.box.IsValid()) {
+      return Status::InvalidArgument(
+          "QueryEngine::ExecuteBatch: invalid box (lo > hi)");
+    }
+  }
+
+  // Pools shared across the whole batch; one clock spans it.
+  SimClock clock;
+  std::vector<std::unique_ptr<storage::BufferPool>> owned;
+  std::vector<storage::BufferPool*> pools;
+  for (auto& backend : backends_) {
+    owned.push_back(std::make_unique<storage::BufferPool>(
+        backend->store(), options_.pool_pages, &clock, options_.cost));
+    pools.push_back(owned.back().get());
+  }
+
+  BatchResult out;
+  out.reports.reserve(requests.size());
+  for (const RangeRequest& request : requests) {
+    if (request.cache == CachePolicy::kCold) {
+      for (storage::BufferPool* pool : pools) pool->EvictAll();
+    }
+    RangeReport report;
+    NEURODB_RETURN_NOT_OK(
+        ExecuteOn(request, nullptr, pools, &clock, &report));
+    for (const RangeRow& row : report.rows) {
+      out.aggregate.pages_read += row.stats.pages_read;
+    }
+    out.aggregate.results += report.results;
+    out.reports.push_back(std::move(report));
+  }
+
+  out.aggregate.queries = requests.size();
+  out.aggregate.time_us = clock.NowMicros();
+  for (storage::BufferPool* pool : pools) {
+    out.aggregate.pool_hits += pool->stats().Get("pool.hits");
+    out.aggregate.pool_misses += pool->stats().Get("pool.misses");
+  }
+  return out;
+}
+
+Result<scout::SessionResult> QueryEngine::Execute(
+    const WalkthroughRequest& request) {
+  NEURODB_ASSIGN_OR_RETURN(Session session, OpenSession(request.method));
+  for (const Aabb& query : request.queries) {
+    NEURODB_RETURN_NOT_OK(session.Step(query).status());
+  }
+  return session.Summary();
+}
+
+Result<touch::JoinResult> QueryEngine::Execute(const JoinRequest& request) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
+  NEURODB_RETURN_NOT_OK(request.options.Validate());
+  return touch::RunJoin(request.method, axons_, dendrites_, request.options);
+}
+
+Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("OpenSession"));
+  return Session::Open(&flat_->index(), flat_->store(), &resolver_, method,
+                       EffectiveSessionOptions());
+}
+
+}  // namespace engine
+}  // namespace neurodb

@@ -1,0 +1,227 @@
+// NeuroDB — QueryEngine: the unified public API over all three techniques.
+//
+// The demo tool integrates FLAT range queries, SCOUT-prefetched exploration
+// and TOUCH joins. QueryEngine is that integration as an extensible query
+// system rather than a fixed three-exhibit facade:
+//
+//   * indexes are pluggable SpatialBackend instances (FLAT and the paged
+//     R-tree ship by default; RegisterBackend adds more) selected per query
+//     with BackendChoice — kAll runs every backend and cross-checks their
+//     result sets, which is exactly the demo's side-by-side comparison;
+//   * requests are typed values (RangeRequest, WalkthroughRequest,
+//     JoinRequest) executed by one Execute overload set, each validated at
+//     the boundary with Status errors instead of UB;
+//   * results stream through ResultVisitor callbacks — nothing is
+//     materialized unless the caller asks for it (CollectingVisitor);
+//   * ExecuteBatch runs many range requests against shared warm buffer
+//     pools and reports per-query plus aggregate statistics;
+//   * OpenSession returns an incremental exploration Session handle
+//     (engine/session.h) for interactive callers.
+//
+// core::NeuroToolkit remains as a thin compatibility shim over this class.
+
+#ifndef NEURODB_ENGINE_QUERY_ENGINE_H_
+#define NEURODB_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/backend.h"
+#include "engine/flat_backend.h"
+#include "engine/rtree_backend.h"
+#include "engine/session.h"
+#include "geom/aabb.h"
+#include "neuro/circuit.h"
+#include "scout/session.h"
+#include "storage/page.h"
+#include "touch/spatial_join.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Engine configuration (validated by LoadCircuit).
+struct EngineOptions {
+  flat::FlatOptions flat;
+  /// The baseline disk-resident R-tree configuration.
+  rtree::RTreeOptions rtree;
+  /// Buffer pool capacity (pages) for range queries and batches.
+  size_t pool_pages = 4096;
+  storage::DiskCostModel cost;
+  /// Exploration session tuning (pool, think time, SCOUT knobs).
+  scout::SessionOptions session;
+
+  Status Validate() const;
+};
+
+/// Which backend(s) a range request runs on.
+enum class BackendChoice {
+  kFlat,
+  kRTree,
+  /// Every registered backend; result sets are cross-checked (the demo's
+  /// side-by-side comparison panel).
+  kAll,
+};
+
+/// Buffer pool state a range request runs against.
+enum class CachePolicy {
+  /// A fresh (empty) pool per backend — the paper's per-query cost model.
+  kCold,
+  /// The engine's persistent pools, warmed by previous warm queries.
+  kWarm,
+};
+
+/// A typed range query.
+struct RangeRequest {
+  geom::Aabb box;
+  BackendChoice backend = BackendChoice::kAll;
+  CachePolicy cache = CachePolicy::kCold;
+};
+
+/// One backend's row of the live statistics panel (paper Figure 3).
+struct RangeRow {
+  std::string method;
+  RangeStats stats;
+};
+
+/// Result of one range request (minus the streamed elements).
+struct RangeReport {
+  /// One row per backend executed, in registration order.
+  std::vector<RangeRow> rows;
+  /// All executed backends returned the same element set (vacuously true
+  /// for single-backend requests).
+  bool results_match = true;
+  /// Result cardinality (identical across backends when results_match).
+  uint64_t results = 0;
+};
+
+/// A whole-path exploration replay (see OpenSession for incremental use).
+struct WalkthroughRequest {
+  std::vector<geom::Aabb> queries;
+  scout::PrefetchMethod method = scout::PrefetchMethod::kNone;
+};
+
+/// A spatial distance join of the loaded axons against dendrites.
+struct JoinRequest {
+  touch::JoinMethod method = touch::JoinMethod::kTouch;
+  touch::JoinOptions options;
+};
+
+/// Aggregate statistics of an ExecuteBatch run.
+struct BatchStats {
+  uint64_t queries = 0;
+  /// Demand page fetches summed over every executed backend row.
+  uint64_t pages_read = 0;
+  /// Total modeled time on the batch clock.
+  uint64_t time_us = 0;
+  /// Result elements summed over requests (first backend of each).
+  uint64_t results = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+};
+
+/// Per-request reports plus the aggregate.
+struct BatchResult {
+  std::vector<RangeReport> reports;
+  BatchStats aggregate;
+};
+
+/// The engine. Load a circuit once; execute typed requests against it.
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = EngineOptions());
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Add a backend (before LoadCircuit). FLAT and the paged R-tree are
+  /// registered by the constructor; extra backends join kAll comparisons.
+  Status RegisterBackend(std::unique_ptr<SpatialBackend> backend);
+
+  /// Flatten `circuit` into segment datasets, lay them out on each
+  /// backend's simulated disk and build every index.
+  Status LoadCircuit(const neuro::Circuit& circuit);
+
+  bool loaded() const { return loaded_; }
+
+  /// Execute a range request, streaming matches of the primary backend to
+  /// `visitor` exactly once. With kAll, secondary backends run for the
+  /// comparison panel and the parity check only.
+  Result<RangeReport> Execute(const RangeRequest& request,
+                              ResultVisitor& visitor);
+
+  /// Statistics-only convenience (nothing materialized).
+  Result<RangeReport> Execute(const RangeRequest& request);
+
+  /// Run `requests` in order against per-backend pools shared across the
+  /// whole batch (kCold requests evict first). One simulated clock spans
+  /// the batch.
+  Result<BatchResult> ExecuteBatch(std::span<const RangeRequest> requests);
+
+  /// Replay a navigation path with the given prefetcher (paper Figure 6).
+  Result<scout::SessionResult> Execute(const WalkthroughRequest& request);
+
+  /// Join loaded axon segments against dendrite segments (paper Figure 7).
+  Result<touch::JoinResult> Execute(const JoinRequest& request);
+
+  /// Open an incremental exploration session (Session::Step per query).
+  /// The session borrows the engine's FLAT index, page store and resolver:
+  /// the engine must outlive every Session it hands out.
+  Result<Session> OpenSession(
+      scout::PrefetchMethod method = scout::PrefetchMethod::kScout);
+
+  // Introspection.
+  const geom::Aabb& domain() const { return domain_; }
+  size_t NumSegments() const { return num_segments_; }
+  const neuro::SegmentResolver& resolver() const { return resolver_; }
+  const touch::JoinInput& axons() const { return axons_; }
+  const touch::JoinInput& dendrites() const { return dendrites_; }
+  const EngineOptions& options() const { return options_; }
+
+  size_t NumBackends() const { return backends_.size(); }
+  const SpatialBackend& backend(size_t i) const { return *backends_[i]; }
+
+  /// The two built-in backends (compatibility accessors; SCOUT sessions and
+  /// the crawl-trace example reach the FLAT index through these).
+  FlatBackend* flat_backend() { return flat_; }
+  PagedRTreeBackend* rtree_backend() { return rtree_; }
+  const flat::FlatIndex& flat_index() const { return flat_->index(); }
+  const rtree::PagedRTree& paged_rtree() const { return rtree_->tree(); }
+
+ private:
+  Status RequireLoaded(const char* op) const;
+  /// Backends a request executes on, primary first.
+  std::vector<const SpatialBackend*> Select(BackendChoice choice) const;
+  /// Session options with the engine-wide cost model applied.
+  scout::SessionOptions EffectiveSessionOptions() const;
+  /// Run one request against `pools` (parallel to backends_), filling one
+  /// report. The caller chooses pool lifetime (persistent warm pools, batch
+  /// pools) — `clock` is the clock those pools charge.
+  Status ExecuteOn(const RangeRequest& request, ResultVisitor* visitor,
+                   const std::vector<storage::BufferPool*>& pools,
+                   SimClock* clock, RangeReport* report) const;
+
+  EngineOptions options_;
+  std::vector<std::unique_ptr<SpatialBackend>> backends_;
+  FlatBackend* flat_ = nullptr;    // owned by backends_
+  PagedRTreeBackend* rtree_ = nullptr;  // owned by backends_
+
+  bool loaded_ = false;
+  neuro::SegmentResolver resolver_;
+  touch::JoinInput axons_;
+  touch::JoinInput dendrites_;
+  geom::Aabb domain_;
+  size_t num_segments_ = 0;
+
+  // Persistent warm-path state (CachePolicy::kWarm), one pool per backend.
+  std::unique_ptr<SimClock> warm_clock_;
+  std::vector<std::unique_ptr<storage::BufferPool>> warm_pools_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_QUERY_ENGINE_H_

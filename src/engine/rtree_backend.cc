@@ -1,0 +1,46 @@
+#include "engine/rtree_backend.h"
+
+namespace neurodb {
+namespace engine {
+
+Status PagedRTreeBackend::Build(const geom::ElementVec& elements) {
+  if (built()) {
+    return Status::AlreadyExists("PagedRTreeBackend: already built");
+  }
+  NEURODB_ASSIGN_OR_RETURN(rtree::RTree tree,
+                           rtree::RTree::BulkLoadStr(elements, options_));
+  NEURODB_ASSIGN_OR_RETURN(rtree::PagedRTree paged,
+                           rtree::PagedRTree::Build(std::move(tree), &store_));
+  tree_.emplace(std::move(paged));
+  return Status::OK();
+}
+
+Status PagedRTreeBackend::RangeQuery(const geom::Aabb& box,
+                                     storage::BufferPool* pool,
+                                     ResultVisitor& visitor,
+                                     RangeStats* stats) const {
+  if (!built()) {
+    return Status::InvalidArgument("PagedRTreeBackend: not built");
+  }
+  rtree::QueryStats tree_stats;
+  NEURODB_RETURN_NOT_OK(tree_->RangeQuery(box, visitor, pool, &tree_stats));
+  if (stats != nullptr) {
+    stats->pages_read = tree_stats.nodes_visited;
+    stats->results = tree_stats.results;
+    stats->elements_scanned = tree_stats.entries_tested;
+    stats->nodes_per_level = std::move(tree_stats.nodes_per_level);
+  }
+  return Status::OK();
+}
+
+BackendStats PagedRTreeBackend::Stats() const {
+  BackendStats stats;
+  if (built()) {
+    stats.index_pages = tree_->NumPages();
+    stats.metadata_bytes = tree_->tree().MemoryBytes();
+  }
+  return stats;
+}
+
+}  // namespace engine
+}  // namespace neurodb

@@ -1,0 +1,47 @@
+// NeuroDB — PagedRTreeBackend: the disk-resident R-tree as a QueryEngine
+// backend (the paper's comparison baseline).
+
+#ifndef NEURODB_ENGINE_RTREE_BACKEND_H_
+#define NEURODB_ENGINE_RTREE_BACKEND_H_
+
+#include <optional>
+
+#include "engine/backend.h"
+#include "rtree/paged_rtree.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Adapter wrapping rtree::PagedRTree: STR bulk load, one disk page per
+/// tree node, every visited node charged as one page fetch.
+class PagedRTreeBackend : public SpatialBackend {
+ public:
+  explicit PagedRTreeBackend(rtree::RTreeOptions options = rtree::RTreeOptions())
+      : options_(options) {}
+
+  const char* name() const override { return "R-Tree"; }
+
+  Status Build(const geom::ElementVec& elements) override;
+
+  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+                    ResultVisitor& visitor,
+                    RangeStats* stats = nullptr) const override;
+
+  BackendStats Stats() const override;
+
+  bool built() const { return tree_.has_value(); }
+
+  /// The wrapped paged tree (tests and the compatibility shim).
+  const rtree::PagedRTree& tree() const { return *tree_; }
+
+  const rtree::RTreeOptions& options() const { return options_; }
+
+ private:
+  rtree::RTreeOptions options_;
+  std::optional<rtree::PagedRTree> tree_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_RTREE_BACKEND_H_

@@ -1,0 +1,87 @@
+#include "engine/session.h"
+
+namespace neurodb {
+namespace engine {
+
+Result<Session> Session::Open(const flat::FlatIndex* index,
+                              storage::PageStore* store,
+                              const neuro::SegmentResolver* resolver,
+                              scout::PrefetchMethod method,
+                              scout::SessionOptions options) {
+  if (index == nullptr || store == nullptr) {
+    return Status::InvalidArgument("Session: null index or store");
+  }
+  if (options.pool_pages == 0) {
+    return Status::InvalidArgument("Session: pool_pages must be > 0");
+  }
+
+  Session session;
+  session.index_ = index;
+  session.options_ = options;
+  session.budget_ = options.PrefetchBudget();
+  session.clock_ = std::make_unique<SimClock>();
+  session.pool_ = std::make_unique<storage::BufferPool>(
+      store, options.pool_pages, session.clock_.get(), options.cost);
+
+  scout::PrefetchContext ctx;
+  ctx.index = index;
+  ctx.pool = session.pool_.get();
+  ctx.resolver = resolver;
+  NEURODB_ASSIGN_OR_RETURN(session.prefetcher_,
+                           scout::MakePrefetcher(method, ctx, options.scout));
+  session.prefetcher_->Reset();
+  return session;
+}
+
+Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
+                                        geom::ResultVisitor& visitor) {
+  if (!box.IsValid()) {
+    return Status::InvalidArgument("Session::Step: invalid box (lo > hi)");
+  }
+
+  scout::StepRecord step;
+  uint64_t t0 = clock_->NowMicros();
+  uint64_t misses0 = pool_->stats().Get("pool.misses");
+  uint64_t hits0 = pool_->stats().Get("pool.hits");
+
+  // Stream to the caller while keeping the ids the prefetcher observes.
+  std::vector<geom::ElementId> ids;
+  geom::VectorVisitor collector(&ids);
+  geom::TeeVisitor tee(&visitor, &collector);
+  NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool_.get(), tee));
+
+  step.stall_us = clock_->NowMicros() - t0;
+  step.pages_missed = pool_->stats().Get("pool.misses") - misses0;
+  step.pages_hit = pool_->stats().Get("pool.hits") - hits0;
+  step.results = ids.size();
+
+  // Think pause: the prefetcher works while the scientist looks at the
+  // data. Loads within the budget finish before the next query.
+  step.prefetched = prefetcher_->AfterQuery(box, ids, budget_);
+  step.candidates = prefetcher_->CandidateCount();
+  clock_->Advance(options_.think_time_us);
+
+  total_stall_us_ += step.stall_us;
+  steps_.push_back(step);
+  return step;
+}
+
+Result<scout::StepRecord> Session::Step(const geom::Aabb& box) {
+  geom::CountingVisitor ignore;
+  return Step(box, ignore);
+}
+
+scout::SessionResult Session::Summary() const {
+  scout::SessionResult out;
+  out.steps = steps_;
+  out.total_stall_us = total_stall_us_;
+  out.total_time_us = clock_->NowMicros();
+  out.pages_missed = pool_->stats().Get("pool.misses");
+  out.pages_hit = pool_->stats().Get("pool.hits");
+  out.prefetch_issued = pool_->stats().Get("pool.prefetch_issued");
+  out.prefetch_used = pool_->stats().Get("pool.prefetch_used");
+  return out;
+}
+
+}  // namespace engine
+}  // namespace neurodb

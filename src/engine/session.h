@@ -1,0 +1,85 @@
+// NeuroDB — engine::Session: an incremental exploration session handle.
+//
+// scout::WalkthroughSession replays a whole pre-recorded navigation path.
+// Interactive callers (the demo's 3-D explorer) instead need to issue one
+// range query at a time — where the scientist goes next depends on what the
+// previous query showed. A Session owns the session state the walkthrough
+// loop used to own privately — simulated clock, buffer pool, prefetcher —
+// and exposes it one Step(box) at a time. Between steps the prefetcher
+// warms the pool out of the modeled think time, exactly as in the replay
+// path, so a Step-by-Step run and a whole-path replay produce identical
+// statistics.
+
+#ifndef NEURODB_ENGINE_SESSION_H_
+#define NEURODB_ENGINE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "flat/flat_index.h"
+#include "geom/aabb.h"
+#include "geom/visitor.h"
+#include "neuro/circuit.h"
+#include "scout/prefetcher.h"
+#include "scout/session.h"
+#include "storage/buffer_pool.h"
+
+namespace neurodb {
+namespace engine {
+
+/// One interactive exploration session. Obtained from
+/// QueryEngine::OpenSession; movable, not copyable. All clock/pool state is
+/// private to the session, so several sessions can run against one engine —
+/// but the session only borrows `index`/`store`/`resolver`, so the engine
+/// (or whatever owns them) must outlive the session.
+class Session {
+ public:
+  /// Open a session over a FLAT-indexed dataset. `resolver` may be null
+  /// unless `method` is kScout.
+  static Result<Session> Open(const flat::FlatIndex* index,
+                              storage::PageStore* store,
+                              const neuro::SegmentResolver* resolver,
+                              scout::PrefetchMethod method,
+                              scout::SessionOptions options);
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Execute one range query: streams results to `visitor`, charges demand
+  /// misses to the session clock, lets the prefetcher spend the think pause
+  /// and advances the clock past it. Returns the step's statistics row.
+  Result<scout::StepRecord> Step(const geom::Aabb& box,
+                                 geom::ResultVisitor& visitor);
+
+  /// Step without materializing results.
+  Result<scout::StepRecord> Step(const geom::Aabb& box);
+
+  /// Statistics over all steps so far (the paper Figure 6 panel). Cheap;
+  /// may be called mid-session.
+  scout::SessionResult Summary() const;
+
+  size_t NumSteps() const { return steps_.size(); }
+  const scout::SessionOptions& options() const { return options_; }
+  const char* method_name() const { return prefetcher_->Name(); }
+
+ private:
+  Session() = default;
+
+  const flat::FlatIndex* index_ = nullptr;
+  scout::SessionOptions options_;
+  size_t budget_ = 0;
+  // unique_ptrs keep addresses stable across moves (the prefetcher holds a
+  // pointer to the pool).
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<scout::Prefetcher> prefetcher_;
+  std::vector<scout::StepRecord> steps_;
+  uint64_t total_stall_us_ = 0;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_SESSION_H_

@@ -67,7 +67,7 @@ Result<FlatIndex> FlatIndex::Build(const ElementVec& elements,
 
 Status FlatIndex::CrawlFrom(uint32_t start, const Aabb& box,
                             storage::BufferPool* pool,
-                            std::vector<ElementId>* out,
+                            geom::ResultVisitor& visitor,
                             std::vector<char>* visited,
                             std::vector<uint32_t>* visit_order,
                             FlatQueryStats* stats) const {
@@ -90,7 +90,7 @@ Status FlatIndex::CrawlFrom(uint32_t start, const Aabb& box,
     for (const auto& e : (*page)->elements) {
       if (stats != nullptr) ++stats->elements_scanned;
       if (e.bounds.Intersects(box)) {
-        out->push_back(e.id);
+        visitor.Visit(e.id, e.bounds);
         if (stats != nullptr) ++stats->results;
       }
     }
@@ -107,11 +107,11 @@ Status FlatIndex::CrawlFrom(uint32_t start, const Aabb& box,
 }
 
 Status FlatIndex::RangeQueryTraced(const Aabb& box, storage::BufferPool* pool,
-                                   std::vector<ElementId>* out,
+                                   geom::ResultVisitor& visitor,
                                    std::vector<uint32_t>* page_visit_order,
                                    FlatQueryStats* stats) const {
-  if (pool == nullptr || out == nullptr) {
-    return Status::InvalidArgument("FlatIndex::RangeQuery: null argument");
+  if (pool == nullptr) {
+    return Status::InvalidArgument("FlatIndex::RangeQuery: null pool");
   }
   if (page_ids_.empty()) return Status::OK();
 
@@ -125,7 +125,8 @@ Status FlatIndex::RangeQueryTraced(const Aabb& box, storage::BufferPool* pool,
   if (found) {
     // Phase 2: crawl through the neighborhood information.
     NEURODB_RETURN_NOT_OK(CrawlFrom(static_cast<uint32_t>(seed.id), box, pool,
-                                    out, &visited, page_visit_order, stats));
+                                    visitor, &visited, page_visit_order,
+                                    stats));
   }
 
   // Phase 3 (optional): rescue pass — complete the result on data whose
@@ -142,12 +143,29 @@ Status FlatIndex::RangeQueryTraced(const Aabb& box, storage::BufferPool* pool,
       uint32_t page_index = static_cast<uint32_t>(hit);
       if (!visited[page_index]) {
         if (stats != nullptr) ++stats->extra_seeds;
-        NEURODB_RETURN_NOT_OK(CrawlFrom(page_index, box, pool, out, &visited,
-                                        page_visit_order, stats));
+        NEURODB_RETURN_NOT_OK(CrawlFrom(page_index, box, pool, visitor,
+                                        &visited, page_visit_order, stats));
       }
     }
   }
   return Status::OK();
+}
+
+Status FlatIndex::RangeQueryTraced(const Aabb& box, storage::BufferPool* pool,
+                                   std::vector<ElementId>* out,
+                                   std::vector<uint32_t>* page_visit_order,
+                                   FlatQueryStats* stats) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("FlatIndex::RangeQuery: null output");
+  }
+  geom::VectorVisitor visitor(out);
+  return RangeQueryTraced(box, pool, visitor, page_visit_order, stats);
+}
+
+Status FlatIndex::RangeQuery(const Aabb& box, storage::BufferPool* pool,
+                             geom::ResultVisitor& visitor,
+                             FlatQueryStats* stats) const {
+  return RangeQueryTraced(box, pool, visitor, nullptr, stats);
 }
 
 Status FlatIndex::RangeQuery(const Aabb& box, storage::BufferPool* pool,

@@ -35,6 +35,7 @@
 #include "common/status.h"
 #include "geom/aabb.h"
 #include "geom/element.h"
+#include "geom/visitor.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -86,14 +87,25 @@ class FlatIndex {
   FlatIndex(FlatIndex&&) = default;
   FlatIndex& operator=(FlatIndex&&) = default;
 
-  /// Range query: appends ids of elements intersecting `box` to `out`.
+  /// Range query: streams each element intersecting `box` to `visitor`.
   /// Data pages are fetched through `pool` (this is the disk I/O).
+  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+                    geom::ResultVisitor& visitor,
+                    FlatQueryStats* stats = nullptr) const;
+
+  /// Legacy materializing form: appends matching ids to `out`.
   Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
                     std::vector<geom::ElementId>* out,
                     FlatQueryStats* stats = nullptr) const;
 
   /// Like RangeQuery, and additionally records the order in which crawl
   /// pages were visited (the demo's crawl-order visualization, Figure 4).
+  Status RangeQueryTraced(const geom::Aabb& box, storage::BufferPool* pool,
+                          geom::ResultVisitor& visitor,
+                          std::vector<uint32_t>* page_visit_order,
+                          FlatQueryStats* stats = nullptr) const;
+
+  /// Legacy materializing form of RangeQueryTraced.
   Status RangeQueryTraced(const geom::Aabb& box, storage::BufferPool* pool,
                           std::vector<geom::ElementId>* out,
                           std::vector<uint32_t>* page_visit_order,
@@ -127,8 +139,7 @@ class FlatIndex {
   FlatIndex() = default;
 
   Status CrawlFrom(uint32_t start, const geom::Aabb& box,
-                   storage::BufferPool* pool,
-                   std::vector<geom::ElementId>* out,
+                   storage::BufferPool* pool, geom::ResultVisitor& visitor,
                    std::vector<char>* visited,
                    std::vector<uint32_t>* visit_order,
                    FlatQueryStats* stats) const;

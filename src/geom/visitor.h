@@ -1,0 +1,97 @@
+// NeuroDB — ResultVisitor: streaming delivery of spatial query results.
+//
+// Indexes historically appended matches to a std::vector<ElementId>, which
+// forces materialization on every query. The visitor protocol (the
+// ISpatialIndex/IVisitor shape of libspatialindex-style engines) streams
+// each match — id plus bounding box — to the caller as it is found, so
+// counting, filtering, forwarding and aggregation run without an
+// intermediate vector. The legacy vector APIs remain as thin adapters.
+
+#ifndef NEURODB_GEOM_VISITOR_H_
+#define NEURODB_GEOM_VISITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/element.h"
+
+namespace neurodb {
+namespace geom {
+
+/// Receives one callback per element matching a spatial query. Implementors
+/// must tolerate matches arriving in index-specific (arbitrary) order and
+/// must not retain the Aabb reference beyond the call.
+class ResultVisitor {
+ public:
+  virtual ~ResultVisitor() = default;
+
+  /// One matching element: its id and bounding box.
+  virtual void Visit(ElementId id, const Aabb& bounds) = 0;
+};
+
+/// Convenience visitor that materializes matches (the old behaviour).
+class CollectingVisitor : public ResultVisitor {
+ public:
+  void Visit(ElementId id, const Aabb& bounds) override {
+    elements_.emplace_back(id, bounds);
+  }
+
+  const ElementVec& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+
+  /// Ids only, in visit order.
+  std::vector<ElementId> Ids() const {
+    std::vector<ElementId> ids;
+    ids.reserve(elements_.size());
+    for (const auto& e : elements_) ids.push_back(e.id);
+    return ids;
+  }
+
+  void Clear() { elements_.clear(); }
+
+ private:
+  ElementVec elements_;
+};
+
+/// Counts matches without materializing anything.
+class CountingVisitor : public ResultVisitor {
+ public:
+  void Visit(ElementId, const Aabb&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Appends ids to an external vector — the adapter behind the legacy
+/// std::vector-based index APIs.
+class VectorVisitor : public ResultVisitor {
+ public:
+  explicit VectorVisitor(std::vector<ElementId>* out) : out_(out) {}
+  void Visit(ElementId id, const Aabb&) override { out_->push_back(id); }
+
+ private:
+  std::vector<ElementId>* out_;
+};
+
+/// Forwards every match to two downstream visitors (e.g. stream to the
+/// caller while also collecting ids for a parity check).
+class TeeVisitor : public ResultVisitor {
+ public:
+  TeeVisitor(ResultVisitor* first, ResultVisitor* second)
+      : first_(first), second_(second) {}
+  void Visit(ElementId id, const Aabb& bounds) override {
+    if (first_ != nullptr) first_->Visit(id, bounds);
+    if (second_ != nullptr) second_->Visit(id, bounds);
+  }
+
+ private:
+  ResultVisitor* first_;
+  ResultVisitor* second_;
+};
+
+}  // namespace geom
+}  // namespace neurodb
+
+#endif  // NEURODB_GEOM_VISITOR_H_

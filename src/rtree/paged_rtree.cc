@@ -32,7 +32,7 @@ Result<PagedRTree> PagedRTree::Build(RTree tree, storage::PageStore* store) {
   return paged;
 }
 
-Status PagedRTree::RangeQuery(const Aabb& box, std::vector<ElementId>* out,
+Status PagedRTree::RangeQuery(const Aabb& box, geom::ResultVisitor& visitor,
                               storage::BufferPool* pool,
                               QueryStats* stats) const {
   if (pool == nullptr) {
@@ -54,7 +54,7 @@ Status PagedRTree::RangeQuery(const Aabb& box, std::vector<ElementId>* out,
       for (const auto& e : (*page)->elements) {
         if (stats != nullptr) ++stats->entries_tested;
         if (e.bounds.Intersects(box)) {
-          out->push_back(e.id);
+          visitor.Visit(e.id, e.bounds);
           if (stats != nullptr) ++stats->results;
         }
       }
@@ -68,6 +68,16 @@ Status PagedRTree::RangeQuery(const Aabb& box, std::vector<ElementId>* out,
     }
   }
   return Status::OK();
+}
+
+Status PagedRTree::RangeQuery(const Aabb& box, std::vector<ElementId>* out,
+                              storage::BufferPool* pool,
+                              QueryStats* stats) const {
+  if (out == nullptr) {
+    return Status::InvalidArgument("PagedRTree::RangeQuery: null output");
+  }
+  geom::VectorVisitor visitor(out);
+  return RangeQuery(box, visitor, pool, stats);
 }
 
 }  // namespace rtree

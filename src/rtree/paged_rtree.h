@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "geom/visitor.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -31,7 +32,12 @@ class PagedRTree {
   PagedRTree& operator=(PagedRTree&&) = default;
 
   /// Range query executed through `pool`: every visited node costs one page
-  /// fetch. Results are appended to `out`.
+  /// fetch. Each matching element is streamed to `visitor`.
+  Status RangeQuery(const geom::Aabb& box, geom::ResultVisitor& visitor,
+                    storage::BufferPool* pool,
+                    QueryStats* stats = nullptr) const;
+
+  /// Legacy materializing form: appends matching ids to `out`.
   Status RangeQuery(const geom::Aabb& box, std::vector<geom::ElementId>* out,
                     storage::BufferPool* pool,
                     QueryStats* stats = nullptr) const;

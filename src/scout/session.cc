@@ -39,7 +39,8 @@ Result<SessionResult> WalkthroughSession::Run(
     uint64_t hits0 = pool.stats().Get("pool.hits");
 
     std::vector<geom::ElementId> result;
-    NEURODB_RETURN_NOT_OK(index_->RangeQuery(query, &pool, &result));
+    geom::VectorVisitor visitor(&result);
+    NEURODB_RETURN_NOT_OK(index_->RangeQuery(query, &pool, visitor));
 
     step.stall_us = clock.NowMicros() - t0;
     step.pages_missed = pool.stats().Get("pool.misses") - misses0;

@@ -1,0 +1,412 @@
+// Tests of the engine API: backend parity through the visitor protocol,
+// RangeRequest{kAll} reproducing the legacy CompareRangeQuery panel, batch
+// execution stats, incremental Session stepping and boundary validation.
+
+#include "engine/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/toolkit.h"
+#include "neuro/circuit_generator.h"
+#include "neuro/workload.h"
+#include "scout/session.h"
+
+namespace neurodb {
+namespace engine {
+namespace {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::Vec3;
+
+neuro::Circuit MakeCircuit(uint32_t neurons, uint64_t seed) {
+  neuro::CircuitParams params;
+  params.num_neurons = neurons;
+  params.seed = seed;
+  auto circuit = neuro::CircuitGenerator(params).Generate();
+  EXPECT_TRUE(circuit.ok());
+  return std::move(circuit).value();
+}
+
+std::vector<ElementId> SortedIds(const CollectingVisitor& visitor) {
+  std::vector<ElementId> ids = visitor.Ids();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    circuit_ = MakeCircuit(20, 2024);
+    EngineOptions options;
+    options.flat.elems_per_page = 64;
+    options.rtree.max_entries = 64;
+    options.rtree.min_entries = 26;
+    db_ = std::make_unique<QueryEngine>(options);
+    ASSERT_TRUE(db_->LoadCircuit(circuit_).ok());
+  }
+
+  neuro::Circuit circuit_;
+  std::unique_ptr<QueryEngine> db_;
+};
+
+// --------------------------------------------------------------------------
+// Backend parity (property test)
+// --------------------------------------------------------------------------
+
+TEST(BackendParityTest, FlatAndRTreeAgreeOnRandomWorkloads) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    // A random segment cloud — sparser and less connected than tissue, so
+    // this also exercises FLAT's rescue pass.
+    Aabb domain(Vec3(0, 0, 0), Vec3(300, 300, 300));
+    neuro::SegmentDataset cloud =
+        neuro::UniformSegments(4000, domain, 6.0f, 2.0f, 0.5f, seed);
+    geom::ElementVec elements = cloud.Elements();
+
+    FlatBackend flat;
+    PagedRTreeBackend rtree;
+    ASSERT_TRUE(flat.Build(elements).ok());
+    ASSERT_TRUE(rtree.Build(elements).ok());
+
+    auto queries = neuro::DataCenteredQueries(elements, 40.0f, 6, seed + 10);
+    auto uniform = neuro::UniformQueries(domain, 25.0f, 6, seed + 20);
+    queries.insert(queries.end(), uniform.begin(), uniform.end());
+
+    for (const Aabb& box : queries) {
+      storage::BufferPool flat_pool(flat.store(), 4096);
+      storage::BufferPool rtree_pool(rtree.store(), 4096);
+      CollectingVisitor flat_out;
+      CollectingVisitor rtree_out;
+      RangeStats flat_stats, rtree_stats;
+      ASSERT_TRUE(flat.RangeQuery(box, &flat_pool, flat_out, &flat_stats).ok());
+      ASSERT_TRUE(
+          rtree.RangeQuery(box, &rtree_pool, rtree_out, &rtree_stats).ok());
+      EXPECT_EQ(SortedIds(flat_out), SortedIds(rtree_out))
+          << "seed " << seed << " box " << box;
+      EXPECT_EQ(flat_stats.results, flat_out.size());
+      EXPECT_EQ(rtree_stats.results, rtree_out.size());
+    }
+  }
+}
+
+TEST_F(EngineFixture, KAllCrossChecksBackends) {
+  auto queries = neuro::DataCenteredQueries(
+      circuit_.FlattenSegments().Elements(), 40.0f, 5, 3);
+  for (const Aabb& box : queries) {
+    RangeRequest request;
+    request.box = box;
+    request.backend = BackendChoice::kAll;
+    auto report = db_->Execute(request);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->results_match);
+    ASSERT_EQ(report->rows.size(), 2u);
+    EXPECT_EQ(report->rows[0].method, "FLAT");
+    EXPECT_EQ(report->rows[1].method, "R-Tree");
+    EXPECT_EQ(report->rows[0].stats.results, report->rows[1].stats.results);
+    EXPECT_GT(report->results, 0u);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Legacy panel reproduction
+// --------------------------------------------------------------------------
+
+TEST_F(EngineFixture, RangeRequestAllReproducesCompareRangeQuery) {
+  // Reconstruct the pre-engine CompareRangeQuery by hand: each index run
+  // against a fresh cold pool with its own clock, exactly as toolkit.cc
+  // used to do — then check RangeRequest{kAll} reports the same numbers.
+  Aabb box = Aabb::Cube(db_->domain().Center(), 40.0f);
+
+  flat::FlatQueryStats flat_stats;
+  std::vector<ElementId> flat_ids;
+  {
+    SimClock clock;
+    storage::BufferPool pool(db_->flat_backend()->store(),
+                             db_->options().pool_pages, &clock,
+                             db_->options().cost);
+    ASSERT_TRUE(
+        db_->flat_index().RangeQuery(box, &pool, &flat_ids, &flat_stats).ok());
+  }
+  rtree::QueryStats rtree_stats;
+  std::vector<ElementId> rtree_ids;
+  {
+    SimClock clock;
+    storage::BufferPool pool(db_->rtree_backend()->store(),
+                             db_->options().pool_pages, &clock,
+                             db_->options().cost);
+    ASSERT_TRUE(
+        db_->paged_rtree().RangeQuery(box, &rtree_ids, &pool, &rtree_stats)
+            .ok());
+  }
+
+  RangeRequest request;
+  request.box = box;
+  request.backend = BackendChoice::kAll;
+  request.cache = CachePolicy::kCold;
+  auto report = db_->Execute(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->results_match);
+  EXPECT_EQ(report->rows[0].stats.pages_read, flat_stats.data_pages_read);
+  EXPECT_EQ(report->rows[0].stats.results, flat_stats.results);
+  EXPECT_EQ(report->rows[0].stats.elements_scanned,
+            flat_stats.elements_scanned);
+  EXPECT_EQ(report->rows[1].stats.pages_read, rtree_stats.nodes_visited);
+  EXPECT_EQ(report->rows[1].stats.results, rtree_stats.results);
+  EXPECT_EQ(report->rows[1].stats.nodes_per_level,
+            rtree_stats.nodes_per_level);
+
+  // The compatibility shim reports the same rows in the legacy shape.
+  core::ToolkitOptions toolkit_options;
+  toolkit_options.flat.elems_per_page = 64;
+  toolkit_options.rtree.max_entries = 64;
+  toolkit_options.rtree.min_entries = 26;
+  core::NeuroToolkit tk(toolkit_options);
+  ASSERT_TRUE(tk.LoadCircuit(circuit_).ok());
+  auto legacy = tk.CompareRangeQuery(box);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(legacy->flat.pages_read, report->rows[0].stats.pages_read);
+  EXPECT_EQ(legacy->flat.time_us, report->rows[0].stats.time_us);
+  EXPECT_EQ(legacy->flat.results, report->rows[0].stats.results);
+  EXPECT_EQ(legacy->rtree.pages_read, report->rows[1].stats.pages_read);
+  EXPECT_EQ(legacy->rtree.time_us, report->rows[1].stats.time_us);
+  EXPECT_EQ(legacy->rtree.nodes_per_level,
+            report->rows[1].stats.nodes_per_level);
+}
+
+// --------------------------------------------------------------------------
+// Streaming visitors
+// --------------------------------------------------------------------------
+
+TEST_F(EngineFixture, VisitorStreamsEachResultExactlyOnce) {
+  RangeRequest request;
+  request.box = Aabb::Cube(db_->domain().Center(), 40.0f);
+  request.backend = BackendChoice::kAll;
+
+  CollectingVisitor collected;
+  auto report = db_->Execute(request, collected);
+  ASSERT_TRUE(report.ok());
+  // kAll runs two backends but the caller sees the primary's stream once.
+  EXPECT_EQ(collected.size(), report->results);
+
+  CountingVisitor counted;
+  auto recount = db_->Execute(request, counted);
+  ASSERT_TRUE(recount.ok());
+  EXPECT_EQ(counted.count(), report->results);
+}
+
+// --------------------------------------------------------------------------
+// Batch execution
+// --------------------------------------------------------------------------
+
+TEST_F(EngineFixture, ExecuteBatchAggregatesPerQueryStats) {
+  auto boxes = neuro::DataCenteredQueries(
+      circuit_.FlattenSegments().Elements(), 30.0f, 6, 11);
+  std::vector<RangeRequest> batch;
+  for (const Aabb& box : boxes) {
+    RangeRequest request;
+    request.box = box;
+    request.backend = BackendChoice::kFlat;
+    request.cache = CachePolicy::kWarm;
+    batch.push_back(request);
+  }
+  auto result = db_->ExecuteBatch(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->reports.size(), batch.size());
+  EXPECT_EQ(result->aggregate.queries, batch.size());
+
+  uint64_t pages = 0, results = 0;
+  for (const RangeReport& report : result->reports) {
+    ASSERT_EQ(report.rows.size(), 1u);
+    pages += report.rows[0].stats.pages_read;
+    results += report.results;
+  }
+  EXPECT_EQ(result->aggregate.pages_read, pages);
+  EXPECT_EQ(result->aggregate.results, results);
+  EXPECT_EQ(result->aggregate.pool_hits + result->aggregate.pool_misses,
+            pages);
+  EXPECT_GT(result->aggregate.time_us, 0u);
+}
+
+TEST_F(EngineFixture, ExecuteBatchSharesWarmPoolAcrossRequests) {
+  Aabb box = Aabb::Cube(db_->domain().Center(), 40.0f);
+  RangeRequest warm;
+  warm.box = box;
+  warm.backend = BackendChoice::kFlat;
+  warm.cache = CachePolicy::kWarm;
+  std::vector<RangeRequest> batch = {warm, warm};
+  auto result = db_->ExecuteBatch(batch);
+  ASSERT_TRUE(result.ok());
+  // The second identical query is served from the shared warm pool.
+  EXPECT_GT(result->aggregate.pool_hits, 0u);
+  EXPECT_EQ(result->aggregate.pool_misses,
+            result->reports[0].rows[0].stats.pages_read);
+
+  // Cold requests drop the shared pool before running.
+  RangeRequest cold = warm;
+  cold.cache = CachePolicy::kCold;
+  std::vector<RangeRequest> cold_batch = {warm, cold};
+  auto cold_result = db_->ExecuteBatch(cold_batch);
+  ASSERT_TRUE(cold_result.ok());
+  EXPECT_EQ(cold_result->aggregate.pool_misses,
+            2 * cold_result->reports[0].rows[0].stats.pages_read);
+}
+
+// --------------------------------------------------------------------------
+// Sessions
+// --------------------------------------------------------------------------
+
+TEST_F(EngineFixture, SessionStepMatchesWholePathReplay) {
+  auto path = neuro::FollowBranchPath(circuit_, 1, 12.0f, 1);
+  ASSERT_TRUE(path.ok());
+  auto queries = neuro::PathQueries(*path, 30.0f);
+  ASSERT_GT(queries.size(), 2u);
+
+  for (auto method : scout::AllPrefetchMethods()) {
+    auto session = db_->OpenSession(method);
+    ASSERT_TRUE(session.ok()) << scout::PrefetchMethodName(method);
+    for (const Aabb& box : queries) {
+      ASSERT_TRUE(session->Step(box).ok());
+    }
+    EXPECT_EQ(session->NumSteps(), queries.size());
+    scout::SessionResult stepped = session->Summary();
+
+    WalkthroughRequest request;
+    request.queries = queries;
+    request.method = method;
+    auto replayed = db_->Execute(request);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(stepped.total_stall_us, replayed->total_stall_us);
+    EXPECT_EQ(stepped.total_time_us, replayed->total_time_us);
+    EXPECT_EQ(stepped.pages_missed, replayed->pages_missed);
+    EXPECT_EQ(stepped.prefetch_issued, replayed->prefetch_issued);
+    EXPECT_EQ(stepped.prefetch_used, replayed->prefetch_used);
+
+    // And both match the original scout replay loop over the same index.
+    scout::WalkthroughSession legacy(&db_->flat_index(),
+                                     db_->flat_backend()->store(),
+                                     &db_->resolver(),
+                                     db_->options().session);
+    auto legacy_run = legacy.Run(queries, method);
+    ASSERT_TRUE(legacy_run.ok());
+    EXPECT_EQ(stepped.total_stall_us, legacy_run->total_stall_us);
+    EXPECT_EQ(stepped.pages_missed, legacy_run->pages_missed);
+  }
+}
+
+TEST_F(EngineFixture, SessionStepStreamsResults) {
+  auto session = db_->OpenSession(scout::PrefetchMethod::kNone);
+  ASSERT_TRUE(session.ok());
+  CollectingVisitor visitor;
+  auto step = session->Step(Aabb::Cube(db_->domain().Center(), 40.0f), visitor);
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->results, visitor.size());
+  EXPECT_GT(step->results, 0u);
+  EXPECT_GT(step->stall_us, 0u);
+}
+
+TEST_F(EngineFixture, ScoutSessionBeatsNoPrefetch) {
+  auto path = neuro::FollowBranchPath(circuit_, 1, 12.0f, 1);
+  ASSERT_TRUE(path.ok());
+  auto queries = neuro::PathQueries(*path, 30.0f);
+
+  uint64_t stalls[2] = {0, 0};
+  scout::PrefetchMethod methods[2] = {scout::PrefetchMethod::kNone,
+                                      scout::PrefetchMethod::kScout};
+  for (int i = 0; i < 2; ++i) {
+    auto session = db_->OpenSession(methods[i]);
+    ASSERT_TRUE(session.ok());
+    for (const Aabb& box : queries) ASSERT_TRUE(session->Step(box).ok());
+    stalls[i] = session->Summary().total_stall_us;
+  }
+  EXPECT_LT(stalls[1], stalls[0]);
+}
+
+// --------------------------------------------------------------------------
+// Boundary validation
+// --------------------------------------------------------------------------
+
+TEST(EngineValidationTest, RejectsZeroPoolPages) {
+  EngineOptions options;
+  options.pool_pages = 0;
+  QueryEngine db(options);
+  EXPECT_TRUE(db.LoadCircuit(MakeCircuit(5, 1)).IsInvalidArgument());
+
+  EngineOptions session_options;
+  session_options.session.pool_pages = 0;
+  QueryEngine db2(session_options);
+  EXPECT_TRUE(db2.LoadCircuit(MakeCircuit(5, 1)).IsInvalidArgument());
+}
+
+TEST(EngineValidationTest, RejectsEmptyCircuitAndDoubleLoad) {
+  QueryEngine db;
+  EXPECT_TRUE(db.LoadCircuit(neuro::Circuit()).IsInvalidArgument());
+  ASSERT_TRUE(db.LoadCircuit(MakeCircuit(5, 1)).ok());
+  EXPECT_TRUE(db.LoadCircuit(MakeCircuit(5, 1)).IsAlreadyExists());
+}
+
+TEST(EngineValidationTest, RequestsBeforeLoadFail) {
+  QueryEngine db;
+  RangeRequest range;
+  range.box = Aabb::Cube(Vec3(0, 0, 0), 5);
+  EXPECT_TRUE(db.Execute(range).status().IsInvalidArgument());
+  EXPECT_TRUE(db.ExecuteBatch({}).status().IsInvalidArgument());
+  EXPECT_TRUE(db.Execute(JoinRequest()).status().IsInvalidArgument());
+  EXPECT_TRUE(db.Execute(WalkthroughRequest()).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      db.OpenSession(scout::PrefetchMethod::kNone).status().IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, RejectsInvalidBoxes) {
+  RangeRequest bad;
+  bad.box = Aabb(Vec3(10, 0, 0), Vec3(0, 10, 10));  // lo > hi on x
+  EXPECT_TRUE(db_->Execute(bad).status().IsInvalidArgument());
+
+  std::vector<RangeRequest> batch = {bad};
+  EXPECT_TRUE(db_->ExecuteBatch(batch).status().IsInvalidArgument());
+
+  auto session = db_->OpenSession(scout::PrefetchMethod::kNone);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->Step(bad.box).status().IsInvalidArgument());
+
+  WalkthroughRequest walk;
+  walk.queries = {bad.box};
+  EXPECT_TRUE(db_->Execute(walk).status().IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, RejectsNegativeJoinEpsilon) {
+  JoinRequest join;
+  join.options.epsilon = -1.0f;
+  EXPECT_TRUE(db_->Execute(join).status().IsInvalidArgument());
+
+  join.options.epsilon = 3.0f;
+  auto result = db_->Execute(join);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->pairs.size(), 0u);
+}
+
+TEST(EngineValidationTest, RegisterBackendRules) {
+  QueryEngine db;
+  EXPECT_TRUE(db.RegisterBackend(nullptr).IsInvalidArgument());
+  // Duplicate name.
+  EXPECT_TRUE(db.RegisterBackend(std::make_unique<FlatBackend>())
+                  .IsAlreadyExists());
+  ASSERT_TRUE(db.LoadCircuit(MakeCircuit(5, 1)).ok());
+  // Too late once loaded.
+  EXPECT_TRUE(db.RegisterBackend(std::make_unique<PagedRTreeBackend>())
+                  .IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, BackendStatsReportFootprint) {
+  ASSERT_EQ(db_->NumBackends(), 2u);
+  for (size_t i = 0; i < db_->NumBackends(); ++i) {
+    BackendStats stats = db_->backend(i).Stats();
+    EXPECT_GT(stats.index_pages, 0u) << db_->backend(i).name();
+    EXPECT_GT(stats.metadata_bytes, 0u) << db_->backend(i).name();
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace neurodb
