@@ -1,0 +1,66 @@
+// kNN across the three engine backends: FLAT's expanding-ring crawl against
+// the paged R-tree's best-first traversal and the grid's exhaustive scan.
+// The interesting shape: the R-tree reads ~k-proportional pages, FLAT reads
+// the pages of the covering ring, the grid always reads everything — which
+// is why the grid is the parity voice, not a contender.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "engine/query_engine.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+using geom::Vec3;
+
+int main() {
+  std::printf(
+      "kNN backend comparison (cold pools, per-query cost model)\n"
+      "Cortical column, 20 neurons; 24 data-centered query points/row.\n\n");
+
+  neuro::Circuit circuit = bench::MakeColumn(20, 42);
+  engine::QueryEngine db;
+  if (!db.LoadCircuit(circuit).ok()) {
+    std::fprintf(stderr, "LoadCircuit failed\n");
+    return 1;
+  }
+  geom::ElementVec elements = circuit.FlattenSegments().Elements();
+  auto anchors = neuro::DataCenteredQueries(elements, 1.0f, 24, 7);
+
+  TableWriter table("avg per query, by backend and k",
+                    {"k", "method", "pages", "scanned", "time ms"});
+
+  for (size_t k : {1, 8, 64, 512}) {
+    for (auto choice :
+         {engine::BackendChoice::kFlat, engine::BackendChoice::kRTree,
+          engine::BackendChoice::kGrid}) {
+      uint64_t pages = 0, scanned = 0, time_us = 0;
+      std::string method;
+      for (const auto& anchor : anchors) {
+        engine::KnnRequest request;
+        request.point = anchor.Center();
+        request.k = k;
+        request.backend = choice;
+        request.cache = engine::CachePolicy::kCold;
+        auto report = db.Execute(request);
+        if (!report.ok()) {
+          std::fprintf(stderr, "knn failed: %s\n",
+                       report.status().ToString().c_str());
+          return 1;
+        }
+        method = report->rows[0].method;
+        pages += report->rows[0].stats.pages_read;
+        scanned += report->rows[0].stats.elements_scanned;
+        time_us += report->rows[0].stats.time_us;
+      }
+      double n = static_cast<double>(anchors.size());
+      table.AddRow({TableWriter::Int(k), method,
+                    TableWriter::Num(pages / n, 1),
+                    TableWriter::Num(scanned / n, 0),
+                    bench::UsToMs(static_cast<uint64_t>(time_us / n))});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,11 +1,12 @@
 // NeuroDB — SpatialBackend: the pluggable index interface of QueryEngine.
 //
 // A backend owns one simulated disk (PageStore), knows how to lay a dataset
-// out on it (Build) and how to answer range queries through a BufferPool
-// with streaming visitor delivery (RangeQuery). FLAT and the paged R-tree
-// are the two shipped backends; the interface is what future backends
-// (in-memory grid, sharded stores) implement to join BackendChoice::kAll
-// comparisons without facade changes.
+// out on it (Build), how to answer range queries through a BufferPool with
+// streaming visitor delivery (RangeQuery), and how to answer k-nearest-
+// neighbour queries with deterministic (distance, id) ordering (KnnQuery).
+// FLAT, the paged R-tree and the uniform grid are the three shipped
+// backends; the interface is what future backends (sharded stores)
+// implement to join BackendChoice::kAll comparisons without facade changes.
 
 #ifndef NEURODB_ENGINE_BACKEND_H_
 #define NEURODB_ENGINE_BACKEND_H_
@@ -16,6 +17,8 @@
 #include "common/status.h"
 #include "geom/aabb.h"
 #include "geom/element.h"
+#include "geom/knn.h"
+#include "geom/vec3.h"
 #include "geom/visitor.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -71,6 +74,16 @@ class SpatialBackend {
   virtual Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
                             ResultVisitor& visitor,
                             RangeStats* stats = nullptr) const = 0;
+
+  /// Fill `hits` with the k nearest elements of `point` by box distance,
+  /// ascending under the library-wide (distance, id) order (geom/knn.h) so
+  /// independent backends return bit-identical answers. Page I/O goes
+  /// through `pool`. k == 0 yields an empty answer; k larger than the
+  /// dataset yields every element. Non-finite points are InvalidArgument.
+  virtual Status KnnQuery(const geom::Vec3& point, size_t k,
+                          storage::BufferPool* pool,
+                          std::vector<geom::KnnHit>* hits,
+                          RangeStats* stats = nullptr) const = 0;
 
   /// Index footprint.
   virtual BackendStats Stats() const = 0;

@@ -30,6 +30,23 @@ Status FlatBackend::RangeQuery(const geom::Aabb& box,
   return Status::OK();
 }
 
+Status FlatBackend::KnnQuery(const geom::Vec3& point, size_t k,
+                             storage::BufferPool* pool,
+                             std::vector<geom::KnnHit>* hits,
+                             RangeStats* stats) const {
+  if (!built()) {
+    return Status::InvalidArgument("FlatBackend: not built");
+  }
+  flat::FlatQueryStats flat_stats;
+  NEURODB_RETURN_NOT_OK(index_->Knn(point, k, pool, hits, &flat_stats));
+  if (stats != nullptr) {
+    stats->pages_read = flat_stats.data_pages_read;
+    stats->results = flat_stats.results;
+    stats->elements_scanned = flat_stats.elements_scanned;
+  }
+  return Status::OK();
+}
+
 BackendStats FlatBackend::Stats() const {
   BackendStats stats;
   if (built()) {

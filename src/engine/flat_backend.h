@@ -26,6 +26,11 @@ class FlatBackend : public SpatialBackend {
                     ResultVisitor& visitor,
                     RangeStats* stats = nullptr) const override;
 
+  /// Expanding-ring crawl (flat::FlatIndex::Knn).
+  Status KnnQuery(const geom::Vec3& point, size_t k,
+                  storage::BufferPool* pool, std::vector<geom::KnnHit>* hits,
+                  RangeStats* stats = nullptr) const override;
+
   BackendStats Stats() const override;
 
   bool built() const { return index_.has_value(); }

@@ -1,0 +1,97 @@
+// NeuroDB — GridBackend: an in-memory uniform grid as a QueryEngine backend.
+//
+// The grid is deliberately the *simplest possible* spatial index: partition
+// the domain into equal cells, assign every element to the cell of its
+// bounding-box center, pack the cells onto disk pages cell-major. Range
+// queries scan the cell block around the query (widened by the largest
+// element half-extent, so center assignment stays exact); kNN is an
+// exhaustive scan of every page. It will rarely win a benchmark — its job
+// is to be a cheap, independent *third voice* in BackendChoice::kAll parity
+// comparisons: an implementation so different from FLAT's crawl and the
+// R-tree's hierarchy that a bug in either is very unlikely to be mirrored
+// here (the differential-testing harness in tests/diff_harness.h leans on
+// exactly this).
+
+#ifndef NEURODB_ENGINE_GRID_BACKEND_H_
+#define NEURODB_ENGINE_GRID_BACKEND_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "engine/backend.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Grid tuning. The resolution is derived from the dataset: roughly
+/// `target_per_cell` elements per occupied cell, capped per axis.
+struct GridOptions {
+  /// Elements per data page (253 elements ~ one 8 KiB page, as FLAT).
+  size_t elems_per_page = 253;
+  /// Target average elements per cell — drives cells-per-axis.
+  size_t target_per_cell = 64;
+  /// Hard cap on cells per axis (keeps cell metadata bounded).
+  size_t max_cells_per_dim = 64;
+
+  Status Validate() const;
+};
+
+/// Uniform-grid backend. Elements live in exactly one cell (chosen by
+/// bounding-box center); queries compensate by widening the examined cell
+/// block by the largest element half-extent seen at build time.
+class GridBackend : public SpatialBackend {
+ public:
+  explicit GridBackend(GridOptions options = GridOptions())
+      : options_(options) {}
+
+  const char* name() const override { return "Grid"; }
+
+  Status Build(const geom::ElementVec& elements) override;
+
+  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+                    ResultVisitor& visitor,
+                    RangeStats* stats = nullptr) const override;
+
+  /// Exhaustive page scan — the brute-force reference voice of kAll.
+  Status KnnQuery(const geom::Vec3& point, size_t k,
+                  storage::BufferPool* pool, std::vector<geom::KnnHit>* hits,
+                  RangeStats* stats = nullptr) const override;
+
+  BackendStats Stats() const override;
+
+  bool built() const { return built_; }
+  const GridOptions& options() const { return options_; }
+  /// Cells per axis chosen at build time (x, y, z).
+  const std::array<uint32_t, 3>& dims() const { return dims_; }
+  size_t NumCells() const {
+    return static_cast<size_t>(dims_[0]) * dims_[1] * dims_[2];
+  }
+
+ private:
+  /// Clamped cell coordinate of a point along one axis.
+  uint32_t CellCoord(float v, int axis) const;
+  /// Flat cell index of a point.
+  size_t CellOf(const geom::Vec3& p) const;
+
+  GridOptions options_;
+  bool built_ = false;
+
+  geom::Aabb domain_;
+  std::array<uint32_t, 3> dims_ = {1, 1, 1};
+  geom::Vec3 cell_size_{1, 1, 1};
+  /// Largest element half-extent per axis — the query widening margin.
+  geom::Vec3 max_half_extent_{0, 0, 0};
+
+  /// Element order is cell-major; cell c owns packed slots
+  /// [cell_start_[c], cell_start_[c + 1]).
+  std::vector<uint32_t> cell_start_;
+  /// Data pages in pack order; packed slot s lives on page s / elems_per_page.
+  std::vector<storage::PageId> page_ids_;
+  size_t num_elements_ = 0;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_GRID_BACKEND_H_

@@ -17,16 +17,20 @@ Status EngineOptions::Validate() const {
         "EngineOptions: session.pool_pages must be > 0");
   }
   NEURODB_RETURN_NOT_OK(flat.Validate());
+  NEURODB_RETURN_NOT_OK(grid.Validate());
   return rtree.Validate();
 }
 
 QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
   auto flat = std::make_unique<FlatBackend>(options_.flat);
   auto rtree = std::make_unique<PagedRTreeBackend>(options_.rtree);
+  auto grid = std::make_unique<GridBackend>(options_.grid);
   flat_ = flat.get();
   rtree_ = rtree.get();
+  grid_ = grid.get();
   backends_.push_back(std::move(flat));
   backends_.push_back(std::move(rtree));
+  backends_.push_back(std::move(grid));
 }
 
 Status QueryEngine::RegisterBackend(std::unique_ptr<SpatialBackend> backend) {
@@ -109,6 +113,9 @@ std::vector<const SpatialBackend*> QueryEngine::Select(
     case BackendChoice::kRTree:
       out.push_back(rtree_);
       break;
+    case BackendChoice::kGrid:
+      out.push_back(grid_);
+      break;
     case BackendChoice::kAll:
       for (const auto& backend : backends_) out.push_back(backend.get());
       break;
@@ -122,6 +129,48 @@ scout::SessionOptions QueryEngine::EffectiveSessionOptions() const {
   return session_options;
 }
 
+Status QueryEngine::ValidateRequest(const RangeRequest& request,
+                                    const char* op) const {
+  if (!request.box.IsValid()) {
+    return Status::InvalidArgument(std::string("QueryEngine::") + op +
+                                   ": invalid box (lo > hi)");
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::ValidateRequest(const KnnRequest& request,
+                                    const char* op) const {
+  if (request.k == 0) {
+    return Status::InvalidArgument(std::string("QueryEngine::") + op +
+                                   ": k must be > 0");
+  }
+  if (!geom::IsFinitePoint(request.point)) {
+    return Status::InvalidArgument(std::string("QueryEngine::") + op +
+                                   ": non-finite query point");
+  }
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<storage::BufferPool>> QueryEngine::MakePools(
+    SimClock* clock) const {
+  std::vector<std::unique_ptr<storage::BufferPool>> pools;
+  pools.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    pools.push_back(std::make_unique<storage::BufferPool>(
+        backend->store(), options_.pool_pages, clock, options_.cost));
+  }
+  return pools;
+}
+
+storage::BufferPool* QueryEngine::PoolFor(
+    const SpatialBackend* backend,
+    const std::vector<storage::BufferPool*>& pools) const {
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i].get() == backend) return pools[i];
+  }
+  return nullptr;
+}
+
 Status QueryEngine::ExecuteOn(const RangeRequest& request,
                               ResultVisitor* visitor,
                               const std::vector<storage::BufferPool*>& pools,
@@ -133,11 +182,7 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
   report->rows.reserve(selected.size());
   for (size_t k = 0; k < selected.size(); ++k) {
     const SpatialBackend* backend = selected[k];
-    // Locate the pool paired with this backend.
-    storage::BufferPool* pool = nullptr;
-    for (size_t i = 0; i < backends_.size(); ++i) {
-      if (backends_[i].get() == backend) pool = pools[i];
-    }
+    storage::BufferPool* pool = PoolFor(backend, pools);
 
     RangeRow row;
     row.method = backend->name();
@@ -173,13 +218,43 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
   return Status::OK();
 }
 
+Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
+                                 const std::vector<storage::BufferPool*>& pools,
+                                 SimClock* clock, KnnReport* report) const {
+  std::vector<const SpatialBackend*> selected = Select(request.backend);
+  const bool parity_check = selected.size() > 1;
+
+  report->rows.reserve(selected.size());
+  for (size_t k = 0; k < selected.size(); ++k) {
+    const SpatialBackend* backend = selected[k];
+    storage::BufferPool* pool = PoolFor(backend, pools);
+
+    RangeRow row;
+    row.method = backend->name();
+    uint64_t t0 = clock->NowMicros();
+
+    std::vector<geom::KnnHit> hits;
+    NEURODB_RETURN_NOT_OK(
+        backend->KnnQuery(request.point, request.k, pool, &hits, &row.stats));
+
+    row.stats.time_us = clock->NowMicros() - t0;
+    report->rows.push_back(std::move(row));
+
+    if (k == 0) {
+      report->hits = std::move(hits);
+    } else if (parity_check && hits != report->hits) {
+      // Hits are fully ordered by (distance, id) in every backend, so a
+      // mismatch anywhere — id, distance or cardinality — is a divergence.
+      report->results_match = false;
+    }
+  }
+  return Status::OK();
+}
+
 Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
                                          ResultVisitor& visitor) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
-  if (!request.box.IsValid()) {
-    return Status::InvalidArgument(
-        "QueryEngine::Execute: invalid box (lo > hi)");
-  }
+  NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
 
   RangeReport report;
   if (request.cache == CachePolicy::kWarm) {
@@ -192,13 +267,9 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
 
   // Cold: a fresh pool per backend, as the paper's per-query cost model.
   SimClock clock;
-  std::vector<std::unique_ptr<storage::BufferPool>> owned;
+  std::vector<std::unique_ptr<storage::BufferPool>> owned = MakePools(&clock);
   std::vector<storage::BufferPool*> pools;
-  for (auto& backend : backends_) {
-    owned.push_back(std::make_unique<storage::BufferPool>(
-        backend->store(), options_.pool_pages, &clock, options_.cost));
-    pools.push_back(owned.back().get());
-  }
+  for (auto& pool : owned) pools.push_back(pool.get());
   NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, pools, &clock, &report));
   return report;
 }
@@ -208,40 +279,70 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request) {
   return Execute(request, ignore);
 }
 
-Result<BatchResult> QueryEngine::ExecuteBatch(
-    std::span<const RangeRequest> requests) {
+Result<KnnReport> QueryEngine::Execute(const KnnRequest& request) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
+  NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
+
+  KnnReport report;
+  if (request.cache == CachePolicy::kWarm) {
+    std::vector<storage::BufferPool*> pools;
+    for (auto& pool : warm_pools_) pools.push_back(pool.get());
+    NEURODB_RETURN_NOT_OK(
+        ExecuteKnnOn(request, pools, warm_clock_.get(), &report));
+    return report;
+  }
+
+  SimClock clock;
+  std::vector<std::unique_ptr<storage::BufferPool>> owned = MakePools(&clock);
+  std::vector<storage::BufferPool*> pools;
+  for (auto& pool : owned) pools.push_back(pool.get());
+  NEURODB_RETURN_NOT_OK(ExecuteKnnOn(request, pools, &clock, &report));
+  return report;
+}
+
+Result<MixedBatchResult> QueryEngine::ExecuteBatch(
+    std::span<const QueryRequest> requests) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("ExecuteBatch"));
-  for (const RangeRequest& request : requests) {
-    if (!request.box.IsValid()) {
-      return Status::InvalidArgument(
-          "QueryEngine::ExecuteBatch: invalid box (lo > hi)");
-    }
+  for (const QueryRequest& request : requests) {
+    NEURODB_RETURN_NOT_OK(std::visit(
+        [&](const auto& r) { return ValidateRequest(r, "ExecuteBatch"); },
+        request));
   }
 
   // Pools shared across the whole batch; one clock spans it.
   SimClock clock;
-  std::vector<std::unique_ptr<storage::BufferPool>> owned;
+  std::vector<std::unique_ptr<storage::BufferPool>> owned = MakePools(&clock);
   std::vector<storage::BufferPool*> pools;
-  for (auto& backend : backends_) {
-    owned.push_back(std::make_unique<storage::BufferPool>(
-        backend->store(), options_.pool_pages, &clock, options_.cost));
-    pools.push_back(owned.back().get());
-  }
+  for (auto& pool : owned) pools.push_back(pool.get());
 
-  BatchResult out;
+  MixedBatchResult out;
   out.reports.reserve(requests.size());
-  for (const RangeRequest& request : requests) {
-    if (request.cache == CachePolicy::kCold) {
+  for (const QueryRequest& request : requests) {
+    CachePolicy cache = std::visit(
+        [](const auto& r) { return r.cache; }, request);
+    if (cache == CachePolicy::kCold) {
       for (storage::BufferPool* pool : pools) pool->EvictAll();
     }
-    RangeReport report;
-    NEURODB_RETURN_NOT_OK(
-        ExecuteOn(request, nullptr, pools, &clock, &report));
-    for (const RangeRow& row : report.rows) {
-      out.aggregate.pages_read += row.stats.pages_read;
+
+    if (const auto* range = std::get_if<RangeRequest>(&request)) {
+      RangeReport report;
+      NEURODB_RETURN_NOT_OK(
+          ExecuteOn(*range, nullptr, pools, &clock, &report));
+      for (const RangeRow& row : report.rows) {
+        out.aggregate.pages_read += row.stats.pages_read;
+      }
+      out.aggregate.results += report.results;
+      out.reports.emplace_back(std::move(report));
+    } else {
+      const KnnRequest& knn = std::get<KnnRequest>(request);
+      KnnReport report;
+      NEURODB_RETURN_NOT_OK(ExecuteKnnOn(knn, pools, &clock, &report));
+      for (const RangeRow& row : report.rows) {
+        out.aggregate.pages_read += row.stats.pages_read;
+      }
+      out.aggregate.results += report.hits.size();
+      out.reports.emplace_back(std::move(report));
     }
-    out.aggregate.results += report.results;
-    out.reports.push_back(std::move(report));
   }
 
   out.aggregate.queries = requests.size();
@@ -249,6 +350,20 @@ Result<BatchResult> QueryEngine::ExecuteBatch(
   for (storage::BufferPool* pool : pools) {
     out.aggregate.pool_hits += pool->stats().Get("pool.hits");
     out.aggregate.pool_misses += pool->stats().Get("pool.misses");
+  }
+  return out;
+}
+
+Result<BatchResult> QueryEngine::ExecuteBatch(
+    std::span<const RangeRequest> requests) {
+  std::vector<QueryRequest> mixed(requests.begin(), requests.end());
+  NEURODB_ASSIGN_OR_RETURN(MixedBatchResult mixed_result,
+                           ExecuteBatch(std::span<const QueryRequest>(mixed)));
+  BatchResult out;
+  out.aggregate = mixed_result.aggregate;
+  out.reports.reserve(mixed_result.reports.size());
+  for (QueryReport& report : mixed_result.reports) {
+    out.reports.push_back(std::move(std::get<RangeReport>(report)));
   }
   return out;
 }

@@ -4,16 +4,18 @@
 // and TOUCH joins. QueryEngine is that integration as an extensible query
 // system rather than a fixed three-exhibit facade:
 //
-//   * indexes are pluggable SpatialBackend instances (FLAT and the paged
-//     R-tree ship by default; RegisterBackend adds more) selected per query
-//     with BackendChoice — kAll runs every backend and cross-checks their
-//     result sets, which is exactly the demo's side-by-side comparison;
-//   * requests are typed values (RangeRequest, WalkthroughRequest,
-//     JoinRequest) executed by one Execute overload set, each validated at
-//     the boundary with Status errors instead of UB;
+//   * indexes are pluggable SpatialBackend instances (FLAT, the paged
+//     R-tree and the uniform grid ship by default; RegisterBackend adds
+//     more) selected per query with BackendChoice — kAll runs every backend
+//     and cross-checks their result sets, which is the demo's side-by-side
+//     comparison and the differential harness's parity oracle;
+//   * requests are typed values (RangeRequest, KnnRequest,
+//     WalkthroughRequest, JoinRequest) executed by one Execute overload
+//     set, each validated at the boundary with Status errors instead of UB;
 //   * results stream through ResultVisitor callbacks — nothing is
-//     materialized unless the caller asks for it (CollectingVisitor);
-//   * ExecuteBatch runs many range requests against shared warm buffer
+//     materialized unless the caller asks for it (CollectingVisitor); kNN
+//     answers are ordered (distance, id) hit lists (geom/knn.h);
+//   * ExecuteBatch runs many range/kNN requests against shared warm buffer
 //     pools and reports per-query plus aggregate statistics;
 //   * OpenSession returns an incremental exploration Session handle
 //     (engine/session.h) for interactive callers.
@@ -27,11 +29,13 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/backend.h"
 #include "engine/flat_backend.h"
+#include "engine/grid_backend.h"
 #include "engine/rtree_backend.h"
 #include "engine/session.h"
 #include "geom/aabb.h"
@@ -48,6 +52,8 @@ struct EngineOptions {
   flat::FlatOptions flat;
   /// The baseline disk-resident R-tree configuration.
   rtree::RTreeOptions rtree;
+  /// The uniform-grid parity backend configuration.
+  GridOptions grid;
   /// Buffer pool capacity (pages) for range queries and batches.
   size_t pool_pages = 4096;
   storage::DiskCostModel cost;
@@ -57,12 +63,13 @@ struct EngineOptions {
   Status Validate() const;
 };
 
-/// Which backend(s) a range request runs on.
+/// Which backend(s) a range or kNN request runs on.
 enum class BackendChoice {
   kFlat,
   kRTree,
+  kGrid,
   /// Every registered backend; result sets are cross-checked (the demo's
-  /// side-by-side comparison panel).
+  /// side-by-side comparison panel and the differential-testing harness).
   kAll,
 };
 
@@ -98,6 +105,27 @@ struct RangeReport {
   uint64_t results = 0;
 };
 
+/// A typed k-nearest-neighbour query. Answers use the library-wide
+/// (distance, id) order of geom/knn.h; `k` larger than the dataset clamps
+/// to the dataset, `k == 0` and non-finite points are InvalidArgument.
+struct KnnRequest {
+  geom::Vec3 point;
+  size_t k = 1;
+  BackendChoice backend = BackendChoice::kAll;
+  CachePolicy cache = CachePolicy::kCold;
+};
+
+/// Result of one kNN request.
+struct KnnReport {
+  /// One row per backend executed, in registration order.
+  std::vector<RangeRow> rows;
+  /// All executed backends returned the same ordered hit sequence
+  /// (vacuously true for single-backend requests).
+  bool results_match = true;
+  /// The primary backend's answer, ascending by (distance, id).
+  std::vector<geom::KnnHit> hits;
+};
+
 /// A whole-path exploration replay (see OpenSession for incremental use).
 struct WalkthroughRequest {
   std::vector<geom::Aabb> queries;
@@ -129,6 +157,18 @@ struct BatchResult {
   BatchStats aggregate;
 };
 
+/// One entry of a mixed batch: a range or a kNN query.
+using QueryRequest = std::variant<RangeRequest, KnnRequest>;
+
+/// The report of one mixed-batch entry, same alternative as its request.
+using QueryReport = std::variant<RangeReport, KnnReport>;
+
+/// Per-request reports plus the aggregate for a mixed Range/Knn batch.
+struct MixedBatchResult {
+  std::vector<QueryReport> reports;
+  BatchStats aggregate;
+};
+
 /// The engine. Load a circuit once; execute typed requests against it.
 class QueryEngine {
  public:
@@ -156,10 +196,20 @@ class QueryEngine {
   /// Statistics-only convenience (nothing materialized).
   Result<RangeReport> Execute(const RangeRequest& request);
 
+  /// Execute a kNN request. With kAll, every backend answers and the
+  /// ordered hit sequences are cross-checked (KnnReport::results_match);
+  /// the report carries the primary backend's hits.
+  Result<KnnReport> Execute(const KnnRequest& request);
+
   /// Run `requests` in order against per-backend pools shared across the
   /// whole batch (kCold requests evict first). One simulated clock spans
   /// the batch.
   Result<BatchResult> ExecuteBatch(std::span<const RangeRequest> requests);
+
+  /// Mixed-batch form: range and kNN requests interleaved against the same
+  /// shared pools and batch clock. BatchStats aggregates across both kinds
+  /// (a kNN request contributes its hit count to `results`).
+  Result<MixedBatchResult> ExecuteBatch(std::span<const QueryRequest> requests);
 
   /// Replay a navigation path with the given prefetcher (paper Figure 6).
   Result<scout::SessionResult> Execute(const WalkthroughRequest& request);
@@ -184,10 +234,11 @@ class QueryEngine {
   size_t NumBackends() const { return backends_.size(); }
   const SpatialBackend& backend(size_t i) const { return *backends_[i]; }
 
-  /// The two built-in backends (compatibility accessors; SCOUT sessions and
+  /// The built-in backends (compatibility accessors; SCOUT sessions and
   /// the crawl-trace example reach the FLAT index through these).
   FlatBackend* flat_backend() { return flat_; }
   PagedRTreeBackend* rtree_backend() { return rtree_; }
+  GridBackend* grid_backend() { return grid_; }
   const flat::FlatIndex& flat_index() const { return flat_->index(); }
   const rtree::PagedRTree& paged_rtree() const { return rtree_->tree(); }
 
@@ -203,11 +254,26 @@ class QueryEngine {
   Status ExecuteOn(const RangeRequest& request, ResultVisitor* visitor,
                    const std::vector<storage::BufferPool*>& pools,
                    SimClock* clock, RangeReport* report) const;
+  /// kNN twin of ExecuteOn: one request against `pools`, one report.
+  Status ExecuteKnnOn(const KnnRequest& request,
+                      const std::vector<storage::BufferPool*>& pools,
+                      SimClock* clock, KnnReport* report) const;
+  /// Boundary validation shared by Execute and ExecuteBatch.
+  Status ValidateRequest(const RangeRequest& request, const char* op) const;
+  Status ValidateRequest(const KnnRequest& request, const char* op) const;
+  /// Build one fresh pool per backend on `clock` (cold/batch execution).
+  std::vector<std::unique_ptr<storage::BufferPool>> MakePools(
+      SimClock* clock) const;
+  /// The pool paired with `backend` (`pools` is parallel to backends_).
+  storage::BufferPool* PoolFor(
+      const SpatialBackend* backend,
+      const std::vector<storage::BufferPool*>& pools) const;
 
   EngineOptions options_;
   std::vector<std::unique_ptr<SpatialBackend>> backends_;
   FlatBackend* flat_ = nullptr;    // owned by backends_
   PagedRTreeBackend* rtree_ = nullptr;  // owned by backends_
+  GridBackend* grid_ = nullptr;    // owned by backends_
 
   bool loaded_ = false;
   neuro::SegmentResolver resolver_;

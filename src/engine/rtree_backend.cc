@@ -33,6 +33,24 @@ Status PagedRTreeBackend::RangeQuery(const geom::Aabb& box,
   return Status::OK();
 }
 
+Status PagedRTreeBackend::KnnQuery(const geom::Vec3& point, size_t k,
+                                   storage::BufferPool* pool,
+                                   std::vector<geom::KnnHit>* hits,
+                                   RangeStats* stats) const {
+  if (!built()) {
+    return Status::InvalidArgument("PagedRTreeBackend: not built");
+  }
+  rtree::QueryStats tree_stats;
+  NEURODB_RETURN_NOT_OK(tree_->Knn(point, k, pool, hits, &tree_stats));
+  if (stats != nullptr) {
+    stats->pages_read = tree_stats.nodes_visited;
+    stats->results = tree_stats.results;
+    stats->elements_scanned = tree_stats.entries_tested;
+    stats->nodes_per_level = std::move(tree_stats.nodes_per_level);
+  }
+  return Status::OK();
+}
+
 BackendStats PagedRTreeBackend::Stats() const {
   BackendStats stats;
   if (built()) {

@@ -27,6 +27,11 @@ class PagedRTreeBackend : public SpatialBackend {
                     ResultVisitor& visitor,
                     RangeStats* stats = nullptr) const override;
 
+  /// Best-first node traversal (rtree::PagedRTree::Knn).
+  Status KnnQuery(const geom::Vec3& point, size_t k,
+                  storage::BufferPool* pool, std::vector<geom::KnnHit>* hits,
+                  RangeStats* stats = nullptr) const override;
+
   BackendStats Stats() const override;
 
   bool built() const { return tree_.has_value(); }

@@ -33,22 +33,17 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
   return session;
 }
 
-Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
-                                        geom::ResultVisitor& visitor) {
-  if (!box.IsValid()) {
-    return Status::InvalidArgument("Session::Step: invalid box (lo > hi)");
-  }
-
+Result<scout::StepRecord> Session::RunStep(
+    const std::function<Status(std::vector<geom::ElementId>* ids,
+                               geom::Aabb* prefetch_box)>& query) {
   scout::StepRecord step;
   uint64_t t0 = clock_->NowMicros();
   uint64_t misses0 = pool_->stats().Get("pool.misses");
   uint64_t hits0 = pool_->stats().Get("pool.hits");
 
-  // Stream to the caller while keeping the ids the prefetcher observes.
   std::vector<geom::ElementId> ids;
-  geom::VectorVisitor collector(&ids);
-  geom::TeeVisitor tee(&visitor, &collector);
-  NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool_.get(), tee));
+  geom::Aabb prefetch_box;
+  NEURODB_RETURN_NOT_OK(query(&ids, &prefetch_box));
 
   step.stall_us = clock_->NowMicros() - t0;
   step.pages_missed = pool_->stats().Get("pool.misses") - misses0;
@@ -57,7 +52,7 @@ Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
 
   // Think pause: the prefetcher works while the scientist looks at the
   // data. Loads within the budget finish before the next query.
-  step.prefetched = prefetcher_->AfterQuery(box, ids, budget_);
+  step.prefetched = prefetcher_->AfterQuery(prefetch_box, ids, budget_);
   step.candidates = prefetcher_->CandidateCount();
   clock_->Advance(options_.think_time_us);
 
@@ -66,9 +61,50 @@ Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
   return step;
 }
 
+Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
+                                        geom::ResultVisitor& visitor) {
+  if (!box.IsValid()) {
+    return Status::InvalidArgument("Session::Step: invalid box (lo > hi)");
+  }
+  return RunStep([&](std::vector<geom::ElementId>* ids,
+                     geom::Aabb* prefetch_box) {
+    *prefetch_box = box;
+    // Stream to the caller while keeping the ids the prefetcher observes.
+    geom::VectorVisitor collector(ids);
+    geom::TeeVisitor tee(&visitor, &collector);
+    return index_->RangeQuery(box, pool_.get(), tee);
+  });
+}
+
 Result<scout::StepRecord> Session::Step(const geom::Aabb& box) {
   geom::CountingVisitor ignore;
   return Step(box, ignore);
+}
+
+Result<scout::StepRecord> Session::StepKnn(const geom::Vec3& point, size_t k,
+                                           std::vector<geom::KnnHit>* hits) {
+  if (k == 0) {
+    return Status::InvalidArgument("Session::StepKnn: k must be > 0");
+  }
+  if (!geom::IsFinitePoint(point)) {
+    return Status::InvalidArgument("Session::StepKnn: non-finite query point");
+  }
+
+  std::vector<geom::KnnHit> local;
+  std::vector<geom::KnnHit>* out = hits != nullptr ? hits : &local;
+  return RunStep([&](std::vector<geom::ElementId>* ids,
+                     geom::Aabb* prefetch_box) {
+    NEURODB_RETURN_NOT_OK(index_->Knn(point, k, pool_.get(), out));
+    ids->reserve(out->size());
+    for (const geom::KnnHit& hit : *out) ids->push_back(hit.id);
+    // The prefetcher sees the neighbourhood the answer came from — the
+    // cube covering the kth hit — so exploration models treat kNN steps
+    // like range steps.
+    double reach = out->empty() ? 0.0 : out->back().distance;
+    *prefetch_box =
+        geom::Aabb::Cube(point, 2.0f * static_cast<float>(reach));
+    return Status::OK();
+  });
 }
 
 scout::SessionResult Session::Summary() const {

@@ -13,6 +13,7 @@
 #ifndef NEURODB_ENGINE_SESSION_H_
 #define NEURODB_ENGINE_SESSION_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "common/sim_clock.h"
 #include "flat/flat_index.h"
 #include "geom/aabb.h"
+#include "geom/knn.h"
 #include "geom/visitor.h"
 #include "neuro/circuit.h"
 #include "scout/prefetcher.h"
@@ -56,6 +58,15 @@ class Session {
   /// Step without materializing results.
   Result<scout::StepRecord> Step(const geom::Aabb& box);
 
+  /// Execute one kNN query through the session pool (FLAT expanding-ring
+  /// crawl): fills `hits` (when non-null) ascending by (distance, id),
+  /// charges demand misses to the session clock and lets the prefetcher
+  /// spend the think pause on the neighbourhood of the answer, exactly as
+  /// a range Step does. k == 0 and non-finite points are InvalidArgument;
+  /// k beyond the dataset clamps.
+  Result<scout::StepRecord> StepKnn(const geom::Vec3& point, size_t k,
+                                    std::vector<geom::KnnHit>* hits = nullptr);
+
   /// Statistics over all steps so far (the paper Figure 6 panel). Cheap;
   /// may be called mid-session.
   scout::SessionResult Summary() const;
@@ -66,6 +77,14 @@ class Session {
 
  private:
   Session() = default;
+
+  /// Shared step skeleton: time the query, account pool deltas, feed the
+  /// prefetcher the result ids and the box the answer came from, spend the
+  /// think pause, record the step. `query` fills the result ids and the
+  /// prefetch box.
+  Result<scout::StepRecord> RunStep(
+      const std::function<Status(std::vector<geom::ElementId>* ids,
+                                 geom::Aabb* prefetch_box)>& query);
 
   const flat::FlatIndex* index_ = nullptr;
   scout::SessionOptions options_;

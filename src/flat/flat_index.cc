@@ -1,6 +1,7 @@
 #include "flat/flat_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 namespace neurodb {
@@ -172,6 +173,84 @@ Status FlatIndex::RangeQuery(const Aabb& box, storage::BufferPool* pool,
                              std::vector<ElementId>* out,
                              FlatQueryStats* stats) const {
   return RangeQueryTraced(box, pool, out, nullptr, stats);
+}
+
+Status FlatIndex::Knn(const geom::Vec3& p, size_t k, storage::BufferPool* pool,
+                      std::vector<geom::KnnHit>* hits,
+                      FlatQueryStats* stats) const {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("FlatIndex::Knn: null pool");
+  }
+  if (hits == nullptr) {
+    return Status::InvalidArgument("FlatIndex::Knn: null output");
+  }
+  if (!geom::IsFinitePoint(p)) {
+    return Status::InvalidArgument("FlatIndex::Knn: non-finite query point");
+  }
+  hits->clear();
+  if (k == 0 || page_ids_.empty()) return Status::OK();
+
+  // Initial ring radius sized so the ring is *expected* to hold ~k
+  // elements under a uniform density estimate: the domain scaled by the
+  // cube root of k over the (approximate) element count. Too small merely
+  // costs extra (memory-only) seed-tree rounds; too large costs page
+  // reads. Degenerate (zero-extent) domains start at 1.
+  geom::Vec3 extent = domain_.Extent();
+  float max_extent = std::max({extent.x, extent.y, extent.z});
+  size_t approx_elements =
+      std::max<size_t>(1, page_ids_.size() * options_.elems_per_page);
+  float radius =
+      max_extent > 0.0f
+          ? max_extent * std::cbrt(static_cast<float>(k) /
+                                   static_cast<float>(approx_elements))
+          : 1.0f;
+  if (!(radius > 0.0f)) radius = 1.0f;
+
+  geom::KnnAccumulator acc(k);
+  std::vector<char> visited(page_ids_.size(), 0);
+  size_t pages_left = page_ids_.size();
+
+  for (;;) {
+    if (stats != nullptr) ++stats->knn_rings;
+    // All pages whose MBR intersects the current ring cube. An element at
+    // box distance d <= radius has Chebyshev distance <= d, so its page
+    // intersects this cube — scanning the ring is exhaustive up to
+    // `radius`.
+    rtree::QueryStats ring_stats;
+    std::vector<ElementId> in_ring;
+    seed_tree_.RangeQuery(Aabb::Cube(p, 2.0f * radius), &in_ring,
+                          &ring_stats);
+    if (stats != nullptr) {
+      stats->seed_nodes_visited += ring_stats.nodes_visited;
+    }
+    for (ElementId hit : in_ring) {
+      uint32_t page_index = static_cast<uint32_t>(hit);
+      if (visited[page_index]) continue;
+      visited[page_index] = 1;
+      --pages_left;
+      auto page = pool->Fetch(page_ids_[page_index]);
+      if (!page.ok()) return page.status();
+      if (stats != nullptr) {
+        ++stats->data_pages_read;
+        ++stats->crawl_steps;
+      }
+      for (const auto& e : (*page)->elements) {
+        if (stats != nullptr) ++stats->elements_scanned;
+        acc.Offer(e.id, geom::KnnDistance(p, e.bounds));
+      }
+    }
+    // Done once the kth best lies inside the scanned ring (everything
+    // closer has been seen), or the ring has swallowed the whole dataset.
+    // Doubling guarantees the latter in finitely many rounds (the cube
+    // stays valid even if the radius saturates to +inf).
+    if (acc.Full() && acc.WorstDistance() <= radius) break;
+    if (pages_left == 0) break;
+    radius *= 2.0f;
+  }
+
+  *hits = acc.TakeSorted();
+  if (stats != nullptr) stats->results = hits->size();
+  return Status::OK();
 }
 
 std::vector<uint32_t> FlatIndex::PagesInRange(const Aabb& box) const {

@@ -35,6 +35,7 @@
 #include "common/status.h"
 #include "geom/aabb.h"
 #include "geom/element.h"
+#include "geom/knn.h"
 #include "geom/visitor.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
@@ -70,6 +71,8 @@ struct FlatQueryStats {
   uint64_t crawl_steps = 0;
   /// Crawls started beyond the first seed (0 on connected/dense ranges).
   uint64_t extra_seeds = 0;
+  /// kNN only: expanding rings examined before the answer stabilized.
+  uint64_t knn_rings = 0;
   /// Elements scanned on fetched pages.
   uint64_t elements_scanned = 0;
   uint64_t results = 0;
@@ -110,6 +113,19 @@ class FlatIndex {
                           std::vector<geom::ElementId>* out,
                           std::vector<uint32_t>* page_visit_order,
                           FlatQueryStats* stats = nullptr) const;
+
+  /// k nearest neighbours of `p` by box distance, ties broken by id (the
+  /// library-wide order of geom/knn.h). FLAT has no pointer hierarchy over
+  /// the data, so the query is an *expanding-ring crawl*: grow a cube
+  /// around `p`, pull the intersecting pages out of the memory-resident
+  /// seed tree, fetch the unvisited ones through `pool`, and stop once the
+  /// kth best distance is covered by the ring — every fetched page is a
+  /// page a range query of that radius would have fetched. `hits` is
+  /// cleared and filled ascending. k == 0 yields an empty answer; k larger
+  /// than the dataset yields every element.
+  Status Knn(const geom::Vec3& p, size_t k, storage::BufferPool* pool,
+             std::vector<geom::KnnHit>* hits,
+             FlatQueryStats* stats = nullptr) const;
 
   /// Pages (as indexes into page order) whose MBR intersects `box`.
   /// Memory-only (seed tree); used by SCOUT to translate predicted query

@@ -196,6 +196,59 @@ std::vector<Aabb> PathQueries(const NavigationPath& path, float side) {
   return out;
 }
 
+WorkloadQuery MixedWorkloadQuery(const Aabb& domain,
+                                 const geom::ElementVec& elements,
+                                 const MixedWorkloadOptions& options,
+                                 uint64_t sub_seed) {
+  Pcg32 rng(sub_seed, 7);
+  WorkloadQuery query;
+  query.sub_seed = sub_seed;
+
+  double kind_draw = rng.NextDouble();
+  if (kind_draw < options.join_fraction) {
+    query.kind = QueryKind::kJoin;
+    query.epsilon = static_cast<float>(
+        rng.Uniform(options.epsilon_min, options.epsilon_max));
+    return query;
+  }
+  query.kind = kind_draw < options.join_fraction + options.knn_fraction
+                   ? QueryKind::kKnn
+                   : QueryKind::kRange;
+
+  Vec3 center = UniformPoint(&rng, domain);
+  if (!elements.empty() && rng.NextBool(options.data_centered_fraction)) {
+    const auto& e =
+        elements[rng.NextBounded(static_cast<uint32_t>(elements.size()))];
+    center = e.bounds.Center();
+  }
+
+  if (query.kind == QueryKind::kKnn) {
+    query.point = center;
+    uint32_t span = options.k_max >= options.k_min
+                        ? static_cast<uint32_t>(options.k_max -
+                                                options.k_min + 1)
+                        : 1;
+    query.k = options.k_min + rng.NextBounded(span);
+  } else {
+    float side =
+        static_cast<float>(rng.Uniform(options.side_min, options.side_max));
+    query.box = Aabb::Cube(center, side);
+  }
+  return query;
+}
+
+std::vector<WorkloadQuery> MixedWorkload(const Aabb& domain,
+                                         const geom::ElementVec& elements,
+                                         const MixedWorkloadOptions& options,
+                                         size_t n, uint64_t seed) {
+  std::vector<WorkloadQuery> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(MixedWorkloadQuery(domain, elements, options, seed + i));
+  }
+  return out;
+}
+
 SegmentDataset UniformSegments(size_t n, const Aabb& domain, float length_mean,
                                float length_std, float radius, uint64_t seed) {
   Pcg32 rng(seed, 5);

@@ -66,6 +66,64 @@ NavigationPath RandomWalkPath(const geom::Aabb& domain, size_t steps,
 std::vector<geom::Aabb> PathQueries(const NavigationPath& path, float side);
 
 // ---------------------------------------------------------------------------
+// Mixed differential-testing workloads (tests/diff_harness.h)
+// ---------------------------------------------------------------------------
+
+/// Kind of one differential-workload query.
+enum class QueryKind {
+  kRange,
+  kKnn,
+  kJoin,
+};
+
+/// One randomized query of a mixed workload. Every query remembers the
+/// `sub_seed` that regenerates exactly it — the minimal reproduction handle
+/// the differential harness prints on divergence.
+struct WorkloadQuery {
+  QueryKind kind = QueryKind::kRange;
+  geom::Aabb box;      // kRange
+  geom::Vec3 point;    // kKnn
+  size_t k = 0;        // kKnn
+  float epsilon = 0;   // kJoin
+  uint64_t sub_seed = 0;
+};
+
+/// Mix and shape of a randomized differential workload.
+struct MixedWorkloadOptions {
+  /// Fraction of queries that are kNN (the rest minus joins are ranges).
+  double knn_fraction = 0.35;
+  /// Fraction of queries that are epsilon-joins. Joins are far more
+  /// expensive than point queries — keep this small.
+  double join_fraction = 0.0;
+  /// Fraction of range/kNN queries anchored on a random element (dense,
+  /// guaranteed-hit); the rest are uniform in the domain (sparse/empty).
+  double data_centered_fraction = 0.5;
+  /// Range query cube side, uniform in [side_min, side_max].
+  float side_min = 8.0f;
+  float side_max = 60.0f;
+  /// kNN k, uniform in [k_min, k_max].
+  size_t k_min = 1;
+  size_t k_max = 32;
+  /// Join epsilon, uniform in [epsilon_min, epsilon_max].
+  float epsilon_min = 0.5f;
+  float epsilon_max = 4.0f;
+};
+
+/// Regenerate the single query identified by `sub_seed` — the minimal
+/// reproduction of a harness divergence. MixedWorkload(seed)[i] is exactly
+/// MixedWorkloadQuery(..., seed + i).
+WorkloadQuery MixedWorkloadQuery(const geom::Aabb& domain,
+                                 const geom::ElementVec& elements,
+                                 const MixedWorkloadOptions& options,
+                                 uint64_t sub_seed);
+
+/// `n` independent randomized queries; query i is derived from seed + i.
+std::vector<WorkloadQuery> MixedWorkload(const geom::Aabb& domain,
+                                         const geom::ElementVec& elements,
+                                         const MixedWorkloadOptions& options,
+                                         size_t n, uint64_t seed);
+
+// ---------------------------------------------------------------------------
 // Synthetic segment clouds (controlled density experiments)
 // ---------------------------------------------------------------------------
 

@@ -1,5 +1,8 @@
 #include "rtree/paged_rtree.h"
 
+#include <cmath>
+#include <queue>
+
 namespace neurodb {
 namespace rtree {
 
@@ -67,6 +70,65 @@ Status PagedRTree::RangeQuery(const Aabb& box, geom::ResultVisitor& visitor,
       }
     }
   }
+  return Status::OK();
+}
+
+Status PagedRTree::Knn(const geom::Vec3& p, size_t k,
+                       storage::BufferPool* pool,
+                       std::vector<geom::KnnHit>* hits,
+                       QueryStats* stats) const {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("PagedRTree::Knn: null pool");
+  }
+  if (hits == nullptr) {
+    return Status::InvalidArgument("PagedRTree::Knn: null output");
+  }
+  if (!geom::IsFinitePoint(p)) {
+    return Status::InvalidArgument("PagedRTree::Knn: non-finite query point");
+  }
+  hits->clear();
+  if (k == 0 || tree_.root() == -1) return Status::OK();
+
+  struct Frontier {
+    double dist;
+    int32_t node;
+    bool operator>(const Frontier& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier;
+  frontier.push({geom::KnnDistance(p, tree_.node(tree_.root()).bounds),
+                 tree_.root()});
+
+  geom::KnnAccumulator acc(k);
+  while (!frontier.empty()) {
+    Frontier top = frontier.top();
+    frontier.pop();
+    // Strict prune: a node at distance == the kth best may still hold an
+    // equal-distance element with a smaller id.
+    if (acc.Full() && top.dist > acc.WorstDistance()) break;
+
+    const RTree::Node& n = tree_.node(top.node);
+    auto page = pool->Fetch(node_pages_[top.node]);
+    if (!page.ok()) return page.status();
+    if (stats != nullptr) stats->CountNode(n.level);
+
+    if (n.IsLeaf()) {
+      for (const auto& e : (*page)->elements) {
+        if (stats != nullptr) ++stats->entries_tested;
+        acc.Offer(e.id, geom::KnnDistance(p, e.bounds));
+      }
+    } else {
+      for (const auto& branch : (*page)->elements) {
+        if (stats != nullptr) ++stats->entries_tested;
+        double dist = geom::KnnDistance(p, branch.bounds);
+        if (acc.Full() && dist > acc.WorstDistance()) continue;
+        frontier.push({dist, static_cast<int32_t>(branch.id)});
+      }
+    }
+  }
+
+  *hits = acc.TakeSorted();
+  if (stats != nullptr) stats->results = hits->size();
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "geom/knn.h"
 #include "geom/visitor.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
@@ -41,6 +42,17 @@ class PagedRTree {
   Status RangeQuery(const geom::Aabb& box, std::vector<geom::ElementId>* out,
                     storage::BufferPool* pool,
                     QueryStats* stats = nullptr) const;
+
+  /// k nearest neighbours of `p` by box distance, ties broken by id (the
+  /// library-wide order of geom/knn.h). Best-first traversal (Hjaltason &
+  /// Samet): nodes are expanded in increasing MBR distance, each expansion
+  /// fetching the node's page through `pool`; the walk stops as soon as the
+  /// nearest unexpanded node cannot improve the kth best hit. `hits` is
+  /// cleared and filled ascending. k == 0 yields an empty answer; k larger
+  /// than the dataset yields every element.
+  Status Knn(const geom::Vec3& p, size_t k, storage::BufferPool* pool,
+             std::vector<geom::KnnHit>* hits,
+             QueryStats* stats = nullptr) const;
 
   /// The in-memory structure (geometry of nodes; used by tests).
   const RTree& tree() const { return tree_; }

@@ -1,0 +1,186 @@
+// NeuroDB — differential-testing harness.
+//
+// Replays a seeded randomized workload of Range / Knn / Join queries
+// through the engine and checks, per query, that (a) every registered
+// backend agrees (BackendChoice::kAll parity — FLAT crawl vs R-tree
+// traversal vs grid scan), and (b) the agreed answer matches a brute-force
+// ground truth computed directly over the element list, so three backends
+// sharing one bug cannot pass. Joins are cross-checked across independent
+// join algorithms (TOUCH vs plane sweep) the same way.
+//
+// The harness stops at the FIRST divergence and reports a minimal
+// reproduction: every workload query carries its own sub-seed, and
+// neuro::MixedWorkloadQuery(domain, elements, options, sub_seed)
+// regenerates exactly the failing query — no need to replay the whole
+// workload to debug it.
+
+#ifndef NEURODB_TESTS_DIFF_HARNESS_H_
+#define NEURODB_TESTS_DIFF_HARNESS_H_
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "geom/knn.h"
+#include "neuro/workload.h"
+
+namespace neurodb {
+namespace testing {
+
+/// Result of one differential run.
+struct DiffOutcome {
+  bool diverged = false;
+  size_t queries_run = 0;
+  size_t ranges = 0;
+  size_t knns = 0;
+  size_t joins = 0;
+  /// Valid when diverged: the failing query's index in the workload and the
+  /// sub-seed that regenerates it via neuro::MixedWorkloadQuery.
+  size_t failing_index = 0;
+  uint64_t failing_seed = 0;
+  std::string detail;
+
+  std::string Summary() const {
+    std::ostringstream os;
+    if (!diverged) {
+      os << "no divergence in " << queries_run << " queries (" << ranges
+         << " range, " << knns << " knn, " << joins << " join)";
+    } else {
+      os << "DIVERGENCE at query " << failing_index
+         << " — minimal repro: MixedWorkloadQuery(..., sub_seed="
+         << failing_seed << ") — " << detail;
+    }
+    return os.str();
+  }
+};
+
+/// Brute-force range count over the raw element list.
+inline uint64_t BruteForceRangeCount(const geom::ElementVec& elements,
+                                     const geom::Aabb& box) {
+  uint64_t count = 0;
+  for (const auto& e : elements) {
+    if (e.bounds.Intersects(box)) ++count;
+  }
+  return count;
+}
+
+/// Run `n` seeded queries from `options` through `db` (which must have a
+/// circuit loaded); `elements` is the loaded dataset, used for both
+/// workload anchoring and ground truth. Stops at the first divergence.
+inline DiffOutcome RunDifferential(engine::QueryEngine* db,
+                                   const geom::ElementVec& elements,
+                                   const neuro::MixedWorkloadOptions& options,
+                                   size_t n, uint64_t seed) {
+  DiffOutcome outcome;
+  std::vector<neuro::WorkloadQuery> workload =
+      neuro::MixedWorkload(db->domain(), elements, options, n, seed);
+
+  auto fail = [&](size_t i, const std::string& detail) {
+    outcome.diverged = true;
+    outcome.failing_index = i;
+    outcome.failing_seed = workload[i].sub_seed;
+    outcome.detail = detail;
+  };
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const neuro::WorkloadQuery& query = workload[i];
+    ++outcome.queries_run;
+
+    if (query.kind == neuro::QueryKind::kRange) {
+      ++outcome.ranges;
+      engine::RangeRequest request;
+      request.box = query.box;
+      request.backend = engine::BackendChoice::kAll;
+      request.cache = engine::CachePolicy::kWarm;
+      auto report = db->Execute(request);
+      if (!report.ok()) {
+        fail(i, "range request failed: " + report.status().ToString());
+        break;
+      }
+      if (!report->results_match) {
+        std::ostringstream os;
+        os << "range backends disagree on box " << query.box << ":";
+        for (const auto& row : report->rows) {
+          os << ' ' << row.method << '=' << row.stats.results;
+        }
+        fail(i, os.str());
+        break;
+      }
+      uint64_t truth = BruteForceRangeCount(elements, query.box);
+      if (report->results != truth) {
+        std::ostringstream os;
+        os << "all backends agree on " << report->results
+           << " results but brute force finds " << truth << " for box "
+           << query.box;
+        fail(i, os.str());
+        break;
+      }
+    } else if (query.kind == neuro::QueryKind::kKnn) {
+      ++outcome.knns;
+      engine::KnnRequest request;
+      request.point = query.point;
+      request.k = query.k;
+      request.backend = engine::BackendChoice::kAll;
+      request.cache = engine::CachePolicy::kWarm;
+      auto report = db->Execute(request);
+      if (!report.ok()) {
+        fail(i, "knn request failed: " + report.status().ToString());
+        break;
+      }
+      if (!report->results_match) {
+        std::ostringstream os;
+        os << "knn backends disagree for k=" << query.k << " at ("
+           << query.point.x << ", " << query.point.y << ", " << query.point.z
+           << ")";
+        fail(i, os.str());
+        break;
+      }
+      std::vector<geom::KnnHit> truth =
+          geom::BruteForceKnn(elements, query.point, query.k);
+      if (report->hits != truth) {
+        std::ostringstream os;
+        os << "all backends agree but brute-force kNN differs (k=" << query.k
+           << ", got " << report->hits.size() << " hits, want "
+           << truth.size() << ")";
+        fail(i, os.str());
+        break;
+      }
+    } else {
+      ++outcome.joins;
+      engine::JoinRequest touch;
+      touch.method = touch::JoinMethod::kTouch;
+      touch.options.epsilon = query.epsilon;
+      engine::JoinRequest sweep;
+      sweep.method = touch::JoinMethod::kPlaneSweep;
+      sweep.options.epsilon = query.epsilon;
+      auto touch_result = db->Execute(touch);
+      auto sweep_result = db->Execute(sweep);
+      if (!touch_result.ok() || !sweep_result.ok()) {
+        fail(i, "join failed: " +
+                    (touch_result.ok() ? sweep_result.status()
+                                       : touch_result.status())
+                        .ToString());
+        break;
+      }
+      std::vector<touch::JoinPair> a = touch_result->pairs;
+      std::vector<touch::JoinPair> b = sweep_result->pairs;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a != b) {
+        std::ostringstream os;
+        os << "TOUCH and plane sweep disagree at epsilon=" << query.epsilon
+           << " (" << a.size() << " vs " << b.size() << " pairs)";
+        fail(i, os.str());
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace testing
+}  // namespace neurodb
+
+#endif  // NEURODB_TESTS_DIFF_HARNESS_H_

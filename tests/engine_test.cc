@@ -101,10 +101,12 @@ TEST_F(EngineFixture, KAllCrossChecksBackends) {
     auto report = db_->Execute(request);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report->results_match);
-    ASSERT_EQ(report->rows.size(), 2u);
+    ASSERT_EQ(report->rows.size(), 3u);
     EXPECT_EQ(report->rows[0].method, "FLAT");
     EXPECT_EQ(report->rows[1].method, "R-Tree");
+    EXPECT_EQ(report->rows[2].method, "Grid");
     EXPECT_EQ(report->rows[0].stats.results, report->rows[1].stats.results);
+    EXPECT_EQ(report->rows[0].stats.results, report->rows[2].stats.results);
     EXPECT_GT(report->results, 0u);
   }
 }
@@ -253,6 +255,81 @@ TEST_F(EngineFixture, ExecuteBatchSharesWarmPoolAcrossRequests) {
             2 * cold_result->reports[0].rows[0].stats.pages_read);
 }
 
+TEST_F(EngineFixture, MixedBatchAggregatesAcrossRangeAndKnn) {
+  auto boxes = neuro::DataCenteredQueries(
+      circuit_.FlattenSegments().Elements(), 30.0f, 4, 13);
+  std::vector<QueryRequest> batch;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    RangeRequest range;
+    range.box = boxes[i];
+    range.backend = BackendChoice::kFlat;
+    range.cache = CachePolicy::kWarm;
+    batch.emplace_back(range);
+
+    KnnRequest knn;
+    knn.point = boxes[i].Center();
+    knn.k = 5 + i;
+    knn.backend = BackendChoice::kRTree;
+    knn.cache = CachePolicy::kWarm;
+    batch.emplace_back(knn);
+  }
+
+  auto result = db_->ExecuteBatch(std::span<const QueryRequest>(batch));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->reports.size(), batch.size());
+  EXPECT_EQ(result->aggregate.queries, batch.size());
+
+  uint64_t pages = 0, results = 0;
+  for (size_t i = 0; i < result->reports.size(); ++i) {
+    if (const auto* range = std::get_if<RangeReport>(&result->reports[i])) {
+      ASSERT_EQ(range->rows.size(), 1u);
+      EXPECT_EQ(range->rows[0].method, "FLAT");
+      pages += range->rows[0].stats.pages_read;
+      results += range->results;
+    } else {
+      const KnnReport& knn = std::get<KnnReport>(result->reports[i]);
+      ASSERT_EQ(knn.rows.size(), 1u);
+      EXPECT_EQ(knn.rows[0].method, "R-Tree");
+      EXPECT_EQ(knn.hits.size(), 5 + i / 2);
+      pages += knn.rows[0].stats.pages_read;
+      results += knn.hits.size();
+    }
+  }
+  EXPECT_EQ(result->aggregate.pages_read, pages);
+  EXPECT_EQ(result->aggregate.results, results);
+  EXPECT_EQ(result->aggregate.pool_hits + result->aggregate.pool_misses,
+            pages);
+  EXPECT_GT(result->aggregate.time_us, 0u);
+
+  // The request order alternates Range, Knn — reports must mirror it.
+  for (size_t i = 0; i < result->reports.size(); ++i) {
+    EXPECT_EQ(result->reports[i].index(), i % 2);
+  }
+}
+
+TEST_F(EngineFixture, RangeOnlyBatchMatchesMixedBatch) {
+  auto boxes = neuro::DataCenteredQueries(
+      circuit_.FlattenSegments().Elements(), 30.0f, 5, 29);
+  std::vector<RangeRequest> plain;
+  std::vector<QueryRequest> mixed;
+  for (const Aabb& box : boxes) {
+    RangeRequest request;
+    request.box = box;
+    request.backend = BackendChoice::kFlat;
+    request.cache = CachePolicy::kWarm;
+    plain.push_back(request);
+    mixed.emplace_back(request);
+  }
+  auto plain_result = db_->ExecuteBatch(plain);
+  auto mixed_result = db_->ExecuteBatch(std::span<const QueryRequest>(mixed));
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(mixed_result.ok());
+  EXPECT_EQ(plain_result->aggregate.pages_read,
+            mixed_result->aggregate.pages_read);
+  EXPECT_EQ(plain_result->aggregate.results, mixed_result->aggregate.results);
+  EXPECT_EQ(plain_result->aggregate.time_us, mixed_result->aggregate.time_us);
+}
+
 // --------------------------------------------------------------------------
 // Sessions
 // --------------------------------------------------------------------------
@@ -306,6 +383,54 @@ TEST_F(EngineFixture, SessionStepStreamsResults) {
   EXPECT_GT(step->stall_us, 0u);
 }
 
+TEST_F(EngineFixture, SessionStepKnnMatchesEngineExecute) {
+  auto path = neuro::FollowBranchPath(circuit_, 1, 12.0f, 1);
+  ASSERT_TRUE(path.ok());
+  ASSERT_GT(path->waypoints.size(), 2u);
+
+  for (auto method :
+       {scout::PrefetchMethod::kNone, scout::PrefetchMethod::kScout}) {
+    auto session = db_->OpenSession(method);
+    ASSERT_TRUE(session.ok());
+    size_t steps = 0;
+    for (const auto& waypoint : path->waypoints) {
+      std::vector<geom::KnnHit> stepped;
+      auto step = session->StepKnn(waypoint, 8, &stepped);
+      ASSERT_TRUE(step.ok()) << step.status().ToString();
+      EXPECT_EQ(step->results, stepped.size());
+      ++steps;
+
+      // Whole-path replay of the same query through the engine: the session
+      // pool state differs (it stays warm across steps) but the answer must
+      // be identical hit-for-hit.
+      KnnRequest request;
+      request.point = waypoint;
+      request.k = 8;
+      request.backend = BackendChoice::kFlat;
+      auto replayed = db_->Execute(request);
+      ASSERT_TRUE(replayed.ok());
+      EXPECT_EQ(stepped, replayed->hits);
+    }
+    EXPECT_EQ(session->NumSteps(), steps);
+    // kNN steps feed the Figure 6 statistics like range steps do.
+    scout::SessionResult summary = session->Summary();
+    EXPECT_EQ(summary.steps.size(), steps);
+    EXPECT_GT(summary.pages_missed + summary.pages_hit, 0u);
+  }
+}
+
+TEST_F(EngineFixture, SessionInterleavesRangeAndKnnSteps) {
+  auto session = db_->OpenSession(scout::PrefetchMethod::kScout);
+  ASSERT_TRUE(session.ok());
+  Aabb box = Aabb::Cube(db_->domain().Center(), 30.0f);
+  ASSERT_TRUE(session->Step(box).ok());
+  std::vector<geom::KnnHit> hits;
+  ASSERT_TRUE(session->StepKnn(db_->domain().Center(), 5, &hits).ok());
+  ASSERT_TRUE(session->Step(box).ok());
+  EXPECT_EQ(session->NumSteps(), 3u);
+  EXPECT_EQ(hits.size(), 5u);
+}
+
 TEST_F(EngineFixture, ScoutSessionBeatsNoPrefetch) {
   auto path = neuro::FollowBranchPath(circuit_, 1, 12.0f, 1);
   ASSERT_TRUE(path.ok());
@@ -351,7 +476,12 @@ TEST(EngineValidationTest, RequestsBeforeLoadFail) {
   RangeRequest range;
   range.box = Aabb::Cube(Vec3(0, 0, 0), 5);
   EXPECT_TRUE(db.Execute(range).status().IsInvalidArgument());
-  EXPECT_TRUE(db.ExecuteBatch({}).status().IsInvalidArgument());
+  EXPECT_TRUE(db.ExecuteBatch(std::span<const RangeRequest>())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(db.ExecuteBatch(std::span<const QueryRequest>())
+                  .status()
+                  .IsInvalidArgument());
   EXPECT_TRUE(db.Execute(JoinRequest()).status().IsInvalidArgument());
   EXPECT_TRUE(db.Execute(WalkthroughRequest()).status().IsInvalidArgument());
   EXPECT_TRUE(
@@ -373,6 +503,18 @@ TEST_F(EngineFixture, RejectsInvalidBoxes) {
   WalkthroughRequest walk;
   walk.queries = {bad.box};
   EXPECT_TRUE(db_->Execute(walk).status().IsInvalidArgument());
+}
+
+TEST_F(EngineFixture, HugeBoxesAreValidAndReturnEverything) {
+  // Regression: the grid's cell arithmetic must clamp, not overflow, on
+  // boxes vastly larger than the domain.
+  RangeRequest request;
+  request.box = Aabb::Cube(Vec3(0, 0, 0), 1e30f);
+  request.backend = BackendChoice::kAll;
+  auto report = db_->Execute(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->results_match);
+  EXPECT_EQ(report->results, db_->NumSegments());
 }
 
 TEST_F(EngineFixture, RejectsNegativeJoinEpsilon) {
@@ -399,7 +541,7 @@ TEST(EngineValidationTest, RegisterBackendRules) {
 }
 
 TEST_F(EngineFixture, BackendStatsReportFootprint) {
-  ASSERT_EQ(db_->NumBackends(), 2u);
+  ASSERT_EQ(db_->NumBackends(), 3u);
   for (size_t i = 0; i < db_->NumBackends(); ++i) {
     BackendStats stats = db_->backend(i).Stats();
     EXPECT_GT(stats.index_pages, 0u) << db_->backend(i).name();

@@ -1,0 +1,253 @@
+// kNN tests: brute-force ground truth on random circuits for all three
+// backends, tie-breaking determinism of the shared (distance, id) order,
+// and Status propagation for degenerate inputs (k == 0, k beyond the
+// dataset, non-finite points) at every API boundary — backend, engine,
+// session and batch.
+
+#include "geom/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "engine/query_engine.h"
+#include "neuro/circuit_generator.h"
+#include "neuro/workload.h"
+
+namespace neurodb {
+namespace engine {
+namespace {
+
+using geom::Aabb;
+using geom::ElementId;
+using geom::KnnHit;
+using geom::Vec3;
+
+neuro::Circuit MakeCircuit(uint32_t neurons, uint64_t seed) {
+  neuro::CircuitParams params;
+  params.num_neurons = neurons;
+  params.seed = seed;
+  auto circuit = neuro::CircuitGenerator(params).Generate();
+  EXPECT_TRUE(circuit.ok());
+  return std::move(circuit).value();
+}
+
+class KnnFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    circuit_ = MakeCircuit(10, 404);
+    EngineOptions options;
+    options.flat.elems_per_page = 64;
+    options.grid.elems_per_page = 64;
+    db_ = std::make_unique<QueryEngine>(options);
+    ASSERT_TRUE(db_->LoadCircuit(circuit_).ok());
+    elements_ = circuit_.FlattenSegments().Elements();
+  }
+
+  neuro::Circuit circuit_;
+  std::unique_ptr<QueryEngine> db_;
+  geom::ElementVec elements_;
+};
+
+// --------------------------------------------------------------------------
+// Ground truth parity
+// --------------------------------------------------------------------------
+
+TEST_F(KnnFixture, AllBackendsMatchBruteForceOnRandomCircuits) {
+  // Query points: on the data, uniform in the domain, and far outside it.
+  std::vector<Vec3> points;
+  auto anchors = neuro::DataCenteredQueries(elements_, 1.0f, 5, 17);
+  for (const Aabb& box : anchors) points.push_back(box.Center());
+  auto uniform = neuro::UniformQueries(db_->domain(), 1.0f, 5, 18);
+  for (const Aabb& box : uniform) points.push_back(box.Center());
+  Vec3 far = db_->domain().max + Vec3(500, 500, 500);
+  points.push_back(far);
+
+  for (const Vec3& p : points) {
+    for (size_t k : {1u, 7u, 64u}) {
+      std::vector<KnnHit> truth = geom::BruteForceKnn(elements_, p, k);
+      for (BackendChoice choice :
+           {BackendChoice::kFlat, BackendChoice::kRTree,
+            BackendChoice::kGrid}) {
+        KnnRequest request;
+        request.point = p;
+        request.k = k;
+        request.backend = choice;
+        auto report = db_->Execute(request);
+        ASSERT_TRUE(report.ok()) << report.status().ToString();
+        ASSERT_EQ(report->rows.size(), 1u);
+        EXPECT_EQ(report->hits, truth)
+            << report->rows[0].method << " diverges from brute force at ("
+            << p.x << ", " << p.y << ", " << p.z << "), k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(KnnFixture, KAllCrossChecksThreeBackends) {
+  auto uniform = neuro::UniformQueries(db_->domain(), 1.0f, 8, 23);
+  for (const Aabb& box : uniform) {
+    KnnRequest request;
+    request.point = box.Center();
+    request.k = 12;
+    request.backend = BackendChoice::kAll;
+    auto report = db_->Execute(request);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->rows.size(), 3u);
+    EXPECT_EQ(report->rows[0].method, "FLAT");
+    EXPECT_EQ(report->rows[1].method, "R-Tree");
+    EXPECT_EQ(report->rows[2].method, "Grid");
+    EXPECT_TRUE(report->results_match);
+    EXPECT_EQ(report->hits.size(), 12u);
+    // Ascending under the shared (distance, id) order.
+    for (size_t i = 1; i < report->hits.size(); ++i) {
+      EXPECT_LT(report->hits[i - 1], report->hits[i]);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Tie-breaking determinism
+// --------------------------------------------------------------------------
+
+TEST(KnnTieBreakTest, EqualDistancesResolveByAscendingId) {
+  // Six unit cubes at the same distance from the origin along the axes,
+  // plus two distractors farther out. Any k cutting through the tie must
+  // pick the lowest ids, identically in every backend.
+  geom::ElementVec elements;
+  float d = 10.0f;
+  std::vector<Vec3> centers = {{d, 0, 0},  {-d, 0, 0}, {0, d, 0},
+                               {0, -d, 0}, {0, 0, d},  {0, 0, -d}};
+  for (size_t i = 0; i < centers.size(); ++i) {
+    elements.emplace_back(static_cast<ElementId>(i),
+                          Aabb::Cube(centers[i], 1.0f));
+  }
+  elements.emplace_back(100, Aabb::Cube(Vec3(3 * d, 0, 0), 1.0f));
+  elements.emplace_back(101, Aabb::Cube(Vec3(0, 3 * d, 0), 1.0f));
+
+  FlatBackend flat;
+  PagedRTreeBackend rtree;
+  GridBackend grid;
+  ASSERT_TRUE(flat.Build(elements).ok());
+  ASSERT_TRUE(rtree.Build(elements).ok());
+  ASSERT_TRUE(grid.Build(elements).ok());
+
+  std::vector<SpatialBackend*> backends = {&flat, &rtree, &grid};
+  for (size_t k : {1u, 4u, 6u, 8u}) {
+    std::vector<KnnHit> truth = geom::BruteForceKnn(elements, Vec3(0, 0, 0), k);
+    for (SpatialBackend* backend : backends) {
+      storage::BufferPool pool(backend->store(), 64);
+      std::vector<KnnHit> hits;
+      ASSERT_TRUE(
+          backend->KnnQuery(Vec3(0, 0, 0), k, &pool, &hits).ok());
+      ASSERT_EQ(hits.size(), std::min(k, elements.size()))
+          << backend->name();
+      EXPECT_EQ(hits, truth) << backend->name() << " k=" << k;
+      // The tie block resolves to ids 0, 1, 2, ... in order.
+      for (size_t i = 0; i < std::min(k, centers.size()); ++i) {
+        EXPECT_EQ(hits[i].id, static_cast<ElementId>(i))
+            << backend->name() << " k=" << k;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Degenerate inputs: Status at every boundary
+// --------------------------------------------------------------------------
+
+TEST_F(KnnFixture, EngineRejectsKZero) {
+  KnnRequest request;
+  request.point = db_->domain().Center();
+  request.k = 0;
+  EXPECT_TRUE(db_->Execute(request).status().IsInvalidArgument());
+}
+
+TEST_F(KnnFixture, EngineRejectsNonFinitePoints) {
+  for (float bad : {std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::infinity(),
+                    -std::numeric_limits<float>::infinity()}) {
+    KnnRequest request;
+    request.point = Vec3(bad, 0, 0);
+    request.k = 3;
+    EXPECT_TRUE(db_->Execute(request).status().IsInvalidArgument());
+    request.point = Vec3(0, bad, 0);
+    EXPECT_TRUE(db_->Execute(request).status().IsInvalidArgument());
+    request.point = Vec3(0, 0, bad);
+    EXPECT_TRUE(db_->Execute(request).status().IsInvalidArgument());
+  }
+}
+
+TEST_F(KnnFixture, KBeyondDatasetClampsToEveryElement) {
+  KnnRequest request;
+  request.point = db_->domain().Center();
+  request.k = elements_.size() + 1000;
+  request.backend = BackendChoice::kAll;
+  auto report = db_->Execute(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->results_match);
+  EXPECT_EQ(report->hits.size(), elements_.size());
+}
+
+TEST_F(KnnFixture, BatchPropagatesDegenerateKnnStatus) {
+  KnnRequest bad_k;
+  bad_k.point = db_->domain().Center();
+  bad_k.k = 0;
+  std::vector<QueryRequest> batch = {bad_k};
+  EXPECT_TRUE(db_->ExecuteBatch(std::span<const QueryRequest>(batch))
+                  .status()
+                  .IsInvalidArgument());
+
+  KnnRequest bad_point;
+  bad_point.point = Vec3(std::numeric_limits<float>::quiet_NaN(), 0, 0);
+  bad_point.k = 3;
+  batch = {bad_point};
+  EXPECT_TRUE(db_->ExecuteBatch(std::span<const QueryRequest>(batch))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(KnnFixture, SessionPropagatesDegenerateKnnStatus) {
+  auto session = db_->OpenSession(scout::PrefetchMethod::kNone);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(
+      session->StepKnn(db_->domain().Center(), 0).status().IsInvalidArgument());
+  EXPECT_TRUE(session
+                  ->StepKnn(Vec3(std::numeric_limits<float>::quiet_NaN(), 0, 0),
+                            3)
+                  .status()
+                  .IsInvalidArgument());
+  // Degenerate steps must not have been recorded.
+  EXPECT_EQ(session->NumSteps(), 0u);
+}
+
+TEST_F(KnnFixture, BackendLevelDegenerateInputs) {
+  for (size_t i = 0; i < db_->NumBackends(); ++i) {
+    const SpatialBackend& backend = db_->backend(i);
+    storage::BufferPool pool(
+        const_cast<SpatialBackend&>(backend).store(), 64);
+    std::vector<KnnHit> hits{{7, 7.0}};
+    // k == 0 is a valid (empty) index-level answer; the engine boundary is
+    // what rejects it. The output vector must still be cleared.
+    EXPECT_TRUE(
+        backend.KnnQuery(Vec3(0, 0, 0), 0, &pool, &hits).ok())
+        << backend.name();
+    EXPECT_TRUE(hits.empty()) << backend.name();
+    // Null pool / non-finite points are errors everywhere.
+    EXPECT_TRUE(backend.KnnQuery(Vec3(0, 0, 0), 1, nullptr, &hits)
+                    .IsInvalidArgument())
+        << backend.name();
+    EXPECT_TRUE(
+        backend
+            .KnnQuery(Vec3(std::numeric_limits<float>::quiet_NaN(), 0, 0), 1,
+                      &pool, &hits)
+            .IsInvalidArgument())
+        << backend.name();
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace neurodb
