@@ -1,0 +1,114 @@
+// Concurrent ExecuteBatch across threads × shards: the scaling surface of
+// the new execution subsystem. A seeded mixed Range/Knn workload runs as
+// one batch against the sharded backend while the worker count and shard
+// count sweep; rows report real wall time, total modeled I/O work and the
+// simulated critical path (slowest lane). The interesting shapes: the
+// critical path (what a user would wait for) falls as lanes split the
+// batch; the modeled *total* grows with lanes on this warm workload —
+// lanes do not share each other's cache, the classic parallelism-vs-reuse
+// trade; and more shards mean fewer pages read per query (shard pruning
+// narrows the scanned stores). Emits BENCH_batch_parallel.json for the
+// perf trajectory.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "engine/query_engine.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+using geom::Vec3;
+
+namespace {
+
+std::vector<engine::QueryRequest> MakeBatch(const engine::QueryEngine& db,
+                                            const geom::ElementVec& elements,
+                                            size_t n) {
+  neuro::MixedWorkloadOptions options;
+  options.knn_fraction = 0.3;
+  std::vector<neuro::WorkloadQuery> workload =
+      neuro::MixedWorkload(db.domain(), elements, options, n, 97);
+  std::vector<engine::QueryRequest> batch;
+  batch.reserve(n);
+  for (const neuro::WorkloadQuery& query : workload) {
+    if (query.kind == neuro::QueryKind::kRange) {
+      engine::RangeRequest request;
+      request.box = query.box;
+      request.backend = engine::BackendChoice::kSharded;
+      request.cache = engine::CachePolicy::kWarm;
+      batch.emplace_back(request);
+    } else {
+      engine::KnnRequest request;
+      request.point = query.point;
+      request.k = query.k;
+      request.backend = engine::BackendChoice::kSharded;
+      request.cache = engine::CachePolicy::kWarm;
+      batch.emplace_back(request);
+    }
+  }
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Concurrent ExecuteBatch: threads x shards sweep\n"
+      "Cortical column, 20 neurons; 400 mixed Range/Knn queries per cell,\n"
+      "warm pools, all requests against the sharded backend.\n\n");
+
+  neuro::Circuit circuit = bench::MakeColumn(20, 42);
+
+  TableWriter table("one batch per (threads, shards) configuration",
+                    {"threads", "shards", "lanes", "wall ms", "sim total ms",
+                     "critical ms", "pages"});
+  bench::JsonEmitter json("batch_parallel");
+
+  for (size_t shards : {1, 2, 4, 8}) {
+    for (size_t threads : {1, 2, 4, 8}) {
+      engine::EngineOptions options;
+      options.num_threads = threads;
+      options.sharded.num_shards = shards;
+      engine::QueryEngine db(options);
+      if (!db.LoadCircuit(circuit).ok()) {
+        std::fprintf(stderr, "LoadCircuit failed\n");
+        return 1;
+      }
+      geom::ElementVec elements = circuit.FlattenSegments().Elements();
+      std::vector<engine::QueryRequest> batch = MakeBatch(db, elements, 400);
+
+      Timer timer;
+      auto result =
+          db.ExecuteBatch(std::span<const engine::QueryRequest>(batch));
+      uint64_t wall_ns = timer.ElapsedNanos();
+      if (!result.ok()) {
+        std::fprintf(stderr, "batch failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+
+      table.AddRow({TableWriter::Int(threads), TableWriter::Int(shards),
+                    TableWriter::Int(result->aggregate.lanes),
+                    bench::Ms(wall_ns),
+                    bench::UsToMs(result->aggregate.time_us),
+                    bench::UsToMs(result->aggregate.critical_path_us),
+                    TableWriter::Int(result->aggregate.pages_read)});
+
+      bench::JsonRow row;
+      row.Int("threads", threads)
+          .Int("shards", shards)
+          .Int("lanes", result->aggregate.lanes)
+          .Int("queries", batch.size())
+          .Num("wall_ms", wall_ns / 1e6)
+          .Num("sim_total_ms", result->aggregate.time_us / 1e3)
+          .Num("sim_critical_ms", result->aggregate.critical_path_us / 1e3)
+          .Int("pages_read", result->aggregate.pages_read)
+          .Int("results", result->aggregate.results);
+      json.AddRow(row);
+    }
+  }
+  table.Print();
+  return json.Write() ? 0 : 1;
+}

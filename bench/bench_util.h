@@ -3,13 +3,18 @@
 // Each bench binary reproduces one exhibit/claim of the paper (see
 // DESIGN.md Section 6 and EXPERIMENTS.md) and prints its rows through
 // common/table.h. Everything is seeded and sized to run in seconds on a
-// laptop while preserving the paper's effect shapes.
+// laptop while preserving the paper's effect shapes. Benches that track a
+// performance trajectory additionally emit a machine-readable
+// BENCH_<name>.json next to the binary via JsonEmitter, so CI runs can be
+// diffed over time.
 
 #ifndef NEURODB_BENCH_BENCH_UTIL_H_
 #define NEURODB_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "neuro/circuit.h"
 #include "neuro/circuit_generator.h"
@@ -48,6 +53,82 @@ inline std::string UsToMs(uint64_t us) {
   std::snprintf(buf, sizeof(buf), "%.1f", us / 1e3);
   return buf;
 }
+
+/// One row of a JSON benchmark record: flat key → number/string fields in
+/// insertion order.
+class JsonRow {
+ public:
+  JsonRow& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& Int(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRow& Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, '"' + Escaped(value) + '"');
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"' + Escaped(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  /// (key, pre-rendered JSON value) pairs.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects rows and writes BENCH_<name>.json into the working directory:
+///   {"bench": "<name>", "rows": [{...}, ...]}
+/// The perf-trajectory format CI archives after each run.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  void AddRow(const JsonRow& row) { rows_.push_back(row.Render()); }
+
+  /// Write the file; returns false (with a note on stderr) on I/O failure.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonEmitter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace neurodb

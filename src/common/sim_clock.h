@@ -5,38 +5,51 @@
 // model time instead of measuring it: page misses, think time and prefetch
 // work advance a simulated clock (see storage::DiskCostModel). CPU-bound
 // experiments (the TOUCH joins) use real wall time via common::Timer.
+//
+// The counter is atomic so one clock can be charged from several worker
+// threads (parallel shard queries over one PoolSet, exec::ParallelExecutor
+// lanes): the final reading is the order-independent *sum* of all charges —
+// total modeled I/O work, not elapsed wall time — which keeps parallel runs
+// bit-identical to serial ones.
 
 #ifndef NEURODB_COMMON_SIM_CLOCK_H_
 #define NEURODB_COMMON_SIM_CLOCK_H_
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace neurodb {
 
-/// Monotonic simulated clock counting microseconds.
+/// Monotonic simulated clock counting microseconds. Thread-safe.
 class SimClock {
  public:
   SimClock() = default;
 
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
   /// Current simulated time in microseconds.
-  uint64_t NowMicros() const { return now_us_; }
+  uint64_t NowMicros() const { return now_us_.load(std::memory_order_relaxed); }
 
   /// Advance the clock by `us` microseconds.
-  void Advance(uint64_t us) { now_us_ += us; }
+  void Advance(uint64_t us) {
+    now_us_.fetch_add(us, std::memory_order_relaxed);
+  }
 
   /// Move the clock forward to `t_us` if it is in the future; no-op if the
   /// clock is already past it. Returns the wait actually performed.
   uint64_t AdvanceTo(uint64_t t_us) {
-    uint64_t waited = t_us > now_us_ ? t_us - now_us_ : 0;
-    now_us_ = std::max(now_us_, t_us);
-    return waited;
+    uint64_t cur = now_us_.load(std::memory_order_relaxed);
+    while (cur < t_us && !now_us_.compare_exchange_weak(
+                             cur, t_us, std::memory_order_relaxed)) {
+    }
+    return cur < t_us ? t_us - cur : 0;
   }
 
-  void Reset() { now_us_ = 0; }
+  void Reset() { now_us_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_us_ = 0;
+  std::atomic<uint64_t> now_us_{0};
 };
 
 }  // namespace neurodb

@@ -1,12 +1,14 @@
 // NeuroDB — SpatialBackend: the pluggable index interface of QueryEngine.
 //
-// A backend owns one simulated disk (PageStore), knows how to lay a dataset
-// out on it (Build), how to answer range queries through a BufferPool with
-// streaming visitor delivery (RangeQuery), and how to answer k-nearest-
-// neighbour queries with deterministic (distance, id) ordering (KnnQuery).
-// FLAT, the paged R-tree and the uniform grid are the three shipped
-// backends; the interface is what future backends (sharded stores)
-// implement to join BackendChoice::kAll comparisons without facade changes.
+// A backend owns one or more simulated disks (PageStores), knows how to lay
+// a dataset out on them (Build), how to answer range queries through buffer
+// pools with streaming visitor delivery (RangeQuery), and how to answer
+// k-nearest-neighbour queries with deterministic (distance, id) ordering
+// (KnnQuery). Queries take a storage::PoolSet — one BufferPool per store of
+// the backend (Stores()) — so multi-store backends such as the domain-
+// sharded ShardedBackend fit the same interface as the single-store FLAT,
+// paged R-tree and uniform grid, and join BackendChoice::kAll comparisons
+// without facade changes.
 
 #ifndef NEURODB_ENGINE_BACKEND_H_
 #define NEURODB_ENGINE_BACKEND_H_
@@ -22,6 +24,7 @@
 #include "geom/visitor.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
+#include "storage/pool_set.h"
 
 namespace neurodb {
 namespace engine {
@@ -32,9 +35,11 @@ using geom::ResultVisitor;
 
 /// Index footprint report (SpatialBackend::Stats()).
 struct BackendStats {
-  /// Disk pages occupied by the backend's data + index structure.
+  /// Disk pages occupied by the backend's data + index structure, summed
+  /// over every store of the backend.
   size_t index_pages = 0;
-  /// Memory-resident metadata bytes (seed trees, neighbor lists, ...).
+  /// Memory-resident metadata bytes (seed trees, neighbor lists, shard
+  /// tables, ...).
   size_t metadata_bytes = 0;
 };
 
@@ -52,9 +57,9 @@ struct RangeStats {
   std::vector<uint64_t> nodes_per_level;
 };
 
-/// Abstract index backend. Build once, then answer range queries through a
-/// caller-supplied BufferPool (the pool determines cache behaviour and time
-/// accounting; the engine owns pools and clocks).
+/// Abstract index backend. Build once, then answer queries through a
+/// caller-supplied PoolSet (the pools determine cache behaviour and time
+/// accounting; the engine owns pool sets and clocks).
 class SpatialBackend {
  public:
   SpatialBackend() = default;
@@ -65,31 +70,45 @@ class SpatialBackend {
   /// Short display name ("FLAT", "R-Tree"); also the registry key.
   virtual const char* name() const = 0;
 
-  /// Lay `elements` out in this backend's page store and build the index.
-  /// Called exactly once per backend instance.
+  /// Lay `elements` out in this backend's page store(s) and build the
+  /// index. Called exactly once per backend instance.
   virtual Status Build(const geom::ElementVec& elements) = 0;
 
   /// Stream every element intersecting `box` to `visitor`; page I/O goes
-  /// through `pool`, which must be a pool over this backend's store().
-  virtual Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+  /// through `pools`, which must be a PoolSet over this backend's Stores().
+  virtual Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
                             ResultVisitor& visitor,
                             RangeStats* stats = nullptr) const = 0;
 
   /// Fill `hits` with the k nearest elements of `point` by box distance,
   /// ascending under the library-wide (distance, id) order (geom/knn.h) so
   /// independent backends return bit-identical answers. Page I/O goes
-  /// through `pool`. k == 0 yields an empty answer; k larger than the
+  /// through `pools`. k == 0 yields an empty answer; k larger than the
   /// dataset yields every element. Non-finite points are InvalidArgument.
   virtual Status KnnQuery(const geom::Vec3& point, size_t k,
-                          storage::BufferPool* pool,
+                          storage::PoolSet* pools,
                           std::vector<geom::KnnHit>* hits,
                           RangeStats* stats = nullptr) const = 0;
 
   /// Index footprint.
   virtual BackendStats Stats() const = 0;
 
-  /// The simulated disk holding this backend's pages. The engine builds
-  /// buffer pools over it.
+  /// Every simulated disk of this backend, in a fixed order — the stores a
+  /// query PoolSet must be built over. Single-store backends return their
+  /// one store; ShardedBackend returns one per shard.
+  virtual std::vector<storage::PageStore*> Stores() { return {&store_}; }
+
+  /// Build a PoolSet over Stores() — the pool family a query against this
+  /// backend needs. `total_capacity_pages` is split across the stores.
+  storage::PoolSet MakePoolSet(size_t total_capacity_pages,
+                               SimClock* clock = nullptr,
+                               storage::DiskCostModel cost =
+                                   storage::DiskCostModel{}) {
+    return storage::PoolSet(Stores(), total_capacity_pages, clock, cost);
+  }
+
+  /// The primary simulated disk (single-store backends; FLAT's crawl pages
+  /// for SCOUT sessions). Multi-store backends keep this empty.
   storage::PageStore* store() { return &store_; }
   const storage::PageStore& store() const { return store_; }
 

@@ -14,12 +14,13 @@ Status FlatBackend::Build(const geom::ElementVec& elements) {
 }
 
 Status FlatBackend::RangeQuery(const geom::Aabb& box,
-                               storage::BufferPool* pool,
+                               storage::PoolSet* pools,
                                ResultVisitor& visitor,
                                RangeStats* stats) const {
   if (!built()) {
     return Status::InvalidArgument("FlatBackend: not built");
   }
+  storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   flat::FlatQueryStats flat_stats;
   NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool, visitor, &flat_stats));
   if (stats != nullptr) {
@@ -31,12 +32,13 @@ Status FlatBackend::RangeQuery(const geom::Aabb& box,
 }
 
 Status FlatBackend::KnnQuery(const geom::Vec3& point, size_t k,
-                             storage::BufferPool* pool,
+                             storage::PoolSet* pools,
                              std::vector<geom::KnnHit>* hits,
                              RangeStats* stats) const {
   if (!built()) {
     return Status::InvalidArgument("FlatBackend: not built");
   }
+  storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   flat::FlatQueryStats flat_stats;
   NEURODB_RETURN_NOT_OK(index_->Knn(point, k, pool, hits, &flat_stats));
   if (stats != nullptr) {

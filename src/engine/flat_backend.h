@@ -22,13 +22,13 @@ class FlatBackend : public SpatialBackend {
 
   Status Build(const geom::ElementVec& elements) override;
 
-  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
                     ResultVisitor& visitor,
                     RangeStats* stats = nullptr) const override;
 
   /// Expanding-ring crawl (flat::FlatIndex::Knn).
   Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::BufferPool* pool, std::vector<geom::KnnHit>* hits,
+                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
                   RangeStats* stats = nullptr) const override;
 
   BackendStats Stats() const override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "storage/pagination.h"
 
@@ -97,15 +98,16 @@ Status GridBackend::Build(const geom::ElementVec& elements) {
   return Status::OK();
 }
 
-Status GridBackend::RangeQuery(const Aabb& box, storage::BufferPool* pool,
+Status GridBackend::RangeQuery(const Aabb& box, storage::PoolSet* pools,
                                ResultVisitor& visitor,
                                RangeStats* stats) const {
   if (!built_) {
     return Status::InvalidArgument("GridBackend: not built");
   }
-  if (pool == nullptr) {
-    return Status::InvalidArgument("GridBackend::RangeQuery: null pool");
+  if (pools == nullptr) {
+    return Status::InvalidArgument("GridBackend::RangeQuery: null pool set");
   }
+  storage::BufferPool* pool = pools->pool(0);
   if (page_ids_.empty() || !box.Intersects(domain_)) return Status::OK();
 
   // Any element intersecting `box` has its center — and therefore its cell —
@@ -152,15 +154,14 @@ Status GridBackend::RangeQuery(const Aabb& box, storage::BufferPool* pool,
   return Status::OK();
 }
 
-Status GridBackend::KnnQuery(const Vec3& point, size_t k,
-                             storage::BufferPool* pool,
-                             std::vector<geom::KnnHit>* hits,
-                             RangeStats* stats) const {
+Status GridBackend::ValidateKnn(storage::PoolSet* pools,
+                                std::vector<geom::KnnHit>* hits,
+                                const Vec3& point) const {
   if (!built_) {
     return Status::InvalidArgument("GridBackend: not built");
   }
-  if (pool == nullptr) {
-    return Status::InvalidArgument("GridBackend::KnnQuery: null pool");
+  if (pools == nullptr) {
+    return Status::InvalidArgument("GridBackend::KnnQuery: null pool set");
   }
   if (hits == nullptr) {
     return Status::InvalidArgument("GridBackend::KnnQuery: null output");
@@ -168,20 +169,139 @@ Status GridBackend::KnnQuery(const Vec3& point, size_t k,
   if (!geom::IsFinitePoint(point)) {
     return Status::InvalidArgument("GridBackend::KnnQuery: non-finite point");
   }
+  return Status::OK();
+}
+
+Status GridBackend::ScanPage(size_t page_index, storage::BufferPool* pool,
+                             const Vec3& point, geom::KnnAccumulator* acc,
+                             RangeStats* stats) const {
+  auto page = pool->Fetch(page_ids_[page_index]);
+  if (!page.ok()) return page.status();
+  if (stats != nullptr) ++stats->pages_read;
+  for (const auto& e : (*page)->elements) {
+    if (stats != nullptr) ++stats->elements_scanned;
+    acc->Offer(e.id, geom::KnnDistance(point, e.bounds));
+  }
+  return Status::OK();
+}
+
+Status GridBackend::KnnQuery(const Vec3& point, size_t k,
+                             storage::PoolSet* pools,
+                             std::vector<geom::KnnHit>* hits,
+                             RangeStats* stats) const {
+  NEURODB_RETURN_NOT_OK(ValidateKnn(pools, hits, point));
+  hits->clear();
+  if (k == 0 || page_ids_.empty()) return Status::OK();
+  storage::BufferPool* pool = pools->pool(0);
+
+  const int64_t cx = CellCoord(point.x, 0);
+  const int64_t cy = CellCoord(point.y, 1);
+  const int64_t cz = CellCoord(point.z, 2);
+  const int64_t dim_x = dims_[0], dim_y = dims_[1], dim_z = dims_[2];
+
+  geom::KnnAccumulator acc(k);
+  std::vector<char> page_seen(page_ids_.size(), 0);
+
+  // Scan every not-yet-seen page holding a slot of cell (x, y, z).
+  auto scan_cell = [&](int64_t x, int64_t y, int64_t z) -> Status {
+    size_t cell = (static_cast<size_t>(z) * dims_[1] + y) * dims_[0] + x;
+    uint32_t first = cell_start_[cell];
+    uint32_t end = cell_start_[cell + 1];
+    if (first == end) return Status::OK();
+    size_t first_page = first / options_.elems_per_page;
+    size_t last_page = (end - 1) / options_.elems_per_page;
+    for (size_t page = first_page; page <= last_page; ++page) {
+      if (page_seen[page]) continue;
+      page_seen[page] = 1;
+      NEURODB_RETURN_NOT_OK(ScanPage(page, pool, point, &acc, stats));
+    }
+    return Status::OK();
+  };
+
+  for (int64_t r = 0;; ++r) {
+    // The shell of cells at Chebyshev radius r around (cx, cy, cz),
+    // clamped to the grid. Interior cells were handled by earlier rings.
+    const int64_t zlo = cz - r, zhi = cz + r;
+    const int64_t ylo = cy - r, yhi = cy + r;
+    const int64_t xlo = cx - r, xhi = cx + r;
+    for (int64_t z = std::max<int64_t>(zlo, 0);
+         z <= std::min(zhi, dim_z - 1); ++z) {
+      const bool z_edge = (z == zlo || z == zhi);
+      for (int64_t y = std::max<int64_t>(ylo, 0);
+           y <= std::min(yhi, dim_y - 1); ++y) {
+        if (z_edge || y == ylo || y == yhi) {
+          for (int64_t x = std::max<int64_t>(xlo, 0);
+               x <= std::min(xhi, dim_x - 1); ++x) {
+            NEURODB_RETURN_NOT_OK(scan_cell(x, y, z));
+          }
+        } else {
+          if (xlo >= 0) NEURODB_RETURN_NOT_OK(scan_cell(xlo, y, z));
+          if (xhi < dim_x) NEURODB_RETURN_NOT_OK(scan_cell(xhi, y, z));
+        }
+      }
+    }
+
+    // Done when the block [c - r, c + r] covers the whole grid...
+    if (xlo <= 0 && ylo <= 0 && zlo <= 0 && xhi >= dim_x - 1 &&
+        yhi >= dim_y - 1 && zhi >= dim_z - 1) {
+      break;
+    }
+    // ... or when nothing outside the block can still improve the answer.
+    // An element beyond a face of the block has its center beyond that
+    // face's cell-boundary plane, so its box is at least (plane gap -
+    // widening margin) away; the bound over all remaining elements is the
+    // minimum over the six faces (domain-clamped faces have no cells
+    // beyond and contribute nothing). The per-axis slack absorbs float
+    // rounding between CellCoord's binning and the plane arithmetic here.
+    // Prune strictly greater only: at equal distance a smaller id could
+    // still enter the answer set (geom/knn.h).
+    if (acc.Full()) {
+      double bound = std::numeric_limits<double>::infinity();
+      const double point_coord[3] = {point.x, point.y, point.z};
+      const int64_t block_lo[3] = {xlo, ylo, zlo};
+      const int64_t block_hi[3] = {xhi, yhi, zhi};
+      const int64_t dim[3] = {dim_x, dim_y, dim_z};
+      for (int axis = 0; axis < 3; ++axis) {
+        const double cell = cell_size_[axis];
+        const double slack = 1e-3 * cell;
+        const double margin = max_half_extent_[axis] + slack;
+        if (block_lo[axis] > 0) {
+          double plane = domain_.min[axis] +
+                         static_cast<double>(block_lo[axis]) * cell;
+          bound = std::min(
+              bound, std::max(0.0, (point_coord[axis] - plane) - margin));
+        }
+        if (block_hi[axis] + 1 < dim[axis]) {
+          double plane = domain_.min[axis] +
+                         static_cast<double>(block_hi[axis] + 1) * cell;
+          bound = std::min(
+              bound, std::max(0.0, (plane - point_coord[axis]) - margin));
+        }
+      }
+      if (bound > acc.WorstDistance()) break;
+    }
+  }
+
+  *hits = acc.TakeSorted();
+  if (stats != nullptr) stats->results = hits->size();
+  return Status::OK();
+}
+
+Status GridBackend::KnnScanQuery(const Vec3& point, size_t k,
+                                 storage::PoolSet* pools,
+                                 std::vector<geom::KnnHit>* hits,
+                                 RangeStats* stats) const {
+  NEURODB_RETURN_NOT_OK(ValidateKnn(pools, hits, point));
   hits->clear();
   if (k == 0) return Status::OK();
+  storage::BufferPool* pool = pools->pool(0);
 
   // Exhaustive scan: every page, every element. Deliberately index-free so
-  // the answer cannot share a traversal bug with FLAT or the R-tree.
+  // the answer cannot share a traversal bug with the ring search (or with
+  // FLAT and the R-tree).
   geom::KnnAccumulator acc(k);
-  for (storage::PageId page_id : page_ids_) {
-    auto page = pool->Fetch(page_id);
-    if (!page.ok()) return page.status();
-    if (stats != nullptr) ++stats->pages_read;
-    for (const auto& e : (*page)->elements) {
-      if (stats != nullptr) ++stats->elements_scanned;
-      acc.Offer(e.id, geom::KnnDistance(point, e.bounds));
-    }
+  for (size_t page_index = 0; page_index < page_ids_.size(); ++page_index) {
+    NEURODB_RETURN_NOT_OK(ScanPage(page_index, pool, point, &acc, stats));
   }
   *hits = acc.TakeSorted();
   if (stats != nullptr) stats->results = hits->size();

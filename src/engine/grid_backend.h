@@ -4,13 +4,15 @@
 // the domain into equal cells, assign every element to the cell of its
 // bounding-box center, pack the cells onto disk pages cell-major. Range
 // queries scan the cell block around the query (widened by the largest
-// element half-extent, so center assignment stays exact); kNN is an
-// exhaustive scan of every page. It will rarely win a benchmark — its job
-// is to be a cheap, independent *third voice* in BackendChoice::kAll parity
-// comparisons: an implementation so different from FLAT's crawl and the
-// R-tree's hierarchy that a bug in either is very unlikely to be mirrored
-// here (the differential-testing harness in tests/diff_harness.h leans on
-// exactly this).
+// element half-extent, so center assignment stays exact); kNN expands cell
+// rings outward from the query point and stops once no unvisited cell can
+// still beat the k-th best distance (KnnScanQuery keeps the original
+// exhaustive scan as the test oracle). The grid's job is to be a cheap,
+// independent voice in BackendChoice::kAll parity comparisons: an
+// implementation so different from FLAT's crawl and the R-tree's hierarchy
+// that a bug in either is very unlikely to be mirrored here (the
+// differential-testing harness in tests/diff_harness.h leans on exactly
+// this).
 
 #ifndef NEURODB_ENGINE_GRID_BACKEND_H_
 #define NEURODB_ENGINE_GRID_BACKEND_H_
@@ -49,14 +51,25 @@ class GridBackend : public SpatialBackend {
 
   Status Build(const geom::ElementVec& elements) override;
 
-  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
                     ResultVisitor& visitor,
                     RangeStats* stats = nullptr) const override;
 
-  /// Exhaustive page scan — the brute-force reference voice of kAll.
+  /// Expanding cell-ring search: scan the query point's cell, then the
+  /// shell of cells one ring further out, and so on; terminate once the
+  /// k-th best distance provably covers everything outside the scanned
+  /// block (accounting for the center-assignment widening margin).
   Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::BufferPool* pool, std::vector<geom::KnnHit>* hits,
+                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
                   RangeStats* stats = nullptr) const override;
+
+  /// The original exhaustive page scan, kept as the brute-force oracle the
+  /// ring search is tested against (and a deliberately index-free parity
+  /// voice for targeted tests).
+  Status KnnScanQuery(const geom::Vec3& point, size_t k,
+                      storage::PoolSet* pools,
+                      std::vector<geom::KnnHit>* hits,
+                      RangeStats* stats = nullptr) const;
 
   BackendStats Stats() const override;
 
@@ -73,6 +86,14 @@ class GridBackend : public SpatialBackend {
   uint32_t CellCoord(float v, int axis) const;
   /// Flat cell index of a point.
   size_t CellOf(const geom::Vec3& p) const;
+  /// Validation shared by the ring and scan kNN entry points.
+  Status ValidateKnn(storage::PoolSet* pools,
+                     std::vector<geom::KnnHit>* hits,
+                     const geom::Vec3& point) const;
+  /// Fetch one page and offer every element to `acc`.
+  Status ScanPage(size_t page_index, storage::BufferPool* pool,
+                  const geom::Vec3& point, geom::KnnAccumulator* acc,
+                  RangeStats* stats) const;
 
   GridOptions options_;
   bool built_ = false;

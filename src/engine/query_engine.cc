@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel_executor.h"
+
 namespace neurodb {
 namespace engine {
 
@@ -12,12 +14,16 @@ Status EngineOptions::Validate() const {
   if (pool_pages == 0) {
     return Status::InvalidArgument("EngineOptions: pool_pages must be > 0");
   }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("EngineOptions: num_threads must be > 0");
+  }
   if (session.pool_pages == 0) {
     return Status::InvalidArgument(
         "EngineOptions: session.pool_pages must be > 0");
   }
   NEURODB_RETURN_NOT_OK(flat.Validate());
   NEURODB_RETURN_NOT_OK(grid.Validate());
+  NEURODB_RETURN_NOT_OK(sharded.Validate());
   return rtree.Validate();
 }
 
@@ -25,12 +31,15 @@ QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
   auto flat = std::make_unique<FlatBackend>(options_.flat);
   auto rtree = std::make_unique<PagedRTreeBackend>(options_.rtree);
   auto grid = std::make_unique<GridBackend>(options_.grid);
+  auto sharded = std::make_unique<ShardedBackend>(options_.sharded);
   flat_ = flat.get();
   rtree_ = rtree.get();
   grid_ = grid.get();
+  sharded_ = sharded.get();
   backends_.push_back(std::move(flat));
   backends_.push_back(std::move(rtree));
   backends_.push_back(std::move(grid));
+  backends_.push_back(std::move(sharded));
 }
 
 Status QueryEngine::RegisterBackend(std::unique_ptr<SpatialBackend> backend) {
@@ -82,12 +91,18 @@ Status QueryEngine::LoadCircuit(const neuro::Circuit& circuit) {
   dendrites_ = touch::JoinInput::FromSegments(std::move(dendrites.segments),
                                               std::move(dendrites.ids));
 
-  // Persistent pools for the warm path, one per backend.
+  // Worker pool for batch lanes and shard fan-out.
+  if (options_.num_threads > 1) {
+    thread_pool_ = std::make_unique<exec::ThreadPool>(options_.num_threads);
+    sharded_->set_thread_pool(thread_pool_.get());
+  }
+
+  // Persistent pools for the warm path, one pool set per backend.
   warm_clock_ = std::make_unique<SimClock>();
   warm_pools_.reserve(backends_.size());
   for (auto& backend : backends_) {
-    warm_pools_.push_back(std::make_unique<storage::BufferPool>(
-        backend->store(), options_.pool_pages, warm_clock_.get(),
+    warm_pools_.push_back(std::make_unique<storage::PoolSet>(
+        backend->Stores(), options_.pool_pages, warm_clock_.get(),
         options_.cost));
   }
 
@@ -115,6 +130,9 @@ std::vector<const SpatialBackend*> QueryEngine::Select(
       break;
     case BackendChoice::kGrid:
       out.push_back(grid_);
+      break;
+    case BackendChoice::kSharded:
+      out.push_back(sharded_);
       break;
     case BackendChoice::kAll:
       for (const auto& backend : backends_) out.push_back(backend.get());
@@ -151,20 +169,20 @@ Status QueryEngine::ValidateRequest(const KnnRequest& request,
   return Status::OK();
 }
 
-std::vector<std::unique_ptr<storage::BufferPool>> QueryEngine::MakePools(
+std::vector<std::unique_ptr<storage::PoolSet>> QueryEngine::MakePools(
     SimClock* clock) const {
-  std::vector<std::unique_ptr<storage::BufferPool>> pools;
+  std::vector<std::unique_ptr<storage::PoolSet>> pools;
   pools.reserve(backends_.size());
   for (const auto& backend : backends_) {
-    pools.push_back(std::make_unique<storage::BufferPool>(
-        backend->store(), options_.pool_pages, clock, options_.cost));
+    pools.push_back(std::make_unique<storage::PoolSet>(
+        backend->Stores(), options_.pool_pages, clock, options_.cost));
   }
   return pools;
 }
 
-storage::BufferPool* QueryEngine::PoolFor(
+storage::PoolSet* QueryEngine::PoolFor(
     const SpatialBackend* backend,
-    const std::vector<storage::BufferPool*>& pools) const {
+    const std::vector<storage::PoolSet*>& pools) const {
   for (size_t i = 0; i < backends_.size(); ++i) {
     if (backends_[i].get() == backend) return pools[i];
   }
@@ -173,7 +191,7 @@ storage::BufferPool* QueryEngine::PoolFor(
 
 Status QueryEngine::ExecuteOn(const RangeRequest& request,
                               ResultVisitor* visitor,
-                              const std::vector<storage::BufferPool*>& pools,
+                              const std::vector<storage::PoolSet*>& pools,
                               SimClock* clock, RangeReport* report) const {
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   const bool parity_check = selected.size() > 1;
@@ -182,7 +200,7 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
   report->rows.reserve(selected.size());
   for (size_t k = 0; k < selected.size(); ++k) {
     const SpatialBackend* backend = selected[k];
-    storage::BufferPool* pool = PoolFor(backend, pools);
+    storage::PoolSet* pool = PoolFor(backend, pools);
 
     RangeRow row;
     row.method = backend->name();
@@ -219,7 +237,7 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
 }
 
 Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
-                                 const std::vector<storage::BufferPool*>& pools,
+                                 const std::vector<storage::PoolSet*>& pools,
                                  SimClock* clock, KnnReport* report) const {
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   const bool parity_check = selected.size() > 1;
@@ -227,7 +245,7 @@ Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
   report->rows.reserve(selected.size());
   for (size_t k = 0; k < selected.size(); ++k) {
     const SpatialBackend* backend = selected[k];
-    storage::BufferPool* pool = PoolFor(backend, pools);
+    storage::PoolSet* pool = PoolFor(backend, pools);
 
     RangeRow row;
     row.method = backend->name();
@@ -258,7 +276,7 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
 
   RangeReport report;
   if (request.cache == CachePolicy::kWarm) {
-    std::vector<storage::BufferPool*> pools;
+    std::vector<storage::PoolSet*> pools;
     for (auto& pool : warm_pools_) pools.push_back(pool.get());
     NEURODB_RETURN_NOT_OK(
         ExecuteOn(request, &visitor, pools, warm_clock_.get(), &report));
@@ -267,8 +285,8 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
 
   // Cold: a fresh pool per backend, as the paper's per-query cost model.
   SimClock clock;
-  std::vector<std::unique_ptr<storage::BufferPool>> owned = MakePools(&clock);
-  std::vector<storage::BufferPool*> pools;
+  std::vector<std::unique_ptr<storage::PoolSet>> owned = MakePools(&clock);
+  std::vector<storage::PoolSet*> pools;
   for (auto& pool : owned) pools.push_back(pool.get());
   NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, pools, &clock, &report));
   return report;
@@ -285,7 +303,7 @@ Result<KnnReport> QueryEngine::Execute(const KnnRequest& request) {
 
   KnnReport report;
   if (request.cache == CachePolicy::kWarm) {
-    std::vector<storage::BufferPool*> pools;
+    std::vector<storage::PoolSet*> pools;
     for (auto& pool : warm_pools_) pools.push_back(pool.get());
     NEURODB_RETURN_NOT_OK(
         ExecuteKnnOn(request, pools, warm_clock_.get(), &report));
@@ -293,11 +311,45 @@ Result<KnnReport> QueryEngine::Execute(const KnnRequest& request) {
   }
 
   SimClock clock;
-  std::vector<std::unique_ptr<storage::BufferPool>> owned = MakePools(&clock);
-  std::vector<storage::BufferPool*> pools;
+  std::vector<std::unique_ptr<storage::PoolSet>> owned = MakePools(&clock);
+  std::vector<storage::PoolSet*> pools;
   for (auto& pool : owned) pools.push_back(pool.get());
   NEURODB_RETURN_NOT_OK(ExecuteKnnOn(request, pools, &clock, &report));
   return report;
+}
+
+Status QueryEngine::ExecuteBatchSlice(
+    std::span<const QueryRequest> requests, size_t begin, size_t end,
+    const std::vector<storage::PoolSet*>& pools, SimClock* clock,
+    std::vector<QueryReport>* reports, BatchStats* stats) const {
+  for (size_t i = begin; i < end; ++i) {
+    const QueryRequest& request = requests[i];
+    CachePolicy cache =
+        std::visit([](const auto& r) { return r.cache; }, request);
+    if (cache == CachePolicy::kCold) {
+      for (storage::PoolSet* pool : pools) pool->EvictAll();
+    }
+
+    if (const auto* range = std::get_if<RangeRequest>(&request)) {
+      RangeReport report;
+      NEURODB_RETURN_NOT_OK(ExecuteOn(*range, nullptr, pools, clock, &report));
+      for (const RangeRow& row : report.rows) {
+        stats->pages_read += row.stats.pages_read;
+      }
+      stats->results += report.results;
+      (*reports)[i] = std::move(report);
+    } else {
+      const KnnRequest& knn = std::get<KnnRequest>(request);
+      KnnReport report;
+      NEURODB_RETURN_NOT_OK(ExecuteKnnOn(knn, pools, clock, &report));
+      for (const RangeRow& row : report.rows) {
+        stats->pages_read += row.stats.pages_read;
+      }
+      stats->results += report.hits.size();
+      (*reports)[i] = std::move(report);
+    }
+  }
+  return Status::OK();
 }
 
 Result<MixedBatchResult> QueryEngine::ExecuteBatch(
@@ -309,47 +361,66 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
         request));
   }
 
-  // Pools shared across the whole batch; one clock spans it.
-  SimClock clock;
-  std::vector<std::unique_ptr<storage::BufferPool>> owned = MakePools(&clock);
-  std::vector<storage::BufferPool*> pools;
-  for (auto& pool : owned) pools.push_back(pool.get());
-
   MixedBatchResult out;
-  out.reports.reserve(requests.size());
-  for (const QueryRequest& request : requests) {
-    CachePolicy cache = std::visit(
-        [](const auto& r) { return r.cache; }, request);
-    if (cache == CachePolicy::kCold) {
-      for (storage::BufferPool* pool : pools) pool->EvictAll();
-    }
+  out.reports.resize(requests.size());
+  out.aggregate.queries = requests.size();
 
-    if (const auto* range = std::get_if<RangeRequest>(&request)) {
-      RangeReport report;
-      NEURODB_RETURN_NOT_OK(
-          ExecuteOn(*range, nullptr, pools, &clock, &report));
-      for (const RangeRow& row : report.rows) {
-        out.aggregate.pages_read += row.stats.pages_read;
-      }
-      out.aggregate.results += report.results;
-      out.reports.emplace_back(std::move(report));
-    } else {
-      const KnnRequest& knn = std::get<KnnRequest>(request);
-      KnnReport report;
-      NEURODB_RETURN_NOT_OK(ExecuteKnnOn(knn, pools, &clock, &report));
-      for (const RangeRow& row : report.rows) {
-        out.aggregate.pages_read += row.stats.pages_read;
-      }
-      out.aggregate.results += report.hits.size();
-      out.reports.emplace_back(std::move(report));
+  const bool parallel = thread_pool_ != nullptr && options_.num_threads > 1 &&
+                        requests.size() > 1;
+  if (!parallel) {
+    // Serial: pools shared across the whole batch; one clock spans it.
+    SimClock clock;
+    std::vector<std::unique_ptr<storage::PoolSet>> owned = MakePools(&clock);
+    std::vector<storage::PoolSet*> pools;
+    for (auto& pool : owned) pools.push_back(pool.get());
+    NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(requests, 0, requests.size(),
+                                            pools, &clock, &out.reports,
+                                            &out.aggregate));
+    out.aggregate.time_us = clock.NowMicros();
+    out.aggregate.critical_path_us = out.aggregate.time_us;
+    out.aggregate.lanes = 1;
+    for (storage::PoolSet* pool : pools) {
+      out.aggregate.pool_hits += pool->TotalTicker("pool.hits");
+      out.aggregate.pool_misses += pool->TotalTicker("pool.misses");
     }
+    return out;
   }
 
-  out.aggregate.queries = requests.size();
-  out.aggregate.time_us = clock.NowMicros();
-  for (storage::BufferPool* pool : pools) {
-    out.aggregate.pool_hits += pool->stats().Get("pool.hits");
-    out.aggregate.pool_misses += pool->stats().Get("pool.misses");
+  // Parallel: contiguous request lanes, one pool family and clock per lane.
+  // Lane-local counters merge in lane order, so the output is independent
+  // of worker scheduling; reports land in their request slot directly.
+  std::vector<exec::LaneRange> lanes =
+      exec::PartitionLanes(requests.size(), options_.num_threads);
+  std::vector<BatchStats> lane_stats(lanes.size());
+  exec::ParallelExecutor executor(thread_pool_.get());
+  Status status = executor.Run(lanes, [&](const exec::LaneRange& lane) {
+    SimClock lane_clock;
+    std::vector<std::unique_ptr<storage::PoolSet>> owned =
+        MakePools(&lane_clock);
+    std::vector<storage::PoolSet*> pools;
+    for (auto& pool : owned) pools.push_back(pool.get());
+    BatchStats& local = lane_stats[lane.lane];
+    NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(requests, lane.begin, lane.end,
+                                            pools, &lane_clock, &out.reports,
+                                            &local));
+    local.time_us = lane_clock.NowMicros();
+    for (storage::PoolSet* pool : pools) {
+      local.pool_hits += pool->TotalTicker("pool.hits");
+      local.pool_misses += pool->TotalTicker("pool.misses");
+    }
+    return Status::OK();
+  });
+  NEURODB_RETURN_NOT_OK(status);
+
+  out.aggregate.lanes = lanes.size();
+  for (const BatchStats& local : lane_stats) {
+    out.aggregate.pages_read += local.pages_read;
+    out.aggregate.results += local.results;
+    out.aggregate.time_us += local.time_us;
+    out.aggregate.critical_path_us =
+        std::max(out.aggregate.critical_path_us, local.time_us);
+    out.aggregate.pool_hits += local.pool_hits;
+    out.aggregate.pool_misses += local.pool_misses;
   }
   return out;
 }

@@ -5,10 +5,11 @@
 // system rather than a fixed three-exhibit facade:
 //
 //   * indexes are pluggable SpatialBackend instances (FLAT, the paged
-//     R-tree and the uniform grid ship by default; RegisterBackend adds
-//     more) selected per query with BackendChoice — kAll runs every backend
-//     and cross-checks their result sets, which is the demo's side-by-side
-//     comparison and the differential harness's parity oracle;
+//     R-tree, the uniform grid and the domain-sharded backend ship by
+//     default; RegisterBackend adds more) selected per query with
+//     BackendChoice — kAll runs every backend and cross-checks their result
+//     sets, which is the demo's side-by-side comparison and the
+//     differential harness's parity oracle;
 //   * requests are typed values (RangeRequest, KnnRequest,
 //     WalkthroughRequest, JoinRequest) executed by one Execute overload
 //     set, each validated at the boundary with Status errors instead of UB;
@@ -16,7 +17,12 @@
 //     materialized unless the caller asks for it (CollectingVisitor); kNN
 //     answers are ordered (distance, id) hit lists (geom/knn.h);
 //   * ExecuteBatch runs many range/kNN requests against shared warm buffer
-//     pools and reports per-query plus aggregate statistics;
+//     pools and reports per-query plus aggregate statistics; with
+//     EngineOptions::num_threads > 1 the batch is partitioned into
+//     contiguous lanes executed concurrently on an exec::ThreadPool, each
+//     lane over its own pools and clock, with reports merged back in
+//     request order — deterministic, and bit-identical to running the same
+//     lanes serially;
 //   * OpenSession returns an incremental exploration Session handle
 //     (engine/session.h) for interactive callers.
 //
@@ -38,10 +44,13 @@
 #include "engine/grid_backend.h"
 #include "engine/rtree_backend.h"
 #include "engine/session.h"
+#include "engine/sharded_backend.h"
+#include "exec/thread_pool.h"
 #include "geom/aabb.h"
 #include "neuro/circuit.h"
 #include "scout/session.h"
 #include "storage/page.h"
+#include "storage/pool_set.h"
 #include "touch/spatial_join.h"
 
 namespace neurodb {
@@ -54,8 +63,15 @@ struct EngineOptions {
   rtree::RTreeOptions rtree;
   /// The uniform-grid parity backend configuration.
   GridOptions grid;
-  /// Buffer pool capacity (pages) for range queries and batches.
+  /// The domain-sharded backend configuration (shard count, inner index).
+  ShardedOptions sharded;
+  /// Buffer pool capacity (pages) for range queries and batches. For a
+  /// multi-store backend the budget is split across its per-shard pools.
   size_t pool_pages = 4096;
+  /// Worker threads for concurrent ExecuteBatch lanes and intra-query
+  /// shard fan-out. 1 (the default) keeps every path serial; > 1 starts an
+  /// exec::ThreadPool at LoadCircuit.
+  size_t num_threads = 1;
   storage::DiskCostModel cost;
   /// Exploration session tuning (pool, think time, SCOUT knobs).
   scout::SessionOptions session;
@@ -68,6 +84,7 @@ enum class BackendChoice {
   kFlat,
   kRTree,
   kGrid,
+  kSharded,
   /// Every registered backend; result sets are cross-checked (the demo's
   /// side-by-side comparison panel and the differential-testing harness).
   kAll,
@@ -143,8 +160,14 @@ struct BatchStats {
   uint64_t queries = 0;
   /// Demand page fetches summed over every executed backend row.
   uint64_t pages_read = 0;
-  /// Total modeled time on the batch clock.
+  /// Total modeled I/O work across the batch (sum over lanes; equals the
+  /// batch clock reading when num_threads == 1).
   uint64_t time_us = 0;
+  /// Modeled time of the slowest lane — the batch's simulated critical
+  /// path. Equals time_us on the serial path.
+  uint64_t critical_path_us = 0;
+  /// Lanes the batch was partitioned into (1 on the serial path).
+  uint64_t lanes = 1;
   /// Result elements summed over requests (first backend of each).
   uint64_t results = 0;
   uint64_t pool_hits = 0;
@@ -177,12 +200,14 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Add a backend (before LoadCircuit). FLAT and the paged R-tree are
-  /// registered by the constructor; extra backends join kAll comparisons.
+  /// Add a backend (before LoadCircuit). FLAT, the paged R-tree, the grid
+  /// and the sharded backend are registered by the constructor; extra
+  /// backends join kAll comparisons.
   Status RegisterBackend(std::unique_ptr<SpatialBackend> backend);
 
   /// Flatten `circuit` into segment datasets, lay them out on each
-  /// backend's simulated disk and build every index.
+  /// backend's simulated disk(s) and build every index. Starts the worker
+  /// pool when num_threads > 1.
   Status LoadCircuit(const neuro::Circuit& circuit);
 
   bool loaded() const { return loaded_; }
@@ -203,7 +228,10 @@ class QueryEngine {
 
   /// Run `requests` in order against per-backend pools shared across the
   /// whole batch (kCold requests evict first). One simulated clock spans
-  /// the batch.
+  /// the batch. With num_threads > 1 the batch is split into contiguous
+  /// lanes (one pool family and clock per lane) executed concurrently;
+  /// reports keep request order, and a batch of kCold requests is
+  /// bit-identical to the serial run regardless of the thread count.
   Result<BatchResult> ExecuteBatch(std::span<const RangeRequest> requests);
 
   /// Mixed-batch form: range and kNN requests interleaved against the same
@@ -239,8 +267,12 @@ class QueryEngine {
   FlatBackend* flat_backend() { return flat_; }
   PagedRTreeBackend* rtree_backend() { return rtree_; }
   GridBackend* grid_backend() { return grid_; }
+  ShardedBackend* sharded_backend() { return sharded_; }
   const flat::FlatIndex& flat_index() const { return flat_->index(); }
   const rtree::PagedRTree& paged_rtree() const { return rtree_->tree(); }
+
+  /// The worker pool (null until LoadCircuit with num_threads > 1).
+  exec::ThreadPool* thread_pool() { return thread_pool_.get(); }
 
  private:
   Status RequireLoaded(const char* op) const;
@@ -252,28 +284,38 @@ class QueryEngine {
   /// report. The caller chooses pool lifetime (persistent warm pools, batch
   /// pools) — `clock` is the clock those pools charge.
   Status ExecuteOn(const RangeRequest& request, ResultVisitor* visitor,
-                   const std::vector<storage::BufferPool*>& pools,
+                   const std::vector<storage::PoolSet*>& pools,
                    SimClock* clock, RangeReport* report) const;
   /// kNN twin of ExecuteOn: one request against `pools`, one report.
   Status ExecuteKnnOn(const KnnRequest& request,
-                      const std::vector<storage::BufferPool*>& pools,
+                      const std::vector<storage::PoolSet*>& pools,
                       SimClock* clock, KnnReport* report) const;
   /// Boundary validation shared by Execute and ExecuteBatch.
   Status ValidateRequest(const RangeRequest& request, const char* op) const;
   Status ValidateRequest(const KnnRequest& request, const char* op) const;
-  /// Build one fresh pool per backend on `clock` (cold/batch execution).
-  std::vector<std::unique_ptr<storage::BufferPool>> MakePools(
+  /// Build one fresh pool set per backend on `clock` (cold/batch execution).
+  std::vector<std::unique_ptr<storage::PoolSet>> MakePools(
       SimClock* clock) const;
-  /// The pool paired with `backend` (`pools` is parallel to backends_).
-  storage::BufferPool* PoolFor(
+  /// The pool set paired with `backend` (`pools` is parallel to backends_).
+  storage::PoolSet* PoolFor(
       const SpatialBackend* backend,
-      const std::vector<storage::BufferPool*>& pools) const;
+      const std::vector<storage::PoolSet*>& pools) const;
+  /// Execute requests[range) against `pools` on `clock`, writing
+  /// reports[i] for each request index i and accumulating aggregate
+  /// counters except pool hits/misses into `stats` — the shared body of
+  /// the serial batch path and of each parallel lane.
+  Status ExecuteBatchSlice(std::span<const QueryRequest> requests,
+                           size_t begin, size_t end,
+                           const std::vector<storage::PoolSet*>& pools,
+                           SimClock* clock, std::vector<QueryReport>* reports,
+                           BatchStats* stats) const;
 
   EngineOptions options_;
   std::vector<std::unique_ptr<SpatialBackend>> backends_;
   FlatBackend* flat_ = nullptr;    // owned by backends_
   PagedRTreeBackend* rtree_ = nullptr;  // owned by backends_
   GridBackend* grid_ = nullptr;    // owned by backends_
+  ShardedBackend* sharded_ = nullptr;  // owned by backends_
 
   bool loaded_ = false;
   neuro::SegmentResolver resolver_;
@@ -282,9 +324,13 @@ class QueryEngine {
   geom::Aabb domain_;
   size_t num_segments_ = 0;
 
-  // Persistent warm-path state (CachePolicy::kWarm), one pool per backend.
+  /// Worker pool for ExecuteBatch lanes and shard fan-out (num_threads > 1).
+  std::unique_ptr<exec::ThreadPool> thread_pool_;
+
+  // Persistent warm-path state (CachePolicy::kWarm), one pool set per
+  // backend.
   std::unique_ptr<SimClock> warm_clock_;
-  std::vector<std::unique_ptr<storage::BufferPool>> warm_pools_;
+  std::vector<std::unique_ptr<storage::PoolSet>> warm_pools_;
 };
 
 }  // namespace engine

@@ -16,12 +16,13 @@ Status PagedRTreeBackend::Build(const geom::ElementVec& elements) {
 }
 
 Status PagedRTreeBackend::RangeQuery(const geom::Aabb& box,
-                                     storage::BufferPool* pool,
+                                     storage::PoolSet* pools,
                                      ResultVisitor& visitor,
                                      RangeStats* stats) const {
   if (!built()) {
     return Status::InvalidArgument("PagedRTreeBackend: not built");
   }
+  storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   rtree::QueryStats tree_stats;
   NEURODB_RETURN_NOT_OK(tree_->RangeQuery(box, visitor, pool, &tree_stats));
   if (stats != nullptr) {
@@ -34,12 +35,13 @@ Status PagedRTreeBackend::RangeQuery(const geom::Aabb& box,
 }
 
 Status PagedRTreeBackend::KnnQuery(const geom::Vec3& point, size_t k,
-                                   storage::BufferPool* pool,
+                                   storage::PoolSet* pools,
                                    std::vector<geom::KnnHit>* hits,
                                    RangeStats* stats) const {
   if (!built()) {
     return Status::InvalidArgument("PagedRTreeBackend: not built");
   }
+  storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   rtree::QueryStats tree_stats;
   NEURODB_RETURN_NOT_OK(tree_->Knn(point, k, pool, hits, &tree_stats));
   if (stats != nullptr) {

@@ -23,13 +23,13 @@ class PagedRTreeBackend : public SpatialBackend {
 
   Status Build(const geom::ElementVec& elements) override;
 
-  Status RangeQuery(const geom::Aabb& box, storage::BufferPool* pool,
+  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
                     ResultVisitor& visitor,
                     RangeStats* stats = nullptr) const override;
 
   /// Best-first node traversal (rtree::PagedRTree::Knn).
   Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::BufferPool* pool, std::vector<geom::KnnHit>* hits,
+                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
                   RangeStats* stats = nullptr) const override;
 
   BackendStats Stats() const override;

@@ -1,0 +1,270 @@
+#include "engine/sharded_backend.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "exec/parallel_executor.h"
+
+namespace neurodb {
+namespace engine {
+
+using geom::Aabb;
+using geom::Vec3;
+
+Status ShardedOptions::Validate() const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("ShardedOptions: num_shards == 0");
+  }
+  if (num_shards > 256) {
+    return Status::InvalidArgument("ShardedOptions: num_shards > 256");
+  }
+  return inner.Validate();
+}
+
+namespace {
+
+/// Recursive longest-axis median split: cut idx[begin, end) into `parts`
+/// contiguous runs of near-proportional size. Deterministic — the
+/// nth_element comparator breaks center-coordinate ties by element id, so
+/// the same input always yields the same shards on every platform.
+void SplitRecursive(const geom::ElementVec& elements,
+                    std::vector<uint32_t>* idx, size_t begin, size_t end,
+                    size_t parts,
+                    std::vector<std::pair<size_t, size_t>>* runs) {
+  if (parts <= 1 || end - begin <= 1) {
+    runs->emplace_back(begin, end);
+    return;
+  }
+  Aabb centers;
+  for (size_t i = begin; i < end; ++i) {
+    centers.Extend(elements[(*idx)[i]].bounds.Center());
+  }
+  Vec3 extent = centers.Extent();
+  int axis = 0;
+  if (extent.y > extent[axis]) axis = 1;
+  if (extent.z > extent[axis]) axis = 2;
+
+  size_t left_parts = parts / 2;
+  size_t right_parts = parts - left_parts;
+  size_t mid = begin + (end - begin) * left_parts / parts;
+  std::nth_element(
+      idx->begin() + begin, idx->begin() + mid, idx->begin() + end,
+      [&elements, axis](uint32_t a, uint32_t b) {
+        float ca = elements[a].bounds.Center()[axis];
+        float cb = elements[b].bounds.Center()[axis];
+        if (ca != cb) return ca < cb;
+        return elements[a].id < elements[b].id;
+      });
+  SplitRecursive(elements, idx, begin, mid, left_parts, runs);
+  SplitRecursive(elements, idx, mid, end, right_parts, runs);
+}
+
+}  // namespace
+
+Status ShardedBackend::Build(const geom::ElementVec& elements) {
+  if (built_) {
+    return Status::AlreadyExists("ShardedBackend: already built");
+  }
+  NEURODB_RETURN_NOT_OK(options_.Validate());
+
+  // Never build an empty shard: fewer elements than shards degrades to
+  // fewer shards (a one-element circuit is a one-shard backend).
+  size_t shards = std::max<size_t>(
+      1, std::min(options_.num_shards, std::max<size_t>(1, elements.size())));
+
+  std::vector<uint32_t> idx(elements.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<std::pair<size_t, size_t>> runs;
+  if (elements.empty()) {
+    runs.emplace_back(0, 0);
+  } else {
+    SplitRecursive(elements, &idx, 0, elements.size(), shards, &runs);
+  }
+
+  shards_.reserve(runs.size());
+  shard_bounds_.reserve(runs.size());
+  shard_sizes_.reserve(runs.size());
+  for (const auto& [begin, end] : runs) {
+    geom::ElementVec part;
+    part.reserve(end - begin);
+    Aabb bounds;
+    for (size_t i = begin; i < end; ++i) {
+      part.push_back(elements[idx[i]]);
+      bounds.Extend(part.back().bounds);
+    }
+    auto shard = std::make_unique<GridBackend>(options_.inner);
+    NEURODB_RETURN_NOT_OK(shard->Build(part));
+    shards_.push_back(std::move(shard));
+    shard_bounds_.push_back(bounds);
+    shard_sizes_.push_back(end - begin);
+  }
+
+  built_ = true;
+  return Status::OK();
+}
+
+std::vector<storage::PageStore*> ShardedBackend::Stores() {
+  std::vector<storage::PageStore*> stores;
+  stores.reserve(shards_.size());
+  for (auto& shard : shards_) stores.push_back(shard->store());
+  return stores;
+}
+
+Status ShardedBackend::RangeQuery(const Aabb& box, storage::PoolSet* pools,
+                                  ResultVisitor& visitor,
+                                  RangeStats* stats) const {
+  if (!built_) {
+    return Status::InvalidArgument("ShardedBackend: not built");
+  }
+  if (pools == nullptr) {
+    return Status::InvalidArgument("ShardedBackend::RangeQuery: null pool set");
+  }
+  if (pools->size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "ShardedBackend::RangeQuery: pool set size != shard count");
+  }
+
+  std::vector<size_t> selected;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_bounds_[s].IsValid() && box.Intersects(shard_bounds_[s])) {
+      selected.push_back(s);
+    }
+  }
+  if (selected.empty()) return Status::OK();
+
+  // Serial path (no pool, a single shard, or already on a pool worker):
+  // stream straight to the visitor in shard order — no buffering.
+  const bool fan_out = thread_pool_ != nullptr &&
+                       !exec::ThreadPool::InWorker() && selected.size() > 1;
+  if (!fan_out) {
+    for (size_t s : selected) {
+      storage::PoolSet shard_pool(pools->pool(s));
+      RangeStats shard_stats;
+      NEURODB_RETURN_NOT_OK(shards_[s]->RangeQuery(
+          box, &shard_pool, visitor,
+          stats != nullptr ? &shard_stats : nullptr));
+      if (stats != nullptr) {
+        stats->pages_read += shard_stats.pages_read;
+        stats->elements_scanned += shard_stats.elements_scanned;
+        stats->results += shard_stats.results;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Parallel fan-out: each selected shard runs against its own pool and
+  // buffers its matches; the buffers are replayed to `visitor` and the
+  // statistics merged in shard order afterwards, so the result —
+  // including visit order — is bit-identical to the serial loop above.
+  struct ShardRun {
+    CollectingVisitor out;
+    RangeStats stats;
+  };
+  std::vector<ShardRun> runs(selected.size());
+
+  exec::ParallelExecutor executor(thread_pool_);
+  std::vector<exec::LaneRange> lanes =
+      exec::PartitionLanes(selected.size(), selected.size());
+  Status status = executor.Run(lanes, [&](const exec::LaneRange& lane) {
+    for (size_t i = lane.begin; i < lane.end; ++i) {
+      size_t s = selected[i];
+      storage::PoolSet shard_pool(pools->pool(s));
+      NEURODB_RETURN_NOT_OK(shards_[s]->RangeQuery(
+          box, &shard_pool, runs[i].out,
+          stats != nullptr ? &runs[i].stats : nullptr));
+    }
+    return Status::OK();
+  });
+  NEURODB_RETURN_NOT_OK(status);
+
+  for (const ShardRun& run : runs) {
+    for (const auto& e : run.out.elements()) visitor.Visit(e.id, e.bounds);
+    if (stats != nullptr) {
+      stats->pages_read += run.stats.pages_read;
+      stats->elements_scanned += run.stats.elements_scanned;
+      stats->results += run.stats.results;
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedBackend::KnnQuery(const Vec3& point, size_t k,
+                                storage::PoolSet* pools,
+                                std::vector<geom::KnnHit>* hits,
+                                RangeStats* stats) const {
+  if (!built_) {
+    return Status::InvalidArgument("ShardedBackend: not built");
+  }
+  if (pools == nullptr) {
+    return Status::InvalidArgument("ShardedBackend::KnnQuery: null pool set");
+  }
+  if (hits == nullptr) {
+    return Status::InvalidArgument("ShardedBackend::KnnQuery: null output");
+  }
+  if (!geom::IsFinitePoint(point)) {
+    return Status::InvalidArgument("ShardedBackend::KnnQuery: non-finite point");
+  }
+  if (pools->size() != shards_.size()) {
+    return Status::InvalidArgument(
+        "ShardedBackend::KnnQuery: pool set size != shard count");
+  }
+  hits->clear();
+  if (k == 0) return Status::OK();
+
+  // Best-first over the shard frontier: visit shards by ascending distance
+  // from the query point to the shard box (ties by shard id), and stop as
+  // soon as the next shard cannot improve the current k-th hit. Prune
+  // strictly greater only — at equal distance a smaller id could still
+  // enter the answer (geom/knn.h).
+  std::vector<std::pair<double, size_t>> frontier;
+  frontier.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!shard_bounds_[s].IsValid()) continue;  // empty shard
+    frontier.emplace_back(geom::KnnDistance(point, shard_bounds_[s]), s);
+  }
+  std::sort(frontier.begin(), frontier.end());
+
+  geom::KnnAccumulator acc(k);
+  for (const auto& [distance, s] : frontier) {
+    if (acc.Full() && distance > acc.WorstDistance()) break;
+    storage::PoolSet shard_pool(pools->pool(s));
+    std::vector<geom::KnnHit> shard_hits;
+    RangeStats shard_stats;
+    NEURODB_RETURN_NOT_OK(shards_[s]->KnnQuery(
+        point, k, &shard_pool, &shard_hits,
+        stats != nullptr ? &shard_stats : nullptr));
+    for (const geom::KnnHit& hit : shard_hits) acc.Offer(hit.id, hit.distance);
+    if (stats != nullptr) {
+      stats->pages_read += shard_stats.pages_read;
+      stats->elements_scanned += shard_stats.elements_scanned;
+    }
+  }
+
+  *hits = acc.TakeSorted();
+  if (stats != nullptr) stats->results = hits->size();
+  return Status::OK();
+}
+
+BackendStats ShardedBackend::Stats() const {
+  BackendStats stats;
+  if (!built_) return stats;
+  for (const auto& shard : shards_) {
+    BackendStats inner = shard->Stats();
+    stats.index_pages += inner.index_pages;
+    stats.metadata_bytes += inner.metadata_bytes;
+  }
+  stats.metadata_bytes += shard_bounds_.capacity() * sizeof(Aabb) +
+                          shard_sizes_.capacity() * sizeof(size_t);
+  return stats;
+}
+
+uint64_t ShardedBackend::TotalStoreReads() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->store()->NumReads();
+  return total;
+}
+
+}  // namespace engine
+}  // namespace neurodb

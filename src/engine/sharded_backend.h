@@ -1,0 +1,106 @@
+// NeuroDB — ShardedBackend: the circuit domain partitioned across several
+// PageStores, one inner index per shard.
+//
+// This is the first scaling backend: instead of one simulated disk holding
+// the whole circuit, the element set is split into K spatial shards by
+// recursive longest-axis median cuts (deterministic: ties broken by element
+// id), and every shard gets its *own* PageStore with its own inner index
+// built over just that shard's elements. Queries touch only the shards
+// whose bounds intersect the request:
+//
+//   * RangeQuery fans the intersecting shards out across an exec::ThreadPool
+//     when one is attached (per-shard buffer pools, results buffered per
+//     shard and replayed in shard order, statistics merged in shard order —
+//     so a parallel run is bit-identical to a serial one);
+//   * KnnQuery walks the shard frontier best-first by shard distance,
+//     merging per-shard answers under the global (distance, id) order and
+//     stopping once no unvisited shard can still beat the k-th hit.
+//
+// Because every element lives in exactly one shard, the merged answers are
+// exact, which lets the backend join BackendChoice::kAll — four-way parity
+// in the differential harness — for free.
+
+#ifndef NEURODB_ENGINE_SHARDED_BACKEND_H_
+#define NEURODB_ENGINE_SHARDED_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/backend.h"
+#include "engine/grid_backend.h"
+#include "exec/thread_pool.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Sharding configuration.
+struct ShardedOptions {
+  /// Spatial shards to cut the domain into (clamped to the element count
+  /// at build time so no shard is empty).
+  size_t num_shards = 4;
+  /// Inner index configuration, one instance per shard.
+  GridOptions inner;
+
+  Status Validate() const;
+};
+
+/// Domain-sharded backend: K shards, each a GridBackend over its own
+/// PageStore. Stores() exposes one store per shard, so the engine's
+/// PoolSets carry one BufferPool per shard.
+class ShardedBackend : public SpatialBackend {
+ public:
+  explicit ShardedBackend(ShardedOptions options = ShardedOptions())
+      : options_(options) {}
+
+  const char* name() const override { return "Sharded"; }
+
+  Status Build(const geom::ElementVec& elements) override;
+
+  /// Attach a worker pool for intra-query shard fan-out; null (the
+  /// default) keeps shard execution serial. Called by the engine when
+  /// EngineOptions::num_threads > 1; the pool must outlive the backend's
+  /// queries. Fan-out automatically degrades to the serial loop when the
+  /// query itself already runs on a pool worker (ExecuteBatch lanes).
+  void set_thread_pool(exec::ThreadPool* pool) { thread_pool_ = pool; }
+
+  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                    ResultVisitor& visitor,
+                    RangeStats* stats = nullptr) const override;
+
+  Status KnnQuery(const geom::Vec3& point, size_t k,
+                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
+                  RangeStats* stats = nullptr) const override;
+
+  BackendStats Stats() const override;
+
+  std::vector<storage::PageStore*> Stores() override;
+
+  bool built() const { return built_; }
+  const ShardedOptions& options() const { return options_; }
+  size_t NumShards() const { return shards_.size(); }
+  /// Bounding box of shard `i`'s elements (shards may overlap slightly:
+  /// cuts go through element centers, boxes extend beyond them).
+  const geom::Aabb& shard_bounds(size_t i) const { return shard_bounds_[i]; }
+  const GridBackend& shard(size_t i) const { return *shards_[i]; }
+  /// Elements assigned to shard `i`.
+  size_t ShardPopulation(size_t i) const { return shard_sizes_[i]; }
+
+  /// Raw page reads summed over every shard's PageStore — the per-shard
+  /// I/O aggregation the scaling benchmarks report.
+  uint64_t TotalStoreReads() const;
+
+ private:
+  ShardedOptions options_;
+  exec::ThreadPool* thread_pool_ = nullptr;
+  bool built_ = false;
+
+  std::vector<std::unique_ptr<GridBackend>> shards_;
+  std::vector<geom::Aabb> shard_bounds_;
+  std::vector<size_t> shard_sizes_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_SHARDED_BACKEND_H_

@@ -1,0 +1,78 @@
+#include "exec/parallel_executor.h"
+
+#include <exception>
+#include <future>
+#include <string>
+
+namespace neurodb {
+namespace exec {
+
+namespace {
+
+Status RunGuarded(const std::function<Status(const LaneRange&)>& fn,
+                  const LaneRange& lane) {
+  try {
+    return fn(lane);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelExecutor: lane ") +
+                            std::to_string(lane.lane) +
+                            " threw: " + e.what());
+  } catch (...) {
+    return Status::Internal(std::string("ParallelExecutor: lane ") +
+                            std::to_string(lane.lane) +
+                            " threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+std::vector<LaneRange> PartitionLanes(size_t n, size_t lanes) {
+  std::vector<LaneRange> out;
+  if (n == 0) return out;
+  if (lanes == 0) lanes = 1;
+  if (lanes > n) lanes = n;
+  out.reserve(lanes);
+  size_t base = n / lanes;
+  size_t extra = n % lanes;
+  size_t begin = 0;
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    size_t len = base + (lane < extra ? 1 : 0);
+    out.push_back(LaneRange{lane, begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+Status ParallelExecutor::Run(
+    const std::vector<LaneRange>& lanes,
+    const std::function<Status(const LaneRange&)>& fn) const {
+  if (lanes.empty()) return Status::OK();
+
+  if (pool_ == nullptr || lanes.size() == 1 || ThreadPool::InWorker()) {
+    // Inline, in lane order. Keep going after a failure so the caller sees
+    // the same "every lane ran" postcondition as the pooled path.
+    Status first = Status::OK();
+    for (const LaneRange& lane : lanes) {
+      Status status = RunGuarded(fn, lane);
+      if (first.ok() && !status.ok()) first = std::move(status);
+    }
+    return first;
+  }
+
+  std::vector<std::future<Status>> futures;
+  futures.reserve(lanes.size());
+  for (const LaneRange& lane : lanes) {
+    futures.push_back(pool_->Submit([&fn, lane] {
+      return RunGuarded(fn, lane);
+    }));
+  }
+  Status first = Status::OK();
+  for (std::future<Status>& future : futures) {
+    Status status = future.get();
+    if (first.ok() && !status.ok()) first = std::move(status);
+  }
+  return first;
+}
+
+}  // namespace exec
+}  // namespace neurodb

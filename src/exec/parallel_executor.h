@@ -1,0 +1,67 @@
+// NeuroDB — exec::ParallelExecutor: deterministic fan-out of an indexed
+// workload across ThreadPool workers.
+//
+// A batch of N items is partitioned into contiguous *lanes* (PartitionLanes:
+// the partition depends only on N and the lane count, never on timing).
+// Each lane runs as one pool task over its own private state — the engine
+// gives every lane its own buffer pools and simulated clock — so lanes
+// never share mutable state and the per-item output is independent of
+// scheduling. The caller merges per-lane results in lane order, which makes
+// a parallel run bit-identical to executing the same lanes serially:
+// exactly the property tests/exec_test.cc and the differential harness
+// verify against the serial ExecuteBatch path.
+
+#ifndef NEURODB_EXEC_PARALLEL_EXECUTOR_H_
+#define NEURODB_EXEC_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/thread_pool.h"
+
+namespace neurodb {
+namespace exec {
+
+/// One contiguous slice [begin, end) of a batch, owned by one worker.
+struct LaneRange {
+  size_t lane = 0;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Split [0, n) into at most `lanes` contiguous, near-equal slices (the
+/// first n % lanes slices are one longer). Deterministic in (n, lanes);
+/// empty slices are never produced, so the result may have fewer than
+/// `lanes` entries when n < lanes.
+std::vector<LaneRange> PartitionLanes(size_t n, size_t lanes);
+
+/// Runs one callable per lane, on a ThreadPool when available and inline
+/// otherwise. Stateless apart from the pool pointer; reusable.
+class ParallelExecutor {
+ public:
+  /// `pool` may be null — every Run then executes inline on the caller.
+  explicit ParallelExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Execute fn(lane) for every lane and wait for all of them. Runs inline
+  /// (in lane order) when there is no pool, only one lane, or the caller is
+  /// itself a pool worker (nested fan-out would risk deadlock). Every lane
+  /// runs even if an earlier lane fails; the returned status is the first
+  /// non-OK result *in lane order* (not completion order), and an exception
+  /// escaping `fn` is reported as an Internal status the same way.
+  Status Run(const std::vector<LaneRange>& lanes,
+             const std::function<Status(const LaneRange&)>& fn) const;
+
+  ThreadPool* pool() const { return pool_; }
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace exec
+}  // namespace neurodb
+
+#endif  // NEURODB_EXEC_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,55 @@
+#include "exec/thread_pool.h"
+
+namespace neurodb {
+namespace exec {
+
+namespace {
+
+bool& InWorkerFlag() {
+  static thread_local bool flag = false;
+  return flag;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = num_threads == 0 ? 1 : num_threads;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::NumPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool ThreadPool::InWorker() { return InWorkerFlag(); }
+
+void ThreadPool::WorkerLoop() {
+  InWorkerFlag() = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace exec
+}  // namespace neurodb

@@ -211,7 +211,19 @@ WorkloadQuery MixedWorkloadQuery(const Aabb& domain,
         rng.Uniform(options.epsilon_min, options.epsilon_max));
     return query;
   }
-  query.kind = kind_draw < options.join_fraction + options.knn_fraction
+  if (kind_draw < options.join_fraction + options.walkthrough_fraction) {
+    // A short random-walk exploration path. Regenerable from the sub_seed
+    // alone, like every other query kind: the walk seed derives from it.
+    query.kind = QueryKind::kWalkthrough;
+    NavigationPath walk = RandomWalkPath(domain, options.walk_steps,
+                                         options.walk_step,
+                                         rng.NextU64());
+    query.path = PathQueries(walk, options.walk_side);
+    return query;
+  }
+  query.kind = kind_draw < options.join_fraction +
+                               options.walkthrough_fraction +
+                               options.knn_fraction
                    ? QueryKind::kKnn
                    : QueryKind::kRange;
 

@@ -74,6 +74,7 @@ enum class QueryKind {
   kRange,
   kKnn,
   kJoin,
+  kWalkthrough,
 };
 
 /// One randomized query of a mixed workload. Every query remembers the
@@ -85,6 +86,9 @@ struct WorkloadQuery {
   geom::Vec3 point;    // kKnn
   size_t k = 0;        // kKnn
   float epsilon = 0;   // kJoin
+  /// kWalkthrough: a short random-walk path of range boxes replayed one
+  /// Session::Step at a time.
+  std::vector<geom::Aabb> path;
   uint64_t sub_seed = 0;
 };
 
@@ -95,6 +99,16 @@ struct MixedWorkloadOptions {
   /// Fraction of queries that are epsilon-joins. Joins are far more
   /// expensive than point queries — keep this small.
   double join_fraction = 0.0;
+  /// Fraction of queries that are session walkthroughs (a random-walk path
+  /// of `walk_steps` range boxes replayed through Session::Step). Each
+  /// walkthrough runs walk_steps range queries — keep this small too.
+  double walkthrough_fraction = 0.0;
+  /// Steps per walkthrough path.
+  size_t walk_steps = 6;
+  /// Step length of the walk, micrometres.
+  float walk_step = 15.0f;
+  /// Side of the range cube issued at each waypoint.
+  float walk_side = 30.0f;
   /// Fraction of range/kNN queries anchored on a random element (dense,
   /// guaranteed-hit); the rest are uniform in the domain (sparse/empty).
   double data_centered_fraction = 0.5;

@@ -2,16 +2,19 @@
 //
 // Holds all pages of a dataset and counts raw I/O. Access normally goes
 // through a BufferPool (buffer_pool.h) which adds caching, prefetch
-// tracking and the time model.
+// tracking and the time model. The raw read/write counters are atomic: one
+// store is read concurrently by the per-lane pools of a parallel
+// ExecuteBatch and by parallel shard queries, and the counters must stay
+// exact (and TSan-clean) under that load.
 
 #ifndef NEURODB_STORAGE_PAGE_STORE_H_
 #define NEURODB_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/result.h"
-#include "common/stats.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -25,8 +28,18 @@ class PageStore {
 
   PageStore(const PageStore&) = delete;
   PageStore& operator=(const PageStore&) = delete;
-  PageStore(PageStore&&) = default;
-  PageStore& operator=(PageStore&&) = default;
+  PageStore(PageStore&& other) noexcept
+      : pages_(std::move(other.pages_)),
+        reads_(other.reads_.load(std::memory_order_relaxed)),
+        writes_(other.writes_.load(std::memory_order_relaxed)) {}
+  PageStore& operator=(PageStore&& other) noexcept {
+    pages_ = std::move(other.pages_);
+    reads_.store(other.reads_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    writes_.store(other.writes_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Allocate a new empty page and return its id.
   PageId Allocate();
@@ -35,7 +48,7 @@ class PageStore {
   Status Write(PageId id, std::vector<geom::SpatialElement> elements);
 
   /// Read page `id`. The returned pointer is stable until the store is
-  /// destroyed. Counts one raw read in stats ("store.reads").
+  /// destroyed. Counts one raw read. Thread-safe against other Reads.
   Result<const Page*> Read(PageId id) const;
 
   size_t NumPages() const { return pages_.size(); }
@@ -43,12 +56,15 @@ class PageStore {
   /// Total serialized bytes across all pages.
   size_t TotalBytes() const;
 
-  const Stats& stats() const { return stats_; }
-  Stats& stats() { return stats_; }
+  /// Raw page reads served since construction (demand + prefetch).
+  uint64_t NumReads() const { return reads_.load(std::memory_order_relaxed); }
+  /// Pages written since construction.
+  uint64_t NumWrites() const { return writes_.load(std::memory_order_relaxed); }
 
  private:
   std::vector<Page> pages_;
-  mutable Stats stats_;
+  mutable std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
 };
 
 }  // namespace storage

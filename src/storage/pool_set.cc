@@ -1,0 +1,43 @@
+#include "storage/pool_set.h"
+
+namespace neurodb {
+namespace storage {
+
+PoolSet::PoolSet(const std::vector<PageStore*>& stores,
+                 size_t total_capacity_pages, SimClock* clock,
+                 DiskCostModel cost)
+    : clock_(clock), cost_(cost) {
+  size_t per_pool =
+      stores.empty() ? 1 : total_capacity_pages / stores.size();
+  if (per_pool == 0) per_pool = 1;
+  owned_.reserve(stores.size());
+  pools_.reserve(stores.size());
+  for (PageStore* store : stores) {
+    owned_.push_back(
+        std::make_unique<BufferPool>(store, per_pool, clock, cost));
+    pools_.push_back(owned_.back().get());
+  }
+}
+
+PoolSet::PoolSet(BufferPool* borrowed) : cost_(borrowed->cost()) {
+  pools_.push_back(borrowed);
+}
+
+void PoolSet::EvictAll() {
+  for (BufferPool* pool : pools_) pool->EvictAll();
+}
+
+uint64_t PoolSet::TotalTicker(const std::string& name) const {
+  uint64_t total = 0;
+  for (const BufferPool* pool : pools_) total += pool->stats().Get(name);
+  return total;
+}
+
+Stats PoolSet::AggregateStats() const {
+  Stats merged;
+  for (const BufferPool* pool : pools_) merged.Merge(pool->stats());
+  return merged;
+}
+
+}  // namespace storage
+}  // namespace neurodb

@@ -1,14 +1,21 @@
 // NeuroDB — differential-testing harness.
 //
-// Replays a seeded randomized workload of Range / Knn / Join queries
-// through the engine and checks, per query, that (a) every registered
-// backend agrees (BackendChoice::kAll parity — FLAT crawl vs R-tree
-// traversal vs grid scan), and (b) the agreed answer matches a brute-force
-// ground truth computed directly over the element list, so three backends
-// sharing one bug cannot pass. Joins are cross-checked across independent
-// join algorithms (TOUCH vs plane sweep) the same way.
+// Replays a seeded randomized workload of Range / Knn / Join / Walkthrough
+// queries through the engine and checks, per query, that (a) every
+// registered backend agrees (BackendChoice::kAll parity — FLAT crawl vs
+// R-tree traversal vs grid scan vs sharded merge), and (b) the agreed
+// answer matches a brute-force ground truth computed directly over the
+// element list, so backends sharing one bug cannot pass. Joins are
+// cross-checked across independent join algorithms (TOUCH vs plane sweep)
+// the same way; walkthroughs replay a random-walk path one Session::Step at
+// a time and cross-check every step against both the engine's kAll range
+// path and brute force.
 //
-// The harness stops at the FIRST divergence and reports a minimal
+// RunBatchParity drives the concurrent ExecuteBatch path: the same workload
+// as a batch of cold requests through a serial engine and a multi-threaded
+// engine, demanding byte-identical per-query reports in request order.
+//
+// Every harness stops at the FIRST divergence and reports a minimal
 // reproduction: every workload query carries its own sub-seed, and
 // neuro::MixedWorkloadQuery(domain, elements, options, sub_seed)
 // regenerates exactly the failing query — no need to replay the whole
@@ -18,6 +25,7 @@
 #define NEURODB_TESTS_DIFF_HARNESS_H_
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +37,14 @@
 namespace neurodb {
 namespace testing {
 
+/// Env-tunable harness knob (the nightly ctest registrations scale query
+/// counts and seeds through the environment).
+inline uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
 /// Result of one differential run.
 struct DiffOutcome {
   bool diverged = false;
@@ -36,6 +52,7 @@ struct DiffOutcome {
   size_t ranges = 0;
   size_t knns = 0;
   size_t joins = 0;
+  size_t walkthroughs = 0;
   /// Valid when diverged: the failing query's index in the workload and the
   /// sub-seed that regenerates it via neuro::MixedWorkloadQuery.
   size_t failing_index = 0;
@@ -46,7 +63,8 @@ struct DiffOutcome {
     std::ostringstream os;
     if (!diverged) {
       os << "no divergence in " << queries_run << " queries (" << ranges
-         << " range, " << knns << " knn, " << joins << " join)";
+         << " range, " << knns << " knn, " << joins << " join, "
+         << walkthroughs << " walkthrough)";
     } else {
       os << "DIVERGENCE at query " << failing_index
          << " — minimal repro: MixedWorkloadQuery(..., sub_seed="
@@ -64,6 +82,69 @@ inline uint64_t BruteForceRangeCount(const geom::ElementVec& elements,
     if (e.bounds.Intersects(box)) ++count;
   }
   return count;
+}
+
+/// Sorted ids of every element intersecting `box` (walkthrough ground
+/// truth, where counts alone would let compensating errors slip through).
+inline std::vector<geom::ElementId> BruteForceRangeIds(
+    const geom::ElementVec& elements, const geom::Aabb& box) {
+  std::vector<geom::ElementId> ids;
+  for (const auto& e : elements) {
+    if (e.bounds.Intersects(box)) ids.push_back(e.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Replay one walkthrough path step by step: every step's streamed result
+/// set must match the engine's kAll range answer and brute force. Returns a
+/// non-empty error description on divergence.
+inline std::string ReplayWalkthrough(engine::QueryEngine* db,
+                                     const geom::ElementVec& elements,
+                                     const std::vector<geom::Aabb>& path) {
+  auto session = db->OpenSession(scout::PrefetchMethod::kScout);
+  if (!session.ok()) {
+    return "OpenSession failed: " + session.status().ToString();
+  }
+  for (size_t step = 0; step < path.size(); ++step) {
+    const geom::Aabb& box = path[step];
+    geom::CollectingVisitor stepped;
+    auto record = session->Step(box, stepped);
+    if (!record.ok()) {
+      return "Step failed: " + record.status().ToString();
+    }
+    std::vector<geom::ElementId> step_ids = stepped.Ids();
+    std::sort(step_ids.begin(), step_ids.end());
+
+    engine::RangeRequest request;
+    request.box = box;
+    request.backend = engine::BackendChoice::kAll;
+    request.cache = engine::CachePolicy::kWarm;
+    geom::CollectingVisitor ranged;
+    auto report = db->Execute(request, ranged);
+    if (!report.ok()) {
+      return "range replay failed: " + report.status().ToString();
+    }
+    std::vector<geom::ElementId> range_ids = ranged.Ids();
+    std::sort(range_ids.begin(), range_ids.end());
+
+    std::ostringstream os;
+    if (!report->results_match) {
+      os << "backends disagree at walkthrough step " << step;
+      return os.str();
+    }
+    if (step_ids != range_ids) {
+      os << "Session::Step returned " << step_ids.size()
+         << " ids but the engine range path returned " << range_ids.size()
+         << " at step " << step;
+      return os.str();
+    }
+    if (step_ids != BruteForceRangeIds(elements, box)) {
+      os << "walkthrough step " << step << " disagrees with brute force";
+      return os.str();
+    }
+  }
+  return std::string();
 }
 
 /// Run `n` seeded queries from `options` through `db` (which must have a
@@ -147,6 +228,13 @@ inline DiffOutcome RunDifferential(engine::QueryEngine* db,
         fail(i, os.str());
         break;
       }
+    } else if (query.kind == neuro::QueryKind::kWalkthrough) {
+      ++outcome.walkthroughs;
+      std::string error = ReplayWalkthrough(db, elements, query.path);
+      if (!error.empty()) {
+        fail(i, error);
+        break;
+      }
     } else {
       ++outcome.joins;
       engine::JoinRequest touch;
@@ -176,6 +264,137 @@ inline DiffOutcome RunDifferential(engine::QueryEngine* db,
         break;
       }
     }
+  }
+  return outcome;
+}
+
+/// True when two per-backend statistic rows are byte-identical.
+inline bool SameRow(const engine::RangeRow& a, const engine::RangeRow& b) {
+  return a.method == b.method && a.stats.pages_read == b.stats.pages_read &&
+         a.stats.time_us == b.stats.time_us &&
+         a.stats.results == b.stats.results &&
+         a.stats.elements_scanned == b.stats.elements_scanned &&
+         a.stats.nodes_per_level == b.stats.nodes_per_level;
+}
+
+inline bool SameRows(const std::vector<engine::RangeRow>& a,
+                     const std::vector<engine::RangeRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameRow(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+/// Turn the range/knn queries of a seeded workload into a cold mixed batch
+/// (joins and walkthroughs have no batch form and are skipped). When
+/// `sub_seeds` is given it receives, per batch entry, the originating
+/// query's sub_seed — the minimal-repro handle survives the filtering.
+inline std::vector<engine::QueryRequest> WorkloadToBatch(
+    const std::vector<neuro::WorkloadQuery>& workload,
+    engine::BackendChoice backend,
+    std::vector<uint64_t>* sub_seeds = nullptr) {
+  std::vector<engine::QueryRequest> batch;
+  batch.reserve(workload.size());
+  if (sub_seeds != nullptr) sub_seeds->clear();
+  for (const neuro::WorkloadQuery& query : workload) {
+    if (query.kind == neuro::QueryKind::kRange) {
+      engine::RangeRequest request;
+      request.box = query.box;
+      request.backend = backend;
+      request.cache = engine::CachePolicy::kCold;
+      batch.emplace_back(request);
+    } else if (query.kind == neuro::QueryKind::kKnn) {
+      engine::KnnRequest request;
+      request.point = query.point;
+      request.k = query.k;
+      request.backend = backend;
+      request.cache = engine::CachePolicy::kCold;
+      batch.emplace_back(request);
+    } else {
+      continue;
+    }
+    if (sub_seeds != nullptr) sub_seeds->push_back(query.sub_seed);
+  }
+  return batch;
+}
+
+/// Concurrent-batch parity: run the same seeded workload as one cold batch
+/// through `serial_db` (num_threads == 1) and `parallel_db`
+/// (num_threads > 1) and demand byte-identical per-query reports — same
+/// request order, same rows, same stats, same hits. Cold requests make
+/// every per-query report independent of lane history, so the serial and
+/// lane-partitioned runs must agree exactly.
+inline DiffOutcome RunBatchParity(engine::QueryEngine* serial_db,
+                                  engine::QueryEngine* parallel_db,
+                                  const geom::ElementVec& elements,
+                                  const neuro::MixedWorkloadOptions& options,
+                                  size_t n, uint64_t seed,
+                                  engine::BackendChoice backend =
+                                      engine::BackendChoice::kAll) {
+  DiffOutcome outcome;
+  std::vector<neuro::WorkloadQuery> workload =
+      neuro::MixedWorkload(serial_db->domain(), elements, options, n, seed);
+  std::vector<uint64_t> sub_seeds;
+  std::vector<engine::QueryRequest> batch =
+      WorkloadToBatch(workload, backend, &sub_seeds);
+
+  auto serial = serial_db->ExecuteBatch(std::span<const engine::QueryRequest>(batch));
+  auto parallel =
+      parallel_db->ExecuteBatch(std::span<const engine::QueryRequest>(batch));
+  if (!serial.ok() || !parallel.ok()) {
+    outcome.diverged = true;
+    outcome.detail = "batch failed: " +
+                     (serial.ok() ? parallel.status() : serial.status())
+                         .ToString();
+    return outcome;
+  }
+
+  outcome.queries_run = batch.size();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const engine::QueryReport& s = serial->reports[i];
+    const engine::QueryReport& p = parallel->reports[i];
+    std::ostringstream os;
+    if (s.index() != p.index()) {
+      os << "report kind mismatch at request " << i;
+    } else if (const auto* sr = std::get_if<engine::RangeReport>(&s)) {
+      ++outcome.ranges;
+      const auto& pr = std::get<engine::RangeReport>(p);
+      if (sr->results != pr.results ||
+          sr->results_match != pr.results_match ||
+          !SameRows(sr->rows, pr.rows)) {
+        os << "range report diverges at request " << i << " (serial "
+           << sr->results << " results, parallel " << pr.results << ")";
+      }
+    } else {
+      ++outcome.knns;
+      const auto& sk = std::get<engine::KnnReport>(s);
+      const auto& pk = std::get<engine::KnnReport>(p);
+      if (sk.hits != pk.hits || sk.results_match != pk.results_match ||
+          !SameRows(sk.rows, pk.rows)) {
+        os << "knn report diverges at request " << i << " (serial "
+           << sk.hits.size() << " hits, parallel " << pk.hits.size() << ")";
+      }
+    }
+    std::string detail = os.str();
+    if (!detail.empty()) {
+      outcome.diverged = true;
+      outcome.failing_index = i;
+      outcome.failing_seed = sub_seeds[i];
+      outcome.detail = detail;
+      return outcome;
+    }
+  }
+
+  // Aggregates: totals are sums over requests in both modes, so they must
+  // match exactly too (critical_path_us and lanes legitimately differ).
+  if (serial->aggregate.pages_read != parallel->aggregate.pages_read ||
+      serial->aggregate.results != parallel->aggregate.results ||
+      serial->aggregate.time_us != parallel->aggregate.time_us ||
+      serial->aggregate.pool_hits != parallel->aggregate.pool_hits ||
+      serial->aggregate.pool_misses != parallel->aggregate.pool_misses) {
+    outcome.diverged = true;
+    outcome.detail = "batch aggregates diverge between serial and parallel";
   }
   return outcome;
 }

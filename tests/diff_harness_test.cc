@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <ctime>
 #include <memory>
@@ -21,12 +22,6 @@ namespace {
 
 using geom::Aabb;
 using geom::Vec3;
-
-uint64_t EnvOr(const char* name, uint64_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::strtoull(value, nullptr, 10);
-}
 
 // The workload seed: fixed by default (deterministic CI), overridable via
 // NEURODB_DIFF_SEED, or — for the nightly registration — derived from the
@@ -60,6 +55,9 @@ class DiffHarnessFixture : public ::testing::Test {
     engine::EngineOptions options;
     options.flat.elems_per_page = 64;
     options.grid.elems_per_page = 64;
+    // The nightly registration sets NEURODB_DIFF_THREADS so the same
+    // workload also exercises the worker pool + parallel shard fan-out.
+    options.num_threads = std::max<uint64_t>(1, EnvOr("NEURODB_DIFF_THREADS", 1));
     db_ = std::make_unique<engine::QueryEngine>(options);
     ASSERT_TRUE(db_->LoadCircuit(circuit_).ok());
     elements_ = circuit_.FlattenSegments().Elements();
@@ -86,6 +84,22 @@ TEST_F(DiffHarnessFixture, SeededRangeKnnWorkloadHasNoDivergence) {
   EXPECT_EQ(outcome.queries_run, queries);
   EXPECT_GT(outcome.ranges, 0u);
   EXPECT_GT(outcome.knns, 0u);
+}
+
+// Walkthrough queries replay random-walk paths one Session::Step at a time
+// and cross-check every step against the kAll range path and brute force
+// (ROADMAP PR-2 follow-up: session replay folded into the harness).
+TEST_F(DiffHarnessFixture, SeededWalkthroughWorkloadHasNoDivergence) {
+  neuro::MixedWorkloadOptions options;
+  options.knn_fraction = 0.25;
+  options.walkthrough_fraction = 0.25;
+  options.walk_steps = 5;
+
+  DiffOutcome outcome = RunDifferential(db_.get(), elements_, options, 60,
+                                        EnvOr("NEURODB_DIFF_SEED", 20260730));
+  EXPECT_FALSE(outcome.diverged) << outcome.Summary();
+  EXPECT_GT(outcome.walkthroughs, 0u);
+  EXPECT_GT(outcome.ranges, 0u);
 }
 
 // Join queries cross-check TOUCH against the independent plane-sweep
@@ -130,7 +144,7 @@ class LossyBackend : public engine::GridBackend {
  public:
   const char* name() const override { return "Lossy"; }
 
-  Status RangeQuery(const Aabb& box, storage::BufferPool* pool,
+  Status RangeQuery(const Aabb& box, storage::PoolSet* pools,
                     geom::ResultVisitor& visitor,
                     engine::RangeStats* stats) const override {
     struct DropFirst : geom::ResultVisitor {
@@ -146,7 +160,7 @@ class LossyBackend : public engine::GridBackend {
     };
     DropFirst drop;
     drop.inner = &visitor;
-    return GridBackend::RangeQuery(box, pool, drop, stats);
+    return GridBackend::RangeQuery(box, pools, drop, stats);
   }
 };
 

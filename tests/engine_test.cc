@@ -75,14 +75,15 @@ TEST(BackendParityTest, FlatAndRTreeAgreeOnRandomWorkloads) {
     queries.insert(queries.end(), uniform.begin(), uniform.end());
 
     for (const Aabb& box : queries) {
-      storage::BufferPool flat_pool(flat.store(), 4096);
-      storage::BufferPool rtree_pool(rtree.store(), 4096);
+      storage::PoolSet flat_pools = flat.MakePoolSet(4096);
+      storage::PoolSet rtree_pools = rtree.MakePoolSet(4096);
       CollectingVisitor flat_out;
       CollectingVisitor rtree_out;
       RangeStats flat_stats, rtree_stats;
-      ASSERT_TRUE(flat.RangeQuery(box, &flat_pool, flat_out, &flat_stats).ok());
       ASSERT_TRUE(
-          rtree.RangeQuery(box, &rtree_pool, rtree_out, &rtree_stats).ok());
+          flat.RangeQuery(box, &flat_pools, flat_out, &flat_stats).ok());
+      ASSERT_TRUE(
+          rtree.RangeQuery(box, &rtree_pools, rtree_out, &rtree_stats).ok());
       EXPECT_EQ(SortedIds(flat_out), SortedIds(rtree_out))
           << "seed " << seed << " box " << box;
       EXPECT_EQ(flat_stats.results, flat_out.size());
@@ -101,12 +102,14 @@ TEST_F(EngineFixture, KAllCrossChecksBackends) {
     auto report = db_->Execute(request);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report->results_match);
-    ASSERT_EQ(report->rows.size(), 3u);
+    ASSERT_EQ(report->rows.size(), 4u);
     EXPECT_EQ(report->rows[0].method, "FLAT");
     EXPECT_EQ(report->rows[1].method, "R-Tree");
     EXPECT_EQ(report->rows[2].method, "Grid");
-    EXPECT_EQ(report->rows[0].stats.results, report->rows[1].stats.results);
-    EXPECT_EQ(report->rows[0].stats.results, report->rows[2].stats.results);
+    EXPECT_EQ(report->rows[3].method, "Sharded");
+    for (size_t i = 1; i < report->rows.size(); ++i) {
+      EXPECT_EQ(report->rows[0].stats.results, report->rows[i].stats.results);
+    }
     EXPECT_GT(report->results, 0u);
   }
 }
@@ -462,6 +465,16 @@ TEST(EngineValidationTest, RejectsZeroPoolPages) {
   session_options.session.pool_pages = 0;
   QueryEngine db2(session_options);
   EXPECT_TRUE(db2.LoadCircuit(MakeCircuit(5, 1)).IsInvalidArgument());
+
+  EngineOptions thread_options;
+  thread_options.num_threads = 0;
+  QueryEngine db3(thread_options);
+  EXPECT_TRUE(db3.LoadCircuit(MakeCircuit(5, 1)).IsInvalidArgument());
+
+  EngineOptions shard_options;
+  shard_options.sharded.num_shards = 0;
+  QueryEngine db4(shard_options);
+  EXPECT_TRUE(db4.LoadCircuit(MakeCircuit(5, 1)).IsInvalidArgument());
 }
 
 TEST(EngineValidationTest, RejectsEmptyCircuitAndDoubleLoad) {
@@ -541,7 +554,7 @@ TEST(EngineValidationTest, RegisterBackendRules) {
 }
 
 TEST_F(EngineFixture, BackendStatsReportFootprint) {
-  ASSERT_EQ(db_->NumBackends(), 3u);
+  ASSERT_EQ(db_->NumBackends(), 4u);
   for (size_t i = 0; i < db_->NumBackends(); ++i) {
     BackendStats stats = db_->backend(i).Stats();
     EXPECT_GT(stats.index_pages, 0u) << db_->backend(i).name();

@@ -69,8 +69,8 @@ TEST_F(KnnFixture, AllBackendsMatchBruteForceOnRandomCircuits) {
     for (size_t k : {1u, 7u, 64u}) {
       std::vector<KnnHit> truth = geom::BruteForceKnn(elements_, p, k);
       for (BackendChoice choice :
-           {BackendChoice::kFlat, BackendChoice::kRTree,
-            BackendChoice::kGrid}) {
+           {BackendChoice::kFlat, BackendChoice::kRTree, BackendChoice::kGrid,
+            BackendChoice::kSharded}) {
         KnnRequest request;
         request.point = p;
         request.k = k;
@@ -86,7 +86,7 @@ TEST_F(KnnFixture, AllBackendsMatchBruteForceOnRandomCircuits) {
   }
 }
 
-TEST_F(KnnFixture, KAllCrossChecksThreeBackends) {
+TEST_F(KnnFixture, KAllCrossChecksAllBackends) {
   auto uniform = neuro::UniformQueries(db_->domain(), 1.0f, 8, 23);
   for (const Aabb& box : uniform) {
     KnnRequest request;
@@ -95,10 +95,11 @@ TEST_F(KnnFixture, KAllCrossChecksThreeBackends) {
     request.backend = BackendChoice::kAll;
     auto report = db_->Execute(request);
     ASSERT_TRUE(report.ok());
-    ASSERT_EQ(report->rows.size(), 3u);
+    ASSERT_EQ(report->rows.size(), 4u);
     EXPECT_EQ(report->rows[0].method, "FLAT");
     EXPECT_EQ(report->rows[1].method, "R-Tree");
     EXPECT_EQ(report->rows[2].method, "Grid");
+    EXPECT_EQ(report->rows[3].method, "Sharded");
     EXPECT_TRUE(report->results_match);
     EXPECT_EQ(report->hits.size(), 12u);
     // Ascending under the shared (distance, id) order.
@@ -130,18 +131,20 @@ TEST(KnnTieBreakTest, EqualDistancesResolveByAscendingId) {
   FlatBackend flat;
   PagedRTreeBackend rtree;
   GridBackend grid;
+  ShardedBackend sharded;
   ASSERT_TRUE(flat.Build(elements).ok());
   ASSERT_TRUE(rtree.Build(elements).ok());
   ASSERT_TRUE(grid.Build(elements).ok());
+  ASSERT_TRUE(sharded.Build(elements).ok());
 
-  std::vector<SpatialBackend*> backends = {&flat, &rtree, &grid};
+  std::vector<SpatialBackend*> backends = {&flat, &rtree, &grid, &sharded};
   for (size_t k : {1u, 4u, 6u, 8u}) {
     std::vector<KnnHit> truth = geom::BruteForceKnn(elements, Vec3(0, 0, 0), k);
     for (SpatialBackend* backend : backends) {
-      storage::BufferPool pool(backend->store(), 64);
+      storage::PoolSet pools = backend->MakePoolSet(64);
       std::vector<KnnHit> hits;
       ASSERT_TRUE(
-          backend->KnnQuery(Vec3(0, 0, 0), k, &pool, &hits).ok());
+          backend->KnnQuery(Vec3(0, 0, 0), k, &pools, &hits).ok());
       ASSERT_EQ(hits.size(), std::min(k, elements.size()))
           << backend->name();
       EXPECT_EQ(hits, truth) << backend->name() << " k=" << k;
@@ -152,6 +155,63 @@ TEST(KnnTieBreakTest, EqualDistancesResolveByAscendingId) {
       }
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Grid ring search vs the exhaustive-scan oracle
+// --------------------------------------------------------------------------
+
+TEST_F(KnnFixture, GridRingSearchMatchesScanOracle) {
+  GridBackend* grid = db_->grid_backend();
+  std::vector<Vec3> points;
+  auto anchors = neuro::DataCenteredQueries(elements_, 1.0f, 8, 51);
+  for (const Aabb& box : anchors) points.push_back(box.Center());
+  auto uniform = neuro::UniformQueries(db_->domain(), 1.0f, 8, 52);
+  for (const Aabb& box : uniform) points.push_back(box.Center());
+  points.push_back(db_->domain().min - Vec3(300, 10, 40));  // outside
+  points.push_back(db_->domain().max + Vec3(5, 700, 0));
+
+  for (const Vec3& p : points) {
+    for (size_t k : {1u, 9u, 100u}) {
+      storage::PoolSet ring_pools = grid->MakePoolSet(4096);
+      storage::PoolSet scan_pools = grid->MakePoolSet(4096);
+      std::vector<KnnHit> ring, scan;
+      RangeStats ring_stats, scan_stats;
+      ASSERT_TRUE(
+          grid->KnnQuery(p, k, &ring_pools, &ring, &ring_stats).ok());
+      ASSERT_TRUE(
+          grid->KnnScanQuery(p, k, &scan_pools, &scan, &scan_stats).ok());
+      EXPECT_EQ(ring, scan) << "k=" << k << " at (" << p.x << ", " << p.y
+                            << ", " << p.z << ")";
+      // The ring search must never do more work than the full scan.
+      EXPECT_LE(ring_stats.pages_read, scan_stats.pages_read);
+      EXPECT_LE(ring_stats.elements_scanned, scan_stats.elements_scanned);
+    }
+  }
+}
+
+TEST_F(KnnFixture, GridRingSearchPrunesOnSmallK) {
+  // For k == 1 on a data-centered point the ring search should terminate
+  // after a handful of rings, well short of the whole grid.
+  GridBackend* grid = db_->grid_backend();
+  ASSERT_GT(grid->NumCells(), 8u);  // resolution high enough to prune
+  uint64_t ring_total = 0, scan_total = 0;
+  auto anchors = neuro::DataCenteredQueries(elements_, 1.0f, 10, 53);
+  for (const Aabb& box : anchors) {
+    storage::PoolSet ring_pools = grid->MakePoolSet(4096);
+    storage::PoolSet scan_pools = grid->MakePoolSet(4096);
+    std::vector<KnnHit> hits;
+    RangeStats ring_stats, scan_stats;
+    ASSERT_TRUE(grid->KnnQuery(box.Center(), 1, &ring_pools, &hits,
+                               &ring_stats)
+                    .ok());
+    ASSERT_TRUE(grid->KnnScanQuery(box.Center(), 1, &scan_pools, &hits,
+                                   &scan_stats)
+                    .ok());
+    ring_total += ring_stats.elements_scanned;
+    scan_total += scan_stats.elements_scanned;
+  }
+  EXPECT_LT(ring_total, scan_total);
 }
 
 // --------------------------------------------------------------------------
@@ -226,23 +286,23 @@ TEST_F(KnnFixture, SessionPropagatesDegenerateKnnStatus) {
 TEST_F(KnnFixture, BackendLevelDegenerateInputs) {
   for (size_t i = 0; i < db_->NumBackends(); ++i) {
     const SpatialBackend& backend = db_->backend(i);
-    storage::BufferPool pool(
-        const_cast<SpatialBackend&>(backend).store(), 64);
+    storage::PoolSet pools =
+        const_cast<SpatialBackend&>(backend).MakePoolSet(64);
     std::vector<KnnHit> hits{{7, 7.0}};
     // k == 0 is a valid (empty) index-level answer; the engine boundary is
     // what rejects it. The output vector must still be cleared.
     EXPECT_TRUE(
-        backend.KnnQuery(Vec3(0, 0, 0), 0, &pool, &hits).ok())
+        backend.KnnQuery(Vec3(0, 0, 0), 0, &pools, &hits).ok())
         << backend.name();
     EXPECT_TRUE(hits.empty()) << backend.name();
-    // Null pool / non-finite points are errors everywhere.
+    // Null pool set / non-finite points are errors everywhere.
     EXPECT_TRUE(backend.KnnQuery(Vec3(0, 0, 0), 1, nullptr, &hits)
                     .IsInvalidArgument())
         << backend.name();
     EXPECT_TRUE(
         backend
             .KnnQuery(Vec3(std::numeric_limits<float>::quiet_NaN(), 0, 0), 1,
-                      &pool, &hits)
+                      &pools, &hits)
             .IsInvalidArgument())
         << backend.name();
   }

@@ -56,8 +56,8 @@ TEST(PageStoreTest, StatsCountRawIo) {
   ASSERT_TRUE(store.Write(id, MakeElements(1)).ok());
   ASSERT_TRUE(store.Read(id).ok());
   ASSERT_TRUE(store.Read(id).ok());
-  EXPECT_EQ(store.stats().Get("store.writes"), 1u);
-  EXPECT_EQ(store.stats().Get("store.reads"), 2u);
+  EXPECT_EQ(store.NumWrites(), 1u);
+  EXPECT_EQ(store.NumReads(), 2u);
 }
 
 TEST(PageStoreTest, TotalBytesReflectsContents) {
