@@ -1,0 +1,110 @@
+// NeuroDB — ResultCache: semantic caching of evaluated range queries.
+//
+// Interactive exploration is dominated by *overlap*: consecutive
+// walkthrough boxes share most of their volume, and SCOUT predicts where
+// the next box lands. A ResultCache keeps the last K evaluated boxes with
+// their exact, id-ordered result sets; DeltaPlanner (delta_planner.h) then
+// decomposes a new box into a covered fragment answered from the cache and
+// at most six residual boxes answered by the backend. Because every cached
+// entry is the complete answer for its coverage AABB, an element
+// intersecting the covered fragment is guaranteed to be in the entry — the
+// delta answer is exact, not approximate (cf. incremental query answering
+// under updates, PAPERS.md).
+//
+// The cache is a pure geometry/value structure: it knows nothing about
+// backends, pools or clocks, so one implementation serves the engine's
+// warm/batch path, the per-lane batch caches and the exploration sessions.
+
+#ifndef NEURODB_CACHE_RESULT_CACHE_H_
+#define NEURODB_CACHE_RESULT_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "geom/aabb.h"
+#include "geom/element.h"
+
+namespace neurodb {
+namespace cache {
+
+/// Sort elements ascending by id — the one ordering every cached result
+/// set and delta-merged answer uses.
+inline void SortById(geom::ElementVec* elements) {
+  std::sort(elements->begin(), elements->end(),
+            [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
+              return a.id < b.id;
+            });
+}
+
+/// Cache lifecycle counters.
+struct CacheStats {
+  uint64_t lookups = 0;
+  /// Lookups that found an overlapping entry.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  /// Entries dropped by capacity or subsumption.
+  uint64_t evictions = 0;
+};
+
+/// One cached evaluated box: its coverage AABB and the exact result set,
+/// ascending by element id.
+struct CachedResult {
+  geom::Aabb box;
+  geom::ElementVec results;
+};
+
+/// FIFO cache of the last `capacity` evaluated boxes. Insertion drops
+/// entries the new box subsumes; inserting a box an existing entry already
+/// covers refreshes that entry instead of duplicating it.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity_boxes = 8)
+      : capacity_(capacity_boxes) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  bool enabled() const { return capacity_ > 0; }
+
+  const CachedResult& entry(size_t i) const { return entries_[i]; }
+
+  /// Remember `results` (must be the complete answer for `box`, sorted
+  /// ascending by id) as the newest entry. No-op when capacity is 0.
+  void Insert(const geom::Aabb& box, geom::ElementVec results);
+
+  /// True when an existing entry's coverage box contains `box` — an
+  /// insert for `box` would add nothing, so callers can skip computing
+  /// the results at all (think-time prepopulation of a repeating path).
+  bool Covers(const geom::Aabb& box) const {
+    for (const CachedResult& entry : entries_) {
+      if (entry.box.Contains(box)) return true;
+    }
+    return false;
+  }
+
+  /// Index of the entry whose intersection with `box` has the largest
+  /// volume (ties: the most recent entry), provided that volume is
+  /// positive and covers at least `min_covered_fraction` of the box —
+  /// overlaps below the threshold are misses, so the hit/miss statistics
+  /// report coverage that was actually worth serving. Counts one lookup
+  /// and a hit or a miss.
+  std::optional<size_t> BestOverlap(const geom::Aabb& box,
+                                    double min_covered_fraction = 0.0);
+
+  void Clear();
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  size_t capacity_;
+  /// Oldest first; back is the newest.
+  std::deque<CachedResult> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace cache
+}  // namespace neurodb
+
+#endif  // NEURODB_CACHE_RESULT_CACHE_H_

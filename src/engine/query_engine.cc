@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/delta_planner.h"
 #include "exec/parallel_executor.h"
 
 namespace neurodb {
@@ -97,14 +98,19 @@ Status QueryEngine::LoadCircuit(const neuro::Circuit& circuit) {
     sharded_->set_thread_pool(thread_pool_.get());
   }
 
-  // Persistent pools for the warm path, one pool set per backend.
-  warm_clock_ = std::make_unique<SimClock>();
-  warm_pools_.reserve(backends_.size());
-  for (auto& backend : backends_) {
-    warm_pools_.push_back(std::make_unique<storage::PoolSet>(
-        backend->Stores(), options_.pool_pages, warm_clock_.get(),
-        options_.cost));
-  }
+  // Persistent warm-path state: the pool manager owns one named pool set
+  // per backend (created eagerly so the sharded backend's per-shard pools
+  // exist from the first query) and the result cache serves kDelta. The
+  // cache requires the exact FLAT configuration: with rescue=false a
+  // kFlat delta answer could be incomplete, and one such insert would
+  // poison delta answers for every backend (the cache is
+  // backend-agnostic) — so the approximate configuration disables it,
+  // exactly as Session::Open does for session caches.
+  pool_manager_ = std::make_unique<storage::PoolManager>(options_.pool_pages,
+                                                         options_.cost);
+  warm_pools_ = BackendPools(pool_manager_.get());
+  result_cache_ = std::make_unique<cache::ResultCache>(
+      EffectiveResultCacheBoxes());
 
   loaded_ = true;
   return Status::OK();
@@ -147,6 +153,10 @@ scout::SessionOptions QueryEngine::EffectiveSessionOptions() const {
   return session_options;
 }
 
+size_t QueryEngine::EffectiveResultCacheBoxes() const {
+  return options_.flat.rescue ? options_.result_cache_boxes : 0;
+}
+
 Status QueryEngine::ValidateRequest(const RangeRequest& request,
                                     const char* op) const {
   if (!request.box.IsValid()) {
@@ -169,13 +179,12 @@ Status QueryEngine::ValidateRequest(const KnnRequest& request,
   return Status::OK();
 }
 
-std::vector<std::unique_ptr<storage::PoolSet>> QueryEngine::MakePools(
-    SimClock* clock) const {
-  std::vector<std::unique_ptr<storage::PoolSet>> pools;
+std::vector<storage::PoolSet*> QueryEngine::BackendPools(
+    storage::PoolManager* manager) const {
+  std::vector<storage::PoolSet*> pools;
   pools.reserve(backends_.size());
   for (const auto& backend : backends_) {
-    pools.push_back(std::make_unique<storage::PoolSet>(
-        backend->Stores(), options_.pool_pages, clock, options_.cost));
+    pools.push_back(manager->GetOrCreate(backend->name(), backend->Stores()));
   }
   return pools;
 }
@@ -269,26 +278,86 @@ Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
   return Status::OK();
 }
 
+const SpatialBackend* QueryEngine::DeltaBackend(
+    const RangeRequest& request, const cache::ResultCache* cache) const {
+  if (request.cache != CachePolicy::kDelta || cache == nullptr ||
+      !cache->enabled()) {
+    return nullptr;
+  }
+  std::vector<const SpatialBackend*> selected = Select(request.backend);
+  return selected.size() == 1 ? selected[0] : nullptr;
+}
+
+Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
+                                   const SpatialBackend* backend,
+                                   ResultVisitor* visitor,
+                                   const std::vector<storage::PoolSet*>& pools,
+                                   SimClock* clock, cache::ResultCache* cache,
+                                   RangeReport* report) const {
+  storage::PoolSet* pool = PoolFor(backend, pools);
+
+  RangeRow row;
+  row.method = backend->name();
+  uint64_t t0 = clock->NowMicros();
+
+  cache::DeltaPlan plan;
+  NEURODB_ASSIGN_OR_RETURN(
+      geom::ElementVec merged,
+      cache::DeltaPlanner::Answer(
+          *cache, request.box,
+          [&](const Aabb& residual, CollectingVisitor* out) {
+            RangeStats residual_stats;
+            NEURODB_RETURN_NOT_OK(
+                backend->RangeQuery(residual, pool, *out, &residual_stats));
+            row.stats.pages_read += residual_stats.pages_read;
+            row.stats.elements_scanned += residual_stats.elements_scanned;
+            return Status::OK();
+          },
+          &plan));
+
+  if (visitor != nullptr) {
+    for (const geom::SpatialElement& e : merged) {
+      visitor->Visit(e.id, e.bounds);
+    }
+  }
+
+  row.stats.results = merged.size();
+  row.stats.time_us = clock->NowMicros() - t0;
+  report->rows.push_back(std::move(row));
+  report->results = merged.size();
+  report->results_match = true;
+  report->cache_hit_fraction = plan.covered_fraction;
+  report->delta_volume_fraction = plan.residual_fraction;
+
+  cache->Insert(request.box, std::move(merged));
+  return Status::OK();
+}
+
 Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
                                          ResultVisitor& visitor) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
   NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
 
   RangeReport report;
-  if (request.cache == CachePolicy::kWarm) {
-    std::vector<storage::PoolSet*> pools;
-    for (auto& pool : warm_pools_) pools.push_back(pool.get());
-    NEURODB_RETURN_NOT_OK(
-        ExecuteOn(request, &visitor, pools, warm_clock_.get(), &report));
+  if (request.cache != CachePolicy::kCold) {
+    if (const SpatialBackend* backend =
+            DeltaBackend(request, result_cache_.get())) {
+      NEURODB_RETURN_NOT_OK(ExecuteDeltaOn(request, backend, &visitor,
+                                           warm_pools_,
+                                           pool_manager_->clock(),
+                                           result_cache_.get(), &report));
+      return report;
+    }
+    NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, warm_pools_,
+                                    pool_manager_->clock(), &report));
     return report;
   }
 
   // Cold: a fresh pool per backend, as the paper's per-query cost model.
-  SimClock clock;
-  std::vector<std::unique_ptr<storage::PoolSet>> owned = MakePools(&clock);
-  std::vector<storage::PoolSet*> pools;
-  for (auto& pool : owned) pools.push_back(pool.get());
-  NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, pools, &clock, &report));
+  storage::PoolManager local(options_.pool_pages, options_.cost);
+  std::vector<storage::PoolSet*> pools = BackendPools(&local);
+  NEURODB_RETURN_NOT_OK(
+      ExecuteOn(request, &visitor, pools, local.clock(), &report));
   return report;
 }
 
@@ -302,37 +371,46 @@ Result<KnnReport> QueryEngine::Execute(const KnnRequest& request) {
   NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
 
   KnnReport report;
-  if (request.cache == CachePolicy::kWarm) {
-    std::vector<storage::PoolSet*> pools;
-    for (auto& pool : warm_pools_) pools.push_back(pool.get());
+  if (request.cache != CachePolicy::kCold) {
     NEURODB_RETURN_NOT_OK(
-        ExecuteKnnOn(request, pools, warm_clock_.get(), &report));
+        ExecuteKnnOn(request, warm_pools_, pool_manager_->clock(), &report));
     return report;
   }
 
-  SimClock clock;
-  std::vector<std::unique_ptr<storage::PoolSet>> owned = MakePools(&clock);
-  std::vector<storage::PoolSet*> pools;
-  for (auto& pool : owned) pools.push_back(pool.get());
-  NEURODB_RETURN_NOT_OK(ExecuteKnnOn(request, pools, &clock, &report));
+  storage::PoolManager local(options_.pool_pages, options_.cost);
+  std::vector<storage::PoolSet*> pools = BackendPools(&local);
+  NEURODB_RETURN_NOT_OK(ExecuteKnnOn(request, pools, local.clock(), &report));
   return report;
 }
 
 Status QueryEngine::ExecuteBatchSlice(
     std::span<const QueryRequest> requests, size_t begin, size_t end,
-    const std::vector<storage::PoolSet*>& pools, SimClock* clock,
+    storage::PoolManager* manager, const std::vector<storage::PoolSet*>& pools,
+    SimClock* clock, cache::ResultCache* cache,
     std::vector<QueryReport>* reports, BatchStats* stats) const {
   for (size_t i = begin; i < end; ++i) {
     const QueryRequest& request = requests[i];
-    CachePolicy cache =
+    CachePolicy policy =
         std::visit([](const auto& r) { return r.cache; }, request);
-    if (cache == CachePolicy::kCold) {
-      for (storage::PoolSet* pool : pools) pool->EvictAll();
+    if (policy == CachePolicy::kCold) {
+      // Through the manager, not the raw pools: its eviction statistics
+      // must account for the cold reset of the (persistent) warm state.
+      manager->EvictAll();
+      if (cache != nullptr) cache->Clear();
     }
 
     if (const auto* range = std::get_if<RangeRequest>(&request)) {
       RangeReport report;
-      NEURODB_RETURN_NOT_OK(ExecuteOn(*range, nullptr, pools, clock, &report));
+      if (const SpatialBackend* backend = DeltaBackend(*range, cache)) {
+        NEURODB_RETURN_NOT_OK(ExecuteDeltaOn(*range, backend, nullptr, pools,
+                                             clock, cache, &report));
+        ++stats->delta_requests;
+        stats->cache_hit_fraction += report.cache_hit_fraction;
+        stats->delta_volume_fraction += report.delta_volume_fraction;
+      } else {
+        NEURODB_RETURN_NOT_OK(
+            ExecuteOn(*range, nullptr, pools, clock, &report));
+      }
       for (const RangeRow& row : report.rows) {
         stats->pages_read += row.stats.pages_read;
       }
@@ -365,45 +443,62 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
   out.reports.resize(requests.size());
   out.aggregate.queries = requests.size();
 
+  // Sum → mean for the delta coverage fractions once a batch is assembled.
+  auto normalize_delta = [](BatchStats* stats) {
+    if (stats->delta_requests == 0) return;
+    double n = static_cast<double>(stats->delta_requests);
+    stats->cache_hit_fraction /= n;
+    stats->delta_volume_fraction /= n;
+  };
+
   const bool parallel = thread_pool_ != nullptr && options_.num_threads > 1 &&
                         requests.size() > 1;
   if (!parallel) {
-    // Serial: pools shared across the whole batch; one clock spans it.
-    SimClock clock;
-    std::vector<std::unique_ptr<storage::PoolSet>> owned = MakePools(&clock);
-    std::vector<storage::PoolSet*> pools;
-    for (auto& pool : owned) pools.push_back(pool.get());
-    NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(requests, 0, requests.size(),
-                                            pools, &clock, &out.reports,
-                                            &out.aggregate));
-    out.aggregate.time_us = clock.NowMicros();
+    // Serial: the batch runs over the engine's *persistent* pools and
+    // result cache — warm state survives across batches (kCold requests
+    // still evict before executing). Counters and time are reported as
+    // deltas over the batch, so the aggregate describes this batch alone.
+    const std::vector<storage::PoolSet*>& pools = warm_pools_;
+    SimClock* clock = pool_manager_->clock();
+    uint64_t t0 = clock->NowMicros();
+    uint64_t hits0 = 0, misses0 = 0;
+    for (storage::PoolSet* pool : pools) {
+      hits0 += pool->TotalTicker("pool.hits");
+      misses0 += pool->TotalTicker("pool.misses");
+    }
+    NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(
+        requests, 0, requests.size(), pool_manager_.get(), pools, clock,
+        result_cache_.get(), &out.reports, &out.aggregate));
+    out.aggregate.time_us = clock->NowMicros() - t0;
     out.aggregate.critical_path_us = out.aggregate.time_us;
     out.aggregate.lanes = 1;
     for (storage::PoolSet* pool : pools) {
       out.aggregate.pool_hits += pool->TotalTicker("pool.hits");
       out.aggregate.pool_misses += pool->TotalTicker("pool.misses");
     }
+    out.aggregate.pool_hits -= hits0;
+    out.aggregate.pool_misses -= misses0;
+    normalize_delta(&out.aggregate);
     return out;
   }
 
-  // Parallel: contiguous request lanes, one pool family and clock per lane.
-  // Lane-local counters merge in lane order, so the output is independent
-  // of worker scheduling; reports land in their request slot directly.
+  // Parallel: contiguous request lanes, one PoolManager (pool family +
+  // clock) and one private result cache per lane. Lane-local counters
+  // merge in lane order, so the output is independent of worker
+  // scheduling; reports land in their request slot directly.
   std::vector<exec::LaneRange> lanes =
       exec::PartitionLanes(requests.size(), options_.num_threads);
   std::vector<BatchStats> lane_stats(lanes.size());
   exec::ParallelExecutor executor(thread_pool_.get());
   Status status = executor.Run(lanes, [&](const exec::LaneRange& lane) {
-    SimClock lane_clock;
-    std::vector<std::unique_ptr<storage::PoolSet>> owned =
-        MakePools(&lane_clock);
-    std::vector<storage::PoolSet*> pools;
-    for (auto& pool : owned) pools.push_back(pool.get());
+    storage::PoolManager lane_manager(options_.pool_pages, options_.cost);
+    std::vector<storage::PoolSet*> pools = BackendPools(&lane_manager);
+    cache::ResultCache lane_cache(EffectiveResultCacheBoxes());
     BatchStats& local = lane_stats[lane.lane];
-    NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(requests, lane.begin, lane.end,
-                                            pools, &lane_clock, &out.reports,
-                                            &local));
-    local.time_us = lane_clock.NowMicros();
+    NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(
+        requests, lane.begin, lane.end, &lane_manager, pools,
+        lane_manager.clock(), &lane_cache, &out.reports, &local));
+    local.time_us = lane_manager.clock()->NowMicros();
     for (storage::PoolSet* pool : pools) {
       local.pool_hits += pool->TotalTicker("pool.hits");
       local.pool_misses += pool->TotalTicker("pool.misses");
@@ -421,7 +516,11 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
         std::max(out.aggregate.critical_path_us, local.time_us);
     out.aggregate.pool_hits += local.pool_hits;
     out.aggregate.pool_misses += local.pool_misses;
+    out.aggregate.delta_requests += local.delta_requests;
+    out.aggregate.cache_hit_fraction += local.cache_hit_fraction;
+    out.aggregate.delta_volume_fraction += local.delta_volume_fraction;
   }
+  normalize_delta(&out.aggregate);
   return out;
 }
 
@@ -441,7 +540,8 @@ Result<BatchResult> QueryEngine::ExecuteBatch(
 
 Result<scout::SessionResult> QueryEngine::Execute(
     const WalkthroughRequest& request) {
-  NEURODB_ASSIGN_OR_RETURN(Session session, OpenSession(request.method));
+  NEURODB_ASSIGN_OR_RETURN(Session session,
+                           OpenSession(request.method, request.cache));
   for (const Aabb& query : request.queries) {
     NEURODB_RETURN_NOT_OK(session.Step(query).status());
   }
@@ -454,10 +554,22 @@ Result<touch::JoinResult> QueryEngine::Execute(const JoinRequest& request) {
   return touch::RunJoin(request.method, axons_, dendrites_, request.options);
 }
 
-Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method) {
+Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method,
+                                         CachePolicy cache) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("OpenSession"));
+  scout::SessionOptions session_options = EffectiveSessionOptions();
+  // The policy argument governs, both ways: kCold must yield a genuinely
+  // cold session (the harness's cold baselines depend on it) even when the
+  // engine-wide session options enable caching — and result_cache_boxes
+  // == 0 is the engine-wide kill switch, covering sessions too. Callers
+  // who want the raw SessionOptions knobs use Session::Open directly.
+  session_options.cache_results =
+      cache != CachePolicy::kCold && EffectiveResultCacheBoxes() > 0;
+  if (session_options.cache_results) {
+    session_options.result_cache_boxes = options_.result_cache_boxes;
+  }
   return Session::Open(&flat_->index(), flat_->store(), &resolver_, method,
-                       EffectiveSessionOptions());
+                       session_options);
 }
 
 }  // namespace engine

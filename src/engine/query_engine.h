@@ -38,6 +38,7 @@
 #include <variant>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "common/result.h"
 #include "engine/backend.h"
 #include "engine/flat_backend.h"
@@ -50,6 +51,7 @@
 #include "neuro/circuit.h"
 #include "scout/session.h"
 #include "storage/page.h"
+#include "storage/pool_manager.h"
 #include "storage/pool_set.h"
 #include "touch/spatial_join.h"
 
@@ -72,6 +74,13 @@ struct EngineOptions {
   /// shard fan-out. 1 (the default) keeps every path serial; > 1 starts an
   /// exec::ThreadPool at LoadCircuit.
   size_t num_threads = 1;
+  /// Evaluated boxes the engine-level result cache keeps for
+  /// CachePolicy::kDelta requests (and each batch lane's private cache).
+  /// 0 is the engine-wide kill switch: kDelta behaves like kWarm and
+  /// OpenSession/WalkthroughRequest hand out uncached sessions even for
+  /// kWarm/kDelta. (Sessions opened via Session::Open directly size their
+  /// cache from scout::SessionOptions::result_cache_boxes instead.)
+  size_t result_cache_boxes = 8;
   storage::DiskCostModel cost;
   /// Exploration session tuning (pool, think time, SCOUT knobs).
   scout::SessionOptions session;
@@ -90,12 +99,26 @@ enum class BackendChoice {
   kAll,
 };
 
-/// Buffer pool state a range request runs against.
+/// Buffer pool (and result cache) state a request runs against.
 enum class CachePolicy {
   /// A fresh (empty) pool per backend — the paper's per-query cost model.
+  /// Via Execute this uses throwaway local pools and leaves the engine's
+  /// persistent warm state untouched; *inside a serial batch* a kCold
+  /// request instead evicts the shared (persistent) pools and clears the
+  /// result cache before running — the batch's pools are the warm pools,
+  /// so cold-in-batch deliberately resets the warm state.
   kCold,
-  /// The engine's persistent pools, warmed by previous warm queries.
+  /// The engine's persistent pools (storage::PoolManager), warmed by
+  /// previous warm/delta queries and surviving across ExecuteBatch calls
+  /// on the serial path.
   kWarm,
+  /// kWarm, plus semantic result caching: a single-backend range request
+  /// is decomposed against the engine's cache::ResultCache — the covered
+  /// fragment answered from cached results, only the residual boxes
+  /// executed — and its full result set is cached for the next request.
+  /// Multi-backend (kAll) requests and kNN requests fall back to kWarm.
+  /// In a session, kDelta and kWarm both enable the session result cache.
+  kDelta,
 };
 
 /// A typed range query.
@@ -120,6 +143,11 @@ struct RangeReport {
   bool results_match = true;
   /// Result cardinality (identical across backends when results_match).
   uint64_t results = 0;
+  /// CachePolicy::kDelta only: fraction of the query volume answered from
+  /// the result cache, and the fraction the backend still executed.
+  /// Non-delta requests report 0 / 1.
+  double cache_hit_fraction = 0.0;
+  double delta_volume_fraction = 1.0;
 };
 
 /// A typed k-nearest-neighbour query. Answers use the library-wide
@@ -147,6 +175,9 @@ struct KnnReport {
 struct WalkthroughRequest {
   std::vector<geom::Aabb> queries;
   scout::PrefetchMethod method = scout::PrefetchMethod::kNone;
+  /// kWarm/kDelta route every step through the session result cache and
+  /// the delta planner; kCold (the default) re-executes each box in full.
+  CachePolicy cache = CachePolicy::kCold;
 };
 
 /// A spatial distance join of the loaded axons against dendrites.
@@ -172,6 +203,12 @@ struct BatchStats {
   uint64_t results = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Requests answered through the result-cache delta planner.
+  uint64_t delta_requests = 0;
+  /// Mean covered / residual volume fraction over those requests (0 / 0
+  /// when the batch had none).
+  double cache_hit_fraction = 0.0;
+  double delta_volume_fraction = 0.0;
 };
 
 /// Per-request reports plus the aggregate.
@@ -247,9 +284,13 @@ class QueryEngine {
 
   /// Open an incremental exploration session (Session::Step per query).
   /// The session borrows the engine's FLAT index, page store and resolver:
-  /// the engine must outlive every Session it hands out.
+  /// the engine must outlive every Session it hands out. `cache` kWarm or
+  /// kDelta gives the session a result cache: overlapping steps are
+  /// answered by delta decomposition and the prefetcher's predicted next
+  /// box is evaluated into the cache during think time.
   Result<Session> OpenSession(
-      scout::PrefetchMethod method = scout::PrefetchMethod::kScout);
+      scout::PrefetchMethod method = scout::PrefetchMethod::kScout,
+      CachePolicy cache = CachePolicy::kCold);
 
   // Introspection.
   const geom::Aabb& domain() const { return domain_; }
@@ -274,12 +315,28 @@ class QueryEngine {
   /// The worker pool (null until LoadCircuit with num_threads > 1).
   exec::ThreadPool* thread_pool() { return thread_pool_.get(); }
 
+  /// The persistent warm-path pool manager (null until LoadCircuit): one
+  /// named PoolSet per backend — including the sharded backend's per-shard
+  /// pools — surviving across Execute and serial ExecuteBatch calls, with
+  /// aggregate hit/miss/eviction statistics.
+  storage::PoolManager* pool_manager() { return pool_manager_.get(); }
+
+  /// The engine-level result cache serving CachePolicy::kDelta requests
+  /// (null until LoadCircuit; disabled when result_cache_boxes == 0).
+  const cache::ResultCache* result_cache() const {
+    return result_cache_.get();
+  }
+
  private:
   Status RequireLoaded(const char* op) const;
   /// Backends a request executes on, primary first.
   std::vector<const SpatialBackend*> Select(BackendChoice choice) const;
   /// Session options with the engine-wide cost model applied.
   scout::SessionOptions EffectiveSessionOptions() const;
+  /// result_cache_boxes, forced to 0 (caching disabled everywhere) when
+  /// the FLAT index is configured approximate (flat.rescue == false) —
+  /// one incomplete kFlat answer would poison the backend-agnostic cache.
+  size_t EffectiveResultCacheBoxes() const;
   /// Run one request against `pools` (parallel to backends_), filling one
   /// report. The caller chooses pool lifetime (persistent warm pools, batch
   /// pools) — `clock` is the clock those pools charge.
@@ -290,24 +347,46 @@ class QueryEngine {
   Status ExecuteKnnOn(const KnnRequest& request,
                       const std::vector<storage::PoolSet*>& pools,
                       SimClock* clock, KnnReport* report) const;
+  /// The delta-request body: plan `request.box` against `cache`, answer
+  /// the covered fragment from cached results and the residual boxes via
+  /// `backend`, merge under the id order, stream to `visitor` and remember
+  /// the full answer in `cache`.
+  Status ExecuteDeltaOn(const RangeRequest& request,
+                        const SpatialBackend* backend, ResultVisitor* visitor,
+                        const std::vector<storage::PoolSet*>& pools,
+                        SimClock* clock, cache::ResultCache* cache,
+                        RangeReport* report) const;
+  /// The single backend `request` takes the delta path on, or nullptr when
+  /// the request is not delta-eligible (not kDelta, cache disabled, or a
+  /// multi-backend choice whose parity panel must really execute).
+  const SpatialBackend* DeltaBackend(const RangeRequest& request,
+                                     const cache::ResultCache* cache) const;
   /// Boundary validation shared by Execute and ExecuteBatch.
   Status ValidateRequest(const RangeRequest& request, const char* op) const;
   Status ValidateRequest(const KnnRequest& request, const char* op) const;
-  /// Build one fresh pool set per backend on `clock` (cold/batch execution).
-  std::vector<std::unique_ptr<storage::PoolSet>> MakePools(
-      SimClock* clock) const;
+  /// One pool set per backend out of `manager` (created on first use, by
+  /// backend name) — the pool family every execution path runs against.
+  std::vector<storage::PoolSet*> BackendPools(
+      storage::PoolManager* manager) const;
   /// The pool set paired with `backend` (`pools` is parallel to backends_).
   storage::PoolSet* PoolFor(
       const SpatialBackend* backend,
       const std::vector<storage::PoolSet*>& pools) const;
-  /// Execute requests[range) against `pools` on `clock`, writing
-  /// reports[i] for each request index i and accumulating aggregate
-  /// counters except pool hits/misses into `stats` — the shared body of
-  /// the serial batch path and of each parallel lane.
+  /// Execute requests[range) against `manager`'s pools (`pools` is the
+  /// manager's per-backend family, `clock` its clock), writing reports[i]
+  /// for each request index i and accumulating aggregate counters except
+  /// pool hits/misses into `stats` — the shared body of the serial batch
+  /// path and of each parallel lane. `cache` (may be null) serves kDelta
+  /// requests; stats->cache_hit_fraction / delta_volume_fraction
+  /// accumulate *sums* here, normalized to means by the caller. kCold
+  /// requests evict through `manager` (keeping its eviction statistics
+  /// truthful) and clear `cache`.
   Status ExecuteBatchSlice(std::span<const QueryRequest> requests,
                            size_t begin, size_t end,
+                           storage::PoolManager* manager,
                            const std::vector<storage::PoolSet*>& pools,
-                           SimClock* clock, std::vector<QueryReport>* reports,
+                           SimClock* clock, cache::ResultCache* cache,
+                           std::vector<QueryReport>* reports,
                            BatchStats* stats) const;
 
   EngineOptions options_;
@@ -327,10 +406,18 @@ class QueryEngine {
   /// Worker pool for ExecuteBatch lanes and shard fan-out (num_threads > 1).
   std::unique_ptr<exec::ThreadPool> thread_pool_;
 
-  // Persistent warm-path state (CachePolicy::kWarm), one pool set per
-  // backend.
-  std::unique_ptr<SimClock> warm_clock_;
-  std::vector<std::unique_ptr<storage::PoolSet>> warm_pools_;
+  /// Persistent warm-path state (kWarm / kDelta): one named pool set per
+  /// backend inside the manager, surviving across Execute and serial
+  /// ExecuteBatch calls. Cold paths and parallel batch lanes build their
+  /// own short-lived PoolManager instead.
+  std::unique_ptr<storage::PoolManager> pool_manager_;
+  /// The manager's per-backend sets, resolved once at LoadCircuit —
+  /// warm-path queries must not pay name lookups (or skew the manager's
+  /// set-lifecycle counters) per request.
+  std::vector<storage::PoolSet*> warm_pools_;
+  /// Engine-level semantic cache behind CachePolicy::kDelta (serial paths;
+  /// parallel lanes run private per-lane caches for determinism).
+  std::unique_ptr<cache::ResultCache> result_cache_;
 };
 
 }  // namespace engine

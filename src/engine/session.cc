@@ -1,5 +1,9 @@
 #include "engine/session.h"
 
+#include <algorithm>
+
+#include "cache/delta_planner.h"
+
 namespace neurodb {
 namespace engine {
 
@@ -22,6 +26,17 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
   session.clock_ = std::make_unique<SimClock>();
   session.pool_ = std::make_unique<storage::BufferPool>(
       store, options.pool_pages, session.clock_.get(), options.cost);
+  // Result caching requires the exact crawl configuration: with
+  // rescue=false a FLAT range query may miss disconnected pages, while
+  // cache entries (and think-time prepopulation, which evaluates from the
+  // always-complete seed-tree page coverage) are exact — a cached session
+  // would then *disagree* with a cold one. rescue is on by default; the
+  // rare approximate configuration just runs uncached.
+  if (options.cache_results && options.result_cache_boxes > 0 &&
+      index->options().rescue) {
+    session.cache_ =
+        std::make_unique<cache::ResultCache>(options.result_cache_boxes);
+  }
 
   scout::PrefetchContext ctx;
   ctx.index = index;
@@ -40,6 +55,8 @@ Result<scout::StepRecord> Session::RunStep(
   uint64_t t0 = clock_->NowMicros();
   uint64_t misses0 = pool_->stats().Get("pool.misses");
   uint64_t hits0 = pool_->stats().Get("pool.hits");
+  last_cover_fraction_ = 0.0;
+  last_delta_fraction_ = 1.0;
 
   std::vector<geom::ElementId> ids;
   geom::Aabb prefetch_box;
@@ -49,11 +66,18 @@ Result<scout::StepRecord> Session::RunStep(
   step.pages_missed = pool_->stats().Get("pool.misses") - misses0;
   step.pages_hit = pool_->stats().Get("pool.hits") - hits0;
   step.results = ids.size();
+  step.cache_hit_fraction = last_cover_fraction_;
+  step.delta_volume_fraction = last_delta_fraction_;
 
   // Think pause: the prefetcher works while the scientist looks at the
   // data. Loads within the budget finish before the next query.
   step.prefetched = prefetcher_->AfterQuery(prefetch_box, ids, budget_);
   step.candidates = prefetcher_->CandidateCount();
+  if (cache_ != nullptr) {
+    size_t remaining =
+        budget_ > step.prefetched ? budget_ - step.prefetched : 0;
+    step.prefetched += PrepopulateCache(remaining);
+  }
   clock_->Advance(options_.think_time_us);
 
   total_stall_us_ += step.stall_us;
@@ -61,10 +85,91 @@ Result<scout::StepRecord> Session::RunStep(
   return step;
 }
 
+Status Session::CachedRangeStep(const geom::Aabb& box,
+                                geom::ResultVisitor& visitor,
+                                std::vector<geom::ElementId>* ids) {
+  cache::DeltaPlan plan;
+  NEURODB_ASSIGN_OR_RETURN(
+      geom::ElementVec merged,
+      cache::DeltaPlanner::Answer(
+          *cache_, box,
+          [&](const geom::Aabb& residual, geom::CollectingVisitor* out) {
+            return index_->RangeQuery(residual, pool_.get(), *out);
+          },
+          &plan));
+
+  ids->reserve(merged.size());
+  for (const geom::SpatialElement& e : merged) {
+    visitor.Visit(e.id, e.bounds);
+    ids->push_back(e.id);
+  }
+  last_cover_fraction_ = plan.covered_fraction;
+  last_delta_fraction_ = plan.residual_fraction;
+  cache_->Insert(box, std::move(merged));
+  return Status::OK();
+}
+
+size_t Session::PrepopulateCache(size_t budget) {
+  size_t loaded = 0;
+  for (const geom::Aabb& predicted : prefetcher_->PredictedBoxes()) {
+    if (!predicted.IsValid()) continue;
+    // Already fully covered (a stationary or repeating path): evaluating
+    // would rebuild a result Insert only discards — skip the page scan.
+    if (cache_->Covers(predicted)) continue;
+
+    std::vector<uint32_t> pages = index_->PagesInRange(predicted);
+    size_t uncached = 0;
+    for (uint32_t page : pages) {
+      if (!pool_->Contains(index_->PageAt(page))) ++uncached;
+    }
+    // Evaluating this box would need more demand I/O than the think pause
+    // still covers — leave it to the next step's demand path.
+    size_t remaining = budget > loaded ? budget - loaded : 0;
+    if (uncached > remaining) continue;
+
+    // The precount can go stale mid-loop: on a full pool a Prefetch may
+    // evict a not-yet-visited page of this same box, which then needs its
+    // own Prefetch. The hard bound below keeps `loaded` within budget
+    // regardless (the Peek pass skips the insert if anything is missing).
+    for (uint32_t page : pages) {
+      if (loaded >= budget) break;
+      storage::PageId id = index_->PageAt(page);
+      if (pool_->Contains(id)) continue;
+      if (pool_->Prefetch(id).ok()) ++loaded;
+    }
+
+    // Evaluate over resident pages only; if anything got evicted under
+    // pool pressure the entry would be incomplete, so skip the insert.
+    geom::ElementVec results;
+    bool complete = true;
+    for (uint32_t page : pages) {
+      const storage::Page* data = pool_->Peek(index_->PageAt(page));
+      if (data == nullptr) {
+        complete = false;
+        break;
+      }
+      for (const geom::SpatialElement& e : data->elements) {
+        if (e.bounds.Intersects(predicted)) results.push_back(e);
+      }
+    }
+    if (!complete) continue;
+    cache::SortById(&results);
+    cache_->Insert(predicted, std::move(results));
+  }
+  return loaded;
+}
+
 Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
                                         geom::ResultVisitor& visitor) {
   if (!box.IsValid()) {
     return Status::InvalidArgument("Session::Step: invalid box (lo > hi)");
+  }
+  if (cache_ != nullptr) {
+    return RunStep([&](std::vector<geom::ElementId>* ids,
+                       geom::Aabb* prefetch_box) {
+      *prefetch_box = box;
+      return CachedRangeStep(box, visitor, ids);
+    });
   }
   return RunStep([&](std::vector<geom::ElementId>* ids,
                      geom::Aabb* prefetch_box) {

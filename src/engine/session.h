@@ -9,6 +9,16 @@
 // warms the pool out of the modeled think time, exactly as in the replay
 // path, so a Step-by-Step run and a whole-path replay produce identical
 // statistics.
+//
+// With SessionOptions::cache_results the session additionally keeps a
+// cache::ResultCache of its last evaluated boxes: an overlapping step is
+// decomposed by cache::DeltaPlanner into a covered fragment answered from
+// the cache plus at most six residual boxes answered by the index, merged
+// under the global id order — the result set is identical to a full
+// re-query, the demand I/O is proportional to the *uncovered* volume only.
+// During think time the prefetcher's predicted next box is evaluated over
+// prefetched pages and inserted into the cache (results, not just pages),
+// so a correctly predicted step stalls for nothing.
 
 #ifndef NEURODB_ENGINE_SESSION_H_
 #define NEURODB_ENGINE_SESSION_H_
@@ -17,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/result_cache.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "flat/flat_index.h"
@@ -75,6 +86,10 @@ class Session {
   const scout::SessionOptions& options() const { return options_; }
   const char* method_name() const { return prefetcher_->Name(); }
 
+  /// The session's result cache, or nullptr when caching is off
+  /// (SessionOptions::cache_results).
+  const cache::ResultCache* result_cache() const { return cache_.get(); }
+
  private:
   Session() = default;
 
@@ -86,6 +101,18 @@ class Session {
       const std::function<Status(std::vector<geom::ElementId>* ids,
                                  geom::Aabb* prefetch_box)>& query);
 
+  /// The cached range-step body: delta-decompose `box` against the cache,
+  /// answer residuals through the index, merge under the id order, stream
+  /// to `visitor`, remember the full result as the newest cache entry.
+  Status CachedRangeStep(const geom::Aabb& box, geom::ResultVisitor& visitor,
+                         std::vector<geom::ElementId>* ids);
+
+  /// Think-time result prefetch: evaluate the prefetcher's predicted boxes
+  /// over pool-resident pages (loading missing ones within the remaining
+  /// `budget`) and insert their results into the cache. Returns pages
+  /// loaded (they count against the step's prefetch budget).
+  size_t PrepopulateCache(size_t budget);
+
   const flat::FlatIndex* index_ = nullptr;
   scout::SessionOptions options_;
   size_t budget_ = 0;
@@ -94,8 +121,14 @@ class Session {
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::unique_ptr<scout::Prefetcher> prefetcher_;
+  /// Non-null iff options_.cache_results (unique_ptr for move stability).
+  std::unique_ptr<cache::ResultCache> cache_;
   std::vector<scout::StepRecord> steps_;
   uint64_t total_stall_us_ = 0;
+  /// Coverage of the step currently executing (set by CachedRangeStep,
+  /// read back by RunStep into the StepRecord).
+  double last_cover_fraction_ = 0.0;
+  double last_delta_fraction_ = 1.0;
 };
 
 }  // namespace engine

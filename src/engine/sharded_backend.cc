@@ -63,6 +63,21 @@ void SplitRecursive(const geom::ElementVec& elements,
 
 }  // namespace
 
+std::vector<size_t> ShardedBackend::SelectShards(const Aabb& box) const {
+  // Cost-based selection: bounds intersection alone is not enough — a
+  // shard whose population is zero (an empty build today; deletions, once
+  // supported, tomorrow) is skipped outright, so the query pays neither
+  // the pool lookup nor the inner-grid scan for it.
+  std::vector<size_t> selected;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_sizes_[s] == 0) continue;
+    if (shard_bounds_[s].IsValid() && box.Intersects(shard_bounds_[s])) {
+      selected.push_back(s);
+    }
+  }
+  return selected;
+}
+
 Status ShardedBackend::Build(const geom::ElementVec& elements) {
   if (built_) {
     return Status::AlreadyExists("ShardedBackend: already built");
@@ -126,12 +141,7 @@ Status ShardedBackend::RangeQuery(const Aabb& box, storage::PoolSet* pools,
         "ShardedBackend::RangeQuery: pool set size != shard count");
   }
 
-  std::vector<size_t> selected;
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (shard_bounds_[s].IsValid() && box.Intersects(shard_bounds_[s])) {
-      selected.push_back(s);
-    }
-  }
+  std::vector<size_t> selected = SelectShards(box);
   if (selected.empty()) return Status::OK();
 
   // Serial path (no pool, a single shard, or already on a pool worker):
@@ -221,7 +231,9 @@ Status ShardedBackend::KnnQuery(const Vec3& point, size_t k,
   std::vector<std::pair<double, size_t>> frontier;
   frontier.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    if (!shard_bounds_[s].IsValid()) continue;  // empty shard
+    // Population-based pruning: an empty shard can contribute nothing, so
+    // it never enters the frontier even when its bounds are closest.
+    if (shard_sizes_[s] == 0 || !shard_bounds_[s].IsValid()) continue;
     frontier.emplace_back(geom::KnnDistance(point, shard_bounds_[s]), s);
   }
   std::sort(frontier.begin(), frontier.end());

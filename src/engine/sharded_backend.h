@@ -83,8 +83,14 @@ class ShardedBackend : public SpatialBackend {
   /// cuts go through element centers, boxes extend beyond them).
   const geom::Aabb& shard_bounds(size_t i) const { return shard_bounds_[i]; }
   const GridBackend& shard(size_t i) const { return *shards_[i]; }
-  /// Elements assigned to shard `i`.
+  /// Elements assigned to shard `i` — the per-shard population count the
+  /// cost-based shard selection prunes by (zero-population shards are
+  /// skipped even when their bounds intersect a query).
   size_t ShardPopulation(size_t i) const { return shard_sizes_[i]; }
+
+  /// Shards a range query over `box` executes on: bounds must intersect
+  /// AND the population must be non-zero. Exposed for tests.
+  std::vector<size_t> SelectShards(const geom::Aabb& box) const;
 
   /// Raw page reads summed over every shard's PageStore — the per-shard
   /// I/O aggregation the scaling benchmarks report.

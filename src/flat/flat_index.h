@@ -142,6 +142,7 @@ class FlatIndex {
   }
   const geom::Aabb& domain() const { return domain_; }
   const rtree::RTree& seed_tree() const { return seed_tree_; }
+  const FlatOptions& options() const { return options_; }
 
   /// Bytes of memory-resident metadata (seed tree + neighborhood lists) —
   /// FLAT's in-memory footprint, tiny relative to the data.

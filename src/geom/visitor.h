@@ -40,6 +40,10 @@ class CollectingVisitor : public ResultVisitor {
   const ElementVec& elements() const { return elements_; }
   size_t size() const { return elements_.size(); }
 
+  /// Move the collected elements out (the visitor is left empty) —
+  /// spares the deep copy on hot paths that consume the whole result.
+  ElementVec TakeElements() { return std::move(elements_); }
+
   /// Ids only, in visit order.
   std::vector<ElementId> Ids() const {
     std::vector<ElementId> ids;

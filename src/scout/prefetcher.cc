@@ -106,21 +106,30 @@ class ExtrapolationPrefetcher : public Prefetcher {
 
   const char* Name() const override { return "Extrapolation"; }
 
-  void Reset() override { prev_center_.reset(); }
+  void Reset() override {
+    prev_center_.reset();
+    predicted_.clear();
+  }
+
+  std::vector<Aabb> PredictedBoxes() const override { return predicted_; }
 
   size_t AfterQuery(const Aabb& query, const std::vector<ElementId>&,
                     size_t budget_pages) override {
     Vec3 center = query.Center();
     size_t loaded = 0;
+    predicted_.clear();
     if (prev_center_.has_value()) {
       Vec3 delta = center - *prev_center_;
       float side = query.Extent().x;
       // One and two steps ahead along the motion vector.
-      for (int step = 1; step <= 2 && loaded < budget_pages; ++step) {
+      for (int step = 1; step <= 2; ++step) {
         Aabb predicted =
             Aabb::Cube(center + delta * static_cast<float>(step), side);
-        loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(predicted),
-                                budget_pages - loaded);
+        predicted_.push_back(predicted);
+        if (loaded < budget_pages) {
+          loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(predicted),
+                                  budget_pages - loaded);
+        }
       }
     }
     prev_center_ = center;
@@ -130,6 +139,7 @@ class ExtrapolationPrefetcher : public Prefetcher {
  private:
   PrefetchContext ctx_;
   std::optional<Vec3> prev_center_;
+  std::vector<Aabb> predicted_;
 };
 
 // ---------------------------------------------------------------------------
@@ -147,12 +157,18 @@ class ScoutPrefetcher : public Prefetcher {
     candidate_ids_.clear();
     prev_center_.reset();
     last_candidates_ = 0;
+    predicted_.clear();
   }
 
   size_t CandidateCount() const override { return last_candidates_; }
 
+  std::vector<Aabb> PredictedBoxes() const override { return predicted_; }
+
   size_t AfterQuery(const Aabb& query, const std::vector<ElementId>& result,
                     size_t budget_pages) override {
+    // Clear up front: on any early exit PredictedBoxes() must report "no
+    // prediction", not the previous step's stale boxes.
+    predicted_.clear();
     auto structures_or = ExtractStructures(result, *ctx_.resolver, query,
                                            options_.structure);
     if (!structures_or.ok()) return 0;
@@ -202,15 +218,28 @@ class ScoutPrefetcher : public Prefetcher {
     bool deep = options_.deep_lookahead && candidates.size() == 1;
     for (const Structure* s : candidates) {
       for (const StructureExit& exit : s->exits) {
-        if (loaded >= budget_pages) break;
+        // Predictions are recorded independently of the page budget: a
+        // cached session can still evaluate an exhausted-budget (or
+        // zero-budget) prediction over already-resident pages for free.
+        if (loaded >= budget_pages && predicted_.size() >= kMaxPredicted) {
+          break;
+        }
         Aabb predicted = Aabb::Cube(exit.point + exit.direction * step, side);
-        loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(predicted),
-                                budget_pages - loaded);
-        if (deep && loaded < budget_pages) {
+        if (predicted_.size() < kMaxPredicted) predicted_.push_back(predicted);
+        if (loaded < budget_pages) {
+          loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(predicted),
+                                  budget_pages - loaded);
+        }
+        if (deep) {
           Aabb two_ahead =
               Aabb::Cube(exit.point + exit.direction * (2.0f * step), side);
-          loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(two_ahead),
-                                  budget_pages - loaded);
+          if (predicted_.size() < kMaxPredicted) {
+            predicted_.push_back(two_ahead);
+          }
+          if (loaded < budget_pages) {
+            loaded += PrefetchPages(ctx_, ctx_.index->PagesInRange(two_ahead),
+                                    budget_pages - loaded);
+          }
         }
       }
     }
@@ -218,11 +247,16 @@ class ScoutPrefetcher : public Prefetcher {
   }
 
  private:
+  /// Bound on PredictedBoxes: pre-populating the result cache with many
+  /// speculative boxes would push real step history out of a small cache.
+  static constexpr size_t kMaxPredicted = 4;
+
   PrefetchContext ctx_;
   ScoutOptions options_;
   std::unordered_set<ElementId> candidate_ids_;
   std::optional<Vec3> prev_center_;
   size_t last_candidates_ = 0;
+  std::vector<Aabb> predicted_;
 };
 
 }  // namespace

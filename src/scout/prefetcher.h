@@ -76,6 +76,14 @@ class Prefetcher {
   /// Number of candidate structures SCOUT is still tracking (paper Figure
   /// 5's shrinking candidate set); other methods report 0.
   virtual size_t CandidateCount() const { return 0; }
+
+  /// Where the prefetcher believes the *next* query boxes land, most
+  /// likely first, as computed by the latest AfterQuery call. Box-predicting
+  /// methods (extrapolation, SCOUT) report a few boxes; page-order methods
+  /// (Hilbert) and kNone report none. The result-cache prefetch path
+  /// evaluates these boxes during think time so a correctly predicted next
+  /// step is answered without any demand I/O at all.
+  virtual std::vector<geom::Aabb> PredictedBoxes() const { return {}; }
 };
 
 /// Construct a prefetcher. SCOUT requires context.resolver != nullptr.

@@ -12,6 +12,7 @@
 #ifndef NEURODB_SCOUT_SESSION_H_
 #define NEURODB_SCOUT_SESSION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -36,12 +37,22 @@ struct SessionOptions {
   storage::DiskCostModel cost;
   /// SCOUT tuning (ignored by other methods).
   ScoutOptions scout;
+  /// Result caching (engine::Session): keep the last result_cache_boxes
+  /// evaluated step boxes with their exact result sets and answer
+  /// overlapping steps by delta decomposition (src/cache/). Off by default
+  /// — a cached session delivers results in ascending id order instead of
+  /// index crawl order.
+  bool cache_results = false;
+  size_t result_cache_boxes = 8;
 
-  /// Pages a prefetcher can load during one think pause.
+  /// Pages a prefetcher can load during one think pause, capped at the
+  /// pool capacity — a longer pause cannot usefully prefetch more pages
+  /// than the pool can hold (it would evict what it just warmed).
   size_t PrefetchBudget() const {
-    return cost.page_read_micros == 0
-               ? 0
-               : static_cast<size_t>(think_time_us / cost.page_read_micros);
+    if (cost.page_read_micros == 0) return 0;
+    return std::min<size_t>(
+        static_cast<size_t>(think_time_us / cost.page_read_micros),
+        pool_pages);
   }
 };
 
@@ -53,6 +64,11 @@ struct StepRecord {
   uint64_t results = 0;        // result elements
   uint64_t prefetched = 0;     // pages prefetched after this query
   uint64_t candidates = 0;     // SCOUT candidate structures (else 0)
+  /// Result-cache delta answering (engine::Session with cache_results):
+  /// fraction of the query volume served from the cache, and the fraction
+  /// the backend still had to answer. Uncached steps report 0 / 1.
+  double cache_hit_fraction = 0.0;
+  double delta_volume_fraction = 1.0;
 };
 
 /// Whole-walkthrough summary (paper Figure 6's statistics).
@@ -63,7 +79,12 @@ struct SessionResult {
   uint64_t pages_missed = 0;     // "additionally retrieved"
   uint64_t pages_hit = 0;
   uint64_t prefetch_issued = 0;  // "prefetched in total"
-  uint64_t prefetch_used = 0;    // "correctly prefetched"
+  /// "Correctly prefetched": prefetched pages later demand-fetched. In a
+  /// result-cached session this is a *lower bound* — a step answered
+  /// entirely from the result cache consumes its prefetched pages via
+  /// Peek, which never demands them from the pool, so the prefetches
+  /// that worked best are not counted here.
+  uint64_t prefetch_used = 0;
 
   /// Fraction of prefetched pages that were later demanded.
   double PrefetchPrecision() const {
@@ -76,6 +97,22 @@ struct SessionResult {
   double HitRate() const {
     uint64_t total = pages_hit + pages_missed;
     return total == 0 ? 0.0 : static_cast<double>(pages_hit) / total;
+  }
+
+  /// Mean per-step result-cache coverage (0 for uncached sessions).
+  double MeanCacheHitFraction() const {
+    if (steps.empty()) return 0.0;
+    double sum = 0.0;
+    for (const StepRecord& step : steps) sum += step.cache_hit_fraction;
+    return sum / static_cast<double>(steps.size());
+  }
+
+  /// Mean per-step residual volume fraction (1 for uncached sessions).
+  double MeanDeltaVolumeFraction() const {
+    if (steps.empty()) return 1.0;
+    double sum = 0.0;
+    for (const StepRecord& step : steps) sum += step.delta_volume_fraction;
+    return sum / static_cast<double>(steps.size());
   }
 };
 

@@ -56,6 +56,11 @@ Result<const Page*> BufferPool::Fetch(PageId id) {
   return page;
 }
 
+const Page* BufferPool::Peek(PageId id) const {
+  if (map_.find(id) == map_.end()) return nullptr;
+  return store_->Peek(id);
+}
+
 Status BufferPool::Prefetch(PageId id) {
   if (map_.find(id) != map_.end()) {
     stats_.Bump("pool.prefetch_redundant");

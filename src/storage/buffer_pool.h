@@ -51,6 +51,12 @@ class BufferPool {
   /// True if the page is currently cached.
   bool Contains(PageId id) const { return map_.find(id) != map_.end(); }
 
+  /// The page if (and only if) it is currently cached, else nullptr. Does
+  /// not touch the LRU order, the statistics or the clock — the think-time
+  /// result-prefetch path evaluates predicted queries over already-resident
+  /// pages without perturbing the demand model.
+  const Page* Peek(PageId id) const;
+
   /// Drop every cached page (cold cache). Prefetch markers are cleared too.
   void EvictAll();
 

@@ -51,6 +51,13 @@ class PageStore {
   /// destroyed. Counts one raw read. Thread-safe against other Reads.
   Result<const Page*> Read(PageId id) const;
 
+  /// The page without counting a raw read (metadata-path access: the page
+  /// was already paid for by the Read/Prefetch that cached it). Returns
+  /// nullptr for an unknown id.
+  const Page* Peek(PageId id) const {
+    return id < pages_.size() ? &pages_[id] : nullptr;
+  }
+
   size_t NumPages() const { return pages_.size(); }
 
   /// Total serialized bytes across all pages.

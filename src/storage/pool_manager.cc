@@ -1,0 +1,84 @@
+#include "storage/pool_manager.h"
+
+namespace neurodb {
+namespace storage {
+
+PoolManager::PoolManager(size_t default_pool_pages, DiskCostModel cost)
+    : default_pool_pages_(default_pool_pages == 0 ? 1 : default_pool_pages),
+      cost_(cost) {}
+
+PoolSet* PoolManager::GetOrCreate(const std::string& name,
+                                  const std::vector<PageStore*>& stores,
+                                  size_t pages) {
+  auto it = sets_.find(name);
+  if (it != sets_.end()) {
+    ++sets_reused_;
+    return it->second.get();
+  }
+  ++sets_created_;
+  auto set = std::make_unique<PoolSet>(
+      stores, pages == 0 ? default_pool_pages_ : pages, &clock_, cost_);
+  PoolSet* out = set.get();
+  sets_.emplace(name, std::move(set));
+  return out;
+}
+
+PoolSet* PoolManager::Find(const std::string& name) {
+  auto it = sets_.find(name);
+  return it == sets_.end() ? nullptr : it->second.get();
+}
+
+bool PoolManager::Evict(const std::string& name) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) return false;
+  explicit_evictions_ += it->second->PagesCached();
+  it->second->EvictAll();
+  return true;
+}
+
+void PoolManager::EvictAll() {
+  for (auto& [name, set] : sets_) {
+    explicit_evictions_ += set->PagesCached();
+    set->EvictAll();
+  }
+}
+
+bool PoolManager::Remove(const std::string& name) {
+  auto it = sets_.find(name);
+  if (it == sets_.end()) return false;
+  // Retire the set's history into the manager-level counters so Stats()
+  // stays monotonic — removal must not make past hits/misses vanish.
+  explicit_evictions_ += it->second->PagesCached();
+  retired_hits_ += it->second->TotalTicker("pool.hits");
+  retired_misses_ += it->second->TotalTicker("pool.misses");
+  retired_evictions_ += it->second->TotalTicker("pool.evictions");
+  sets_.erase(it);
+  return true;
+}
+
+uint64_t PoolManager::TotalTicker(const std::string& ticker) const {
+  uint64_t total = 0;
+  for (const auto& [name, set] : sets_) total += set->TotalTicker(ticker);
+  return total;
+}
+
+PoolManagerStats PoolManager::Stats() const {
+  PoolManagerStats stats;
+  stats.pool_sets = sets_.size();
+  stats.sets_created = sets_created_;
+  stats.sets_reused = sets_reused_;
+  stats.evictions = explicit_evictions_ + retired_evictions_;
+  stats.hits = retired_hits_;
+  stats.misses = retired_misses_;
+  for (const auto& [name, set] : sets_) {
+    stats.pools += set->size();
+    stats.pages_cached += set->PagesCached();
+    stats.hits += set->TotalTicker("pool.hits");
+    stats.misses += set->TotalTicker("pool.misses");
+    stats.evictions += set->TotalTicker("pool.evictions");
+  }
+  return stats;
+}
+
+}  // namespace storage
+}  // namespace neurodb

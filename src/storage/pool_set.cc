@@ -27,6 +27,12 @@ void PoolSet::EvictAll() {
   for (BufferPool* pool : pools_) pool->EvictAll();
 }
 
+size_t PoolSet::PagesCached() const {
+  size_t total = 0;
+  for (const BufferPool* pool : pools_) total += pool->NumCached();
+  return total;
+}
+
 uint64_t PoolSet::TotalTicker(const std::string& name) const {
   uint64_t total = 0;
   for (const BufferPool* pool : pools_) total += pool->stats().Get(name);

@@ -53,6 +53,9 @@ class PoolSet {
   /// Drop every cached page in every pool (cold cache).
   void EvictAll();
 
+  /// Pages resident across every pool right now.
+  size_t PagesCached() const;
+
   /// Sum of one named ticker ("pool.hits", "pool.misses", ...) over every
   /// pool — the per-shard aggregation the batch statistics report.
   uint64_t TotalTicker(const std::string& name) const;

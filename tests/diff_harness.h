@@ -97,8 +97,11 @@ inline std::vector<geom::ElementId> BruteForceRangeIds(
 }
 
 /// Replay one walkthrough path step by step: every step's streamed result
-/// set must match the engine's kAll range answer and brute force. Returns a
-/// non-empty error description on divergence.
+/// set must match a *cached* delta session's answer, the engine's kAll
+/// range answer and brute force. Walkthrough paths use steps shorter than
+/// the box side, so consecutive boxes deliberately overlap — the case the
+/// result cache answers by delta decomposition. Returns a non-empty error
+/// description on divergence.
 inline std::string ReplayWalkthrough(engine::QueryEngine* db,
                                      const geom::ElementVec& elements,
                                      const std::vector<geom::Aabb>& path) {
@@ -106,6 +109,17 @@ inline std::string ReplayWalkthrough(engine::QueryEngine* db,
   if (!session.ok()) {
     return "OpenSession failed: " + session.status().ToString();
   }
+  auto cached = db->OpenSession(scout::PrefetchMethod::kScout,
+                                engine::CachePolicy::kDelta);
+  if (!cached.ok()) {
+    return "OpenSession(kDelta) failed: " + cached.status().ToString();
+  }
+  // An engine with caching disabled (result_cache_boxes == 0 or an
+  // approximate flat.rescue == false index) silently hands back an
+  // uncached session — comparing it against the cold one would claim
+  // delta parity that never ran. Skip the cached leg explicitly; the
+  // delta-parity tests separately assert cache hits actually happened.
+  const bool delta_enabled = cached->result_cache() != nullptr;
   for (size_t step = 0; step < path.size(); ++step) {
     const geom::Aabb& box = path[step];
     geom::CollectingVisitor stepped;
@@ -115,6 +129,23 @@ inline std::string ReplayWalkthrough(engine::QueryEngine* db,
     }
     std::vector<geom::ElementId> step_ids = stepped.Ids();
     std::sort(step_ids.begin(), step_ids.end());
+
+    if (delta_enabled) {
+      geom::CollectingVisitor cached_stepped;
+      auto cached_record = cached->Step(box, cached_stepped);
+      if (!cached_record.ok()) {
+        return "cached Step failed: " + cached_record.status().ToString();
+      }
+      std::vector<geom::ElementId> cached_ids = cached_stepped.Ids();
+      std::sort(cached_ids.begin(), cached_ids.end());
+      if (cached_ids != step_ids) {
+        std::ostringstream os;
+        os << "cached delta session returned " << cached_ids.size()
+           << " ids but the cold session returned " << step_ids.size()
+           << " at walkthrough step " << step;
+        return os.str();
+      }
+    }
 
     engine::RangeRequest request;
     request.box = box;
@@ -395,6 +426,75 @@ inline DiffOutcome RunBatchParity(engine::QueryEngine* serial_db,
       serial->aggregate.pool_misses != parallel->aggregate.pool_misses) {
     outcome.diverged = true;
     outcome.detail = "batch aggregates diverge between serial and parallel";
+  }
+  return outcome;
+}
+
+/// Delta-query parity: every range query of a seeded workload runs through
+/// the engine's CachePolicy::kDelta result-cache path — rotating the
+/// backend per query, so entries cached from one backend's answer serve
+/// another's delta — and its id set must be byte-identical to a cold full
+/// re-query (brute force over the element list); walkthrough queries
+/// replay their (deliberately overlapping) paths through a cached *and* a
+/// cold session via ReplayWalkthrough. Sized by `n` (CI 1000, nightly
+/// 10000 via NEURODB_DELTA_QUERIES).
+inline DiffOutcome RunDeltaParity(engine::QueryEngine* db,
+                                  const geom::ElementVec& elements,
+                                  const neuro::MixedWorkloadOptions& options,
+                                  size_t n, uint64_t seed) {
+  DiffOutcome outcome;
+  std::vector<neuro::WorkloadQuery> workload =
+      neuro::MixedWorkload(db->domain(), elements, options, n, seed);
+
+  auto fail = [&](size_t i, const std::string& detail) {
+    outcome.diverged = true;
+    outcome.failing_index = i;
+    outcome.failing_seed = workload[i].sub_seed;
+    outcome.detail = detail;
+  };
+
+  // Single-backend choices the delta path supports, rotated per query so
+  // cache entries written after one backend's answer serve the next
+  // backend's delta — the cache must be backend-agnostic.
+  const engine::BackendChoice kRotation[] = {
+      engine::BackendChoice::kFlat, engine::BackendChoice::kRTree,
+      engine::BackendChoice::kGrid, engine::BackendChoice::kSharded};
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const neuro::WorkloadQuery& query = workload[i];
+    ++outcome.queries_run;
+
+    if (query.kind == neuro::QueryKind::kRange) {
+      ++outcome.ranges;
+      engine::RangeRequest request;
+      request.box = query.box;
+      request.backend = kRotation[i % 4];
+      request.cache = engine::CachePolicy::kDelta;
+      geom::CollectingVisitor delta_out;
+      auto report = db->Execute(request, delta_out);
+      if (!report.ok()) {
+        fail(i, "delta request failed: " + report.status().ToString());
+        break;
+      }
+      std::vector<geom::ElementId> delta_ids = delta_out.Ids();
+      std::sort(delta_ids.begin(), delta_ids.end());
+      if (delta_ids != BruteForceRangeIds(elements, query.box)) {
+        std::ostringstream os;
+        os << "delta answer (" << delta_ids.size()
+           << " ids, cache_hit_fraction=" << report->cache_hit_fraction
+           << ") disagrees with a cold full re-query for box " << query.box;
+        fail(i, os.str());
+        break;
+      }
+    } else if (query.kind == neuro::QueryKind::kWalkthrough) {
+      ++outcome.walkthroughs;
+      std::string error = ReplayWalkthrough(db, elements, query.path);
+      if (!error.empty()) {
+        fail(i, error);
+        break;
+      }
+    }
+    // kKnn / kJoin take no delta path; RunDifferential covers them.
   }
   return outcome;
 }

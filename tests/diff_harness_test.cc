@@ -102,6 +102,35 @@ TEST_F(DiffHarnessFixture, SeededWalkthroughWorkloadHasNoDivergence) {
   EXPECT_GT(outcome.ranges, 0u);
 }
 
+// Delta-query parity (result-cache subsystem): a seeded workload of range
+// queries through CachePolicy::kDelta (backend rotated per query) plus
+// walkthroughs with deliberately overlapping boxes replayed through cached
+// and cold sessions — every answer byte-identical to a cold full re-query.
+// 1000 queries in CI; the nightly registration scales to 10000 via
+// NEURODB_DELTA_QUERIES.
+TEST_F(DiffHarnessFixture, DeltaCachedAnswersMatchColdReQueries) {
+  neuro::MixedWorkloadOptions options;
+  options.knn_fraction = 0.0;
+  options.walkthrough_fraction = 0.05;
+  options.walk_steps = 5;
+  // Steps much shorter than the box side: ~80% volume overlap between
+  // consecutive walkthrough boxes, the result cache's home turf.
+  options.walk_step = 6.0f;
+  options.walk_side = 30.0f;
+
+  size_t queries = EnvOr("NEURODB_DELTA_QUERIES", 1000);
+  DiffOutcome outcome =
+      RunDeltaParity(db_.get(), elements_, options, queries, DiffSeed());
+  EXPECT_FALSE(outcome.diverged) << outcome.Summary();
+  EXPECT_EQ(outcome.queries_run, queries);
+  EXPECT_GT(outcome.ranges, 0u);
+  EXPECT_GT(outcome.walkthroughs, 0u);
+  // The delta path must actually have served cache coverage, or the run
+  // proved nothing about the planner.
+  ASSERT_NE(db_->result_cache(), nullptr);
+  EXPECT_GT(db_->result_cache()->stats().hits, 0u);
+}
+
 // Join queries cross-check TOUCH against the independent plane-sweep
 // algorithm at randomized epsilons.
 TEST_F(DiffHarnessFixture, SeededJoinWorkloadHasNoDivergence) {

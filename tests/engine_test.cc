@@ -248,14 +248,31 @@ TEST_F(EngineFixture, ExecuteBatchSharesWarmPoolAcrossRequests) {
   EXPECT_EQ(result->aggregate.pool_misses,
             result->reports[0].rows[0].stats.pages_read);
 
-  // Cold requests drop the shared pool before running.
+  // Warm pools are the engine's persistent PoolManager sets: a second
+  // batch on the same engine starts where the first left off, so the warm
+  // request misses nothing at all.
+  auto again = db_->ExecuteBatch(batch);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->aggregate.pool_misses, 0u);
+  EXPECT_EQ(again->aggregate.pool_hits,
+            2 * again->reports[0].rows[0].stats.pages_read);
+
+  // Cold requests drop the shared pool before running: the leading warm
+  // request rides the surviving pool for free, the cold one evicts it and
+  // pays its pages in full.
   RangeRequest cold = warm;
   cold.cache = CachePolicy::kCold;
   std::vector<RangeRequest> cold_batch = {warm, cold};
   auto cold_result = db_->ExecuteBatch(cold_batch);
   ASSERT_TRUE(cold_result.ok());
   EXPECT_EQ(cold_result->aggregate.pool_misses,
-            2 * cold_result->reports[0].rows[0].stats.pages_read);
+            cold_result->reports[1].rows[0].stats.pages_read);
+
+  // Cold evicts *before* executing, so the cold request itself leaves a
+  // warm pool behind — the next warm batch rides it.
+  auto after_cold = db_->ExecuteBatch(batch);
+  ASSERT_TRUE(after_cold.ok());
+  EXPECT_EQ(after_cold->aggregate.pool_misses, 0u);
 }
 
 TEST_F(EngineFixture, MixedBatchAggregatesAcrossRangeAndKnn) {
@@ -323,14 +340,168 @@ TEST_F(EngineFixture, RangeOnlyBatchMatchesMixedBatch) {
     plain.push_back(request);
     mixed.emplace_back(request);
   }
+  // Warm batches run over the engine's persistent pools, so a fair
+  // comparison needs two engines in the same (fresh) state.
+  QueryEngine mixed_db(db_->options());
+  ASSERT_TRUE(mixed_db.LoadCircuit(circuit_).ok());
   auto plain_result = db_->ExecuteBatch(plain);
-  auto mixed_result = db_->ExecuteBatch(std::span<const QueryRequest>(mixed));
+  auto mixed_result =
+      mixed_db.ExecuteBatch(std::span<const QueryRequest>(mixed));
   ASSERT_TRUE(plain_result.ok());
   ASSERT_TRUE(mixed_result.ok());
   EXPECT_EQ(plain_result->aggregate.pages_read,
             mixed_result->aggregate.pages_read);
   EXPECT_EQ(plain_result->aggregate.results, mixed_result->aggregate.results);
   EXPECT_EQ(plain_result->aggregate.time_us, mixed_result->aggregate.time_us);
+}
+
+// --------------------------------------------------------------------------
+// Result cache: delta range requests (CachePolicy::kDelta)
+// --------------------------------------------------------------------------
+
+TEST_F(EngineFixture, DeltaRequestMatchesColdExecutionExactly) {
+  Aabb box = Aabb::Cube(db_->domain().Center(), 50.0f);
+  // A shifted box overlapping the first one by half along x.
+  Aabb shifted = box;
+  shifted.min.x += 25.0f;
+  shifted.max.x += 25.0f;
+
+  auto cold_ids = [&](const Aabb& b) {
+    RangeRequest request;
+    request.box = b;
+    request.backend = BackendChoice::kFlat;
+    request.cache = CachePolicy::kCold;
+    CollectingVisitor out;
+    auto report = db_->Execute(request, out);
+    EXPECT_TRUE(report.ok());
+    return SortedIds(out);
+  };
+  auto delta_ids = [&](const Aabb& b, RangeReport* report_out) {
+    RangeRequest request;
+    request.box = b;
+    request.backend = BackendChoice::kFlat;
+    request.cache = CachePolicy::kDelta;
+    CollectingVisitor out;
+    auto report = db_->Execute(request, out);
+    EXPECT_TRUE(report.ok());
+    if (report.ok() && report_out != nullptr) *report_out = *report;
+    return SortedIds(out);
+  };
+
+  RangeReport first, second, third;
+  EXPECT_EQ(delta_ids(box, &first), cold_ids(box));
+  // First delta request: nothing cached yet.
+  EXPECT_EQ(first.cache_hit_fraction, 0.0);
+
+  EXPECT_EQ(delta_ids(shifted, &second), cold_ids(shifted));
+  // Second request half-covers the first box.
+  EXPECT_GT(second.cache_hit_fraction, 0.0);
+  EXPECT_LT(second.delta_volume_fraction, 1.0);
+
+  // Repeating the request is a full cache hit: no pages at all.
+  EXPECT_EQ(delta_ids(shifted, &third), cold_ids(shifted));
+  EXPECT_EQ(third.cache_hit_fraction, 1.0);
+  EXPECT_EQ(third.rows[0].stats.pages_read, 0u);
+
+  EXPECT_GT(db_->result_cache()->stats().hits, 0u);
+}
+
+TEST_F(EngineFixture, DeltaBatchReportsCacheFractionsAndSavesPages) {
+  // A sliding window: consecutive boxes overlap by ~2/3.
+  std::vector<Aabb> boxes;
+  Aabb window = Aabb::Cube(db_->domain().Center(), 45.0f);
+  for (int i = 0; i < 6; ++i) {
+    boxes.push_back(window);
+    window.min.x += 15.0f;
+    window.max.x += 15.0f;
+  }
+
+  auto run = [&](CachePolicy policy) {
+    // A fresh engine per run: warm/delta state is persistent.
+    QueryEngine db(db_->options());
+    EXPECT_TRUE(db.LoadCircuit(circuit_).ok());
+    std::vector<RangeRequest> batch;
+    for (const Aabb& box : boxes) {
+      RangeRequest request;
+      request.box = box;
+      request.backend = BackendChoice::kFlat;
+      request.cache = policy;
+      batch.push_back(request);
+    }
+    auto result = db.ExecuteBatch(batch);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+
+  BatchResult warm = run(CachePolicy::kWarm);
+  BatchResult delta = run(CachePolicy::kDelta);
+
+  // Same answers, request by request.
+  ASSERT_EQ(warm.reports.size(), delta.reports.size());
+  for (size_t i = 0; i < warm.reports.size(); ++i) {
+    EXPECT_EQ(warm.reports[i].results, delta.reports[i].results)
+        << "request " << i;
+  }
+
+  // The delta batch answered overlap from the cache: fewer pages touched
+  // than even the warm pool path, and the aggregate says why.
+  EXPECT_EQ(delta.aggregate.delta_requests, boxes.size());
+  EXPECT_GT(delta.aggregate.cache_hit_fraction, 0.3);
+  EXPECT_LT(delta.aggregate.delta_volume_fraction, 0.7);
+  EXPECT_LT(delta.aggregate.pages_read, warm.aggregate.pages_read);
+
+  // Warm batches never consult the cache.
+  EXPECT_EQ(warm.aggregate.delta_requests, 0u);
+}
+
+TEST_F(EngineFixture, DeltaWithKAllFallsBackToPlainWarmParity) {
+  Aabb box = Aabb::Cube(db_->domain().Center(), 40.0f);
+  RangeRequest request;
+  request.box = box;
+  request.backend = BackendChoice::kAll;
+  request.cache = CachePolicy::kDelta;
+  auto first = db_->Execute(request);
+  auto second = db_->Execute(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // kAll keeps its full cross-check: every backend really executed.
+  EXPECT_EQ(first->rows.size(), db_->NumBackends());
+  EXPECT_TRUE(first->results_match);
+  EXPECT_EQ(first->results, second->results);
+  EXPECT_EQ(first->cache_hit_fraction, 0.0);
+}
+
+TEST_F(EngineFixture, PoolManagerExposesWarmState) {
+  storage::PoolManager* manager = db_->pool_manager();
+  ASSERT_NE(manager, nullptr);
+  // One named set per registered backend, created at LoadCircuit.
+  EXPECT_EQ(manager->NumSets(), db_->NumBackends());
+  EXPECT_NE(manager->Find("FLAT"), nullptr);
+  EXPECT_NE(manager->Find("Sharded"), nullptr);
+  EXPECT_EQ(manager->Find("NoSuchBackend"), nullptr);
+  // The sharded backend's set carries one pool per shard.
+  EXPECT_EQ(manager->Find("Sharded")->size(),
+            db_->sharded_backend()->NumShards());
+
+  RangeRequest request;
+  request.box = Aabb::Cube(db_->domain().Center(), 40.0f);
+  request.backend = BackendChoice::kFlat;
+  request.cache = CachePolicy::kWarm;
+  ASSERT_TRUE(db_->Execute(request).ok());
+  storage::PoolManagerStats stats = manager->Stats();
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.pages_cached, 0u);
+
+  ASSERT_TRUE(db_->Execute(request).ok());
+  stats = manager->Stats();
+  EXPECT_GT(stats.hits, 0u);
+
+  // Evicting the FLAT set empties it and counts the dropped pages.
+  uint64_t evictions_before = stats.evictions;
+  EXPECT_TRUE(manager->Evict("FLAT"));
+  stats = manager->Stats();
+  EXPECT_GT(stats.evictions, evictions_before);
+  EXPECT_EQ(manager->Find("FLAT")->PagesCached(), 0u);
 }
 
 // --------------------------------------------------------------------------
@@ -449,6 +620,131 @@ TEST_F(EngineFixture, ScoutSessionBeatsNoPrefetch) {
     stalls[i] = session->Summary().total_stall_us;
   }
   EXPECT_LT(stalls[1], stalls[0]);
+}
+
+// --------------------------------------------------------------------------
+// Cached sessions (result cache + delta steps)
+// --------------------------------------------------------------------------
+
+TEST_F(EngineFixture, CachedSessionStepsMatchColdSessionExactly) {
+  auto path = neuro::FollowBranchPath(circuit_, 1, 12.0f, 1);
+  ASSERT_TRUE(path.ok());
+  auto queries = neuro::PathQueries(*path, 30.0f);
+  ASSERT_GT(queries.size(), 2u);
+
+  for (auto method :
+       {scout::PrefetchMethod::kNone, scout::PrefetchMethod::kExtrapolation,
+        scout::PrefetchMethod::kScout}) {
+    auto cold = db_->OpenSession(method, CachePolicy::kCold);
+    auto cached = db_->OpenSession(method, CachePolicy::kWarm);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(cached.ok());
+    ASSERT_NE(cached->result_cache(), nullptr);
+    EXPECT_EQ(cold->result_cache(), nullptr);
+
+    bool any_coverage = false;
+    for (const Aabb& box : queries) {
+      CollectingVisitor cold_out, cached_out;
+      auto cold_step = cold->Step(box, cold_out);
+      auto cached_step = cached->Step(box, cached_out);
+      ASSERT_TRUE(cold_step.ok());
+      ASSERT_TRUE(cached_step.ok());
+      // Byte-identical answers, step by step.
+      EXPECT_EQ(SortedIds(cached_out), SortedIds(cold_out));
+      EXPECT_EQ(cached_step->results, cold_step->results);
+      // With an order-insensitive prefetcher both sessions warm the pool
+      // identically, so the cached step's residual queries demand a
+      // subset of the cold step's pages — misses can only shrink. (Pool
+      // *hit* counts may grow: residual crawls re-touch boundary pages.
+      // SCOUT sees the ids in a different order in a cached session, so
+      // its prefetch choices may differ either way.)
+      if (method != scout::PrefetchMethod::kScout) {
+        EXPECT_LE(cached_step->pages_missed, cold_step->pages_missed);
+      }
+      if (cached_step->cache_hit_fraction > 0.0) any_coverage = true;
+    }
+    // Consecutive path boxes overlap, so the cache must have covered
+    // something after the first step.
+    EXPECT_TRUE(any_coverage) << scout::PrefetchMethodName(method);
+  }
+}
+
+TEST_F(EngineFixture, CachedSessionRepeatedBoxIsServedEntirelyFromCache) {
+  auto session = db_->OpenSession(scout::PrefetchMethod::kNone,
+                                  CachePolicy::kDelta);
+  ASSERT_TRUE(session.ok());
+  Aabb box = Aabb::Cube(db_->domain().Center(), 40.0f);
+
+  auto first = session->Step(box);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->cache_hit_fraction, 0.0);
+  EXPECT_GT(first->results, 0u);
+
+  auto second = session->Step(box);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache_hit_fraction, 1.0);
+  EXPECT_EQ(second->delta_volume_fraction, 0.0);
+  EXPECT_EQ(second->results, first->results);
+  // Full coverage → no residual queries → no demand I/O, no stall.
+  EXPECT_EQ(second->pages_missed, 0u);
+  EXPECT_EQ(second->stall_us, 0u);
+}
+
+TEST_F(EngineFixture, ColdOpenSessionOverridesEngineWideCacheDefault) {
+  // An engine configured with session caching on by default must still
+  // hand out genuinely cold sessions for kCold — the harness's cold
+  // baselines depend on the policy argument governing both ways.
+  EngineOptions options = db_->options();
+  options.session.cache_results = true;
+  QueryEngine db(options);
+  ASSERT_TRUE(db.LoadCircuit(circuit_).ok());
+
+  auto cold = db.OpenSession(scout::PrefetchMethod::kNone, CachePolicy::kCold);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->result_cache(), nullptr);
+  auto warm = db.OpenSession(scout::PrefetchMethod::kNone, CachePolicy::kWarm);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->result_cache(), nullptr);
+
+  // result_cache_boxes == 0 is the engine-wide kill switch: even kWarm
+  // sessions come out uncached.
+  EngineOptions disabled_options = db_->options();
+  disabled_options.result_cache_boxes = 0;
+  QueryEngine disabled(disabled_options);
+  ASSERT_TRUE(disabled.LoadCircuit(circuit_).ok());
+  auto disabled_warm =
+      disabled.OpenSession(scout::PrefetchMethod::kNone, CachePolicy::kWarm);
+  ASSERT_TRUE(disabled_warm.ok());
+  EXPECT_EQ(disabled_warm->result_cache(), nullptr);
+}
+
+TEST_F(EngineFixture, CachedWalkthroughRequestMatchesColdReplay) {
+  auto path = neuro::FollowBranchPath(circuit_, 2, 10.0f, 3);
+  ASSERT_TRUE(path.ok());
+  auto queries = neuro::PathQueries(*path, 30.0f);
+
+  // Extrapolation is order-insensitive, so the cached replay's prefetch
+  // behaviour matches the cold one page for page and the stall comparison
+  // below is exact, not probabilistic.
+  WalkthroughRequest cold;
+  cold.queries = queries;
+  cold.method = scout::PrefetchMethod::kExtrapolation;
+  WalkthroughRequest cached = cold;
+  cached.cache = CachePolicy::kWarm;
+
+  auto cold_run = db_->Execute(cold);
+  auto cached_run = db_->Execute(cached);
+  ASSERT_TRUE(cold_run.ok());
+  ASSERT_TRUE(cached_run.ok());
+  ASSERT_EQ(cached_run->steps.size(), cold_run->steps.size());
+  for (size_t i = 0; i < cold_run->steps.size(); ++i) {
+    EXPECT_EQ(cached_run->steps[i].results, cold_run->steps[i].results)
+        << "step " << i;
+  }
+  // The cached replay demands at most as many pages and reports coverage.
+  EXPECT_LE(cached_run->pages_missed, cold_run->pages_missed);
+  EXPECT_GT(cached_run->MeanCacheHitFraction(), 0.0);
+  EXPECT_EQ(cold_run->MeanCacheHitFraction(), 0.0);
 }
 
 // --------------------------------------------------------------------------

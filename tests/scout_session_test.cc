@@ -122,6 +122,23 @@ TEST_F(SessionFixture, ZeroReadCostMeansZeroBudget) {
   EXPECT_EQ(options.PrefetchBudget(), 0u);
 }
 
+TEST_F(SessionFixture, PrefetchBudgetIsCappedAtPoolCapacity) {
+  // A huge think time used to "prefetch" more pages than the pool can
+  // hold, silently evicting what it just warmed. The budget now caps at
+  // pool_pages.
+  SessionOptions options = DefaultOptions();
+  options.pool_pages = 8;
+  options.think_time_us = 10'000'000;  // 2000 pages at 5 ms each
+  EXPECT_EQ(options.PrefetchBudget(), 8u);
+
+  WalkthroughSession session(&*index_, &store_, &resolver_, options);
+  auto result = session.Run(queries_, PrefetchMethod::kScout);
+  ASSERT_TRUE(result.ok());
+  for (const auto& step : result->steps) {
+    EXPECT_LE(step.prefetched, options.pool_pages);
+  }
+}
+
 TEST_F(SessionFixture, ScoutCandidatesShrinkAlongThePath) {
   // Paper Figure 5: the candidate set narrows as the sequence continues.
   WalkthroughSession session(&*index_, &store_, &resolver_, DefaultOptions());

@@ -56,6 +56,46 @@ TEST(ShardedBackendTest, SplitsAreExhaustiveAndNonEmpty) {
   }
 }
 
+TEST(ShardedBackendTest, CostBasedSelectionSkipsZeroPopulationShards) {
+  // An empty build produces one zero-population shard whose bounds never
+  // became valid — selection must skip it by population, queries must
+  // still work and kNN must return nothing.
+  ShardedBackend empty_backend;
+  ASSERT_TRUE(empty_backend.Build(geom::ElementVec{}).ok());
+  ASSERT_EQ(empty_backend.NumShards(), 1u);
+  EXPECT_EQ(empty_backend.ShardPopulation(0), 0u);
+  EXPECT_TRUE(
+      empty_backend.SelectShards(Aabb(Vec3(0, 0, 0), Vec3(500, 500, 500)))
+          .empty());
+
+  storage::PoolSet pools = empty_backend.MakePoolSet(64);
+  CollectingVisitor out;
+  ASSERT_TRUE(empty_backend
+                  .RangeQuery(Aabb(Vec3(0, 0, 0), Vec3(500, 500, 500)),
+                              &pools, out)
+                  .ok());
+  EXPECT_EQ(out.size(), 0u);
+  std::vector<KnnHit> hits;
+  ASSERT_TRUE(empty_backend.KnnQuery(Vec3(1, 1, 1), 5, &pools, &hits).ok());
+  EXPECT_TRUE(hits.empty());
+
+  // On a populated backend the selection is driven by bounds intersection
+  // as before: a query outside every shard selects nothing, a domain-wide
+  // query selects only populated shards.
+  geom::ElementVec elements = MakeCloud(400, 11);
+  ShardedOptions options;
+  options.num_shards = 4;
+  ShardedBackend backend(options);
+  ASSERT_TRUE(backend.Build(elements).ok());
+  EXPECT_TRUE(
+      backend.SelectShards(Aabb(Vec3(900, 900, 900), Vec3(950, 950, 950)))
+          .empty());
+  std::vector<size_t> all =
+      backend.SelectShards(Aabb(Vec3(-10, -10, -10), Vec3(500, 500, 500)));
+  EXPECT_EQ(all.size(), backend.NumShards());
+  for (size_t s : all) EXPECT_GT(backend.ShardPopulation(s), 0u);
+}
+
 TEST(ShardedBackendTest, FewerElementsThanShardsDegradesGracefully) {
   geom::ElementVec elements = MakeCloud(3, 5);
   ShardedOptions options;
