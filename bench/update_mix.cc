@@ -1,0 +1,270 @@
+// Update mix: update-fraction × backend sweep over the base+delta path.
+//
+// Growing circuits turn every read-only index into a base+delta merge:
+// queries answer from the immutable built layout plus the in-memory
+// DeltaIndex (tombstones filtered, inserts appended). This bench quantifies
+// what that merge costs. For each backend and each update fraction f, the
+// same fixed set of data-centered range queries runs interleaved with a
+// seeded insert/erase/move stream sized so updates are a fraction f of all
+// operations; the headline metrics are demand pages fetched and simulated
+// I/O time per query, compared against the pure-base run (f = 0) of the
+// same backend as `pages_ratio` / `time_ratio`.
+//
+// The claim the smoke gate enforces (update_mix_smoke, NEURODB_BENCH_SMOKE):
+// at update fractions <= 10%, delta-merged queries stay within 2x of the
+// pure-base query cost — mutation is an overlay, not a rebuild, and the
+// overlay is memory-resident (inserts add zero page I/O; erases can only
+// shrink page visits after compaction). Emits BENCH_update_mix.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "engine/query_engine.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+using geom::Aabb;
+using geom::ElementId;
+using geom::Vec3;
+
+namespace {
+
+struct MixRow {
+  double pages_per_query = 0.0;
+  double sim_us_per_query = 0.0;
+  double wall_ms = 0.0;
+  uint64_t updates = 0;
+  uint64_t delta_size = 0;
+  /// Engine result-cache churn over the run (each query also runs once
+  /// through CachePolicy::kDelta, so updates invalidate live entries).
+  uint64_t cache_hits = 0;
+  uint64_t cache_invalidated = 0;
+};
+
+struct BackendUnderTest {
+  const char* label;
+  engine::BackendChoice choice;
+};
+
+/// Run `queries` through a fresh engine over `circuit`, interleaving a
+/// seeded update stream so updates make up `update_fraction` of all
+/// operations. Returns per-query averages of the *query* cost only.
+bool RunMix(const neuro::Circuit& circuit, engine::BackendChoice choice,
+            const std::vector<Aabb>& queries, double update_fraction,
+            uint64_t seed, MixRow* row) {
+  engine::EngineOptions options;
+  options.flat.elems_per_page = 64;
+  options.grid.elems_per_page = 64;
+  options.sharded.inner.elems_per_page = 64;
+  engine::QueryEngine db(options);
+  if (!db.LoadCircuit(circuit).ok()) return false;
+
+  geom::ElementVec elements = circuit.FlattenSegments().Elements();
+  std::vector<ElementId> live_ids;
+  live_ids.reserve(elements.size());
+  ElementId next_id = 0;
+  for (const auto& e : elements) {
+    live_ids.push_back(e.id);
+    next_id = std::max(next_id, e.id);
+  }
+  ++next_id;
+
+  // updates / (updates + queries) == update_fraction.
+  const size_t total_updates =
+      update_fraction >= 1.0
+          ? 0
+          : static_cast<size_t>(static_cast<double>(queries.size()) *
+                                update_fraction / (1.0 - update_fraction));
+  // The seeded mutation stream: element-scale cubes, insert/erase/move.
+  neuro::MixedWorkloadOptions update_options;
+  update_options.update_fraction = 1.0;
+  auto updates = neuro::MixedWorkload(db.domain(), elements, update_options,
+                                      total_updates, seed);
+
+  uint64_t pages = 0;
+  uint64_t sim_us = 0;
+  size_t update_cursor = 0;
+  size_t applied = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Spread the update stream evenly between the queries.
+    size_t updates_due = queries.empty()
+                             ? 0
+                             : total_updates * (i + 1) / queries.size();
+    for (; update_cursor < updates_due; ++update_cursor) {
+      const neuro::WorkloadQuery& u = updates[update_cursor];
+      engine::UpdateRequest request;
+      if (u.update_op == neuro::WorkloadUpdateOp::kInsert ||
+          live_ids.empty()) {
+        request.kind = engine::UpdateKind::kInsert;
+        request.id = next_id++;
+        request.bounds = u.box;
+        live_ids.push_back(request.id);
+      } else {
+        size_t idx = static_cast<size_t>(u.update_rank % live_ids.size());
+        request.id = live_ids[idx];
+        if (u.update_op == neuro::WorkloadUpdateOp::kErase) {
+          request.kind = engine::UpdateKind::kErase;
+          live_ids[idx] = live_ids.back();
+          live_ids.pop_back();
+        } else {
+          request.kind = engine::UpdateKind::kMove;
+          request.bounds = u.box;
+        }
+      }
+      auto report = db.ApplyUpdates(
+          std::span<const engine::UpdateRequest>(&request, 1));
+      if (!report.ok()) {
+        std::fprintf(stderr, "ApplyUpdates failed: %s\n",
+                     report.status().ToString().c_str());
+        return false;
+      }
+      ++applied;
+    }
+
+    engine::RangeRequest request;
+    request.box = queries[i];
+    request.backend = choice;
+    request.cache = engine::CachePolicy::kWarm;
+    auto report = db.Execute(request);
+    if (!report.ok()) {
+      std::fprintf(stderr, "Execute failed: %s\n",
+                   report.status().ToString().c_str());
+      return false;
+    }
+    for (const auto& r : report->rows) {
+      pages += r.stats.pages_read;
+      sim_us += r.stats.time_us;
+    }
+
+    // The same box once more through the result-cache delta path — not
+    // part of the gated cost metric, but it keeps live cache entries the
+    // update stream then invalidates, so the run reports real churn.
+    engine::RangeRequest delta_request = request;
+    delta_request.cache = engine::CachePolicy::kDelta;
+    if (!db.Execute(delta_request).ok()) return false;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+
+  row->pages_per_query =
+      queries.empty() ? 0.0
+                      : static_cast<double>(pages) /
+                            static_cast<double>(queries.size());
+  row->sim_us_per_query =
+      queries.empty() ? 0.0
+                      : static_cast<double>(sim_us) /
+                            static_cast<double>(queries.size());
+  row->wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() /
+      1e3;
+  row->updates = applied;
+  row->delta_size = db.DeltaSize();
+  if (db.result_cache() != nullptr) {
+    row->cache_hits = db.result_cache()->stats().hits;
+    row->cache_invalidated = db.result_cache()->stats().invalidated_boxes;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("NEURODB_BENCH_SMOKE") != nullptr;
+  const size_t neurons = smoke ? 8 : 20;
+  const size_t num_queries = smoke ? 24 : 120;
+  const uint64_t seed = 4242;
+
+  std::printf(
+      "Update mix: update-fraction x backend sweep (base+delta merge)\n"
+      "Cortical column, %zu neurons; %zu data-centered range queries per\n"
+      "cell, seeded insert/erase/move stream interleaved.\n\n",
+      neurons, num_queries);
+
+  neuro::Circuit circuit =
+      bench::MakeColumn(static_cast<uint32_t>(neurons), 42);
+  geom::ElementVec elements = circuit.FlattenSegments().Elements();
+  std::vector<Aabb> queries =
+      neuro::DataCenteredQueries(elements, 40.0f, num_queries, seed + 1);
+
+  const BackendUnderTest kBackends[] = {
+      {"FLAT", engine::BackendChoice::kFlat},
+      {"R-Tree", engine::BackendChoice::kRTree},
+      {"Grid", engine::BackendChoice::kGrid},
+      {"Sharded", engine::BackendChoice::kSharded},
+  };
+  const double kFractions[] = {0.0, 0.05, 0.10, 0.25};
+
+  TableWriter table("update mix (base+delta merge cost)",
+                    {"backend", "upd_frac", "updates", "delta", "pages/q",
+                     "sim_us/q", "pages_ratio", "time_ratio", "invalidated"});
+  bench::JsonEmitter json("update_mix");
+  bool claim_holds = true;
+
+  for (const BackendUnderTest& backend : kBackends) {
+    MixRow baseline;
+    for (double fraction : kFractions) {
+      MixRow row;
+      if (!RunMix(circuit, backend.choice, queries, fraction, seed, &row)) {
+        return 1;
+      }
+      if (fraction == 0.0) baseline = row;
+      double pages_ratio = baseline.pages_per_query > 0.0
+                               ? row.pages_per_query / baseline.pages_per_query
+                               : 1.0;
+      double time_ratio = baseline.sim_us_per_query > 0.0
+                              ? row.sim_us_per_query /
+                                    baseline.sim_us_per_query
+                              : 1.0;
+
+      char frac_buf[16], pages_buf[32], sim_buf[32], pr_buf[16], tr_buf[16];
+      std::snprintf(frac_buf, sizeof(frac_buf), "%.2f", fraction);
+      std::snprintf(pages_buf, sizeof(pages_buf), "%.1f",
+                    row.pages_per_query);
+      std::snprintf(sim_buf, sizeof(sim_buf), "%.1f", row.sim_us_per_query);
+      std::snprintf(pr_buf, sizeof(pr_buf), "%.2f", pages_ratio);
+      std::snprintf(tr_buf, sizeof(tr_buf), "%.2f", time_ratio);
+      table.AddRow({backend.label, frac_buf, std::to_string(row.updates),
+                    std::to_string(row.delta_size), pages_buf, sim_buf,
+                    pr_buf, tr_buf, std::to_string(row.cache_invalidated)});
+
+      bench::JsonRow json_row;
+      json_row.Str("backend", backend.label)
+          .Num("update_fraction", fraction)
+          .Int("queries", num_queries)
+          .Int("updates", row.updates)
+          .Int("delta_size", row.delta_size)
+          .Num("pages_per_query", row.pages_per_query)
+          .Num("sim_us_per_query", row.sim_us_per_query)
+          .Num("wall_ms", row.wall_ms)
+          .Num("pages_ratio", pages_ratio)
+          .Num("time_ratio", time_ratio)
+          .Int("cache_hits", row.cache_hits)
+          .Int("cache_invalidated", row.cache_invalidated);
+      json.AddRow(json_row);
+
+      // The gate: the delta merge must stay within 2x of pure-base cost
+      // while updates are <= 10% of the operation mix.
+      if (fraction > 0.0 && fraction <= 0.10 + 1e-9) {
+        if (pages_ratio > 2.0 || time_ratio > 2.0) {
+          std::fprintf(stderr,
+                       "CLAIM FAILED: %s at update fraction %.2f: "
+                       "pages_ratio=%.2f time_ratio=%.2f (> 2x)\n",
+                       backend.label, fraction, pages_ratio, time_ratio);
+          claim_holds = false;
+        }
+      }
+    }
+  }
+
+  table.Print();
+  std::printf(
+      "\nClaim (<= 2x pure-base query cost at <= 10%% update fraction): "
+      "%s\n",
+      claim_holds ? "HOLDS" : "FAILED");
+  if (!json.Write()) return 1;
+  return claim_holds ? 0 : 2;
+}

@@ -31,11 +31,22 @@ void ResultCache::Insert(const geom::Aabb& box, geom::ElementVec results) {
     }
   }
 
-  entries_.push_back(CachedResult{box, std::move(results)});
+  entries_.push_back(CachedResult{box, std::move(results), epoch_});
   ++stats_.insertions;
   while (entries_.size() > capacity_) {
     entries_.pop_front();
     ++stats_.evictions;
+  }
+}
+
+void ResultCache::AdvanceEpoch(storage::Epoch epoch, const geom::Aabb& dirty) {
+  epoch_ = epoch;
+  if (!dirty.IsValid()) return;
+  for (size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].box.Intersects(dirty)) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      ++stats_.invalidated_boxes;
+    }
   }
 }
 

@@ -25,6 +25,7 @@
 
 #include "geom/aabb.h"
 #include "geom/element.h"
+#include "storage/epoch.h"
 
 namespace neurodb {
 namespace cache {
@@ -47,13 +48,21 @@ struct CacheStats {
   uint64_t insertions = 0;
   /// Entries dropped by capacity or subsumption.
   uint64_t evictions = 0;
+  /// Entries dropped because an update batch dirtied their region
+  /// (AdvanceEpoch) — the cache's invalidation churn, reported alongside
+  /// hits/misses by the update benchmarks and session aggregates.
+  uint64_t invalidated_boxes = 0;
 };
 
-/// One cached evaluated box: its coverage AABB and the exact result set,
-/// ascending by element id.
+/// One cached evaluated box: its coverage AABB, the exact result set
+/// (ascending by element id), and the data epoch it was computed at. Every
+/// resident entry is valid for the *current* epoch — AdvanceEpoch drops
+/// entries an update invalidated — so the tag records provenance, not
+/// staleness.
 struct CachedResult {
   geom::Aabb box;
   geom::ElementVec results;
+  storage::Epoch epoch = 0;
 };
 
 /// FIFO cache of the last `capacity` evaluated boxes. Insertion drops
@@ -71,8 +80,20 @@ class ResultCache {
   const CachedResult& entry(size_t i) const { return entries_[i]; }
 
   /// Remember `results` (must be the complete answer for `box`, sorted
-  /// ascending by id) as the newest entry. No-op when capacity is 0.
+  /// ascending by id) as the newest entry, stamped with the current epoch.
+  /// No-op when capacity is 0.
   void Insert(const geom::Aabb& box, geom::ElementVec results);
+
+  /// An update batch moved the data to `epoch`, touching `dirty`: drop
+  /// exactly the entries whose coverage box intersects the dirty region
+  /// (counted as invalidated_boxes, not evictions) — everything else still
+  /// answers byte-identically at the new epoch. An empty dirty box (a
+  /// compaction, which changes layout but not results) just advances the
+  /// stamp used for future inserts.
+  void AdvanceEpoch(storage::Epoch epoch, const geom::Aabb& dirty);
+
+  /// The epoch new entries are stamped with.
+  storage::Epoch epoch() const { return epoch_; }
 
   /// True when an existing entry's coverage box contains `box` — an
   /// insert for `box` would add nothing, so callers can skip computing
@@ -102,6 +123,7 @@ class ResultCache {
   /// Oldest first; back is the newest.
   std::deque<CachedResult> entries_;
   CacheStats stats_;
+  storage::Epoch epoch_ = 0;
 };
 
 }  // namespace cache

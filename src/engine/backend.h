@@ -14,6 +14,7 @@
 #define NEURODB_ENGINE_BACKEND_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -92,6 +93,49 @@ class SpatialBackend {
 
   /// Index footprint.
   virtual BackendStats Stats() const = 0;
+
+  // --- Mutation protocol (base+delta backends) -----------------------------
+  //
+  // The built-in backends derive from BaseDeltaBackend and support the full
+  // protocol; a custom backend that leaves these defaulted is read-only, and
+  // QueryEngine::ApplyUpdates rejects the whole batch up front (checked via
+  // SupportsUpdates before anything applies) rather than diverging from the
+  // mutable backends mid-apply. Liveness validation (id exists / does not)
+  // happens at the engine boundary; backends apply what they are given.
+
+  /// True when this backend implements Insert/Erase/Move/Compact. The
+  /// engine refuses ApplyUpdates while any registered backend is
+  /// read-only — a half-applied batch would break kAll parity forever.
+  virtual bool SupportsUpdates() const { return false; }
+
+  /// Add element `id` at `bounds` to this backend's live set.
+  virtual Status Insert(geom::ElementId /*id*/, const geom::Aabb& /*bounds*/) {
+    return Status::Unimplemented(std::string(name()) +
+                                 ": backend does not support updates");
+  }
+
+  /// Remove live element `id`.
+  virtual Status Erase(geom::ElementId /*id*/) {
+    return Status::Unimplemented(std::string(name()) +
+                                 ": backend does not support updates");
+  }
+
+  /// Relocate live element `id` to `bounds`.
+  virtual Status Move(geom::ElementId /*id*/, const geom::Aabb& /*bounds*/) {
+    return Status::Unimplemented(std::string(name()) +
+                                 ": backend does not support updates");
+  }
+
+  /// Fold the accumulated delta back into a rebuilt immutable base. After a
+  /// successful Compact, DeltaSize() is 0 and query answers are unchanged.
+  /// The physical page layout is new: every BufferPool over this backend's
+  /// Stores() must be evicted before its next use (QueryEngine::Compact
+  /// handles its own pools; sessions opened before a compaction are stale).
+  virtual Status Compact() { return Status::OK(); }
+
+  /// Pending delta records (inserts + tombstones); 0 for read-only backends
+  /// and right after Compact.
+  virtual size_t DeltaSize() const { return 0; }
 
   /// Every simulated disk of this backend, in a fixed order — the stores a
   /// query PoolSet must be built over. Single-store backends return their

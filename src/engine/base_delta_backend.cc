@@ -1,0 +1,143 @@
+#include "engine/base_delta_backend.h"
+
+#include <algorithm>
+
+namespace neurodb {
+namespace engine {
+
+Status BaseDeltaBackend::Build(const geom::ElementVec& elements) {
+  if (built_) {
+    return Status::AlreadyExists(std::string(name()) + ": already built");
+  }
+  base_empty_ = elements.empty();
+  if (!base_empty_) {
+    NEURODB_RETURN_NOT_OK(BuildBase(elements));
+  }
+  if (retain_base_elements()) {
+    base_elements_ = elements;
+    std::sort(base_elements_.begin(), base_elements_.end(),
+              [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
+                return a.id < b.id;
+              });
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::RangeQuery(const geom::Aabb& box,
+                                    storage::PoolSet* pools,
+                                    ResultVisitor& visitor,
+                                    RangeStats* stats) const {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("RangeQuery"));
+  if (delta_.Empty()) {
+    if (base_empty_) return Status::OK();
+    return BaseRangeQuery(box, pools, visitor, stats);
+  }
+
+  geom::ElementVec merged;
+  if (!base_empty_) {
+    CollectingVisitor base_out;
+    NEURODB_RETURN_NOT_OK(BaseRangeQuery(box, pools, base_out, stats));
+    merged = base_out.TakeElements();
+  }
+  delta_.Overlay(box, &merged);
+
+  for (const geom::SpatialElement& e : merged) visitor.Visit(e.id, e.bounds);
+  if (stats != nullptr) {
+    stats->results = merged.size();
+    // The insert scan is the delta's whole cost model: memory-resident,
+    // no page I/O, but each insert is a candidate tested against the box.
+    stats->elements_scanned += delta_.InsertCount();
+  }
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::KnnQuery(const geom::Vec3& point, size_t k,
+                                  storage::PoolSet* pools,
+                                  std::vector<geom::KnnHit>* hits,
+                                  RangeStats* stats) const {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("KnnQuery"));
+  // The read-only fast path delegates wholesale (hook validation applies).
+  if (delta_.Empty() && !base_empty_) {
+    return BaseKnnQuery(point, k, pools, hits, stats);
+  }
+
+  if (hits == nullptr) {
+    return Status::InvalidArgument(std::string(name()) +
+                                   "::KnnQuery: null output");
+  }
+  if (!geom::IsFinitePoint(point)) {
+    return Status::InvalidArgument(std::string(name()) +
+                                   "::KnnQuery: non-finite point");
+  }
+  if (k == 0) {
+    hits->clear();
+    return Status::OK();
+  }
+
+  // Widen the base request so that even if every tombstoned/shadowed base
+  // element landed among the base's best hits, at least k live ones
+  // remain; any live base element outside this widened top set is
+  // dominated by >= k live base elements and cannot enter the answer.
+  const size_t k_widen = delta_.TombstoneCount() + delta_.InsertCount();
+  geom::KnnAccumulator acc(k);
+  if (!base_empty_) {
+    std::vector<geom::KnnHit> base_hits;
+    NEURODB_RETURN_NOT_OK(
+        BaseKnnQuery(point, k + k_widen, pools, &base_hits, stats));
+    for (const geom::KnnHit& hit : base_hits) {
+      if (!delta_.IsDead(hit.id)) acc.Offer(hit.id, hit.distance);
+    }
+  }
+  delta_.SeedKnn(point, &acc);
+
+  *hits = acc.TakeSorted();
+  if (stats != nullptr) {
+    stats->results = hits->size();
+    stats->elements_scanned += delta_.InsertCount();
+  }
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::Insert(geom::ElementId id, const geom::Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Insert"));
+  delta_.Insert(id, bounds);
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::Erase(geom::ElementId id) {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Erase"));
+  delta_.Erase(id);
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::Move(geom::ElementId id, const geom::Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Move"));
+  delta_.Move(id, bounds);
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::ReplaceBase(geom::ElementVec elements) {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("ReplaceBase"));
+  NEURODB_RETURN_NOT_OK(ResetBase());
+  base_empty_ = elements.empty();
+  if (!base_empty_) {
+    NEURODB_RETURN_NOT_OK(BuildBase(elements));
+  }
+  if (retain_base_elements()) {
+    base_elements_ = std::move(elements);
+  } else {
+    base_elements_.clear();
+  }
+  delta_.Clear();
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::Compact() {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Compact"));
+  if (delta_.Empty()) return Status::OK();
+  return ReplaceBase(LiveElements());
+}
+
+}  // namespace engine
+}  // namespace neurodb

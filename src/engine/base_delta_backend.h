@@ -1,0 +1,141 @@
+// NeuroDB — BaseDeltaBackend: the shared base+delta read/write plumbing of
+// every built-in backend.
+//
+// FlatBackend, PagedRTreeBackend, GridBackend and ShardedBackend used to
+// each own the same skeleton: a built-once immutable index, a built() guard,
+// a RangeQuery/KnnQuery pair translating index statistics. BaseDeltaBackend
+// hoists that skeleton and extends it with mutability:
+//
+//   * Build() guards double-builds, delegates layout to the subclass's
+//     BuildBase() hook and retains the (id-sorted) base element list — the
+//     canonical input of the next Compact rebuild;
+//   * RangeQuery() answers from the immutable base (BaseRangeQuery hook)
+//     when the delta is empty — the zero-overhead read-only fast path — and
+//     otherwise merges: base results with dead ids filtered, plus the live
+//     delta inserts intersecting the box, under the global ascending-id
+//     insert order;
+//   * KnnQuery() widens the base request to k + delta-size (an upper bound
+//     on how many of the base's best hits mutation can have invalidated),
+//     filters dead hits, and seeds the accumulator from the delta side too,
+//     so the merged frontier is exact under the (distance, id) order;
+//   * Insert/Erase/Move write the delta; Compact() folds it into a rebuilt
+//     base via ResetBase() + BuildBase() over DeltaIndex::ApplyTo and
+//     leaves the delta empty.
+//
+// ShardedBackend specializes the write path (per-shard deltas routed by the
+// median-split bounds, spill delta for out-of-bounds inserts) but reuses
+// the same wrapper for its spill.
+
+#ifndef NEURODB_ENGINE_BASE_DELTA_BACKEND_H_
+#define NEURODB_ENGINE_BASE_DELTA_BACKEND_H_
+
+#include <vector>
+
+#include "engine/backend.h"
+#include "engine/delta_index.h"
+
+namespace neurodb {
+namespace engine {
+
+class BaseDeltaBackend : public SpatialBackend {
+ public:
+  /// Guard + BuildBase + base element retention. Subclasses with a custom
+  /// layout pipeline (ShardedBackend) override retain_base_elements().
+  Status Build(const geom::ElementVec& elements) override;
+
+  /// Base answer merged with the live delta (see header). Subclass query
+  /// hooks, not this wrapper, are where index-specific traversal lives.
+  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                    ResultVisitor& visitor,
+                    RangeStats* stats = nullptr) const override;
+
+  Status KnnQuery(const geom::Vec3& point, size_t k, storage::PoolSet* pools,
+                  std::vector<geom::KnnHit>* hits,
+                  RangeStats* stats = nullptr) const override;
+
+  bool SupportsUpdates() const override { return true; }
+  Status Insert(geom::ElementId id, const geom::Aabb& bounds) override;
+  Status Erase(geom::ElementId id) override;
+  Status Move(geom::ElementId id, const geom::Aabb& bounds) override;
+
+  /// ResetBase + BuildBase over the merged live set; delta emptied. A
+  /// compact down to zero elements leaves the backend built with no base
+  /// (queries then answer from the — empty — delta alone).
+  Status Compact() override;
+
+  size_t DeltaSize() const override { return delta_.Size(); }
+
+  bool built() const { return built_; }
+  const DeltaIndex& delta() const { return delta_; }
+  /// The immutable base's element list, ascending by id (empty for
+  /// subclasses that keep their own partitioned copies).
+  const geom::ElementVec& base_elements() const { return base_elements_; }
+
+  /// The merged live element set (base minus tombstones plus inserts),
+  /// ascending by id — what a fresh Build would be given.
+  geom::ElementVec LiveElements() const { return delta_.ApplyTo(base_elements_); }
+
+  /// Tear down the current base and rebuild it over `elements` (must be
+  /// sorted ascending by id); clears the delta. The Compact building block,
+  /// also used by ShardedBackend to rebuild one shard in place.
+  Status ReplaceBase(geom::ElementVec elements);
+
+ protected:
+  /// Lay `elements` out and build the index. Called once per Build and once
+  /// per Compact (after ResetBase). Never called with an empty vector.
+  virtual Status BuildBase(const geom::ElementVec& elements) = 0;
+
+  /// Drop the built index and Reset() the page store(s) so BuildBase can
+  /// run again over a new element set.
+  virtual Status ResetBase() = 0;
+
+  /// Answer a range query from the immutable base only.
+  virtual Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                                ResultVisitor& visitor,
+                                RangeStats* stats) const = 0;
+
+  /// Answer a kNN query from the immutable base only.
+  virtual Status BaseKnnQuery(const geom::Vec3& point, size_t k,
+                              storage::PoolSet* pools,
+                              std::vector<geom::KnnHit>* hits,
+                              RangeStats* stats) const = 0;
+
+  /// Whether Build should retain its input as base_elements_. Subclasses
+  /// that partition the input into inner backends (ShardedBackend) return
+  /// false — each inner backend retains its own part.
+  virtual bool retain_base_elements() const { return true; }
+
+  /// Memory the mutation machinery keeps resident: the retained base
+  /// element list (the Compact rebuild input) plus the live delta records.
+  /// Subclass Stats() implementations add this to metadata_bytes so the
+  /// index-footprint numbers stay honest about the base+delta overhead.
+  size_t MutationMetadataBytes() const {
+    return base_elements_.capacity() * sizeof(geom::SpatialElement) +
+           delta_.Size() * (sizeof(geom::ElementId) + sizeof(geom::Aabb));
+  }
+
+  Status RequireBuilt(const char* op) const {
+    if (!built_) {
+      return Status::InvalidArgument(std::string(name()) + "::" + op +
+                                     ": not built");
+    }
+    return Status::OK();
+  }
+
+  /// True when the base side currently indexes no elements (fresh empty
+  /// build, or a compact after everything was erased).
+  bool base_empty() const { return base_empty_; }
+
+  DeltaIndex delta_;
+  bool built_ = false;
+  /// No base index exists (zero elements) — base query hooks are skipped.
+  bool base_empty_ = false;
+
+ private:
+  geom::ElementVec base_elements_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_BASE_DELTA_BACKEND_H_

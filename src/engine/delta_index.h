@@ -1,0 +1,188 @@
+// NeuroDB — DeltaIndex: the in-memory write side of the base+delta design.
+//
+// Every index in the library is bulk-built and immutable — the right shape
+// for the paper's read-only exhibits, the wrong shape for growing circuits.
+// Instead of teaching four very different physical indexes to mutate in
+// place, mutation is layered *over* them: the built index stays the
+// immutable base, and a DeltaIndex absorbs the changes since the last
+// (re)build as
+//
+//   * inserts — new elements, keyed by id in a sorted map so every
+//     enumeration is in the same deterministic ascending-id order the
+//     built indexes and the result cache use;
+//   * tombstones — ids whose base copy is dead (erase = tombstone,
+//     move = tombstone + re-insert at the new bounds).
+//
+// A merged query answer is: base results with dead ids filtered out, plus
+// the live inserts intersecting the query (engine/base_delta_backend.h).
+// Compact() folds the delta back into a rebuilt base and empties it.
+//
+// An UpdateLog records one (epoch, dirty box) stamp per applied batch, so
+// late observers — exploration sessions holding their own result caches —
+// can catch up on exactly the invalidations they missed.
+
+#ifndef NEURODB_ENGINE_DELTA_INDEX_H_
+#define NEURODB_ENGINE_DELTA_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/aabb.h"
+#include "geom/element.h"
+#include "geom/knn.h"
+#include "geom/vec3.h"
+#include "storage/epoch.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Kind of one mutation.
+enum class UpdateKind {
+  /// Add a new element (id must not be live).
+  kInsert,
+  /// Remove a live element.
+  kErase,
+  /// Re-locate a live element (tombstone + insert under the hood).
+  kMove,
+};
+
+/// One mutation of the loaded dataset. `bounds` is the new bounding box for
+/// kInsert/kMove and ignored for kErase.
+struct UpdateRequest {
+  UpdateKind kind = UpdateKind::kInsert;
+  geom::ElementId id = 0;
+  geom::Aabb bounds;
+};
+
+/// One applied update batch: the epoch it created and the union of every
+/// bounding box it touched (old and new positions) — the region whose
+/// cached results are stale.
+struct EpochStamp {
+  storage::Epoch epoch = 0;
+  geom::Aabb dirty;
+};
+
+/// The engine's history of applied batches, oldest first. Sessions replay
+/// the suffix they have not yet seen to invalidate their private caches.
+class UpdateLog {
+ public:
+  void Append(storage::Epoch epoch, const geom::Aabb& dirty) {
+    stamps_.push_back(EpochStamp{epoch, dirty});
+  }
+
+  size_t size() const { return stamps_.size(); }
+  const EpochStamp& stamp(size_t i) const { return stamps_[i]; }
+
+  /// The current epoch: 0 before any update, else the newest stamp's.
+  storage::Epoch epoch() const {
+    return stamps_.empty() ? 0 : stamps_.back().epoch;
+  }
+
+ private:
+  std::vector<EpochStamp> stamps_;
+};
+
+/// In-memory inserts plus tombstones over an immutable base. Pure
+/// mechanism: liveness validation (does this id exist?) is the engine's
+/// job — the delta applies whatever it is told, with last-write-wins
+/// upsert semantics that make Move(id) correct for both base elements and
+/// delta-born ones.
+class DeltaIndex {
+ public:
+  /// Upsert `id` at `bounds` as a live delta element.
+  void Insert(geom::ElementId id, const geom::Aabb& bounds) {
+    inserts_[id] = bounds;
+  }
+
+  /// Kill `id`: a delta-born element is simply dropped; a base element
+  /// gets a tombstone (its page copy cannot be removed until Compact).
+  void Erase(geom::ElementId id) {
+    if (inserts_.erase(id) == 0) tombstones_.insert(id);
+  }
+
+  /// Relocate `id` to `bounds`. The base copy (if any) is tombstoned; the
+  /// delta copy is upserted at the new position.
+  void Move(geom::ElementId id, const geom::Aabb& bounds) {
+    if (inserts_.find(id) == inserts_.end()) tombstones_.insert(id);
+    inserts_[id] = bounds;
+  }
+
+  /// True when a *base* element with this id must not be reported: it is
+  /// tombstoned, or shadowed by a delta copy (a Move's re-insert).
+  bool IsDead(geom::ElementId id) const {
+    return tombstones_.count(id) != 0 || inserts_.count(id) != 0;
+  }
+
+  /// Append every live insert intersecting `box` to `out`, ascending by id.
+  void AppendInserts(const geom::Aabb& box, geom::ElementVec* out) const {
+    for (const auto& [id, bounds] : inserts_) {
+      if (bounds.Intersects(box)) out->emplace_back(id, bounds);
+    }
+  }
+
+  /// THE range-merge rule, in one place: given the base answer for `box`
+  /// in `elements`, drop dead base elements and append the live inserts
+  /// intersecting `box`. Every read path — backend wrapper, session
+  /// steps, think-time prepopulation — overlays through here, so the
+  /// merge semantics cannot drift apart between them.
+  void Overlay(const geom::Aabb& box, geom::ElementVec* elements) const {
+    if (Empty()) return;
+    elements->erase(
+        std::remove_if(elements->begin(), elements->end(),
+                       [this](const geom::SpatialElement& e) {
+                         return IsDead(e.id);
+                       }),
+        elements->end());
+    AppendInserts(box, elements);
+  }
+
+  /// Offer every live insert to a kNN accumulator — the delta side of the
+  /// merged kNN frontier.
+  void SeedKnn(const geom::Vec3& point, geom::KnnAccumulator* acc) const {
+    for (const auto& [id, bounds] : inserts_) {
+      acc->Offer(id, geom::KnnDistance(point, bounds));
+    }
+  }
+
+  /// The merged live element set: `base` (which must be sorted ascending
+  /// by id, as Build-time layouts are) minus dead ids, plus every insert,
+  /// sorted ascending by id — the input a Compact rebuild is run over.
+  geom::ElementVec ApplyTo(const geom::ElementVec& base) const;
+
+  /// Union of the live insert bounds (empty Aabb when there are none).
+  geom::Aabb InsertBounds() const {
+    geom::Aabb bounds;
+    for (const auto& [id, b] : inserts_) bounds.Extend(b);
+    return bounds;
+  }
+
+  size_t InsertCount() const { return inserts_.size(); }
+  size_t TombstoneCount() const { return tombstones_.size(); }
+  /// Total delta records — the "how overdue is compaction" metric.
+  size_t Size() const { return inserts_.size() + tombstones_.size(); }
+  bool Empty() const { return inserts_.empty() && tombstones_.empty(); }
+
+  void Clear() {
+    inserts_.clear();
+    tombstones_.clear();
+  }
+
+  const std::map<geom::ElementId, geom::Aabb>& inserts() const {
+    return inserts_;
+  }
+
+ private:
+  /// Live delta elements, ascending by id (deterministic enumeration).
+  std::map<geom::ElementId, geom::Aabb> inserts_;
+  /// Ids whose base copy is dead.
+  std::unordered_set<geom::ElementId> tombstones_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_DELTA_INDEX_H_

@@ -3,23 +3,23 @@
 namespace neurodb {
 namespace engine {
 
-Status FlatBackend::Build(const geom::ElementVec& elements) {
-  if (built()) {
-    return Status::AlreadyExists("FlatBackend: already built");
-  }
+Status FlatBackend::BuildBase(const geom::ElementVec& elements) {
   NEURODB_ASSIGN_OR_RETURN(flat::FlatIndex index,
                            flat::FlatIndex::Build(elements, &store_, options_));
   index_.emplace(std::move(index));
   return Status::OK();
 }
 
-Status FlatBackend::RangeQuery(const geom::Aabb& box,
-                               storage::PoolSet* pools,
-                               ResultVisitor& visitor,
-                               RangeStats* stats) const {
-  if (!built()) {
-    return Status::InvalidArgument("FlatBackend: not built");
-  }
+Status FlatBackend::ResetBase() {
+  index_.reset();
+  store_.Reset();
+  return Status::OK();
+}
+
+Status FlatBackend::BaseRangeQuery(const geom::Aabb& box,
+                                   storage::PoolSet* pools,
+                                   ResultVisitor& visitor,
+                                   RangeStats* stats) const {
   storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   flat::FlatQueryStats flat_stats;
   NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool, visitor, &flat_stats));
@@ -31,13 +31,10 @@ Status FlatBackend::RangeQuery(const geom::Aabb& box,
   return Status::OK();
 }
 
-Status FlatBackend::KnnQuery(const geom::Vec3& point, size_t k,
-                             storage::PoolSet* pools,
-                             std::vector<geom::KnnHit>* hits,
-                             RangeStats* stats) const {
-  if (!built()) {
-    return Status::InvalidArgument("FlatBackend: not built");
-  }
+Status FlatBackend::BaseKnnQuery(const geom::Vec3& point, size_t k,
+                                 storage::PoolSet* pools,
+                                 std::vector<geom::KnnHit>* hits,
+                                 RangeStats* stats) const {
   storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   flat::FlatQueryStats flat_stats;
   NEURODB_RETURN_NOT_OK(index_->Knn(point, k, pool, hits, &flat_stats));
@@ -51,9 +48,9 @@ Status FlatBackend::KnnQuery(const geom::Vec3& point, size_t k,
 
 BackendStats FlatBackend::Stats() const {
   BackendStats stats;
-  if (built()) {
+  if (index_.has_value()) {
     stats.index_pages = index_->NumPages();
-    stats.metadata_bytes = index_->MetadataBytes();
+    stats.metadata_bytes = index_->MetadataBytes() + MutationMetadataBytes();
   }
   return stats;
 }

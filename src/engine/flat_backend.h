@@ -4,41 +4,43 @@
 #define NEURODB_ENGINE_FLAT_BACKEND_H_
 
 #include <optional>
+#include <vector>
 
-#include "engine/backend.h"
+#include "engine/base_delta_backend.h"
 #include "flat/flat_index.h"
 
 namespace neurodb {
 namespace engine {
 
 /// Adapter wrapping flat::FlatIndex. Owns the crawl-page store; the seed
-/// tree and neighborhood graph stay memory resident (FLAT's design).
-class FlatBackend : public SpatialBackend {
+/// tree and neighborhood graph stay memory resident (FLAT's design). The
+/// immutable crawl layout is the base side of the base+delta protocol —
+/// updates accumulate in the inherited DeltaIndex until Compact() re-crawls
+/// the merged element set onto a reset store.
+class FlatBackend : public BaseDeltaBackend {
  public:
   explicit FlatBackend(flat::FlatOptions options = flat::FlatOptions())
       : options_(options) {}
 
   const char* name() const override { return "FLAT"; }
 
-  Status Build(const geom::ElementVec& elements) override;
-
-  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                    ResultVisitor& visitor,
-                    RangeStats* stats = nullptr) const override;
-
-  /// Expanding-ring crawl (flat::FlatIndex::Knn).
-  Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
-                  RangeStats* stats = nullptr) const override;
-
   BackendStats Stats() const override;
-
-  bool built() const { return index_.has_value(); }
 
   /// The wrapped index — SCOUT sessions crawl and prefetch through it.
   const flat::FlatIndex& index() const { return *index_; }
 
   const flat::FlatOptions& options() const { return options_; }
+
+ protected:
+  Status BuildBase(const geom::ElementVec& elements) override;
+  Status ResetBase() override;
+  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                        ResultVisitor& visitor,
+                        RangeStats* stats) const override;
+  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
+                      storage::PoolSet* pools,
+                      std::vector<geom::KnnHit>* hits,
+                      RangeStats* stats) const override;
 
  private:
   flat::FlatOptions options_;

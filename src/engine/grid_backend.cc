@@ -41,10 +41,7 @@ size_t GridBackend::CellOf(const Vec3& p) const {
   return (cz * dims_[1] + cy) * dims_[0] + cx;
 }
 
-Status GridBackend::Build(const geom::ElementVec& elements) {
-  if (built_) {
-    return Status::AlreadyExists("GridBackend: already built");
-  }
+Status GridBackend::BuildBase(const geom::ElementVec& elements) {
   NEURODB_RETURN_NOT_OK(options_.Validate());
 
   num_elements_ = elements.size();
@@ -93,17 +90,24 @@ Status GridBackend::Build(const geom::ElementVec& elements) {
       storage::PaginateElements(packed, &store_, options_.elems_per_page,
                                 storage::PackOrder::kInput));
   page_ids_ = std::move(layout.page_ids);
-
-  built_ = true;
   return Status::OK();
 }
 
-Status GridBackend::RangeQuery(const Aabb& box, storage::PoolSet* pools,
-                               ResultVisitor& visitor,
-                               RangeStats* stats) const {
-  if (!built_) {
-    return Status::InvalidArgument("GridBackend: not built");
-  }
+Status GridBackend::ResetBase() {
+  domain_ = Aabb();
+  dims_ = {1, 1, 1};
+  cell_size_ = Vec3(1, 1, 1);
+  max_half_extent_ = Vec3(0, 0, 0);
+  cell_start_.clear();
+  page_ids_.clear();
+  num_elements_ = 0;
+  store_.Reset();
+  return Status::OK();
+}
+
+Status GridBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
+                                   ResultVisitor& visitor,
+                                   RangeStats* stats) const {
   if (pools == nullptr) {
     return Status::InvalidArgument("GridBackend::RangeQuery: null pool set");
   }
@@ -185,10 +189,10 @@ Status GridBackend::ScanPage(size_t page_index, storage::BufferPool* pool,
   return Status::OK();
 }
 
-Status GridBackend::KnnQuery(const Vec3& point, size_t k,
-                             storage::PoolSet* pools,
-                             std::vector<geom::KnnHit>* hits,
-                             RangeStats* stats) const {
+Status GridBackend::BaseKnnQuery(const Vec3& point, size_t k,
+                                 storage::PoolSet* pools,
+                                 std::vector<geom::KnnHit>* hits,
+                                 RangeStats* stats) const {
   NEURODB_RETURN_NOT_OK(ValidateKnn(pools, hits, point));
   hits->clear();
   if (k == 0 || page_ids_.empty()) return Status::OK();
@@ -313,7 +317,8 @@ BackendStats GridBackend::Stats() const {
   if (built_) {
     stats.index_pages = page_ids_.size();
     stats.metadata_bytes = cell_start_.capacity() * sizeof(uint32_t) +
-                           page_ids_.capacity() * sizeof(storage::PageId);
+                           page_ids_.capacity() * sizeof(storage::PageId) +
+                           MutationMetadataBytes();
   }
   return stats;
 }

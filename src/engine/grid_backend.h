@@ -21,7 +21,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "engine/backend.h"
+#include "engine/base_delta_backend.h"
 
 namespace neurodb {
 namespace engine {
@@ -41,31 +41,20 @@ struct GridOptions {
 
 /// Uniform-grid backend. Elements live in exactly one cell (chosen by
 /// bounding-box center); queries compensate by widening the examined cell
-/// block by the largest element half-extent seen at build time.
-class GridBackend : public SpatialBackend {
+/// block by the largest element half-extent seen at build time. Mutation
+/// rides the inherited base+delta protocol; Compact() re-grids the merged
+/// element set in place (same PageStore object, fresh pages).
+class GridBackend : public BaseDeltaBackend {
  public:
   explicit GridBackend(GridOptions options = GridOptions())
       : options_(options) {}
 
   const char* name() const override { return "Grid"; }
 
-  Status Build(const geom::ElementVec& elements) override;
-
-  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                    ResultVisitor& visitor,
-                    RangeStats* stats = nullptr) const override;
-
-  /// Expanding cell-ring search: scan the query point's cell, then the
-  /// shell of cells one ring further out, and so on; terminate once the
-  /// k-th best distance provably covers everything outside the scanned
-  /// block (accounting for the center-assignment widening margin).
-  Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
-                  RangeStats* stats = nullptr) const override;
-
-  /// The original exhaustive page scan, kept as the brute-force oracle the
-  /// ring search is tested against (and a deliberately index-free parity
-  /// voice for targeted tests).
+  /// The original exhaustive page scan over the *base* layout, kept as the
+  /// brute-force oracle the ring search is tested against (and a
+  /// deliberately index-free parity voice for targeted tests). Base-only:
+  /// pending delta records are not merged in.
   Status KnnScanQuery(const geom::Vec3& point, size_t k,
                       storage::PoolSet* pools,
                       std::vector<geom::KnnHit>* hits,
@@ -73,13 +62,27 @@ class GridBackend : public SpatialBackend {
 
   BackendStats Stats() const override;
 
-  bool built() const { return built_; }
   const GridOptions& options() const { return options_; }
   /// Cells per axis chosen at build time (x, y, z).
   const std::array<uint32_t, 3>& dims() const { return dims_; }
   size_t NumCells() const {
     return static_cast<size_t>(dims_[0]) * dims_[1] * dims_[2];
   }
+
+ protected:
+  Status BuildBase(const geom::ElementVec& elements) override;
+  Status ResetBase() override;
+  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                        ResultVisitor& visitor,
+                        RangeStats* stats) const override;
+  /// Expanding cell-ring search: scan the query point's cell, then the
+  /// shell of cells one ring further out, and so on; terminate once the
+  /// k-th best distance provably covers everything outside the scanned
+  /// block (accounting for the center-assignment widening margin).
+  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
+                      storage::PoolSet* pools,
+                      std::vector<geom::KnnHit>* hits,
+                      RangeStats* stats) const override;
 
  private:
   /// Clamped cell coordinate of a point along one axis.
@@ -96,7 +99,6 @@ class GridBackend : public SpatialBackend {
                   RangeStats* stats) const;
 
   GridOptions options_;
-  bool built_ = false;
 
   geom::Aabb domain_;
   std::array<uint32_t, 3> dims_ = {1, 1, 1};

@@ -73,14 +73,7 @@ Status QueryEngine::LoadCircuit(const neuro::Circuit& circuit) {
   if (all.empty()) {
     return Status::InvalidArgument("QueryEngine: circuit has no segments");
   }
-  num_segments_ = all.size();
-  domain_ = all.Bounds();
   resolver_.AddDataset(all);
-
-  geom::ElementVec elements = all.Elements();
-  for (auto& backend : backends_) {
-    NEURODB_RETURN_NOT_OK(backend->Build(elements));
-  }
 
   // Join inputs for synapse discovery.
   neuro::SegmentDataset axons =
@@ -91,6 +84,38 @@ Status QueryEngine::LoadCircuit(const neuro::Circuit& circuit) {
                                           std::move(axons.ids));
   dendrites_ = touch::JoinInput::FromSegments(std::move(dendrites.segments),
                                               std::move(dendrites.ids));
+
+  return FinishLoad(all.Elements());
+}
+
+Status QueryEngine::LoadElements(geom::ElementVec elements) {
+  if (loaded_) {
+    return Status::AlreadyExists("QueryEngine: circuit already loaded");
+  }
+  NEURODB_RETURN_NOT_OK(options_.Validate());
+  if (elements.empty()) {
+    return Status::InvalidArgument("QueryEngine: no elements");
+  }
+  return FinishLoad(std::move(elements));
+}
+
+Status QueryEngine::FinishLoad(geom::ElementVec elements) {
+  num_segments_ = elements.size();
+  domain_ = Aabb();
+  // A previous failed load may have left partial entries behind — ghost
+  // ids here would poison update validation (and retries) forever.
+  live_bounds_.clear();
+  live_bounds_.reserve(elements.size());
+  for (const auto& e : elements) {
+    domain_.Extend(e.bounds);
+    if (!live_bounds_.emplace(e.id, e.bounds).second) {
+      return Status::InvalidArgument("QueryEngine: duplicate element id");
+    }
+  }
+
+  for (auto& backend : backends_) {
+    NEURODB_RETURN_NOT_OK(backend->Build(elements));
+  }
 
   // Worker pool for batch lanes and shard fan-out.
   if (options_.num_threads > 1) {
@@ -116,7 +141,154 @@ Status QueryEngine::LoadCircuit(const neuro::Circuit& circuit) {
   return Status::OK();
 }
 
+Result<UpdateReport> QueryEngine::ApplyUpdates(
+    std::span<const UpdateRequest> updates) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("ApplyUpdates"));
+  if (updates.empty()) {
+    return Status::InvalidArgument("QueryEngine::ApplyUpdates: empty batch");
+  }
+
+  // Mutability is all-or-nothing across the registry: a half-applied batch
+  // (mutable built-ins updated, a read-only custom backend not) would break
+  // kAll parity permanently, so refuse up front, before anything applies.
+  for (const auto& backend : backends_) {
+    if (!backend->SupportsUpdates()) {
+      return Status::Unimplemented(
+          std::string("QueryEngine::ApplyUpdates: backend '") +
+          backend->name() + "' is read-only");
+    }
+  }
+
+  // Validate the whole batch against the live id set before touching any
+  // backend — the batch applies atomically or not at all. The overlay
+  // tracks intra-batch dependencies (insert-then-move of one id is fine).
+  std::unordered_map<geom::ElementId, bool> overlay;  // id -> alive after ops
+  auto alive = [&](geom::ElementId id) {
+    auto it = overlay.find(id);
+    if (it != overlay.end()) return it->second;
+    return live_bounds_.find(id) != live_bounds_.end();
+  };
+  for (const UpdateRequest& update : updates) {
+    switch (update.kind) {
+      case UpdateKind::kInsert:
+        if (!update.bounds.IsValid()) {
+          return Status::InvalidArgument(
+              "QueryEngine::ApplyUpdates: insert with invalid bounds");
+        }
+        if (alive(update.id)) {
+          return Status::AlreadyExists(
+              "QueryEngine::ApplyUpdates: insert of a live id");
+        }
+        overlay[update.id] = true;
+        break;
+      case UpdateKind::kErase:
+        if (!alive(update.id)) {
+          return Status::NotFound(
+              "QueryEngine::ApplyUpdates: erase of an unknown id");
+        }
+        overlay[update.id] = false;
+        break;
+      case UpdateKind::kMove:
+        if (!update.bounds.IsValid()) {
+          return Status::InvalidArgument(
+              "QueryEngine::ApplyUpdates: move with invalid bounds");
+        }
+        if (!alive(update.id)) {
+          return Status::NotFound(
+              "QueryEngine::ApplyUpdates: move of an unknown id");
+        }
+        overlay[update.id] = true;
+        break;
+    }
+  }
+
+  // Built-in backends cannot fail Insert/Erase/Move once built; a custom
+  // backend that claims SupportsUpdates but errors mid-apply leaves the
+  // registry half-mutated — kAll parity would be silently broken forever,
+  // so the engine poisons itself instead (every later call fails loudly).
+  auto poison = [&](const Status& status) {
+    corrupted_ = true;
+    return Status::Internal(
+        "QueryEngine::ApplyUpdates: backend failed mid-apply, engine state "
+        "is inconsistent — discard this engine (" +
+        status.ToString() + ")");
+  };
+
+  UpdateReport report;
+  for (const UpdateRequest& update : updates) {
+    switch (update.kind) {
+      case UpdateKind::kInsert:
+        for (auto& backend : backends_) {
+          Status applied = backend->Insert(update.id, update.bounds);
+          if (!applied.ok()) return poison(applied);
+        }
+        report.dirty.Extend(update.bounds);
+        live_bounds_[update.id] = update.bounds;
+        ++num_segments_;
+        break;
+      case UpdateKind::kErase: {
+        report.dirty.Extend(live_bounds_[update.id]);
+        for (auto& backend : backends_) {
+          Status applied = backend->Erase(update.id);
+          if (!applied.ok()) return poison(applied);
+        }
+        live_bounds_.erase(update.id);
+        --num_segments_;
+        break;
+      }
+      case UpdateKind::kMove: {
+        report.dirty.Extend(live_bounds_[update.id]);
+        report.dirty.Extend(update.bounds);
+        for (auto& backend : backends_) {
+          Status applied = backend->Move(update.id, update.bounds);
+          if (!applied.ok()) return poison(applied);
+        }
+        live_bounds_[update.id] = update.bounds;
+        break;
+      }
+    }
+    ++report.applied;
+  }
+
+  // One epoch per batch: stamp reports, invalidate exactly the cached
+  // boxes intersecting the dirty region, and log the stamp for sessions.
+  epoch_ = pool_manager_->AdvanceEpoch();
+  uint64_t invalidated0 = result_cache_->stats().invalidated_boxes;
+  result_cache_->AdvanceEpoch(epoch_, report.dirty);
+  report.invalidated_boxes =
+      result_cache_->stats().invalidated_boxes - invalidated0;
+  update_log_.Append(epoch_, report.dirty);
+  report.epoch = epoch_;
+  return report;
+}
+
+Status QueryEngine::Compact() {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("Compact"));
+  for (auto& backend : backends_) {
+    NEURODB_RETURN_NOT_OK(backend->Compact());
+  }
+  // The physical page layout is new; every warm pool caches the old one.
+  pool_manager_->EvictAll();
+  // Results are unchanged, so cached result boxes stay valid — only the
+  // epoch stamp advances (the empty dirty box invalidates nothing).
+  epoch_ = pool_manager_->AdvanceEpoch();
+  result_cache_->AdvanceEpoch(epoch_, Aabb());
+  update_log_.Append(epoch_, Aabb());
+  return Status::OK();
+}
+
+size_t QueryEngine::DeltaSize() const {
+  size_t total = 0;
+  for (const auto& backend : backends_) total += backend->DeltaSize();
+  return total;
+}
+
 Status QueryEngine::RequireLoaded(const char* op) const {
+  if (corrupted_) {
+    return Status::Internal(std::string("QueryEngine::") + op +
+                            ": engine poisoned by a failed update apply — "
+                            "discard this engine");
+  }
   if (!loaded_) {
     return Status::InvalidArgument(std::string("QueryEngine::") + op +
                                    ": no circuit loaded");
@@ -236,6 +408,7 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
 
   report->results = report->rows.empty() ? 0 : report->rows[0].stats.results;
   report->results_match = true;
+  report->epoch = epoch_;
   if (parity_check) {
     for (auto& ids : id_sets) std::sort(ids.begin(), ids.end());
     for (size_t k = 1; k < id_sets.size(); ++k) {
@@ -250,6 +423,7 @@ Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
                                  SimClock* clock, KnnReport* report) const {
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   const bool parity_check = selected.size() > 1;
+  report->epoch = epoch_;
 
   report->rows.reserve(selected.size());
   for (size_t k = 0; k < selected.size(); ++k) {
@@ -326,6 +500,7 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
   report->rows.push_back(std::move(row));
   report->results = merged.size();
   report->results_match = true;
+  report->epoch = epoch_;
   report->cache_hit_fraction = plan.covered_fraction;
   report->delta_volume_fraction = plan.residual_fraction;
 
@@ -494,6 +669,9 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
     storage::PoolManager lane_manager(options_.pool_pages, options_.cost);
     std::vector<storage::PoolSet*> pools = BackendPools(&lane_manager);
     cache::ResultCache lane_cache(EffectiveResultCacheBoxes());
+    // Private lane caches start empty but stamp entries at the engine's
+    // current epoch (nothing to invalidate — the empty dirty box).
+    lane_cache.AdvanceEpoch(epoch_, Aabb());
     BatchStats& local = lane_stats[lane.lane];
     NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(
         requests, lane.begin, lane.end, &lane_manager, pools,
@@ -568,8 +746,12 @@ Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method,
   if (session_options.cache_results) {
     session_options.result_cache_boxes = options_.result_cache_boxes;
   }
+  // Engine sessions are delta-aware: they merge the FLAT backend's live
+  // delta into every step and replay the update log into their private
+  // result caches, so a session stays correct across ApplyUpdates (not
+  // across Compact, which rebuilds the page layout under its pool).
   return Session::Open(&flat_->index(), flat_->store(), &resolver_, method,
-                       session_options);
+                       session_options, &flat_->delta(), &update_log_);
 }
 
 }  // namespace engine

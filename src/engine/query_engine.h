@@ -35,12 +35,14 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
 #include "cache/result_cache.h"
 #include "common/result.h"
 #include "engine/backend.h"
+#include "engine/delta_index.h"
 #include "engine/flat_backend.h"
 #include "engine/grid_backend.h"
 #include "engine/rtree_backend.h"
@@ -143,6 +145,8 @@ struct RangeReport {
   bool results_match = true;
   /// Result cardinality (identical across backends when results_match).
   uint64_t results = 0;
+  /// Data epoch this request answered at (0 until the first ApplyUpdates).
+  storage::Epoch epoch = 0;
   /// CachePolicy::kDelta only: fraction of the query volume answered from
   /// the result cache, and the fraction the backend still executed.
   /// Non-delta requests report 0 / 1.
@@ -169,6 +173,22 @@ struct KnnReport {
   bool results_match = true;
   /// The primary backend's answer, ascending by (distance, id).
   std::vector<geom::KnnHit> hits;
+  /// Data epoch this request answered at (0 until the first ApplyUpdates).
+  storage::Epoch epoch = 0;
+};
+
+/// Result of one ApplyUpdates batch.
+struct UpdateReport {
+  /// Mutations applied (the whole batch, or none on validation failure).
+  uint64_t applied = 0;
+  /// The epoch the batch created — every later report answers at it until
+  /// the next batch.
+  storage::Epoch epoch = 0;
+  /// Union of every bounding box the batch touched (old and new positions)
+  /// — exactly the region whose cached results were invalidated.
+  geom::Aabb dirty;
+  /// Engine result-cache entries this batch invalidated.
+  uint64_t invalidated_boxes = 0;
 };
 
 /// A whole-path exploration replay (see OpenSession for incremental use).
@@ -247,7 +267,42 @@ class QueryEngine {
   /// pool when num_threads > 1.
   Status LoadCircuit(const neuro::Circuit& circuit);
 
+  /// Load a bare element set (no morphology): every spatial backend is
+  /// built, but join inputs are empty and SCOUT has no skeletons to
+  /// extract. The differential harnesses use this to rebuild engines over
+  /// shrunken element subsets; ids must be unique.
+  Status LoadElements(geom::ElementVec elements);
+
   bool loaded() const { return loaded_; }
+
+  /// Apply a batch of mutations to every registered backend, atomically
+  /// with respect to validation: the whole batch is checked against the
+  /// live id set first (insert of a live id, erase/move of an unknown id
+  /// and invalid bounds are InvalidArgument/AlreadyExists/NotFound) and
+  /// nothing is applied on failure. On success the engine epoch advances
+  /// by one, the result cache drops exactly the cached boxes intersecting
+  /// the batch's dirty region, and the update log gains one stamp (open
+  /// delta-aware sessions catch up on their next step). Buffer pools are
+  /// untouched — updates live in each backend's in-memory delta until
+  /// Compact().
+  Result<UpdateReport> ApplyUpdates(std::span<const UpdateRequest> updates);
+
+  /// Fold every backend's delta into a rebuilt immutable base (same
+  /// PageStore objects, fresh pages), evict the engine's warm pools (the
+  /// physical layout changed; cached result boxes stay — answers are
+  /// unchanged) and advance the epoch. Sessions opened before a Compact
+  /// are invalidated: their private pools cache the old layout — reopen.
+  Status Compact();
+
+  /// Pending delta records summed over every backend (0 right after
+  /// LoadCircuit/LoadElements and after Compact).
+  size_t DeltaSize() const;
+
+  /// The current data epoch (0 until the first ApplyUpdates).
+  storage::Epoch epoch() const { return epoch_; }
+
+  /// The applied-batch history (epoch + dirty region per batch).
+  const UpdateLog& update_log() const { return update_log_; }
 
   /// Execute a range request, streaming matches of the primary backend to
   /// `visitor` exactly once. With kAll, secondary backends run for the
@@ -329,6 +384,10 @@ class QueryEngine {
 
  private:
   Status RequireLoaded(const char* op) const;
+  /// The shared tail of LoadCircuit/LoadElements: build every backend over
+  /// `elements`, start the worker pool, create the persistent pool manager,
+  /// result cache and live-id map.
+  Status FinishLoad(geom::ElementVec elements);
   /// Backends a request executes on, primary first.
   std::vector<const SpatialBackend*> Select(BackendChoice choice) const;
   /// Session options with the engine-wide cost model applied.
@@ -397,11 +456,21 @@ class QueryEngine {
   ShardedBackend* sharded_ = nullptr;  // owned by backends_
 
   bool loaded_ = false;
+  /// A backend failed mid-ApplyUpdates: the registry is half-mutated and
+  /// kAll parity is unrecoverable — every later call fails loudly.
+  bool corrupted_ = false;
   neuro::SegmentResolver resolver_;
   touch::JoinInput axons_;
   touch::JoinInput dendrites_;
   geom::Aabb domain_;
   size_t num_segments_ = 0;
+
+  /// The mutable-circuit bookkeeping: current bounds of every live element
+  /// (update validation + exact dirty regions for erase/move), the engine
+  /// epoch, and the applied-batch history sessions catch up on.
+  std::unordered_map<geom::ElementId, geom::Aabb> live_bounds_;
+  storage::Epoch epoch_ = 0;
+  UpdateLog update_log_;
 
   /// Worker pool for ExecuteBatch lanes and shard fan-out (num_threads > 1).
   std::unique_ptr<exec::ThreadPool> thread_pool_;

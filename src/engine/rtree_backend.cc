@@ -3,10 +3,7 @@
 namespace neurodb {
 namespace engine {
 
-Status PagedRTreeBackend::Build(const geom::ElementVec& elements) {
-  if (built()) {
-    return Status::AlreadyExists("PagedRTreeBackend: already built");
-  }
+Status PagedRTreeBackend::BuildBase(const geom::ElementVec& elements) {
   NEURODB_ASSIGN_OR_RETURN(rtree::RTree tree,
                            rtree::RTree::BulkLoadStr(elements, options_));
   NEURODB_ASSIGN_OR_RETURN(rtree::PagedRTree paged,
@@ -15,13 +12,16 @@ Status PagedRTreeBackend::Build(const geom::ElementVec& elements) {
   return Status::OK();
 }
 
-Status PagedRTreeBackend::RangeQuery(const geom::Aabb& box,
-                                     storage::PoolSet* pools,
-                                     ResultVisitor& visitor,
-                                     RangeStats* stats) const {
-  if (!built()) {
-    return Status::InvalidArgument("PagedRTreeBackend: not built");
-  }
+Status PagedRTreeBackend::ResetBase() {
+  tree_.reset();
+  store_.Reset();
+  return Status::OK();
+}
+
+Status PagedRTreeBackend::BaseRangeQuery(const geom::Aabb& box,
+                                         storage::PoolSet* pools,
+                                         ResultVisitor& visitor,
+                                         RangeStats* stats) const {
   storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   rtree::QueryStats tree_stats;
   NEURODB_RETURN_NOT_OK(tree_->RangeQuery(box, visitor, pool, &tree_stats));
@@ -34,13 +34,10 @@ Status PagedRTreeBackend::RangeQuery(const geom::Aabb& box,
   return Status::OK();
 }
 
-Status PagedRTreeBackend::KnnQuery(const geom::Vec3& point, size_t k,
-                                   storage::PoolSet* pools,
-                                   std::vector<geom::KnnHit>* hits,
-                                   RangeStats* stats) const {
-  if (!built()) {
-    return Status::InvalidArgument("PagedRTreeBackend: not built");
-  }
+Status PagedRTreeBackend::BaseKnnQuery(const geom::Vec3& point, size_t k,
+                                       storage::PoolSet* pools,
+                                       std::vector<geom::KnnHit>* hits,
+                                       RangeStats* stats) const {
   storage::BufferPool* pool = pools != nullptr ? pools->pool(0) : nullptr;
   rtree::QueryStats tree_stats;
   NEURODB_RETURN_NOT_OK(tree_->Knn(point, k, pool, hits, &tree_stats));
@@ -55,9 +52,10 @@ Status PagedRTreeBackend::KnnQuery(const geom::Vec3& point, size_t k,
 
 BackendStats PagedRTreeBackend::Stats() const {
   BackendStats stats;
-  if (built()) {
+  if (tree_.has_value()) {
     stats.index_pages = tree_->NumPages();
-    stats.metadata_bytes = tree_->tree().MemoryBytes();
+    stats.metadata_bytes = tree_->tree().MemoryBytes() +
+                           MutationMetadataBytes();
   }
   return stats;
 }

@@ -5,41 +5,42 @@
 #define NEURODB_ENGINE_RTREE_BACKEND_H_
 
 #include <optional>
+#include <vector>
 
-#include "engine/backend.h"
+#include "engine/base_delta_backend.h"
 #include "rtree/paged_rtree.h"
 
 namespace neurodb {
 namespace engine {
 
 /// Adapter wrapping rtree::PagedRTree: STR bulk load, one disk page per
-/// tree node, every visited node charged as one page fetch.
-class PagedRTreeBackend : public SpatialBackend {
+/// tree node, every visited node charged as one page fetch. Mutation rides
+/// the inherited base+delta protocol — Compact() STR-rebuilds the tree over
+/// the merged element set rather than updating nodes in place.
+class PagedRTreeBackend : public BaseDeltaBackend {
  public:
   explicit PagedRTreeBackend(rtree::RTreeOptions options = rtree::RTreeOptions())
       : options_(options) {}
 
   const char* name() const override { return "R-Tree"; }
 
-  Status Build(const geom::ElementVec& elements) override;
-
-  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                    ResultVisitor& visitor,
-                    RangeStats* stats = nullptr) const override;
-
-  /// Best-first node traversal (rtree::PagedRTree::Knn).
-  Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
-                  RangeStats* stats = nullptr) const override;
-
   BackendStats Stats() const override;
-
-  bool built() const { return tree_.has_value(); }
 
   /// The wrapped paged tree (tests and the compatibility shim).
   const rtree::PagedRTree& tree() const { return *tree_; }
 
   const rtree::RTreeOptions& options() const { return options_; }
+
+ protected:
+  Status BuildBase(const geom::ElementVec& elements) override;
+  Status ResetBase() override;
+  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                        ResultVisitor& visitor,
+                        RangeStats* stats) const override;
+  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
+                      storage::PoolSet* pools,
+                      std::vector<geom::KnnHit>* hits,
+                      RangeStats* stats) const override;
 
  private:
   rtree::RTreeOptions options_;

@@ -1,6 +1,7 @@
 #include "engine/session.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "cache/delta_planner.h"
 
@@ -11,7 +12,9 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
                               storage::PageStore* store,
                               const neuro::SegmentResolver* resolver,
                               scout::PrefetchMethod method,
-                              scout::SessionOptions options) {
+                              scout::SessionOptions options,
+                              const DeltaIndex* delta,
+                              const UpdateLog* update_log) {
   if (index == nullptr || store == nullptr) {
     return Status::InvalidArgument("Session: null index or store");
   }
@@ -21,6 +24,13 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
 
   Session session;
   session.index_ = index;
+  session.store_ = store;
+  session.store_epoch_at_open_ = store->epoch();
+  session.delta_ = delta;
+  session.update_log_ = update_log;
+  // Updates applied before the session opened are already part of every
+  // answer it will compute — only *future* stamps need cache catch-up.
+  session.log_seen_ = update_log != nullptr ? update_log->size() : 0;
   session.options_ = options;
   session.budget_ = options.PrefetchBudget();
   session.clock_ = std::make_unique<SimClock>();
@@ -36,6 +46,11 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
       index->options().rescue) {
     session.cache_ =
         std::make_unique<cache::ResultCache>(options.result_cache_boxes);
+    // Entries record the epoch they were computed at — start the stamp at
+    // the engine's current epoch, not 0 (nothing to invalidate yet).
+    if (update_log != nullptr) {
+      session.cache_->AdvanceEpoch(update_log->epoch(), geom::Aabb());
+    }
   }
 
   scout::PrefetchContext ctx;
@@ -48,9 +63,35 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
   return session;
 }
 
+void Session::CatchUpInvalidations() {
+  if (update_log_ == nullptr) return;
+  if (cache_ != nullptr) {
+    for (size_t i = log_seen_; i < update_log_->size(); ++i) {
+      const EpochStamp& stamp = update_log_->stamp(i);
+      cache_->AdvanceEpoch(stamp.epoch, stamp.dirty);
+    }
+  }
+  log_seen_ = update_log_->size();
+}
+
 Result<scout::StepRecord> Session::RunStep(
     const std::function<Status(std::vector<geom::ElementId>* ids,
                                geom::Aabb* prefetch_box)>& query) {
+  // A compaction rebuilt the page layout under this session's pool: its
+  // cached pages (and the index structures captured at Open) describe a
+  // layout that no longer exists. Fail fast — silent stale reads are the
+  // one outcome a versioned store must rule out.
+  if (store_ != nullptr && store_->epoch() != store_epoch_at_open_) {
+    return Status::InvalidArgument(
+        "Session::Step: page store compacted since the session opened — "
+        "reopen the session");
+  }
+
+  // Before answering: drop cached boxes whose region updates dirtied since
+  // the last step — the cached session must stay byte-identical to a cold
+  // one across ApplyUpdates.
+  CatchUpInvalidations();
+
   scout::StepRecord step;
   uint64_t t0 = clock_->NowMicros();
   uint64_t misses0 = pool_->stats().Get("pool.misses");
@@ -66,6 +107,7 @@ Result<scout::StepRecord> Session::RunStep(
   step.pages_missed = pool_->stats().Get("pool.misses") - misses0;
   step.pages_hit = pool_->stats().Get("pool.hits") - hits0;
   step.results = ids.size();
+  step.epoch = CurrentEpoch();
   step.cache_hit_fraction = last_cover_fraction_;
   step.delta_volume_fraction = last_delta_fraction_;
 
@@ -85,6 +127,15 @@ Result<scout::StepRecord> Session::RunStep(
   return step;
 }
 
+Status Session::DeltaMergedRange(const geom::Aabb& box,
+                                 geom::ElementVec* out) {
+  geom::CollectingVisitor base_out;
+  NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool_.get(), base_out));
+  *out = base_out.TakeElements();
+  if (delta_ != nullptr) delta_->Overlay(box, out);
+  return Status::OK();
+}
+
 Status Session::CachedRangeStep(const geom::Aabb& box,
                                 geom::ResultVisitor& visitor,
                                 std::vector<geom::ElementId>* ids) {
@@ -94,7 +145,14 @@ Status Session::CachedRangeStep(const geom::Aabb& box,
       cache::DeltaPlanner::Answer(
           *cache_, box,
           [&](const geom::Aabb& residual, geom::CollectingVisitor* out) {
-            return index_->RangeQuery(residual, pool_.get(), *out);
+            // Residuals answer from base + live delta; an insert shared by
+            // two face-adjacent residuals is deduplicated by MergeById.
+            geom::ElementVec part;
+            NEURODB_RETURN_NOT_OK(DeltaMergedRange(residual, &part));
+            for (const geom::SpatialElement& e : part) {
+              out->Visit(e.id, e.bounds);
+            }
+            return Status::OK();
           },
           &plan));
 
@@ -105,6 +163,8 @@ Status Session::CachedRangeStep(const geom::Aabb& box,
   }
   last_cover_fraction_ = plan.covered_fraction;
   last_delta_fraction_ = plan.residual_fraction;
+  // The deep copy only pays off when a later StepKnn will read the seeds.
+  if (options_.seed_knn) last_results_ = merged;
   cache_->Insert(box, std::move(merged));
   return Status::OK();
 }
@@ -153,6 +213,9 @@ size_t Session::PrepopulateCache(size_t budget) {
       }
     }
     if (!complete) continue;
+    // Page contents are the immutable base — overlay the live delta so the
+    // cached entry is the *current* complete answer for the predicted box.
+    if (delta_ != nullptr) delta_->Overlay(predicted, &results);
     cache::SortById(&results);
     cache_->Insert(predicted, std::move(results));
   }
@@ -174,10 +237,24 @@ Result<scout::StepRecord> Session::Step(const geom::Aabb& box,
   return RunStep([&](std::vector<geom::ElementId>* ids,
                      geom::Aabb* prefetch_box) {
     *prefetch_box = box;
-    // Stream to the caller while keeping the ids the prefetcher observes.
-    geom::VectorVisitor collector(ids);
-    geom::TeeVisitor tee(&visitor, &collector);
-    return index_->RangeQuery(box, pool_.get(), tee);
+    if (delta_ == nullptr || delta_->Empty()) {
+      // Read-only fast path: stream in crawl order, collect the element
+      // list for the prefetcher and the next kNN step's seed candidates.
+      geom::CollectingVisitor collector;
+      geom::TeeVisitor tee(&visitor, &collector);
+      NEURODB_RETURN_NOT_OK(index_->RangeQuery(box, pool_.get(), tee));
+      last_results_ = collector.TakeElements();
+    } else {
+      geom::ElementVec merged;
+      NEURODB_RETURN_NOT_OK(DeltaMergedRange(box, &merged));
+      for (const geom::SpatialElement& e : merged) {
+        visitor.Visit(e.id, e.bounds);
+      }
+      last_results_ = std::move(merged);
+    }
+    ids->reserve(last_results_.size());
+    for (const geom::SpatialElement& e : last_results_) ids->push_back(e.id);
+    return Status::OK();
   });
 }
 
@@ -199,7 +276,41 @@ Result<scout::StepRecord> Session::StepKnn(const geom::Vec3& point, size_t k,
   std::vector<geom::KnnHit>* out = hits != nullptr ? hits : &local;
   return RunStep([&](std::vector<geom::ElementId>* ids,
                      geom::Aabb* prefetch_box) {
-    NEURODB_RETURN_NOT_OK(index_->Knn(point, k, pool_.get(), out));
+    // Delta kNN seeding: the previous step's results are genuine elements,
+    // so the k-th best of their distances to the *new* point bounds the
+    // true k-th distance from above — start the expanding ring there. A
+    // stale or short seed list only changes the starting radius, never the
+    // answer (flat::FlatIndex::Knn doc).
+    double radius_hint = 0.0;
+    if (options_.seed_knn && last_results_.size() >= k) {
+      std::vector<double> distances;
+      distances.reserve(last_results_.size());
+      for (const geom::SpatialElement& e : last_results_) {
+        distances.push_back(geom::KnnDistance(point, e.bounds));
+      }
+      std::nth_element(distances.begin(), distances.begin() + (k - 1),
+                       distances.end());
+      radius_hint = distances[k - 1];
+    }
+
+    const bool merge_delta = delta_ != nullptr && !delta_->Empty();
+    if (!merge_delta) {
+      NEURODB_RETURN_NOT_OK(
+          index_->Knn(point, k, pool_.get(), out, nullptr, radius_hint));
+    } else {
+      // Widened base request + dead-hit filter + delta seeding — the same
+      // merge BaseDeltaBackend runs (base_delta_backend.cc).
+      size_t k_base = k + delta_->TombstoneCount() + delta_->InsertCount();
+      std::vector<geom::KnnHit> base_hits;
+      NEURODB_RETURN_NOT_OK(index_->Knn(point, k_base, pool_.get(),
+                                        &base_hits, nullptr, radius_hint));
+      geom::KnnAccumulator acc(k);
+      for (const geom::KnnHit& hit : base_hits) {
+        if (!delta_->IsDead(hit.id)) acc.Offer(hit.id, hit.distance);
+      }
+      delta_->SeedKnn(point, &acc);
+      *out = acc.TakeSorted();
+    }
     ids->reserve(out->size());
     for (const geom::KnnHit& hit : *out) ids->push_back(hit.id);
     // The prefetcher sees the neighbourhood the answer came from — the
@@ -221,6 +332,9 @@ scout::SessionResult Session::Summary() const {
   out.pages_hit = pool_->stats().Get("pool.hits");
   out.prefetch_issued = pool_->stats().Get("pool.prefetch_issued");
   out.prefetch_used = pool_->stats().Get("pool.prefetch_used");
+  if (cache_ != nullptr) {
+    out.cache_invalidated_boxes = cache_->stats().invalidated_boxes;
+  }
   return out;
 }
 

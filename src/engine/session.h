@@ -19,6 +19,16 @@
 // During think time the prefetcher's predicted next box is evaluated over
 // prefetched pages and inserted into the cache (results, not just pages),
 // so a correctly predicted step stalls for nothing.
+//
+// Sessions opened by QueryEngine::OpenSession are additionally *delta-
+// aware*: they borrow the FLAT backend's DeltaIndex and the engine's
+// UpdateLog, so every step merges the immutable crawl layout with the live
+// updates (tombstones filtered, inserts appended), stamps its StepRecord
+// with the epoch it answered at, and — before querying — replays any update
+// stamps it has not yet seen to invalidate exactly the cached boxes whose
+// region went dirty. A cached session therefore stays byte-identical to a
+// cold one across ApplyUpdates. (QueryEngine::Compact rebuilds page
+// layouts; sessions opened before a compaction are invalidated — reopen.)
 
 #ifndef NEURODB_ENGINE_SESSION_H_
 #define NEURODB_ENGINE_SESSION_H_
@@ -30,6 +40,7 @@
 #include "cache/result_cache.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
+#include "engine/delta_index.h"
 #include "flat/flat_index.h"
 #include "geom/aabb.h"
 #include "geom/knn.h"
@@ -50,12 +61,17 @@ namespace engine {
 class Session {
  public:
   /// Open a session over a FLAT-indexed dataset. `resolver` may be null
-  /// unless `method` is kScout.
+  /// unless `method` is kScout. `delta` (the FLAT backend's live delta)
+  /// and `update_log` (the engine's applied-batch history) make the
+  /// session delta-aware; leaving them null gives the classic read-only
+  /// session over the base layout alone.
   static Result<Session> Open(const flat::FlatIndex* index,
                               storage::PageStore* store,
                               const neuro::SegmentResolver* resolver,
                               scout::PrefetchMethod method,
-                              scout::SessionOptions options);
+                              scout::SessionOptions options,
+                              const DeltaIndex* delta = nullptr,
+                              const UpdateLog* update_log = nullptr);
 
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
@@ -75,6 +91,13 @@ class Session {
   /// spend the think pause on the neighbourhood of the answer, exactly as
   /// a range Step does. k == 0 and non-finite points are InvalidArgument;
   /// k beyond the dataset clamps.
+  ///
+  /// Delta kNN seeding (SessionOptions::seed_knn, on by default): the
+  /// previous step's result list seeds the crawl's starting ring radius
+  /// with its k-th best distance to the new point — a slowly moving query
+  /// starts tight instead of re-deriving the radius from global density.
+  /// Seeding is a starting point only; hits are bit-identical to the
+  /// unseeded path (parity-checked in tests).
   Result<scout::StepRecord> StepKnn(const geom::Vec3& point, size_t k,
                                     std::vector<geom::KnnHit>* hits = nullptr);
 
@@ -93,19 +116,34 @@ class Session {
  private:
   Session() = default;
 
-  /// Shared step skeleton: time the query, account pool deltas, feed the
-  /// prefetcher the result ids and the box the answer came from, spend the
-  /// think pause, record the step. `query` fills the result ids and the
-  /// prefetch box.
+  /// Shared step skeleton: catch up on update-log invalidations, time the
+  /// query, account pool deltas, feed the prefetcher the result ids and
+  /// the box the answer came from, spend the think pause, record the step
+  /// (stamped with the current epoch). `query` fills the result ids and
+  /// the prefetch box.
   Result<scout::StepRecord> RunStep(
       const std::function<Status(std::vector<geom::ElementId>* ids,
                                  geom::Aabb* prefetch_box)>& query);
 
   /// The cached range-step body: delta-decompose `box` against the cache,
-  /// answer residuals through the index, merge under the id order, stream
-  /// to `visitor`, remember the full result as the newest cache entry.
+  /// answer residuals through the index (merged with the live update
+  /// delta), merge under the id order, stream to `visitor`, remember the
+  /// full result as the newest cache entry.
   Status CachedRangeStep(const geom::Aabb& box, geom::ResultVisitor& visitor,
                          std::vector<geom::ElementId>* ids);
+
+  /// One index range query over `box` merged with the live update delta:
+  /// base matches with dead ids dropped, live inserts appended.
+  Status DeltaMergedRange(const geom::Aabb& box, geom::ElementVec* out);
+
+  /// Drop cached boxes dirtied by update batches this session has not yet
+  /// observed (no-op without an update log or a cache).
+  void CatchUpInvalidations();
+
+  /// The epoch the session currently answers at (0 without an update log).
+  uint64_t CurrentEpoch() const {
+    return update_log_ != nullptr ? update_log_->epoch() : 0;
+  }
 
   /// Think-time result prefetch: evaluate the prefetcher's predicted boxes
   /// over pool-resident pages (loading missing ones within the remaining
@@ -114,6 +152,17 @@ class Session {
   size_t PrepopulateCache(size_t budget);
 
   const flat::FlatIndex* index_ = nullptr;
+  /// The crawl-page store the session pool caches, and its layout epoch at
+  /// Open — a later Compact rebuilds the layout under the pool, so steps
+  /// fail fast instead of serving stale cached pages.
+  const storage::PageStore* store_ = nullptr;
+  storage::Epoch store_epoch_at_open_ = 0;
+  /// Live update overlay of the indexed dataset (null: read-only session).
+  const DeltaIndex* delta_ = nullptr;
+  /// Applied-batch history for cache invalidation catch-up (null: none).
+  const UpdateLog* update_log_ = nullptr;
+  /// Update stamps already replayed into the session cache.
+  size_t log_seen_ = 0;
   scout::SessionOptions options_;
   size_t budget_ = 0;
   // unique_ptrs keep addresses stable across moves (the prefetcher holds a
@@ -123,6 +172,9 @@ class Session {
   std::unique_ptr<scout::Prefetcher> prefetcher_;
   /// Non-null iff options_.cache_results (unique_ptr for move stability).
   std::unique_ptr<cache::ResultCache> cache_;
+  /// The previous step's full result list — the seed candidates for delta
+  /// kNN seeding (range steps refresh it; kNN steps reuse it).
+  geom::ElementVec last_results_;
   std::vector<scout::StepRecord> steps_;
   uint64_t total_stall_us_ = 0;
   /// Coverage of the step currently executing (set by CachedRangeStep,

@@ -65,9 +65,9 @@ void SplitRecursive(const geom::ElementVec& elements,
 
 std::vector<size_t> ShardedBackend::SelectShards(const Aabb& box) const {
   // Cost-based selection: bounds intersection alone is not enough — a
-  // shard whose population is zero (an empty build today; deletions, once
-  // supported, tomorrow) is skipped outright, so the query pays neither
-  // the pool lookup nor the inner-grid scan for it.
+  // shard whose live population is zero (an empty build, or every element
+  // erased since) is skipped outright, so the query pays neither the pool
+  // lookup nor the inner-grid scan for it.
   std::vector<size_t> selected;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (shard_sizes_[s] == 0) continue;
@@ -83,7 +83,12 @@ Status ShardedBackend::Build(const geom::ElementVec& elements) {
     return Status::AlreadyExists("ShardedBackend: already built");
   }
   NEURODB_RETURN_NOT_OK(options_.Validate());
+  NEURODB_RETURN_NOT_OK(BuildBase(elements));
+  built_ = true;
+  return Status::OK();
+}
 
+Status ShardedBackend::BuildBase(const geom::ElementVec& elements) {
   // Never build an empty shard: fewer elements than shards degrades to
   // fewer shards (a one-element circuit is a one-shard backend).
   size_t shards = std::max<size_t>(
@@ -101,6 +106,7 @@ Status ShardedBackend::Build(const geom::ElementVec& elements) {
   shards_.reserve(runs.size());
   shard_bounds_.reserve(runs.size());
   shard_sizes_.reserve(runs.size());
+  id_to_shard_.reserve(elements.size());
   for (const auto& [begin, end] : runs) {
     geom::ElementVec part;
     part.reserve(end - begin);
@@ -108,6 +114,7 @@ Status ShardedBackend::Build(const geom::ElementVec& elements) {
     for (size_t i = begin; i < end; ++i) {
       part.push_back(elements[idx[i]]);
       bounds.Extend(part.back().bounds);
+      id_to_shard_[part.back().id] = static_cast<uint32_t>(shards_.size());
     }
     auto shard = std::make_unique<GridBackend>(options_.inner);
     NEURODB_RETURN_NOT_OK(shard->Build(part));
@@ -115,9 +122,119 @@ Status ShardedBackend::Build(const geom::ElementVec& elements) {
     shard_bounds_.push_back(bounds);
     shard_sizes_.push_back(end - begin);
   }
-
-  built_ = true;
   return Status::OK();
+}
+
+Status ShardedBackend::ResetBase() {
+  shards_.clear();
+  shard_bounds_.clear();
+  shard_sizes_.clear();
+  id_to_shard_.clear();
+  return Status::OK();
+}
+
+size_t ShardedBackend::RouteByBounds(const Vec3& center) const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_bounds_[s].IsValid() && shard_bounds_[s].Contains(center)) {
+      return s;
+    }
+  }
+  return static_cast<size_t>(-1);
+}
+
+Status ShardedBackend::Insert(geom::ElementId id, const Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Insert"));
+  size_t s = RouteByBounds(bounds.Center());
+  if (s == static_cast<size_t>(-1)) {
+    // Outside every shard: the spill delta (the inherited wrapper merges
+    // it over the shard fan-out). Re-homed into a shard at Compact.
+    delta_.Insert(id, bounds);
+    return Status::OK();
+  }
+  NEURODB_RETURN_NOT_OK(shards_[s]->Insert(id, bounds));
+  // The element's box may stick out of the median-split bounds; extending
+  // them keeps both range selection and the kNN frontier's lower-bound
+  // pruning conservative (bounds only ever grow between compactions).
+  shard_bounds_[s].Extend(bounds);
+  ++shard_sizes_[s];
+  id_to_shard_[id] = static_cast<uint32_t>(s);
+  return Status::OK();
+}
+
+Status ShardedBackend::Erase(geom::ElementId id) {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Erase"));
+  auto it = id_to_shard_.find(id);
+  if (it == id_to_shard_.end()) {
+    // A spill-born element (or an id the engine mis-validated — harmless
+    // either way: the spill delta drops the insert or tombstones a ghost).
+    delta_.Erase(id);
+    return Status::OK();
+  }
+  size_t s = it->second;
+  NEURODB_RETURN_NOT_OK(shards_[s]->Erase(id));
+  if (shard_sizes_[s] > 0) --shard_sizes_[s];
+  id_to_shard_.erase(it);
+  return Status::OK();
+}
+
+Status ShardedBackend::Move(geom::ElementId id, const Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(Erase(id));
+  return Insert(id, bounds);
+}
+
+Status ShardedBackend::Compact() {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("Compact"));
+  if (DeltaSize() == 0) return Status::OK();
+
+  // Per-shard live sets, plus every spill element re-homed into the shard
+  // containing its center — or, when none does, the shard whose (live)
+  // bounds are nearest (ties: lowest index; a fully erased backend falls
+  // back to shard 0).
+  std::vector<geom::ElementVec> live(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    live[s] = shards_[s]->LiveElements();
+  }
+  for (const auto& [id, bounds] : delta_.inserts()) {
+    Vec3 center = bounds.Center();
+    size_t target = RouteByBounds(center);
+    if (target == static_cast<size_t>(-1)) {
+      double best = std::numeric_limits<double>::infinity();
+      target = 0;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (!shard_bounds_[s].IsValid()) continue;
+        double distance = shard_bounds_[s].SquaredDistanceTo(center);
+        if (distance < best) {
+          best = distance;
+          target = s;
+        }
+      }
+    }
+    live[target].emplace_back(id, bounds);
+  }
+
+  id_to_shard_.clear();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::sort(live[s].begin(), live[s].end(),
+              [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
+                return a.id < b.id;
+              });
+    NEURODB_RETURN_NOT_OK(shards_[s]->ReplaceBase(live[s]));
+    Aabb bounds;
+    for (const auto& e : live[s]) {
+      bounds.Extend(e.bounds);
+      id_to_shard_[e.id] = static_cast<uint32_t>(s);
+    }
+    shard_bounds_[s] = bounds;
+    shard_sizes_[s] = live[s].size();
+  }
+  delta_.Clear();
+  return Status::OK();
+}
+
+size_t ShardedBackend::DeltaSize() const {
+  size_t total = delta_.Size();
+  for (const auto& shard : shards_) total += shard->DeltaSize();
+  return total;
 }
 
 std::vector<storage::PageStore*> ShardedBackend::Stores() {
@@ -127,12 +244,9 @@ std::vector<storage::PageStore*> ShardedBackend::Stores() {
   return stores;
 }
 
-Status ShardedBackend::RangeQuery(const Aabb& box, storage::PoolSet* pools,
-                                  ResultVisitor& visitor,
-                                  RangeStats* stats) const {
-  if (!built_) {
-    return Status::InvalidArgument("ShardedBackend: not built");
-  }
+Status ShardedBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
+                                      ResultVisitor& visitor,
+                                      RangeStats* stats) const {
   if (pools == nullptr) {
     return Status::InvalidArgument("ShardedBackend::RangeQuery: null pool set");
   }
@@ -200,13 +314,10 @@ Status ShardedBackend::RangeQuery(const Aabb& box, storage::PoolSet* pools,
   return Status::OK();
 }
 
-Status ShardedBackend::KnnQuery(const Vec3& point, size_t k,
-                                storage::PoolSet* pools,
-                                std::vector<geom::KnnHit>* hits,
-                                RangeStats* stats) const {
-  if (!built_) {
-    return Status::InvalidArgument("ShardedBackend: not built");
-  }
+Status ShardedBackend::BaseKnnQuery(const Vec3& point, size_t k,
+                                    storage::PoolSet* pools,
+                                    std::vector<geom::KnnHit>* hits,
+                                    RangeStats* stats) const {
   if (pools == nullptr) {
     return Status::InvalidArgument("ShardedBackend::KnnQuery: null pool set");
   }
@@ -268,7 +379,10 @@ BackendStats ShardedBackend::Stats() const {
     stats.metadata_bytes += inner.metadata_bytes;
   }
   stats.metadata_bytes += shard_bounds_.capacity() * sizeof(Aabb) +
-                          shard_sizes_.capacity() * sizeof(size_t);
+                          shard_sizes_.capacity() * sizeof(size_t) +
+                          id_to_shard_.size() *
+                              (sizeof(geom::ElementId) + sizeof(uint32_t)) +
+                          MutationMetadataBytes();  // the spill delta
   return stats;
 }
 

@@ -16,18 +16,31 @@
 //     merging per-shard answers under the global (distance, id) order and
 //     stopping once no unvisited shard can still beat the k-th hit.
 //
-// Because every element lives in exactly one shard, the merged answers are
-// exact, which lets the backend join BackendChoice::kAll — four-way parity
-// in the differential harness — for free.
+// Mutation is sharded the same way the data is: each inner GridBackend is a
+// BaseDeltaBackend, so an update routed to a shard lands in that shard's
+// delta. Inserts route by the median-split bounds (the shard whose bounds
+// contain the new center, which then extend to cover the new element so the
+// frontier/selection pruning stays conservative); inserts landing outside
+// every shard go to the backend's own *spill* delta — the inherited
+// BaseDeltaBackend wrapper merges it over the shard fan-out. An id→shard
+// map keeps erases and moves exact (no cross-shard tombstone amplification)
+// and keeps per-shard populations truthful for cost-based selection.
+// Compact() folds every shard's delta in place — same PageStore objects,
+// fresh pages — and re-homes spill elements into their nearest shard.
+//
+// Because every element lives in exactly one shard (or the spill), the
+// merged answers are exact, which lets the backend join BackendChoice::kAll
+// — four-way parity in the differential harness — for free.
 
 #ifndef NEURODB_ENGINE_SHARDED_BACKEND_H_
 #define NEURODB_ENGINE_SHARDED_BACKEND_H_
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
-#include "engine/backend.h"
+#include "engine/base_delta_backend.h"
 #include "engine/grid_backend.h"
 #include "exec/thread_pool.h"
 
@@ -48,13 +61,16 @@ struct ShardedOptions {
 /// Domain-sharded backend: K shards, each a GridBackend over its own
 /// PageStore. Stores() exposes one store per shard, so the engine's
 /// PoolSets carry one BufferPool per shard.
-class ShardedBackend : public SpatialBackend {
+class ShardedBackend : public BaseDeltaBackend {
  public:
   explicit ShardedBackend(ShardedOptions options = ShardedOptions())
       : options_(options) {}
 
   const char* name() const override { return "Sharded"; }
 
+  /// Custom build pipeline: split, then build one inner backend per run.
+  /// (The inherited Build would retain a duplicate base element list; the
+  /// shards each retain their own part instead.)
   Status Build(const geom::ElementVec& elements) override;
 
   /// Attach a worker pool for intra-query shard fan-out; null (the
@@ -64,29 +80,40 @@ class ShardedBackend : public SpatialBackend {
   /// query itself already runs on a pool worker (ExecuteBatch lanes).
   void set_thread_pool(exec::ThreadPool* pool) { thread_pool_ = pool; }
 
-  Status RangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                    ResultVisitor& visitor,
-                    RangeStats* stats = nullptr) const override;
+  /// Route to the shard whose bounds contain the new center (extending the
+  /// shard's bounds over the new element), else to the spill delta.
+  Status Insert(geom::ElementId id, const geom::Aabb& bounds) override;
+  /// Route to the owning shard via the id map, else to the spill delta.
+  Status Erase(geom::ElementId id) override;
+  Status Move(geom::ElementId id, const geom::Aabb& bounds) override;
 
-  Status KnnQuery(const geom::Vec3& point, size_t k,
-                  storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
-                  RangeStats* stats = nullptr) const override;
+  /// Fold every shard's delta in place and re-home spill elements into the
+  /// shard whose bounds contain (or are nearest to) their center. Shard
+  /// count and PageStore objects are stable across compaction — only page
+  /// contents change — so existing PoolSets stay structurally valid (their
+  /// cached pages must still be evicted).
+  Status Compact() override;
+
+  /// Spill delta plus every shard's pending delta records.
+  size_t DeltaSize() const override;
 
   BackendStats Stats() const override;
 
   std::vector<storage::PageStore*> Stores() override;
 
-  bool built() const { return built_; }
   const ShardedOptions& options() const { return options_; }
   size_t NumShards() const { return shards_.size(); }
-  /// Bounding box of shard `i`'s elements (shards may overlap slightly:
-  /// cuts go through element centers, boxes extend beyond them).
+  /// Bounding box of shard `i`'s live elements. Cuts go through element
+  /// centers, boxes extend beyond them — and inserts only ever extend a
+  /// shard's bounds further (exact re-tightening happens at Compact).
   const geom::Aabb& shard_bounds(size_t i) const { return shard_bounds_[i]; }
   const GridBackend& shard(size_t i) const { return *shards_[i]; }
-  /// Elements assigned to shard `i` — the per-shard population count the
-  /// cost-based shard selection prunes by (zero-population shards are
+  /// Live elements assigned to shard `i` — the per-shard population count
+  /// the cost-based shard selection prunes by (zero-population shards are
   /// skipped even when their bounds intersect a query).
   size_t ShardPopulation(size_t i) const { return shard_sizes_[i]; }
+  /// Live elements routed to the spill delta (outside every shard bound).
+  size_t SpillPopulation() const { return delta_.InsertCount(); }
 
   /// Shards a range query over `box` executes on: bounds must intersect
   /// AND the population must be non-zero. Exposed for tests.
@@ -96,14 +123,33 @@ class ShardedBackend : public SpatialBackend {
   /// I/O aggregation the scaling benchmarks report.
   uint64_t TotalStoreReads() const;
 
+ protected:
+  Status BuildBase(const geom::ElementVec& elements) override;
+  Status ResetBase() override;
+  bool retain_base_elements() const override { return false; }
+  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+                        ResultVisitor& visitor,
+                        RangeStats* stats) const override;
+  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
+                      storage::PoolSet* pools,
+                      std::vector<geom::KnnHit>* hits,
+                      RangeStats* stats) const override;
+
  private:
+  /// The shard whose bounds contain `center` (lowest index wins), or
+  /// npos when no shard covers it (the insert spills).
+  size_t RouteByBounds(const geom::Vec3& center) const;
+
   ShardedOptions options_;
   exec::ThreadPool* thread_pool_ = nullptr;
-  bool built_ = false;
 
   std::vector<std::unique_ptr<GridBackend>> shards_;
   std::vector<geom::Aabb> shard_bounds_;
   std::vector<size_t> shard_sizes_;
+  /// Owning shard of every live element that lives in a shard (spill
+  /// elements are absent) — exact erase/move routing and truthful
+  /// populations without cross-shard tombstones.
+  std::unordered_map<geom::ElementId, uint32_t> id_to_shard_;
 };
 
 }  // namespace engine

@@ -176,8 +176,8 @@ Status FlatIndex::RangeQuery(const Aabb& box, storage::BufferPool* pool,
 }
 
 Status FlatIndex::Knn(const geom::Vec3& p, size_t k, storage::BufferPool* pool,
-                      std::vector<geom::KnnHit>* hits,
-                      FlatQueryStats* stats) const {
+                      std::vector<geom::KnnHit>* hits, FlatQueryStats* stats,
+                      double initial_radius_hint) const {
   if (pool == nullptr) {
     return Status::InvalidArgument("FlatIndex::Knn: null pool");
   }
@@ -205,6 +205,15 @@ Status FlatIndex::Knn(const geom::Vec3& p, size_t k, storage::BufferPool* pool,
                                    static_cast<float>(approx_elements))
           : 1.0f;
   if (!(radius > 0.0f)) radius = 1.0f;
+  // A caller-supplied starting radius (sessions seed it from the previous
+  // step's k-th hit distance) overrides the density estimate. Purely a
+  // starting point — the termination condition below is unchanged, so the
+  // answer is bit-identical to an unseeded run.
+  if (initial_radius_hint > 0.0 &&
+      std::isfinite(initial_radius_hint)) {
+    radius = static_cast<float>(initial_radius_hint);
+    if (!(radius > 0.0f)) radius = 1.0f;
+  }
 
   geom::KnnAccumulator acc(k);
   std::vector<char> visited(page_ids_.size(), 0);

@@ -123,9 +123,17 @@ class FlatIndex {
   /// page a range query of that radius would have fetched. `hits` is
   /// cleared and filled ascending. k == 0 yields an empty answer; k larger
   /// than the dataset yields every element.
+  ///
+  /// `initial_radius_hint` (> 0 to take effect) replaces the density-based
+  /// starting radius — exploration sessions pass the k-th best distance of
+  /// the previous step's hit list, so a slowly moving query starts its
+  /// first ring already tight (engine/session.h). The hint is purely a
+  /// starting point: the ring still doubles until the k-th best distance
+  /// is covered, so a wrong hint changes I/O, never the answer.
   Status Knn(const geom::Vec3& p, size_t k, storage::BufferPool* pool,
              std::vector<geom::KnnHit>* hits,
-             FlatQueryStats* stats = nullptr) const;
+             FlatQueryStats* stats = nullptr,
+             double initial_radius_hint = 0.0) const;
 
   /// Pages (as indexes into page order) whose MBR intersects `box`.
   /// Memory-only (seed tree); used by SCOUT to translate predicted query

@@ -221,8 +221,36 @@ WorkloadQuery MixedWorkloadQuery(const Aabb& domain,
     query.path = PathQueries(walk, options.walk_side);
     return query;
   }
+  if (kind_draw < options.join_fraction + options.walkthrough_fraction +
+                      options.update_fraction) {
+    // A mutation. Inserts and moves get an element-scale bounding cube
+    // (data-centered or uniform, like point queries); erase/move targets
+    // are picked by rank against the live set at replay time.
+    query.kind = QueryKind::kUpdate;
+    double op_draw = rng.NextDouble();
+    if (op_draw < options.update_insert_weight) {
+      query.update_op = WorkloadUpdateOp::kInsert;
+    } else if (op_draw <
+               options.update_insert_weight + options.update_erase_weight) {
+      query.update_op = WorkloadUpdateOp::kErase;
+    } else {
+      query.update_op = WorkloadUpdateOp::kMove;
+    }
+    query.update_rank = rng.NextU64();
+    Vec3 center = UniformPoint(&rng, domain);
+    if (!elements.empty() && rng.NextBool(options.data_centered_fraction)) {
+      const auto& e =
+          elements[rng.NextBounded(static_cast<uint32_t>(elements.size()))];
+      center = e.bounds.Center();
+    }
+    float side = static_cast<float>(
+        rng.Uniform(options.update_side_min, options.update_side_max));
+    query.box = Aabb::Cube(center, side);
+    return query;
+  }
   query.kind = kind_draw < options.join_fraction +
                                options.walkthrough_fraction +
+                               options.update_fraction +
                                options.knn_fraction
                    ? QueryKind::kKnn
                    : QueryKind::kRange;

@@ -75,6 +75,21 @@ enum class QueryKind {
   kKnn,
   kJoin,
   kWalkthrough,
+  /// A mutation of the loaded dataset (insert / erase / move). The
+  /// concrete target of an erase or move is resolved against the *live*
+  /// id set at replay time (updates are inherently history-dependent) —
+  /// the query carries a rank that picks deterministically among the ids
+  /// alive when it executes.
+  kUpdate,
+};
+
+/// The mutation flavor of a kUpdate workload query (kept free of engine
+/// types — neuro:: sits below engine:: in the layering; the harness maps
+/// it onto engine::UpdateKind 1:1).
+enum class WorkloadUpdateOp {
+  kInsert,
+  kErase,
+  kMove,
 };
 
 /// One randomized query of a mixed workload. Every query remembers the
@@ -82,13 +97,17 @@ enum class QueryKind {
 /// the differential harness prints on divergence.
 struct WorkloadQuery {
   QueryKind kind = QueryKind::kRange;
-  geom::Aabb box;      // kRange
+  geom::Aabb box;      // kRange; kUpdate: insert/move bounds
   geom::Vec3 point;    // kKnn
   size_t k = 0;        // kKnn
   float epsilon = 0;   // kJoin
   /// kWalkthrough: a short random-walk path of range boxes replayed one
   /// Session::Step at a time.
   std::vector<geom::Aabb> path;
+  /// kUpdate: which mutation, and — for erase/move — the rank that selects
+  /// the target among the ids live at replay time (rank % live_count).
+  WorkloadUpdateOp update_op = WorkloadUpdateOp::kInsert;
+  uint64_t update_rank = 0;
   uint64_t sub_seed = 0;
 };
 
@@ -103,6 +122,19 @@ struct MixedWorkloadOptions {
   /// of `walk_steps` range boxes replayed through Session::Step). Each
   /// walkthrough runs walk_steps range queries — keep this small too.
   double walkthrough_fraction = 0.0;
+  /// Fraction of queries that are mutations (insert / erase / move),
+  /// replayed through QueryEngine::ApplyUpdates by the update-parity
+  /// harness. 0 keeps read-only workloads bit-identical to before this
+  /// option existed.
+  double update_fraction = 0.0;
+  /// Insert : erase : move split of the update fraction (the remainder
+  /// after insert_weight + erase_weight is moves).
+  double update_insert_weight = 0.4;
+  double update_erase_weight = 0.3;
+  /// Bounding-cube side of inserted/moved elements, uniform in
+  /// [update_side_min, update_side_max] — element-scale, not query-scale.
+  float update_side_min = 1.0f;
+  float update_side_max = 6.0f;
   /// Steps per walkthrough path.
   size_t walk_steps = 6;
   /// Step length of the walk, micrometres.

@@ -44,6 +44,12 @@ struct SessionOptions {
   /// index crawl order.
   bool cache_results = false;
   size_t result_cache_boxes = 8;
+  /// Delta kNN seeding (engine::Session::StepKnn): reuse the previous
+  /// step's hit list to seed the expanding-ring search's starting radius —
+  /// a slowly moving kNN query starts its first ring already tight. Purely
+  /// a starting point for the crawl; answers are bit-identical either way
+  /// (flat::FlatIndex::Knn).
+  bool seed_knn = true;
 
   /// Pages a prefetcher can load during one think pause, capped at the
   /// pool capacity — a longer pause cannot usefully prefetch more pages
@@ -64,6 +70,9 @@ struct StepRecord {
   uint64_t results = 0;        // result elements
   uint64_t prefetched = 0;     // pages prefetched after this query
   uint64_t candidates = 0;     // SCOUT candidate structures (else 0)
+  /// Data epoch this step answered at (0 for sessions opened outside the
+  /// engine's update path, or while no update was ever applied).
+  uint64_t epoch = 0;
   /// Result-cache delta answering (engine::Session with cache_results):
   /// fraction of the query volume served from the cache, and the fraction
   /// the backend still had to answer. Uncached steps report 0 / 1.
@@ -85,6 +94,9 @@ struct SessionResult {
   /// Peek, which never demands them from the pool, so the prefetches
   /// that worked best are not counted here.
   uint64_t prefetch_used = 0;
+  /// Result-cache entries dropped because updates dirtied their region
+  /// mid-session (invalidation churn; 0 for uncached sessions).
+  uint64_t cache_invalidated_boxes = 0;
 
   /// Fraction of prefetched pages that were later demanded.
   double PrefetchPrecision() const {

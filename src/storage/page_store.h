@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/epoch.h"
 #include "storage/page.h"
 
 namespace neurodb {
@@ -31,13 +32,16 @@ class PageStore {
   PageStore(PageStore&& other) noexcept
       : pages_(std::move(other.pages_)),
         reads_(other.reads_.load(std::memory_order_relaxed)),
-        writes_(other.writes_.load(std::memory_order_relaxed)) {}
+        writes_(other.writes_.load(std::memory_order_relaxed)),
+        epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
   PageStore& operator=(PageStore&& other) noexcept {
     pages_ = std::move(other.pages_);
     reads_.store(other.reads_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     writes_.store(other.writes_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     return *this;
   }
 
@@ -68,10 +72,26 @@ class PageStore {
   /// Pages written since construction.
   uint64_t NumWrites() const { return writes_.load(std::memory_order_relaxed); }
 
+  /// Version of the physical page layout. Bumped by Reset (compaction) and
+  /// BumpEpoch; a BufferPool caching pages of this store is stale — and must
+  /// be evicted — whenever the store's epoch moved past the one it cached at.
+  Epoch epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Drop every page (compaction rebuilds the layout from scratch) and bump
+  /// the epoch. Read/write counters keep accumulating across Resets. Any
+  /// BufferPool over this store must be evicted before its next access —
+  /// cached Page pointers into the old layout are invalid after a Reset.
+  void Reset() {
+    pages_.clear();
+    BumpEpoch();
+  }
+
  private:
   std::vector<Page> pages_;
   mutable std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<Epoch> epoch_{0};
 };
 
 }  // namespace storage

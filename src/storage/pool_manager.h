@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "storage/epoch.h"
 #include "storage/page_store.h"
 #include "storage/pool_set.h"
 
@@ -92,6 +93,12 @@ class PoolManager {
   const DiskCostModel& cost() const { return cost_; }
   size_t default_pool_pages() const { return default_pool_pages_; }
 
+  /// Data version the manager's pools serve. The engine advances it once
+  /// per applied update batch (and per compaction); results are stamped
+  /// with the epoch they answered at.
+  Epoch epoch() const { return epoch_; }
+  Epoch AdvanceEpoch() { return ++epoch_; }
+
   /// One named ticker summed over every pool of every set.
   uint64_t TotalTicker(const std::string& ticker) const;
 
@@ -101,6 +108,7 @@ class PoolManager {
   size_t default_pool_pages_;
   DiskCostModel cost_;
   SimClock clock_;
+  Epoch epoch_ = 0;
   /// std::map keeps iteration deterministic (stats, EvictAll order).
   std::map<std::string, std::unique_ptr<PoolSet>> sets_;
   uint64_t sets_created_ = 0;

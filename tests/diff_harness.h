@@ -26,8 +26,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/query_engine.h"
@@ -53,26 +55,77 @@ struct DiffOutcome {
   size_t knns = 0;
   size_t joins = 0;
   size_t walkthroughs = 0;
+  size_t updates = 0;
   /// Valid when diverged: the failing query's index in the workload and the
   /// sub-seed that regenerates it via neuro::MixedWorkloadQuery.
   size_t failing_index = 0;
   uint64_t failing_seed = 0;
   std::string detail;
+  /// Shrink-reducer output (when it ran on a divergence): the smallest
+  /// element subset found that still reproduces, and its size.
+  bool shrunk = false;
+  size_t minimized_elements = 0;
+  geom::ElementVec minimized;
 
   std::string Summary() const {
     std::ostringstream os;
     if (!diverged) {
       os << "no divergence in " << queries_run << " queries (" << ranges
          << " range, " << knns << " knn, " << joins << " join, "
-         << walkthroughs << " walkthrough)";
+         << walkthroughs << " walkthrough, " << updates << " update)";
     } else {
       os << "DIVERGENCE at query " << failing_index
          << " — minimal repro: MixedWorkloadQuery(..., sub_seed="
          << failing_seed << ") — " << detail;
+      if (shrunk) {
+        os << " — circuit shrunk to " << minimized_elements << " elements";
+      }
     }
     return os.str();
   }
 };
+
+/// ddmin-style circuit reducer: repeatedly drop contiguous chunks of the
+/// element list (halves, then quarters, ...) while `still_diverges` keeps
+/// returning true, bounded by `max_attempts` predicate evaluations (each
+/// evaluation typically rebuilds a whole engine). Returns the smallest
+/// reproducing subset found — minimizing the *circuit*, where the query
+/// sub-seed alone cannot (a traversal bug usually needs a specific element
+/// constellation, not a specific query).
+inline geom::ElementVec MinimizeElements(
+    geom::ElementVec elements,
+    const std::function<bool(const geom::ElementVec&)>& still_diverges,
+    size_t max_attempts = 48) {
+  size_t attempts = 0;
+  size_t chunk = std::max<size_t>(1, elements.size() / 2);
+  for (;;) {
+    bool removed_any = false;
+    for (size_t start = 0;
+         start < elements.size() && attempts < max_attempts;) {
+      size_t end = std::min(elements.size(), start + chunk);
+      geom::ElementVec candidate;
+      candidate.reserve(elements.size() - (end - start));
+      candidate.insert(candidate.end(), elements.begin(),
+                       elements.begin() + static_cast<ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       elements.begin() + static_cast<ptrdiff_t>(end),
+                       elements.end());
+      ++attempts;
+      if (!candidate.empty() && still_diverges(candidate)) {
+        elements = std::move(candidate);
+        removed_any = true;
+        // The next chunk shifted into `start` — retry the same offset.
+      } else {
+        start += chunk;
+      }
+    }
+    if (attempts >= max_attempts) break;
+    if (removed_any) continue;  // another pass at this granularity
+    if (chunk == 1) break;      // a full singleton pass removed nothing
+    chunk = std::max<size_t>(1, chunk / 2);
+  }
+  return elements;
+}
 
 /// Brute-force range count over the raw element list.
 inline uint64_t BruteForceRangeCount(const geom::ElementVec& elements,
@@ -102,15 +155,15 @@ inline std::vector<geom::ElementId> BruteForceRangeIds(
 /// the box side, so consecutive boxes deliberately overlap — the case the
 /// result cache answers by delta decomposition. Returns a non-empty error
 /// description on divergence.
-inline std::string ReplayWalkthrough(engine::QueryEngine* db,
-                                     const geom::ElementVec& elements,
-                                     const std::vector<geom::Aabb>& path) {
-  auto session = db->OpenSession(scout::PrefetchMethod::kScout);
+inline std::string ReplayWalkthrough(
+    engine::QueryEngine* db, const geom::ElementVec& elements,
+    const std::vector<geom::Aabb>& path,
+    scout::PrefetchMethod method = scout::PrefetchMethod::kScout) {
+  auto session = db->OpenSession(method);
   if (!session.ok()) {
     return "OpenSession failed: " + session.status().ToString();
   }
-  auto cached = db->OpenSession(scout::PrefetchMethod::kScout,
-                                engine::CachePolicy::kDelta);
+  auto cached = db->OpenSession(method, engine::CachePolicy::kDelta);
   if (!cached.ok()) {
     return "OpenSession(kDelta) failed: " + cached.status().ToString();
   }
@@ -181,10 +234,23 @@ inline std::string ReplayWalkthrough(engine::QueryEngine* db,
 /// Run `n` seeded queries from `options` through `db` (which must have a
 /// circuit loaded); `elements` is the loaded dataset, used for both
 /// workload anchoring and ground truth. Stops at the first divergence.
+/// When `shrink_with` is non-null, a divergence additionally runs the
+/// circuit shrink reducer (ShrinkDivergence) with those engine options —
+/// opt-in, because a divergence injected through a custom registered
+/// backend cannot reproduce on the fresh default engines the reducer
+/// builds.
+inline geom::ElementVec ShrinkDivergence(
+    const geom::ElementVec& elements, const geom::Aabb& domain,
+    const neuro::MixedWorkloadOptions& options, uint64_t failing_sub_seed,
+    const engine::EngineOptions& engine_options = engine::EngineOptions(),
+    size_t max_attempts = 48);
+
 inline DiffOutcome RunDifferential(engine::QueryEngine* db,
                                    const geom::ElementVec& elements,
                                    const neuro::MixedWorkloadOptions& options,
-                                   size_t n, uint64_t seed) {
+                                   size_t n, uint64_t seed,
+                                   const engine::EngineOptions* shrink_with =
+                                       nullptr) {
   DiffOutcome outcome;
   std::vector<neuro::WorkloadQuery> workload =
       neuro::MixedWorkload(db->domain(), elements, options, n, seed);
@@ -295,6 +361,12 @@ inline DiffOutcome RunDifferential(engine::QueryEngine* db,
         break;
       }
     }
+  }
+  if (outcome.diverged && shrink_with != nullptr) {
+    outcome.minimized = ShrinkDivergence(elements, db->domain(), options,
+                                         outcome.failing_seed, *shrink_with);
+    outcome.minimized_elements = outcome.minimized.size();
+    outcome.shrunk = outcome.minimized_elements < elements.size();
   }
   return outcome;
 }
@@ -495,6 +567,341 @@ inline DiffOutcome RunDeltaParity(engine::QueryEngine* db,
       }
     }
     // kKnn / kJoin take no delta path; RunDifferential covers them.
+  }
+  return outcome;
+}
+
+/// True when `query` (regenerated from a divergence's sub-seed) still
+/// diverges on a *fresh default engine* built over `elements` — the shrink
+/// reducer's predicate. Covers the query kinds a standalone engine can
+/// replay (range, kNN, walkthrough); joins use circuit-level inputs a bare
+/// element subset cannot express.
+inline bool QueryDivergesOn(const geom::ElementVec& elements,
+                            const neuro::WorkloadQuery& query,
+                            const engine::EngineOptions& engine_options) {
+  engine::QueryEngine db(engine_options);
+  if (!db.LoadElements(elements).ok()) return false;
+
+  if (query.kind == neuro::QueryKind::kRange) {
+    engine::RangeRequest request;
+    request.box = query.box;
+    request.backend = engine::BackendChoice::kAll;
+    request.cache = engine::CachePolicy::kWarm;
+    auto report = db.Execute(request);
+    if (!report.ok()) return true;
+    return !report->results_match ||
+           report->results != BruteForceRangeCount(elements, query.box);
+  }
+  if (query.kind == neuro::QueryKind::kKnn) {
+    engine::KnnRequest request;
+    request.point = query.point;
+    request.k = query.k;
+    request.backend = engine::BackendChoice::kAll;
+    request.cache = engine::CachePolicy::kWarm;
+    auto report = db.Execute(request);
+    if (!report.ok()) return true;
+    return !report->results_match ||
+           report->hits != geom::BruteForceKnn(elements, query.point, query.k);
+  }
+  if (query.kind == neuro::QueryKind::kWalkthrough) {
+    // kNone: a bare element set has no morphologies for SCOUT to extract.
+    return !ReplayWalkthrough(&db, elements, query.path,
+                              scout::PrefetchMethod::kNone)
+                .empty();
+  }
+  return false;
+}
+
+/// Shrink the *circuit* behind a read-path divergence: bisect the element
+/// list while the failing query (by its minimal-repro sub-seed) keeps
+/// diverging on a fresh engine. Returns the reduced element subset (the
+/// original list when the divergence needs state a fresh default engine
+/// lacks, e.g. an injected custom backend).
+inline geom::ElementVec ShrinkDivergence(
+    const geom::ElementVec& elements, const geom::Aabb& domain,
+    const neuro::MixedWorkloadOptions& options, uint64_t failing_sub_seed,
+    const engine::EngineOptions& engine_options, size_t max_attempts) {
+  // The query stays FIXED (regenerated against the original anchors); only
+  // the circuit shrinks underneath it.
+  neuro::WorkloadQuery query =
+      neuro::MixedWorkloadQuery(domain, elements, options, failing_sub_seed);
+  if (!QueryDivergesOn(elements, query, engine_options)) return elements;
+  return MinimizeElements(
+      elements,
+      [&](const geom::ElementVec& subset) {
+        return QueryDivergesOn(subset, query, engine_options);
+      },
+      max_attempts);
+}
+
+/// Update-parity run configuration.
+struct UpdateParityOptions {
+  /// Query mix; update_fraction should be > 0 to exercise mutation.
+  neuro::MixedWorkloadOptions workload;
+  /// Engine configuration for shrink-reducer rebuilds (the main run uses
+  /// the caller's engine).
+  engine::EngineOptions engine;
+  /// Applied updates between Compact() calls (0 = never compact).
+  size_t compact_every = 0;
+  /// On divergence, bisect the circuit with full-stream replays on fresh
+  /// engines (expensive; failure path only).
+  bool shrink_on_divergence = false;
+  size_t shrink_attempts = 24;
+};
+
+/// Replay `workload` (at most `limit` queries) through `db`, which must be
+/// loaded with exactly `initial`, against a brute-force *mutable* oracle:
+/// kUpdate queries flow through QueryEngine::ApplyUpdates and mutate the
+/// oracle in lockstep; every range/kNN/walkthrough query is checked against
+/// the oracle's live element set through the kAll parity panel AND — for
+/// ranges and each update's dirty region — through the CachePolicy::kDelta
+/// result-cache path, so stale cache entries surface as divergences
+/// immediately after the epoch bump that should have invalidated them.
+inline DiffOutcome ReplayUpdateWorkload(
+    engine::QueryEngine* db, const geom::ElementVec& initial,
+    const std::vector<neuro::WorkloadQuery>& workload,
+    const UpdateParityOptions& options, size_t limit = SIZE_MAX) {
+  DiffOutcome outcome;
+  // The oracle: the live element set, ascending by id.
+  geom::ElementVec live = initial;
+  std::sort(live.begin(), live.end(),
+            [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
+              return a.id < b.id;
+            });
+  geom::ElementId next_id = live.empty() ? 1 : live.back().id + 1;
+  auto find_live = [&](geom::ElementId id) {
+    auto it = std::lower_bound(
+        live.begin(), live.end(), id,
+        [](const geom::SpatialElement& e, geom::ElementId v) {
+          return e.id < v;
+        });
+    return (it != live.end() && it->id == id) ? it : live.end();
+  };
+
+  auto fail = [&](size_t i, const std::string& detail) {
+    outcome.diverged = true;
+    outcome.failing_index = i;
+    outcome.failing_seed = workload[i].sub_seed;
+    outcome.detail = detail;
+  };
+
+  const engine::BackendChoice kRotation[] = {
+      engine::BackendChoice::kFlat, engine::BackendChoice::kRTree,
+      engine::BackendChoice::kGrid, engine::BackendChoice::kSharded};
+
+  // Checks one box through the delta (result-cache) path vs the oracle.
+  auto check_delta_range = [&](size_t i, const geom::Aabb& box) {
+    engine::RangeRequest request;
+    request.box = box;
+    request.backend = kRotation[i % 4];
+    request.cache = engine::CachePolicy::kDelta;
+    geom::CollectingVisitor out;
+    auto report = db->Execute(request, out);
+    if (!report.ok()) {
+      return std::string("delta request failed: ") +
+             report.status().ToString();
+    }
+    std::vector<geom::ElementId> ids = out.Ids();
+    std::sort(ids.begin(), ids.end());
+    if (ids != BruteForceRangeIds(live, box)) {
+      std::ostringstream os;
+      os << "delta answer (" << ids.size()
+         << " ids, epoch=" << report->epoch
+         << ") disagrees with the mutable oracle for box " << box;
+      return os.str();
+    }
+    return std::string();
+  };
+
+  size_t applied_updates = 0;
+  const size_t n = std::min(limit, workload.size());
+  for (size_t i = 0; i < n; ++i) {
+    const neuro::WorkloadQuery& query = workload[i];
+    ++outcome.queries_run;
+
+    if (query.kind == neuro::QueryKind::kUpdate) {
+      ++outcome.updates;
+      engine::UpdateRequest request;
+      if (query.update_op == neuro::WorkloadUpdateOp::kInsert) {
+        request.kind = engine::UpdateKind::kInsert;
+        request.id = next_id++;
+        request.bounds = query.box;
+      } else {
+        if (live.empty()) continue;  // nothing to erase/move (deterministic)
+        size_t idx = static_cast<size_t>(query.update_rank % live.size());
+        request.id = live[idx].id;
+        if (query.update_op == neuro::WorkloadUpdateOp::kErase) {
+          request.kind = engine::UpdateKind::kErase;
+        } else {
+          request.kind = engine::UpdateKind::kMove;
+          request.bounds = query.box;
+        }
+      }
+
+      storage::Epoch epoch_before = db->epoch();
+      auto report =
+          db->ApplyUpdates(std::span<const engine::UpdateRequest>(&request, 1));
+      if (!report.ok()) {
+        fail(i, "ApplyUpdates failed: " + report.status().ToString());
+        break;
+      }
+      if (report->epoch != epoch_before + 1 || db->epoch() != report->epoch) {
+        fail(i, "epoch did not advance by one across the update batch");
+        break;
+      }
+      ++applied_updates;
+
+      // Mutate the oracle in lockstep.
+      if (request.kind == engine::UpdateKind::kInsert) {
+        live.emplace_back(request.id, request.bounds);
+        std::sort(live.begin(), live.end(),
+                  [](const geom::SpatialElement& a,
+                     const geom::SpatialElement& b) { return a.id < b.id; });
+      } else if (request.kind == engine::UpdateKind::kErase) {
+        auto it = find_live(request.id);
+        if (it != live.end()) live.erase(it);
+      } else {
+        auto it = find_live(request.id);
+        if (it != live.end()) it->bounds = request.bounds;
+      }
+
+      // Cache-invalidation check after the epoch bump: the dirty region
+      // itself, through the delta path — a cache entry the invalidation
+      // missed answers this box stale.
+      if (report->dirty.IsValid()) {
+        std::string error = check_delta_range(i, report->dirty.Expanded(1.0f));
+        if (!error.empty()) {
+          fail(i, "post-update " + error);
+          break;
+        }
+      }
+
+      if (options.compact_every > 0 &&
+          applied_updates % options.compact_every == 0) {
+        Status compacted = db->Compact();
+        if (!compacted.ok()) {
+          fail(i, "Compact failed: " + compacted.ToString());
+          break;
+        }
+        if (db->DeltaSize() != 0) {
+          fail(i, "Compact left a non-empty delta");
+          break;
+        }
+        if (report->dirty.IsValid()) {
+          std::string error =
+              check_delta_range(i, report->dirty.Expanded(1.0f));
+          if (!error.empty()) {
+            fail(i, "post-compact " + error);
+            break;
+          }
+        }
+      }
+    } else if (query.kind == neuro::QueryKind::kRange) {
+      ++outcome.ranges;
+      engine::RangeRequest request;
+      request.box = query.box;
+      request.backend = engine::BackendChoice::kAll;
+      request.cache = engine::CachePolicy::kWarm;
+      geom::CollectingVisitor out;
+      auto report = db->Execute(request, out);
+      if (!report.ok()) {
+        fail(i, "range request failed: " + report.status().ToString());
+        break;
+      }
+      if (!report->results_match) {
+        std::ostringstream os;
+        os << "range backends disagree on box " << query.box << " at epoch "
+           << report->epoch << ":";
+        for (const auto& row : report->rows) {
+          os << ' ' << row.method << '=' << row.stats.results;
+        }
+        fail(i, os.str());
+        break;
+      }
+      std::vector<geom::ElementId> ids = out.Ids();
+      std::sort(ids.begin(), ids.end());
+      if (ids != BruteForceRangeIds(live, query.box)) {
+        std::ostringstream os;
+        os << "all backends agree on " << ids.size()
+           << " results but the mutable oracle finds "
+           << BruteForceRangeCount(live, query.box) << " for box "
+           << query.box;
+        fail(i, os.str());
+        break;
+      }
+      std::string error = check_delta_range(i, query.box);
+      if (!error.empty()) {
+        fail(i, error);
+        break;
+      }
+    } else if (query.kind == neuro::QueryKind::kKnn) {
+      ++outcome.knns;
+      engine::KnnRequest request;
+      request.point = query.point;
+      request.k = query.k;
+      request.backend = engine::BackendChoice::kAll;
+      request.cache = engine::CachePolicy::kWarm;
+      auto report = db->Execute(request);
+      if (!report.ok()) {
+        fail(i, "knn request failed: " + report.status().ToString());
+        break;
+      }
+      if (!report->results_match ||
+          report->hits != geom::BruteForceKnn(live, query.point, query.k)) {
+        std::ostringstream os;
+        os << "knn diverges from the mutable oracle (k=" << query.k
+           << ", epoch=" << report->epoch << ")";
+        fail(i, os.str());
+        break;
+      }
+    } else if (query.kind == neuro::QueryKind::kWalkthrough) {
+      ++outcome.walkthroughs;
+      // kNone: LoadElements-built engines have no SCOUT skeletons; the
+      // point here is session-vs-engine-vs-oracle parity under mutation.
+      std::string error = ReplayWalkthrough(db, live, query.path,
+                                            scout::PrefetchMethod::kNone);
+      if (!error.empty()) {
+        fail(i, error);
+        break;
+      }
+    } else {
+      // kJoin: join inputs are circuit-level and static — RunDifferential
+      // covers them; an update stream has nothing to check there.
+      ++outcome.joins;
+    }
+  }
+  return outcome;
+}
+
+/// Mutation parity (the update-path twin of RunDifferential): a seeded
+/// interleaved update/query stream through every registered backend vs a
+/// brute-force mutable oracle, with a CachePolicy::kDelta invalidation
+/// check after every epoch bump and optional periodic compaction. On
+/// divergence, optionally shrinks the *initial circuit* with full-stream
+/// replays on fresh engines (UpdateParityOptions::shrink_on_divergence).
+/// `db` must be loaded with exactly `elements`.
+inline DiffOutcome RunUpdateParity(engine::QueryEngine* db,
+                                   const geom::ElementVec& elements,
+                                   const UpdateParityOptions& options,
+                                   size_t n, uint64_t seed) {
+  std::vector<neuro::WorkloadQuery> workload =
+      neuro::MixedWorkload(db->domain(), elements, options.workload, n, seed);
+  DiffOutcome outcome = ReplayUpdateWorkload(db, elements, workload, options);
+  if (outcome.diverged && options.shrink_on_divergence) {
+    UpdateParityOptions inner = options;
+    inner.shrink_on_divergence = false;
+    const size_t limit = outcome.failing_index + 1;
+    outcome.minimized = MinimizeElements(
+        elements,
+        [&](const geom::ElementVec& subset) {
+          engine::QueryEngine fresh(inner.engine);
+          if (!fresh.LoadElements(subset).ok()) return false;
+          return ReplayUpdateWorkload(&fresh, subset, workload, inner, limit)
+              .diverged;
+        },
+        options.shrink_attempts);
+    outcome.minimized_elements = outcome.minimized.size();
+    outcome.shrunk = outcome.minimized_elements < elements.size();
   }
   return outcome;
 }
