@@ -1,0 +1,204 @@
+// Cold start: open-and-first-query latency, memory vs disk store.
+//
+// A durable engine's startup has three moving parts: loading the
+// checkpointed base (base.ndb), rebuilding every backend over it, and
+// replaying whatever WAL tail the last run left behind. This bench
+// measures wall-clock from "data directory on disk" to "first range query
+// answered" across four configurations:
+//
+//   memory            rebuild from an in-memory element list (the old,
+//                     non-durable path — the floor every other row pays
+//                     real I/O on top of)
+//   disk              QueryEngine::Open on a cleanly checkpointed
+//                     directory (empty WAL)
+//   disk+wal          the same directory with a warm WAL tail of N update
+//                     batches (unclean shutdown — replay cost included)
+//   disk (backends=mem) Open with durability.disk_backends=false: base +
+//                     WAL on disk but backends rebuilt on memory stores
+//
+// Emits BENCH_cold_start.json (cold_start_smoke runs the shrunken sweep).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "engine/query_engine.h"
+#include "neuro/workload.h"
+
+using namespace neurodb;
+using geom::Aabb;
+using geom::Vec3;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+             .count() /
+         1e3;
+}
+
+// One cold-start measurement: returns false on any engine error.
+struct ColdStartRow {
+  double open_ms = 0.0;        // construct/Open + load/replay
+  double first_query_ms = 0.0; // first kAll warm-path range query
+  uint64_t replayed = 0;
+  uint64_t bytes_read = 0;
+  uint64_t fsyncs = 0;
+  uint64_t results = 0;
+};
+
+bool FirstQuery(engine::QueryEngine* db, const Aabb& box, ColdStartRow* row) {
+  auto t0 = std::chrono::steady_clock::now();
+  engine::RangeRequest request;
+  request.box = box;
+  request.backend = engine::BackendChoice::kAll;
+  request.cache = engine::CachePolicy::kWarm;
+  auto report = db->Execute(request);
+  if (!report.ok()) {
+    std::fprintf(stderr, "first query failed: %s\n",
+                 report.status().ToString().c_str());
+    return false;
+  }
+  row->first_query_ms = MsSince(t0);
+  row->results = report->results;
+  return true;
+}
+
+// Seed `dir` with a checkpointed engine over `elements`, then optionally
+// leave `wal_batches` un-checkpointed update batches in the WAL (the warm
+// tail an unclean shutdown leaves behind).
+bool SeedDataDir(const std::string& dir, const geom::ElementVec& elements,
+                 size_t wal_batches) {
+  engine::EngineOptions options;
+  options.durability.dir = dir;
+  engine::QueryEngine db(options);
+  if (!db.LoadElements(elements).ok()) return false;
+  geom::ElementId next_id = 1000000;
+  for (size_t i = 0; i < wal_batches; ++i) {
+    float f = static_cast<float>(i % 50);
+    engine::UpdateRequest request;
+    request.kind = engine::UpdateKind::kInsert;
+    request.id = next_id++;
+    request.bounds = Aabb(Vec3(f, f, 0), Vec3(f + 2, f + 2, 2));
+    if (!db.ApplyUpdates(std::span<const engine::UpdateRequest>(&request, 1))
+             .ok()) {
+      return false;
+    }
+  }
+  return true;  // destructor leaves the WAL tail in place — no checkpoint
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("NEURODB_BENCH_SMOKE") != nullptr;
+  const size_t neurons = smoke ? 8 : 24;
+  const size_t wal_batches = smoke ? 16 : 200;
+
+  std::printf(
+      "Cold start: open-and-first-query latency, memory vs disk store\n"
+      "Cortical column, %zu neurons; warm WAL tail of %zu batches.\n\n",
+      neurons, wal_batches);
+
+  neuro::Circuit circuit =
+      bench::MakeColumn(static_cast<uint32_t>(neurons), 42);
+  geom::ElementVec elements = circuit.FlattenSegments().Elements();
+  std::vector<Aabb> probes =
+      neuro::DataCenteredQueries(elements, 40.0f, 1, 4242);
+  const Aabb probe = probes.front();
+
+  const std::string root = "bench_cold_start_data";
+  std::filesystem::remove_all(root);
+
+  TableWriter table("cold start (open + first query)",
+                    {"config", "open_ms", "first_q_ms", "replayed",
+                     "bytes_read", "fsyncs", "results"});
+  bench::JsonEmitter json("cold_start");
+  bool ok = true;
+
+  struct Config {
+    const char* label;
+    bool durable;        // false = plain in-memory LoadElements
+    size_t wal_batches;  // warm WAL tail length
+    bool disk_backends;
+  };
+  const Config kConfigs[] = {
+      {"memory", false, 0, false},
+      {"disk", true, 0, true},
+      {"disk+wal", true, wal_batches, true},
+      {"disk (backends=mem)", true, wal_batches, false},
+  };
+
+  for (const Config& config : kConfigs) {
+    ColdStartRow row;
+    if (!config.durable) {
+      auto t0 = std::chrono::steady_clock::now();
+      engine::QueryEngine db;
+      ok = db.LoadElements(elements).ok();
+      row.open_ms = MsSince(t0);
+      if (ok) ok = FirstQuery(&db, probe, &row);
+    } else {
+      const std::string dir = root + "/" + std::to_string(config.wal_batches) +
+                              (config.disk_backends ? "_disk" : "_mem");
+      // Seeding cost is not part of the measurement.
+      if (!std::filesystem::exists(dir)) {
+        ok = SeedDataDir(dir, elements, config.wal_batches);
+      }
+      if (ok) {
+        engine::EngineOptions options;
+        options.durability.disk_backends = config.disk_backends;
+        engine::RecoveryReport report;
+        auto t0 = std::chrono::steady_clock::now();
+        auto db = engine::QueryEngine::Open(dir, options, &report);
+        row.open_ms = MsSince(t0);
+        ok = db.ok();
+        if (!ok) {
+          std::fprintf(stderr, "Open failed: %s\n",
+                       db.status().ToString().c_str());
+        } else {
+          row.replayed = report.replayed_batches;
+          storage::IoStats io = (*db)->IoTotals();
+          ok = FirstQuery(db->get(), probe, &row);
+          storage::IoStats after = (*db)->IoTotals();
+          row.bytes_read = after.bytes_read;
+          row.fsyncs = after.fsyncs;
+          (void)io;
+        }
+      }
+    }
+    if (!ok) break;
+
+    char open_buf[32], q_buf[32];
+    std::snprintf(open_buf, sizeof(open_buf), "%.2f", row.open_ms);
+    std::snprintf(q_buf, sizeof(q_buf), "%.2f", row.first_query_ms);
+    table.AddRow({config.label, open_buf, q_buf,
+                  std::to_string(row.replayed),
+                  std::to_string(row.bytes_read), std::to_string(row.fsyncs),
+                  std::to_string(row.results)});
+
+    bench::JsonRow json_row;
+    json_row.Str("config", config.label)
+        .Int("elements", elements.size())
+        .Int("wal_batches", config.wal_batches)
+        .Num("open_ms", row.open_ms)
+        .Num("first_query_ms", row.first_query_ms)
+        .Int("replayed_batches", row.replayed)
+        .Int("bytes_read", row.bytes_read)
+        .Int("fsyncs", row.fsyncs)
+        .Int("results", row.results);
+    json.AddRow(json_row);
+  }
+
+  std::filesystem::remove_all(root);
+  if (!ok) return 1;
+  table.Print();
+  if (!json.Write()) return 1;
+  return 0;
+}

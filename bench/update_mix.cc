@@ -19,6 +19,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -43,6 +45,12 @@ struct MixRow {
   /// through CachePolicy::kDelta, so updates invalidate live entries).
   uint64_t cache_hits = 0;
   uint64_t cache_invalidated = 0;
+  /// Device I/O attributed to the gated queries (storage::IoStats summed
+  /// from RangeReport::io). All zeros on in-memory stores; set
+  /// NEURODB_BENCH_DISK=1 to run every engine on disk-backed stores.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t fsyncs = 0;
 };
 
 struct BackendUnderTest {
@@ -55,11 +63,12 @@ struct BackendUnderTest {
 /// operations. Returns per-query averages of the *query* cost only.
 bool RunMix(const neuro::Circuit& circuit, engine::BackendChoice choice,
             const std::vector<Aabb>& queries, double update_fraction,
-            uint64_t seed, MixRow* row) {
+            uint64_t seed, const std::string& data_dir, MixRow* row) {
   engine::EngineOptions options;
   options.flat.elems_per_page = 64;
   options.grid.elems_per_page = 64;
   options.sharded.inner.elems_per_page = 64;
+  options.durability.dir = data_dir;  // empty = in-memory (the default)
   engine::QueryEngine db(options);
   if (!db.LoadCircuit(circuit).ok()) return false;
 
@@ -140,6 +149,9 @@ bool RunMix(const neuro::Circuit& circuit, engine::BackendChoice choice,
       pages += r.stats.pages_read;
       sim_us += r.stats.time_us;
     }
+    row->bytes_read += report->io.bytes_read;
+    row->bytes_written += report->io.bytes_written;
+    row->fsyncs += report->io.fsyncs;
 
     // The same box once more through the result-cache delta path — not
     // part of the gated cost metric, but it keeps live cache entries the
@@ -204,13 +216,23 @@ int main() {
   bench::JsonEmitter json("update_mix");
   bool claim_holds = true;
 
+  // NEURODB_BENCH_DISK=1 puts every engine on disk-backed stores (one data
+  // directory per cell, removed afterwards) so the io columns are real.
+  const bool on_disk = std::getenv("NEURODB_BENCH_DISK") != nullptr;
+  const std::string disk_root = "bench_update_mix_data";
+  size_t cell = 0;
+
   for (const BackendUnderTest& backend : kBackends) {
     MixRow baseline;
     for (double fraction : kFractions) {
       MixRow row;
-      if (!RunMix(circuit, backend.choice, queries, fraction, seed, &row)) {
-        return 1;
-      }
+      std::string data_dir =
+          on_disk ? disk_root + "/cell" + std::to_string(cell++) : "";
+      bool ok =
+          RunMix(circuit, backend.choice, queries, fraction, seed, data_dir,
+                 &row);
+      if (on_disk) std::filesystem::remove_all(disk_root);
+      if (!ok) return 1;
       if (fraction == 0.0) baseline = row;
       double pages_ratio = baseline.pages_per_query > 0.0
                                ? row.pages_per_query / baseline.pages_per_query
@@ -243,7 +265,10 @@ int main() {
           .Num("pages_ratio", pages_ratio)
           .Num("time_ratio", time_ratio)
           .Int("cache_hits", row.cache_hits)
-          .Int("cache_invalidated", row.cache_invalidated);
+          .Int("cache_invalidated", row.cache_invalidated)
+          .Int("bytes_read", row.bytes_read)
+          .Int("bytes_written", row.bytes_written)
+          .Int("fsyncs", row.fsyncs);
       json.AddRow(json_row);
 
       // The gate: the delta merge must stay within 2x of pure-base cost

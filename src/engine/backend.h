@@ -14,9 +14,12 @@
 #define NEURODB_ENGINE_BACKEND_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "geom/aabb.h"
 #include "geom/element.h"
@@ -42,6 +45,10 @@ struct BackendStats {
   /// Memory-resident metadata bytes (seed trees, neighbor lists, shard
   /// tables, ...).
   size_t metadata_bytes = 0;
+  /// Real device I/O summed over every store of the backend. All zeros
+  /// when the backend runs on in-memory stores; populated by
+  /// storage::DiskPageStore.
+  storage::IoStats io;
 };
 
 /// Per-query counters, normalized across backends — one row of the demo's
@@ -61,6 +68,13 @@ struct RangeStats {
 /// Abstract index backend. Build once, then answer queries through a
 /// caller-supplied PoolSet (the pools determine cache behaviour and time
 /// accounting; the engine owns pool sets and clocks).
+/// Produces one PageStore per request — the hook QueryEngine uses to put a
+/// backend's pages on disk. `name` is a stable per-store identifier (e.g.
+/// "Grid" or "Sharded.shard3") that disk factories turn into a file name.
+using StoreFactory =
+    std::function<Result<std::unique_ptr<storage::PageStore>>(
+        const std::string& name)>;
+
 class SpatialBackend {
  public:
   SpatialBackend() = default;
@@ -137,10 +151,34 @@ class SpatialBackend {
   /// and right after Compact.
   virtual size_t DeltaSize() const { return 0; }
 
+  /// Replace this backend's page store(s) with ones made by `factory` —
+  /// how a durable engine moves a backend onto disk-backed stores. Must be
+  /// called before Build; the backend owns the returned stores. The base
+  /// implementation swaps the single primary store; multi-store backends
+  /// (ShardedBackend) override to attach one store per shard.
+  virtual Status AttachStores(const StoreFactory& factory) {
+    auto store = factory(name());
+    NEURODB_RETURN_NOT_OK(store.status());
+    owned_store_ = std::move(*store);
+    store_ = owned_store_.get();
+    return Status::OK();
+  }
+
   /// Every simulated disk of this backend, in a fixed order — the stores a
   /// query PoolSet must be built over. Single-store backends return their
   /// one store; ShardedBackend returns one per shard.
-  virtual std::vector<storage::PageStore*> Stores() { return {&store_}; }
+  virtual std::vector<storage::PageStore*> Stores() { return {store_}; }
+
+  /// Real device I/O summed over Stores() (zeros on in-memory stores).
+  storage::IoStats IoTotals() const {
+    storage::IoStats total;
+    // Stores() is non-const only because callers build pools over it; the
+    // io counters themselves are const reads.
+    for (auto* s : const_cast<SpatialBackend*>(this)->Stores()) {
+      total += s->io();
+    }
+    return total;
+  }
 
   /// Build a PoolSet over Stores() — the pool family a query against this
   /// backend needs. `total_capacity_pages` is split across the stores.
@@ -153,11 +191,17 @@ class SpatialBackend {
 
   /// The primary simulated disk (single-store backends; FLAT's crawl pages
   /// for SCOUT sessions). Multi-store backends keep this empty.
-  storage::PageStore* store() { return &store_; }
-  const storage::PageStore& store() const { return store_; }
+  storage::PageStore* store() { return store_; }
+  const storage::PageStore& store() const { return *store_; }
 
  protected:
-  storage::PageStore store_;
+  /// The primary store. Points at the default in-memory store unless
+  /// AttachStores swapped in an owned (e.g. disk-backed) one.
+  storage::PageStore* store_ = &memory_store_;
+
+ private:
+  storage::PageStore memory_store_;
+  std::unique_ptr<storage::PageStore> owned_store_;
 };
 
 }  // namespace engine

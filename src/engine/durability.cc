@@ -1,0 +1,207 @@
+#include "engine/durability.h"
+
+#include <algorithm>
+
+#include "storage/disk/format.h"
+
+namespace neurodb {
+namespace engine {
+
+namespace {
+
+constexpr size_t kOpBytes = 40;
+
+std::string BaseName(const std::string& dir) { return dir + "/base.ndb"; }
+std::string WalName(const std::string& dir) { return dir + "/wal.ndb"; }
+
+// Backend names become file names; keep them portable.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Status DurabilityOptions::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (block_bytes < 64 || block_bytes > (1u << 24)) {
+    return Status::InvalidArgument(
+        "DurabilityOptions: block_bytes out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> EncodeUpdateBatch(
+    std::span<const UpdateRequest> updates) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + updates.size() * kOpBytes);
+  storage::EncodeU32(&out, static_cast<uint32_t>(updates.size()));
+  for (const UpdateRequest& u : updates) {
+    storage::EncodeU32(&out, static_cast<uint32_t>(u.kind));
+    storage::EncodeU32(&out, 0);
+    storage::EncodeU64(&out, u.id);
+    storage::EncodeF32(&out, u.bounds.min.x);
+    storage::EncodeF32(&out, u.bounds.min.y);
+    storage::EncodeF32(&out, u.bounds.min.z);
+    storage::EncodeF32(&out, u.bounds.max.x);
+    storage::EncodeF32(&out, u.bounds.max.y);
+    storage::EncodeF32(&out, u.bounds.max.z);
+  }
+  return out;
+}
+
+Result<std::vector<UpdateRequest>> DecodeUpdateBatch(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() < 4) {
+    return Status::Corruption("update batch payload shorter than its count");
+  }
+  uint32_t count = storage::GetU32(payload.data());
+  if (payload.size() != 4 + static_cast<size_t>(count) * kOpBytes) {
+    return Status::Corruption("update batch payload length mismatch");
+  }
+  std::vector<UpdateRequest> out;
+  out.reserve(count);
+  const uint8_t* p = payload.data() + 4;
+  for (uint32_t i = 0; i < count; ++i, p += kOpBytes) {
+    uint32_t kind = storage::GetU32(p);
+    if (kind > static_cast<uint32_t>(UpdateKind::kMove)) {
+      return Status::Corruption("update batch has unknown op kind " +
+                                std::to_string(kind));
+    }
+    UpdateRequest u;
+    u.kind = static_cast<UpdateKind>(kind);
+    u.id = storage::GetU64(p + 8);
+    u.bounds.min.x = storage::GetF32(p + 16);
+    u.bounds.min.y = storage::GetF32(p + 20);
+    u.bounds.min.z = storage::GetF32(p + 24);
+    u.bounds.max.x = storage::GetF32(p + 28);
+    u.bounds.max.y = storage::GetF32(p + 32);
+    u.bounds.max.z = storage::GetF32(p + 36);
+    out.push_back(u);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Create(
+    const DurabilityOptions& options) {
+  NEURODB_RETURN_NOT_OK(options.Validate());
+  storage::FileSystem* fs =
+      options.fs ? options.fs : storage::DefaultFileSystem();
+  NEURODB_RETURN_NOT_OK(fs->CreateDir(options.dir));
+  std::unique_ptr<DurabilityManager> dm(
+      new DurabilityManager(options.dir, options.block_bytes, fs));
+
+  auto base = storage::PageFile::Create(fs, BaseName(dm->dir_),
+                                        options.block_bytes);
+  NEURODB_RETURN_NOT_OK(base.status());
+  dm->base_ = std::move(*base);
+
+  // A stale WAL from a previous directory incarnation must not replay into
+  // the fresh base.
+  NEURODB_RETURN_NOT_OK(fs->Remove(WalName(dm->dir_)));
+  auto wal = storage::WriteAheadLog::OpenOrCreate(fs, WalName(dm->dir_));
+  NEURODB_RETURN_NOT_OK(wal.status());
+  dm->wal_ = std::move(*wal);
+  return dm;
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Attach(
+    const DurabilityOptions& options) {
+  NEURODB_RETURN_NOT_OK(options.Validate());
+  storage::FileSystem* fs =
+      options.fs ? options.fs : storage::DefaultFileSystem();
+  if (!fs->Exists(BaseName(options.dir))) {
+    return Status::NotFound("DurabilityManager: '" + options.dir +
+                            "' has no base.ndb — not a data directory");
+  }
+  std::unique_ptr<DurabilityManager> dm(
+      new DurabilityManager(options.dir, options.block_bytes, fs));
+
+  auto base = storage::PageFile::Open(fs, BaseName(dm->dir_));
+  NEURODB_RETURN_NOT_OK(base.status());
+  dm->base_ = std::move(*base);
+
+  auto wal = storage::WriteAheadLog::OpenOrCreate(fs, WalName(dm->dir_));
+  NEURODB_RETURN_NOT_OK(wal.status());
+  dm->wal_ = std::move(*wal);
+  return dm;
+}
+
+Result<geom::ElementVec> DurabilityManager::LoadBase() const {
+  geom::ElementVec out;
+  for (const auto& [id, run] : base_->directory()) {
+    auto image = base_->ReadPage(id);
+    NEURODB_RETURN_NOT_OK(image.status());
+    auto page = storage::DecodePageImage(image->data(), image->size(), id);
+    NEURODB_RETURN_NOT_OK(page.status());
+    out.insert(out.end(), page->elements.begin(), page->elements.end());
+  }
+  return out;
+}
+
+Status DurabilityManager::LogUpdates(storage::Epoch epoch,
+                                     std::span<const UpdateRequest> updates) {
+  return wal_->Append(epoch, EncodeUpdateBatch(updates));
+}
+
+Status DurabilityManager::CheckpointBase(const geom::ElementVec& live,
+                                         storage::Epoch epoch) {
+  base_->Clear();
+  size_t per_page = storage::ElementsPerPage(base_->block_bytes());
+  storage::PageId next = 0;
+  for (size_t i = 0; i < live.size(); i += per_page, ++next) {
+    size_t end = std::min(live.size(), i + per_page);
+    std::vector<geom::SpatialElement> chunk(live.begin() + i,
+                                            live.begin() + end);
+    NEURODB_RETURN_NOT_OK(
+        base_->WritePage(next, storage::EncodePageImage(next, chunk)));
+  }
+  NEURODB_RETURN_NOT_OK(base_->Sync(epoch));
+  // Only once the new base is committed may the log shrink; the reverse
+  // order could lose acknowledged batches.
+  return wal_->Reset();
+}
+
+Status DurabilityManager::Replay(
+    const std::function<Status(storage::Epoch,
+                               const std::vector<UpdateRequest>&)>& fn,
+    storage::WriteAheadLog::ReplayStats* stats) {
+  return wal_->Replay(
+      [&](const storage::WriteAheadLog::Record& record) -> Status {
+        auto ops = DecodeUpdateBatch(record.payload);
+        NEURODB_RETURN_NOT_OK(ops.status());
+        return fn(record.epoch, *ops);
+      },
+      stats);
+}
+
+StoreFactory DurabilityManager::BackendStoreFactory() const {
+  std::string dir = dir_;
+  uint32_t block_bytes = block_bytes_;
+  storage::FileSystem* fs = fs_;
+  return [dir, block_bytes,
+          fs](const std::string& name)
+             -> Result<std::unique_ptr<storage::PageStore>> {
+    storage::DiskStoreOptions opts;
+    opts.block_bytes = block_bytes;
+    opts.fs = fs;
+    auto store = storage::DiskPageStore::Create(
+        dir + "/" + SanitizeName(name) + ".pages", opts);
+    NEURODB_RETURN_NOT_OK(store.status());
+    return std::unique_ptr<storage::PageStore>(std::move(*store));
+  };
+}
+
+storage::IoStats DurabilityManager::io() const {
+  storage::IoStats total = base_->io();
+  total += wal_->io();
+  return total;
+}
+
+}  // namespace engine
+}  // namespace neurodb

@@ -1,0 +1,158 @@
+// NeuroDB — DurabilityManager: what a durable engine keeps in its data
+// directory, and the codec between ApplyUpdates batches and WAL payloads.
+//
+// A data directory holds:
+//   base.ndb       PageFile of the last checkpointed element snapshot:
+//                  every live element, ascending by id, packed onto pages
+//                  0..N-1. The file's header epoch is the checkpoint epoch.
+//   wal.ndb        WriteAheadLog of every ApplyUpdates batch accepted since
+//                  that checkpoint (record epoch = the engine epoch the
+//                  batch created).
+//   <name>.pages   One PageFile per backend store (derived data — rebuilt
+//                  from base.ndb on recovery, never read by it).
+//
+// The protocol (engine/query_engine.cc drives it):
+//   * ApplyUpdates appends + fsyncs the encoded batch BEFORE any backend
+//     mutates — an acknowledged batch survives any later crash.
+//   * Checkpoint/Compact rewrite base.ndb copy-on-write, commit its header
+//     at the current engine epoch, then truncate the WAL. A crash between
+//     those two steps is benign: replay skips records at or below the
+//     checkpoint epoch.
+//   * QueryEngine::Open loads base.ndb, rebuilds every backend, replays
+//     the WAL tail through the normal ApplyUpdates path, and truncates a
+//     torn final record.
+//
+// The WAL itself is payload-agnostic (storage must not depend on engine
+// types); EncodeUpdateBatch/DecodeUpdateBatch is the engine-side codec.
+
+#ifndef NEURODB_ENGINE_DURABILITY_H_
+#define NEURODB_ENGINE_DURABILITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "engine/backend.h"
+#include "engine/delta_index.h"
+#include "geom/element.h"
+#include "storage/disk/disk_page_store.h"
+#include "storage/disk/page_file.h"
+#include "storage/disk/wal.h"
+#include "storage/epoch.h"
+
+namespace neurodb {
+namespace engine {
+
+/// Durable-storage configuration (EngineOptions::durability). An empty
+/// `dir` keeps the engine fully in-memory — the default, and the behaviour
+/// of every engine before this subsystem existed.
+struct DurabilityOptions {
+  /// Data directory (created if missing). Empty disables durability.
+  std::string dir;
+  /// Block size of base.ndb and every backend page file.
+  uint32_t block_bytes = 4096;
+  /// Also put every backend's PageStore on disk (real block I/O per
+  /// query). When false only base.ndb + wal.ndb are durable and backends
+  /// stay on in-memory stores rebuilt at Open.
+  bool disk_backends = true;
+  /// Null means storage::DefaultFileSystem(); tests inject
+  /// storage::FaultInjectingFileSystem here.
+  storage::FileSystem* fs = nullptr;
+
+  bool enabled() const { return !dir.empty(); }
+  Status Validate() const;
+};
+
+/// What QueryEngine::Open found and did. The crash-recovery matrix keys
+/// its oracle off `replayed_batches`: a recovered engine equals a fresh
+/// engine that applied exactly the first `replayed_batches` batches after
+/// the checkpoint.
+struct RecoveryReport {
+  storage::Epoch checkpoint_epoch = 0;
+  size_t base_elements = 0;
+  /// WAL batches replayed through ApplyUpdates.
+  size_t replayed_batches = 0;
+  /// A torn (partially written) tail record was found and truncated away.
+  bool torn_tail = false;
+  uint64_t dropped_bytes = 0;
+};
+
+/// Serialize a batch: u32 count, then 40 bytes per op (u32 kind, u32
+/// reserved, u64 id, 6 × f32 bounds).
+std::vector<uint8_t> EncodeUpdateBatch(std::span<const UpdateRequest> updates);
+
+/// Parse an EncodeUpdateBatch payload; malformed input is kCorruption.
+Result<std::vector<UpdateRequest>> DecodeUpdateBatch(
+    const std::vector<uint8_t>& payload);
+
+class DurabilityManager {
+ public:
+  /// Initialize `options.dir` as a fresh data directory: empty base.ndb at
+  /// epoch 0 and an empty WAL (stale files are truncated).
+  static Result<std::unique_ptr<DurabilityManager>> Create(
+      const DurabilityOptions& options);
+
+  /// Open an existing data directory for recovery: validates and loads
+  /// base.ndb's header/directory and opens the WAL without replaying it.
+  static Result<std::unique_ptr<DurabilityManager>> Attach(
+      const DurabilityOptions& options);
+
+  /// The epoch stamped into base.ndb by the last checkpoint.
+  storage::Epoch checkpoint_epoch() const { return base_->epoch(); }
+
+  /// Every element of the checkpointed snapshot, ascending by id.
+  Result<geom::ElementVec> LoadBase() const;
+
+  /// Durably append one encoded batch to the WAL (fsync'd on return).
+  Status LogUpdates(storage::Epoch epoch,
+                    std::span<const UpdateRequest> updates);
+
+  /// Rewrite base.ndb as `live` (must be ascending by id), commit its
+  /// header at `epoch`, then truncate the WAL. Copy-on-write: a crash
+  /// before the header commit leaves the previous base + full WAL intact.
+  Status CheckpointBase(const geom::ElementVec& live, storage::Epoch epoch);
+
+  /// Replay every intact WAL record in order. Stops cleanly at the first
+  /// torn record; `stats` receives the scan summary.
+  Status Replay(
+      const std::function<Status(storage::Epoch,
+                                 const std::vector<UpdateRequest>&)>& fn,
+      storage::WriteAheadLog::ReplayStats* stats);
+
+  /// Physically drop bytes past the last intact record (call after Replay).
+  Status TruncateTornTail() {
+    return wal_->TruncateTail(wal_->end_offset());
+  }
+
+  /// Store factory placing each backend's pages in "<dir>/<name>.pages".
+  StoreFactory BackendStoreFactory() const;
+
+  /// Device I/O of base.ndb + wal.ndb (backend page files report through
+  /// their own stores).
+  storage::IoStats io() const;
+
+  const storage::PageFile& base() const { return *base_; }
+  const storage::WriteAheadLog& wal() const { return *wal_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurabilityManager(std::string dir, uint32_t block_bytes,
+                    storage::FileSystem* fs)
+      : dir_(std::move(dir)), block_bytes_(block_bytes), fs_(fs) {}
+
+  std::string dir_;
+  uint32_t block_bytes_;
+  storage::FileSystem* fs_;
+  std::unique_ptr<storage::PageFile> base_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_DURABILITY_H_

@@ -5,14 +5,14 @@ namespace engine {
 
 Status FlatBackend::BuildBase(const geom::ElementVec& elements) {
   NEURODB_ASSIGN_OR_RETURN(flat::FlatIndex index,
-                           flat::FlatIndex::Build(elements, &store_, options_));
+                           flat::FlatIndex::Build(elements, store_, options_));
   index_.emplace(std::move(index));
   return Status::OK();
 }
 
 Status FlatBackend::ResetBase() {
   index_.reset();
-  store_.Reset();
+  store_->Reset();
   return Status::OK();
 }
 
@@ -52,6 +52,7 @@ BackendStats FlatBackend::Stats() const {
     stats.index_pages = index_->NumPages();
     stats.metadata_bytes = index_->MetadataBytes() + MutationMetadataBytes();
   }
+  stats.io = IoTotals();
   return stats;
 }
 

@@ -87,7 +87,7 @@ Status GridBackend::BuildBase(const geom::ElementVec& elements) {
   // Pack the cell-major order onto pages (kInput keeps our order).
   NEURODB_ASSIGN_OR_RETURN(
       storage::Layout layout,
-      storage::PaginateElements(packed, &store_, options_.elems_per_page,
+      storage::PaginateElements(packed, store_, options_.elems_per_page,
                                 storage::PackOrder::kInput));
   page_ids_ = std::move(layout.page_ids);
   return Status::OK();
@@ -101,7 +101,7 @@ Status GridBackend::ResetBase() {
   cell_start_.clear();
   page_ids_.clear();
   num_elements_ = 0;
-  store_.Reset();
+  store_->Reset();
   return Status::OK();
 }
 
@@ -320,6 +320,7 @@ BackendStats GridBackend::Stats() const {
                            page_ids_.capacity() * sizeof(storage::PageId) +
                            MutationMetadataBytes();
   }
+  stats.io = IoTotals();
   return stats;
 }
 

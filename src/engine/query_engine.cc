@@ -25,6 +25,7 @@ Status EngineOptions::Validate() const {
   NEURODB_RETURN_NOT_OK(flat.Validate());
   NEURODB_RETURN_NOT_OK(grid.Validate());
   NEURODB_RETURN_NOT_OK(sharded.Validate());
+  NEURODB_RETURN_NOT_OK(durability.Validate());
   return rtree.Validate();
 }
 
@@ -100,6 +101,21 @@ Status QueryEngine::LoadElements(geom::ElementVec elements) {
 }
 
 Status QueryEngine::FinishLoad(geom::ElementVec elements) {
+  // Durable engines initialize their data directory before any backend
+  // builds: disk-backed stores land inside it. Open() arrives here with
+  // durability_ already attached to the existing directory.
+  if (options_.durability.enabled() && durability_ == nullptr) {
+    auto dm = DurabilityManager::Create(options_.durability);
+    NEURODB_RETURN_NOT_OK(dm.status());
+    durability_ = std::move(*dm);
+  }
+  if (durability_ != nullptr && options_.durability.disk_backends) {
+    for (auto& backend : backends_) {
+      NEURODB_RETURN_NOT_OK(
+          backend->AttachStores(durability_->BackendStoreFactory()));
+    }
+  }
+
   num_segments_ = elements.size();
   domain_ = Aabb();
   // A previous failed load may have left partial entries behind — ghost
@@ -138,6 +154,13 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
       EffectiveResultCacheBoxes());
 
   loaded_ = true;
+
+  // A freshly loaded durable engine is immediately recoverable: base.ndb
+  // holds the load set and the WAL is empty. Recovery skips this (its base
+  // is already on disk; replay still has to run against it).
+  if (durability_ != nullptr && !recovering_) {
+    NEURODB_RETURN_NOT_OK(Checkpoint());
+  }
   return Status::OK();
 }
 
@@ -200,6 +223,16 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
         overlay[update.id] = true;
         break;
     }
+  }
+
+  // The batch becomes crash-proof BEFORE any backend mutates: the WAL
+  // record (stamped with the epoch this batch will create) is fsync'd
+  // here, so an acknowledged batch survives any later crash. If the append
+  // fails, nothing has been touched and the batch is cleanly rejected.
+  // Replay routes the same batches back through this method with
+  // recovering_ set — they are already on disk.
+  if (durability_ != nullptr && !recovering_) {
+    NEURODB_RETURN_NOT_OK(durability_->LogUpdates(epoch_ + 1, updates));
   }
 
   // Built-in backends cannot fail Insert/Erase/Move once built; a custom
@@ -274,7 +307,115 @@ Status QueryEngine::Compact() {
   epoch_ = pool_manager_->AdvanceEpoch();
   result_cache_->AdvanceEpoch(epoch_, Aabb());
   update_log_.Append(epoch_, Aabb());
+  // Compaction is the durable checkpoint: base.ndb becomes the compacted
+  // snapshot at the new epoch and the WAL empties.
+  if (durability_ != nullptr) {
+    NEURODB_RETURN_NOT_OK(Checkpoint());
+  }
   return Status::OK();
+}
+
+Status QueryEngine::Checkpoint() {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("Checkpoint"));
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "QueryEngine::Checkpoint: engine is not durable (set "
+        "EngineOptions::durability.dir or use Open)");
+  }
+  geom::ElementVec live;
+  live.reserve(live_bounds_.size());
+  for (const auto& [id, bounds] : live_bounds_) live.emplace_back(id, bounds);
+  std::sort(live.begin(), live.end(),
+            [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
+              return a.id < b.id;
+            });
+  NEURODB_RETURN_NOT_OK(durability_->CheckpointBase(live, epoch_));
+  // Backend page files are derived data, but flushing them here makes a
+  // clean shutdown's directory fully consistent on disk.
+  for (auto& backend : backends_) {
+    for (storage::PageStore* store : backend->Stores()) {
+      NEURODB_RETURN_NOT_OK(store->Flush());
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
+    const std::string& dir, EngineOptions options, RecoveryReport* report) {
+  options.durability.dir = dir;
+  auto engine = std::make_unique<QueryEngine>(std::move(options));
+  NEURODB_RETURN_NOT_OK(engine->Recover(report));
+  return engine;
+}
+
+Status QueryEngine::Recover(RecoveryReport* report) {
+  NEURODB_RETURN_NOT_OK(options_.Validate());
+  auto dm = DurabilityManager::Attach(options_.durability);
+  NEURODB_RETURN_NOT_OK(dm.status());
+  durability_ = std::move(*dm);
+
+  NEURODB_ASSIGN_OR_RETURN(geom::ElementVec base, durability_->LoadBase());
+  const storage::Epoch ckpt = durability_->checkpoint_epoch();
+  const size_t base_elements = base.size();
+
+  // Rebuild every backend over the checkpointed snapshot through the
+  // normal load path; recovering_ suppresses FinishLoad's initial
+  // checkpoint and ApplyUpdates' re-logging below.
+  recovering_ = true;
+  Status loaded = LoadElements(std::move(base));
+  if (!loaded.ok()) {
+    recovering_ = false;
+    return loaded;
+  }
+
+  // Resume at the persisted epoch: recovery must never hand out an epoch
+  // the previous incarnation already stamped onto results.
+  pool_manager_->AdvanceEpochTo(ckpt);
+  epoch_ = pool_manager_->epoch();
+  result_cache_->AdvanceEpoch(epoch_, Aabb());
+
+  // Replay the WAL tail through ApplyUpdates. Records at or below the
+  // checkpoint epoch are already folded into base.ndb (a crash between a
+  // checkpoint's base commit and its WAL truncate leaves them behind);
+  // past that, epochs must run consecutively or the log is damaged in a
+  // way a torn tail cannot explain.
+  size_t batches = 0;
+  storage::WriteAheadLog::ReplayStats stats;
+  Status replayed = durability_->Replay(
+      [&](storage::Epoch e, const std::vector<UpdateRequest>& ops) -> Status {
+        if (e <= ckpt) return Status::OK();
+        if (e != epoch_ + 1) {
+          return Status::Corruption(
+              "QueryEngine::Open: WAL record at epoch " + std::to_string(e) +
+              " does not follow engine epoch " + std::to_string(epoch_));
+        }
+        NEURODB_RETURN_NOT_OK(ApplyUpdates(ops).status());
+        ++batches;
+        return Status::OK();
+      },
+      &stats);
+  recovering_ = false;
+  NEURODB_RETURN_NOT_OK(replayed);
+
+  // Drop a torn final record for good: the next append lands cleanly after
+  // the last intact one.
+  NEURODB_RETURN_NOT_OK(durability_->TruncateTornTail());
+
+  if (report != nullptr) {
+    report->checkpoint_epoch = ckpt;
+    report->base_elements = base_elements;
+    report->replayed_batches = batches;
+    report->torn_tail = stats.torn_tail;
+    report->dropped_bytes = stats.dropped_bytes;
+  }
+  return Status::OK();
+}
+
+storage::IoStats QueryEngine::IoTotals() const {
+  storage::IoStats total;
+  for (const auto& backend : backends_) total += backend->IoTotals();
+  if (durability_ != nullptr) total += durability_->io();
+  return total;
 }
 
 size_t QueryEngine::DeltaSize() const {
@@ -386,6 +527,7 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
     RangeRow row;
     row.method = backend->name();
     uint64_t t0 = clock->NowMicros();
+    storage::IoStats io0 = backend->IoTotals();
 
     Status status;
     if (parity_check) {
@@ -403,6 +545,7 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
     NEURODB_RETURN_NOT_OK(status);
 
     row.stats.time_us = clock->NowMicros() - t0;
+    report->io += backend->IoTotals() - io0;
     report->rows.push_back(std::move(row));
   }
 
@@ -473,6 +616,7 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
   RangeRow row;
   row.method = backend->name();
   uint64_t t0 = clock->NowMicros();
+  storage::IoStats io0 = backend->IoTotals();
 
   cache::DeltaPlan plan;
   NEURODB_ASSIGN_OR_RETURN(
@@ -497,6 +641,7 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
 
   row.stats.results = merged.size();
   row.stats.time_us = clock->NowMicros() - t0;
+  report->io += backend->IoTotals() - io0;
   report->rows.push_back(std::move(row));
   report->results = merged.size();
   report->results_match = true;

@@ -43,6 +43,7 @@
 #include "common/result.h"
 #include "engine/backend.h"
 #include "engine/delta_index.h"
+#include "engine/durability.h"
 #include "engine/flat_backend.h"
 #include "engine/grid_backend.h"
 #include "engine/rtree_backend.h"
@@ -86,6 +87,10 @@ struct EngineOptions {
   storage::DiskCostModel cost;
   /// Exploration session tuning (pool, think time, SCOUT knobs).
   scout::SessionOptions session;
+  /// Durable storage: a data directory with a checkpointed base, a
+  /// write-ahead log for ApplyUpdates and disk-backed page stores. The
+  /// default (empty dir) keeps everything in memory.
+  DurabilityOptions durability;
 
   Status Validate() const;
 };
@@ -152,6 +157,10 @@ struct RangeReport {
   /// Non-delta requests report 0 / 1.
   double cache_hit_fraction = 0.0;
   double delta_volume_fraction = 1.0;
+  /// Real device I/O this request caused, summed over executed backends.
+  /// All zeros when the engine runs on in-memory stores; populated when
+  /// backends sit on storage::DiskPageStore.
+  storage::IoStats io;
 };
 
 /// A typed k-nearest-neighbour query. Answers use the library-wide
@@ -257,6 +266,19 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
+  /// Recover a durable engine from `dir`: load the last checkpointed base
+  /// snapshot, rebuild every backend over it (on disk-backed stores when
+  /// options.durability.disk_backends), replay the WAL tail through the
+  /// normal ApplyUpdates path, and truncate a torn final record. The
+  /// engine resumes at the exact epoch and live set it crashed with (up to
+  /// the last fsync'd batch). `options.durability.dir` is overwritten with
+  /// `dir`; only built-in backends participate (RegisterBackend requires
+  /// the manual LoadElements path). `report`, when non-null, receives what
+  /// recovery found.
+  static Result<std::unique_ptr<QueryEngine>> Open(
+      const std::string& dir, EngineOptions options = EngineOptions(),
+      RecoveryReport* report = nullptr);
+
   /// Add a backend (before LoadCircuit). FLAT, the paged R-tree, the grid
   /// and the sharded backend are registered by the constructor; extra
   /// backends join kAll comparisons.
@@ -293,6 +315,11 @@ class QueryEngine {
   /// unchanged) and advance the epoch. Sessions opened before a Compact
   /// are invalidated: their private pools cache the old layout — reopen.
   Status Compact();
+
+  /// Durable engines only: rewrite base.ndb as the current live set at the
+  /// current epoch and truncate the WAL — without folding backend deltas
+  /// (Compact() does both). After a checkpoint, Open replays nothing.
+  Status Checkpoint();
 
   /// Pending delta records summed over every backend (0 right after
   /// LoadCircuit/LoadElements and after Compact).
@@ -382,8 +409,17 @@ class QueryEngine {
     return result_cache_.get();
   }
 
+  /// The durable-storage manager (null for in-memory engines).
+  const DurabilityManager* durability() const { return durability_.get(); }
+
+  /// Device I/O totals: every backend store plus base.ndb + wal.ndb. All
+  /// zeros for in-memory engines.
+  storage::IoStats IoTotals() const;
+
  private:
   Status RequireLoaded(const char* op) const;
+  /// The body of Open on a constructed engine: attach, load base, replay.
+  Status Recover(RecoveryReport* report);
   /// The shared tail of LoadCircuit/LoadElements: build every backend over
   /// `elements`, start the worker pool, create the persistent pool manager,
   /// result cache and live-id map.
@@ -487,6 +523,14 @@ class QueryEngine {
   /// Engine-level semantic cache behind CachePolicy::kDelta (serial paths;
   /// parallel lanes run private per-lane caches for determinism).
   std::unique_ptr<cache::ResultCache> result_cache_;
+
+  /// Durable storage (null when options_.durability.dir is empty): WAL
+  /// logging in ApplyUpdates, checkpointing in Compact/Checkpoint, and the
+  /// disk store factory backends attach at load.
+  std::unique_ptr<DurabilityManager> durability_;
+  /// True while Open replays the WAL: suppresses re-logging replayed
+  /// batches and the initial checkpoint of FinishLoad.
+  bool recovering_ = false;
 };
 
 }  // namespace engine

@@ -7,14 +7,14 @@ Status PagedRTreeBackend::BuildBase(const geom::ElementVec& elements) {
   NEURODB_ASSIGN_OR_RETURN(rtree::RTree tree,
                            rtree::RTree::BulkLoadStr(elements, options_));
   NEURODB_ASSIGN_OR_RETURN(rtree::PagedRTree paged,
-                           rtree::PagedRTree::Build(std::move(tree), &store_));
+                           rtree::PagedRTree::Build(std::move(tree), store_));
   tree_.emplace(std::move(paged));
   return Status::OK();
 }
 
 Status PagedRTreeBackend::ResetBase() {
   tree_.reset();
-  store_.Reset();
+  store_->Reset();
   return Status::OK();
 }
 
@@ -57,6 +57,7 @@ BackendStats PagedRTreeBackend::Stats() const {
     stats.metadata_bytes = tree_->tree().MemoryBytes() +
                            MutationMetadataBytes();
   }
+  stats.io = IoTotals();
   return stats;
 }
 

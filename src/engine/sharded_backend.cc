@@ -117,6 +117,14 @@ Status ShardedBackend::BuildBase(const geom::ElementVec& elements) {
       id_to_shard_[part.back().id] = static_cast<uint32_t>(shards_.size());
     }
     auto shard = std::make_unique<GridBackend>(options_.inner);
+    if (store_factory_) {
+      std::string shard_name =
+          std::string(name()) + ".shard" + std::to_string(shards_.size());
+      NEURODB_RETURN_NOT_OK(shard->AttachStores(
+          [this, &shard_name](const std::string&) {
+            return store_factory_(shard_name);
+          }));
+    }
     NEURODB_RETURN_NOT_OK(shard->Build(part));
     shards_.push_back(std::move(shard));
     shard_bounds_.push_back(bounds);
@@ -377,6 +385,7 @@ BackendStats ShardedBackend::Stats() const {
     BackendStats inner = shard->Stats();
     stats.index_pages += inner.index_pages;
     stats.metadata_bytes += inner.metadata_bytes;
+    stats.io += inner.io;
   }
   stats.metadata_bytes += shard_bounds_.capacity() * sizeof(Aabb) +
                           shard_sizes_.capacity() * sizeof(size_t) +

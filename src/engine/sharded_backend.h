@@ -99,6 +99,13 @@ class ShardedBackend : public BaseDeltaBackend {
 
   BackendStats Stats() const override;
 
+  /// Stash the factory; each shard gets its own store ("Sharded.shard<i>")
+  /// when BuildBase creates it. Must be called before Build, like the base.
+  Status AttachStores(const StoreFactory& factory) override {
+    store_factory_ = factory;
+    return Status::OK();
+  }
+
   std::vector<storage::PageStore*> Stores() override;
 
   const ShardedOptions& options() const { return options_; }
@@ -142,6 +149,7 @@ class ShardedBackend : public BaseDeltaBackend {
 
   ShardedOptions options_;
   exec::ThreadPool* thread_pool_ = nullptr;
+  StoreFactory store_factory_;
 
   std::vector<std::unique_ptr<GridBackend>> shards_;
   std::vector<geom::Aabb> shard_bounds_;

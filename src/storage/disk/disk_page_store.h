@@ -1,0 +1,82 @@
+// NeuroDB — DiskPageStore: the PageStore implementation backed by a real
+// page file (the brepdb DiskStorageManager side of the split; the base
+// PageStore is the MemoryStorageManager side).
+//
+// Reads perform actual block I/O through PageFile the first time a page is
+// touched and decode the image into a heap-stable frame; the frame then
+// serves repeat Reads (BufferPool hits re-call Read and must not pay a
+// device read each time) until the next Write or Reset invalidates it.
+// Writes always hit the device (copy-on-write into fresh blocks) and drop
+// the frame, so a build-then-query workload measures genuine cold reads.
+// The raw NumReads/NumWrites counters tick exactly like the in-memory
+// store's — substituting a DiskPageStore must not shift any modeled
+// pages_read statistic — while io() reports the real bytes/fsyncs.
+
+#ifndef NEURODB_STORAGE_DISK_DISK_PAGE_STORE_H_
+#define NEURODB_STORAGE_DISK_DISK_PAGE_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk/file.h"
+#include "storage/disk/page_file.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace storage {
+
+struct DiskStoreOptions {
+  uint32_t block_bytes = 4096;
+  /// Null means DefaultFileSystem() (real POSIX I/O).
+  FileSystem* fs = nullptr;
+};
+
+class DiskPageStore : public PageStore {
+ public:
+  /// Create (truncate) a fresh page file at `path`.
+  static Result<std::unique_ptr<DiskPageStore>> Create(
+      const std::string& path, const DiskStoreOptions& options = {});
+
+  /// Open an existing page file. The store's epoch starts at the persisted
+  /// header epoch (never below it — reopened stores must not reuse an
+  /// epoch a BufferPool may have cached under).
+  static Result<std::unique_ptr<DiskPageStore>> Open(
+      const std::string& path, const DiskStoreOptions& options = {});
+
+  PageId Allocate() override;
+  Status Write(PageId id, std::vector<geom::SpatialElement> elements) override;
+  Result<const Page*> Read(PageId id) const override;
+  const Page* Peek(PageId id) const override;
+  size_t NumPages() const override { return num_pages_; }
+  size_t TotalBytes() const override { return file_->PayloadBytes(); }
+  IoStats io() const override { return file_->io(); }
+
+  /// Commit the staged page directory + free list durably, stamping the
+  /// store's current epoch into the file header.
+  Status Flush() override { return file_->Sync(epoch()); }
+
+  void Reset() override;
+
+  const PageFile& page_file() const { return *file_; }
+
+ private:
+  DiskPageStore(std::unique_ptr<PageFile> file, size_t num_pages)
+      : file_(std::move(file)), num_pages_(num_pages) {}
+
+  std::unique_ptr<PageFile> file_;
+  size_t num_pages_ = 0;
+
+  // Decoded page frames; pointers handed out by Read/Peek stay stable until
+  // the frame is invalidated (Write/Reset). Guarded for concurrent Reads.
+  mutable std::mutex mu_;
+  mutable std::unordered_map<PageId, std::unique_ptr<Page>> frames_;
+};
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_DISK_DISK_PAGE_STORE_H_

@@ -1,0 +1,75 @@
+#include "storage/disk/format.h"
+
+#include <array>
+#include <string>
+
+namespace neurodb {
+namespace storage {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320U ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::vector<uint8_t> EncodePageImage(
+    PageId id, const std::vector<geom::SpatialElement>& elements) {
+  std::vector<uint8_t> out;
+  out.reserve(kPageHeaderBytes + elements.size() * kElementBytes);
+  EncodeU32(&out, kPageImageMagic);
+  EncodeU32(&out, static_cast<uint32_t>(elements.size()));
+  EncodeU64(&out, static_cast<uint64_t>(id));
+  for (const auto& e : elements) EncodeElement(&out, e);
+  return out;
+}
+
+Result<Page> DecodePageImage(const uint8_t* data, size_t n,
+                             PageId expected_id) {
+  if (n < kPageHeaderBytes) {
+    return Status::Corruption("page image truncated: " + std::to_string(n) +
+                              " bytes");
+  }
+  if (GetU32(data) != kPageImageMagic) {
+    return Status::Corruption("page image has bad magic");
+  }
+  uint32_t count = GetU32(data + 4);
+  uint64_t stored_id = GetU64(data + 8);
+  if (stored_id != expected_id) {
+    return Status::Corruption("page image id mismatch: stored " +
+                              std::to_string(stored_id) + ", expected " +
+                              std::to_string(expected_id));
+  }
+  if (n < kPageHeaderBytes + static_cast<size_t>(count) * kElementBytes) {
+    return Status::Corruption("page image shorter than its element count");
+  }
+  Page page;
+  page.id = expected_id;
+  page.elements.reserve(count);
+  const uint8_t* p = data + kPageHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i, p += kElementBytes) {
+    page.elements.push_back(DecodeElement(p));
+  }
+  return page;
+}
+
+}  // namespace storage
+}  // namespace neurodb

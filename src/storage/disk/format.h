@@ -1,0 +1,124 @@
+// NeuroDB — on-disk format primitives shared by PageFile, WriteAheadLog
+// and tools/ndb_inspect: little-endian fixed-width codecs, the element
+// codec (matching the modeled kElementBytes / kPageHeaderBytes layout of
+// storage/page.h exactly), and CRC-32 (IEEE 802.3 polynomial, the zlib
+// one). See docs/FILE_FORMAT.md for the full layout specification.
+
+#ifndef NEURODB_STORAGE_DISK_FORMAT_H_
+#define NEURODB_STORAGE_DISK_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geom/element.h"
+#include "storage/page.h"
+
+namespace neurodb {
+namespace storage {
+
+// "NDBPGF1\0" read little-endian — page-file magic.
+inline constexpr uint64_t kPageFileMagic = 0x00314647'50424E44ULL;
+// "NDBWAL1\0" read little-endian — write-ahead-log magic.
+inline constexpr uint64_t kWalMagic = 0x00314C41'57424E44ULL;
+inline constexpr uint32_t kFormatVersion = 1;
+// Fixed byte sizes.
+inline constexpr size_t kPageFileHeaderBytes = 48;
+inline constexpr size_t kWalHeaderBytes = 16;
+inline constexpr size_t kWalRecordHeaderBytes = 16;
+// On-disk page image header (mirrors kPageHeaderBytes = 16).
+inline constexpr uint32_t kPageImageMagic = 0x4750444EU;  // "NDPG"
+
+inline void EncodeU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+inline void EncodeU64(std::vector<uint8_t>* out, uint64_t v) {
+  EncodeU32(out, static_cast<uint32_t>(v));
+  EncodeU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void EncodeF32(std::vector<uint8_t>* out, float f) {
+  uint32_t v;
+  std::memcpy(&v, &f, sizeof(v));
+  EncodeU32(out, v);
+}
+
+inline void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void PutU64(uint8_t* p, uint64_t v) {
+  PutU32(p, static_cast<uint32_t>(v));
+  PutU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+inline float GetF32(const uint8_t* p) {
+  uint32_t v = GetU32(p);
+  float f;
+  std::memcpy(&f, &v, sizeof(f));
+  return f;
+}
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `n` bytes.
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+/// Serialize one element: u64 id + 6 × f32 bounds = kElementBytes (32).
+inline void EncodeElement(std::vector<uint8_t>* out,
+                          const geom::SpatialElement& e) {
+  EncodeU64(out, e.id);
+  EncodeF32(out, e.bounds.min.x);
+  EncodeF32(out, e.bounds.min.y);
+  EncodeF32(out, e.bounds.min.z);
+  EncodeF32(out, e.bounds.max.x);
+  EncodeF32(out, e.bounds.max.y);
+  EncodeF32(out, e.bounds.max.z);
+}
+
+inline geom::SpatialElement DecodeElement(const uint8_t* p) {
+  geom::SpatialElement e;
+  e.id = GetU64(p);
+  e.bounds.min.x = GetF32(p + 8);
+  e.bounds.min.y = GetF32(p + 12);
+  e.bounds.min.z = GetF32(p + 16);
+  e.bounds.max.x = GetF32(p + 20);
+  e.bounds.max.y = GetF32(p + 24);
+  e.bounds.max.z = GetF32(p + 28);
+  return e;
+}
+
+/// Serialize a page image: 16-byte header (magic, count, page id) followed
+/// by `count` encoded elements — byte-for-byte the footprint Page::SizeBytes
+/// models.
+std::vector<uint8_t> EncodePageImage(PageId id,
+                                     const std::vector<geom::SpatialElement>&
+                                         elements);
+
+/// Parse a page image produced by EncodePageImage. Validates the magic,
+/// the id against `expected_id` and the length against the element count.
+Result<Page> DecodePageImage(const uint8_t* data, size_t n,
+                             PageId expected_id);
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_DISK_FORMAT_H_

@@ -1,0 +1,328 @@
+#include "storage/disk/page_file.h"
+
+#include <algorithm>
+
+#include "storage/disk/format.h"
+
+namespace neurodb {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kMinBlockBytes = 64;
+constexpr uint32_t kMaxBlockBytes = 1u << 24;
+
+// Header field offsets within the 48-byte header.
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffBlockBytes = 12;
+constexpr size_t kOffEpoch = 16;
+constexpr size_t kOffFileBlocks = 24;
+constexpr size_t kOffDirFirst = 28;
+constexpr size_t kOffDirBlocks = 32;
+constexpr size_t kOffDirPayload = 36;
+constexpr size_t kOffNumPages = 40;
+constexpr size_t kOffCrc = 44;
+
+// Sort + coalesce adjacent runs (payload_bytes is meaningless for free
+// runs and dropped during merging).
+std::vector<PageFile::Run> NormalizeFreeRuns(std::vector<PageFile::Run> runs) {
+  std::vector<PageFile::Run> out;
+  std::sort(runs.begin(), runs.end(),
+            [](const PageFile::Run& a, const PageFile::Run& b) {
+              return a.first_block < b.first_block;
+            });
+  for (const auto& r : runs) {
+    if (r.num_blocks == 0) continue;
+    if (!out.empty() &&
+        out.back().first_block + out.back().num_blocks == r.first_block) {
+      out.back().num_blocks += r.num_blocks;
+      out.back().payload_bytes = 0;
+    } else {
+      out.push_back(PageFile::Run{r.first_block, r.num_blocks, 0});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PageFile>> PageFile::Create(FileSystem* fs,
+                                                   const std::string& path,
+                                                   uint32_t block_bytes) {
+  if (block_bytes < kMinBlockBytes || block_bytes > kMaxBlockBytes) {
+    return Status::InvalidArgument("PageFile::Create: block_bytes " +
+                                   std::to_string(block_bytes) +
+                                   " out of range");
+  }
+  auto file = fs->Open(path, /*truncate=*/true);
+  NEURODB_RETURN_NOT_OK(file.status());
+  std::unique_ptr<PageFile> pf(
+      new PageFile(std::move(*file), path, block_bytes));
+  pf->file_blocks_ = 1;
+  NEURODB_RETURN_NOT_OK(pf->WriteHeader(0, Run{}));
+  NEURODB_RETURN_NOT_OK(pf->SyncFile());
+  return pf;
+}
+
+Result<std::unique_ptr<PageFile>> PageFile::Open(FileSystem* fs,
+                                                 const std::string& path) {
+  auto file = fs->Open(path, /*truncate=*/false);
+  NEURODB_RETURN_NOT_OK(file.status());
+
+  uint8_t header[kPageFileHeaderBytes];
+  auto got = (*file)->ReadAt(0, header, sizeof(header));
+  NEURODB_RETURN_NOT_OK(got.status());
+  if (*got < sizeof(header)) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' is too short to hold a header");
+  }
+  if (GetU64(header + kOffMagic) != kPageFileMagic) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' has a bad magic number (not a page file)");
+  }
+  uint32_t version = GetU32(header + kOffVersion);
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "PageFile::Open: '" + path + "' has format version " +
+        std::to_string(version) + "; this build reads version " +
+        std::to_string(kFormatVersion));
+  }
+  if (Crc32(header, kOffCrc) != GetU32(header + kOffCrc)) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' header CRC mismatch");
+  }
+  uint32_t block_bytes = GetU32(header + kOffBlockBytes);
+  if (block_bytes < kMinBlockBytes || block_bytes > kMaxBlockBytes) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' header block size out of range");
+  }
+
+  std::unique_ptr<PageFile> pf(
+      new PageFile(std::move(*file), path, block_bytes));
+  pf->epoch_ = GetU64(header + kOffEpoch);
+  pf->file_blocks_ = GetU32(header + kOffFileBlocks);
+  uint32_t num_pages = GetU32(header + kOffNumPages);
+  Run dir_run{GetU32(header + kOffDirFirst), GetU32(header + kOffDirBlocks),
+              GetU32(header + kOffDirPayload)};
+  pf->committed_dir_run_ = dir_run;
+
+  if (dir_run.num_blocks == 0) {
+    if (num_pages != 0) {
+      return Status::Corruption("PageFile::Open: '" + path +
+                                "' header claims pages but no directory");
+    }
+    return pf;
+  }
+
+  std::vector<uint8_t> dir(dir_run.payload_bytes);
+  auto dgot = pf->file_->ReadAt(
+      static_cast<uint64_t>(dir_run.first_block) * block_bytes, dir.data(),
+      dir.size());
+  NEURODB_RETURN_NOT_OK(dgot.status());
+  pf->bytes_read_.fetch_add(*dgot, std::memory_order_relaxed);
+  if (*dgot < dir.size() || dir.size() < 12) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' directory truncated");
+  }
+  uint32_t stored_crc = GetU32(dir.data() + dir.size() - 4);
+  if (Crc32(dir.data(), dir.size() - 4) != stored_crc) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' directory CRC mismatch");
+  }
+
+  const uint8_t* p = dir.data();
+  const uint8_t* end = dir.data() + dir.size() - 4;
+  uint32_t entries = GetU32(p);
+  p += 4;
+  if (entries != num_pages ||
+      static_cast<size_t>(end - p) < entries * 16u + 4u) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' directory entry count mismatch");
+  }
+  for (uint32_t i = 0; i < entries; ++i, p += 16) {
+    PageId id = GetU32(p);
+    pf->dir_[id] = Run{GetU32(p + 4), GetU32(p + 8), GetU32(p + 12)};
+  }
+  uint32_t free_runs = GetU32(p);
+  p += 4;
+  if (static_cast<size_t>(end - p) < free_runs * 8u) {
+    return Status::Corruption("PageFile::Open: '" + path +
+                              "' directory free list truncated");
+  }
+  std::vector<Run> free;
+  for (uint32_t i = 0; i < free_runs; ++i, p += 8) {
+    free.push_back(Run{GetU32(p), GetU32(p + 4), 0});
+  }
+  pf->free_ = NormalizeFreeRuns(std::move(free));
+  return pf;
+}
+
+PageFile::Run PageFile::AllocateRun(uint32_t num_blocks,
+                                    uint32_t payload_bytes) {
+  for (size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].num_blocks >= num_blocks) {
+      Run out{free_[i].first_block, num_blocks, payload_bytes};
+      free_[i].first_block += num_blocks;
+      free_[i].num_blocks -= num_blocks;
+      if (free_[i].num_blocks == 0) free_.erase(free_.begin() + i);
+      return out;
+    }
+  }
+  Run out{static_cast<uint32_t>(file_blocks_), num_blocks, payload_bytes};
+  file_blocks_ += num_blocks;
+  return out;
+}
+
+Status PageFile::WriteAt(uint64_t offset, const void* data, size_t n) {
+  NEURODB_RETURN_NOT_OK(file_->WriteAt(offset, data, n));
+  bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PageFile::SyncFile() {
+  NEURODB_RETURN_NOT_OK(file_->Sync());
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status PageFile::WritePage(PageId id, const std::vector<uint8_t>& image) {
+  if (image.empty()) {
+    return Status::InvalidArgument("PageFile::WritePage: empty image");
+  }
+  Run run = AllocateRun(BlocksFor(image.size()),
+                        static_cast<uint32_t>(image.size()));
+  NEURODB_RETURN_NOT_OK(
+      WriteAt(static_cast<uint64_t>(run.first_block) * block_bytes_,
+              image.data(), image.size()));
+  auto it = dir_.find(id);
+  if (it != dir_.end()) {
+    pending_free_.push_back(it->second);
+    it->second = run;
+  } else {
+    dir_[id] = run;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> PageFile::ReadPage(PageId id) const {
+  auto it = dir_.find(id);
+  if (it == dir_.end()) {
+    return Status::OutOfRange("PageFile::ReadPage: page " +
+                              std::to_string(id) + " not in directory");
+  }
+  std::vector<uint8_t> out(it->second.payload_bytes);
+  auto got = file_->ReadAt(
+      static_cast<uint64_t>(it->second.first_block) * block_bytes_,
+      out.data(), out.size());
+  NEURODB_RETURN_NOT_OK(got.status());
+  bytes_read_.fetch_add(*got, std::memory_order_relaxed);
+  if (*got < out.size()) {
+    return Status::Corruption("PageFile::ReadPage: page " +
+                              std::to_string(id) + " truncated on disk");
+  }
+  return out;
+}
+
+Status PageFile::FreePage(PageId id) {
+  auto it = dir_.find(id);
+  if (it == dir_.end()) {
+    return Status::OutOfRange("PageFile::FreePage: page " +
+                              std::to_string(id) + " not in directory");
+  }
+  pending_free_.push_back(it->second);
+  dir_.erase(it);
+  return Status::OK();
+}
+
+void PageFile::Clear() {
+  for (const auto& [id, run] : dir_) pending_free_.push_back(run);
+  dir_.clear();
+}
+
+uint64_t PageFile::PayloadBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, run] : dir_) total += run.payload_bytes;
+  return total;
+}
+
+Status PageFile::WriteHeader(Epoch epoch, const Run& dir_run) {
+  uint8_t header[kPageFileHeaderBytes] = {};
+  PutU64(header + kOffMagic, kPageFileMagic);
+  PutU32(header + kOffVersion, kFormatVersion);
+  PutU32(header + kOffBlockBytes, block_bytes_);
+  PutU64(header + kOffEpoch, epoch);
+  PutU32(header + kOffFileBlocks, static_cast<uint32_t>(file_blocks_));
+  PutU32(header + kOffDirFirst, dir_run.first_block);
+  PutU32(header + kOffDirBlocks, dir_run.num_blocks);
+  PutU32(header + kOffDirPayload, dir_run.payload_bytes);
+  PutU32(header + kOffNumPages, static_cast<uint32_t>(dir_.size()));
+  PutU32(header + kOffCrc, Crc32(header, kOffCrc));
+  return WriteAt(0, header, sizeof(header));
+}
+
+Status PageFile::Sync(Epoch epoch) {
+  // The free list to persist is the post-commit view: everything free now,
+  // everything staged for release, and the directory run being replaced.
+  // The new directory's own run is carved out of `free_` first so it can
+  // never land in the persisted free list.
+  std::vector<Run> post_free;
+
+  Run dir_run{};
+  if (!dir_.empty() || !free_.empty() || !pending_free_.empty() ||
+      committed_dir_run_.num_blocks > 0) {
+    // Serialize with a placeholder free list first to learn the payload
+    // size, allocate the run, then serialize for real. The free-list byte
+    // size is known up front, so one sizing pass suffices.
+    size_t entry_bytes = 4 + dir_.size() * 16;
+
+    // Upper bound on free-run count after the merge below: current free
+    // runs + pending + old dir run + the remainder split of the allocation.
+    size_t max_free = free_.size() + pending_free_.size() + 2;
+    size_t payload_bytes = entry_bytes + 4 + max_free * 8 + 4;
+    dir_run = AllocateRun(BlocksFor(payload_bytes), 0);
+
+    post_free = free_;
+    post_free.insert(post_free.end(), pending_free_.begin(),
+                     pending_free_.end());
+    if (committed_dir_run_.num_blocks > 0) {
+      post_free.push_back(committed_dir_run_);
+    }
+    post_free = NormalizeFreeRuns(std::move(post_free));
+
+    std::vector<uint8_t> dir;
+    dir.reserve(payload_bytes);
+    EncodeU32(&dir, static_cast<uint32_t>(dir_.size()));
+    for (const auto& [id, run] : dir_) {
+      EncodeU32(&dir, id);
+      EncodeU32(&dir, run.first_block);
+      EncodeU32(&dir, run.num_blocks);
+      EncodeU32(&dir, run.payload_bytes);
+    }
+    EncodeU32(&dir, static_cast<uint32_t>(post_free.size()));
+    for (const auto& r : post_free) {
+      EncodeU32(&dir, r.first_block);
+      EncodeU32(&dir, r.num_blocks);
+    }
+    EncodeU32(&dir, Crc32(dir.data(), dir.size()));
+    dir_run.payload_bytes = static_cast<uint32_t>(dir.size());
+
+    NEURODB_RETURN_NOT_OK(
+        WriteAt(static_cast<uint64_t>(dir_run.first_block) * block_bytes_,
+                dir.data(), dir.size()));
+  }
+
+  // Publish: data + directory first, then the header that points at them.
+  NEURODB_RETURN_NOT_OK(SyncFile());
+  NEURODB_RETURN_NOT_OK(WriteHeader(epoch, dir_run));
+  NEURODB_RETURN_NOT_OK(SyncFile());
+
+  free_ = std::move(post_free);
+  pending_free_.clear();
+  committed_dir_run_ = dir_run;
+  epoch_ = epoch;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace neurodb

@@ -1,0 +1,134 @@
+// NeuroDB — PageFile: a single-file block store mapping PageId → block run.
+//
+// Layout (see docs/FILE_FORMAT.md):
+//   block 0        48-byte header: magic, version, block size, epoch,
+//                  committed file length in blocks, page-directory run,
+//                  page count, CRC.
+//   blocks 1..N    page images and the serialized page directory, placed
+//                  by a free-block-list allocator.
+//
+// All mutation is copy-on-write: WritePage never overwrites blocks the
+// committed directory references — it allocates a fresh run (from the free
+// list, else by extending the file) and stages the old run for release.
+// Sync() publishes the staged state in two fsync'd steps: (1) write the new
+// directory into fresh blocks, fsync; (2) write the header pointing at it,
+// fsync. A crash anywhere in between leaves the previous header/directory
+// pair fully intact, so the file always opens to its last Sync.
+//
+// Writers are single-threaded (the engine serializes mutation); ReadPage is
+// safe to call concurrently with other ReadPage calls.
+
+#ifndef NEURODB_STORAGE_DISK_PAGE_FILE_H_
+#define NEURODB_STORAGE_DISK_PAGE_FILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk/file.h"
+#include "storage/epoch.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace storage {
+
+class PageFile {
+ public:
+  /// A contiguous run of blocks holding one page image (or the directory).
+  struct Run {
+    uint32_t first_block = 0;
+    uint32_t num_blocks = 0;
+    uint32_t payload_bytes = 0;
+  };
+
+  /// Create (or truncate) `path` as an empty page file and commit an
+  /// initial header.
+  static Result<std::unique_ptr<PageFile>> Create(FileSystem* fs,
+                                                  const std::string& path,
+                                                  uint32_t block_bytes);
+
+  /// Open an existing page file: validates magic, version and header CRC,
+  /// then loads the page directory and free list of the last Sync.
+  static Result<std::unique_ptr<PageFile>> Open(FileSystem* fs,
+                                                const std::string& path);
+
+  /// Stage `image` as the contents of page `id` (copy-on-write; the old run
+  /// is released at the next Sync).
+  Status WritePage(PageId id, const std::vector<uint8_t>& image);
+
+  /// Read the staged (or committed) image of page `id`.
+  Result<std::vector<uint8_t>> ReadPage(PageId id) const;
+
+  /// Stage removal of page `id`.
+  Status FreePage(PageId id);
+
+  /// Stage removal of every page (checkpoint rewrite, Reset).
+  void Clear();
+
+  /// Durably commit the staged directory + free list and stamp `epoch` into
+  /// the header. Blocks staged for release become reusable afterwards.
+  Status Sync(Epoch epoch);
+
+  bool Contains(PageId id) const { return dir_.find(id) != dir_.end(); }
+  size_t NumPages() const { return dir_.size(); }
+  /// Sum of page-image payload bytes across the directory.
+  uint64_t PayloadBytes() const;
+
+  Epoch epoch() const { return epoch_; }
+  uint32_t block_bytes() const { return block_bytes_; }
+  uint64_t file_blocks() const { return file_blocks_; }
+
+  /// Staged directory / free list views (ndb_inspect, tests).
+  const std::map<PageId, Run>& directory() const { return dir_; }
+  const std::vector<Run>& free_runs() const { return free_; }
+
+  IoStats io() const {
+    return IoStats{bytes_read_.load(std::memory_order_relaxed),
+                   bytes_written_.load(std::memory_order_relaxed),
+                   fsyncs_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  PageFile(std::unique_ptr<File> file, std::string path, uint32_t block_bytes)
+      : file_(std::move(file)),
+        path_(std::move(path)),
+        block_bytes_(block_bytes) {}
+
+  uint32_t BlocksFor(size_t bytes) const {
+    return static_cast<uint32_t>((bytes + block_bytes_ - 1) / block_bytes_);
+  }
+
+  /// First-fit from the free list, else extend the file.
+  Run AllocateRun(uint32_t num_blocks, uint32_t payload_bytes);
+
+  Status WriteHeader(Epoch epoch, const Run& dir_run);
+  Status SyncFile();
+  Status WriteAt(uint64_t offset, const void* data, size_t n);
+
+  std::unique_ptr<File> file_;
+  std::string path_;
+  uint32_t block_bytes_ = 0;
+
+  // Staged state (equals committed state right after Create/Open/Sync).
+  std::map<PageId, Run> dir_;
+  std::vector<Run> free_;          // reusable now (free in committed state too)
+  std::vector<Run> pending_free_;  // reusable only after the next Sync
+  Run committed_dir_run_;          // zero num_blocks when none
+  uint64_t file_blocks_ = 1;       // header block + everything allocated
+  Epoch epoch_ = 0;
+
+  mutable std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+};
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_DISK_PAGE_FILE_H_

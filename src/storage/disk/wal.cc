@@ -1,0 +1,153 @@
+#include "storage/disk/wal.h"
+
+#include "storage/disk/format.h"
+
+namespace neurodb {
+namespace storage {
+
+namespace {
+
+// Records larger than this are treated as torn garbage, not allocations.
+constexpr uint32_t kMaxWalPayloadBytes = 1u << 28;
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenOrCreate(
+    FileSystem* fs, const std::string& path) {
+  auto file = fs->Open(path, /*truncate=*/false);
+  NEURODB_RETURN_NOT_OK(file.status());
+  std::unique_ptr<WriteAheadLog> wal(
+      new WriteAheadLog(std::move(*file), path));
+
+  auto size = wal->file_->Size();
+  NEURODB_RETURN_NOT_OK(size.status());
+  if (*size >= kWalHeaderBytes) {
+    uint8_t header[kWalHeaderBytes];
+    auto got = wal->file_->ReadAt(0, header, sizeof(header));
+    NEURODB_RETURN_NOT_OK(got.status());
+    wal->bytes_read_ += *got;
+    if (*got < sizeof(header)) {
+      return Status::Corruption("WriteAheadLog: '" + path +
+                                "' short read on header");
+    }
+    if (GetU64(header) != kWalMagic) {
+      return Status::Corruption("WriteAheadLog: '" + path +
+                                "' has a bad magic number (not a WAL)");
+    }
+    uint32_t version = GetU32(header + 8);
+    if (version != kFormatVersion) {
+      return Status::InvalidArgument(
+          "WriteAheadLog: '" + path + "' has format version " +
+          std::to_string(version) + "; this build reads version " +
+          std::to_string(kFormatVersion));
+    }
+    if (Crc32(header, 12) != GetU32(header + 12)) {
+      return Status::Corruption("WriteAheadLog: '" + path +
+                                "' header CRC mismatch");
+    }
+    wal->end_ = *size;
+    return wal;
+  }
+
+  // Missing or shorter than a header: (re)create. A partial header can
+  // only mean a crash during creation — no record was ever durable.
+  uint8_t header[kWalHeaderBytes] = {};
+  PutU64(header, kWalMagic);
+  PutU32(header + 8, kFormatVersion);
+  PutU32(header + 12, Crc32(header, 12));
+  NEURODB_RETURN_NOT_OK(wal->file_->Truncate(0));
+  NEURODB_RETURN_NOT_OK(wal->file_->WriteAt(0, header, sizeof(header)));
+  wal->bytes_written_ += sizeof(header);
+  NEURODB_RETURN_NOT_OK(wal->file_->Sync());
+  ++wal->fsyncs_;
+  wal->end_ = kWalHeaderBytes;
+  return wal;
+}
+
+Status WriteAheadLog::Append(Epoch epoch, const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxWalPayloadBytes) {
+    return Status::InvalidArgument("WriteAheadLog::Append: payload too large");
+  }
+  uint8_t epoch_bytes[8];
+  PutU64(epoch_bytes, epoch);
+  uint32_t crc = Crc32(epoch_bytes, sizeof(epoch_bytes));
+  crc = Crc32(payload.data(), payload.size(), crc);
+
+  std::vector<uint8_t> record;
+  record.reserve(kWalRecordHeaderBytes + payload.size());
+  EncodeU32(&record, static_cast<uint32_t>(payload.size()));
+  EncodeU64(&record, epoch);
+  EncodeU32(&record, crc);
+  record.insert(record.end(), payload.begin(), payload.end());
+
+  NEURODB_RETURN_NOT_OK(file_->WriteAt(end_, record.data(), record.size()));
+  bytes_written_ += record.size();
+  NEURODB_RETURN_NOT_OK(file_->Sync());
+  ++fsyncs_;
+  end_ += record.size();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Replay(const std::function<Status(const Record&)>& fn,
+                             ReplayStats* stats) {
+  ReplayStats local;
+  auto size = file_->Size();
+  NEURODB_RETURN_NOT_OK(size.status());
+
+  uint64_t offset = kWalHeaderBytes;
+  while (offset + kWalRecordHeaderBytes <= *size) {
+    uint8_t header[kWalRecordHeaderBytes];
+    auto got = file_->ReadAt(offset, header, sizeof(header));
+    NEURODB_RETURN_NOT_OK(got.status());
+    bytes_read_ += *got;
+    if (*got < sizeof(header)) break;
+
+    uint32_t len = GetU32(header);
+    Epoch epoch = GetU64(header + 4);
+    uint32_t stored_crc = GetU32(header + 12);
+    if (len > kMaxWalPayloadBytes ||
+        offset + kWalRecordHeaderBytes + len > *size) {
+      break;  // torn: length field points past the file
+    }
+
+    Record record;
+    record.epoch = epoch;
+    record.offset = offset;
+    record.payload.resize(len);
+    auto pgot = file_->ReadAt(offset + kWalRecordHeaderBytes,
+                              record.payload.data(), len);
+    NEURODB_RETURN_NOT_OK(pgot.status());
+    bytes_read_ += *pgot;
+    if (*pgot < len) break;
+
+    uint8_t epoch_bytes[8];
+    PutU64(epoch_bytes, epoch);
+    uint32_t crc = Crc32(epoch_bytes, sizeof(epoch_bytes));
+    crc = Crc32(record.payload.data(), record.payload.size(), crc);
+    if (crc != stored_crc) break;  // torn: record did not fully persist
+
+    NEURODB_RETURN_NOT_OK(fn(record));
+    ++local.records;
+    offset += kWalRecordHeaderBytes + len;
+  }
+
+  local.end_offset = offset;
+  local.torn_tail = offset < *size;
+  local.dropped_bytes = *size - offset;
+  end_ = offset;
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status WriteAheadLog::TruncateTail(uint64_t end_offset) {
+  NEURODB_RETURN_NOT_OK(file_->Truncate(end_offset));
+  NEURODB_RETURN_NOT_OK(file_->Sync());
+  ++fsyncs_;
+  end_ = end_offset;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Reset() { return TruncateTail(kWalHeaderBytes); }
+
+}  // namespace storage
+}  // namespace neurodb

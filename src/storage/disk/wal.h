@@ -1,0 +1,97 @@
+// NeuroDB — WriteAheadLog: the durability log for ApplyUpdates batches.
+//
+// The log is payload-agnostic: the storage layer never depends on engine
+// types, so a record is (epoch, opaque bytes, CRC) and the engine owns the
+// UpdateRequest codec (engine/durability.h). Each Append is one write of
+// the fully assembled record followed by one fsync — the record is durable
+// before Append returns, which is what lets QueryEngine acknowledge an
+// ApplyUpdates batch before mutating any backend.
+//
+// Replay scans records from the front and stops at the first record whose
+// header is incomplete, whose length is implausible or whose CRC fails —
+// the torn tail a crash mid-Append leaves behind. The caller then drops
+// the tail with TruncateTail; a CRC failure is never fatal to recovery.
+
+#ifndef NEURODB_STORAGE_DISK_WAL_H_
+#define NEURODB_STORAGE_DISK_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk/file.h"
+#include "storage/epoch.h"
+#include "storage/page_store.h"
+
+namespace neurodb {
+namespace storage {
+
+class WriteAheadLog {
+ public:
+  struct Record {
+    Epoch epoch = 0;
+    std::vector<uint8_t> payload;
+    /// Byte offset of the record header in the log file.
+    uint64_t offset = 0;
+  };
+
+  struct ReplayStats {
+    size_t records = 0;
+    /// End of the last intact record (= the offset TruncateTail cuts at).
+    uint64_t end_offset = 0;
+    /// True when trailing bytes after the last intact record were dropped.
+    bool torn_tail = false;
+    uint64_t dropped_bytes = 0;
+  };
+
+  /// Open `path`, creating an empty log (magic + version header) if it does
+  /// not exist. A file shorter than the 16-byte header is treated as a
+  /// crash during creation and rewritten.
+  static Result<std::unique_ptr<WriteAheadLog>> OpenOrCreate(
+      FileSystem* fs, const std::string& path);
+
+  /// Durably append one record: a single write of the assembled record,
+  /// then fsync. On return the record survives any crash.
+  Status Append(Epoch epoch, const std::vector<uint8_t>& payload);
+
+  /// Scan every intact record in order, invoking `fn` for each; stops (OK)
+  /// at the first torn record. A non-OK status from `fn` aborts the scan
+  /// and is returned. Leaves the append cursor at the end of the last
+  /// intact record.
+  Status Replay(const std::function<Status(const Record&)>& fn,
+                ReplayStats* stats);
+
+  /// Physically drop everything past `end_offset` (the torn tail).
+  Status TruncateTail(uint64_t end_offset);
+
+  /// Empty the log back to its header (checkpoint) and fsync.
+  Status Reset();
+
+  /// Byte size of the intact log (header + records).
+  uint64_t end_offset() const { return end_; }
+
+  IoStats io() const {
+    return IoStats{bytes_read_, bytes_written_, fsyncs_};
+  }
+
+ private:
+  WriteAheadLog(std::unique_ptr<File> file, std::string path)
+      : file_(std::move(file)), path_(std::move(path)) {}
+
+  std::unique_ptr<File> file_;
+  std::string path_;
+  uint64_t end_ = 0;
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t fsyncs_ = 0;
+};
+
+}  // namespace storage
+}  // namespace neurodb
+
+#endif  // NEURODB_STORAGE_DISK_WAL_H_

@@ -16,7 +16,7 @@ Status PageStore::Write(PageId id, std::vector<geom::SpatialElement> elements) {
                               " >= " + std::to_string(pages_.size()));
   }
   pages_[id].elements = std::move(elements);
-  writes_.fetch_add(1, std::memory_order_relaxed);
+  CountWrite();
   return Status::OK();
 }
 
@@ -25,7 +25,7 @@ Result<const Page*> PageStore::Read(PageId id) const {
     return Status::OutOfRange("PageStore::Read: page id " + std::to_string(id) +
                               " >= " + std::to_string(pages_.size()));
   }
-  reads_.fetch_add(1, std::memory_order_relaxed);
+  CountRead();
   return &pages_[id];
 }
 

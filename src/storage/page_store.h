@@ -1,11 +1,15 @@
-// NeuroDB — PageStore: the simulated disk.
+// NeuroDB — PageStore: the page-store seam.
 //
-// Holds all pages of a dataset and counts raw I/O. Access normally goes
-// through a BufferPool (buffer_pool.h) which adds caching, prefetch
-// tracking and the time model. The raw read/write counters are atomic: one
-// store is read concurrently by the per-lane pools of a parallel
-// ExecuteBatch and by parallel shard queries, and the counters must stay
-// exact (and TSan-clean) under that load.
+// The base class is the in-memory implementation ("the simulated disk"):
+// it holds all pages of a dataset and counts raw I/O. storage/disk/
+// provides DiskPageStore, a subclass backed by a real page file with
+// block-level reads, writes and fsyncs. Access normally goes through a
+// BufferPool (buffer_pool.h) which adds caching, prefetch tracking and the
+// time model; the pool only sees the virtual interface, so every backend
+// works against either implementation. The raw read/write counters are
+// atomic: one store is read concurrently by the per-lane pools of a
+// parallel ExecuteBatch and by parallel shard queries, and the counters
+// must stay exact (and TSan-clean) under that load.
 
 #ifndef NEURODB_STORAGE_PAGE_STORE_H_
 #define NEURODB_STORAGE_PAGE_STORE_H_
@@ -22,10 +26,32 @@
 namespace neurodb {
 namespace storage {
 
-/// An append-oriented store of pages ("the disk").
+/// Physical I/O performed by a store. The in-memory PageStore never touches
+/// a device and reports zeros; DiskPageStore counts real pread/pwrite bytes
+/// and fsync calls.
+struct IoStats {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t fsyncs = 0;
+
+  IoStats& operator+=(const IoStats& o) {
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    fsyncs += o.fsyncs;
+    return *this;
+  }
+  IoStats operator-(const IoStats& o) const {
+    return IoStats{bytes_read - o.bytes_read, bytes_written - o.bytes_written,
+                   fsyncs - o.fsyncs};
+  }
+};
+
+/// An append-oriented store of pages ("the disk"). Concrete in-memory
+/// implementation and the virtual seam for disk-backed subclasses.
 class PageStore {
  public:
   PageStore() = default;
+  virtual ~PageStore() = default;
 
   PageStore(const PageStore&) = delete;
   PageStore& operator=(const PageStore&) = delete;
@@ -35,37 +61,48 @@ class PageStore {
         writes_(other.writes_.load(std::memory_order_relaxed)),
         epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
   PageStore& operator=(PageStore&& other) noexcept {
+    if (this == &other) return *this;
     pages_ = std::move(other.pages_);
     reads_.store(other.reads_.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
     writes_.store(other.writes_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
-    epoch_.store(other.epoch_.load(std::memory_order_relaxed),
-                 std::memory_order_relaxed);
+    // The epoch never regresses: pools (and recovery, which reopens stores)
+    // rely on "epoch moved" <=> "layout may have changed", so assigning a
+    // younger store over an older one keeps the older epoch.
+    AdvanceEpochTo(other.epoch_.load(std::memory_order_relaxed));
     return *this;
   }
 
   /// Allocate a new empty page and return its id.
-  PageId Allocate();
+  virtual PageId Allocate();
 
   /// Replace the contents of page `id`. The page's `id` field is set.
-  Status Write(PageId id, std::vector<geom::SpatialElement> elements);
+  virtual Status Write(PageId id, std::vector<geom::SpatialElement> elements);
 
   /// Read page `id`. The returned pointer is stable until the store is
-  /// destroyed. Counts one raw read. Thread-safe against other Reads.
-  Result<const Page*> Read(PageId id) const;
+  /// destroyed or Reset. Counts one raw read. Thread-safe against other
+  /// Reads.
+  virtual Result<const Page*> Read(PageId id) const;
 
   /// The page without counting a raw read (metadata-path access: the page
   /// was already paid for by the Read/Prefetch that cached it). Returns
   /// nullptr for an unknown id.
-  const Page* Peek(PageId id) const {
+  virtual const Page* Peek(PageId id) const {
     return id < pages_.size() ? &pages_[id] : nullptr;
   }
 
-  size_t NumPages() const { return pages_.size(); }
+  virtual size_t NumPages() const { return pages_.size(); }
 
   /// Total serialized bytes across all pages.
-  size_t TotalBytes() const;
+  virtual size_t TotalBytes() const;
+
+  /// Physical device I/O (zeros for the in-memory store).
+  virtual IoStats io() const { return IoStats{}; }
+
+  /// Persist any staged metadata (page directory, header) to the device.
+  /// No-op for the in-memory store.
+  virtual Status Flush() { return Status::OK(); }
 
   /// Raw page reads served since construction (demand + prefetch).
   uint64_t NumReads() const { return reads_.load(std::memory_order_relaxed); }
@@ -75,17 +112,34 @@ class PageStore {
   /// Version of the physical page layout. Bumped by Reset (compaction) and
   /// BumpEpoch; a BufferPool caching pages of this store is stale — and must
   /// be evicted — whenever the store's epoch moved past the one it cached at.
+  /// Monotone across Reset, move-assignment and (for disk stores) reopen.
   Epoch epoch() const { return epoch_.load(std::memory_order_relaxed); }
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Advance the epoch to at least `e`; never moves it backwards. Used when
+  /// a disk store reopens a file whose header carries a persisted epoch.
+  void AdvanceEpochTo(Epoch e) {
+    Epoch cur = epoch_.load(std::memory_order_relaxed);
+    while (cur < e &&
+           !epoch_.compare_exchange_weak(cur, e, std::memory_order_relaxed)) {
+    }
+  }
+
   /// Drop every page (compaction rebuilds the layout from scratch) and bump
-  /// the epoch. Read/write counters keep accumulating across Resets. Any
-  /// BufferPool over this store must be evicted before its next access —
-  /// cached Page pointers into the old layout are invalid after a Reset.
-  void Reset() {
+  /// the epoch — the epoch always moves forward, never back to a value a
+  /// pool might have cached at. Read/write counters keep accumulating across
+  /// Resets. Any BufferPool over this store must be evicted before its next
+  /// access — cached Page pointers into the old layout are invalid after a
+  /// Reset.
+  virtual void Reset() {
     pages_.clear();
     BumpEpoch();
   }
+
+ protected:
+  // Subclass hooks into the shared raw-I/O counters.
+  void CountRead() const { reads_.fetch_add(1, std::memory_order_relaxed); }
+  void CountWrite() { writes_.fetch_add(1, std::memory_order_relaxed); }
 
  private:
   std::vector<Page> pages_;

@@ -98,6 +98,12 @@ class PoolManager {
   /// with the epoch they answered at.
   Epoch epoch() const { return epoch_; }
   Epoch AdvanceEpoch() { return ++epoch_; }
+  /// Fast-forward to at least `e` (recovery restores the persisted epoch);
+  /// never moves backwards. Returns the resulting epoch.
+  Epoch AdvanceEpochTo(Epoch e) {
+    if (e > epoch_) epoch_ = e;
+    return epoch_;
+  }
 
   /// One named ticker summed over every pool of every set.
   uint64_t TotalTicker(const std::string& ticker) const;
