@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "engine/delta_index.h"
 #include "geom/aabb.h"
 #include "geom/element.h"
 #include "geom/knn.h"
@@ -150,6 +151,68 @@ class SpatialBackend {
   /// Pending delta records (inserts + tombstones); 0 for read-only backends
   /// and right after Compact.
   virtual size_t DeltaSize() const { return 0; }
+
+  // --- Snapshot protocol (MVCC-lite) ---------------------------------------
+  //
+  // Mutable backends retain the last few published delta versions so a
+  // reader pinned at epoch E keeps seeing the E state while the writer
+  // commits E+1 (ISSUE 7). The defaults make an immutable custom backend
+  // trivially correct: with no mutations there is only one version, so the
+  // epoch-pinned queries forward to the plain ones and publishing is a
+  // no-op.
+
+  /// Apply a whole update batch and publish the result as the snapshot at
+  /// `epoch` — one immutable delta copy per backend per batch instead of
+  /// one per operation. The default loops Insert/Erase/Move.
+  virtual Status ApplyBatch(const std::vector<UpdateRequest>& updates,
+                            storage::Epoch epoch) {
+    (void)epoch;
+    for (const auto& u : updates) {
+      Status s;
+      switch (u.kind) {
+        case UpdateKind::kInsert:
+          s = Insert(u.id, u.bounds);
+          break;
+        case UpdateKind::kErase:
+          s = Erase(u.id);
+          break;
+        case UpdateKind::kMove:
+          s = Move(u.id, u.bounds);
+          break;
+      }
+      NEURODB_RETURN_NOT_OK(s);
+    }
+    return Status::OK();
+  }
+
+  /// Publish the current pending state as the immutable snapshot at
+  /// `epoch`. ApplyBatch calls this itself; the engine also calls it after
+  /// Compact so epoch E+1 resolves to the freshly compacted (empty-delta)
+  /// version.
+  virtual void PublishVersion(storage::Epoch /*epoch*/) {}
+
+  /// Stream every element intersecting `box` as of read epoch
+  /// `read_epoch` (kLatestEpoch = live pending state). OutOfRange when the
+  /// epoch has been retired from the retention window.
+  virtual Status RangeQueryAt(storage::Epoch /*read_epoch*/,
+                              const geom::Aabb& box, storage::PoolSet* pools,
+                              ResultVisitor& visitor,
+                              RangeStats* stats = nullptr) const {
+    return RangeQuery(box, pools, visitor, stats);
+  }
+
+  /// KnnQuery as of read epoch `read_epoch` (kLatestEpoch = live state).
+  virtual Status KnnQueryAt(storage::Epoch /*read_epoch*/,
+                            const geom::Vec3& point, size_t k,
+                            storage::PoolSet* pools,
+                            std::vector<geom::KnnHit>* hits,
+                            RangeStats* stats = nullptr) const {
+    return KnnQuery(point, k, pools, hits, stats);
+  }
+
+  /// How many published delta versions to retain (>= 1). No-op for
+  /// immutable backends.
+  virtual void SetVersionRetention(size_t /*versions*/) {}
 
   /// Replace this backend's page store(s) with ones made by `factory` —
   /// how a durable engine moves a backend onto disk-backed stores. Must be

@@ -1,6 +1,7 @@
 #include "engine/base_delta_backend.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace neurodb {
 namespace engine {
@@ -21,6 +22,10 @@ Status BaseDeltaBackend::Build(const geom::ElementVec& elements) {
               });
   }
   built_ = true;
+  // The initial version: empty delta at epoch 0, so a reader pinned at the
+  // freshly built state always resolves.
+  versions_.Reset(0, std::make_shared<const DeltaIndex>(delta_));
+  published_revision_ = delta_.revision();
   return Status::OK();
 }
 
@@ -28,38 +33,83 @@ Status BaseDeltaBackend::RangeQuery(const geom::Aabb& box,
                                     storage::PoolSet* pools,
                                     ResultVisitor& visitor,
                                     RangeStats* stats) const {
-  NEURODB_RETURN_NOT_OK(RequireBuilt("RangeQuery"));
-  if (delta_.Empty()) {
-    if (base_empty_) return Status::OK();
-    return BaseRangeQuery(box, pools, visitor, stats);
-  }
-
-  geom::ElementVec merged;
-  if (!base_empty_) {
-    CollectingVisitor base_out;
-    NEURODB_RETURN_NOT_OK(BaseRangeQuery(box, pools, base_out, stats));
-    merged = base_out.TakeElements();
-  }
-  delta_.Overlay(box, &merged);
-
-  for (const geom::SpatialElement& e : merged) visitor.Visit(e.id, e.bounds);
-  if (stats != nullptr) {
-    stats->results = merged.size();
-    // The insert scan is the delta's whole cost model: memory-resident,
-    // no page I/O, but each insert is a candidate tested against the box.
-    stats->elements_scanned += delta_.InsertCount();
-  }
-  return Status::OK();
+  return RangeQueryAt(storage::kLatestEpoch, box, pools, visitor, stats);
 }
 
 Status BaseDeltaBackend::KnnQuery(const geom::Vec3& point, size_t k,
                                   storage::PoolSet* pools,
                                   std::vector<geom::KnnHit>* hits,
                                   RangeStats* stats) const {
+  return KnnQueryAt(storage::kLatestEpoch, point, k, pools, hits, stats);
+}
+
+Status BaseDeltaBackend::RangeQueryAt(storage::Epoch read_epoch,
+                                      const geom::Aabb& box,
+                                      storage::PoolSet* pools,
+                                      ResultVisitor& visitor,
+                                      RangeStats* stats) const {
+  NEURODB_RETURN_NOT_OK(RequireBuilt("RangeQuery"));
+  if (read_epoch == storage::kLatestEpoch) {
+    return RangeQueryView(read_epoch, delta_, box, pools, visitor, stats);
+  }
+  auto snap = versions_.At(read_epoch);
+  NEURODB_RETURN_NOT_OK(snap.status());
+  return RangeQueryView(read_epoch, **snap, box, pools, visitor, stats);
+}
+
+Status BaseDeltaBackend::KnnQueryAt(storage::Epoch read_epoch,
+                                    const geom::Vec3& point, size_t k,
+                                    storage::PoolSet* pools,
+                                    std::vector<geom::KnnHit>* hits,
+                                    RangeStats* stats) const {
   NEURODB_RETURN_NOT_OK(RequireBuilt("KnnQuery"));
+  if (read_epoch == storage::kLatestEpoch) {
+    return KnnQueryView(read_epoch, delta_, point, k, pools, hits, stats);
+  }
+  auto snap = versions_.At(read_epoch);
+  NEURODB_RETURN_NOT_OK(snap.status());
+  return KnnQueryView(read_epoch, **snap, point, k, pools, hits, stats);
+}
+
+Status BaseDeltaBackend::RangeQueryView(storage::Epoch read_epoch,
+                                        const DeltaIndex& view,
+                                        const geom::Aabb& box,
+                                        storage::PoolSet* pools,
+                                        ResultVisitor& visitor,
+                                        RangeStats* stats) const {
+  if (view.Empty()) {
+    if (base_empty_) return Status::OK();
+    return BaseRangeQuery(read_epoch, box, pools, visitor, stats);
+  }
+
+  geom::ElementVec merged;
+  if (!base_empty_) {
+    CollectingVisitor base_out;
+    NEURODB_RETURN_NOT_OK(
+        BaseRangeQuery(read_epoch, box, pools, base_out, stats));
+    merged = base_out.TakeElements();
+  }
+  view.Overlay(box, &merged);
+
+  for (const geom::SpatialElement& e : merged) visitor.Visit(e.id, e.bounds);
+  if (stats != nullptr) {
+    stats->results = merged.size();
+    // The insert scan is the delta's whole cost model: memory-resident,
+    // no page I/O, but each insert is a candidate tested against the box.
+    stats->elements_scanned += view.InsertCount();
+  }
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::KnnQueryView(storage::Epoch read_epoch,
+                                      const DeltaIndex& view,
+                                      const geom::Vec3& point, size_t k,
+                                      storage::PoolSet* pools,
+                                      std::vector<geom::KnnHit>* hits,
+                                      RangeStats* stats) const {
   // The read-only fast path delegates wholesale (hook validation applies).
-  if (delta_.Empty() && !base_empty_) {
-    return BaseKnnQuery(point, k, pools, hits, stats);
+  if (view.Empty() && !base_empty_) {
+    return BaseKnnQuery(read_epoch, point, k, pools, hits, stats);
   }
 
   if (hits == nullptr) {
@@ -79,42 +129,103 @@ Status BaseDeltaBackend::KnnQuery(const geom::Vec3& point, size_t k,
   // element landed among the base's best hits, at least k live ones
   // remain; any live base element outside this widened top set is
   // dominated by >= k live base elements and cannot enter the answer.
-  const size_t k_widen = delta_.TombstoneCount() + delta_.InsertCount();
+  const size_t k_widen = view.TombstoneCount() + view.InsertCount();
   geom::KnnAccumulator acc(k);
   if (!base_empty_) {
     std::vector<geom::KnnHit> base_hits;
     NEURODB_RETURN_NOT_OK(
-        BaseKnnQuery(point, k + k_widen, pools, &base_hits, stats));
+        BaseKnnQuery(read_epoch, point, k + k_widen, pools, &base_hits, stats));
     for (const geom::KnnHit& hit : base_hits) {
-      if (!delta_.IsDead(hit.id)) acc.Offer(hit.id, hit.distance);
+      if (!view.IsDead(hit.id)) acc.Offer(hit.id, hit.distance);
     }
   }
-  delta_.SeedKnn(point, &acc);
+  view.SeedKnn(point, &acc);
 
   *hits = acc.TakeSorted();
   if (stats != nullptr) {
     stats->results = hits->size();
-    stats->elements_scanned += delta_.InsertCount();
+    stats->elements_scanned += view.InsertCount();
   }
   return Status::OK();
 }
 
-Status BaseDeltaBackend::Insert(geom::ElementId id, const geom::Aabb& bounds) {
+Status BaseDeltaBackend::InsertPending(geom::ElementId id,
+                                       const geom::Aabb& bounds) {
   NEURODB_RETURN_NOT_OK(RequireBuilt("Insert"));
   delta_.Insert(id, bounds);
   return Status::OK();
 }
 
-Status BaseDeltaBackend::Erase(geom::ElementId id) {
+Status BaseDeltaBackend::ErasePending(geom::ElementId id) {
   NEURODB_RETURN_NOT_OK(RequireBuilt("Erase"));
   delta_.Erase(id);
   return Status::OK();
 }
 
-Status BaseDeltaBackend::Move(geom::ElementId id, const geom::Aabb& bounds) {
+Status BaseDeltaBackend::MovePending(geom::ElementId id,
+                                     const geom::Aabb& bounds) {
   NEURODB_RETURN_NOT_OK(RequireBuilt("Move"));
   delta_.Move(id, bounds);
   return Status::OK();
+}
+
+Status BaseDeltaBackend::Insert(geom::ElementId id, const geom::Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(InsertPending(id, bounds));
+  RepublishLatest();
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::Erase(geom::ElementId id) {
+  NEURODB_RETURN_NOT_OK(ErasePending(id));
+  RepublishLatest();
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::Move(geom::ElementId id, const geom::Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(MovePending(id, bounds));
+  RepublishLatest();
+  return Status::OK();
+}
+
+Status BaseDeltaBackend::ApplyBatch(const std::vector<UpdateRequest>& updates,
+                                    storage::Epoch epoch) {
+  for (const auto& u : updates) {
+    Status s;
+    switch (u.kind) {
+      case UpdateKind::kInsert:
+        s = InsertPending(u.id, u.bounds);
+        break;
+      case UpdateKind::kErase:
+        s = ErasePending(u.id);
+        break;
+      case UpdateKind::kMove:
+        s = MovePending(u.id, u.bounds);
+        break;
+    }
+    NEURODB_RETURN_NOT_OK(s);
+  }
+  PublishVersion(epoch);
+  return Status::OK();
+}
+
+void BaseDeltaBackend::PublishVersion(storage::Epoch epoch) {
+  if (versions_.NumVersions() > 0 &&
+      delta_.revision() == published_revision_) {
+    // Nothing changed since the last publish: the older version already
+    // describes this epoch's state (At() resolves by epoch <= E).
+    return;
+  }
+  versions_.Publish(epoch, std::make_shared<const DeltaIndex>(delta_));
+  published_revision_ = delta_.revision();
+}
+
+void BaseDeltaBackend::RepublishLatest() {
+  if (versions_.NumVersions() > 0 &&
+      delta_.revision() == published_revision_) {
+    return;
+  }
+  versions_.Republish(std::make_shared<const DeltaIndex>(delta_));
+  published_revision_ = delta_.revision();
 }
 
 Status BaseDeltaBackend::ReplaceBase(geom::ElementVec elements) {
@@ -130,6 +241,8 @@ Status BaseDeltaBackend::ReplaceBase(geom::ElementVec elements) {
     base_elements_.clear();
   }
   delta_.Clear();
+  // Published versions describe states the rebuilt base cannot reproduce.
+  ResetDeltaVersions();
   return Status::OK();
 }
 

@@ -22,6 +22,15 @@
 //     base via ResetBase() + BuildBase() over DeltaIndex::ApplyTo and
 //     leaves the delta empty.
 //
+// MVCC-lite (ISSUE 7): the pending delta is the writer's working copy; a
+// VersionRing of immutable DeltaIndex snapshots — one published per applied
+// batch epoch — is the readers' view. RangeQueryAt/KnnQueryAt resolve a
+// pinned read epoch through the ring, so a reader at epoch E keeps getting
+// the E answer while ApplyBatch publishes E+1. kLatestEpoch bypasses the
+// ring and reads the pending delta (the single-threaded fast path).
+// Compact clears the ring (older versions describe states the rebuilt base
+// can no longer reproduce); pinned readers then see OutOfRange and re-pin.
+//
 // ShardedBackend specializes the write path (per-shard deltas routed by the
 // median-split bounds, spill delta for out-of-bounds inserts) but reuses
 // the same wrapper for its spill.
@@ -29,6 +38,7 @@
 #ifndef NEURODB_ENGINE_BASE_DELTA_BACKEND_H_
 #define NEURODB_ENGINE_BASE_DELTA_BACKEND_H_
 
+#include <memory>
 #include <vector>
 
 #include "engine/backend.h"
@@ -41,6 +51,7 @@ class BaseDeltaBackend : public SpatialBackend {
  public:
   /// Guard + BuildBase + base element retention. Subclasses with a custom
   /// layout pipeline (ShardedBackend) override retain_base_elements().
+  /// Publishes the initial (empty-delta) version at epoch 0.
   Status Build(const geom::ElementVec& elements) override;
 
   /// Base answer merged with the live delta (see header). Subclass query
@@ -53,20 +64,82 @@ class BaseDeltaBackend : public SpatialBackend {
                   std::vector<geom::KnnHit>* hits,
                   RangeStats* stats = nullptr) const override;
 
+  /// Base answer merged with the delta version pinned at `read_epoch`
+  /// (kLatestEpoch = the live pending delta). OutOfRange when `read_epoch`
+  /// predates the retention window or a compaction.
+  Status RangeQueryAt(storage::Epoch read_epoch, const geom::Aabb& box,
+                      storage::PoolSet* pools, ResultVisitor& visitor,
+                      RangeStats* stats = nullptr) const override;
+
+  Status KnnQueryAt(storage::Epoch read_epoch, const geom::Vec3& point,
+                    size_t k, storage::PoolSet* pools,
+                    std::vector<geom::KnnHit>* hits,
+                    RangeStats* stats = nullptr) const override;
+
   bool SupportsUpdates() const override { return true; }
+
+  /// Mutate-and-republish: the standalone single-writer API. Each call
+  /// applies to the pending delta and refreshes the newest published
+  /// version in place (same epoch — no commit happened). Batched epoch'd
+  /// mutation goes through ApplyBatch instead.
   Status Insert(geom::ElementId id, const geom::Aabb& bounds) override;
   Status Erase(geom::ElementId id) override;
   Status Move(geom::ElementId id, const geom::Aabb& bounds) override;
 
-  /// ResetBase + BuildBase over the merged live set; delta emptied. A
-  /// compact down to zero elements leaves the backend built with no base
-  /// (queries then answer from the — empty — delta alone).
+  /// Mutate the pending delta only — no version is published until
+  /// PublishVersion/RepublishLatest. Virtual so ShardedBackend routes
+  /// operations to the owning shard; these are the per-op building blocks
+  /// ApplyBatch composes.
+  virtual Status InsertPending(geom::ElementId id, const geom::Aabb& bounds);
+  virtual Status ErasePending(geom::ElementId id);
+  virtual Status MovePending(geom::ElementId id, const geom::Aabb& bounds);
+
+  /// Apply the whole batch to the pending state, then publish one immutable
+  /// version at `epoch` — the engine's per-batch commit.
+  Status ApplyBatch(const std::vector<UpdateRequest>& updates,
+                    storage::Epoch epoch) override;
+
+  /// Publish the pending delta as the version at `epoch`. Skips the copy
+  /// when nothing changed since the last publish (an untouched backend
+  /// still resolves epoch E+1 to its older identical version).
+  void PublishVersion(storage::Epoch epoch) override;
+
+  /// Refresh the newest published version in place after an unbatched
+  /// mutation (no new epoch). Public so ShardedBackend can cascade it to
+  /// its inner shards (protected members are not accessible through a
+  /// sibling-typed object).
+  virtual void RepublishLatest();
+
+  void SetVersionRetention(size_t versions) override {
+    versions_.SetRetention(versions);
+  }
+
+  /// ResetBase + BuildBase over the merged live set; delta emptied and the
+  /// version ring cleared (the engine publishes the post-compact version at
+  /// the next epoch). A compact down to zero elements leaves the backend
+  /// built with no base (queries then answer from the — empty — delta
+  /// alone).
   Status Compact() override;
 
   size_t DeltaSize() const override { return delta_.Size(); }
 
   bool built() const { return built_; }
   const DeltaIndex& delta() const { return delta_; }
+
+  /// True when the base side currently indexes no elements (fresh empty
+  /// build, or a compact after everything was erased).
+  bool base_empty() const { return base_empty_; }
+
+  /// The newest published delta version and its epoch — what a session
+  /// pins at the start of each step. `delta` is null only before Build or
+  /// transiently during a Compact (callers treat null as "empty delta").
+  DeltaSnapshot LatestDelta() const {
+    return DeltaSnapshot{versions_.LatestEpoch(), versions_.Latest()};
+  }
+
+  /// Published versions currently retained (diagnostics / tests).
+  size_t RetainedVersions() const { return versions_.NumVersions(); }
+
   /// The immutable base's element list, ascending by id (empty for
   /// subclasses that keep their own partitioned copies).
   const geom::ElementVec& base_elements() const { return base_elements_; }
@@ -76,8 +149,9 @@ class BaseDeltaBackend : public SpatialBackend {
   geom::ElementVec LiveElements() const { return delta_.ApplyTo(base_elements_); }
 
   /// Tear down the current base and rebuild it over `elements` (must be
-  /// sorted ascending by id); clears the delta. The Compact building block,
-  /// also used by ShardedBackend to rebuild one shard in place.
+  /// sorted ascending by id); clears the delta and the version ring. The
+  /// Compact building block, also used by ShardedBackend to rebuild one
+  /// shard in place.
   Status ReplaceBase(geom::ElementVec elements);
 
  protected:
@@ -89,21 +163,39 @@ class BaseDeltaBackend : public SpatialBackend {
   /// run again over a new element set.
   virtual Status ResetBase() = 0;
 
-  /// Answer a range query from the immutable base only.
-  virtual Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
+  /// Answer a range query from the immutable base only. `read_epoch` is
+  /// the pinned epoch (kLatestEpoch = live state); single-version bases
+  /// ignore it, ShardedBackend uses it to pin routing + inner deltas.
+  virtual Status BaseRangeQuery(storage::Epoch read_epoch,
+                                const geom::Aabb& box, storage::PoolSet* pools,
                                 ResultVisitor& visitor,
                                 RangeStats* stats) const = 0;
 
   /// Answer a kNN query from the immutable base only.
-  virtual Status BaseKnnQuery(const geom::Vec3& point, size_t k,
+  virtual Status BaseKnnQuery(storage::Epoch read_epoch,
+                              const geom::Vec3& point, size_t k,
                               storage::PoolSet* pools,
                               std::vector<geom::KnnHit>* hits,
                               RangeStats* stats) const = 0;
+
+  /// Drop all published versions — the base changed shape. ShardedBackend
+  /// cascades to its shards and routing snapshot.
+  virtual void ResetDeltaVersions() { versions_.Clear(); }
 
   /// Whether Build should retain its input as base_elements_. Subclasses
   /// that partition the input into inner backends (ShardedBackend) return
   /// false — each inner backend retains its own part.
   virtual bool retain_base_elements() const { return true; }
+
+  /// The merged-read body shared by the live and pinned paths: base answer
+  /// through the hooks at `read_epoch`, overlaid with `view`.
+  Status RangeQueryView(storage::Epoch read_epoch, const DeltaIndex& view,
+                        const geom::Aabb& box, storage::PoolSet* pools,
+                        ResultVisitor& visitor, RangeStats* stats) const;
+  Status KnnQueryView(storage::Epoch read_epoch, const DeltaIndex& view,
+                      const geom::Vec3& point, size_t k,
+                      storage::PoolSet* pools, std::vector<geom::KnnHit>* hits,
+                      RangeStats* stats) const;
 
   /// Memory the mutation machinery keeps resident: the retained base
   /// element list (the Compact rebuild input) plus the live delta records.
@@ -122,10 +214,6 @@ class BaseDeltaBackend : public SpatialBackend {
     return Status::OK();
   }
 
-  /// True when the base side currently indexes no elements (fresh empty
-  /// build, or a compact after everything was erased).
-  bool base_empty() const { return base_empty_; }
-
   DeltaIndex delta_;
   bool built_ = false;
   /// No base index exists (zero elements) — base query hooks are skipped.
@@ -133,6 +221,10 @@ class BaseDeltaBackend : public SpatialBackend {
 
  private:
   geom::ElementVec base_elements_;
+  /// Published immutable delta versions, newest last.
+  VersionRing<DeltaIndex> versions_;
+  /// delta_.revision() at the last publish — the skip-unchanged check.
+  uint64_t published_revision_ = 0;
 };
 
 }  // namespace engine

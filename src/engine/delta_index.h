@@ -27,8 +27,13 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "common/result.h"
 
 #include "common/status.h"
 #include "geom/aabb.h"
@@ -68,21 +73,35 @@ struct EpochStamp {
 
 /// The engine's history of applied batches, oldest first. Sessions replay
 /// the suffix they have not yet seen to invalidate their private caches.
+/// Internally synchronized: sessions read it while ApplyUpdates appends.
 class UpdateLog {
  public:
   void Append(storage::Epoch epoch, const geom::Aabb& dirty) {
+    std::lock_guard<std::mutex> lock(mu_);
     stamps_.push_back(EpochStamp{epoch, dirty});
   }
 
-  size_t size() const { return stamps_.size(); }
-  const EpochStamp& stamp(size_t i) const { return stamps_[i]; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stamps_.size();
+  }
+
+  /// The suffix of stamps at index >= `from`, copied out — a reference into
+  /// the vector would be invalidated by a concurrent Append reallocation.
+  std::vector<EpochStamp> StampsSince(size_t from) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from >= stamps_.size()) return {};
+    return std::vector<EpochStamp>(stamps_.begin() + from, stamps_.end());
+  }
 
   /// The current epoch: 0 before any update, else the newest stamp's.
   storage::Epoch epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return stamps_.empty() ? 0 : stamps_.back().epoch;
   }
 
  private:
+  mutable std::mutex mu_;
   std::vector<EpochStamp> stamps_;
 };
 
@@ -96,12 +115,14 @@ class DeltaIndex {
   /// Upsert `id` at `bounds` as a live delta element.
   void Insert(geom::ElementId id, const geom::Aabb& bounds) {
     inserts_[id] = bounds;
+    ++revision_;
   }
 
   /// Kill `id`: a delta-born element is simply dropped; a base element
   /// gets a tombstone (its page copy cannot be removed until Compact).
   void Erase(geom::ElementId id) {
     if (inserts_.erase(id) == 0) tombstones_.insert(id);
+    ++revision_;
   }
 
   /// Relocate `id` to `bounds`. The base copy (if any) is tombstoned; the
@@ -109,6 +130,7 @@ class DeltaIndex {
   void Move(geom::ElementId id, const geom::Aabb& bounds) {
     if (inserts_.find(id) == inserts_.end()) tombstones_.insert(id);
     inserts_[id] = bounds;
+    ++revision_;
   }
 
   /// True when a *base* element with this id must not be reported: it is
@@ -169,17 +191,135 @@ class DeltaIndex {
   void Clear() {
     inserts_.clear();
     tombstones_.clear();
+    ++revision_;
   }
 
   const std::map<geom::ElementId, geom::Aabb>& inserts() const {
     return inserts_;
   }
 
+  /// Mutation counter: bumped by every Insert/Erase/Move/Clear. Publishers
+  /// compare it against the revision they last snapshotted to skip copying
+  /// an unchanged delta (e.g. a backend whose shard a batch never touched).
+  uint64_t revision() const { return revision_; }
+
  private:
   /// Live delta elements, ascending by id (deterministic enumeration).
   std::map<geom::ElementId, geom::Aabb> inserts_;
   /// Ids whose base copy is dead.
   std::unordered_set<geom::ElementId> tombstones_;
+  uint64_t revision_ = 0;
+};
+
+/// One published, immutable delta version: the state of a DeltaIndex as of
+/// `epoch`. Readers pinned at a read epoch resolve their view through one
+/// of these; the shared_ptr keeps the version alive for as long as any
+/// in-flight query still holds it, even after the ring trims it.
+struct DeltaSnapshot {
+  storage::Epoch epoch = 0;
+  std::shared_ptr<const DeltaIndex> delta;
+};
+
+/// VersionRing — the MVCC-lite retention window: the last few published
+/// (epoch, snapshot) pairs of some copy-on-write state, ascending by epoch.
+/// The writer Publishes a new immutable snapshot per committed epoch;
+/// readers resolve a pinned read epoch E to the newest snapshot with
+/// epoch <= E. Internally synchronized (one mutex, snapshot handout by
+/// shared_ptr copy), so readers never block each other and never observe a
+/// half-published version.
+template <typename T>
+class VersionRing {
+ public:
+  explicit VersionRing(size_t retention = 8)
+      : retention_(retention == 0 ? 1 : retention) {}
+
+  /// Keep at most `n` versions from now on (>= 1). Trims immediately.
+  void SetRetention(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    retention_ = n == 0 ? 1 : n;
+    Trim();
+  }
+
+  /// Publish `snapshot` as the state at `epoch`. Epochs must be pushed in
+  /// ascending order; the oldest version falls off past the retention cap.
+  void Publish(storage::Epoch epoch, std::shared_ptr<const T> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(Entry{epoch, std::move(snapshot)});
+    Trim();
+  }
+
+  /// Replace the newest snapshot in place, keeping its epoch — used when a
+  /// single-threaded mutator (plain Insert/Erase/Move outside an epoch'd
+  /// batch) changes state without committing a new engine epoch. Publishes
+  /// at epoch 0 when the ring is empty.
+  void Republish(std::shared_ptr<const T> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.empty()) {
+      entries_.push_back(Entry{0, std::move(snapshot)});
+    } else {
+      entries_.back().snapshot = std::move(snapshot);
+    }
+  }
+
+  /// Drop all history and restart the ring at (`epoch`, `snapshot`) — the
+  /// Build path: the initial state of a fresh base.
+  void Reset(storage::Epoch epoch, std::shared_ptr<const T> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    entries_.push_back(Entry{epoch, std::move(snapshot)});
+  }
+
+  /// Drop all history — the Compact path: the physical base changed, so
+  /// older delta versions no longer describe reachable states. Pinned
+  /// readers get OutOfRange until the writer publishes the post-compact
+  /// version.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+  /// The newest snapshot with epoch <= `read_epoch` (kLatestEpoch pins the
+  /// newest overall). OutOfRange when `read_epoch` predates the retention
+  /// window — the caller's snapshot has been retired and it must re-pin.
+  Result<std::shared_ptr<const T>> At(storage::Epoch read_epoch) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->epoch <= read_epoch) return it->snapshot;
+    }
+    return Status::OutOfRange(
+        "VersionRing: read epoch retired (older than the retention window)");
+  }
+
+  /// The newest snapshot, or nullptr when nothing was ever published.
+  std::shared_ptr<const T> Latest() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.empty() ? nullptr : entries_.back().snapshot;
+  }
+
+  /// The newest published epoch (0 when empty).
+  storage::Epoch LatestEpoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.empty() ? 0 : entries_.back().epoch;
+  }
+
+  size_t NumVersions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    storage::Epoch epoch = 0;
+    std::shared_ptr<const T> snapshot;
+  };
+
+  void Trim() {
+    while (entries_.size() > retention_) entries_.erase(entries_.begin());
+  }
+
+  mutable std::mutex mu_;
+  size_t retention_;
+  std::vector<Entry> entries_;
 };
 
 }  // namespace engine

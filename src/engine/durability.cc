@@ -10,6 +10,7 @@ namespace engine {
 namespace {
 
 constexpr size_t kOpBytes = 40;
+constexpr size_t kElementBytes = 32;
 
 std::string BaseName(const std::string& dir) { return dir + "/base.ndb"; }
 std::string WalName(const std::string& dir) { return dir + "/wal.ndb"; }
@@ -39,7 +40,8 @@ Status DurabilityOptions::Validate() const {
 std::vector<uint8_t> EncodeUpdateBatch(
     std::span<const UpdateRequest> updates) {
   std::vector<uint8_t> out;
-  out.reserve(4 + updates.size() * kOpBytes);
+  out.reserve(8 + updates.size() * kOpBytes);
+  storage::EncodeU32(&out, kWalKindUpdateBatch);
   storage::EncodeU32(&out, static_cast<uint32_t>(updates.size()));
   for (const UpdateRequest& u : updates) {
     storage::EncodeU32(&out, static_cast<uint32_t>(u.kind));
@@ -57,16 +59,19 @@ std::vector<uint8_t> EncodeUpdateBatch(
 
 Result<std::vector<UpdateRequest>> DecodeUpdateBatch(
     const std::vector<uint8_t>& payload) {
-  if (payload.size() < 4) {
-    return Status::Corruption("update batch payload shorter than its count");
+  if (payload.size() < 8) {
+    return Status::Corruption("update batch payload shorter than its header");
   }
-  uint32_t count = storage::GetU32(payload.data());
-  if (payload.size() != 4 + static_cast<size_t>(count) * kOpBytes) {
+  if (storage::GetU32(payload.data()) != kWalKindUpdateBatch) {
+    return Status::Corruption("payload is not an update batch record");
+  }
+  uint32_t count = storage::GetU32(payload.data() + 4);
+  if (payload.size() != 8 + static_cast<size_t>(count) * kOpBytes) {
     return Status::Corruption("update batch payload length mismatch");
   }
   std::vector<UpdateRequest> out;
   out.reserve(count);
-  const uint8_t* p = payload.data() + 4;
+  const uint8_t* p = payload.data() + 8;
   for (uint32_t i = 0; i < count; ++i, p += kOpBytes) {
     uint32_t kind = storage::GetU32(p);
     if (kind > static_cast<uint32_t>(UpdateKind::kMove)) {
@@ -85,6 +90,60 @@ Result<std::vector<UpdateRequest>> DecodeUpdateBatch(
     out.push_back(u);
   }
   return out;
+}
+
+std::vector<uint8_t> EncodeLoadElements(
+    std::span<const geom::SpatialElement> elements) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + elements.size() * kElementBytes);
+  storage::EncodeU32(&out, kWalKindLoadElements);
+  storage::EncodeU32(&out, static_cast<uint32_t>(elements.size()));
+  for (const geom::SpatialElement& e : elements) {
+    storage::EncodeU64(&out, e.id);
+    storage::EncodeF32(&out, e.bounds.min.x);
+    storage::EncodeF32(&out, e.bounds.min.y);
+    storage::EncodeF32(&out, e.bounds.min.z);
+    storage::EncodeF32(&out, e.bounds.max.x);
+    storage::EncodeF32(&out, e.bounds.max.y);
+    storage::EncodeF32(&out, e.bounds.max.z);
+  }
+  return out;
+}
+
+Result<geom::ElementVec> DecodeLoadElements(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() < 8) {
+    return Status::Corruption("load payload shorter than its header");
+  }
+  if (storage::GetU32(payload.data()) != kWalKindLoadElements) {
+    return Status::Corruption("payload is not a load record");
+  }
+  uint32_t count = storage::GetU32(payload.data() + 4);
+  if (payload.size() != 8 + static_cast<size_t>(count) * kElementBytes) {
+    return Status::Corruption("load payload length mismatch");
+  }
+  geom::ElementVec out;
+  out.reserve(count);
+  const uint8_t* p = payload.data() + 8;
+  for (uint32_t i = 0; i < count; ++i, p += kElementBytes) {
+    geom::SpatialElement e;
+    e.id = storage::GetU64(p);
+    e.bounds.min.x = storage::GetF32(p + 8);
+    e.bounds.min.y = storage::GetF32(p + 12);
+    e.bounds.min.z = storage::GetF32(p + 16);
+    e.bounds.max.x = storage::GetF32(p + 20);
+    e.bounds.max.y = storage::GetF32(p + 24);
+    e.bounds.max.z = storage::GetF32(p + 28);
+    out.push_back(e);
+  }
+  return out;
+}
+
+Result<uint32_t> WalPayloadKind(const std::vector<uint8_t>& payload) {
+  if (payload.size() < 4) {
+    return Status::Corruption("WAL payload shorter than its kind tag");
+  }
+  return storage::GetU32(payload.data());
 }
 
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Create(
@@ -149,6 +208,11 @@ Status DurabilityManager::LogUpdates(storage::Epoch epoch,
   return wal_->Append(epoch, EncodeUpdateBatch(updates));
 }
 
+Status DurabilityManager::LogLoad(
+    storage::Epoch epoch, std::span<const geom::SpatialElement> elements) {
+  return wal_->Append(epoch, EncodeLoadElements(elements));
+}
+
 Status DurabilityManager::CheckpointBase(const geom::ElementVec& live,
                                          storage::Epoch epoch) {
   base_->Clear();
@@ -170,12 +234,32 @@ Status DurabilityManager::CheckpointBase(const geom::ElementVec& live,
 Status DurabilityManager::Replay(
     const std::function<Status(storage::Epoch,
                                const std::vector<UpdateRequest>&)>& fn,
-    storage::WriteAheadLog::ReplayStats* stats) {
+    storage::WriteAheadLog::ReplayStats* stats,
+    const std::function<Status(storage::Epoch, geom::ElementVec)>& load_fn) {
   return wal_->Replay(
       [&](const storage::WriteAheadLog::Record& record) -> Status {
-        auto ops = DecodeUpdateBatch(record.payload);
-        NEURODB_RETURN_NOT_OK(ops.status());
-        return fn(record.epoch, *ops);
+        auto kind = WalPayloadKind(record.payload);
+        NEURODB_RETURN_NOT_OK(kind.status());
+        switch (*kind) {
+          case kWalKindUpdateBatch: {
+            auto ops = DecodeUpdateBatch(record.payload);
+            NEURODB_RETURN_NOT_OK(ops.status());
+            return fn(record.epoch, *ops);
+          }
+          case kWalKindLoadElements: {
+            if (load_fn == nullptr) {
+              return Status::Corruption(
+                  "DurabilityManager::Replay: unexpected load record");
+            }
+            auto elements = DecodeLoadElements(record.payload);
+            NEURODB_RETURN_NOT_OK(elements.status());
+            return load_fn(record.epoch, std::move(*elements));
+          }
+          default:
+            return Status::Corruption(
+                "DurabilityManager::Replay: unknown WAL record kind " +
+                std::to_string(*kind));
+        }
       },
       stats);
 }

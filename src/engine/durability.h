@@ -82,13 +82,33 @@ struct RecoveryReport {
   uint64_t dropped_bytes = 0;
 };
 
-/// Serialize a batch: u32 count, then 40 bytes per op (u32 kind, u32
-/// reserved, u64 id, 6 × f32 bounds).
+/// WAL payload kinds: every record starts with a u32 discriminator so the
+/// log can carry more than update batches (docs/FILE_FORMAT.md).
+inline constexpr uint32_t kWalKindUpdateBatch = 1;
+inline constexpr uint32_t kWalKindLoadElements = 2;
+
+/// Serialize a batch: u32 kind (= kWalKindUpdateBatch), u32 count, then 40
+/// bytes per op (u32 op kind, u32 reserved, u64 id, 6 × f32 bounds).
 std::vector<uint8_t> EncodeUpdateBatch(std::span<const UpdateRequest> updates);
 
 /// Parse an EncodeUpdateBatch payload; malformed input is kCorruption.
 Result<std::vector<UpdateRequest>> DecodeUpdateBatch(
     const std::vector<uint8_t>& payload);
+
+/// Serialize an initial dataset: u32 kind (= kWalKindLoadElements), u32
+/// count, then 32 bytes per element (u64 id, 6 × f32 bounds). Logged by
+/// LoadElements before any backend builds, so an engine created empty (or
+/// crashed before its first checkpoint) recovers its birth dataset from
+/// the WAL.
+std::vector<uint8_t> EncodeLoadElements(
+    std::span<const geom::SpatialElement> elements);
+
+/// Parse an EncodeLoadElements payload; malformed input is kCorruption.
+Result<geom::ElementVec> DecodeLoadElements(
+    const std::vector<uint8_t>& payload);
+
+/// The kind discriminator of a WAL payload (kCorruption when too short).
+Result<uint32_t> WalPayloadKind(const std::vector<uint8_t>& payload);
 
 class DurabilityManager {
  public:
@@ -112,17 +132,28 @@ class DurabilityManager {
   Status LogUpdates(storage::Epoch epoch,
                     std::span<const UpdateRequest> updates);
 
+  /// Durably append the initial dataset as a load record (fsync'd on
+  /// return). Written at engine load, before backends build; the next
+  /// checkpoint truncates it away, so a healthy directory carries at most
+  /// one — and only until its first checkpoint completes.
+  Status LogLoad(storage::Epoch epoch,
+                 std::span<const geom::SpatialElement> elements);
+
   /// Rewrite base.ndb as `live` (must be ascending by id), commit its
   /// header at `epoch`, then truncate the WAL. Copy-on-write: a crash
   /// before the header commit leaves the previous base + full WAL intact.
   Status CheckpointBase(const geom::ElementVec& live, storage::Epoch epoch);
 
-  /// Replay every intact WAL record in order. Stops cleanly at the first
+  /// Replay every intact WAL record in order, dispatching by payload kind:
+  /// update batches to `fn`, load records to `load_fn` (rejected as
+  /// corruption when null and one is present). Stops cleanly at the first
   /// torn record; `stats` receives the scan summary.
   Status Replay(
       const std::function<Status(storage::Epoch,
                                  const std::vector<UpdateRequest>&)>& fn,
-      storage::WriteAheadLog::ReplayStats* stats);
+      storage::WriteAheadLog::ReplayStats* stats,
+      const std::function<Status(storage::Epoch, geom::ElementVec)>& load_fn =
+          nullptr);
 
   /// Physically drop bytes past the last intact record (call after Replay).
   Status TruncateTornTail() {

@@ -16,7 +16,8 @@ Status FlatBackend::ResetBase() {
   return Status::OK();
 }
 
-Status FlatBackend::BaseRangeQuery(const geom::Aabb& box,
+Status FlatBackend::BaseRangeQuery(storage::Epoch /*read_epoch*/,
+                                   const geom::Aabb& box,
                                    storage::PoolSet* pools,
                                    ResultVisitor& visitor,
                                    RangeStats* stats) const {
@@ -31,7 +32,8 @@ Status FlatBackend::BaseRangeQuery(const geom::Aabb& box,
   return Status::OK();
 }
 
-Status FlatBackend::BaseKnnQuery(const geom::Vec3& point, size_t k,
+Status FlatBackend::BaseKnnQuery(storage::Epoch /*read_epoch*/,
+                                 const geom::Vec3& point, size_t k,
                                  storage::PoolSet* pools,
                                  std::vector<geom::KnnHit>* hits,
                                  RangeStats* stats) const {

@@ -27,18 +27,23 @@ class FlatBackend : public BaseDeltaBackend {
   BackendStats Stats() const override;
 
   /// The wrapped index — SCOUT sessions crawl and prefetch through it.
+  /// Only valid when has_index(); an engine built empty (and populated
+  /// purely through updates) has no crawl layout until the first Compact.
   const flat::FlatIndex& index() const { return *index_; }
+
+  /// True when a built FLAT crawl layout exists (non-empty base).
+  bool has_index() const { return index_.has_value(); }
 
   const flat::FlatOptions& options() const { return options_; }
 
  protected:
   Status BuildBase(const geom::ElementVec& elements) override;
   Status ResetBase() override;
-  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                        ResultVisitor& visitor,
+  Status BaseRangeQuery(storage::Epoch read_epoch, const geom::Aabb& box,
+                        storage::PoolSet* pools, ResultVisitor& visitor,
                         RangeStats* stats) const override;
-  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
-                      storage::PoolSet* pools,
+  Status BaseKnnQuery(storage::Epoch read_epoch, const geom::Vec3& point,
+                      size_t k, storage::PoolSet* pools,
                       std::vector<geom::KnnHit>* hits,
                       RangeStats* stats) const override;
 

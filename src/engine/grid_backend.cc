@@ -105,7 +105,8 @@ Status GridBackend::ResetBase() {
   return Status::OK();
 }
 
-Status GridBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
+Status GridBackend::BaseRangeQuery(storage::Epoch /*read_epoch*/,
+                                   const Aabb& box, storage::PoolSet* pools,
                                    ResultVisitor& visitor,
                                    RangeStats* stats) const {
   if (pools == nullptr) {
@@ -189,7 +190,8 @@ Status GridBackend::ScanPage(size_t page_index, storage::BufferPool* pool,
   return Status::OK();
 }
 
-Status GridBackend::BaseKnnQuery(const Vec3& point, size_t k,
+Status GridBackend::BaseKnnQuery(storage::Epoch /*read_epoch*/,
+                                 const Vec3& point, size_t k,
                                  storage::PoolSet* pools,
                                  std::vector<geom::KnnHit>* hits,
                                  RangeStats* stats) const {

@@ -72,15 +72,15 @@ class GridBackend : public BaseDeltaBackend {
  protected:
   Status BuildBase(const geom::ElementVec& elements) override;
   Status ResetBase() override;
-  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                        ResultVisitor& visitor,
+  Status BaseRangeQuery(storage::Epoch read_epoch, const geom::Aabb& box,
+                        storage::PoolSet* pools, ResultVisitor& visitor,
                         RangeStats* stats) const override;
   /// Expanding cell-ring search: scan the query point's cell, then the
   /// shell of cells one ring further out, and so on; terminate once the
   /// k-th best distance provably covers everything outside the scanned
   /// block (accounting for the center-assignment widening margin).
-  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
-                      storage::PoolSet* pools,
+  Status BaseKnnQuery(storage::Epoch read_epoch, const geom::Vec3& point,
+                      size_t k, storage::PoolSet* pools,
                       std::vector<geom::KnnHit>* hits,
                       RangeStats* stats) const override;
 

@@ -22,6 +22,10 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "EngineOptions: session.pool_pages must be > 0");
   }
+  if (retained_versions == 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: retained_versions must be > 0");
+  }
   NEURODB_RETURN_NOT_OK(flat.Validate());
   NEURODB_RETURN_NOT_OK(grid.Validate());
   NEURODB_RETURN_NOT_OK(sharded.Validate());
@@ -42,6 +46,21 @@ QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
   backends_.push_back(std::move(rtree));
   backends_.push_back(std::move(grid));
   backends_.push_back(std::move(sharded));
+}
+
+QueryEngine::~QueryEngine() {
+  // Join the mutation worker first: an in-flight ApplyUpdatesAsync/
+  // CompactAsync still touches backends, the pool manager and the WAL.
+  // Then the lane pool (sharded_ holds a raw pointer into it).
+  mutation_pool_.reset();
+  thread_pool_.reset();
+}
+
+exec::ThreadPool* QueryEngine::MutationPool() {
+  std::call_once(mutation_pool_once_, [this] {
+    mutation_pool_ = std::make_unique<exec::ThreadPool>(1);
+  });
+  return mutation_pool_.get();
 }
 
 Status QueryEngine::RegisterBackend(std::unique_ptr<SpatialBackend> backend) {
@@ -94,9 +113,8 @@ Status QueryEngine::LoadElements(geom::ElementVec elements) {
     return Status::AlreadyExists("QueryEngine: circuit already loaded");
   }
   NEURODB_RETURN_NOT_OK(options_.Validate());
-  if (elements.empty()) {
-    return Status::InvalidArgument("QueryEngine: no elements");
-  }
+  // An empty set is a valid starting point: the engine is populated purely
+  // through ApplyUpdates (every backend builds with an empty base).
   return FinishLoad(std::move(elements));
 }
 
@@ -115,6 +133,14 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
           backend->AttachStores(durability_->BackendStoreFactory()));
     }
   }
+  // WAL-before-build: the birth dataset becomes durable before any backend
+  // (or the initial checkpoint below) depends on it. The checkpoint
+  // truncates the record away, so only an engine that crashes before its
+  // first checkpoint — notably one created *empty* and populated through
+  // updates — ever replays it.
+  if (durability_ != nullptr && !recovering_) {
+    NEURODB_RETURN_NOT_OK(durability_->LogLoad(0, elements));
+  }
 
   num_segments_ = elements.size();
   domain_ = Aabb();
@@ -131,6 +157,7 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
 
   for (auto& backend : backends_) {
     NEURODB_RETURN_NOT_OK(backend->Build(elements));
+    backend->SetVersionRetention(options_.retained_versions);
   }
 
   // Worker pool for batch lanes and shard fan-out.
@@ -166,6 +193,9 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
 
 Result<UpdateReport> QueryEngine::ApplyUpdates(
     std::span<const UpdateRequest> updates) {
+  // One committing batch at a time; readers are NOT excluded — they answer
+  // at their pinned epoch while this batch publishes the next one.
+  std::lock_guard<std::mutex> commit(commit_mu_);
   NEURODB_RETURN_NOT_OK(RequireLoaded("ApplyUpdates"));
   if (updates.empty()) {
     return Status::InvalidArgument("QueryEngine::ApplyUpdates: empty batch");
@@ -225,6 +255,8 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
     }
   }
 
+  const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
+
   // The batch becomes crash-proof BEFORE any backend mutates: the WAL
   // record (stamped with the epoch this batch will create) is fsync'd
   // here, so an acknowledged batch survives any later crash. If the append
@@ -232,91 +264,129 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
   // Replay routes the same batches back through this method with
   // recovering_ set — they are already on disk.
   if (durability_ != nullptr && !recovering_) {
-    NEURODB_RETURN_NOT_OK(durability_->LogUpdates(epoch_ + 1, updates));
+    NEURODB_RETURN_NOT_OK(durability_->LogUpdates(next, updates));
   }
 
-  // Built-in backends cannot fail Insert/Erase/Move once built; a custom
-  // backend that claims SupportsUpdates but errors mid-apply leaves the
-  // registry half-mutated — kAll parity would be silently broken forever,
-  // so the engine poisons itself instead (every later call fails loudly).
-  auto poison = [&](const Status& status) {
-    corrupted_ = true;
-    return Status::Internal(
-        "QueryEngine::ApplyUpdates: backend failed mid-apply, engine state "
-        "is inconsistent — discard this engine (" +
-        status.ToString() + ")");
-  };
-
+  // Dirty region + live-id map first (erase/move dirty needs the *old*
+  // bounds): writer-private bookkeeping, invisible to readers.
   UpdateReport report;
   for (const UpdateRequest& update : updates) {
     switch (update.kind) {
       case UpdateKind::kInsert:
-        for (auto& backend : backends_) {
-          Status applied = backend->Insert(update.id, update.bounds);
-          if (!applied.ok()) return poison(applied);
-        }
         report.dirty.Extend(update.bounds);
         live_bounds_[update.id] = update.bounds;
         ++num_segments_;
         break;
-      case UpdateKind::kErase: {
+      case UpdateKind::kErase:
         report.dirty.Extend(live_bounds_[update.id]);
-        for (auto& backend : backends_) {
-          Status applied = backend->Erase(update.id);
-          if (!applied.ok()) return poison(applied);
-        }
         live_bounds_.erase(update.id);
         --num_segments_;
         break;
-      }
-      case UpdateKind::kMove: {
+      case UpdateKind::kMove:
         report.dirty.Extend(live_bounds_[update.id]);
         report.dirty.Extend(update.bounds);
-        for (auto& backend : backends_) {
-          Status applied = backend->Move(update.id, update.bounds);
-          if (!applied.ok()) return poison(applied);
-        }
         live_bounds_[update.id] = update.bounds;
         break;
-      }
     }
     ++report.applied;
   }
 
-  // One epoch per batch: stamp reports, invalidate exactly the cached
-  // boxes intersecting the dirty region, and log the stamp for sessions.
-  epoch_ = pool_manager_->AdvanceEpoch();
-  uint64_t invalidated0 = result_cache_->stats().invalidated_boxes;
-  result_cache_->AdvanceEpoch(epoch_, report.dirty);
-  report.invalidated_boxes =
-      result_cache_->stats().invalidated_boxes - invalidated0;
-  update_log_.Append(epoch_, report.dirty);
-  report.epoch = epoch_;
+  // Built-in backends cannot fail ApplyBatch once built; a custom backend
+  // that claims SupportsUpdates but errors mid-apply leaves the registry
+  // half-mutated — kAll parity would be silently broken forever, so the
+  // engine poisons itself instead (every later call fails loudly).
+  // Each backend applies the whole batch to its pending delta, then
+  // publishes ONE immutable snapshot at the new epoch — readers pinned at
+  // `next - 1` keep resolving their retained version, readers arriving
+  // after the epoch store below see the new one.
+  std::vector<UpdateRequest> batch(updates.begin(), updates.end());
+  for (auto& backend : backends_) {
+    Status applied = backend->ApplyBatch(batch, next);
+    if (!applied.ok()) {
+      corrupted_.store(true, std::memory_order_release);
+      return Status::Internal(
+          "QueryEngine::ApplyUpdates: backend failed mid-apply, engine state "
+          "is inconsistent — discard this engine (" +
+          applied.ToString() + ")");
+    }
+  }
+
+  // Publication point: every backend has the new version, so the epoch may
+  // become visible. Readers that loaded the old epoch nanoseconds ago are
+  // fine — its snapshot stays retained.
+  pool_manager_->AdvanceEpochTo(next);
+  epoch_.store(next, std::memory_order_release);
+
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    uint64_t invalidated0 = result_cache_->stats().invalidated_boxes;
+    result_cache_->AdvanceEpoch(next, report.dirty);
+    report.invalidated_boxes =
+        result_cache_->stats().invalidated_boxes - invalidated0;
+  }
+  update_log_.Append(next, report.dirty);
+  report.epoch = next;
   return report;
 }
 
+std::future<Result<UpdateReport>> QueryEngine::ApplyUpdatesAsync(
+    std::vector<UpdateRequest> updates) {
+  return MutationPool()->Submit(
+      [this, batch = std::move(updates)]() -> Result<UpdateReport> {
+        return ApplyUpdates(batch);
+      });
+}
+
 Status QueryEngine::Compact() {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   NEURODB_RETURN_NOT_OK(RequireLoaded("Compact"));
-  for (auto& backend : backends_) {
-    NEURODB_RETURN_NOT_OK(backend->Compact());
+  const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
+  {
+    // Exclude readers for the rebuild: folding a delta replaces page
+    // layouts and clears every retained version — the one transition a
+    // pinned snapshot cannot survive. Queries and session steps hold this
+    // lock shared, so they are either fully before or fully after.
+    std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
+    for (auto& backend : backends_) {
+      NEURODB_RETURN_NOT_OK(backend->Compact());
+    }
+    // The physical page layout is new; every warm pool caches the old one.
+    // (Session pools re-fetch lazily through the store-epoch check.)
+    pool_manager_->EvictAll();
+    // Re-seed the version rings before the new epoch becomes visible: the
+    // first reader pinning `next` must find a snapshot to resolve.
+    for (auto& backend : backends_) {
+      backend->PublishVersion(next);
+    }
+    pool_manager_->AdvanceEpochTo(next);
+    epoch_.store(next, std::memory_order_release);
   }
-  // The physical page layout is new; every warm pool caches the old one.
-  pool_manager_->EvictAll();
   // Results are unchanged, so cached result boxes stay valid — only the
   // epoch stamp advances (the empty dirty box invalidates nothing).
-  epoch_ = pool_manager_->AdvanceEpoch();
-  result_cache_->AdvanceEpoch(epoch_, Aabb());
-  update_log_.Append(epoch_, Aabb());
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    result_cache_->AdvanceEpoch(next, Aabb());
+  }
+  update_log_.Append(next, Aabb());
   // Compaction is the durable checkpoint: base.ndb becomes the compacted
   // snapshot at the new epoch and the WAL empties.
   if (durability_ != nullptr) {
-    NEURODB_RETURN_NOT_OK(Checkpoint());
+    NEURODB_RETURN_NOT_OK(CheckpointLocked());
   }
   return Status::OK();
 }
 
+std::future<Status> QueryEngine::CompactAsync() {
+  return MutationPool()->Submit([this] { return Compact(); });
+}
+
 Status QueryEngine::Checkpoint() {
+  std::lock_guard<std::mutex> commit(commit_mu_);
   NEURODB_RETURN_NOT_OK(RequireLoaded("Checkpoint"));
+  return CheckpointLocked();
+}
+
+Status QueryEngine::CheckpointLocked() {
   if (durability_ == nullptr) {
     return Status::InvalidArgument(
         "QueryEngine::Checkpoint: engine is not durable (set "
@@ -329,9 +399,12 @@ Status QueryEngine::Checkpoint() {
             [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
               return a.id < b.id;
             });
-  NEURODB_RETURN_NOT_OK(durability_->CheckpointBase(live, epoch_));
+  NEURODB_RETURN_NOT_OK(durability_->CheckpointBase(
+      live, epoch_.load(std::memory_order_relaxed)));
   // Backend page files are derived data, but flushing them here makes a
-  // clean shutdown's directory fully consistent on disk.
+  // clean shutdown's directory fully consistent on disk. Flushing mutates
+  // store internals, so readers sit out the (brief) write-back.
+  std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
   for (auto& backend : backends_) {
     for (storage::PageStore* store : backend->Stores()) {
       NEURODB_RETURN_NOT_OK(store->Flush());
@@ -356,6 +429,23 @@ Status QueryEngine::Recover(RecoveryReport* report) {
 
   NEURODB_ASSIGN_OR_RETURN(geom::ElementVec base, durability_->LoadBase());
   const storage::Epoch ckpt = durability_->checkpoint_epoch();
+
+  // An engine that crashed before its first checkpoint has an empty
+  // base.ndb — its birth dataset lives in the WAL's load record instead
+  // (FinishLoad logs it before building). Pre-scan for it so the backends
+  // build over the right base; the main replay below then skips it.
+  if (base.empty() && ckpt == 0) {
+    storage::WriteAheadLog::ReplayStats scan;
+    NEURODB_RETURN_NOT_OK(durability_->Replay(
+        [](storage::Epoch, const std::vector<UpdateRequest>&) {
+          return Status::OK();
+        },
+        &scan,
+        [&base](storage::Epoch, geom::ElementVec elements) {
+          base = std::move(elements);
+          return Status::OK();
+        }));
+  }
   const size_t base_elements = base.size();
 
   // Rebuild every backend over the checkpointed snapshot through the
@@ -371,29 +461,31 @@ Status QueryEngine::Recover(RecoveryReport* report) {
   // Resume at the persisted epoch: recovery must never hand out an epoch
   // the previous incarnation already stamped onto results.
   pool_manager_->AdvanceEpochTo(ckpt);
-  epoch_ = pool_manager_->epoch();
-  result_cache_->AdvanceEpoch(epoch_, Aabb());
+  epoch_.store(pool_manager_->epoch(), std::memory_order_release);
+  result_cache_->AdvanceEpoch(epoch(), Aabb());
 
   // Replay the WAL tail through ApplyUpdates. Records at or below the
   // checkpoint epoch are already folded into base.ndb (a crash between a
   // checkpoint's base commit and its WAL truncate leaves them behind);
   // past that, epochs must run consecutively or the log is damaged in a
-  // way a torn tail cannot explain.
+  // way a torn tail cannot explain. A load record was consumed by the
+  // pre-scan above (or is covered by a later checkpoint) — skip it.
   size_t batches = 0;
   storage::WriteAheadLog::ReplayStats stats;
   Status replayed = durability_->Replay(
       [&](storage::Epoch e, const std::vector<UpdateRequest>& ops) -> Status {
         if (e <= ckpt) return Status::OK();
-        if (e != epoch_ + 1) {
+        if (e != epoch() + 1) {
           return Status::Corruption(
               "QueryEngine::Open: WAL record at epoch " + std::to_string(e) +
-              " does not follow engine epoch " + std::to_string(epoch_));
+              " does not follow engine epoch " + std::to_string(epoch()));
         }
         NEURODB_RETURN_NOT_OK(ApplyUpdates(ops).status());
         ++batches;
         return Status::OK();
       },
-      &stats);
+      &stats,
+      [](storage::Epoch, geom::ElementVec) { return Status::OK(); });
   recovering_ = false;
   NEURODB_RETURN_NOT_OK(replayed);
 
@@ -519,6 +611,15 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
   const bool parity_check = selected.size() > 1;
   std::vector<std::vector<ElementId>> id_sets;
 
+  // The snapshot pin: resolve "latest" ONCE, before the first backend
+  // runs, so every backend (and the parity check across them) answers the
+  // same epoch even while a concurrent ApplyUpdates publishes the next.
+  const storage::Epoch pinned =
+      request.read_epoch == storage::kLatestEpoch
+          ? epoch_.load(std::memory_order_acquire)
+          : request.read_epoch;
+  report->epoch = pinned;
+
   report->rows.reserve(selected.size());
   for (size_t k = 0; k < selected.size(); ++k) {
     const SpatialBackend* backend = selected[k];
@@ -535,12 +636,15 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
       geom::VectorVisitor ids(&id_sets.back());
       // The primary backend additionally streams to the caller.
       geom::TeeVisitor tee(k == 0 ? visitor : nullptr, &ids);
-      status = backend->RangeQuery(request.box, pool, tee, &row.stats);
+      status = backend->RangeQueryAt(pinned, request.box, pool, tee,
+                                     &row.stats);
     } else if (visitor != nullptr) {
-      status = backend->RangeQuery(request.box, pool, *visitor, &row.stats);
+      status = backend->RangeQueryAt(pinned, request.box, pool, *visitor,
+                                     &row.stats);
     } else {
       geom::CountingVisitor count;
-      status = backend->RangeQuery(request.box, pool, count, &row.stats);
+      status = backend->RangeQueryAt(pinned, request.box, pool, count,
+                                     &row.stats);
     }
     NEURODB_RETURN_NOT_OK(status);
 
@@ -551,7 +655,6 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
 
   report->results = report->rows.empty() ? 0 : report->rows[0].stats.results;
   report->results_match = true;
-  report->epoch = epoch_;
   if (parity_check) {
     for (auto& ids : id_sets) std::sort(ids.begin(), ids.end());
     for (size_t k = 1; k < id_sets.size(); ++k) {
@@ -566,7 +669,11 @@ Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
                                  SimClock* clock, KnnReport* report) const {
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   const bool parity_check = selected.size() > 1;
-  report->epoch = epoch_;
+  const storage::Epoch pinned =
+      request.read_epoch == storage::kLatestEpoch
+          ? epoch_.load(std::memory_order_acquire)
+          : request.read_epoch;
+  report->epoch = pinned;
 
   report->rows.reserve(selected.size());
   for (size_t k = 0; k < selected.size(); ++k) {
@@ -578,8 +685,8 @@ Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
     uint64_t t0 = clock->NowMicros();
 
     std::vector<geom::KnnHit> hits;
-    NEURODB_RETURN_NOT_OK(
-        backend->KnnQuery(request.point, request.k, pool, &hits, &row.stats));
+    NEURODB_RETURN_NOT_OK(backend->KnnQueryAt(pinned, request.point, request.k,
+                                              pool, &hits, &row.stats));
 
     row.stats.time_us = clock->NowMicros() - t0;
     report->rows.push_back(std::move(row));
@@ -601,6 +708,9 @@ const SpatialBackend* QueryEngine::DeltaBackend(
       !cache->enabled()) {
     return nullptr;
   }
+  // Cached entries are only valid at the cache's live epoch — a request
+  // explicitly pinned elsewhere must really execute.
+  if (request.read_epoch != storage::kLatestEpoch) return nullptr;
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   return selected.size() == 1 ? selected[0] : nullptr;
 }
@@ -618,6 +728,13 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
   uint64_t t0 = clock->NowMicros();
   storage::IoStats io0 = backend->IoTotals();
 
+  // Pin residual queries at the cache's epoch, not the engine's: every
+  // resident entry is valid exactly there, so covered fragments and
+  // residual answers merge into one consistent snapshot even if a writer
+  // published a newer version mid-plan. (The caller holds cache_mu_, so
+  // the cache epoch cannot advance under the plan.)
+  const storage::Epoch pinned = cache->epoch();
+
   cache::DeltaPlan plan;
   NEURODB_ASSIGN_OR_RETURN(
       geom::ElementVec merged,
@@ -625,8 +742,8 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
           *cache, request.box,
           [&](const Aabb& residual, CollectingVisitor* out) {
             RangeStats residual_stats;
-            NEURODB_RETURN_NOT_OK(
-                backend->RangeQuery(residual, pool, *out, &residual_stats));
+            NEURODB_RETURN_NOT_OK(backend->RangeQueryAt(
+                pinned, residual, pool, *out, &residual_stats));
             row.stats.pages_read += residual_stats.pages_read;
             row.stats.elements_scanned += residual_stats.elements_scanned;
             return Status::OK();
@@ -645,7 +762,7 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
   report->rows.push_back(std::move(row));
   report->results = merged.size();
   report->results_match = true;
-  report->epoch = epoch_;
+  report->epoch = pinned;
   report->cache_hit_fraction = plan.covered_fraction;
   report->delta_volume_fraction = plan.residual_fraction;
 
@@ -657,11 +774,18 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
                                          ResultVisitor& visitor) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
   NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
+  // Shared with other readers and with ApplyUpdates; only Compact excludes
+  // us (it is the one writer that destroys pinned snapshots).
+  std::shared_lock<std::shared_mutex> read_lock(compact_mu_);
 
   RangeReport report;
   if (request.cache != CachePolicy::kCold) {
+    // The warm pools and the engine result cache are shared mutable state;
+    // warm requests take turns (cold requests below run fully concurrent).
+    std::lock_guard<std::mutex> warm_lock(warm_mu_);
     if (const SpatialBackend* backend =
             DeltaBackend(request, result_cache_.get())) {
+      std::lock_guard<std::mutex> cache_lock(cache_mu_);
       NEURODB_RETURN_NOT_OK(ExecuteDeltaOn(request, backend, &visitor,
                                            warm_pools_,
                                            pool_manager_->clock(),
@@ -689,9 +813,11 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request) {
 Result<KnnReport> QueryEngine::Execute(const KnnRequest& request) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
   NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
+  std::shared_lock<std::shared_mutex> read_lock(compact_mu_);
 
   KnnReport report;
   if (request.cache != CachePolicy::kCold) {
+    std::lock_guard<std::mutex> warm_lock(warm_mu_);
     NEURODB_RETURN_NOT_OK(
         ExecuteKnnOn(request, warm_pools_, pool_manager_->clock(), &report));
     return report;
@@ -759,6 +885,8 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
         request));
   }
 
+  std::shared_lock<std::shared_mutex> read_lock(compact_mu_);
+
   MixedBatchResult out;
   out.reports.resize(requests.size());
   out.aggregate.queries = requests.size();
@@ -778,6 +906,10 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
     // result cache — warm state survives across batches (kCold requests
     // still evict before executing). Counters and time are reported as
     // deltas over the batch, so the aggregate describes this batch alone.
+    // Both shared structures are held for the whole batch (lock order:
+    // compact_mu_ -> warm_mu_ -> cache_mu_).
+    std::lock_guard<std::mutex> warm_lock(warm_mu_);
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
     const std::vector<storage::PoolSet*>& pools = warm_pools_;
     SimClock* clock = pool_manager_->clock();
     uint64_t t0 = clock->NowMicros();
@@ -816,7 +948,7 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
     cache::ResultCache lane_cache(EffectiveResultCacheBoxes());
     // Private lane caches start empty but stamp entries at the engine's
     // current epoch (nothing to invalidate — the empty dirty box).
-    lane_cache.AdvanceEpoch(epoch_, Aabb());
+    lane_cache.AdvanceEpoch(epoch(), Aabb());
     BatchStats& local = lane_stats[lane.lane];
     NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(
         requests, lane.begin, lane.end, &lane_manager, pools,
@@ -880,6 +1012,13 @@ Result<touch::JoinResult> QueryEngine::Execute(const JoinRequest& request) {
 Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method,
                                          CachePolicy cache) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("OpenSession"));
+  // An engine created empty (LoadElements({})) never built a FLAT index:
+  // there is no crawl layout for a session to walk.
+  if (!flat_->has_index()) {
+    return Status::InvalidArgument(
+        "QueryEngine::OpenSession: the FLAT base is empty — an engine "
+        "populated purely through updates has no crawl layout to explore");
+  }
   scout::SessionOptions session_options = EffectiveSessionOptions();
   // The policy argument governs, both ways: kCold must yield a genuinely
   // cold session (the harness's cold baselines depend on it) even when the
@@ -891,12 +1030,14 @@ Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method,
   if (session_options.cache_results) {
     session_options.result_cache_boxes = options_.result_cache_boxes;
   }
-  // Engine sessions are delta-aware: they merge the FLAT backend's live
-  // delta into every step and replay the update log into their private
-  // result caches, so a session stays correct across ApplyUpdates (not
-  // across Compact, which rebuilds the page layout under its pool).
+  // Engine sessions are delta-aware: each step answers over the FLAT
+  // backend's newest *published* delta snapshot and replays the update log
+  // into the private result cache, so a session stays correct across
+  // ApplyUpdates. Steps hold compact_mu_ shared (Compact excludes them for
+  // the rebuild, after which the session re-fetches lazily through its
+  // pool's store-epoch check instead of failing).
   return Session::Open(&flat_->index(), flat_->store(), &resolver_, method,
-                       session_options, &flat_->delta(), &update_log_);
+                       session_options, flat_, &update_log_, &compact_mu_);
 }
 
 }  // namespace engine

@@ -31,8 +31,12 @@
 #ifndef NEURODB_ENGINE_QUERY_ENGINE_H_
 #define NEURODB_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -84,6 +88,13 @@ struct EngineOptions {
   /// kWarm/kDelta. (Sessions opened via Session::Open directly size their
   /// cache from scout::SessionOptions::result_cache_boxes instead.)
   size_t result_cache_boxes = 8;
+  /// Delta snapshot versions every backend retains for pinned readers
+  /// (RangeRequest::read_epoch): a reader pinned at most this many epochs
+  /// behind the newest ApplyUpdates still resolves; older pins get
+  /// kOutOfRange and should re-pin at the current epoch. Compact() retains
+  /// nothing across itself — it publishes a single post-compact version
+  /// (readers are excluded while it runs, so no in-flight pin is lost).
+  size_t retained_versions = 8;
   storage::DiskCostModel cost;
   /// Exploration session tuning (pool, think time, SCOUT knobs).
   scout::SessionOptions session;
@@ -133,6 +144,14 @@ struct RangeRequest {
   geom::Aabb box;
   BackendChoice backend = BackendChoice::kAll;
   CachePolicy cache = CachePolicy::kCold;
+  /// The data epoch to answer at. The default (storage::kLatestEpoch) pins
+  /// the request to the engine's current epoch at execution start — so one
+  /// request sees one consistent snapshot even while ApplyUpdates publishes
+  /// the next epoch concurrently. An explicit epoch within the retention
+  /// window (EngineOptions::retained_versions) replays that snapshot;
+  /// older epochs fail with kOutOfRange. Explicitly pinned requests bypass
+  /// the result-cache delta path (cached entries track the live epoch).
+  storage::Epoch read_epoch = storage::kLatestEpoch;
 };
 
 /// One backend's row of the live statistics panel (paper Figure 3).
@@ -171,6 +190,8 @@ struct KnnRequest {
   size_t k = 1;
   BackendChoice backend = BackendChoice::kAll;
   CachePolicy cache = CachePolicy::kCold;
+  /// Snapshot pin, exactly as RangeRequest::read_epoch.
+  storage::Epoch read_epoch = storage::kLatestEpoch;
 };
 
 /// Result of one kNN request.
@@ -259,9 +280,22 @@ struct MixedBatchResult {
 };
 
 /// The engine. Load a circuit once; execute typed requests against it.
+///
+/// Concurrency (docs/API.md "Concurrency & snapshots"): after load, any
+/// number of reader threads may call Execute/ExecuteBatch while one writer
+/// at a time runs ApplyUpdates — every query pins a read epoch at start and
+/// answers from that snapshot (backends retain the last
+/// EngineOptions::retained_versions delta versions). ApplyUpdates calls are
+/// serialized against each other; Compact excludes readers for the rebuild
+/// itself. ApplyUpdatesAsync/CompactAsync move the same work onto a
+/// dedicated exec::ThreadPool worker so the calling thread never blocks.
 class QueryEngine {
  public:
   explicit QueryEngine(EngineOptions options = EngineOptions());
+
+  /// Joins the worker pools first: in-flight async mutations and batch
+  /// lanes finish before any engine state is torn down.
+  ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
@@ -292,7 +326,11 @@ class QueryEngine {
   /// Load a bare element set (no morphology): every spatial backend is
   /// built, but join inputs are empty and SCOUT has no skeletons to
   /// extract. The differential harnesses use this to rebuild engines over
-  /// shrunken element subsets; ids must be unique.
+  /// shrunken element subsets; ids must be unique. An *empty* set is
+  /// allowed: the engine starts with no live elements and is populated
+  /// purely through ApplyUpdates (a durable engine WAL-logs the load set —
+  /// even the empty one — so Open recovers it before its first
+  /// checkpoint).
   Status LoadElements(geom::ElementVec elements);
 
   bool loaded() const { return loaded_; }
@@ -306,15 +344,30 @@ class QueryEngine {
   /// the batch's dirty region, and the update log gains one stamp (open
   /// delta-aware sessions catch up on their next step). Buffer pools are
   /// untouched — updates live in each backend's in-memory delta until
-  /// Compact().
+  /// Compact(). Thread-safe against concurrent readers: backends publish
+  /// the new delta version *before* the engine epoch advances, so a reader
+  /// pinned at either epoch sees a complete snapshot. Concurrent
+  /// ApplyUpdates calls serialize on an internal commit lock.
   Result<UpdateReport> ApplyUpdates(std::span<const UpdateRequest> updates);
+
+  /// ApplyUpdates off the calling thread: the batch runs on the engine's
+  /// mutation worker (started lazily) and the future carries the report.
+  /// The batch is copied in; ordering between concurrently submitted
+  /// batches follows the commit lock, exactly as concurrent ApplyUpdates.
+  std::future<Result<UpdateReport>> ApplyUpdatesAsync(
+      std::vector<UpdateRequest> updates);
 
   /// Fold every backend's delta into a rebuilt immutable base (same
   /// PageStore objects, fresh pages), evict the engine's warm pools (the
   /// physical layout changed; cached result boxes stay — answers are
-  /// unchanged) and advance the epoch. Sessions opened before a Compact
-  /// are invalidated: their private pools cache the old layout — reopen.
+  /// unchanged) and advance the epoch. Readers are excluded for the
+  /// rebuild itself (an exclusive lock held only across Compact); sessions
+  /// opened before a Compact *survive* it — their pools re-fetch lazily
+  /// through the store-epoch check (storage::BufferPool::store_epoch).
   Status Compact();
+
+  /// Compact off the calling thread, on the engine's mutation worker.
+  std::future<Status> CompactAsync();
 
   /// Durable engines only: rewrite base.ndb as the current live set at the
   /// current epoch and truncate the WAL — without folding backend deltas
@@ -325,8 +378,11 @@ class QueryEngine {
   /// LoadCircuit/LoadElements and after Compact).
   size_t DeltaSize() const;
 
-  /// The current data epoch (0 until the first ApplyUpdates).
-  storage::Epoch epoch() const { return epoch_; }
+  /// The current data epoch (0 until the first ApplyUpdates). Safe to call
+  /// from any thread; the value a concurrent reader should pin at.
+  storage::Epoch epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   /// The applied-batch history (epoch + dirty region per batch).
   const UpdateLog& update_log() const { return update_log_; }
@@ -369,7 +425,10 @@ class QueryEngine {
   /// the engine must outlive every Session it hands out. `cache` kWarm or
   /// kDelta gives the session a result cache: overlapping steps are
   /// answered by delta decomposition and the prefetcher's predicted next
-  /// box is evaluated into the cache during think time.
+  /// box is evaluated into the cache during think time. Sessions survive
+  /// Compact(): each step re-checks the store's layout epoch and lazily
+  /// re-fetches through its pool instead of failing. Requires a non-empty
+  /// FLAT base (an engine created empty has no crawl layout to explore).
   Result<Session> OpenSession(
       scout::PrefetchMethod method = scout::PrefetchMethod::kScout,
       CachePolicy cache = CachePolicy::kCold);
@@ -420,6 +479,13 @@ class QueryEngine {
   Status RequireLoaded(const char* op) const;
   /// The body of Open on a constructed engine: attach, load base, replay.
   Status Recover(RecoveryReport* report);
+  /// Checkpoint body without re-acquiring commit_mu_ (Compact holds it).
+  Status CheckpointLocked();
+  /// The single-threaded mutation worker behind the Async entry points,
+  /// started on first use. Deliberately separate from thread_pool_: a
+  /// mutation task blocks on commit/compact locks, and parking it on the
+  /// query pool could starve the batch lanes a Compact is waiting out.
+  exec::ThreadPool* MutationPool();
   /// The shared tail of LoadCircuit/LoadElements: build every backend over
   /// `elements`, start the worker pool, create the persistent pool manager,
   /// result cache and live-id map.
@@ -494,7 +560,8 @@ class QueryEngine {
   bool loaded_ = false;
   /// A backend failed mid-ApplyUpdates: the registry is half-mutated and
   /// kAll parity is unrecoverable — every later call fails loudly.
-  bool corrupted_ = false;
+  /// (Atomic: readers check it without holding the commit lock.)
+  std::atomic<bool> corrupted_{false};
   neuro::SegmentResolver resolver_;
   touch::JoinInput axons_;
   touch::JoinInput dendrites_;
@@ -504,12 +571,36 @@ class QueryEngine {
   /// The mutable-circuit bookkeeping: current bounds of every live element
   /// (update validation + exact dirty regions for erase/move), the engine
   /// epoch, and the applied-batch history sessions catch up on.
+  /// live_bounds_/num_segments_ are written under commit_mu_ only; the
+  /// epoch is the reader-visible publication point (stored with release
+  /// *after* every backend published the new delta version).
   std::unordered_map<geom::ElementId, geom::Aabb> live_bounds_;
-  storage::Epoch epoch_ = 0;
+  std::atomic<storage::Epoch> epoch_{0};
   UpdateLog update_log_;
+
+  /// Writer serialization: every ApplyUpdates/Compact/Checkpoint holds it
+  /// for its whole commit. Never held while waiting on query results.
+  std::mutex commit_mu_;
+  /// Reader/compactor exclusion: queries and session steps hold it shared,
+  /// Compact holds it exclusive across the base rebuild + republish (the
+  /// one window where pinned snapshots genuinely cease to exist).
+  /// ApplyUpdates does NOT take it — reads and writes overlap.
+  mutable std::shared_mutex compact_mu_;
+  /// Serializes the warm path (persistent pools + engine result cache):
+  /// BufferPool/SimClock are not internally synchronized, so concurrent
+  /// kWarm/kDelta requests take turns. Cold requests run on private pools
+  /// and only share the backend snapshots — fully concurrent.
+  std::mutex warm_mu_;
+  /// Guards result_cache_ (innermost lock: taken by the delta path under
+  /// warm_mu_, and by ApplyUpdates under commit_mu_).
+  std::mutex cache_mu_;
 
   /// Worker pool for ExecuteBatch lanes and shard fan-out (num_threads > 1).
   std::unique_ptr<exec::ThreadPool> thread_pool_;
+  /// Single-threaded pool behind ApplyUpdatesAsync/CompactAsync (lazy; see
+  /// MutationPool()).
+  std::unique_ptr<exec::ThreadPool> mutation_pool_;
+  std::once_flag mutation_pool_once_;
 
   /// Persistent warm-path state (kWarm / kDelta): one named pool set per
   /// backend inside the manager, surviving across Execute and serial

@@ -18,7 +18,8 @@ Status PagedRTreeBackend::ResetBase() {
   return Status::OK();
 }
 
-Status PagedRTreeBackend::BaseRangeQuery(const geom::Aabb& box,
+Status PagedRTreeBackend::BaseRangeQuery(storage::Epoch /*read_epoch*/,
+                                         const geom::Aabb& box,
                                          storage::PoolSet* pools,
                                          ResultVisitor& visitor,
                                          RangeStats* stats) const {
@@ -34,7 +35,8 @@ Status PagedRTreeBackend::BaseRangeQuery(const geom::Aabb& box,
   return Status::OK();
 }
 
-Status PagedRTreeBackend::BaseKnnQuery(const geom::Vec3& point, size_t k,
+Status PagedRTreeBackend::BaseKnnQuery(storage::Epoch /*read_epoch*/,
+                                       const geom::Vec3& point, size_t k,
                                        storage::PoolSet* pools,
                                        std::vector<geom::KnnHit>* hits,
                                        RangeStats* stats) const {

@@ -34,11 +34,11 @@ class PagedRTreeBackend : public BaseDeltaBackend {
  protected:
   Status BuildBase(const geom::ElementVec& elements) override;
   Status ResetBase() override;
-  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                        ResultVisitor& visitor,
+  Status BaseRangeQuery(storage::Epoch read_epoch, const geom::Aabb& box,
+                        storage::PoolSet* pools, ResultVisitor& visitor,
                         RangeStats* stats) const override;
-  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
-                      storage::PoolSet* pools,
+  Status BaseKnnQuery(storage::Epoch read_epoch, const geom::Vec3& point,
+                      size_t k, storage::PoolSet* pools,
                       std::vector<geom::KnnHit>* hits,
                       RangeStats* stats) const override;
 

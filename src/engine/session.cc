@@ -13,8 +13,9 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
                               const neuro::SegmentResolver* resolver,
                               scout::PrefetchMethod method,
                               scout::SessionOptions options,
-                              const DeltaIndex* delta,
-                              const UpdateLog* update_log) {
+                              const BaseDeltaBackend* delta_source,
+                              const UpdateLog* update_log,
+                              std::shared_mutex* read_lock) {
   if (index == nullptr || store == nullptr) {
     return Status::InvalidArgument("Session: null index or store");
   }
@@ -26,7 +27,12 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
   session.index_ = index;
   session.store_ = store;
   session.store_epoch_at_open_ = store->epoch();
-  session.delta_ = delta;
+  session.delta_source_ = delta_source;
+  if (delta_source != nullptr) {
+    session.snap_ = delta_source->LatestDelta();
+    session.delta_ = session.snap_.delta.get();
+  }
+  session.read_lock_ = read_lock;
   session.update_log_ = update_log;
   // Updates applied before the session opened are already part of every
   // answer it will compute — only *future* stamps need cache catch-up.
@@ -66,25 +72,48 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
 void Session::CatchUpInvalidations() {
   if (update_log_ == nullptr) return;
   if (cache_ != nullptr) {
-    for (size_t i = log_seen_; i < update_log_->size(); ++i) {
-      const EpochStamp& stamp = update_log_->stamp(i);
+    for (const EpochStamp& stamp : update_log_->StampsSince(log_seen_)) {
       cache_->AdvanceEpoch(stamp.epoch, stamp.dirty);
+      ++log_seen_;
     }
+  } else {
+    log_seen_ = update_log_->size();
   }
-  log_seen_ = update_log_->size();
 }
 
 Result<scout::StepRecord> Session::RunStep(
     const std::function<Status(std::vector<geom::ElementId>* ids,
                                geom::Aabb* prefetch_box)>& query) {
-  // A compaction rebuilt the page layout under this session's pool: its
-  // cached pages (and the index structures captured at Open) describe a
-  // layout that no longer exists. Fail fast — silent stale reads are the
-  // one outcome a versioned store must rule out.
+  // Engine-owned sessions hold the compaction lock shared for the whole
+  // step: queries run concurrently with ApplyUpdates (snapshot below), but
+  // never against a page layout Compact is mid-way through rebuilding.
+  std::shared_lock<std::shared_mutex> read_lock;
+  if (read_lock_ != nullptr) {
+    read_lock = std::shared_lock<std::shared_mutex>(*read_lock_);
+  }
+
+  // A compaction rebuilt the page layout since the last step. The rebuilt
+  // base answers every query identically (compaction folds the delta in
+  // without changing the live set), the pool evicts its stale pages
+  // through the same store-epoch check, and the FLAT index was rebuilt in
+  // place — so simply adopt the new layout and carry on. The one layout a
+  // session cannot adopt is no layout at all: a base compacted down to
+  // zero elements has no crawl pages left to explore.
   if (store_ != nullptr && store_->epoch() != store_epoch_at_open_) {
-    return Status::InvalidArgument(
-        "Session::Step: page store compacted since the session opened — "
-        "reopen the session");
+    if (delta_source_ != nullptr && delta_source_->base_empty()) {
+      return Status::InvalidArgument(
+          "Session::Step: the base compacted down to empty — there is no "
+          "crawl layout left to explore; repopulate and reopen");
+    }
+    store_epoch_at_open_ = store_->epoch();
+  }
+
+  // Pin the newest published delta snapshot for the duration of the step:
+  // every merge below sees one immutable delta even while ApplyUpdates
+  // publishes newer versions concurrently.
+  if (delta_source_ != nullptr) {
+    snap_ = delta_source_->LatestDelta();
+    delta_ = snap_.delta.get();
   }
 
   // Before answering: drop cached boxes whose region updates dirtied since

@@ -21,25 +21,35 @@
 // so a correctly predicted step stalls for nothing.
 //
 // Sessions opened by QueryEngine::OpenSession are additionally *delta-
-// aware*: they borrow the FLAT backend's DeltaIndex and the engine's
-// UpdateLog, so every step merges the immutable crawl layout with the live
-// updates (tombstones filtered, inserts appended), stamps its StepRecord
-// with the epoch it answered at, and — before querying — replays any update
-// stamps it has not yet seen to invalidate exactly the cached boxes whose
-// region went dirty. A cached session therefore stays byte-identical to a
-// cold one across ApplyUpdates. (QueryEngine::Compact rebuilds page
-// layouts; sessions opened before a compaction are invalidated — reopen.)
+// aware*: each step pins the FLAT backend's newest published delta
+// snapshot (BaseDeltaBackend::LatestDelta) and merges the immutable crawl
+// layout with it (tombstones filtered, inserts appended), stamps its
+// StepRecord with the snapshot's epoch, and — before querying — replays
+// any UpdateLog stamps it has not yet seen to invalidate exactly the
+// cached boxes whose region went dirty. A cached session therefore stays
+// byte-identical to a cold one across ApplyUpdates.
+//
+// Sessions also *survive* QueryEngine::Compact: each step re-reads the
+// store's layout epoch, and when a compaction rebuilt the pages the
+// session simply adopts the new layout — its buffer pool already evicts
+// stale pages through the same store-epoch check
+// (storage::BufferPool::store_epoch), and cached result boxes stay valid
+// because compaction never changes answers. The one unrecoverable case is
+// a base compacted down to nothing (every element erased, then Compact):
+// the FLAT index ceases to exist and Step reports it.
 
 #ifndef NEURODB_ENGINE_SESSION_H_
 #define NEURODB_ENGINE_SESSION_H_
 
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "cache/result_cache.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
+#include "engine/base_delta_backend.h"
 #include "engine/delta_index.h"
 #include "flat/flat_index.h"
 #include "geom/aabb.h"
@@ -61,17 +71,21 @@ namespace engine {
 class Session {
  public:
   /// Open a session over a FLAT-indexed dataset. `resolver` may be null
-  /// unless `method` is kScout. `delta` (the FLAT backend's live delta)
-  /// and `update_log` (the engine's applied-batch history) make the
-  /// session delta-aware; leaving them null gives the classic read-only
-  /// session over the base layout alone.
+  /// unless `method` is kScout. `delta_source` (the FLAT backend whose
+  /// published delta snapshots the session reads) and `update_log` (the
+  /// engine's applied-batch history) make the session delta-aware; leaving
+  /// them null gives the classic read-only session over the base layout
+  /// alone. `read_lock` (the engine's compaction lock) is held shared for
+  /// the duration of each step so a step never observes a half-rebuilt
+  /// page layout.
   static Result<Session> Open(const flat::FlatIndex* index,
                               storage::PageStore* store,
                               const neuro::SegmentResolver* resolver,
                               scout::PrefetchMethod method,
                               scout::SessionOptions options,
-                              const DeltaIndex* delta = nullptr,
-                              const UpdateLog* update_log = nullptr);
+                              const BaseDeltaBackend* delta_source = nullptr,
+                              const UpdateLog* update_log = nullptr,
+                              std::shared_mutex* read_lock = nullptr);
 
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
@@ -140,8 +154,11 @@ class Session {
   /// observed (no-op without an update log or a cache).
   void CatchUpInvalidations();
 
-  /// The epoch the session currently answers at (0 without an update log).
+  /// The epoch the session currently answers at: the epoch of the delta
+  /// snapshot pinned by the running step, else the update log's newest
+  /// epoch, else 0.
   uint64_t CurrentEpoch() const {
+    if (delta_source_ != nullptr) return snap_.epoch;
     return update_log_ != nullptr ? update_log_->epoch() : 0;
   }
 
@@ -152,13 +169,25 @@ class Session {
   size_t PrepopulateCache(size_t budget);
 
   const flat::FlatIndex* index_ = nullptr;
-  /// The crawl-page store the session pool caches, and its layout epoch at
-  /// Open — a later Compact rebuilds the layout under the pool, so steps
-  /// fail fast instead of serving stale cached pages.
+  /// The crawl-page store the session pool caches, and the layout epoch the
+  /// session last adopted — a Compact rebuilds the layout under the pool,
+  /// so each step compares epochs and lazily re-adopts the new layout (the
+  /// pool evicts its stale pages through the same check).
   const storage::PageStore* store_ = nullptr;
   storage::Epoch store_epoch_at_open_ = 0;
-  /// Live update overlay of the indexed dataset (null: read-only session).
+  /// The backend whose published delta snapshots the session steps against
+  /// (null: read-only session over the base alone).
+  const BaseDeltaBackend* delta_source_ = nullptr;
+  /// The delta snapshot pinned for the step currently executing — refreshed
+  /// at the top of every step, keeping the delta alive and immutable for
+  /// the step's whole merge even while ApplyUpdates publishes newer ones.
+  DeltaSnapshot snap_;
+  /// Borrowed view of snap_.delta (null: no delta / empty overlay). Query
+  /// helpers read this instead of touching delta_source_ directly.
   const DeltaIndex* delta_ = nullptr;
+  /// The engine's compaction lock, held shared across each step (null:
+  /// standalone session, no locking).
+  std::shared_mutex* read_lock_ = nullptr;
   /// Applied-batch history for cache invalidation catch-up (null: none).
   const UpdateLog* update_log_ = nullptr;
   /// Update stamps already replayed into the session cache.

@@ -78,6 +78,18 @@ std::vector<size_t> ShardedBackend::SelectShards(const Aabb& box) const {
   return selected;
 }
 
+std::vector<size_t> ShardedBackend::SelectShardsIn(
+    const Aabb& box, const ShardRouting& routing) const {
+  std::vector<size_t> selected;
+  for (size_t s = 0; s < routing.bounds.size(); ++s) {
+    if (routing.sizes[s] == 0) continue;
+    if (routing.bounds[s].IsValid() && box.Intersects(routing.bounds[s])) {
+      selected.push_back(s);
+    }
+  }
+  return selected;
+}
+
 Status ShardedBackend::Build(const geom::ElementVec& elements) {
   if (built_) {
     return Status::AlreadyExists("ShardedBackend: already built");
@@ -85,7 +97,35 @@ Status ShardedBackend::Build(const geom::ElementVec& elements) {
   NEURODB_RETURN_NOT_OK(options_.Validate());
   NEURODB_RETURN_NOT_OK(BuildBase(elements));
   built_ = true;
+  // The initial version at epoch 0: spill delta (empty), routing snapshot;
+  // each shard published its own initial version inside its Build.
+  PublishVersion(0);
   return Status::OK();
+}
+
+void ShardedBackend::PublishVersion(storage::Epoch epoch) {
+  BaseDeltaBackend::PublishVersion(epoch);  // the spill delta
+  for (auto& shard : shards_) shard->PublishVersion(epoch);
+  // The routing snapshot is tiny (<= 256 boxes), so it publishes
+  // unconditionally — no revision bookkeeping for bounds extensions.
+  routing_versions_.Publish(epoch, MakeRouting());
+}
+
+void ShardedBackend::RepublishLatest() {
+  BaseDeltaBackend::RepublishLatest();
+  for (auto& shard : shards_) shard->RepublishLatest();
+  routing_versions_.Republish(MakeRouting());
+}
+
+void ShardedBackend::SetVersionRetention(size_t versions) {
+  BaseDeltaBackend::SetVersionRetention(versions);
+  for (auto& shard : shards_) shard->SetVersionRetention(versions);
+  routing_versions_.SetRetention(versions);
+}
+
+void ShardedBackend::ResetDeltaVersions() {
+  BaseDeltaBackend::ResetDeltaVersions();
+  routing_versions_.Clear();
 }
 
 Status ShardedBackend::BuildBase(const geom::ElementVec& elements) {
@@ -150,7 +190,7 @@ size_t ShardedBackend::RouteByBounds(const Vec3& center) const {
   return static_cast<size_t>(-1);
 }
 
-Status ShardedBackend::Insert(geom::ElementId id, const Aabb& bounds) {
+Status ShardedBackend::InsertPending(geom::ElementId id, const Aabb& bounds) {
   NEURODB_RETURN_NOT_OK(RequireBuilt("Insert"));
   size_t s = RouteByBounds(bounds.Center());
   if (s == static_cast<size_t>(-1)) {
@@ -159,7 +199,7 @@ Status ShardedBackend::Insert(geom::ElementId id, const Aabb& bounds) {
     delta_.Insert(id, bounds);
     return Status::OK();
   }
-  NEURODB_RETURN_NOT_OK(shards_[s]->Insert(id, bounds));
+  NEURODB_RETURN_NOT_OK(shards_[s]->InsertPending(id, bounds));
   // The element's box may stick out of the median-split bounds; extending
   // them keeps both range selection and the kNN frontier's lower-bound
   // pruning conservative (bounds only ever grow between compactions).
@@ -169,7 +209,7 @@ Status ShardedBackend::Insert(geom::ElementId id, const Aabb& bounds) {
   return Status::OK();
 }
 
-Status ShardedBackend::Erase(geom::ElementId id) {
+Status ShardedBackend::ErasePending(geom::ElementId id) {
   NEURODB_RETURN_NOT_OK(RequireBuilt("Erase"));
   auto it = id_to_shard_.find(id);
   if (it == id_to_shard_.end()) {
@@ -179,15 +219,15 @@ Status ShardedBackend::Erase(geom::ElementId id) {
     return Status::OK();
   }
   size_t s = it->second;
-  NEURODB_RETURN_NOT_OK(shards_[s]->Erase(id));
+  NEURODB_RETURN_NOT_OK(shards_[s]->ErasePending(id));
   if (shard_sizes_[s] > 0) --shard_sizes_[s];
   id_to_shard_.erase(it);
   return Status::OK();
 }
 
-Status ShardedBackend::Move(geom::ElementId id, const Aabb& bounds) {
-  NEURODB_RETURN_NOT_OK(Erase(id));
-  return Insert(id, bounds);
+Status ShardedBackend::MovePending(geom::ElementId id, const Aabb& bounds) {
+  NEURODB_RETURN_NOT_OK(ErasePending(id));
+  return InsertPending(id, bounds);
 }
 
 Status ShardedBackend::Compact() {
@@ -236,6 +276,9 @@ Status ShardedBackend::Compact() {
     shard_sizes_[s] = live[s].size();
   }
   delta_.Clear();
+  // Every shard's ring was cleared by its ReplaceBase; clear the spill and
+  // routing rings too. The engine publishes the post-compact version next.
+  ResetDeltaVersions();
   return Status::OK();
 }
 
@@ -252,7 +295,8 @@ std::vector<storage::PageStore*> ShardedBackend::Stores() {
   return stores;
 }
 
-Status ShardedBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
+Status ShardedBackend::BaseRangeQuery(storage::Epoch read_epoch,
+                                      const Aabb& box, storage::PoolSet* pools,
                                       ResultVisitor& visitor,
                                       RangeStats* stats) const {
   if (pools == nullptr) {
@@ -263,7 +307,16 @@ Status ShardedBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
         "ShardedBackend::RangeQuery: pool set size != shard count");
   }
 
-  std::vector<size_t> selected = SelectShards(box);
+  // Pinned readers select shards through the routing snapshot published at
+  // their epoch — the live bounds/sizes mutate under concurrent inserts.
+  std::vector<size_t> selected;
+  if (read_epoch == storage::kLatestEpoch) {
+    selected = SelectShards(box);
+  } else {
+    auto routing = routing_versions_.At(read_epoch);
+    NEURODB_RETURN_NOT_OK(routing.status());
+    selected = SelectShardsIn(box, **routing);
+  }
   if (selected.empty()) return Status::OK();
 
   // Serial path (no pool, a single shard, or already on a pool worker):
@@ -274,8 +327,8 @@ Status ShardedBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
     for (size_t s : selected) {
       storage::PoolSet shard_pool(pools->pool(s));
       RangeStats shard_stats;
-      NEURODB_RETURN_NOT_OK(shards_[s]->RangeQuery(
-          box, &shard_pool, visitor,
+      NEURODB_RETURN_NOT_OK(shards_[s]->RangeQueryAt(
+          read_epoch, box, &shard_pool, visitor,
           stats != nullptr ? &shard_stats : nullptr));
       if (stats != nullptr) {
         stats->pages_read += shard_stats.pages_read;
@@ -303,8 +356,8 @@ Status ShardedBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
     for (size_t i = lane.begin; i < lane.end; ++i) {
       size_t s = selected[i];
       storage::PoolSet shard_pool(pools->pool(s));
-      NEURODB_RETURN_NOT_OK(shards_[s]->RangeQuery(
-          box, &shard_pool, runs[i].out,
+      NEURODB_RETURN_NOT_OK(shards_[s]->RangeQueryAt(
+          read_epoch, box, &shard_pool, runs[i].out,
           stats != nullptr ? &runs[i].stats : nullptr));
     }
     return Status::OK();
@@ -322,7 +375,8 @@ Status ShardedBackend::BaseRangeQuery(const Aabb& box, storage::PoolSet* pools,
   return Status::OK();
 }
 
-Status ShardedBackend::BaseKnnQuery(const Vec3& point, size_t k,
+Status ShardedBackend::BaseKnnQuery(storage::Epoch read_epoch,
+                                    const Vec3& point, size_t k,
                                     storage::PoolSet* pools,
                                     std::vector<geom::KnnHit>* hits,
                                     RangeStats* stats) const {
@@ -342,6 +396,18 @@ Status ShardedBackend::BaseKnnQuery(const Vec3& point, size_t k,
   hits->clear();
   if (k == 0) return Status::OK();
 
+  // Pinned readers walk the frontier of their routing snapshot.
+  std::shared_ptr<const ShardRouting> pinned;
+  if (read_epoch != storage::kLatestEpoch) {
+    auto routing = routing_versions_.At(read_epoch);
+    NEURODB_RETURN_NOT_OK(routing.status());
+    pinned = *routing;
+  }
+  const std::vector<Aabb>& bounds =
+      pinned != nullptr ? pinned->bounds : shard_bounds_;
+  const std::vector<size_t>& sizes =
+      pinned != nullptr ? pinned->sizes : shard_sizes_;
+
   // Best-first over the shard frontier: visit shards by ascending distance
   // from the query point to the shard box (ties by shard id), and stop as
   // soon as the next shard cannot improve the current k-th hit. Prune
@@ -349,11 +415,11 @@ Status ShardedBackend::BaseKnnQuery(const Vec3& point, size_t k,
   // enter the answer (geom/knn.h).
   std::vector<std::pair<double, size_t>> frontier;
   frontier.reserve(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
+  for (size_t s = 0; s < bounds.size(); ++s) {
     // Population-based pruning: an empty shard can contribute nothing, so
     // it never enters the frontier even when its bounds are closest.
-    if (shard_sizes_[s] == 0 || !shard_bounds_[s].IsValid()) continue;
-    frontier.emplace_back(geom::KnnDistance(point, shard_bounds_[s]), s);
+    if (sizes[s] == 0 || !bounds[s].IsValid()) continue;
+    frontier.emplace_back(geom::KnnDistance(point, bounds[s]), s);
   }
   std::sort(frontier.begin(), frontier.end());
 
@@ -363,8 +429,8 @@ Status ShardedBackend::BaseKnnQuery(const Vec3& point, size_t k,
     storage::PoolSet shard_pool(pools->pool(s));
     std::vector<geom::KnnHit> shard_hits;
     RangeStats shard_stats;
-    NEURODB_RETURN_NOT_OK(shards_[s]->KnnQuery(
-        point, k, &shard_pool, &shard_hits,
+    NEURODB_RETURN_NOT_OK(shards_[s]->KnnQueryAt(
+        read_epoch, point, k, &shard_pool, &shard_hits,
         stats != nullptr ? &shard_stats : nullptr));
     for (const geom::KnnHit& hit : shard_hits) acc.Offer(hit.id, hit.distance);
     if (stats != nullptr) {

@@ -81,11 +81,21 @@ class ShardedBackend : public BaseDeltaBackend {
   void set_thread_pool(exec::ThreadPool* pool) { thread_pool_ = pool; }
 
   /// Route to the shard whose bounds contain the new center (extending the
-  /// shard's bounds over the new element), else to the spill delta.
-  Status Insert(geom::ElementId id, const geom::Aabb& bounds) override;
+  /// shard's bounds over the new element), else to the spill delta. These
+  /// are the pending (unpublished) building blocks; the inherited
+  /// Insert/Erase/Move wrappers add the republish, ApplyBatch adds the
+  /// per-epoch publish.
+  Status InsertPending(geom::ElementId id, const geom::Aabb& bounds) override;
   /// Route to the owning shard via the id map, else to the spill delta.
-  Status Erase(geom::ElementId id) override;
-  Status Move(geom::ElementId id, const geom::Aabb& bounds) override;
+  Status ErasePending(geom::ElementId id) override;
+  Status MovePending(geom::ElementId id, const geom::Aabb& bounds) override;
+
+  /// Cascade: spill delta (inherited), every shard, and the routing
+  /// snapshot (shard bounds + populations) readers pin along with the
+  /// deltas.
+  void PublishVersion(storage::Epoch epoch) override;
+  void RepublishLatest() override;
+  void SetVersionRetention(size_t versions) override;
 
   /// Fold every shard's delta in place and re-home spill elements into the
   /// shard whose bounds contain (or are nearest to) their center. Shard
@@ -134,15 +144,36 @@ class ShardedBackend : public BaseDeltaBackend {
   Status BuildBase(const geom::ElementVec& elements) override;
   Status ResetBase() override;
   bool retain_base_elements() const override { return false; }
-  Status BaseRangeQuery(const geom::Aabb& box, storage::PoolSet* pools,
-                        ResultVisitor& visitor,
+  void ResetDeltaVersions() override;
+  Status BaseRangeQuery(storage::Epoch read_epoch, const geom::Aabb& box,
+                        storage::PoolSet* pools, ResultVisitor& visitor,
                         RangeStats* stats) const override;
-  Status BaseKnnQuery(const geom::Vec3& point, size_t k,
-                      storage::PoolSet* pools,
+  Status BaseKnnQuery(storage::Epoch read_epoch, const geom::Vec3& point,
+                      size_t k, storage::PoolSet* pools,
                       std::vector<geom::KnnHit>* hits,
                       RangeStats* stats) const override;
 
  private:
+  /// The routing state a pinned reader resolves shard selection through: a
+  /// consistent (bounds, populations) pair as of one published epoch —
+  /// the live shard_bounds_/shard_sizes_ mutate under concurrent inserts.
+  struct ShardRouting {
+    std::vector<geom::Aabb> bounds;
+    std::vector<size_t> sizes;
+  };
+
+  /// A copy of the live routing state.
+  std::shared_ptr<const ShardRouting> MakeRouting() const {
+    auto routing = std::make_shared<ShardRouting>();
+    routing->bounds = shard_bounds_;
+    routing->sizes = shard_sizes_;
+    return routing;
+  }
+
+  /// SelectShards against an explicit routing view.
+  std::vector<size_t> SelectShardsIn(const geom::Aabb& box,
+                                     const ShardRouting& routing) const;
+
   /// The shard whose bounds contain `center` (lowest index wins), or
   /// npos when no shard covers it (the insert spills).
   size_t RouteByBounds(const geom::Vec3& center) const;
@@ -158,6 +189,9 @@ class ShardedBackend : public BaseDeltaBackend {
   /// elements are absent) — exact erase/move routing and truthful
   /// populations without cross-shard tombstones.
   std::unordered_map<geom::ElementId, uint32_t> id_to_shard_;
+  /// Published routing snapshots, one per committed epoch (mirrors the
+  /// delta version ring).
+  VersionRing<ShardRouting> routing_versions_;
 };
 
 }  // namespace engine

@@ -8,7 +8,22 @@ BufferPool::BufferPool(PageStore* store, size_t capacity_pages, SimClock* clock,
     : store_(store),
       capacity_(capacity_pages == 0 ? 1 : capacity_pages),
       clock_(clock),
-      cost_(cost) {}
+      cost_(cost),
+      store_epoch_(store != nullptr ? store->epoch() : 0) {}
+
+void BufferPool::RefreshIfStale() {
+  // Lazy pool-level epoch check: a store Reset (compaction rebuilt the
+  // page layout) bumps the store epoch, so every cached page is from a
+  // dead layout. Dropping them here lets long-lived consumers — sessions
+  // opened before the Compact — keep using the same pool and simply
+  // re-fetch, instead of failing fast.
+  if (store_ == nullptr) return;
+  const Epoch current = store_->epoch();
+  if (current == store_epoch_) return;
+  EvictAll();
+  stats_.Bump("pool.epoch_refreshes");
+  store_epoch_ = current;
+}
 
 void BufferPool::Touch(PageId id) {
   auto it = map_.find(id);
@@ -37,6 +52,7 @@ void BufferPool::Insert(PageId id) {
 }
 
 Result<const Page*> BufferPool::Fetch(PageId id) {
+  RefreshIfStale();
   auto it = map_.find(id);
   if (it != map_.end()) {
     Touch(id);
@@ -57,11 +73,14 @@ Result<const Page*> BufferPool::Fetch(PageId id) {
 }
 
 const Page* BufferPool::Peek(PageId id) const {
+  // Peek must not hand out a page cached from a pre-Reset layout.
+  const_cast<BufferPool*>(this)->RefreshIfStale();
   if (map_.find(id) == map_.end()) return nullptr;
   return store_->Peek(id);
 }
 
 Status BufferPool::Prefetch(PageId id) {
+  RefreshIfStale();
   if (map_.find(id) != map_.end()) {
     stats_.Bump("pool.prefetch_redundant");
     return Status::OK();

@@ -60,6 +60,12 @@ class BufferPool {
   /// Drop every cached page (cold cache). Prefetch markers are cleared too.
   void EvictAll();
 
+  /// The store epoch this pool's cached pages belong to. Fetch/Prefetch/
+  /// Peek evict everything and re-sync when the store's epoch has moved
+  /// (a Reset rebuilt the page layout) — the lazy pool-level epoch check
+  /// that lets sessions survive Compact.
+  Epoch store_epoch() const { return store_epoch_; }
+
   size_t NumCached() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
   const DiskCostModel& cost() const { return cost_; }
@@ -71,11 +77,14 @@ class BufferPool {
   void Touch(PageId id);
   void Insert(PageId id);
   void EvictIfFull();
+  void RefreshIfStale();
 
   PageStore* store_;
   size_t capacity_;
   SimClock* clock_;
   DiskCostModel cost_;
+  /// Store epoch the cached pages were read at (see store_epoch()).
+  Epoch store_epoch_ = 0;
 
   // Front = most recently used.
   std::list<PageId> lru_;

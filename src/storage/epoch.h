@@ -20,6 +20,11 @@ namespace storage {
 /// bumps it too — results are unchanged but the physical page layout is new.
 using Epoch = uint64_t;
 
+/// Sentinel read epoch: "the live, most recent state". A query pinned at
+/// kLatestEpoch reads the writer-visible pending delta rather than a
+/// published snapshot — the single-threaded fast path.
+inline constexpr Epoch kLatestEpoch = ~static_cast<Epoch>(0);
+
 }  // namespace storage
 }  // namespace neurodb
 

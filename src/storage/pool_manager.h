@@ -19,6 +19,7 @@
 #ifndef NEURODB_STORAGE_POOL_MANAGER_H_
 #define NEURODB_STORAGE_POOL_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -95,14 +96,21 @@ class PoolManager {
 
   /// Data version the manager's pools serve. The engine advances it once
   /// per applied update batch (and per compaction); results are stamped
-  /// with the epoch they answered at.
-  Epoch epoch() const { return epoch_; }
-  Epoch AdvanceEpoch() { return ++epoch_; }
+  /// with the epoch they answered at. Atomic: concurrent readers pin the
+  /// epoch while the writer commits the next one.
+  Epoch epoch() const { return epoch_.load(std::memory_order_acquire); }
+  Epoch AdvanceEpoch() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
   /// Fast-forward to at least `e` (recovery restores the persisted epoch);
   /// never moves backwards. Returns the resulting epoch.
   Epoch AdvanceEpochTo(Epoch e) {
-    if (e > epoch_) epoch_ = e;
-    return epoch_;
+    Epoch current = epoch_.load(std::memory_order_relaxed);
+    while (e > current &&
+           !epoch_.compare_exchange_weak(current, e,
+                                         std::memory_order_acq_rel)) {
+    }
+    return epoch_.load(std::memory_order_acquire);
   }
 
   /// One named ticker summed over every pool of every set.
@@ -114,7 +122,7 @@ class PoolManager {
   size_t default_pool_pages_;
   DiskCostModel cost_;
   SimClock clock_;
-  Epoch epoch_ = 0;
+  std::atomic<Epoch> epoch_{0};
   /// std::map keeps iteration deterministic (stats, EvictAll order).
   std::map<std::string, std::unique_ptr<PoolSet>> sets_;
   uint64_t sets_created_ = 0;

@@ -27,8 +27,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <functional>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -903,6 +906,276 @@ inline DiffOutcome RunUpdateParity(engine::QueryEngine* db,
     outcome.minimized_elements = outcome.minimized.size();
     outcome.shrunk = outcome.minimized_elements < elements.size();
   }
+  return outcome;
+}
+
+/// Concurrent reader/writer run configuration.
+struct ConcurrentReaderOptions {
+  /// Reader threads issuing kAll range/kNN queries while the writer runs.
+  size_t readers = 4;
+  size_t queries_per_reader = 48;
+  /// Scripted writer batches and their size.
+  size_t batches = 32;
+  size_t ops_per_batch = 6;
+  /// Applied batches between Compact() calls (0 = never compact).
+  size_t compact_every = 0;
+  /// Fraction of reader queries that are kNN instead of range.
+  double knn_fraction = 0.3;
+  /// A reader pinned at an epoch the writer has since retired from the
+  /// retention window gets kOutOfRange — it re-pins and retries, at most
+  /// this many times per query before reporting the query as failed.
+  size_t max_retries = 64;
+};
+
+/// Snapshot-read differential under real concurrency: one writer thread
+/// streams pre-scripted update batches through QueryEngine::ApplyUpdates
+/// (alternating the synchronous and the Async worker path, with optional
+/// periodic Compact) while `readers` threads issue BackendChoice::kAll
+/// range/kNN queries. Every reader records the epoch the engine pinned its
+/// query at; after both sides join, each recorded answer is checked against
+/// a brute-force oracle evaluated over the scripted live set *at that
+/// epoch* — so a query that raced ApplyUpdates must still have returned the
+/// byte-identical answer a quiesced engine at its pinned epoch would give.
+/// Cross-backend parity (results_match) is asserted per query as well.
+/// Designed to run under TSan: readers never synchronize with the writer
+/// except through the engine itself.
+inline DiffOutcome RunConcurrentReaders(engine::QueryEngine* db,
+                                        const geom::ElementVec& elements,
+                                        const ConcurrentReaderOptions& options,
+                                        uint64_t seed) {
+  DiffOutcome outcome;
+
+  // ---- Script the writer deterministically, before any thread starts:
+  // per batch the concrete update requests, plus the oracle live set after
+  // each batch (snapshot 0 = the initial load).
+  std::vector<std::vector<engine::UpdateRequest>> batches(options.batches);
+  std::vector<geom::ElementVec> snapshots;
+  {
+    geom::ElementVec live = elements;
+    std::sort(live.begin(), live.end(),
+              [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
+                return a.id < b.id;
+              });
+    snapshots.push_back(live);
+    geom::ElementId next_id = live.empty() ? 1 : live.back().id + 1;
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+    const geom::Aabb domain = db->domain();
+    std::uniform_real_distribution<float> ux(domain.min.x, domain.max.x);
+    std::uniform_real_distribution<float> uy(domain.min.y, domain.max.y);
+    std::uniform_real_distribution<float> uz(domain.min.z, domain.max.z);
+    const float extent = std::max(
+        {domain.max.x - domain.min.x, domain.max.y - domain.min.y,
+         domain.max.z - domain.min.z, 1.0f});
+    std::uniform_real_distribution<float> uside(0.02f * extent,
+                                                0.08f * extent);
+    for (auto& batch : batches) {
+      for (size_t op = 0; op < options.ops_per_batch; ++op) {
+        engine::UpdateRequest request;
+        uint64_t kind = rng() % 10;
+        if (live.empty() || kind < 4) {
+          request.kind = engine::UpdateKind::kInsert;
+          request.id = next_id++;
+          request.bounds =
+              geom::Aabb::Cube(geom::Vec3(ux(rng), uy(rng), uz(rng)),
+                               uside(rng));
+          live.emplace_back(request.id, request.bounds);
+        } else {
+          size_t idx = static_cast<size_t>(rng() % live.size());
+          request.id = live[idx].id;
+          if (kind < 7) {
+            request.kind = engine::UpdateKind::kErase;
+            live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+          } else {
+            request.kind = engine::UpdateKind::kMove;
+            request.bounds =
+                geom::Aabb::Cube(geom::Vec3(ux(rng), uy(rng), uz(rng)),
+                                 uside(rng));
+            live[idx].bounds = request.bounds;
+          }
+        }
+        batch.push_back(request);
+      }
+      snapshots.push_back(live);
+    }
+  }
+
+  // ---- Writer thread: applies the script and records which engine epoch
+  // corresponds to which oracle snapshot. Only the writer touches this map
+  // while threads run; the main thread reads it after join().
+  std::unordered_map<storage::Epoch, size_t> snapshot_at_epoch;
+  snapshot_at_epoch[db->epoch()] = 0;
+  std::string writer_error;
+  std::thread writer([&] {
+    size_t applied = 0;
+    for (size_t j = 0; j < batches.size(); ++j) {
+      Result<engine::UpdateReport> report =
+          (j % 2 == 0)
+              ? db->ApplyUpdates(std::span<const engine::UpdateRequest>(
+                    batches[j]))
+              : db->ApplyUpdatesAsync(batches[j]).get();
+      if (!report.ok()) {
+        writer_error = "ApplyUpdates failed at batch " + std::to_string(j) +
+                       ": " + report.status().ToString();
+        return;
+      }
+      snapshot_at_epoch[report->epoch] = j + 1;
+      ++applied;
+      if (options.compact_every > 0 &&
+          applied % options.compact_every == 0) {
+        Status compacted =
+            (j % 2 == 0) ? db->Compact() : db->CompactAsync().get();
+        if (!compacted.ok()) {
+          writer_error = "Compact failed after batch " + std::to_string(j) +
+                         ": " + compacted.ToString();
+          return;
+        }
+        // Compaction changes no answers — the new epoch answers from the
+        // same live set as the epoch before it.
+        snapshot_at_epoch[db->epoch()] = j + 1;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // ---- Reader threads: kAll cold queries, each recording the epoch the
+  // engine pinned it at plus its full sorted answer.
+  struct Observation {
+    storage::Epoch epoch = 0;
+    bool is_knn = false;
+    geom::Aabb box;
+    geom::Vec3 point;
+    size_t k = 0;
+    std::vector<geom::ElementId> ids;
+    std::vector<geom::KnnHit> hits;
+    bool backends_matched = true;
+    std::string error;  // non-retryable failure
+  };
+  std::vector<std::vector<Observation>> observed(options.readers);
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(options.readers);
+  for (size_t r = 0; r < options.readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 1000003ull * (r + 2));
+      const geom::Aabb domain = db->domain();
+      std::uniform_real_distribution<float> ux(domain.min.x, domain.max.x);
+      std::uniform_real_distribution<float> uy(domain.min.y, domain.max.y);
+      std::uniform_real_distribution<float> uz(domain.min.z, domain.max.z);
+      const float extent = std::max(
+          {domain.max.x - domain.min.x, domain.max.y - domain.min.y,
+           domain.max.z - domain.min.z, 1.0f});
+      std::uniform_real_distribution<float> uside(0.05f * extent,
+                                                  0.20f * extent);
+      for (size_t q = 0; q < options.queries_per_reader; ++q) {
+        Observation ob;
+        ob.is_knn =
+            (static_cast<double>(rng() % 1000) / 1000.0) < options.knn_fraction;
+        ob.box = geom::Aabb::Cube(geom::Vec3(ux(rng), uy(rng), uz(rng)),
+                                  uside(rng));
+        ob.point = geom::Vec3(ux(rng), uy(rng), uz(rng));
+        ob.k = 1 + static_cast<size_t>(rng() % 8);
+        for (size_t attempt = 0;; ++attempt) {
+          Status failed = Status::OK();
+          if (ob.is_knn) {
+            engine::KnnRequest request;
+            request.point = ob.point;
+            request.k = ob.k;
+            request.backend = engine::BackendChoice::kAll;
+            request.cache = engine::CachePolicy::kCold;
+            auto report = db->Execute(request);
+            if (report.ok()) {
+              ob.epoch = report->epoch;
+              ob.hits = report->hits;
+              ob.backends_matched = report->results_match;
+              break;
+            }
+            failed = report.status();
+          } else {
+            engine::RangeRequest request;
+            request.box = ob.box;
+            request.backend = engine::BackendChoice::kAll;
+            request.cache = engine::CachePolicy::kCold;
+            geom::CollectingVisitor out;
+            auto report = db->Execute(request, out);
+            if (report.ok()) {
+              ob.epoch = report->epoch;
+              ob.ids = out.Ids();
+              std::sort(ob.ids.begin(), ob.ids.end());
+              ob.backends_matched = report->results_match;
+              break;
+            }
+            failed = report.status();
+          }
+          // Retired-epoch reads re-pin at the newest epoch and try again;
+          // anything else is a genuine failure.
+          if (failed.code() != StatusCode::kOutOfRange ||
+              attempt >= options.max_retries) {
+            ob.error = failed.ToString();
+            break;
+          }
+        }
+        observed[r].push_back(std::move(ob));
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& t : reader_threads) t.join();
+
+  if (!writer_error.empty()) {
+    outcome.diverged = true;
+    outcome.detail = writer_error;
+    return outcome;
+  }
+
+  // ---- Offline verdict: every recorded answer must equal the quiesced
+  // oracle at its pinned epoch.
+  for (size_t r = 0; r < observed.size(); ++r) {
+    for (size_t q = 0; q < observed[r].size(); ++q) {
+      const Observation& ob = observed[r][q];
+      ++outcome.queries_run;
+      std::ostringstream os;
+      os << "reader " << r << " query " << q << " (epoch " << ob.epoch
+         << "): ";
+      if (!ob.error.empty()) {
+        outcome.diverged = true;
+        outcome.detail = os.str() + ob.error;
+        return outcome;
+      }
+      if (!ob.backends_matched) {
+        outcome.diverged = true;
+        outcome.detail = os.str() + "backends disagree at the pinned epoch";
+        return outcome;
+      }
+      auto snap = snapshot_at_epoch.find(ob.epoch);
+      if (snap == snapshot_at_epoch.end()) {
+        outcome.diverged = true;
+        outcome.detail =
+            os.str() + "query pinned an epoch the writer never published";
+        return outcome;
+      }
+      const geom::ElementVec& live = snapshots[snap->second];
+      if (ob.is_knn) {
+        ++outcome.knns;
+        if (ob.hits != geom::BruteForceKnn(live, ob.point, ob.k)) {
+          outcome.diverged = true;
+          os << "kNN answer (k=" << ob.k << ", " << ob.hits.size()
+             << " hits) disagrees with the quiesced oracle at its epoch";
+          outcome.detail = os.str();
+          return outcome;
+        }
+      } else {
+        ++outcome.ranges;
+        if (ob.ids != BruteForceRangeIds(live, ob.box)) {
+          outcome.diverged = true;
+          os << "range answer (" << ob.ids.size() << " ids, box " << ob.box
+             << ") disagrees with the quiesced oracle at its epoch";
+          outcome.detail = os.str();
+          return outcome;
+        }
+      }
+    }
+  }
+  outcome.updates = options.batches * options.ops_per_batch;
   return outcome;
 }
 

@@ -173,9 +173,10 @@ class LossyBackend : public engine::GridBackend {
  public:
   const char* name() const override { return "Lossy"; }
 
-  Status RangeQuery(const Aabb& box, storage::PoolSet* pools,
-                    geom::ResultVisitor& visitor,
-                    engine::RangeStats* stats) const override {
+  // Queries flow through the epoch-pinned entry point — inject there.
+  Status RangeQueryAt(storage::Epoch read_epoch, const Aabb& box,
+                      storage::PoolSet* pools, geom::ResultVisitor& visitor,
+                      engine::RangeStats* stats) const override {
     struct DropFirst : geom::ResultVisitor {
       geom::ResultVisitor* inner = nullptr;
       bool dropped = false;
@@ -189,7 +190,7 @@ class LossyBackend : public engine::GridBackend {
     };
     DropFirst drop;
     drop.inner = &visitor;
-    return GridBackend::RangeQuery(box, pools, drop, stats);
+    return GridBackend::RangeQueryAt(read_epoch, box, pools, drop, stats);
   }
 };
 

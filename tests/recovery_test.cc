@@ -392,6 +392,127 @@ TEST(RecoveryTest, CrashDuringCheckpointRollsBackToPreviousBaseAndWal) {
 }
 
 // ---------------------------------------------------------------------------
+// Per-backend page-file crash points: kill writes to the <backend>.pages
+// files (rebuildable caches, unlike base.ndb/wal.ndb) during the two
+// phases that write them — the initial build and Compact — and demand the
+// directory stays recoverable either way.
+// ---------------------------------------------------------------------------
+
+// A crash inside the backend page builds of LoadElements: the load was
+// never acknowledged, so recovery may legitimately come back with either
+// the full load set (the WAL-before-build load record survived) or an
+// empty engine (the crash predates the load record) — never partial
+// state, and never an unopenable directory. At least one budget in the
+// sweep must land after the load record, proving the record actually
+// rescues a crashed build.
+TEST(RecoveryMatrixTest, KillInBackendPageWritesDuringBuildStaysRecoverable) {
+  ElementVec initial = MakeGrid(48);
+  size_t full_recoveries = 0;
+  size_t crashes = 0;
+  for (int64_t budget : {1, 4, 12, 25}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    TempDir dir;
+    storage::FaultPlan plan;
+    plan.path_filter = ".pages";
+    storage::FaultInjectingFileSystem fs(storage::DefaultFileSystem(), &plan);
+
+    auto db = std::make_unique<QueryEngine>(
+        DurableOptions(dir.Sub("data"), &fs));
+    plan.Reset(budget);
+    Status loaded = db->LoadElements(initial);
+    if (loaded.ok()) continue;  // budget outlasted every build write
+    ASSERT_TRUE(plan.Crashed()) << loaded.ToString();
+    ++crashes;
+
+    db.reset();
+    plan.Reset(-1);
+    RecoveryReport report;
+    auto recovered =
+        QueryEngine::Open(dir.Sub("data"), DurableOptions("", &fs), &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+    const Aabb everything = BoxAt(-10, -10, -10, 200);
+    RangeRequest request;
+    request.box = everything;
+    request.backend = BackendChoice::kAll;
+    geom::CollectingVisitor out;
+    auto range = (*recovered)->Execute(request, out);
+    ASSERT_TRUE(range.ok()) << range.status().ToString();
+    EXPECT_TRUE(range->results_match);
+    std::vector<ElementId> ids = out.Ids();
+    std::sort(ids.begin(), ids.end());
+    if (ids.empty()) {
+      EXPECT_EQ(report.base_elements, 0u);  // pre-record crash: clean slate
+    } else {
+      ElementVec oracle = initial;
+      std::sort(oracle.begin(), oracle.end(),
+                [](const SpatialElement& a, const SpatialElement& b) {
+                  return a.id < b.id;
+                });
+      EXPECT_EQ(ids, BruteForceRangeIds(oracle, everything));
+      ++full_recoveries;
+    }
+  }
+  EXPECT_GT(crashes, 0u);
+  // The load record must have rescued at least one crashed build.
+  EXPECT_GT(full_recoveries, 0u);
+}
+
+// A crash inside the .pages writes of Compact (the backend rebuilds or the
+// checkpoint's store flush): the page files are caches of base + WAL, so
+// recovery must land on exactly the acknowledged batches regardless of
+// where in the compaction the write died.
+TEST(RecoveryMatrixTest, KillInBackendPageWritesDuringCompactRecovers) {
+  auto batches = ScriptedBatches();
+  size_t crashes = 0;
+  for (int64_t budget : {1, 3, 8, 20}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    TempDir dir;
+    storage::FaultPlan plan;
+    plan.path_filter = ".pages";
+    storage::FaultInjectingFileSystem fs(storage::DefaultFileSystem(), &plan);
+
+    ElementVec oracle = MakeGrid(48);
+    auto db = std::make_unique<QueryEngine>(
+        DurableOptions(dir.Sub("data"), &fs));
+    ASSERT_TRUE(db->LoadElements(MakeGrid(48)).ok());
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          db->ApplyUpdates(std::span<const UpdateRequest>(batches[i])).ok());
+      ApplyToOracle(&oracle, batches[i]);
+    }
+
+    plan.Reset(budget);
+    Status compacted = db->Compact();
+    if (!compacted.ok()) {
+      ASSERT_TRUE(plan.Crashed()) << compacted.ToString();
+      ++crashes;
+    }
+
+    db.reset();
+    plan.Reset(-1);
+    RecoveryReport report;
+    auto recovered =
+        QueryEngine::Open(dir.Sub("data"), DurableOptions("", &fs), &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    ExpectMatchesOracle(recovered->get(), oracle,
+                        "compact .pages crash, budget " +
+                            std::to_string(budget));
+
+    // Life goes on: the rest of the script applies and stays in parity.
+    for (size_t i = 5; i < batches.size(); ++i) {
+      ASSERT_TRUE((*recovered)
+                      ->ApplyUpdates(
+                          std::span<const UpdateRequest>(batches[i]))
+                      .ok());
+      ApplyToOracle(&oracle, batches[i]);
+    }
+    ExpectMatchesOracle(recovered->get(), oracle, "resumed after .pages crash");
+  }
+  EXPECT_GT(crashes, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Seeded recovery fuzz (recovery_fuzz_nightly scales NEURODB_RECOVERY_OPS
 // to 10000): a MixedWorkload update stream with random crash points, each
 // followed by recovery and an oracle parity check.

@@ -556,8 +556,10 @@ TEST(UpdateTest, ReadOnlyBackendRejectsUpdatesAtomically) {
 }
 
 // Compaction rebuilds the page layout under any open session's private
-// pool — steps must fail fast instead of serving stale cached pages.
-TEST(UpdateTest, SessionsFailFastAfterCompact) {
+// pool — the session adopts the new layout lazily (its pool drops stale
+// pages through the store-epoch check) and keeps answering, byte-identical
+// to a session opened fresh after the compaction.
+TEST(UpdateTest, SessionsSurviveCompact) {
   ElementVec elements = MakeCloud(300, 47);
   auto db = MakeEngine(elements);
 
@@ -570,15 +572,48 @@ TEST(UpdateTest, SessionsFailFastAfterCompact) {
   ASSERT_TRUE(Apply(db.get(), {Erase(elements[0].id)}).ok());
   ASSERT_TRUE(db->Compact().ok());
 
-  auto stale = session->Step(box);
-  EXPECT_FALSE(stale.ok());
-  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  // The pre-compaction session keeps stepping against the rebuilt layout.
+  geom::CollectingVisitor survived_out;
+  auto survived = session->Step(box, survived_out);
+  ASSERT_TRUE(survived.ok()) << survived.status().ToString();
 
-  // A session opened after the compaction works normally.
+  // ... and answers byte-identically to a session opened fresh after the
+  // compaction.
   auto fresh = db->OpenSession(scout::PrefetchMethod::kNone,
                                engine::CachePolicy::kWarm);
   ASSERT_TRUE(fresh.ok());
-  EXPECT_TRUE(fresh->Step(box).ok());
+  geom::CollectingVisitor fresh_out;
+  ASSERT_TRUE(fresh->Step(box, fresh_out).ok());
+
+  ElementVec survived_results = survived_out.TakeElements();
+  ElementVec fresh_results = fresh_out.TakeElements();
+  ASSERT_EQ(survived_results.size(), fresh_results.size());
+  for (size_t i = 0; i < fresh_results.size(); ++i) {
+    EXPECT_EQ(survived_results[i].id, fresh_results[i].id);
+  }
+  // The compaction folded the erase into the base; neither session may
+  // still see the erased element.
+  for (const auto& e : fresh_results) EXPECT_NE(e.id, elements[0].id);
+}
+
+// Compacting a base down to nothing leaves no crawl layout at all — the
+// one post-compaction state a session cannot adopt. Steps report it.
+TEST(UpdateTest, SessionsReportCompactToEmpty) {
+  ElementVec elements = MakeCloud(40, 51);
+  auto db = MakeEngine(elements);
+
+  auto session = db->OpenSession(scout::PrefetchMethod::kNone,
+                                 engine::CachePolicy::kWarm);
+  ASSERT_TRUE(session.ok());
+
+  std::vector<engine::UpdateRequest> erase_all;
+  for (const auto& e : elements) erase_all.push_back(Erase(e.id));
+  ASSERT_TRUE(db->ApplyUpdates(erase_all).ok());
+  ASSERT_TRUE(db->Compact().ok());
+
+  auto gone = session->Step(Aabb::Cube(Vec3(150, 150, 150), 40.0f));
+  EXPECT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kInvalidArgument);
 }
 
 // An injected mutation bug (a backend that ignores erases) is caught by
@@ -586,7 +621,15 @@ TEST(UpdateTest, SessionsFailFastAfterCompact) {
 class EraseDroppingBackend : public engine::GridBackend {
  public:
   const char* name() const override { return "EraseDropper"; }
-  Status Erase(geom::ElementId) override { return Status::OK(); }
+  // Updates flow through the batched publish path — drop the erases there.
+  Status ApplyBatch(const std::vector<engine::UpdateRequest>& updates,
+                    storage::Epoch epoch) override {
+    std::vector<engine::UpdateRequest> kept;
+    for (const auto& u : updates) {
+      if (u.kind != engine::UpdateKind::kErase) kept.push_back(u);
+    }
+    return engine::GridBackend::ApplyBatch(kept, epoch);
+  }
 };
 
 TEST(UpdateTest, CatchesBackendThatDropsErases) {

@@ -76,19 +76,32 @@ int DumpWal(const std::string& path) {
                     static_cast<unsigned long long>(record.offset),
                     static_cast<unsigned long long>(record.epoch),
                     record.payload.size());
-        auto ops = engine::DecodeUpdateBatch(record.payload);
-        if (ops.ok()) {
-          size_t inserts = 0, erases = 0, moves = 0;
-          for (const auto& op : *ops) {
-            if (op.kind == engine::UpdateKind::kInsert) ++inserts;
-            else if (op.kind == engine::UpdateKind::kErase) ++erases;
-            else ++moves;
+        auto kind = engine::WalPayloadKind(record.payload);
+        if (kind.ok() && *kind == engine::kWalKindUpdateBatch) {
+          auto ops = engine::DecodeUpdateBatch(record.payload);
+          if (ops.ok()) {
+            size_t inserts = 0, erases = 0, moves = 0;
+            for (const auto& op : *ops) {
+              if (op.kind == engine::UpdateKind::kInsert) ++inserts;
+              else if (op.kind == engine::UpdateKind::kErase) ++erases;
+              else ++moves;
+            }
+            std::printf("  (%zu ops: %zu insert, %zu erase, %zu move)\n",
+                        ops->size(), inserts, erases, moves);
+          } else {
+            std::printf("  (malformed update batch: %s)\n",
+                        ops.status().ToString().c_str());
           }
-          std::printf("  (%zu ops: %zu insert, %zu erase, %zu move)\n",
-                      ops->size(), inserts, erases, moves);
+        } else if (kind.ok() && *kind == engine::kWalKindLoadElements) {
+          auto elements = engine::DecodeLoadElements(record.payload);
+          if (elements.ok()) {
+            std::printf("  (load record: %zu elements)\n", elements->size());
+          } else {
+            std::printf("  (malformed load record: %s)\n",
+                        elements.status().ToString().c_str());
+          }
         } else {
-          std::printf("  (payload not an update batch: %s)\n",
-                      ops.status().ToString().c_str());
+          std::printf("  (payload not a known record kind)\n");
         }
         return Status::OK();
       },
