@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "neuro/circuit.h"
@@ -98,13 +100,22 @@ class JsonRow {
 };
 
 /// Collects rows and writes BENCH_<name>.json into the working directory:
-///   {"bench": "<name>", "rows": [{...}, ...]}
-/// The perf-trajectory format CI archives after each run.
+///   {"bench": "<name>", "generated_at": "<ISO-8601 UTC>", "threads": N,
+///    "rows": [{...}, ...], "metrics": {...}}
+/// The perf-trajectory format CI archives after each run. Every file is
+/// stamped with the wall-clock time and hardware thread count so archived
+/// trajectories are self-describing; benches that run a QueryEngine can
+/// attach its end-of-run metrics snapshot via SetMetricsJson.
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
 
   void AddRow(const JsonRow& row) { rows_.push_back(row.Render()); }
+
+  /// Attach a pre-rendered JSON object (typically
+  /// `engine.MetricsSnapshot().ToJson()`) written verbatim under the
+  /// "metrics" key. Empty string: key omitted.
+  void SetMetricsJson(std::string json) { metrics_json_ = std::move(json); }
 
   /// Write the file; returns false (with a note on stderr) on I/O failure.
   bool Write() const {
@@ -114,12 +125,22 @@ class JsonEmitter {
       std::fprintf(stderr, "JsonEmitter: cannot open %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [\n", name_.c_str());
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm* utc = std::gmtime(&now)) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", utc);
+    }
+    std::fprintf(f,
+                 "{\"bench\": \"%s\", \"generated_at\": \"%s\", "
+                 "\"threads\": %u, \"rows\": [\n",
+                 name_.c_str(), stamp, std::thread::hardware_concurrency());
     for (size_t i = 0; i < rows_.size(); ++i) {
       std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
                    i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "]}\n");
+    std::fprintf(f, "]%s", metrics_json_.empty() ? "" : ",\n\"metrics\": ");
+    if (!metrics_json_.empty()) std::fputs(metrics_json_.c_str(), f);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
     return true;
@@ -128,6 +149,7 @@ class JsonEmitter {
  private:
   std::string name_;
   std::vector<std::string> rows_;
+  std::string metrics_json_;
 };
 
 }  // namespace bench

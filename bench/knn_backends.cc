@@ -30,6 +30,7 @@ int main() {
 
   TableWriter table("avg per query, by backend and k",
                     {"k", "method", "pages", "scanned", "time ms"});
+  bench::JsonEmitter emitter("knn_backends");
 
   for (size_t k : {1, 8, 64, 512}) {
     for (auto choice :
@@ -59,8 +60,18 @@ int main() {
                     TableWriter::Num(pages / n, 1),
                     TableWriter::Num(scanned / n, 0),
                     bench::UsToMs(static_cast<uint64_t>(time_us / n))});
+      emitter.AddRow(bench::JsonRow()
+                         .Int("k", k)
+                         .Str("method", method)
+                         .Num("avg_pages", pages / n)
+                         .Num("avg_scanned", scanned / n)
+                         .Num("avg_time_us", time_us / n));
     }
   }
   table.Print();
+  // The engine-side view of the same run: every query above fed the
+  // engine.query.knn.* / backend.* metrics, archived with the rows.
+  emitter.SetMetricsJson(db.MetricsSnapshot().ToJson());
+  emitter.Write();
   return 0;
 }

@@ -7,6 +7,8 @@
 #ifndef NEURODB_COMMON_STATS_H_
 #define NEURODB_COMMON_STATS_H_
 
+#include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -17,21 +19,61 @@ namespace neurodb {
 
 /// A monotonically increasing named counter store.
 ///
-/// Not thread-safe by design: each experiment/session owns its Stats
-/// instance (single-writer), which keeps increments branch-free and cheap.
+/// ## Single-writer contract
+///
+/// Stats is NOT thread-safe, by design: each experiment, session, buffer
+/// pool or batch lane owns its own instance, mutated by at most one thread
+/// at a time. Ownership may move between threads (a warm pool's tickers
+/// are bumped by whichever thread holds the engine's warm lock), but two
+/// threads must never mutate — or mutate-while-reading — the same instance
+/// concurrently. That keeps increments branch-free and lock-free on query
+/// hot paths.
+///
+/// Cross-thread aggregation therefore happens by merging *quiesced*
+/// instances after the fact (`Merge`, e.g. per-lane pool stats after batch
+/// lanes join), never by sharing one instance across live writers. For
+/// metrics that genuinely need concurrent multi-thread recording, use
+/// `obs::MetricsRegistry` (src/obs/metrics.h) — that is the thread-safe,
+/// engine-wide registry; Stats is the single-owner experiment ledger.
+///
+/// Debug builds enforce the contract probabilistically: every mutator
+/// sets an atomic in-flight flag and asserts it was clear, so two writers
+/// racing the same instance trip an assert instead of corrupting the map.
 class Stats {
  public:
+  Stats() = default;
+  // The write-detector flag is per-instance state, not data: copies and
+  // moves transfer tickers only. (Explicit because the atomic member
+  // suppresses the implicit copy/move operations.)
+  Stats(const Stats& other) : tickers_(other.tickers_) {}
+  Stats(Stats&& other) noexcept : tickers_(std::move(other.tickers_)) {}
+  Stats& operator=(const Stats& other) {
+    tickers_ = other.tickers_;
+    return *this;
+  }
+  Stats& operator=(Stats&& other) noexcept {
+    tickers_ = std::move(other.tickers_);
+    return *this;
+  }
+
   /// Add `delta` to the named ticker (creating it at zero if absent).
-  void Add(const std::string& name, uint64_t delta) { tickers_[name] += delta; }
+  void Add(const std::string& name, uint64_t delta) {
+    const WriterCheck check(this);
+    tickers_[name] += delta;
+  }
 
   /// Increment the named ticker by one.
   void Bump(const std::string& name) { Add(name, 1); }
 
   /// Overwrite the named ticker (for gauges such as peak memory).
-  void Set(const std::string& name, uint64_t value) { tickers_[name] = value; }
+  void Set(const std::string& name, uint64_t value) {
+    const WriterCheck check(this);
+    tickers_[name] = value;
+  }
 
   /// Record the maximum seen for a gauge.
   void SetMax(const std::string& name, uint64_t value) {
+    const WriterCheck check(this);
     uint64_t& slot = tickers_[name];
     if (value > slot) slot = value;
   }
@@ -47,14 +89,20 @@ class Stats {
 
   /// Reset all tickers to zero (keeps names).
   void Reset() {
+    const WriterCheck check(this);
     for (auto& kv : tickers_) kv.second = 0;
   }
 
   /// Remove all tickers.
-  void Clear() { tickers_.clear(); }
+  void Clear() {
+    const WriterCheck check(this);
+    tickers_.clear();
+  }
 
-  /// Merge another Stats into this one (ticker-wise addition).
+  /// Merge another Stats into this one (ticker-wise addition). `other`
+  /// must be quiesced (no live writer) — see the single-writer contract.
   void Merge(const Stats& other) {
+    const WriterCheck check(this);
     for (const auto& kv : other.tickers()) tickers_[kv.first] += kv.second;
   }
 
@@ -62,6 +110,37 @@ class Stats {
   std::string ToString() const;
 
  private:
+#ifndef NDEBUG
+  /// RAII concurrent-write detector: trips an assert when two threads
+  /// mutate the same Stats at once (sequential cross-thread handoff stays
+  /// legal). Compiled out in release builds.
+  class WriterCheck {
+   public:
+    explicit WriterCheck(const Stats* stats) : stats_(stats) {
+      const bool was_writing =
+          stats_->writing_.exchange(true, std::memory_order_acquire);
+      assert(!was_writing &&
+             "common/Stats is single-writer: concurrent mutation detected "
+             "(use obs::MetricsRegistry for shared multi-thread metrics)");
+      (void)was_writing;
+    }
+    ~WriterCheck() {
+      stats_->writing_.store(false, std::memory_order_release);
+    }
+    WriterCheck(const WriterCheck&) = delete;
+    WriterCheck& operator=(const WriterCheck&) = delete;
+
+   private:
+    const Stats* stats_;
+  };
+  mutable std::atomic<bool> writing_{false};
+#else
+  class WriterCheck {
+   public:
+    explicit WriterCheck(const Stats*) {}
+  };
+#endif
+
   std::map<std::string, uint64_t> tickers_;
 };
 

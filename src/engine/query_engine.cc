@@ -26,6 +26,14 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument(
         "EngineOptions: retained_versions must be > 0");
   }
+  if (slow_query_us > 0 && metrics == MetricsMode::kOff) {
+    return Status::InvalidArgument(
+        "EngineOptions: slow_query_us requires metrics == kOn");
+  }
+  if (slow_query_us > 0 && slow_log_entries == 0) {
+    return Status::InvalidArgument(
+        "EngineOptions: slow_query_us requires slow_log_entries > 0");
+  }
   NEURODB_RETURN_NOT_OK(flat.Validate());
   NEURODB_RETURN_NOT_OK(grid.Validate());
   NEURODB_RETURN_NOT_OK(sharded.Validate());
@@ -46,6 +54,41 @@ QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
   backends_.push_back(std::move(rtree));
   backends_.push_back(std::move(grid));
   backends_.push_back(std::move(sharded));
+
+  if (options_.metrics == MetricsMode::kOn) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    InitMetrics();
+    if (options_.slow_query_us > 0 && options_.slow_log_entries > 0) {
+      slow_log_ = std::make_unique<obs::SlowQueryLog>(
+          options_.slow_log_entries, options_.slow_query_us);
+    }
+  }
+}
+
+void QueryEngine::InitMetrics() {
+  obs::MetricsRegistry* m = metrics_.get();
+  em_.range.count = m->counter("engine.query.range.count");
+  em_.range.results = m->counter("engine.query.range.results");
+  em_.range.pages_read = m->counter("engine.query.range.pages_read");
+  em_.range.latency_us = m->histogram("engine.query.range.latency_us");
+  em_.knn.count = m->counter("engine.query.knn.count");
+  em_.knn.results = m->counter("engine.query.knn.results");
+  em_.knn.pages_read = m->counter("engine.query.knn.pages_read");
+  em_.knn.latency_us = m->histogram("engine.query.knn.latency_us");
+  em_.batch_count = m->counter("engine.batch.count");
+  em_.batch_queries = m->counter("engine.batch.queries");
+  em_.batch_lanes = m->counter("engine.batch.lanes");
+  em_.batch_latency_us = m->histogram("engine.batch.latency_us");
+  em_.batch_lane_time_us = m->histogram("engine.batch.lane_time_us");
+  em_.update_batches = m->counter("engine.update.batches");
+  em_.update_ops = m->counter("engine.update.ops");
+  em_.update_invalidated_boxes = m->counter("engine.update.invalidated_boxes");
+  em_.update_latency_us = m->histogram("engine.update.latency_us");
+  em_.compact_count = m->counter("engine.compact.count");
+  em_.compact_latency_us = m->histogram("engine.compact.latency_us");
+  em_.checkpoint_count = m->counter("engine.checkpoint.count");
+  em_.checkpoint_latency_us = m->histogram("engine.checkpoint.latency_us");
+  em_.slow_queries = m->counter("engine.slow_queries");
 }
 
 QueryEngine::~QueryEngine() {
@@ -180,6 +223,21 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
   result_cache_ = std::make_unique<cache::ResultCache>(
       EffectiveResultCacheBoxes());
 
+  // Per-backend counters (now that RegisterBackend is closed): resolved
+  // once, parallel to backends_, recorded by ExecuteOn/ExecuteKnnOn.
+  if (metrics_ != nullptr) {
+    backend_metrics_.clear();
+    backend_metrics_.reserve(backends_.size());
+    for (const auto& backend : backends_) {
+      const std::string prefix = std::string("backend.") + backend->name();
+      BackendMetrics bm;
+      bm.queries = metrics_->counter(prefix + ".queries");
+      bm.pages_read = metrics_->counter(prefix + ".pages_read");
+      bm.results = metrics_->counter(prefix + ".results");
+      backend_metrics_.push_back(bm);
+    }
+  }
+
   loaded_ = true;
 
   // A freshly loaded durable engine is immediately recoverable: base.ndb
@@ -193,6 +251,9 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
 
 Result<UpdateReport> QueryEngine::ApplyUpdates(
     std::span<const UpdateRequest> updates) {
+  // Commit latency as the caller experiences it: the clock starts before
+  // the commit lock, so queueing behind other writers is part of it.
+  Timer wall;
   // One committing batch at a time; readers are NOT excluded — they answer
   // at their pinned epoch while this batch publishes the next one.
   std::lock_guard<std::mutex> commit(commit_mu_);
@@ -326,6 +387,11 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
   }
   update_log_.Append(next, report.dirty);
   report.epoch = next;
+
+  obs::Bump(em_.update_batches);
+  obs::Add(em_.update_ops, report.applied);
+  obs::Add(em_.update_invalidated_boxes, report.invalidated_boxes);
+  obs::Record(em_.update_latency_us, wall.ElapsedNanos() / 1000);
   return report;
 }
 
@@ -338,6 +404,7 @@ std::future<Result<UpdateReport>> QueryEngine::ApplyUpdatesAsync(
 }
 
 Status QueryEngine::Compact() {
+  Timer wall;
   std::lock_guard<std::mutex> commit(commit_mu_);
   NEURODB_RETURN_NOT_OK(RequireLoaded("Compact"));
   const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
@@ -373,6 +440,8 @@ Status QueryEngine::Compact() {
   if (durability_ != nullptr) {
     NEURODB_RETURN_NOT_OK(CheckpointLocked());
   }
+  obs::Bump(em_.compact_count);
+  obs::Record(em_.compact_latency_us, wall.ElapsedNanos() / 1000);
   return Status::OK();
 }
 
@@ -392,6 +461,7 @@ Status QueryEngine::CheckpointLocked() {
         "QueryEngine::Checkpoint: engine is not durable (set "
         "EngineOptions::durability.dir or use Open)");
   }
+  Timer wall;
   geom::ElementVec live;
   live.reserve(live_bounds_.size());
   for (const auto& [id, bounds] : live_bounds_) live.emplace_back(id, bounds);
@@ -404,12 +474,16 @@ Status QueryEngine::CheckpointLocked() {
   // Backend page files are derived data, but flushing them here makes a
   // clean shutdown's directory fully consistent on disk. Flushing mutates
   // store internals, so readers sit out the (brief) write-back.
-  std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
-  for (auto& backend : backends_) {
-    for (storage::PageStore* store : backend->Stores()) {
-      NEURODB_RETURN_NOT_OK(store->Flush());
+  {
+    std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
+    for (auto& backend : backends_) {
+      for (storage::PageStore* store : backend->Stores()) {
+        NEURODB_RETURN_NOT_OK(store->Flush());
+      }
     }
   }
+  obs::Bump(em_.checkpoint_count);
+  obs::Record(em_.checkpoint_latency_us, wall.ElapsedNanos() / 1000);
   return Status::OK();
 }
 
@@ -510,6 +584,61 @@ storage::IoStats QueryEngine::IoTotals() const {
   return total;
 }
 
+obs::MetricsSnapshot QueryEngine::MetricsSnapshot() {
+  if (metrics_ == nullptr) return obs::MetricsSnapshot{};
+  obs::MetricsRegistry* m = metrics_.get();
+  if (loaded_) {
+    // Sampled gauges: lower layers are not instrumented on their hot paths
+    // (a query's pool fetch costs zero extra when nobody looks) — their
+    // cumulative state is read here instead, under the same locks their
+    // writers hold. Lock order matches ApplyUpdates/Execute:
+    // commit -> warm -> cache.
+    m->gauge("engine.epoch")->Set(epoch());
+    m->gauge("engine.backends")->Set(backends_.size());
+    {
+      std::lock_guard<std::mutex> commit(commit_mu_);
+      m->gauge("engine.live_elements")->Set(num_segments_);
+      m->gauge("engine.delta_records")->Set(DeltaSize());
+    }
+    {
+      std::lock_guard<std::mutex> warm_lock(warm_mu_);
+      const storage::PoolManagerStats pool_stats = pool_manager_->Stats();
+      m->gauge("pool.pools")->Set(pool_stats.pools);
+      m->gauge("pool.pages_cached")->Set(pool_stats.pages_cached);
+      m->gauge("pool.hits")->Set(pool_stats.hits);
+      m->gauge("pool.misses")->Set(pool_stats.misses);
+      m->gauge("pool.evictions")->Set(pool_stats.evictions);
+    }
+    {
+      std::lock_guard<std::mutex> cache_lock(cache_mu_);
+      const cache::CacheStats& cache_stats = result_cache_->stats();
+      m->gauge("result_cache.lookups")->Set(cache_stats.lookups);
+      m->gauge("result_cache.hits")->Set(cache_stats.hits);
+      m->gauge("result_cache.misses")->Set(cache_stats.misses);
+      m->gauge("result_cache.insertions")->Set(cache_stats.insertions);
+      m->gauge("result_cache.evictions")->Set(cache_stats.evictions);
+      m->gauge("result_cache.invalidated_boxes")
+          ->Set(cache_stats.invalidated_boxes);
+    }
+    // Physical I/O: atomic store counters, safe to read anywhere.
+    const storage::IoStats io = IoTotals();
+    m->gauge("io.bytes_read")->Set(io.bytes_read);
+    m->gauge("io.bytes_written")->Set(io.bytes_written);
+    m->gauge("io.fsyncs")->Set(io.fsyncs);
+    if (durability_ != nullptr) {
+      const storage::IoStats wal = durability_->io();
+      m->gauge("durability.bytes_read")->Set(wal.bytes_read);
+      m->gauge("durability.bytes_written")->Set(wal.bytes_written);
+      m->gauge("durability.fsyncs")->Set(wal.fsyncs);
+    }
+  }
+  if (slow_log_ != nullptr) {
+    m->gauge("slow_log.retained")->Set(slow_log_->Entries().size());
+    m->gauge("slow_log.total")->Set(slow_log_->total_recorded());
+  }
+  return m->Snapshot();
+}
+
 size_t QueryEngine::DeltaSize() const {
   size_t total = 0;
   for (const auto& backend : backends_) total += backend->DeltaSize();
@@ -603,10 +732,44 @@ storage::PoolSet* QueryEngine::PoolFor(
   return nullptr;
 }
 
+size_t QueryEngine::BackendIndex(const SpatialBackend* backend) const {
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i].get() == backend) return i;
+  }
+  return 0;
+}
+
+void QueryEngine::AddPoolAndDiskSpans(obs::Trace* trace, int backend_span,
+                                      const storage::PoolCounters& pool_delta,
+                                      const storage::IoStats& io_delta) {
+  // The pool/disk layers are not separately timed (they interleave with
+  // index work), so their spans share the backend span's window and carry
+  // the counter deltas as tags. Copy the window out first: AddCompleted
+  // grows the span vector, invalidating references into it.
+  const uint64_t window_start =
+      trace->spans()[static_cast<size_t>(backend_span)].start_ns;
+  const uint64_t window_duration =
+      trace->spans()[static_cast<size_t>(backend_span)].duration_ns;
+  const int pool_span = trace->AddCompleted("pool", backend_span,
+                                            window_start, window_duration);
+  trace->Tag(pool_span, "hits", pool_delta.hits);
+  trace->Tag(pool_span, "misses", pool_delta.misses);
+  trace->Tag(pool_span, "evictions", pool_delta.evictions);
+  if (io_delta.bytes_read != 0 || io_delta.bytes_written != 0 ||
+      io_delta.fsyncs != 0) {
+    const int disk_span = trace->AddCompleted("disk", pool_span,
+                                              window_start, window_duration);
+    trace->Tag(disk_span, "bytes_read", io_delta.bytes_read);
+    trace->Tag(disk_span, "bytes_written", io_delta.bytes_written);
+    trace->Tag(disk_span, "fsyncs", io_delta.fsyncs);
+  }
+}
+
 Status QueryEngine::ExecuteOn(const RangeRequest& request,
                               ResultVisitor* visitor,
                               const std::vector<storage::PoolSet*>& pools,
-                              SimClock* clock, RangeReport* report) const {
+                              SimClock* clock, obs::Trace* trace,
+                              RangeReport* report) const {
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   const bool parity_check = selected.size() > 1;
   std::vector<std::vector<ElementId>> id_sets;
@@ -627,6 +790,11 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
 
     RangeRow row;
     row.method = backend->name();
+    const int backend_span =
+        trace != nullptr
+            ? trace->Begin(std::string("backend:") + backend->name())
+            : -1;
+    const storage::PoolCounters pool0 = pool->Counters();
     uint64_t t0 = clock->NowMicros();
     storage::IoStats io0 = backend->IoTotals();
 
@@ -649,7 +817,24 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
     NEURODB_RETURN_NOT_OK(status);
 
     row.stats.time_us = clock->NowMicros() - t0;
-    report->io += backend->IoTotals() - io0;
+    const storage::IoStats io_delta = backend->IoTotals() - io0;
+    const storage::PoolCounters pool_delta = pool->Counters() - pool0;
+    report->io += io_delta;
+    report->pool += pool_delta;
+    if (!backend_metrics_.empty()) {
+      const BackendMetrics& bm = backend_metrics_[BackendIndex(backend)];
+      obs::Bump(bm.queries);
+      obs::Add(bm.pages_read, row.stats.pages_read);
+      obs::Add(bm.results, row.stats.results);
+    }
+    if (trace != nullptr) {
+      trace->Tag(backend_span, "epoch", pinned);
+      trace->Tag(backend_span, "pages_read", row.stats.pages_read);
+      trace->Tag(backend_span, "elements_scanned", row.stats.elements_scanned);
+      trace->Tag(backend_span, "results", row.stats.results);
+      trace->End(backend_span);
+      AddPoolAndDiskSpans(trace, backend_span, pool_delta, io_delta);
+    }
     report->rows.push_back(std::move(row));
   }
 
@@ -666,7 +851,8 @@ Status QueryEngine::ExecuteOn(const RangeRequest& request,
 
 Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
                                  const std::vector<storage::PoolSet*>& pools,
-                                 SimClock* clock, KnnReport* report) const {
+                                 SimClock* clock, obs::Trace* trace,
+                                 KnnReport* report) const {
   std::vector<const SpatialBackend*> selected = Select(request.backend);
   const bool parity_check = selected.size() > 1;
   const storage::Epoch pinned =
@@ -682,13 +868,37 @@ Status QueryEngine::ExecuteKnnOn(const KnnRequest& request,
 
     RangeRow row;
     row.method = backend->name();
+    const int backend_span =
+        trace != nullptr
+            ? trace->Begin(std::string("backend:") + backend->name())
+            : -1;
+    const storage::PoolCounters pool0 = pool->Counters();
     uint64_t t0 = clock->NowMicros();
+    storage::IoStats io0 = backend->IoTotals();
 
     std::vector<geom::KnnHit> hits;
     NEURODB_RETURN_NOT_OK(backend->KnnQueryAt(pinned, request.point, request.k,
                                               pool, &hits, &row.stats));
 
     row.stats.time_us = clock->NowMicros() - t0;
+    const storage::IoStats io_delta = backend->IoTotals() - io0;
+    const storage::PoolCounters pool_delta = pool->Counters() - pool0;
+    report->io += io_delta;
+    report->pool += pool_delta;
+    if (!backend_metrics_.empty()) {
+      const BackendMetrics& bm = backend_metrics_[BackendIndex(backend)];
+      obs::Bump(bm.queries);
+      obs::Add(bm.pages_read, row.stats.pages_read);
+      obs::Add(bm.results, hits.size());
+    }
+    if (trace != nullptr) {
+      trace->Tag(backend_span, "epoch", pinned);
+      trace->Tag(backend_span, "pages_read", row.stats.pages_read);
+      trace->Tag(backend_span, "elements_scanned", row.stats.elements_scanned);
+      trace->Tag(backend_span, "results", hits.size());
+      trace->End(backend_span);
+      AddPoolAndDiskSpans(trace, backend_span, pool_delta, io_delta);
+    }
     report->rows.push_back(std::move(row));
 
     if (k == 0) {
@@ -720,11 +930,17 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
                                    ResultVisitor* visitor,
                                    const std::vector<storage::PoolSet*>& pools,
                                    SimClock* clock, cache::ResultCache* cache,
+                                   obs::Trace* trace,
                                    RangeReport* report) const {
   storage::PoolSet* pool = PoolFor(backend, pools);
 
   RangeRow row;
   row.method = backend->name();
+  const int backend_span =
+      trace != nullptr
+          ? trace->Begin(std::string("backend:") + backend->name())
+          : -1;
+  const storage::PoolCounters pool0 = pool->Counters();
   uint64_t t0 = clock->NowMicros();
   storage::IoStats io0 = backend->IoTotals();
 
@@ -758,7 +974,25 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
 
   row.stats.results = merged.size();
   row.stats.time_us = clock->NowMicros() - t0;
-  report->io += backend->IoTotals() - io0;
+  const storage::IoStats io_delta = backend->IoTotals() - io0;
+  const storage::PoolCounters pool_delta = pool->Counters() - pool0;
+  report->io += io_delta;
+  report->pool += pool_delta;
+  if (!backend_metrics_.empty()) {
+    const BackendMetrics& bm = backend_metrics_[BackendIndex(backend)];
+    obs::Bump(bm.queries);
+    obs::Add(bm.pages_read, row.stats.pages_read);
+    obs::Add(bm.results, row.stats.results);
+  }
+  if (trace != nullptr) {
+    trace->Tag(backend_span, "epoch", pinned);
+    trace->Tag(backend_span, "pages_read", row.stats.pages_read);
+    trace->Tag(backend_span, "results", row.stats.results);
+    trace->Tag(backend_span, "cache_hit_fraction",
+               std::to_string(plan.covered_fraction));
+    trace->End(backend_span);
+    AddPoolAndDiskSpans(trace, backend_span, pool_delta, io_delta);
+  }
   report->rows.push_back(std::move(row));
   report->results = merged.size();
   report->results_match = true;
@@ -770,10 +1004,65 @@ Status QueryEngine::ExecuteDeltaOn(const RangeRequest& request,
   return Status::OK();
 }
 
+std::shared_ptr<obs::Trace> QueryEngine::MaybeTrace(bool requested,
+                                                    const char* root) const {
+  // Traces are an obs feature: with metrics off the engine never builds
+  // one (request.trace is ignored — the report's trace stays null).
+  if (metrics_ == nullptr) return nullptr;
+  if (!requested && slow_log_ == nullptr) return nullptr;
+  return std::make_shared<obs::Trace>(root);
+}
+
+void QueryEngine::FinishRangeQuery(bool keep_trace, uint64_t wall_us,
+                                   std::shared_ptr<obs::Trace> trace,
+                                   RangeReport* report) const {
+  obs::Bump(em_.range.count);
+  obs::Add(em_.range.results, report->results);
+  uint64_t pages = 0;
+  for (const RangeRow& row : report->rows) pages += row.stats.pages_read;
+  obs::Add(em_.range.pages_read, pages);
+  obs::Record(em_.range.latency_us, wall_us);
+  if (trace == nullptr) return;
+  trace->Tag(0, "epoch", report->epoch);
+  trace->Tag(0, "results", report->results);
+  trace->Tag(0, "pages_read", pages);
+  trace->Tag(0, "cache_hit_fraction",
+             std::to_string(report->cache_hit_fraction));
+  trace->End(0);
+  if (slow_log_ != nullptr && wall_us >= slow_log_->threshold_us()) {
+    obs::Bump(em_.slow_queries);
+    slow_log_->Record("range", wall_us, trace);
+  }
+  if (keep_trace) report->trace = std::move(trace);
+}
+
+void QueryEngine::FinishKnnQuery(bool keep_trace, uint64_t wall_us,
+                                 std::shared_ptr<obs::Trace> trace,
+                                 KnnReport* report) const {
+  obs::Bump(em_.knn.count);
+  obs::Add(em_.knn.results, report->hits.size());
+  uint64_t pages = 0;
+  for (const RangeRow& row : report->rows) pages += row.stats.pages_read;
+  obs::Add(em_.knn.pages_read, pages);
+  obs::Record(em_.knn.latency_us, wall_us);
+  if (trace == nullptr) return;
+  trace->Tag(0, "epoch", report->epoch);
+  trace->Tag(0, "results", report->hits.size());
+  trace->Tag(0, "pages_read", pages);
+  trace->End(0);
+  if (slow_log_ != nullptr && wall_us >= slow_log_->threshold_us()) {
+    obs::Bump(em_.slow_queries);
+    slow_log_->Record("knn", wall_us, trace);
+  }
+  if (keep_trace) report->trace = std::move(trace);
+}
+
 Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
                                          ResultVisitor& visitor) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
   NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
+  std::shared_ptr<obs::Trace> trace = MaybeTrace(request.trace, "range");
+  Timer wall;
   // Shared with other readers and with ApplyUpdates; only Compact excludes
   // us (it is the one writer that destroys pinned snapshots).
   std::shared_lock<std::shared_mutex> read_lock(compact_mu_);
@@ -786,22 +1075,25 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request,
     if (const SpatialBackend* backend =
             DeltaBackend(request, result_cache_.get())) {
       std::lock_guard<std::mutex> cache_lock(cache_mu_);
-      NEURODB_RETURN_NOT_OK(ExecuteDeltaOn(request, backend, &visitor,
-                                           warm_pools_,
-                                           pool_manager_->clock(),
-                                           result_cache_.get(), &report));
-      return report;
+      NEURODB_RETURN_NOT_OK(ExecuteDeltaOn(
+          request, backend, &visitor, warm_pools_, pool_manager_->clock(),
+          result_cache_.get(), trace.get(), &report));
+    } else {
+      NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, warm_pools_,
+                                      pool_manager_->clock(), trace.get(),
+                                      &report));
     }
-    NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, warm_pools_,
-                                    pool_manager_->clock(), &report));
-    return report;
+  } else {
+    // Cold: a fresh pool per backend, as the paper's per-query cost model.
+    storage::PoolManager local(options_.pool_pages, options_.cost);
+    std::vector<storage::PoolSet*> pools = BackendPools(&local);
+    NEURODB_RETURN_NOT_OK(ExecuteOn(request, &visitor, pools, local.clock(),
+                                    trace.get(), &report));
   }
-
-  // Cold: a fresh pool per backend, as the paper's per-query cost model.
-  storage::PoolManager local(options_.pool_pages, options_.cost);
-  std::vector<storage::PoolSet*> pools = BackendPools(&local);
-  NEURODB_RETURN_NOT_OK(
-      ExecuteOn(request, &visitor, pools, local.clock(), &report));
+  if (metrics_ != nullptr) {
+    FinishRangeQuery(request.trace, wall.ElapsedNanos() / 1000,
+                     std::move(trace), &report);
+  }
   return report;
 }
 
@@ -813,19 +1105,26 @@ Result<RangeReport> QueryEngine::Execute(const RangeRequest& request) {
 Result<KnnReport> QueryEngine::Execute(const KnnRequest& request) {
   NEURODB_RETURN_NOT_OK(RequireLoaded("Execute"));
   NEURODB_RETURN_NOT_OK(ValidateRequest(request, "Execute"));
+  std::shared_ptr<obs::Trace> trace = MaybeTrace(request.trace, "knn");
+  Timer wall;
   std::shared_lock<std::shared_mutex> read_lock(compact_mu_);
 
   KnnReport report;
   if (request.cache != CachePolicy::kCold) {
     std::lock_guard<std::mutex> warm_lock(warm_mu_);
+    NEURODB_RETURN_NOT_OK(ExecuteKnnOn(request, warm_pools_,
+                                       pool_manager_->clock(), trace.get(),
+                                       &report));
+  } else {
+    storage::PoolManager local(options_.pool_pages, options_.cost);
+    std::vector<storage::PoolSet*> pools = BackendPools(&local);
     NEURODB_RETURN_NOT_OK(
-        ExecuteKnnOn(request, warm_pools_, pool_manager_->clock(), &report));
-    return report;
+        ExecuteKnnOn(request, pools, local.clock(), trace.get(), &report));
   }
-
-  storage::PoolManager local(options_.pool_pages, options_.cost);
-  std::vector<storage::PoolSet*> pools = BackendPools(&local);
-  NEURODB_RETURN_NOT_OK(ExecuteKnnOn(request, pools, local.clock(), &report));
+  if (metrics_ != nullptr) {
+    FinishKnnQuery(request.trace, wall.ElapsedNanos() / 1000, std::move(trace),
+                   &report);
+  }
   return report;
 }
 
@@ -846,30 +1145,47 @@ Status QueryEngine::ExecuteBatchSlice(
     }
 
     if (const auto* range = std::get_if<RangeRequest>(&request)) {
+      std::shared_ptr<obs::Trace> trace = MaybeTrace(range->trace, "range");
+      Timer wall;
       RangeReport report;
       if (const SpatialBackend* backend = DeltaBackend(*range, cache)) {
         NEURODB_RETURN_NOT_OK(ExecuteDeltaOn(*range, backend, nullptr, pools,
-                                             clock, cache, &report));
+                                             clock, cache, trace.get(),
+                                             &report));
         ++stats->delta_requests;
         stats->cache_hit_fraction += report.cache_hit_fraction;
         stats->delta_volume_fraction += report.delta_volume_fraction;
       } else {
         NEURODB_RETURN_NOT_OK(
-            ExecuteOn(*range, nullptr, pools, clock, &report));
+            ExecuteOn(*range, nullptr, pools, clock, trace.get(), &report));
       }
       for (const RangeRow& row : report.rows) {
         stats->pages_read += row.stats.pages_read;
       }
       stats->results += report.results;
+      if (metrics_ != nullptr) {
+        // Batch entries record into the same thread-safe registry the
+        // foreground path uses — concurrent lanes included (this is the
+        // sanctioned cross-thread merge; common/Stats stays lane-local).
+        FinishRangeQuery(range->trace, wall.ElapsedNanos() / 1000,
+                         std::move(trace), &report);
+      }
       (*reports)[i] = std::move(report);
     } else {
       const KnnRequest& knn = std::get<KnnRequest>(request);
+      std::shared_ptr<obs::Trace> trace = MaybeTrace(knn.trace, "knn");
+      Timer wall;
       KnnReport report;
-      NEURODB_RETURN_NOT_OK(ExecuteKnnOn(knn, pools, clock, &report));
+      NEURODB_RETURN_NOT_OK(
+          ExecuteKnnOn(knn, pools, clock, trace.get(), &report));
       for (const RangeRow& row : report.rows) {
         stats->pages_read += row.stats.pages_read;
       }
       stats->results += report.hits.size();
+      if (metrics_ != nullptr) {
+        FinishKnnQuery(knn.trace, wall.ElapsedNanos() / 1000, std::move(trace),
+                       &report);
+      }
       (*reports)[i] = std::move(report);
     }
   }
@@ -885,6 +1201,7 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
         request));
   }
 
+  Timer batch_wall;
   std::shared_lock<std::shared_mutex> read_lock(compact_mu_);
 
   MixedBatchResult out;
@@ -913,24 +1230,25 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
     const std::vector<storage::PoolSet*>& pools = warm_pools_;
     SimClock* clock = pool_manager_->clock();
     uint64_t t0 = clock->NowMicros();
-    uint64_t hits0 = 0, misses0 = 0;
-    for (storage::PoolSet* pool : pools) {
-      hits0 += pool->TotalTicker("pool.hits");
-      misses0 += pool->TotalTicker("pool.misses");
-    }
+    storage::PoolCounters counters0;
+    for (storage::PoolSet* pool : pools) counters0 += pool->Counters();
     NEURODB_RETURN_NOT_OK(ExecuteBatchSlice(
         requests, 0, requests.size(), pool_manager_.get(), pools, clock,
         result_cache_.get(), &out.reports, &out.aggregate));
     out.aggregate.time_us = clock->NowMicros() - t0;
     out.aggregate.critical_path_us = out.aggregate.time_us;
     out.aggregate.lanes = 1;
-    for (storage::PoolSet* pool : pools) {
-      out.aggregate.pool_hits += pool->TotalTicker("pool.hits");
-      out.aggregate.pool_misses += pool->TotalTicker("pool.misses");
-    }
-    out.aggregate.pool_hits -= hits0;
-    out.aggregate.pool_misses -= misses0;
+    storage::PoolCounters counters;
+    for (storage::PoolSet* pool : pools) counters += pool->Counters();
+    counters = counters - counters0;
+    out.aggregate.pool_hits = counters.hits;
+    out.aggregate.pool_misses = counters.misses;
+    out.aggregate.pool_evictions = counters.evictions;
     normalize_delta(&out.aggregate);
+    obs::Bump(em_.batch_count);
+    obs::Add(em_.batch_queries, out.aggregate.queries);
+    obs::Add(em_.batch_lanes, 1);
+    obs::Record(em_.batch_latency_us, batch_wall.ElapsedNanos() / 1000);
     return out;
   }
 
@@ -943,6 +1261,7 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
   std::vector<BatchStats> lane_stats(lanes.size());
   exec::ParallelExecutor executor(thread_pool_.get());
   Status status = executor.Run(lanes, [&](const exec::LaneRange& lane) {
+    Timer lane_wall;
     storage::PoolManager lane_manager(options_.pool_pages, options_.cost);
     std::vector<storage::PoolSet*> pools = BackendPools(&lane_manager);
     cache::ResultCache lane_cache(EffectiveResultCacheBoxes());
@@ -954,10 +1273,19 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
         requests, lane.begin, lane.end, &lane_manager, pools,
         lane_manager.clock(), &lane_cache, &out.reports, &local));
     local.time_us = lane_manager.clock()->NowMicros();
-    for (storage::PoolSet* pool : pools) {
-      local.pool_hits += pool->TotalTicker("pool.hits");
-      local.pool_misses += pool->TotalTicker("pool.misses");
-    }
+    // Lane pool counters stay lane-local Stats (single-writer: this
+    // thread); the cross-lane merge happens on lane-ordered copies below
+    // and in the shared (thread-safe) registry right here — never by
+    // pointing several lanes at one Stats instance.
+    const storage::PoolCounters counters = [&pools] {
+      storage::PoolCounters total;
+      for (storage::PoolSet* pool : pools) total += pool->Counters();
+      return total;
+    }();
+    local.pool_hits = counters.hits;
+    local.pool_misses = counters.misses;
+    local.pool_evictions = counters.evictions;
+    obs::Record(em_.batch_lane_time_us, lane_wall.ElapsedNanos() / 1000);
     return Status::OK();
   });
   NEURODB_RETURN_NOT_OK(status);
@@ -971,11 +1299,16 @@ Result<MixedBatchResult> QueryEngine::ExecuteBatch(
         std::max(out.aggregate.critical_path_us, local.time_us);
     out.aggregate.pool_hits += local.pool_hits;
     out.aggregate.pool_misses += local.pool_misses;
+    out.aggregate.pool_evictions += local.pool_evictions;
     out.aggregate.delta_requests += local.delta_requests;
     out.aggregate.cache_hit_fraction += local.cache_hit_fraction;
     out.aggregate.delta_volume_fraction += local.delta_volume_fraction;
   }
   normalize_delta(&out.aggregate);
+  obs::Bump(em_.batch_count);
+  obs::Add(em_.batch_queries, out.aggregate.queries);
+  obs::Add(em_.batch_lanes, out.aggregate.lanes);
+  obs::Record(em_.batch_latency_us, batch_wall.ElapsedNanos() / 1000);
   return out;
 }
 
@@ -1036,8 +1369,14 @@ Result<Session> QueryEngine::OpenSession(scout::PrefetchMethod method,
   // ApplyUpdates. Steps hold compact_mu_ shared (Compact excludes them for
   // the rebuild, after which the session re-fetches lazily through its
   // pool's store-epoch check instead of failing).
+  // Session observability rides the engine's registry and slow-query log;
+  // with metrics off the hooks stay empty and steps record nothing.
+  SessionObs hooks;
+  hooks.metrics = metrics_.get();
+  hooks.slow_log = slow_log_.get();
   return Session::Open(&flat_->index(), flat_->store(), &resolver_, method,
-                       session_options, flat_, &update_log_, &compact_mu_);
+                       session_options, flat_, &update_log_, &compact_mu_,
+                       hooks);
 }
 
 }  // namespace engine

@@ -56,6 +56,9 @@
 #include "exec/thread_pool.h"
 #include "geom/aabb.h"
 #include "neuro/circuit.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "scout/session.h"
 #include "storage/page.h"
 #include "storage/pool_manager.h"
@@ -64,6 +67,15 @@
 
 namespace neurodb {
 namespace engine {
+
+/// Whether the engine owns an obs::MetricsRegistry. With kOff every record
+/// site inlines to a null-pointer test (no registry, no atomics, no
+/// traces built unless a request asks) — answers are byte-identical
+/// either way; only the bookkeeping differs.
+enum class MetricsMode {
+  kOff,
+  kOn,
+};
 
 /// Engine configuration (validated by LoadCircuit).
 struct EngineOptions {
@@ -102,6 +114,17 @@ struct EngineOptions {
   /// write-ahead log for ApplyUpdates and disk-backed page stores. The
   /// default (empty dir) keeps everything in memory.
   DurabilityOptions durability;
+  /// Engine-wide metrics (counters, gauges, latency histograms) exported
+  /// through QueryEngine::MetricsSnapshot(). On by default: recording is a
+  /// few relaxed atomics per request. kOff disables the registry, the
+  /// slow-query log and all engine-built traces.
+  MetricsMode metrics = MetricsMode::kOn;
+  /// Queries slower than this (wall microseconds) are retained — with
+  /// their full trace span tree — in the engine's slow-query log.
+  /// 0 (the default) disables the log. Requires metrics == kOn.
+  uint64_t slow_query_us = 0;
+  /// Ring capacity of the slow-query log (oldest entries evict first).
+  size_t slow_log_entries = 64;
 
   Status Validate() const;
 };
@@ -152,6 +175,10 @@ struct RangeRequest {
   /// older epochs fail with kOutOfRange. Explicitly pinned requests bypass
   /// the result-cache delta path (cached entries track the live epoch).
   storage::Epoch read_epoch = storage::kLatestEpoch;
+  /// Build a span tree for this request and attach it to the report
+  /// (RangeReport::trace): one span per executed backend with pool and
+  /// disk sub-spans. Requires EngineOptions::metrics == kOn.
+  bool trace = false;
 };
 
 /// One backend's row of the live statistics panel (paper Figure 3).
@@ -180,6 +207,13 @@ struct RangeReport {
   /// All zeros when the engine runs on in-memory stores; populated when
   /// backends sit on storage::DiskPageStore.
   storage::IoStats io;
+  /// Logical buffer-pool activity of this request (hits, misses,
+  /// evictions), summed over executed backends — populated uniformly on
+  /// memory and disk stores, unlike `io`.
+  storage::PoolCounters pool;
+  /// The request's span tree, when RangeRequest::trace asked for one (and
+  /// the engine runs with metrics on). Null otherwise.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// A typed k-nearest-neighbour query. Answers use the library-wide
@@ -192,6 +226,8 @@ struct KnnRequest {
   CachePolicy cache = CachePolicy::kCold;
   /// Snapshot pin, exactly as RangeRequest::read_epoch.
   storage::Epoch read_epoch = storage::kLatestEpoch;
+  /// Attach a span tree to the report, exactly as RangeRequest::trace.
+  bool trace = false;
 };
 
 /// Result of one kNN request.
@@ -205,6 +241,14 @@ struct KnnReport {
   std::vector<geom::KnnHit> hits;
   /// Data epoch this request answered at (0 until the first ApplyUpdates).
   storage::Epoch epoch = 0;
+  /// Real device I/O this request caused, summed over executed backends
+  /// (all zeros on in-memory stores).
+  storage::IoStats io;
+  /// Logical buffer-pool activity (uniform across memory and disk), as
+  /// RangeReport::pool.
+  storage::PoolCounters pool;
+  /// The request's span tree, when KnnRequest::trace asked for one.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// Result of one ApplyUpdates batch.
@@ -253,6 +297,7 @@ struct BatchStats {
   uint64_t results = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  uint64_t pool_evictions = 0;
   /// Requests answered through the result-cache delta planner.
   uint64_t delta_requests = 0;
   /// Mean covered / residual volume fraction over those requests (0 / 0
@@ -475,6 +520,22 @@ class QueryEngine {
   /// zeros for in-memory engines.
   storage::IoStats IoTotals() const;
 
+  /// The engine-wide metrics registry (null when EngineOptions::metrics ==
+  /// kOff). Thread-safe; callers may resolve and record their own metrics
+  /// alongside the engine's (see docs/OBSERVABILITY.md for the catalog).
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// The slow-query log (null unless metrics are on and
+  /// EngineOptions::slow_query_us > 0).
+  const obs::SlowQueryLog* slow_log() const { return slow_log_.get(); }
+
+  /// Point-in-time export of every metric, with snapshot-sampled gauges
+  /// (epoch, delta size, pool/cache/io totals) refreshed first. Empty when
+  /// metrics are off. Serializes via obs::MetricsSnapshot::ToJson() /
+  /// ToPrometheus(). Thread-safe (briefly excludes writers while sampling
+  /// the warm-pool and cache gauges).
+  obs::MetricsSnapshot MetricsSnapshot();
+
  private:
   Status RequireLoaded(const char* op) const;
   /// The body of Open on a constructed engine: attach, load base, replay.
@@ -501,13 +562,17 @@ class QueryEngine {
   /// Run one request against `pools` (parallel to backends_), filling one
   /// report. The caller chooses pool lifetime (persistent warm pools, batch
   /// pools) — `clock` is the clock those pools charge.
+  /// `trace` (may be null) gains one span per executed backend with pool
+  /// and disk sub-spans.
   Status ExecuteOn(const RangeRequest& request, ResultVisitor* visitor,
                    const std::vector<storage::PoolSet*>& pools,
-                   SimClock* clock, RangeReport* report) const;
+                   SimClock* clock, obs::Trace* trace,
+                   RangeReport* report) const;
   /// kNN twin of ExecuteOn: one request against `pools`, one report.
   Status ExecuteKnnOn(const KnnRequest& request,
                       const std::vector<storage::PoolSet*>& pools,
-                      SimClock* clock, KnnReport* report) const;
+                      SimClock* clock, obs::Trace* trace,
+                      KnnReport* report) const;
   /// The delta-request body: plan `request.box` against `cache`, answer
   /// the covered fragment from cached results and the residual boxes via
   /// `backend`, merge under the id order, stream to `visitor` and remember
@@ -516,7 +581,7 @@ class QueryEngine {
                         const SpatialBackend* backend, ResultVisitor* visitor,
                         const std::vector<storage::PoolSet*>& pools,
                         SimClock* clock, cache::ResultCache* cache,
-                        RangeReport* report) const;
+                        obs::Trace* trace, RangeReport* report) const;
   /// The single backend `request` takes the delta path on, or nullptr when
   /// the request is not delta-eligible (not kDelta, cache disabled, or a
   /// multi-backend choice whose parity panel must really execute).
@@ -533,6 +598,14 @@ class QueryEngine {
   storage::PoolSet* PoolFor(
       const SpatialBackend* backend,
       const std::vector<storage::PoolSet*>& pools) const;
+  /// Position of `backend` in backends_ (it always comes from Select).
+  size_t BackendIndex(const SpatialBackend* backend) const;
+  /// Append a "pool" sub-span (hits/misses/evictions) — and, when the
+  /// backend did physical I/O, a "disk" sub-span (bytes, fsyncs) — under
+  /// the closed backend span, sharing its time window.
+  static void AddPoolAndDiskSpans(obs::Trace* trace, int backend_span,
+                                  const storage::PoolCounters& pool_delta,
+                                  const storage::IoStats& io_delta);
   /// Execute requests[range) against `manager`'s pools (`pools` is the
   /// manager's per-backend family, `clock` its clock), writing reports[i]
   /// for each request index i and accumulating aggregate counters except
@@ -549,6 +622,57 @@ class QueryEngine {
                            SimClock* clock, cache::ResultCache* cache,
                            std::vector<QueryReport>* reports,
                            BatchStats* stats) const;
+
+  /// Resolved hot-path metric pointers for one request kind; all null when
+  /// metrics are off, so record sites inline to a pointer test.
+  struct QueryMetrics {
+    obs::Counter* count = nullptr;
+    obs::Counter* results = nullptr;
+    obs::Counter* pages_read = nullptr;
+    obs::Histogram* latency_us = nullptr;
+  };
+  /// Per-backend counters, parallel to backends_ (resolved at FinishLoad).
+  struct BackendMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* pages_read = nullptr;
+    obs::Counter* results = nullptr;
+  };
+  /// Every engine-recorded metric, resolved once against metrics_ (in the
+  /// constructor / FinishLoad) so hot paths never pay a name lookup.
+  struct EngineMetrics {
+    QueryMetrics range;
+    QueryMetrics knn;
+    obs::Counter* batch_count = nullptr;
+    obs::Counter* batch_queries = nullptr;
+    obs::Counter* batch_lanes = nullptr;
+    obs::Histogram* batch_latency_us = nullptr;
+    obs::Histogram* batch_lane_time_us = nullptr;
+    obs::Counter* update_batches = nullptr;
+    obs::Counter* update_ops = nullptr;
+    obs::Counter* update_invalidated_boxes = nullptr;
+    obs::Histogram* update_latency_us = nullptr;
+    obs::Counter* compact_count = nullptr;
+    obs::Histogram* compact_latency_us = nullptr;
+    obs::Counter* checkpoint_count = nullptr;
+    obs::Histogram* checkpoint_latency_us = nullptr;
+    obs::Counter* slow_queries = nullptr;
+  };
+  /// Resolve em_ against the registry (constructor, metrics on only).
+  void InitMetrics();
+  /// Close out one range/kNN request: record counters + latency, finish
+  /// the root span (tags: epoch, results, pages), feed the slow-query log
+  /// and attach the trace to the report when the request asked for it.
+  void FinishRangeQuery(bool keep_trace, uint64_t wall_us,
+                        std::shared_ptr<obs::Trace> trace,
+                        RangeReport* report) const;
+  void FinishKnnQuery(bool keep_trace, uint64_t wall_us,
+                      std::shared_ptr<obs::Trace> trace,
+                      KnnReport* report) const;
+  /// An engine-built trace for this request, or null (no tracing when
+  /// metrics are off; built when the request asks or the slow log might
+  /// retain it).
+  std::shared_ptr<obs::Trace> MaybeTrace(bool requested,
+                                         const char* root) const;
 
   EngineOptions options_;
   std::vector<std::unique_ptr<SpatialBackend>> backends_;
@@ -622,6 +746,15 @@ class QueryEngine {
   /// True while Open replays the WAL: suppresses re-logging replayed
   /// batches and the initial checkpoint of FinishLoad.
   bool recovering_ = false;
+
+  /// Observability (null when options_.metrics == kOff): the thread-safe
+  /// registry every layer records into, the resolved hot-path pointers,
+  /// per-backend counters (parallel to backends_, filled at FinishLoad)
+  /// and the slow-query ring.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  EngineMetrics em_;
+  std::vector<BackendMetrics> backend_metrics_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 }  // namespace engine

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "cache/delta_planner.h"
+#include "common/stats.h"
 
 namespace neurodb {
 namespace engine {
@@ -15,7 +18,8 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
                               scout::SessionOptions options,
                               const BaseDeltaBackend* delta_source,
                               const UpdateLog* update_log,
-                              std::shared_mutex* read_lock) {
+                              std::shared_mutex* read_lock,
+                              SessionObs hooks) {
   if (index == nullptr || store == nullptr) {
     return Status::InvalidArgument("Session: null index or store");
   }
@@ -59,6 +63,17 @@ Result<Session> Session::Open(const flat::FlatIndex* index,
     }
   }
 
+  session.obs_ = hooks;
+  if (hooks.metrics != nullptr) {
+    session.m_steps_ = hooks.metrics->counter("session.step.count");
+    session.m_pages_missed_ =
+        hooks.metrics->counter("session.step.pages_missed");
+    session.m_pages_hit_ = hooks.metrics->counter("session.step.pages_hit");
+    session.m_latency_us_ =
+        hooks.metrics->histogram("session.step.latency_us");
+    session.m_stall_us_ = hooks.metrics->histogram("session.step.stall_us");
+  }
+
   scout::PrefetchContext ctx;
   ctx.index = index;
   ctx.pool = session.pool_.get();
@@ -84,6 +99,14 @@ void Session::CatchUpInvalidations() {
 Result<scout::StepRecord> Session::RunStep(
     const std::function<Status(std::vector<geom::ElementId>* ids,
                                geom::Aabb* prefetch_box)>& query) {
+  // Wall clock (not the simulated session clock): latency histograms and
+  // the slow-query threshold measure real elapsed time.
+  Timer wall;
+  std::shared_ptr<obs::Trace> trace;
+  if (options_.trace_steps || obs_.slow_log != nullptr) {
+    trace = std::make_shared<obs::Trace>("session.step");
+  }
+
   // Engine-owned sessions hold the compaction lock shared for the whole
   // step: queries run concurrently with ApplyUpdates (snapshot below), but
   // never against a page layout Compact is mid-way through rebuilding.
@@ -130,7 +153,9 @@ Result<scout::StepRecord> Session::RunStep(
 
   std::vector<geom::ElementId> ids;
   geom::Aabb prefetch_box;
+  const int query_span = trace != nullptr ? trace->Begin("query") : -1;
   NEURODB_RETURN_NOT_OK(query(&ids, &prefetch_box));
+  if (trace != nullptr) trace->End(query_span);
 
   step.stall_us = clock_->NowMicros() - t0;
   step.pages_missed = pool_->stats().Get("pool.misses") - misses0;
@@ -142,6 +167,7 @@ Result<scout::StepRecord> Session::RunStep(
 
   // Think pause: the prefetcher works while the scientist looks at the
   // data. Loads within the budget finish before the next query.
+  const int prefetch_span = trace != nullptr ? trace->Begin("prefetch") : -1;
   step.prefetched = prefetcher_->AfterQuery(prefetch_box, ids, budget_);
   step.candidates = prefetcher_->CandidateCount();
   if (cache_ != nullptr) {
@@ -149,7 +175,31 @@ Result<scout::StepRecord> Session::RunStep(
         budget_ > step.prefetched ? budget_ - step.prefetched : 0;
     step.prefetched += PrepopulateCache(remaining);
   }
+  if (trace != nullptr) {
+    trace->Tag(prefetch_span, "pages", step.prefetched);
+    trace->End(prefetch_span);
+  }
   clock_->Advance(options_.think_time_us);
+
+  const uint64_t wall_us = wall.ElapsedNanos() / 1000;
+  if (trace != nullptr) {
+    trace->Tag(0, "epoch", step.epoch);
+    trace->Tag(0, "results", step.results);
+    trace->Tag(0, "pages_missed", step.pages_missed);
+    trace->Tag(0, "pages_hit", step.pages_hit);
+    trace->Tag(0, "stall_us", step.stall_us);
+    trace->End(0);
+    if (obs_.slow_log != nullptr &&
+        wall_us >= obs_.slow_log->threshold_us()) {
+      obs_.slow_log->Record("session.step", wall_us, trace);
+    }
+    if (options_.trace_steps) step.trace = trace;
+  }
+  obs::Bump(m_steps_);
+  obs::Add(m_pages_missed_, step.pages_missed);
+  obs::Add(m_pages_hit_, step.pages_hit);
+  obs::Record(m_latency_us_, wall_us);
+  obs::Record(m_stall_us_, step.stall_us);
 
   total_stall_us_ += step.stall_us;
   steps_.push_back(step);

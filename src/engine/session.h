@@ -56,12 +56,25 @@
 #include "geom/knn.h"
 #include "geom/visitor.h"
 #include "neuro/circuit.h"
+#include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "scout/prefetcher.h"
 #include "scout/session.h"
 #include "storage/buffer_pool.h"
 
 namespace neurodb {
 namespace engine {
+
+/// Observability hooks an engine threads into the sessions it opens (both
+/// borrowed; they must outlive the session). `metrics` receives the
+/// session.step.* counters and histograms; `slow_log` receives traced
+/// steps whose wall time crosses its threshold. Default-constructed hooks
+/// (standalone sessions, or an engine with metrics off) record nothing.
+struct SessionObs {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SlowQueryLog* slow_log = nullptr;
+};
 
 /// One interactive exploration session. Obtained from
 /// QueryEngine::OpenSession; movable, not copyable. All clock/pool state is
@@ -85,7 +98,8 @@ class Session {
                               scout::SessionOptions options,
                               const BaseDeltaBackend* delta_source = nullptr,
                               const UpdateLog* update_log = nullptr,
-                              std::shared_mutex* read_lock = nullptr);
+                              std::shared_mutex* read_lock = nullptr,
+                              SessionObs hooks = SessionObs{});
 
   Session(Session&&) = default;
   Session& operator=(Session&&) = default;
@@ -210,6 +224,15 @@ class Session {
   /// read back by RunStep into the StepRecord).
   double last_cover_fraction_ = 0.0;
   double last_delta_fraction_ = 1.0;
+  /// Engine-provided observability hooks (empty for standalone sessions)
+  /// and the session.step.* instruments pre-resolved from them — null
+  /// pointers record nothing (obs::Add/Record tolerate null).
+  SessionObs obs_;
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_pages_missed_ = nullptr;
+  obs::Counter* m_pages_hit_ = nullptr;
+  obs::Histogram* m_latency_us_ = nullptr;
+  obs::Histogram* m_stall_us_ = nullptr;
 };
 
 }  // namespace engine

@@ -1,0 +1,30 @@
+#include "obs/slow_log.h"
+
+namespace neurodb {
+namespace obs {
+
+void SlowQueryLog::Record(std::string kind, uint64_t duration_us,
+                          std::shared_ptr<const Trace> trace) {
+  if (duration_us < threshold_us_ || capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SlowQuery entry;
+  entry.seq = ++seq_;
+  entry.kind = std::move(kind);
+  entry.duration_us = duration_us;
+  entry.trace = std::move(trace);
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<SlowQuery> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQuery>(ring_.begin(), ring_.end());
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace obs
+}  // namespace neurodb

@@ -1,0 +1,61 @@
+// NeuroDB — slow-query log: a bounded ring of the most recent requests
+// that exceeded `EngineOptions::slow_query_us`, each retaining its full
+// trace span tree for post-hoc inspection.
+//
+// Thread-safe: batch lanes, sessions and foreground queries all record
+// into the engine's one log under a mutex (recording only happens for
+// offending queries, so the lock is off the common path).
+
+#ifndef NEURODB_OBS_SLOW_LOG_H_
+#define NEURODB_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace neurodb {
+namespace obs {
+
+struct SlowQuery {
+  uint64_t seq = 0;  // 1-based admission order, monotone across evictions
+  std::string kind;  // "range", "knn", "batch.range", "session.step", ...
+  uint64_t duration_us = 0;
+  std::shared_ptr<const Trace> trace;  // may be null if tracing was skipped
+};
+
+class SlowQueryLog {
+ public:
+  SlowQueryLog(size_t capacity, uint64_t threshold_us)
+      : capacity_(capacity), threshold_us_(threshold_us) {}
+
+  uint64_t threshold_us() const { return threshold_us_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Admit the query if it is at or over threshold, evicting the oldest
+  /// entry when the ring is full.
+  void Record(std::string kind, uint64_t duration_us,
+              std::shared_ptr<const Trace> trace);
+
+  /// Oldest-to-newest copy of the retained entries.
+  std::vector<SlowQuery> Entries() const;
+
+  /// Queries admitted over the log's lifetime (including evicted ones).
+  uint64_t total_recorded() const;
+
+ private:
+  mutable std::mutex mu_;
+  const size_t capacity_;
+  const uint64_t threshold_us_;
+  uint64_t seq_ = 0;
+  std::deque<SlowQuery> ring_;
+};
+
+}  // namespace obs
+}  // namespace neurodb
+
+#endif  // NEURODB_OBS_SLOW_LOG_H_

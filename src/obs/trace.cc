@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace neurodb {
+namespace obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Trace::Trace(std::string root_name)
+    : birth_(std::chrono::steady_clock::now()) {
+  Span root;
+  root.name = std::move(root_name);
+  root.parent = -1;
+  spans_.push_back(std::move(root));
+}
+
+uint64_t Trace::ElapsedNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - birth_)
+          .count());
+}
+
+int Trace::Begin(const std::string& name, int parent) {
+  Span span;
+  span.name = name;
+  span.parent = parent;
+  span.start_ns = ElapsedNs();
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::End(int span) {
+  Span& s = spans_[static_cast<size_t>(span)];
+  const uint64_t now = ElapsedNs();
+  s.duration_ns = now > s.start_ns ? now - s.start_ns : 1;
+}
+
+int Trace::AddCompleted(const std::string& name, int parent, uint64_t start_ns,
+                        uint64_t duration_ns) {
+  Span span;
+  span.name = name;
+  span.parent = parent;
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns > 0 ? duration_ns : 1;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::Tag(int span, std::string key, std::string value) {
+  spans_[static_cast<size_t>(span)].tags.emplace_back(std::move(key),
+                                                      std::move(value));
+}
+
+void Trace::Tag(int span, std::string key, uint64_t value) {
+  Tag(span, std::move(key), std::to_string(value));
+}
+
+std::string Trace::ToString() const {
+  // Children are appended after their parent, so a single indexed pass with
+  // depths computed by parent-chasing renders the tree in creation order.
+  std::vector<int> depth(spans_.size(), 0);
+  std::ostringstream out;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (s.parent >= 0) depth[i] = depth[static_cast<size_t>(s.parent)] + 1;
+    for (int d = 0; d < depth[i]; ++d) out << "  ";
+    out << s.name << " " << s.duration_ns / 1000 << "us";
+    for (const auto& [key, value] : s.tags) out << " " << key << "=" << value;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Trace::ToJson() const {
+  std::ostringstream out;
+  out << "{\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << JsonEscape(s.name) << "\",\"start_ns\":"
+        << s.start_ns << ",\"duration_ns\":" << s.duration_ns
+        << ",\"parent\":" << s.parent << ",\"tags\":{";
+    for (size_t t = 0; t < s.tags.size(); ++t) {
+      if (t > 0) out << ",";
+      out << "\"" << JsonEscape(s.tags[t].first) << "\":\""
+          << JsonEscape(s.tags[t].second) << "\"";
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace neurodb

@@ -1,0 +1,80 @@
+// NeuroDB — per-request trace: a span tree recording where one query spent
+// its time as it crossed engine → backend → buffer pool → disk layers.
+//
+// A Trace is built by the thread executing one request (it is NOT
+// thread-safe — one trace per request, like the report it rides in) and
+// then frozen: reports carry `std::shared_ptr<const Trace>` so the same
+// tree can live in a report, the slow-query log and a caller's hands
+// without copies.
+//
+// Spans are arena-indexed: Begin() returns an int handle, children are
+// always appended after their parent, and `parent == -1` marks the root.
+// Timestamps are steady-clock nanoseconds relative to the trace's birth,
+// so a rendered tree reads as offsets into the request.
+
+#ifndef NEURODB_OBS_TRACE_H_
+#define NEURODB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neurodb {
+namespace obs {
+
+struct Span {
+  std::string name;
+  uint64_t start_ns = 0;     // offset from trace birth
+  uint64_t duration_ns = 0;  // 0 while the span is still open
+  int parent = -1;           // span index; -1 for the root
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+class Trace {
+ public:
+  /// Opens the root span (index 0) named `root_name`.
+  explicit Trace(std::string root_name);
+
+  /// Open a child span under `parent` (default: the root). Returns its
+  /// index.
+  int Begin(const std::string& name, int parent = 0);
+
+  /// Close an open span; its duration is clamped to >= 1ns so closed
+  /// spans always show non-zero time.
+  void End(int span);
+
+  /// Append an already-timed span (e.g. a pool or disk sub-window
+  /// reconstructed from counter deltas after the fact).
+  int AddCompleted(const std::string& name, int parent, uint64_t start_ns,
+                   uint64_t duration_ns);
+
+  void Tag(int span, std::string key, std::string value);
+  void Tag(int span, std::string key, uint64_t value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span& root() const { return spans_[0]; }
+
+  /// Nanoseconds since the trace was constructed.
+  uint64_t ElapsedNs() const;
+
+  /// Indented human-readable tree:
+  ///   range 812us
+  ///     backend:FLAT 798us pages_read=12 results=40
+  ///       pool 798us hits=3 misses=12
+  std::string ToString() const;
+
+  /// {"spans":[{"name":..,"start_ns":..,"duration_ns":..,"parent":..,
+  ///            "tags":{..}}]}.
+  std::string ToJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point birth_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace obs
+}  // namespace neurodb
+
+#endif  // NEURODB_OBS_TRACE_H_

@@ -14,12 +14,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "flat/flat_index.h"
 #include "geom/aabb.h"
 #include "neuro/circuit.h"
+#include "obs/trace.h"
 #include "scout/prefetcher.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -50,6 +52,11 @@ struct SessionOptions {
   /// a starting point for the crawl; answers are bit-identical either way
   /// (flat::FlatIndex::Knn).
   bool seed_knn = true;
+  /// Attach an obs::Trace span tree to every StepRecord
+  /// (engine::Session): root span "session.step" with "query" and
+  /// "prefetch" children, tagged with epoch / results / pool activity.
+  /// Off by default — tracing allocates per step.
+  bool trace_steps = false;
 
   /// Pages a prefetcher can load during one think pause, capped at the
   /// pool capacity — a longer pause cannot usefully prefetch more pages
@@ -78,6 +85,8 @@ struct StepRecord {
   /// the backend still had to answer. Uncached steps report 0 / 1.
   double cache_hit_fraction = 0.0;
   double delta_volume_fraction = 1.0;
+  /// Span tree for this step (SessionOptions::trace_steps; otherwise null).
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// Whole-walkthrough summary (paper Figure 6's statistics).

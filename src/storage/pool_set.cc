@@ -45,5 +45,16 @@ Stats PoolSet::AggregateStats() const {
   return merged;
 }
 
+PoolCounters PoolSet::Counters() const {
+  PoolCounters c;
+  for (const BufferPool* pool : pools_) {
+    const Stats& stats = pool->stats();
+    c.hits += stats.Get("pool.hits");
+    c.misses += stats.Get("pool.misses");
+    c.evictions += stats.Get("pool.evictions");
+  }
+  return c;
+}
+
 }  // namespace storage
 }  // namespace neurodb

@@ -25,6 +25,35 @@
 namespace neurodb {
 namespace storage {
 
+/// Logical buffer-pool activity counters. Unlike `IoStats` (physical bytes
+/// and fsyncs, all-zero on in-memory stores), these count page-cache events
+/// that happen identically whether pages live in RAM or on disk — the
+/// uniform per-query cost signal `RangeReport::pool` / `KnnReport::pool`
+/// report so memory and disk runs are comparable.
+struct PoolCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  PoolCounters& operator+=(const PoolCounters& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    return *this;
+  }
+
+  /// Component-wise delta (for before/after windows around one query).
+  PoolCounters operator-(const PoolCounters& other) const {
+    PoolCounters d;
+    d.hits = hits - other.hits;
+    d.misses = misses - other.misses;
+    d.evictions = evictions - other.evictions;
+    return d;
+  }
+
+  uint64_t accesses() const { return hits + misses; }
+};
+
 /// A fixed family of buffer pools, one per store, built once and queried
 /// many times. Movable (the pools keep stable addresses), not copyable.
 class PoolSet {
@@ -62,6 +91,11 @@ class PoolSet {
 
   /// All pool tickers merged into one Stats (ticker-wise addition).
   Stats AggregateStats() const;
+
+  /// Logical hit/miss/evict totals over every pool right now — sampled
+  /// before and after a query, the difference is that query's pool
+  /// activity on memory and disk stores alike.
+  PoolCounters Counters() const;
 
  private:
   /// Queried pools, in store order. Owned pools also live in owned_;

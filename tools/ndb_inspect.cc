@@ -5,10 +5,16 @@
 //                                   WAL record (epoch, size, decoded ops)
 //   ndb_inspect <file.ndb|.pages>   one page file
 //   ndb_inspect <wal.ndb>           one write-ahead log
+//   ndb_inspect stats <data-dir>    recover the engine read-only and print
+//                                   its metrics snapshot as JSON (--prom:
+//                                   Prometheus text exposition instead) —
+//                                   recovery-time state gauges (epoch,
+//                                   delta records, pool/cache/io totals)
 //
-// Read-only: never creates, repairs or truncates anything. Exit code 0 on
-// a clean dump, 1 on unreadable/corrupt input (after printing what it
-// could).
+// The dump commands are read-only: they never create, repair or truncate
+// anything. `stats` runs the real recovery path (QueryEngine::Open), which
+// truncates a torn WAL tail exactly as a restart would. Exit code 0 on a
+// clean dump, 1 on unreadable/corrupt input (after printing what it could).
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "engine/durability.h"
+#include "engine/query_engine.h"
 #include "storage/disk/file.h"
 #include "storage/disk/page_file.h"
 #include "storage/disk/wal.h"
@@ -155,12 +162,50 @@ int DumpDir(const std::string& dir) {
   return rc;
 }
 
+int DumpStats(const std::string& dir, bool prometheus) {
+  engine::RecoveryReport recovery;
+  auto opened = engine::QueryEngine::Open(dir, engine::EngineOptions(),
+                                          &recovery);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s: %s\n", dir.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const obs::MetricsSnapshot snapshot = (*opened)->MetricsSnapshot();
+  if (prometheus) {
+    std::fputs(snapshot.ToPrometheus().c_str(), stdout);
+  } else {
+    std::printf("%s\n", snapshot.ToJson().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
+    bool prometheus = false;
+    std::string dir;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--prom") == 0) {
+        prometheus = true;
+      } else if (dir.empty()) {
+        dir = argv[i];
+      } else {
+        dir.clear();
+        break;
+      }
+    }
+    if (dir.empty()) {
+      std::fprintf(stderr, "usage: ndb_inspect stats <data-dir> [--prom]\n");
+      return 1;
+    }
+    return DumpStats(dir, prometheus);
+  }
   if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
     std::fprintf(stderr,
-                 "usage: ndb_inspect <data-dir | file.ndb | file.pages>\n");
+                 "usage: ndb_inspect <data-dir | file.ndb | file.pages>\n"
+                 "       ndb_inspect stats <data-dir> [--prom]\n");
     return argc == 2 ? 0 : 1;
   }
   std::string path = argv[1];
