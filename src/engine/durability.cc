@@ -34,6 +34,10 @@ Status DurabilityOptions::Validate() const {
     return Status::InvalidArgument(
         "DurabilityOptions: block_bytes out of range");
   }
+  if (sync == SyncPolicy::kGroup && group_max_batches == 0) {
+    return Status::InvalidArgument(
+        "DurabilityOptions: kGroup requires group_max_batches > 0");
+  }
   return Status::OK();
 }
 
@@ -139,11 +143,58 @@ Result<geom::ElementVec> DecodeLoadElements(
   return out;
 }
 
+std::vector<uint8_t> EncodeEpochBump() {
+  std::vector<uint8_t> out;
+  storage::EncodeU32(&out, kWalKindEpochBump);
+  return out;
+}
+
 Result<uint32_t> WalPayloadKind(const std::vector<uint8_t>& payload) {
   if (payload.size() < 4) {
     return Status::Corruption("WAL payload shorter than its kind tag");
   }
   return storage::GetU32(payload.data());
+}
+
+CheckpointStream::CheckpointStream(storage::PageFile* base, size_t per_page)
+    : base_(base), per_page_(per_page) {
+  chunk_.reserve(per_page_);
+  base_->BeginSequentialAllocation();
+}
+
+CheckpointStream::~CheckpointStream() {
+  // An abandoned stream (error path) must not leave the base allocating
+  // sequentially forever.
+  base_->EndSequentialAllocation();
+}
+
+Status CheckpointStream::FlushChunk() {
+  if (chunk_.empty()) return Status::OK();
+  NEURODB_RETURN_NOT_OK(base_->WritePage(
+      next_page_, storage::EncodePageImage(next_page_, chunk_)));
+  ++next_page_;
+  ++pages_written_;
+  chunk_.clear();
+  return Status::OK();
+}
+
+Status CheckpointStream::Append(const geom::SpatialElement& element) {
+  if (finished_) {
+    return Status::InvalidArgument("CheckpointStream: append after Finish");
+  }
+  chunk_.push_back(element);
+  ++elements_written_;
+  if (chunk_.size() > max_buffered_) max_buffered_ = chunk_.size();
+  if (chunk_.size() >= per_page_) return FlushChunk();
+  return Status::OK();
+}
+
+Status CheckpointStream::Finish() {
+  if (finished_) return Status::OK();
+  NEURODB_RETURN_NOT_OK(FlushChunk());
+  base_->EndSequentialAllocation();
+  finished_ = true;
+  return Status::OK();
 }
 
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Create(
@@ -161,8 +212,10 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Create(
   dm->base_ = std::move(*base);
 
   // A stale WAL from a previous directory incarnation must not replay into
-  // the fresh base.
+  // the fresh base; a stale cut side file is a crashed CutPrefix's orphan.
   NEURODB_RETURN_NOT_OK(fs->Remove(WalName(dm->dir_)));
+  NEURODB_RETURN_NOT_OK(
+      fs->Remove(storage::WriteAheadLog::CutSidePath(WalName(dm->dir_))));
   auto wal = storage::WriteAheadLog::OpenOrCreate(fs, WalName(dm->dir_));
   NEURODB_RETURN_NOT_OK(wal.status());
   dm->wal_ = std::move(*wal);
@@ -185,27 +238,53 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Attach(
   NEURODB_RETURN_NOT_OK(base.status());
   dm->base_ = std::move(*base);
 
+  // A crashed CutPrefix may have left its side file behind; the rename
+  // never happened, so wal.ndb is authoritative and the orphan is noise.
+  NEURODB_RETURN_NOT_OK(
+      fs->Remove(storage::WriteAheadLog::CutSidePath(WalName(dm->dir_))));
   auto wal = storage::WriteAheadLog::OpenOrCreate(fs, WalName(dm->dir_));
   NEURODB_RETURN_NOT_OK(wal.status());
   dm->wal_ = std::move(*wal);
   return dm;
 }
 
-Result<geom::ElementVec> DurabilityManager::LoadBase() const {
+Result<geom::ElementVec> DurabilityManager::LoadBase(
+    uint64_t window_bytes) const {
   geom::ElementVec out;
-  for (const auto& [id, run] : base_->directory()) {
-    auto image = base_->ReadPage(id);
-    NEURODB_RETURN_NOT_OK(image.status());
-    auto page = storage::DecodePageImage(image->data(), image->size(), id);
-    NEURODB_RETURN_NOT_OK(page.status());
-    out.insert(out.end(), page->elements.begin(), page->elements.end());
-  }
+  NEURODB_RETURN_NOT_OK(StreamBase(
+      [&out](std::span<const geom::SpatialElement> chunk) {
+        out.insert(out.end(), chunk.begin(), chunk.end());
+        return Status::OK();
+      },
+      window_bytes));
   return out;
 }
 
+Status DurabilityManager::StreamBase(
+    const std::function<Status(std::span<const geom::SpatialElement>)>& fn,
+    uint64_t window_bytes, storage::PageFile::ScanStats* scan_stats) const {
+  return base_->ScanPages(
+      [&](storage::PageId id, const uint8_t* data, size_t size) -> Status {
+        auto page = storage::DecodePageImage(data, size, id);
+        NEURODB_RETURN_NOT_OK(page.status());
+        return fn(std::span<const geom::SpatialElement>(page->elements));
+      },
+      window_bytes, scan_stats);
+}
+
 Status DurabilityManager::LogUpdates(storage::Epoch epoch,
-                                     std::span<const UpdateRequest> updates) {
-  return wal_->Append(epoch, EncodeUpdateBatch(updates));
+                                     std::span<const UpdateRequest> updates,
+                                     bool sync) {
+  return wal_->Append(epoch, EncodeUpdateBatch(updates), sync);
+}
+
+Status DurabilityManager::LogUpdateGroup(
+    std::span<const storage::WriteAheadLog::PendingRecord> records) {
+  return wal_->AppendBatch(records, /*sync=*/true);
+}
+
+Status DurabilityManager::LogEpochBump(storage::Epoch epoch) {
+  return wal_->Append(epoch, EncodeEpochBump(), /*sync=*/true);
 }
 
 Status DurabilityManager::LogLoad(
@@ -215,27 +294,42 @@ Status DurabilityManager::LogLoad(
 
 Status DurabilityManager::CheckpointBase(const geom::ElementVec& live,
                                          storage::Epoch epoch) {
-  base_->Clear();
-  size_t per_page = storage::ElementsPerPage(base_->block_bytes());
-  storage::PageId next = 0;
-  for (size_t i = 0; i < live.size(); i += per_page, ++next) {
-    size_t end = std::min(live.size(), i + per_page);
-    std::vector<geom::SpatialElement> chunk(live.begin() + i,
-                                            live.begin() + end);
-    NEURODB_RETURN_NOT_OK(
-        base_->WritePage(next, storage::EncodePageImage(next, chunk)));
+  auto stream = BeginCheckpoint();
+  NEURODB_RETURN_NOT_OK(stream.status());
+  for (const geom::SpatialElement& element : live) {
+    NEURODB_RETURN_NOT_OK((*stream)->Append(element));
   }
+  NEURODB_RETURN_NOT_OK((*stream)->Finish());
+  // The caller's live set is everything — the whole log is covered.
+  return CommitCheckpoint(epoch, wal_->end_offset());
+}
+
+Result<std::unique_ptr<CheckpointStream>> DurabilityManager::BeginCheckpoint() {
+  // Copy-on-write: Clear only *stages* the removal of the committed pages;
+  // until CommitCheckpoint's Sync they stay on disk and a crash recovers
+  // the previous checkpoint.
+  base_->Clear();
+  return std::unique_ptr<CheckpointStream>(new CheckpointStream(
+      base_.get(), storage::ElementsPerPage(base_->block_bytes())));
+}
+
+Status DurabilityManager::CommitCheckpoint(storage::Epoch epoch,
+                                           uint64_t wal_cut_offset) {
+  // PageFile::Sync fsyncs the whole file before committing the header, so
+  // every streamed page is durable before the header points at it.
   NEURODB_RETURN_NOT_OK(base_->Sync(epoch));
   // Only once the new base is committed may the log shrink; the reverse
-  // order could lose acknowledged batches.
-  return wal_->Reset();
+  // order could lose acknowledged batches. Records appended after the
+  // snapshot was pinned (offset >= wal_cut_offset) survive the cut.
+  return wal_->CutPrefix(wal_cut_offset);
 }
 
 Status DurabilityManager::Replay(
     const std::function<Status(storage::Epoch,
                                const std::vector<UpdateRequest>&)>& fn,
     storage::WriteAheadLog::ReplayStats* stats,
-    const std::function<Status(storage::Epoch, geom::ElementVec)>& load_fn) {
+    const std::function<Status(storage::Epoch, geom::ElementVec)>& load_fn,
+    const std::function<Status(storage::Epoch)>& bump_fn) {
   return wal_->Replay(
       [&](const storage::WriteAheadLog::Record& record) -> Status {
         auto kind = WalPayloadKind(record.payload);
@@ -255,6 +349,10 @@ Status DurabilityManager::Replay(
             NEURODB_RETURN_NOT_OK(elements.status());
             return load_fn(record.epoch, std::move(*elements));
           }
+          case kWalKindEpochBump:
+            // Data-free: consumers that only want batches (the load-record
+            // pre-scan) skip them by leaving bump_fn null.
+            return bump_fn == nullptr ? Status::OK() : bump_fn(record.epoch);
           default:
             return Status::Corruption(
                 "DurabilityManager::Replay: unknown WAL record kind " +

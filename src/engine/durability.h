@@ -12,15 +12,24 @@
 //                  from base.ndb on recovery, never read by it).
 //
 // The protocol (engine/query_engine.cc drives it):
-//   * ApplyUpdates appends + fsyncs the encoded batch BEFORE any backend
-//     mutates — an acknowledged batch survives any later crash.
-//   * Checkpoint/Compact rewrite base.ndb copy-on-write, commit its header
-//     at the current engine epoch, then truncate the WAL. A crash between
-//     those two steps is benign: replay skips records at or below the
-//     checkpoint epoch.
-//   * QueryEngine::Open loads base.ndb, rebuilds every backend, replays
-//     the WAL tail through the normal ApplyUpdates path, and truncates a
-//     torn final record.
+//   * ApplyUpdates appends the encoded batch BEFORE any backend mutates —
+//     under SyncPolicy::kPerBatch each append carries its own fsync; under
+//     kGroup the commit-lock holder appends a whole group of batches in one
+//     write + one fsync (LogUpdateGroup) — an acknowledged batch survives
+//     any later crash either way. kNone skips the fsync entirely
+//     (bulk-load: the next checkpoint is the durability point).
+//   * Checkpoint/Compact rewrite base.ndb copy-on-write (streamed page by
+//     page — peak residency is one page chunk, not the live set), commit
+//     its header at the pinned epoch, then drop the covered WAL prefix
+//     (CommitCheckpoint). A crash between those two steps is benign:
+//     replay skips records at or below the checkpoint epoch.
+//   * Compact logs a kWalKindEpochBump record for the epoch its rebuild
+//     creates: the bump carries no ops, but keeps the WAL's epoch sequence
+//     gapless when the checkpoint that would normally absorb it runs in
+//     the background (or never completes).
+//   * QueryEngine::Open streams base.ndb (readahead-coalesced ScanPages),
+//     rebuilds every backend, replays the WAL tail through the normal
+//     ApplyUpdates path, and truncates a torn final record.
 //
 // The WAL itself is payload-agnostic (storage must not depend on engine
 // types); EncodeUpdateBatch/DecodeUpdateBatch is the engine-side codec.
@@ -48,6 +57,25 @@
 namespace neurodb {
 namespace engine {
 
+/// When an accepted ApplyUpdates batch becomes durable (docs/API.md
+/// "Durability tuning"). Every policy writes the WAL record before any
+/// backend mutates; they differ only in when the fsync happens.
+enum class SyncPolicy : uint8_t {
+  /// One fsync per batch — lowest latency to durability, lowest
+  /// throughput under concurrent writers.
+  kPerBatch,
+  /// Group commit: concurrent writers' batches coalesce at the commit
+  /// lock; the leader appends the whole group in one write and amortizes
+  /// ONE fsync over it. Same durability guarantee as kPerBatch (a batch
+  /// is only acknowledged after its group's fsync), ~group-size× fewer
+  /// fsyncs.
+  kGroup,
+  /// No per-batch fsync at all (bulk load): batches are durable at the
+  /// next checkpoint/Compact. A crash before that can lose acknowledged
+  /// batches — opt in knowingly.
+  kNone,
+};
+
 /// Durable-storage configuration (EngineOptions::durability). An empty
 /// `dir` keeps the engine fully in-memory — the default, and the behaviour
 /// of every engine before this subsystem existed.
@@ -63,6 +91,20 @@ struct DurabilityOptions {
   /// Null means storage::DefaultFileSystem(); tests inject
   /// storage::FaultInjectingFileSystem here.
   storage::FileSystem* fs = nullptr;
+
+  /// When a batch's WAL record is fsync'd (see SyncPolicy).
+  SyncPolicy sync = SyncPolicy::kPerBatch;
+  /// kGroup: most batches one coalesced append may carry.
+  size_t group_max_batches = 64;
+  /// kGroup: how long the leader may hold the group open waiting for more
+  /// writers to queue up (0 = take whatever is queued, never wait). The
+  /// knob trades single-writer latency for multi-writer coalescing.
+  uint64_t group_hold_us = 100;
+  /// When > 0: after a commit leaves the WAL at or past this many bytes,
+  /// the engine schedules a background checkpoint on its mutation worker
+  /// (CheckpointAsync). 0 disables the size trigger — Compact/Checkpoint
+  /// remain the only checkpoint points.
+  uint64_t checkpoint_wal_bytes = 0;
 
   bool enabled() const { return !dir.empty(); }
   Status Validate() const;
@@ -86,6 +128,13 @@ struct RecoveryReport {
 /// log can carry more than update batches (docs/FILE_FORMAT.md).
 inline constexpr uint32_t kWalKindUpdateBatch = 1;
 inline constexpr uint32_t kWalKindLoadElements = 2;
+/// An op-less epoch advance (Compact's rebuild): keeps replayed epochs
+/// consecutive when the matching checkpoint runs in the background.
+inline constexpr uint32_t kWalKindEpochBump = 3;
+
+/// Default read window for streaming base scans (LoadBase/StreamBase):
+/// callers that know their BufferPool budget pass their own.
+inline constexpr uint64_t kDefaultScanWindowBytes = 1u << 20;
 
 /// Serialize a batch: u32 kind (= kWalKindUpdateBatch), u32 count, then 40
 /// bytes per op (u32 op kind, u32 reserved, u64 id, 6 × f32 bounds).
@@ -107,8 +156,54 @@ std::vector<uint8_t> EncodeLoadElements(
 Result<geom::ElementVec> DecodeLoadElements(
     const std::vector<uint8_t>& payload);
 
+/// Serialize an epoch bump: just the u32 kind (= kWalKindEpochBump) — the
+/// epoch itself rides in the record header like every other record's.
+std::vector<uint8_t> EncodeEpochBump();
+
 /// The kind discriminator of a WAL payload (kCorruption when too short).
 Result<uint32_t> WalPayloadKind(const std::vector<uint8_t>& payload);
+
+/// A checkpoint rewrite in flight: elements stream in ascending id order,
+/// buffered one page at a time (peak residency = storage::ElementsPerPage
+/// elements, never the live set) and written under the PageFile's
+/// sequential-allocation hint so the pages land physically contiguous.
+/// Created by DurabilityManager::BeginCheckpoint; nothing is durable until
+/// DurabilityManager::CommitCheckpoint — abandoning the stream (error
+/// path) leaves the previous committed base fully intact.
+class CheckpointStream {
+ public:
+  ~CheckpointStream();
+  CheckpointStream(const CheckpointStream&) = delete;
+  CheckpointStream& operator=(const CheckpointStream&) = delete;
+
+  /// Add the next element (callers feed ascending ids; each full page
+  /// chunk is written out immediately).
+  Status Append(const geom::SpatialElement& element);
+
+  /// Flush the final partial page. Idempotent; must precede
+  /// CommitCheckpoint.
+  Status Finish();
+
+  size_t pages_written() const { return pages_written_; }
+  size_t elements_written() const { return elements_written_; }
+  /// Largest element buffer held at any point — the residency bound the
+  /// larger-than-pool checkpoint test asserts on.
+  size_t max_buffered() const { return max_buffered_; }
+
+ private:
+  friend class DurabilityManager;
+  CheckpointStream(storage::PageFile* base, size_t per_page);
+  Status FlushChunk();
+
+  storage::PageFile* base_;
+  size_t per_page_;
+  std::vector<geom::SpatialElement> chunk_;
+  storage::PageId next_page_ = 0;
+  size_t pages_written_ = 0;
+  size_t elements_written_ = 0;
+  size_t max_buffered_ = 0;
+  bool finished_ = false;
+};
 
 class DurabilityManager {
  public:
@@ -126,11 +221,32 @@ class DurabilityManager {
   storage::Epoch checkpoint_epoch() const { return base_->epoch(); }
 
   /// Every element of the checkpointed snapshot, ascending by id.
-  Result<geom::ElementVec> LoadBase() const;
+  /// Materializes the full vector (backends build over it) but reads the
+  /// file through StreamBase — the I/O buffer never exceeds `window_bytes`.
+  Result<geom::ElementVec> LoadBase(
+      uint64_t window_bytes = kDefaultScanWindowBytes) const;
 
-  /// Durably append one encoded batch to the WAL (fsync'd on return).
+  /// Stream the checkpointed snapshot in ascending id order, one decoded
+  /// page span per callback, reading at most `window_bytes` at a time
+  /// (physically adjacent pages coalesce into one readahead window).
+  /// `scan_stats` (optional) reports read calls + peak window size.
+  Status StreamBase(
+      const std::function<Status(std::span<const geom::SpatialElement>)>& fn,
+      uint64_t window_bytes,
+      storage::PageFile::ScanStats* scan_stats = nullptr) const;
+
+  /// Append one encoded batch to the WAL; `sync` fsyncs before returning
+  /// (kPerBatch semantics — pass false under SyncPolicy::kNone).
   Status LogUpdates(storage::Epoch epoch,
-                    std::span<const UpdateRequest> updates);
+                    std::span<const UpdateRequest> updates, bool sync = true);
+
+  /// Group commit: append every record in ONE write with ONE fsync. On
+  /// return all of them are durable; on error none was acknowledged.
+  Status LogUpdateGroup(
+      std::span<const storage::WriteAheadLog::PendingRecord> records);
+
+  /// Durably append an op-less epoch advance (Compact's rebuild epoch).
+  Status LogEpochBump(storage::Epoch epoch);
 
   /// Durably append the initial dataset as a load record (fsync'd on
   /// return). Written at engine load, before backends build; the next
@@ -142,18 +258,36 @@ class DurabilityManager {
   /// Rewrite base.ndb as `live` (must be ascending by id), commit its
   /// header at `epoch`, then truncate the WAL. Copy-on-write: a crash
   /// before the header commit leaves the previous base + full WAL intact.
+  /// (Streams internally; the synchronous convenience over BeginCheckpoint
+  /// + CommitCheckpoint for callers that already hold the live set.)
   Status CheckpointBase(const geom::ElementVec& live, storage::Epoch epoch);
+
+  /// Start a streaming base rewrite: stages a full copy-on-write page set
+  /// under the sequential-allocation hint. The previous committed base
+  /// stays intact (and readable through recovery) until CommitCheckpoint.
+  Result<std::unique_ptr<CheckpointStream>> BeginCheckpoint();
+
+  /// Make a finished stream the durable base: fsync the staged pages +
+  /// header at `epoch`, then drop the WAL prefix below `wal_cut_offset`
+  /// (the log's end_offset captured when the stream's snapshot was
+  /// pinned — records at or before it have epoch <= `epoch` and are now
+  /// covered by the base; records past it replay on top). Base-then-log
+  /// order: a crash between the two leaves extra covered records behind,
+  /// which replay skips by epoch.
+  Status CommitCheckpoint(storage::Epoch epoch, uint64_t wal_cut_offset);
 
   /// Replay every intact WAL record in order, dispatching by payload kind:
   /// update batches to `fn`, load records to `load_fn` (rejected as
-  /// corruption when null and one is present). Stops cleanly at the first
+  /// corruption when null and one is present), epoch bumps to `bump_fn`
+  /// (skipped when null — they carry no data). Stops cleanly at the first
   /// torn record; `stats` receives the scan summary.
   Status Replay(
       const std::function<Status(storage::Epoch,
                                  const std::vector<UpdateRequest>&)>& fn,
       storage::WriteAheadLog::ReplayStats* stats,
       const std::function<Status(storage::Epoch, geom::ElementVec)>& load_fn =
-          nullptr);
+          nullptr,
+      const std::function<Status(storage::Epoch)>& bump_fn = nullptr);
 
   /// Physically drop bytes past the last intact record (call after Replay).
   Status TruncateTornTail() {

@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "cache/delta_planner.h"
 #include "exec/parallel_executor.h"
@@ -88,6 +89,12 @@ void QueryEngine::InitMetrics() {
   em_.compact_latency_us = m->histogram("engine.compact.latency_us");
   em_.checkpoint_count = m->counter("engine.checkpoint.count");
   em_.checkpoint_latency_us = m->histogram("engine.checkpoint.latency_us");
+  // Background-checkpoint I/O attributed to its own instrument — a query
+  // or commit running concurrently must not absorb the rewrite's bytes.
+  em_.checkpoint_bytes_written = m->counter("engine.checkpoint.bytes_written");
+  em_.checkpoint_fsyncs = m->counter("engine.checkpoint.fsyncs");
+  em_.wal_fsync = m->counter("wal.fsync");
+  em_.commit_group_size = m->histogram("engine.commit.group_size");
   em_.slow_queries = m->counter("engine.slow_queries");
 }
 
@@ -249,37 +256,20 @@ Status QueryEngine::FinishLoad(geom::ElementVec elements) {
   return Status::OK();
 }
 
-Result<UpdateReport> QueryEngine::ApplyUpdates(
-    std::span<const UpdateRequest> updates) {
-  // Commit latency as the caller experiences it: the clock starts before
-  // the commit lock, so queueing behind other writers is part of it.
-  Timer wall;
-  // One committing batch at a time; readers are NOT excluded — they answer
-  // at their pinned epoch while this batch publishes the next one.
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  NEURODB_RETURN_NOT_OK(RequireLoaded("ApplyUpdates"));
-  if (updates.empty()) {
-    return Status::InvalidArgument("QueryEngine::ApplyUpdates: empty batch");
-  }
-
-  // Mutability is all-or-nothing across the registry: a half-applied batch
-  // (mutable built-ins updated, a read-only custom backend not) would break
-  // kAll parity permanently, so refuse up front, before anything applies.
-  for (const auto& backend : backends_) {
-    if (!backend->SupportsUpdates()) {
-      return Status::Unimplemented(
-          std::string("QueryEngine::ApplyUpdates: backend '") +
-          backend->name() + "' is read-only");
-    }
-  }
-
+Status QueryEngine::ValidateBatchLocked(
+    std::span<const UpdateRequest> updates,
+    std::unordered_map<geom::ElementId, bool>* overlay) const {
   // Validate the whole batch against the live id set before touching any
-  // backend — the batch applies atomically or not at all. The overlay
-  // tracks intra-batch dependencies (insert-then-move of one id is fine).
-  std::unordered_map<geom::ElementId, bool> overlay;  // id -> alive after ops
+  // backend — the batch applies atomically or not at all. `local` tracks
+  // intra-batch dependencies (insert-then-move of one id is fine) and is
+  // merged into `overlay` only on success, so a rejected batch in a commit
+  // group leaves no trace for the batches validated after it.
+  std::unordered_map<geom::ElementId, bool> local;  // id -> alive after ops
   auto alive = [&](geom::ElementId id) {
-    auto it = overlay.find(id);
-    if (it != overlay.end()) return it->second;
+    auto it = local.find(id);
+    if (it != local.end()) return it->second;
+    it = overlay->find(id);
+    if (it != overlay->end()) return it->second;
     return live_bounds_.find(id) != live_bounds_.end();
   };
   for (const UpdateRequest& update : updates) {
@@ -293,14 +283,14 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
           return Status::AlreadyExists(
               "QueryEngine::ApplyUpdates: insert of a live id");
         }
-        overlay[update.id] = true;
+        local[update.id] = true;
         break;
       case UpdateKind::kErase:
         if (!alive(update.id)) {
           return Status::NotFound(
               "QueryEngine::ApplyUpdates: erase of an unknown id");
         }
-        overlay[update.id] = false;
+        local[update.id] = false;
         break;
       case UpdateKind::kMove:
         if (!update.bounds.IsValid()) {
@@ -311,23 +301,16 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
           return Status::NotFound(
               "QueryEngine::ApplyUpdates: move of an unknown id");
         }
-        overlay[update.id] = true;
+        local[update.id] = true;
         break;
     }
   }
+  for (const auto& [id, live] : local) (*overlay)[id] = live;
+  return Status::OK();
+}
 
-  const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
-
-  // The batch becomes crash-proof BEFORE any backend mutates: the WAL
-  // record (stamped with the epoch this batch will create) is fsync'd
-  // here, so an acknowledged batch survives any later crash. If the append
-  // fails, nothing has been touched and the batch is cleanly rejected.
-  // Replay routes the same batches back through this method with
-  // recovering_ set — they are already on disk.
-  if (durability_ != nullptr && !recovering_) {
-    NEURODB_RETURN_NOT_OK(durability_->LogUpdates(next, updates));
-  }
-
+Result<UpdateReport> QueryEngine::ApplyValidatedLocked(
+    std::span<const UpdateRequest> updates, storage::Epoch next) {
   // Dirty region + live-id map first (erase/move dirty needs the *old*
   // bounds): writer-private bookkeeping, invisible to readers.
   UpdateReport report;
@@ -391,8 +374,228 @@ Result<UpdateReport> QueryEngine::ApplyUpdates(
   obs::Bump(em_.update_batches);
   obs::Add(em_.update_ops, report.applied);
   obs::Add(em_.update_invalidated_boxes, report.invalidated_boxes);
-  obs::Record(em_.update_latency_us, wall.ElapsedNanos() / 1000);
+  MaybeScheduleCheckpointLocked();
   return report;
+}
+
+Result<UpdateReport> QueryEngine::ApplyUpdatesLocked(
+    std::span<const UpdateRequest> updates) {
+  NEURODB_RETURN_NOT_OK(RequireLoaded("ApplyUpdates"));
+  if (updates.empty()) {
+    return Status::InvalidArgument("QueryEngine::ApplyUpdates: empty batch");
+  }
+
+  // Mutability is all-or-nothing across the registry: a half-applied batch
+  // (mutable built-ins updated, a read-only custom backend not) would break
+  // kAll parity permanently, so refuse up front, before anything applies.
+  for (const auto& backend : backends_) {
+    if (!backend->SupportsUpdates()) {
+      return Status::Unimplemented(
+          std::string("QueryEngine::ApplyUpdates: backend '") +
+          backend->name() + "' is read-only");
+    }
+  }
+
+  std::unordered_map<geom::ElementId, bool> overlay;
+  NEURODB_RETURN_NOT_OK(ValidateBatchLocked(updates, &overlay));
+
+  const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
+
+  // The batch becomes crash-proof BEFORE any backend mutates: the WAL
+  // record (stamped with the epoch this batch will create) is written —
+  // and, except under SyncPolicy::kNone, fsync'd — here, so an
+  // acknowledged batch survives any later crash. If the append fails,
+  // nothing has been touched and the batch is cleanly rejected. Replay
+  // routes the same batches back through this method with recovering_
+  // set — they are already on disk.
+  if (durability_ != nullptr && !recovering_) {
+    const bool sync = options_.durability.sync != SyncPolicy::kNone;
+    NEURODB_RETURN_NOT_OK(durability_->LogUpdates(next, updates, sync));
+    if (sync) {
+      obs::Bump(em_.wal_fsync);
+      obs::Record(em_.commit_group_size, 1);
+    }
+  }
+
+  return ApplyValidatedLocked(updates, next);
+}
+
+void QueryEngine::CommitGroupLocked(std::unique_lock<std::mutex>&) {
+  const size_t want = std::max<size_t>(1, options_.durability.group_max_batches);
+  // Publish a member's completion: `done` flips under group_mu_ and wakes
+  // the parked owner. The owner may return (destroying the PendingCommit)
+  // the moment this releases group_mu_ — never touch `pending` after.
+  auto complete = [this](PendingCommit* pending) {
+    {
+      std::lock_guard<std::mutex> queue_lock(group_mu_);
+      pending->done = true;
+    }
+    group_cv_.notify_all();
+  };
+  std::vector<PendingCommit*> group;
+  {
+    std::unique_lock<std::mutex> queue_lock(group_mu_);
+    if (group_queue_.size() < want && options_.durability.group_hold_us > 0) {
+      // Hold the group open briefly: every writer that queues up inside
+      // the window rides this fsync instead of paying its own. The wait
+      // happens with commit_mu_ held — followers enqueue and notify
+      // without it (they only block on commit_mu_ *after* queueing).
+      group_cv_.wait_for(
+          queue_lock,
+          std::chrono::microseconds(options_.durability.group_hold_us),
+          [&] { return group_queue_.size() >= want; });
+    }
+    while (!group_queue_.empty() && group.size() < want) {
+      group.push_back(group_queue_.front());
+      group_queue_.pop_front();
+    }
+  }
+  if (group.empty()) return;
+
+  // Gate checks shared by every member (batch-independent, so one answer
+  // serves the whole group).
+  Status gate = RequireLoaded("ApplyUpdates");
+  if (gate.ok()) {
+    for (const auto& backend : backends_) {
+      if (!backend->SupportsUpdates()) {
+        gate = Status::Unimplemented(
+            std::string("QueryEngine::ApplyUpdates: backend '") +
+            backend->name() + "' is read-only");
+        break;
+      }
+    }
+  }
+  if (!gate.ok()) {
+    for (PendingCommit* pending : group) {
+      pending->result = gate;
+      complete(pending);
+    }
+    return;
+  }
+
+  // Validate in arrival order against the cumulative overlay: batch k may
+  // depend on batch k-1's effects (its inserts are "alive" here), exactly
+  // as if the batches had committed back to back. Accepted batches take
+  // consecutive epochs; rejected ones answer immediately and leave the
+  // overlay untouched.
+  const storage::Epoch base_epoch = epoch_.load(std::memory_order_relaxed);
+  std::unordered_map<geom::ElementId, bool> overlay;
+  std::vector<PendingCommit*> accepted;
+  std::vector<storage::WriteAheadLog::PendingRecord> records;
+  for (PendingCommit* pending : group) {
+    Status valid =
+        pending->updates.empty()
+            ? Status::InvalidArgument(
+                  "QueryEngine::ApplyUpdates: empty batch")
+            : ValidateBatchLocked(pending->updates, &overlay);
+    if (!valid.ok()) {
+      pending->result = valid;
+      complete(pending);
+      continue;
+    }
+    const storage::Epoch epoch =
+        base_epoch + 1 + static_cast<storage::Epoch>(accepted.size());
+    records.push_back({epoch, EncodeUpdateBatch(pending->updates)});
+    accepted.push_back(pending);
+  }
+  if (accepted.empty()) return;
+
+  // The whole group becomes crash-proof in ONE WAL write + ONE fsync —
+  // the amortization that is the point of kGroup. On failure nothing was
+  // appended and nothing applies: every accepted batch is rejected with
+  // the append error, exactly like a failed kPerBatch append.
+  Status logged = durability_->LogUpdateGroup(records);
+  if (!logged.ok()) {
+    for (PendingCommit* pending : accepted) {
+      pending->result = logged;
+      complete(pending);
+    }
+    return;
+  }
+  obs::Bump(em_.wal_fsync);
+  obs::Record(em_.commit_group_size, accepted.size());
+
+  // Apply in epoch order. A backend failure poisons the engine (see
+  // ApplyValidatedLocked); the batches after it are durable in the WAL but
+  // cannot apply — they fail with the poison status, like every later call.
+  Status poison = Status::OK();
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    PendingCommit* pending = accepted[i];
+    if (!poison.ok()) {
+      pending->result = poison;
+      complete(pending);
+      continue;
+    }
+    Result<UpdateReport> applied = ApplyValidatedLocked(
+        pending->updates,
+        base_epoch + 1 + static_cast<storage::Epoch>(i));
+    if (!applied.ok()) poison = applied.status();
+    pending->result = std::move(applied);
+    complete(pending);
+  }
+}
+
+Result<UpdateReport> QueryEngine::ApplyUpdates(
+    std::span<const UpdateRequest> updates) {
+  // Commit latency as the caller experiences it: the clock starts before
+  // the commit lock, so queueing (and, under kGroup, riding a group) is
+  // part of it.
+  Timer wall;
+
+  const bool grouped = durability_ != nullptr && !recovering_ &&
+                       options_.durability.sync == SyncPolicy::kGroup;
+  if (!grouped) {
+    // One committing batch at a time; readers are NOT excluded — they
+    // answer at their pinned epoch while this batch publishes the next.
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    Result<UpdateReport> result = ApplyUpdatesLocked(updates);
+    if (result.ok()) {
+      obs::Record(em_.update_latency_us, wall.ElapsedNanos() / 1000);
+    }
+    return result;
+  }
+
+  // Group commit: queue first, then try for the commit lock. Whoever
+  // wins leads the group — drains the queue (this entry included, or a
+  // later leader's turn picks it up), appends every accepted batch in one
+  // WAL write + one fsync, applies in order, and fills each entry's
+  // result. Followers park on group_cv_, NEVER on the commit lock:
+  // `done` is published under group_mu_, so an acknowledged writer
+  // returns (and can re-submit into the next group) without convoying
+  // behind the next leader — the property that lets a group actually
+  // refill to `group_max_batches` writers in steady state.
+  NEURODB_RETURN_NOT_OK(RequireLoaded("ApplyUpdates"));
+  if (updates.empty()) {
+    return Status::InvalidArgument("QueryEngine::ApplyUpdates: empty batch");
+  }
+  PendingCommit pending;
+  pending.updates = updates;
+  {
+    std::lock_guard<std::mutex> queue_lock(group_mu_);
+    group_queue_.push_back(&pending);
+  }
+  group_cv_.notify_all();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> queue_lock(group_mu_);
+      if (pending.done) break;
+    }
+    std::unique_lock<std::mutex> commit(commit_mu_, std::try_to_lock);
+    if (commit.owns_lock()) {
+      CommitGroupLocked(commit);
+      continue;  // re-check done — a leader may not have drained us yet
+    }
+    // Someone else leads. The bounded wait covers the lost-wakeup window
+    // between the done-check above and parking; on timeout the loop just
+    // retries leadership.
+    std::unique_lock<std::mutex> queue_lock(group_mu_);
+    group_cv_.wait_for(queue_lock, std::chrono::microseconds(200),
+                       [&] { return pending.done; });
+  }
+  if (pending.result.ok()) {
+    obs::Record(em_.update_latency_us, wall.ElapsedNanos() / 1000);
+  }
+  return std::move(pending.result);
 }
 
 std::future<Result<UpdateReport>> QueryEngine::ApplyUpdatesAsync(
@@ -405,40 +608,52 @@ std::future<Result<UpdateReport>> QueryEngine::ApplyUpdatesAsync(
 
 Status QueryEngine::Compact() {
   Timer wall;
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  NEURODB_RETURN_NOT_OK(RequireLoaded("Compact"));
-  const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
   {
-    // Exclude readers for the rebuild: folding a delta replaces page
-    // layouts and clears every retained version — the one transition a
-    // pinned snapshot cannot survive. Queries and session steps hold this
-    // lock shared, so they are either fully before or fully after.
-    std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
-    for (auto& backend : backends_) {
-      NEURODB_RETURN_NOT_OK(backend->Compact());
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    NEURODB_RETURN_NOT_OK(RequireLoaded("Compact"));
+    const storage::Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
+    // The rebuild's epoch advance must stay replayable even though its
+    // checkpoint now runs *after* the commit lock drops (and may never
+    // complete): log an op-less epoch bump first. If even that single
+    // append fails, abort before anything mutates.
+    if (durability_ != nullptr && !recovering_) {
+      NEURODB_RETURN_NOT_OK(durability_->LogEpochBump(next));
     }
-    // The physical page layout is new; every warm pool caches the old one.
-    // (Session pools re-fetch lazily through the store-epoch check.)
-    pool_manager_->EvictAll();
-    // Re-seed the version rings before the new epoch becomes visible: the
-    // first reader pinning `next` must find a snapshot to resolve.
-    for (auto& backend : backends_) {
-      backend->PublishVersion(next);
+    {
+      // Exclude readers for the rebuild: folding a delta replaces page
+      // layouts and clears every retained version — the one transition a
+      // pinned snapshot cannot survive. Queries and session steps hold
+      // this lock shared, so they are either fully before or fully after.
+      std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
+      for (auto& backend : backends_) {
+        NEURODB_RETURN_NOT_OK(backend->Compact());
+      }
+      // The physical page layout is new; every warm pool caches the old
+      // one. (Session pools re-fetch lazily through the store-epoch
+      // check.)
+      pool_manager_->EvictAll();
+      // Re-seed the version rings before the new epoch becomes visible:
+      // the first reader pinning `next` must find a snapshot to resolve.
+      for (auto& backend : backends_) {
+        backend->PublishVersion(next);
+      }
+      pool_manager_->AdvanceEpochTo(next);
+      epoch_.store(next, std::memory_order_release);
     }
-    pool_manager_->AdvanceEpochTo(next);
-    epoch_.store(next, std::memory_order_release);
+    // Results are unchanged, so cached result boxes stay valid — only the
+    // epoch stamp advances (the empty dirty box invalidates nothing).
+    {
+      std::lock_guard<std::mutex> cache_lock(cache_mu_);
+      result_cache_->AdvanceEpoch(next, Aabb());
+    }
+    update_log_.Append(next, Aabb());
   }
-  // Results are unchanged, so cached result boxes stay valid — only the
-  // epoch stamp advances (the empty dirty box invalidates nothing).
-  {
-    std::lock_guard<std::mutex> cache_lock(cache_mu_);
-    result_cache_->AdvanceEpoch(next, Aabb());
-  }
-  update_log_.Append(next, Aabb());
   // Compaction is the durable checkpoint: base.ndb becomes the compacted
-  // snapshot at the new epoch and the WAL empties.
+  // snapshot at the new epoch and the covered WAL prefix drops. The
+  // commit lock is released first — the streaming rewrite lets writers
+  // keep committing (their records land past the cut).
   if (durability_ != nullptr) {
-    NEURODB_RETURN_NOT_OK(CheckpointLocked());
+    NEURODB_RETURN_NOT_OK(CheckpointStreaming());
   }
   obs::Bump(em_.compact_count);
   obs::Record(em_.compact_latency_us, wall.ElapsedNanos() / 1000);
@@ -449,32 +664,109 @@ std::future<Status> QueryEngine::CompactAsync() {
   return MutationPool()->Submit([this] { return Compact(); });
 }
 
-Status QueryEngine::Checkpoint() {
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  NEURODB_RETURN_NOT_OK(RequireLoaded("Checkpoint"));
-  return CheckpointLocked();
+Status QueryEngine::Checkpoint() { return CheckpointStreaming(); }
+
+std::future<Status> QueryEngine::CheckpointAsync() {
+  return MutationPool()->Submit([this] { return CheckpointStreaming(); });
 }
 
-Status QueryEngine::CheckpointLocked() {
+void QueryEngine::MaybeScheduleCheckpointLocked() {
+  if (durability_ == nullptr || recovering_) return;
+  const uint64_t threshold = options_.durability.checkpoint_wal_bytes;
+  if (threshold == 0) return;
+  if (durability_->wal().end_offset() < threshold) return;
+  // At most one size-triggered checkpoint queued or running: the flag
+  // clears when it finishes, and the next commit past the threshold
+  // re-arms it.
+  if (checkpoint_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  MutationPool()->Submit([this] {
+    Status status = CheckpointStreaming();
+    checkpoint_pending_.store(false, std::memory_order_release);
+    return status;
+  });
+}
+
+Status QueryEngine::CheckpointStreaming() {
   if (durability_ == nullptr) {
     return Status::InvalidArgument(
         "QueryEngine::Checkpoint: engine is not durable (set "
         "EngineOptions::durability.dir or use Open)");
   }
+  // One checkpoint at a time, and outermost: a concurrent Compact blocks
+  // here holding nothing, never inside commit_mu_.
+  std::lock_guard<std::mutex> checkpoint(checkpoint_mu_);
   Timer wall;
-  geom::ElementVec live;
-  live.reserve(live_bounds_.size());
-  for (const auto& [id, bounds] : live_bounds_) live.emplace_back(id, bounds);
-  std::sort(live.begin(), live.end(),
-            [](const geom::SpatialElement& a, const geom::SpatialElement& b) {
-              return a.id < b.id;
-            });
-  NEURODB_RETURN_NOT_OK(durability_->CheckpointBase(
-      live, epoch_.load(std::memory_order_relaxed)));
-  // Backend page files are derived data, but flushing them here makes a
-  // clean shutdown's directory fully consistent on disk. Flushing mutates
-  // store internals, so readers sit out the (brief) write-back.
+  const storage::IoStats io_before = durability_->io();
+
+  // Phase 1 — pin, under a brief commit_mu_ hold: the epoch, the FLAT
+  // backend's published delta snapshot (immutable; together with its base
+  // list it IS the live set at that epoch) and the WAL cut point (every
+  // record at or before it has epoch <= pinned). compact_mu_ is taken
+  // shared *before* commit_mu_ drops so no Compact can swap the base list
+  // out from under the stream.
+  std::shared_lock<std::shared_mutex> no_compact(compact_mu_, std::defer_lock);
+  storage::Epoch pinned = 0;
+  DeltaSnapshot snap;
+  uint64_t wal_cut = 0;
   {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    NEURODB_RETURN_NOT_OK(RequireLoaded("Checkpoint"));
+    no_compact.lock();
+    pinned = epoch_.load(std::memory_order_relaxed);
+    snap = flat_->LatestDelta();
+    wal_cut = durability_->wal().end_offset();
+  }
+
+  // Phase 2 — stream, with readers and writers running: merge the
+  // immutable base list with the pinned delta's inserts in ascending id
+  // order, skipping dead base ids, one page chunk at a time. Nothing here
+  // touches engine state later commits mutate; base.ndb staging is
+  // copy-on-write, so abandoning on error leaves the committed base
+  // intact.
+  {
+    auto stream = durability_->BeginCheckpoint();
+    if (!stream.ok()) {
+      no_compact.unlock();
+      return stream.status();
+    }
+    const engine::DeltaIndex* delta = snap.delta.get();
+    const geom::ElementVec& base = flat_->base_elements();
+    static const std::map<ElementId, Aabb> kNoInserts;
+    const std::map<ElementId, Aabb>& inserts =
+        delta != nullptr ? delta->inserts() : kNoInserts;
+    auto insert_it = inserts.begin();
+    const auto insert_end = inserts.end();
+    Status streamed = Status::OK();
+    auto append_inserts_below = [&](ElementId limit, bool all) -> Status {
+      while (insert_it != insert_end && (all || insert_it->first < limit)) {
+        NEURODB_RETURN_NOT_OK((*stream)->Append(
+            geom::SpatialElement{insert_it->first, insert_it->second}));
+        ++insert_it;
+      }
+      return Status::OK();
+    };
+    for (const geom::SpatialElement& element : base) {
+      streamed = append_inserts_below(element.id, false);
+      if (!streamed.ok()) break;
+      if (delta != nullptr && delta->IsDead(element.id)) continue;
+      streamed = (*stream)->Append(element);
+      if (!streamed.ok()) break;
+    }
+    if (streamed.ok()) streamed = append_inserts_below(0, true);
+    if (streamed.ok()) streamed = (*stream)->Finish();
+    no_compact.unlock();
+    if (!streamed.ok()) return streamed;
+  }
+
+  // Phase 3 — swap, back under commit_mu_ (and only now: taking it while
+  // still holding compact_mu_ shared would deadlock against a Compact
+  // holding commit_mu_ and waiting for compact_mu_ exclusive): commit the
+  // staged base at the pinned epoch, drop the covered WAL prefix, and
+  // flush the backend page files so a clean shutdown's directory is fully
+  // consistent.
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    NEURODB_RETURN_NOT_OK(durability_->CommitCheckpoint(pinned, wal_cut));
     std::unique_lock<std::shared_mutex> exclusive(compact_mu_);
     for (auto& backend : backends_) {
       for (storage::PageStore* store : backend->Stores()) {
@@ -482,6 +774,11 @@ Status QueryEngine::CheckpointLocked() {
       }
     }
   }
+
+  const storage::IoStats io_after = durability_->io();
+  obs::Add(em_.checkpoint_bytes_written,
+           io_after.bytes_written - io_before.bytes_written);
+  obs::Add(em_.checkpoint_fsyncs, io_after.fsyncs - io_before.fsyncs);
   obs::Bump(em_.checkpoint_count);
   obs::Record(em_.checkpoint_latency_us, wall.ElapsedNanos() / 1000);
   return Status::OK();
@@ -495,13 +792,37 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
   return engine;
 }
 
+Status QueryEngine::ApplyEpochBump(storage::Epoch e) {
+  // A replayed kWalKindEpochBump: the previous incarnation's Compact
+  // advanced the epoch but its checkpoint never committed. The rebuilt
+  // state already holds the right live set (base + replayed batches);
+  // only the epoch sequence needs the advance so later records stay
+  // consecutive.
+  for (auto& backend : backends_) backend->PublishVersion(e);
+  pool_manager_->AdvanceEpochTo(e);
+  epoch_.store(e, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    result_cache_->AdvanceEpoch(e, Aabb());
+  }
+  update_log_.Append(e, Aabb());
+  return Status::OK();
+}
+
 Status QueryEngine::Recover(RecoveryReport* report) {
   NEURODB_RETURN_NOT_OK(options_.Validate());
   auto dm = DurabilityManager::Attach(options_.durability);
   NEURODB_RETURN_NOT_OK(dm.status());
   durability_ = std::move(*dm);
 
-  NEURODB_ASSIGN_OR_RETURN(geom::ElementVec base, durability_->LoadBase());
+  // The base scan's read window is bounded by the engine's own pool
+  // budget: recovery of a dataset far larger than the pool never holds
+  // more than the pool would.
+  const uint64_t scan_window =
+      std::min<uint64_t>(options_.pool_pages, 1024) *
+      options_.durability.block_bytes;
+  NEURODB_ASSIGN_OR_RETURN(geom::ElementVec base,
+                           durability_->LoadBase(scan_window));
   const storage::Epoch ckpt = durability_->checkpoint_epoch();
 
   // An engine that crashed before its first checkpoint has an empty
@@ -543,7 +864,9 @@ Status QueryEngine::Recover(RecoveryReport* report) {
   // checkpoint's base commit and its WAL truncate leaves them behind);
   // past that, epochs must run consecutively or the log is damaged in a
   // way a torn tail cannot explain. A load record was consumed by the
-  // pre-scan above (or is covered by a later checkpoint) — skip it.
+  // pre-scan above (or is covered by a later checkpoint) — skip it. An
+  // epoch bump advances the epoch without ops (a Compact whose checkpoint
+  // never committed) and does not count as a replayed batch.
   size_t batches = 0;
   storage::WriteAheadLog::ReplayStats stats;
   Status replayed = durability_->Replay(
@@ -559,7 +882,17 @@ Status QueryEngine::Recover(RecoveryReport* report) {
         return Status::OK();
       },
       &stats,
-      [](storage::Epoch, geom::ElementVec) { return Status::OK(); });
+      [](storage::Epoch, geom::ElementVec) { return Status::OK(); },
+      [&](storage::Epoch e) -> Status {
+        if (e <= ckpt) return Status::OK();
+        if (e != epoch() + 1) {
+          return Status::Corruption(
+              "QueryEngine::Open: WAL epoch bump at epoch " +
+              std::to_string(e) + " does not follow engine epoch " +
+              std::to_string(epoch()));
+        }
+        return ApplyEpochBump(e);
+      });
   recovering_ = false;
   NEURODB_RETURN_NOT_OK(replayed);
 

@@ -32,7 +32,9 @@
 #define NEURODB_ENGINE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -414,9 +416,19 @@ class QueryEngine {
   /// Compact off the calling thread, on the engine's mutation worker.
   std::future<Status> CompactAsync();
 
-  /// Durable engines only: rewrite base.ndb as the current live set at the
-  /// current epoch and truncate the WAL — without folding backend deltas
-  /// (Compact() does both). After a checkpoint, Open replays nothing.
+  /// Checkpoint off the calling thread, on the engine's mutation worker:
+  /// the live set is pinned at the current epoch (VersionRing snapshot)
+  /// and streamed to base.ndb while readers AND writers proceed; only the
+  /// final header-commit + WAL-cut swap takes the commit lock. Also
+  /// triggered automatically when the WAL passes
+  /// DurabilityOptions::checkpoint_wal_bytes.
+  std::future<Status> CheckpointAsync();
+
+  /// Durable engines only: rewrite base.ndb as the live set pinned at the
+  /// current epoch and drop the covered WAL prefix — without folding
+  /// backend deltas (Compact() does both). The rewrite streams outside
+  /// the commit lock (writers keep committing; their records survive the
+  /// WAL cut); after a quiescent checkpoint, Open replays nothing.
   Status Checkpoint();
 
   /// Pending delta records summed over every backend (0 right after
@@ -540,8 +552,52 @@ class QueryEngine {
   Status RequireLoaded(const char* op) const;
   /// The body of Open on a constructed engine: attach, load base, replay.
   Status Recover(RecoveryReport* report);
-  /// Checkpoint body without re-acquiring commit_mu_ (Compact holds it).
-  Status CheckpointLocked();
+
+  /// One caller's batch waiting in the group-commit queue. Stack-allocated
+  /// by the owning ApplyUpdates call; the leader fills `result`, then
+  /// flips `done` under group_mu_ and signals group_cv_ — the owner parks
+  /// on that condition variable (never on commit_mu_, which would convoy
+  /// acknowledged writers behind the next leader) and group_mu_ is the
+  /// happens-before edge for both fields.
+  struct PendingCommit {
+    std::span<const UpdateRequest> updates;
+    Result<UpdateReport> result{Status::Internal("commit not processed")};
+    bool done = false;
+  };
+  /// Validate `updates` against live_bounds_ overlaid with `overlay`
+  /// (id → alive after earlier accepted batches in the same group). On OK
+  /// the batch's own effects are merged into `overlay`.
+  Status ValidateBatchLocked(
+      std::span<const UpdateRequest> updates,
+      std::unordered_map<geom::ElementId, bool>* overlay) const;
+  /// Post-validation, post-WAL tail of a commit: mutate backends, publish
+  /// version `next`, advance the epoch, invalidate caches, stamp the log.
+  Result<UpdateReport> ApplyValidatedLocked(
+      std::span<const UpdateRequest> updates, storage::Epoch next);
+  /// The non-grouped commit body (kPerBatch / kNone / in-memory): validate,
+  /// log one record (fsync per DurabilityOptions::sync), apply.
+  Result<UpdateReport> ApplyUpdatesLocked(
+      std::span<const UpdateRequest> updates);
+  /// Group-commit leader body, caller holds commit_mu_: drain up to
+  /// group_max_batches queued commits (waiting group_hold_us for the group
+  /// to fill), validate each against the cumulative overlay, append every
+  /// accepted record in ONE WAL write + ONE fsync, then apply in order.
+  void CommitGroupLocked(std::unique_lock<std::mutex>& commit_lock);
+  /// Replay a kWalKindEpochBump record: publish an empty version at `e` on
+  /// every backend and advance the engine epoch (a Compact whose
+  /// checkpoint never completed left this marker so replay continuity
+  /// holds across its epoch).
+  Status ApplyEpochBump(storage::Epoch e);
+  /// Called under commit_mu_ after a successful durable commit: schedule a
+  /// background checkpoint on the mutation worker when the WAL has grown
+  /// past DurabilityOptions::checkpoint_wal_bytes (at most one in flight).
+  void MaybeScheduleCheckpointLocked();
+  /// The streaming checkpoint: pin the live set at the current epoch via
+  /// the FLAT backend's version ring (brief commit_mu_ hold), stream the
+  /// COW base rewrite under a *shared* compact lock (readers and writers
+  /// proceed), then re-take commit_mu_ for the header-commit + WAL-cut
+  /// swap. Serialized against itself by checkpoint_mu_.
+  Status CheckpointStreaming();
   /// The single-threaded mutation worker behind the Async entry points,
   /// started on first use. Deliberately separate from thread_pool_: a
   /// mutation task blocks on commit/compact locks, and parking it on the
@@ -655,6 +711,10 @@ class QueryEngine {
     obs::Histogram* compact_latency_us = nullptr;
     obs::Counter* checkpoint_count = nullptr;
     obs::Histogram* checkpoint_latency_us = nullptr;
+    obs::Counter* checkpoint_bytes_written = nullptr;
+    obs::Counter* checkpoint_fsyncs = nullptr;
+    obs::Counter* wal_fsync = nullptr;
+    obs::Histogram* commit_group_size = nullptr;
     obs::Counter* slow_queries = nullptr;
   };
   /// Resolve em_ against the registry (constructor, metrics on only).
@@ -705,6 +765,17 @@ class QueryEngine {
   /// Writer serialization: every ApplyUpdates/Compact/Checkpoint holds it
   /// for its whole commit. Never held while waiting on query results.
   std::mutex commit_mu_;
+  /// Group-commit staging (SyncPolicy::kGroup): guards group_queue_ only —
+  /// never held across I/O or while commit_mu_ is being acquired in the
+  /// same direction (enqueue drops it before taking commit_mu_; the leader
+  /// takes it briefly inside commit_mu_ to drain).
+  std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  std::deque<PendingCommit*> group_queue_;
+  /// Checkpoints run one at a time (outermost; ordered before commit_mu_).
+  std::mutex checkpoint_mu_;
+  /// A size-triggered background checkpoint is queued or running.
+  std::atomic<bool> checkpoint_pending_{false};
   /// Reader/compactor exclusion: queries and session steps hold it shared,
   /// Compact holds it exclusive across the base rebuild + republish (the
   /// one window where pinned snapshots genuinely cease to exist).

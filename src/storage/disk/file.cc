@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 
@@ -101,6 +102,13 @@ class PosixFileSystem : public FileSystem {
     return Status::OK();
   }
 
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from + "' -> '" + to);
+    }
+    return Status::OK();
+  }
+
   Status CreateDir(const std::string& path) override {
     std::error_code ec;
     std::filesystem::create_directories(path, ec);
@@ -186,6 +194,29 @@ class FaultInjectingFile : public File {
 FileSystem* DefaultFileSystem() {
   static PosixFileSystem* fs = new PosixFileSystem();
   return fs;
+}
+
+Status FaultInjectingFileSystem::Rename(const std::string& from,
+                                        const std::string& to) {
+  bool matched = plan_->path_filter.empty() ||
+                 from.find(plan_->path_filter) != std::string::npos ||
+                 to.find(plan_->path_filter) != std::string::npos;
+  if (matched) {
+    if (plan_->Crashed()) {
+      return Status::IOError("fault injection: crashed before Rename");
+    }
+    plan_->writes_seen.fetch_add(1, std::memory_order_relaxed);
+    int64_t budget = plan_->write_budget.load(std::memory_order_relaxed);
+    if (budget >= 0) {
+      if (budget == 0) {
+        // The crashing op: a rename is atomic, so nothing of it survives.
+        plan_->crashed.store(true, std::memory_order_relaxed);
+        return Status::IOError("fault injection: crashed before Rename");
+      }
+      plan_->write_budget.store(budget - 1, std::memory_order_relaxed);
+    }
+  }
+  return base_->Rename(from, to);
 }
 
 Result<std::unique_ptr<File>> FaultInjectingFileSystem::Open(

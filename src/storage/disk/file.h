@@ -60,6 +60,12 @@ class FileSystem {
   virtual bool Exists(const std::string& path) const = 0;
   virtual Status Remove(const std::string& path) = 0;
 
+  /// Atomically replace `to` with `from` (POSIX rename semantics): after a
+  /// successful return — or a crash at any point — `to` is either the old
+  /// file or the complete new one, never a mix. Open handles on the old
+  /// `to` keep reading the replaced (unlinked) inode.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
   /// Create a directory (and missing parents). OK if it already exists.
   virtual Status CreateDir(const std::string& path) = 0;
 
@@ -112,6 +118,11 @@ class FaultInjectingFileSystem : public FileSystem {
     return base_->Exists(path);
   }
   Status Remove(const std::string& path) override { return base_->Remove(path); }
+  /// Counted against the write budget when either path matches the filter.
+  /// Atomic under the fault model: it either happens or fails whole — a
+  /// crashing rename leaves the destination untouched (tear_bytes does not
+  /// apply; there is no partial rename on a POSIX filesystem).
+  Status Rename(const std::string& from, const std::string& to) override;
   Status CreateDir(const std::string& path) override {
     return base_->CreateDir(path);
   }

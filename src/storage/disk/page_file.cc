@@ -160,13 +160,18 @@ Result<std::unique_ptr<PageFile>> PageFile::Open(FileSystem* fs,
 
 PageFile::Run PageFile::AllocateRun(uint32_t num_blocks,
                                     uint32_t payload_bytes) {
-  for (size_t i = 0; i < free_.size(); ++i) {
-    if (free_[i].num_blocks >= num_blocks) {
-      Run out{free_[i].first_block, num_blocks, payload_bytes};
-      free_[i].first_block += num_blocks;
-      free_[i].num_blocks -= num_blocks;
-      if (free_[i].num_blocks == 0) free_.erase(free_.begin() + i);
-      return out;
+  // Sequential mode (checkpoint streams): always extend the tail so
+  // consecutive allocations are physically adjacent; the free list is
+  // merely skipped, not dropped, and resumes serving after End.
+  if (!sequential_alloc_) {
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].num_blocks >= num_blocks) {
+        Run out{free_[i].first_block, num_blocks, payload_bytes};
+        free_[i].first_block += num_blocks;
+        free_[i].num_blocks -= num_blocks;
+        if (free_[i].num_blocks == 0) free_.erase(free_.begin() + i);
+        return out;
+      }
     }
   }
   Run out{static_cast<uint32_t>(file_blocks_), num_blocks, payload_bytes};
@@ -177,6 +182,7 @@ PageFile::Run PageFile::AllocateRun(uint32_t num_blocks,
 Status PageFile::WriteAt(uint64_t offset, const void* data, size_t n) {
   NEURODB_RETURN_NOT_OK(file_->WriteAt(offset, data, n));
   bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  write_calls_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -217,11 +223,72 @@ Result<std::vector<uint8_t>> PageFile::ReadPage(PageId id) const {
       out.data(), out.size());
   NEURODB_RETURN_NOT_OK(got.status());
   bytes_read_.fetch_add(*got, std::memory_order_relaxed);
+  read_calls_.fetch_add(1, std::memory_order_relaxed);
   if (*got < out.size()) {
     return Status::Corruption("PageFile::ReadPage: page " +
                               std::to_string(id) + " truncated on disk");
   }
   return out;
+}
+
+Status PageFile::ScanPages(
+    const std::function<Status(PageId, const uint8_t*, size_t)>& fn,
+    uint64_t readahead_bytes, ScanStats* stats) const {
+  ScanStats local;
+  std::vector<uint8_t> window;
+  auto it = dir_.begin();
+  while (it != dir_.end()) {
+    // Greedily extend the group while the next page's run starts exactly
+    // where this one ends and the window stays within the readahead
+    // budget. A single run larger than the budget still reads whole.
+    auto first = it;
+    auto last = it;
+    uint64_t span_blocks = it->second.num_blocks;
+    auto next = std::next(it);
+    while (next != dir_.end() &&
+           last->second.first_block + last->second.num_blocks ==
+               next->second.first_block &&
+           (span_blocks + next->second.num_blocks) *
+                   static_cast<uint64_t>(block_bytes_) <=
+               readahead_bytes) {
+      span_blocks += next->second.num_blocks;
+      last = next;
+      ++next;
+    }
+    // One read from the group's first block through the last page's
+    // payload end (the final block may be short on disk — WriteAt only
+    // extends the file as far as the payload).
+    const uint64_t start =
+        static_cast<uint64_t>(first->second.first_block) * block_bytes_;
+    const uint64_t end =
+        static_cast<uint64_t>(last->second.first_block) * block_bytes_ +
+        last->second.payload_bytes;
+    window.resize(end - start);
+    auto got = file_->ReadAt(start, window.data(), window.size());
+    NEURODB_RETURN_NOT_OK(got.status());
+    bytes_read_.fetch_add(*got, std::memory_order_relaxed);
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (*got < window.size()) {
+      return Status::Corruption("PageFile::ScanPages: page run truncated on "
+                                "disk in '" + path_ + "'");
+    }
+    ++local.read_calls;
+    if (window.size() > local.max_window_bytes) {
+      local.max_window_bytes = window.size();
+    }
+    for (auto p = first;; ++p) {
+      const uint8_t* data =
+          window.data() +
+          (static_cast<uint64_t>(p->second.first_block) * block_bytes_ -
+           start);
+      NEURODB_RETURN_NOT_OK(fn(p->first, data, p->second.payload_bytes));
+      ++local.pages;
+      if (p == last) break;
+    }
+    it = next;
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
 }
 
 Status PageFile::FreePage(PageId id) {

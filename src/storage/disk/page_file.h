@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -71,6 +72,34 @@ class PageFile {
   /// Stage removal of every page (checkpoint rewrite, Reset).
   void Clear();
 
+  /// While on, AllocateRun skips the free-list first-fit and extends the
+  /// file tail instead, so a checkpoint stream's pages land in one
+  /// physically contiguous ascending span — which is what lets the next
+  /// recovery's ScanPages coalesce them into a few large reads. The blocks
+  /// the free list holds are not lost: EndSequentialAllocation re-enables
+  /// reuse, and a following Sync persists the (unchanged) free list.
+  void BeginSequentialAllocation() { sequential_alloc_ = true; }
+  void EndSequentialAllocation() { sequential_alloc_ = false; }
+
+  struct ScanStats {
+    uint64_t pages = 0;
+    /// Device read calls issued — the coalescing win recovery measures.
+    uint64_t read_calls = 0;
+    /// Largest single read buffer (bounds the scan's peak residency).
+    uint64_t max_window_bytes = 0;
+  };
+
+  /// Visit every page in ascending PageId order without materializing more
+  /// than one read window: physically adjacent runs are coalesced into a
+  /// single ReadAt of at most max(readahead_bytes, one run), then sliced
+  /// per page for `fn(id, data, size)`. A non-OK status from `fn` aborts
+  /// the scan. Readahead pays off exactly when the pages were written
+  /// under BeginSequentialAllocation (checkpoint streams); a fragmented
+  /// directory degrades to one read per run, never worse than ReadPage.
+  Status ScanPages(
+      const std::function<Status(PageId, const uint8_t*, size_t)>& fn,
+      uint64_t readahead_bytes, ScanStats* stats = nullptr) const;
+
   /// Durably commit the staged directory + free list and stamp `epoch` into
   /// the header. Blocks staged for release become reusable afterwards.
   Status Sync(Epoch epoch);
@@ -92,6 +121,15 @@ class PageFile {
     return IoStats{bytes_read_.load(std::memory_order_relaxed),
                    bytes_written_.load(std::memory_order_relaxed),
                    fsyncs_.load(std::memory_order_relaxed)};
+  }
+
+  /// Device read/write *calls* (IoStats counts bytes): the syscall-count
+  /// view cold-start cares about — readahead cuts read_calls, not bytes.
+  uint64_t read_calls() const {
+    return read_calls_.load(std::memory_order_relaxed);
+  }
+  uint64_t write_calls() const {
+    return write_calls_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -122,10 +160,13 @@ class PageFile {
   Run committed_dir_run_;          // zero num_blocks when none
   uint64_t file_blocks_ = 1;       // header block + everything allocated
   Epoch epoch_ = 0;
+  bool sequential_alloc_ = false;
 
   mutable std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> fsyncs_{0};
+  mutable std::atomic<uint64_t> read_calls_{0};
+  std::atomic<uint64_t> write_calls_{0};
 };
 
 }  // namespace storage

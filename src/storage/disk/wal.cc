@@ -10,6 +10,30 @@ namespace {
 // Records larger than this are treated as torn garbage, not allocations.
 constexpr uint32_t kMaxWalPayloadBytes = 1u << 28;
 
+// Serialize one record (header + payload) onto `out`.
+Status AssembleRecord(Epoch epoch, const std::vector<uint8_t>& payload,
+                      std::vector<uint8_t>* out) {
+  if (payload.size() > kMaxWalPayloadBytes) {
+    return Status::InvalidArgument("WriteAheadLog::Append: payload too large");
+  }
+  uint8_t epoch_bytes[8];
+  PutU64(epoch_bytes, epoch);
+  uint32_t crc = Crc32(epoch_bytes, sizeof(epoch_bytes));
+  crc = Crc32(payload.data(), payload.size(), crc);
+
+  EncodeU32(out, static_cast<uint32_t>(payload.size()));
+  EncodeU64(out, epoch);
+  EncodeU32(out, crc);
+  out->insert(out->end(), payload.begin(), payload.end());
+  return Status::OK();
+}
+
+void FillWalHeader(uint8_t header[kWalHeaderBytes]) {
+  PutU64(header, kWalMagic);
+  PutU32(header + 8, kFormatVersion);
+  PutU32(header + 12, Crc32(header, 12));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenOrCreate(
@@ -17,7 +41,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenOrCreate(
   auto file = fs->Open(path, /*truncate=*/false);
   NEURODB_RETURN_NOT_OK(file.status());
   std::unique_ptr<WriteAheadLog> wal(
-      new WriteAheadLog(std::move(*file), path));
+      new WriteAheadLog(fs, std::move(*file), path));
 
   auto size = wal->file_->Size();
   NEURODB_RETURN_NOT_OK(size.status());
@@ -25,7 +49,7 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenOrCreate(
     uint8_t header[kWalHeaderBytes];
     auto got = wal->file_->ReadAt(0, header, sizeof(header));
     NEURODB_RETURN_NOT_OK(got.status());
-    wal->bytes_read_ += *got;
+    wal->bytes_read_.fetch_add(*got, std::memory_order_relaxed);
     if (*got < sizeof(header)) {
       return Status::Corruption("WriteAheadLog: '" + path +
                                 "' short read on header");
@@ -52,39 +76,45 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::OpenOrCreate(
   // Missing or shorter than a header: (re)create. A partial header can
   // only mean a crash during creation — no record was ever durable.
   uint8_t header[kWalHeaderBytes] = {};
-  PutU64(header, kWalMagic);
-  PutU32(header + 8, kFormatVersion);
-  PutU32(header + 12, Crc32(header, 12));
+  FillWalHeader(header);
   NEURODB_RETURN_NOT_OK(wal->file_->Truncate(0));
   NEURODB_RETURN_NOT_OK(wal->file_->WriteAt(0, header, sizeof(header)));
-  wal->bytes_written_ += sizeof(header);
+  wal->bytes_written_.fetch_add(sizeof(header), std::memory_order_relaxed);
   NEURODB_RETURN_NOT_OK(wal->file_->Sync());
-  ++wal->fsyncs_;
+  wal->fsyncs_.fetch_add(1, std::memory_order_relaxed);
   wal->end_ = kWalHeaderBytes;
   return wal;
 }
 
-Status WriteAheadLog::Append(Epoch epoch, const std::vector<uint8_t>& payload) {
-  if (payload.size() > kMaxWalPayloadBytes) {
-    return Status::InvalidArgument("WriteAheadLog::Append: payload too large");
+Status WriteAheadLog::Append(Epoch epoch, const std::vector<uint8_t>& payload,
+                             bool sync) {
+  PendingRecord record{epoch, payload};
+  return AppendBatch(std::span<const PendingRecord>(&record, 1), sync);
+}
+
+Status WriteAheadLog::AppendBatch(std::span<const PendingRecord> records,
+                                  bool sync) {
+  if (records.empty()) return Status::OK();
+  std::vector<uint8_t> image;
+  size_t total = 0;
+  for (const PendingRecord& record : records) {
+    total += kWalRecordHeaderBytes + record.payload.size();
   }
-  uint8_t epoch_bytes[8];
-  PutU64(epoch_bytes, epoch);
-  uint32_t crc = Crc32(epoch_bytes, sizeof(epoch_bytes));
-  crc = Crc32(payload.data(), payload.size(), crc);
+  image.reserve(total);
+  for (const PendingRecord& record : records) {
+    NEURODB_RETURN_NOT_OK(AssembleRecord(record.epoch, record.payload, &image));
+  }
 
-  std::vector<uint8_t> record;
-  record.reserve(kWalRecordHeaderBytes + payload.size());
-  EncodeU32(&record, static_cast<uint32_t>(payload.size()));
-  EncodeU64(&record, epoch);
-  EncodeU32(&record, crc);
-  record.insert(record.end(), payload.begin(), payload.end());
-
-  NEURODB_RETURN_NOT_OK(file_->WriteAt(end_, record.data(), record.size()));
-  bytes_written_ += record.size();
-  NEURODB_RETURN_NOT_OK(file_->Sync());
-  ++fsyncs_;
-  end_ += record.size();
+  // One write for the whole group; the cursor only advances on success, so
+  // a failed (possibly torn) group write is overwritten by the next append
+  // and dropped by Replay's CRC check if the process dies first.
+  NEURODB_RETURN_NOT_OK(file_->WriteAt(end_, image.data(), image.size()));
+  bytes_written_.fetch_add(image.size(), std::memory_order_relaxed);
+  if (sync) {
+    NEURODB_RETURN_NOT_OK(file_->Sync());
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  end_ += image.size();
   return Status::OK();
 }
 
@@ -99,7 +129,7 @@ Status WriteAheadLog::Replay(const std::function<Status(const Record&)>& fn,
     uint8_t header[kWalRecordHeaderBytes];
     auto got = file_->ReadAt(offset, header, sizeof(header));
     NEURODB_RETURN_NOT_OK(got.status());
-    bytes_read_ += *got;
+    bytes_read_.fetch_add(*got, std::memory_order_relaxed);
     if (*got < sizeof(header)) break;
 
     uint32_t len = GetU32(header);
@@ -117,7 +147,7 @@ Status WriteAheadLog::Replay(const std::function<Status(const Record&)>& fn,
     auto pgot = file_->ReadAt(offset + kWalRecordHeaderBytes,
                               record.payload.data(), len);
     NEURODB_RETURN_NOT_OK(pgot.status());
-    bytes_read_ += *pgot;
+    bytes_read_.fetch_add(*pgot, std::memory_order_relaxed);
     if (*pgot < len) break;
 
     uint8_t epoch_bytes[8];
@@ -142,12 +172,54 @@ Status WriteAheadLog::Replay(const std::function<Status(const Record&)>& fn,
 Status WriteAheadLog::TruncateTail(uint64_t end_offset) {
   NEURODB_RETURN_NOT_OK(file_->Truncate(end_offset));
   NEURODB_RETURN_NOT_OK(file_->Sync());
-  ++fsyncs_;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
   end_ = end_offset;
   return Status::OK();
 }
 
 Status WriteAheadLog::Reset() { return TruncateTail(kWalHeaderBytes); }
+
+Status WriteAheadLog::CutPrefix(uint64_t from) {
+  if (from >= end_) return Reset();
+  if (from <= kWalHeaderBytes) return Status::OK();  // nothing to drop
+
+  // Read the surviving suffix through the existing handle.
+  const uint64_t suffix_len = end_ - from;
+  std::vector<uint8_t> suffix(suffix_len);
+  auto got = file_->ReadAt(from, suffix.data(), suffix.size());
+  NEURODB_RETURN_NOT_OK(got.status());
+  bytes_read_.fetch_add(*got, std::memory_order_relaxed);
+  if (*got < suffix.size()) {
+    return Status::Corruption("WriteAheadLog::CutPrefix: short read on '" +
+                              path_ + "'");
+  }
+
+  // Build the replacement log in a side file and make it durable there
+  // before the rename — the one ordering under which a crash at any point
+  // leaves either the complete old log or the complete new one.
+  const std::string side = CutSidePath(path_);
+  auto side_file = fs_->Open(side, /*truncate=*/true);
+  NEURODB_RETURN_NOT_OK(side_file.status());
+  uint8_t header[kWalHeaderBytes] = {};
+  FillWalHeader(header);
+  NEURODB_RETURN_NOT_OK((*side_file)->WriteAt(0, header, sizeof(header)));
+  NEURODB_RETURN_NOT_OK(
+      (*side_file)->WriteAt(kWalHeaderBytes, suffix.data(), suffix.size()));
+  bytes_written_.fetch_add(sizeof(header) + suffix.size(),
+                           std::memory_order_relaxed);
+  NEURODB_RETURN_NOT_OK((*side_file)->Sync());
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  side_file->reset();  // close before the rename replaces the name
+
+  NEURODB_RETURN_NOT_OK(fs_->Rename(side, path_));
+
+  // The old handle still points at the unlinked inode — reopen the name.
+  auto reopened = fs_->Open(path_, /*truncate=*/false);
+  NEURODB_RETURN_NOT_OK(reopened.status());
+  file_ = std::move(*reopened);
+  end_ = kWalHeaderBytes + suffix.size();
+  return Status::OK();
+}
 
 }  // namespace storage
 }  // namespace neurodb

@@ -2,22 +2,33 @@
 //
 // The log is payload-agnostic: the storage layer never depends on engine
 // types, so a record is (epoch, opaque bytes, CRC) and the engine owns the
-// UpdateRequest codec (engine/durability.h). Each Append is one write of
-// the fully assembled record followed by one fsync — the record is durable
-// before Append returns, which is what lets QueryEngine acknowledge an
-// ApplyUpdates batch before mutating any backend.
+// UpdateRequest codec (engine/durability.h). Appends are durable-by-default:
+// one write of the fully assembled record(s) followed by one fsync — the
+// records are durable before the call returns, which is what lets
+// QueryEngine acknowledge an ApplyUpdates batch before mutating any
+// backend. Group commit rides on AppendBatch: N records become ONE write
+// and ONE fsync without changing the on-disk record layout, so a replayer
+// cannot tell a coalesced group from N solo appends. `sync=false` defers
+// durability entirely (bulk-load mode; the caller's checkpoint is then the
+// only durability point).
 //
 // Replay scans records from the front and stops at the first record whose
 // header is incomplete, whose length is implausible or whose CRC fails —
 // the torn tail a crash mid-Append leaves behind. The caller then drops
 // the tail with TruncateTail; a CRC failure is never fatal to recovery.
+//
+// All mutation (Append/AppendBatch/TruncateTail/Reset/CutPrefix) is
+// single-threaded by contract — the engine's commit lock serializes it.
+// io() is safe from any thread (the counters are relaxed atomics).
 
 #ifndef NEURODB_STORAGE_DISK_WAL_H_
 #define NEURODB_STORAGE_DISK_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +50,13 @@ class WriteAheadLog {
     uint64_t offset = 0;
   };
 
+  /// One not-yet-appended record: what a group-commit leader collects from
+  /// its followers before the single coalesced AppendBatch.
+  struct PendingRecord {
+    Epoch epoch = 0;
+    std::vector<uint8_t> payload;
+  };
+
   struct ReplayStats {
     size_t records = 0;
     /// End of the last intact record (= the offset TruncateTail cuts at).
@@ -54,9 +72,26 @@ class WriteAheadLog {
   static Result<std::unique_ptr<WriteAheadLog>> OpenOrCreate(
       FileSystem* fs, const std::string& path);
 
-  /// Durably append one record: a single write of the assembled record,
-  /// then fsync. On return the record survives any crash.
-  Status Append(Epoch epoch, const std::vector<uint8_t>& payload);
+  /// The side file CutPrefix builds the truncated log in before atomically
+  /// renaming it over `path`. An orphan at this name is a crashed cut —
+  /// harmless (the rename never happened, `path` is intact) but worth
+  /// removing on open.
+  static std::string CutSidePath(const std::string& path) {
+    return path + ".cut";
+  }
+
+  /// Append one record: a single write of the assembled record, then —
+  /// when `sync` — one fsync. With sync, the record survives any crash
+  /// once Append returns; without, durability waits for the next synced
+  /// append or checkpoint.
+  Status Append(Epoch epoch, const std::vector<uint8_t>& payload,
+                bool sync = true);
+
+  /// Group commit: append every record in one WriteAt, then (when `sync`)
+  /// ONE fsync for the whole group. All-or-nothing at the API level: on
+  /// error the append cursor does not advance and no record is
+  /// acknowledged (a torn physical tail is dropped by the next Replay).
+  Status AppendBatch(std::span<const PendingRecord> records, bool sync);
 
   /// Scan every intact record in order, invoking `fn` for each; stops (OK)
   /// at the first torn record. A non-OK status from `fn` aborts the scan
@@ -71,24 +106,38 @@ class WriteAheadLog {
   /// Empty the log back to its header (checkpoint) and fsync.
   Status Reset();
 
+  /// Drop every record before byte offset `from` (exclusive of the file
+  /// header), keeping the suffix — the checkpoint-commit primitive when
+  /// records landed *during* the checkpoint stream. Crash-safe via a side
+  /// file + atomic rename: the suffix is written (with a fresh header) to
+  /// CutSidePath(path) and fsync'd, then renamed over the log. A crash
+  /// before the rename leaves the old log intact; after it, the new one —
+  /// never a torn mix. `from` at or past end_offset() degenerates to
+  /// Reset(); `from` inside a record is a caller bug and is rejected by
+  /// the next Replay (CRC), so callers pass only record boundaries.
+  Status CutPrefix(uint64_t from);
+
   /// Byte size of the intact log (header + records).
   uint64_t end_offset() const { return end_; }
 
   IoStats io() const {
-    return IoStats{bytes_read_, bytes_written_, fsyncs_};
+    return IoStats{bytes_read_.load(std::memory_order_relaxed),
+                   bytes_written_.load(std::memory_order_relaxed),
+                   fsyncs_.load(std::memory_order_relaxed)};
   }
 
  private:
-  WriteAheadLog(std::unique_ptr<File> file, std::string path)
-      : file_(std::move(file)), path_(std::move(path)) {}
+  WriteAheadLog(FileSystem* fs, std::unique_ptr<File> file, std::string path)
+      : fs_(fs), file_(std::move(file)), path_(std::move(path)) {}
 
+  FileSystem* fs_;
   std::unique_ptr<File> file_;
   std::string path_;
   uint64_t end_ = 0;
 
-  uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
-  uint64_t fsyncs_ = 0;
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> fsyncs_{0};
 };
 
 }  // namespace storage

@@ -11,9 +11,11 @@
 #include <cstdlib>
 #include <ctime>
 #include <filesystem>
+#include <future>
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "diff_harness.h"
@@ -143,11 +145,13 @@ void ExpectMatchesOracle(QueryEngine* db, const ElementVec& live,
 }
 
 EngineOptions DurableOptions(const std::string& dir,
-                             storage::FileSystem* fs = nullptr) {
+                             storage::FileSystem* fs = nullptr,
+                             SyncPolicy sync = SyncPolicy::kPerBatch) {
   EngineOptions options;
   options.durability.dir = dir;
   options.durability.fs = fs;
   options.durability.block_bytes = 512;
+  options.durability.sync = sync;
   return options;
 }
 
@@ -281,11 +285,13 @@ TEST(RecoveryTest, DurableEngineReportsDeviceIo) {
 // crashed oracle holding exactly the acknowledged batches.
 // ---------------------------------------------------------------------------
 
-void RunCrashMatrix(size_t tear_bytes) {
+void RunCrashMatrix(size_t tear_bytes,
+                    SyncPolicy sync = SyncPolicy::kPerBatch) {
   auto batches = ScriptedBatches();
   for (size_t crash_at = 0; crash_at < batches.size(); ++crash_at) {
     SCOPED_TRACE("crash before WAL record " + std::to_string(crash_at) +
-                 " tear=" + std::to_string(tear_bytes));
+                 " tear=" + std::to_string(tear_bytes) +
+                 " sync=" + std::to_string(static_cast<int>(sync)));
     TempDir dir;
     storage::FaultPlan plan;
     plan.path_filter = "wal.ndb";
@@ -294,7 +300,7 @@ void RunCrashMatrix(size_t tear_bytes) {
 
     ElementVec oracle = MakeGrid(48);
     auto db = std::make_unique<QueryEngine>(
-        DurableOptions(dir.Sub("data"), &fs));
+        DurableOptions(dir.Sub("data"), &fs, sync));
     ASSERT_TRUE(db->LoadElements(MakeGrid(48)).ok());
 
     // Arm after load: every counted write is one ApplyUpdates WAL append,
@@ -357,6 +363,103 @@ TEST(RecoveryMatrixTest, TornTailAtEveryWalRecordIsDroppedCleanly) {
   RunCrashMatrix(/*tear_bytes=*/11);
 }
 
+// A single writer under SyncPolicy::kGroup forms groups of one: every
+// coalesced append is still exactly one counted WAL write, so the whole
+// matrix (and its byte-identical oracle) must hold unchanged.
+TEST(RecoveryMatrixTest, KillAtEveryWalRecordUnderGroupCommit) {
+  RunCrashMatrix(/*tear_bytes=*/0, SyncPolicy::kGroup);
+}
+
+TEST(RecoveryMatrixTest, TornTailAtEveryWalRecordUnderGroupCommit) {
+  RunCrashMatrix(/*tear_bytes=*/11, SyncPolicy::kGroup);
+}
+
+// kNone still writes every record before the backends mutate — it only
+// skips the fsync. Under the fault model a written record survives the
+// crash, so the acknowledged set is still exactly what recovers.
+TEST(RecoveryMatrixTest, KillAtEveryWalRecordUnderNoSyncPolicy) {
+  RunCrashMatrix(/*tear_bytes=*/0, SyncPolicy::kNone);
+}
+
+// Kill the WAL write inside a genuinely coalesced group append: several
+// writer threads race batches into the combining queue while the fault
+// plan cuts the log after `budget` group writes. Group commit must keep
+// the crash atomic per group — after recovery the live set is exactly the
+// seed grid plus every acknowledged insert, nothing more, nothing less
+// (an unacknowledged batch from a killed group must not materialize).
+TEST(RecoveryMatrixTest, KillInsideCoalescedGroupAppendWithWriterRace) {
+  constexpr int kWriters = 4;
+  constexpr int kBatchesPerWriter = 16;
+  for (int64_t budget : {1, 2, 4, 7}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    TempDir dir;
+    storage::FaultPlan plan;
+    plan.path_filter = "wal.ndb";
+    storage::FaultInjectingFileSystem fs(storage::DefaultFileSystem(), &plan);
+
+    EngineOptions options =
+        DurableOptions(dir.Sub("data"), &fs, SyncPolicy::kGroup);
+    options.durability.group_max_batches = 8;
+    options.durability.group_hold_us = 2000;  // force real coalescing
+    auto db = std::make_unique<QueryEngine>(options);
+    ASSERT_TRUE(db->LoadElements(MakeGrid(48)).ok());
+
+    plan.Reset(budget);
+    std::vector<std::vector<ElementId>> acked(kWriters);
+    {
+      std::vector<std::thread> writers;
+      for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+          for (int i = 0; i < kBatchesPerWriter; ++i) {
+            UpdateRequest request;
+            request.kind = UpdateKind::kInsert;
+            request.id = 10000 + static_cast<ElementId>(w) * 1000 + i;
+            float f = static_cast<float>(request.id % 97);
+            request.bounds = BoxAt(f, f, f, 2);
+            auto applied = db->ApplyUpdates(
+                std::span<const UpdateRequest>(&request, 1));
+            if (applied.ok()) acked[w].push_back(request.id);
+          }
+        });
+      }
+      for (auto& t : writers) t.join();
+    }
+    ASSERT_TRUE(plan.Crashed());
+
+    size_t total_acked = 0;
+    std::vector<ElementId> expected;
+    for (const auto& ids : acked) {
+      total_acked += ids.size();
+      expected.insert(expected.end(), ids.begin(), ids.end());
+    }
+    for (const SpatialElement& e : MakeGrid(48)) expected.push_back(e.id);
+    std::sort(expected.begin(), expected.end());
+
+    db.reset();
+    plan.Reset(-1);
+    RecoveryReport report;
+    auto recovered =
+        QueryEngine::Open(dir.Sub("data"), DurableOptions("", &fs), &report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // Every batch in a group is acknowledged (or fails) atomically with
+    // the group's single write + fsync, so replay lands on exactly the
+    // acknowledged count.
+    EXPECT_EQ(report.replayed_batches, total_acked);
+
+    const Aabb everything = BoxAt(-10, -10, -10, 200);
+    RangeRequest request;
+    request.box = everything;
+    request.backend = BackendChoice::kAll;
+    geom::CollectingVisitor out;
+    auto range = (*recovered)->Execute(request, out);
+    ASSERT_TRUE(range.ok()) << range.status().ToString();
+    EXPECT_TRUE(range->results_match);
+    std::vector<ElementId> ids = out.Ids();
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, expected);
+  }
+}
+
 TEST(RecoveryTest, CrashDuringCheckpointRollsBackToPreviousBaseAndWal) {
   TempDir dir;
   storage::FaultPlan plan;
@@ -389,6 +492,56 @@ TEST(RecoveryTest, CrashDuringCheckpointRollsBackToPreviousBaseAndWal) {
   EXPECT_EQ(report.checkpoint_epoch, 0u);
   EXPECT_EQ(report.replayed_batches, 4u);
   ExpectMatchesOracle(recovered->get(), oracle, "mid-checkpoint crash");
+}
+
+// Kill the base rewrite of a *background* checkpoint (CheckpointAsync on
+// the mutation worker) while the foreground keeps committing. The fault
+// only hits base.ndb, so the concurrent commits keep succeeding; the
+// failed checkpoint must leave the previous base and the (now longer) WAL
+// fully intact, and recovery must land on every acknowledged batch.
+TEST(RecoveryTest, KillMidBackgroundCheckpointKeepsCommittingAndRecovers) {
+  TempDir dir;
+  storage::FaultPlan plan;
+  plan.path_filter = "base.ndb";
+  storage::FaultInjectingFileSystem fs(storage::DefaultFileSystem(), &plan);
+
+  ElementVec oracle = MakeGrid(48);
+  auto batches = ScriptedBatches();
+  auto db = std::make_unique<QueryEngine>(
+      DurableOptions(dir.Sub("data"), &fs, SyncPolicy::kGroup));
+  ASSERT_TRUE(db->LoadElements(MakeGrid(48)).ok());
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        db->ApplyUpdates(std::span<const UpdateRequest>(batches[i])).ok());
+    ApplyToOracle(&oracle, batches[i]);
+  }
+
+  plan.Reset(1);
+  std::future<Status> pending = db->CheckpointAsync();
+  // Foreground writers race the streaming rewrite; their WAL appends are
+  // not fault-filtered and must all acknowledge.
+  for (size_t i = 4; i < batches.size(); ++i) {
+    ASSERT_TRUE(
+        db->ApplyUpdates(std::span<const UpdateRequest>(batches[i])).ok());
+    ApplyToOracle(&oracle, batches[i]);
+  }
+  Status checkpoint = pending.get();
+  ASSERT_FALSE(checkpoint.ok());
+  ASSERT_TRUE(plan.Crashed());
+
+  // The engine itself is still healthy — only the checkpoint died.
+  ExpectMatchesOracle(db.get(), oracle, "after failed background checkpoint");
+
+  db.reset();
+  plan.Reset(-1);
+  RecoveryReport report;
+  auto recovered =
+      QueryEngine::Open(dir.Sub("data"), DurableOptions("", &fs), &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.checkpoint_epoch, 0u);
+  EXPECT_EQ(report.replayed_batches, batches.size());
+  ExpectMatchesOracle(recovered->get(), oracle,
+                      "recovered after background-checkpoint kill");
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,10 @@
 //                                   WAL record (epoch, size, decoded ops)
 //   ndb_inspect <file.ndb|.pages>   one page file
 //   ndb_inspect <wal.ndb>           one write-ahead log
+//   ndb_inspect wal <dir|wal.ndb>   one write-ahead log; --stats prints a
+//                                   single summary line instead (records,
+//                                   bytes, epoch span, kind histogram,
+//                                   torn-tail flag)
 //   ndb_inspect stats <data-dir>    recover the engine read-only and print
 //                                   its metrics snapshot as JSON (--prom:
 //                                   Prometheus text exposition instead) —
@@ -63,7 +67,7 @@ int DumpPageFile(const std::string& path) {
   return 0;
 }
 
-int DumpWal(const std::string& path) {
+int DumpWal(const std::string& path, bool stats_only = false) {
   if (!storage::DefaultFileSystem()->Exists(path)) {
     std::fprintf(stderr, "%s: no such file\n", path.c_str());
     return 1;
@@ -75,15 +79,37 @@ int DumpWal(const std::string& path) {
                  wal.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", path.c_str());
+  if (!stats_only) std::printf("%s\n", path.c_str());
   storage::WriteAheadLog::ReplayStats stats;
+  size_t update_batches = 0, load_records = 0, epoch_bumps = 0, unknown = 0;
+  uint64_t payload_bytes = 0;
+  storage::Epoch epoch_lo = 0, epoch_hi = 0;
+  bool any_epoch = false;
   Status scanned = (*wal)->Replay(
       [&](const storage::WriteAheadLog::Record& record) {
+        payload_bytes += record.payload.size();
+        if (!any_epoch) {
+          epoch_lo = epoch_hi = record.epoch;
+          any_epoch = true;
+        } else {
+          epoch_lo = std::min(epoch_lo, record.epoch);
+          epoch_hi = std::max(epoch_hi, record.epoch);
+        }
+        auto kind = engine::WalPayloadKind(record.payload);
+        if (kind.ok() && *kind == engine::kWalKindUpdateBatch) {
+          ++update_batches;
+        } else if (kind.ok() && *kind == engine::kWalKindLoadElements) {
+          ++load_records;
+        } else if (kind.ok() && *kind == engine::kWalKindEpochBump) {
+          ++epoch_bumps;
+        } else {
+          ++unknown;
+        }
+        if (stats_only) return Status::OK();
         std::printf("  record @%-8llu epoch=%-6llu payload=%zu bytes",
                     static_cast<unsigned long long>(record.offset),
                     static_cast<unsigned long long>(record.epoch),
                     record.payload.size());
-        auto kind = engine::WalPayloadKind(record.payload);
         if (kind.ok() && *kind == engine::kWalKindUpdateBatch) {
           auto ops = engine::DecodeUpdateBatch(record.payload);
           if (ops.ok()) {
@@ -107,6 +133,8 @@ int DumpWal(const std::string& path) {
             std::printf("  (malformed load record: %s)\n",
                         elements.status().ToString().c_str());
           }
+        } else if (kind.ok() && *kind == engine::kWalKindEpochBump) {
+          std::printf("  (epoch bump — op-less Compact epoch advance)\n");
         } else {
           std::printf("  (payload not a known record kind)\n");
         }
@@ -116,6 +144,22 @@ int DumpWal(const std::string& path) {
   if (!scanned.ok()) {
     std::fprintf(stderr, "  scan failed: %s\n", scanned.ToString().c_str());
     return 1;
+  }
+  if (stats_only) {
+    // One summary line: what a shell script (or a human eyeballing group
+    // commit) wants — how many records, how big, which epochs, what kinds.
+    std::printf(
+        "%s: records=%zu payload_bytes=%llu end_offset=%llu "
+        "epochs=[%llu..%llu] update_batches=%zu load_records=%zu "
+        "epoch_bumps=%zu unknown=%zu torn_tail=%s\n",
+        path.c_str(), stats.records,
+        static_cast<unsigned long long>(payload_bytes),
+        static_cast<unsigned long long>(stats.end_offset),
+        static_cast<unsigned long long>(any_epoch ? epoch_lo : 0),
+        static_cast<unsigned long long>(any_epoch ? epoch_hi : 0),
+        update_batches, load_records, epoch_bumps, unknown,
+        stats.torn_tail ? "yes" : "no");
+    return 0;
   }
   std::printf("  %zu intact records, end_offset=%llu\n", stats.records,
               static_cast<unsigned long long>(stats.end_offset));
@@ -183,6 +227,27 @@ int DumpStats(const std::string& dir, bool prometheus) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "wal") == 0) {
+    bool stats_only = false;
+    std::string target;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--stats") == 0) {
+        stats_only = true;
+      } else if (target.empty()) {
+        target = argv[i];
+      } else {
+        target.clear();
+        break;
+      }
+    }
+    if (target.empty()) {
+      std::fprintf(stderr,
+                   "usage: ndb_inspect wal <data-dir | wal.ndb> [--stats]\n");
+      return 1;
+    }
+    if (std::filesystem::is_directory(target)) target += "/wal.ndb";
+    return DumpWal(target, stats_only);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
     bool prometheus = false;
     std::string dir;
@@ -205,6 +270,7 @@ int main(int argc, char** argv) {
   if (argc != 2 || std::strcmp(argv[1], "--help") == 0) {
     std::fprintf(stderr,
                  "usage: ndb_inspect <data-dir | file.ndb | file.pages>\n"
+                 "       ndb_inspect wal <data-dir | wal.ndb> [--stats]\n"
                  "       ndb_inspect stats <data-dir> [--prom]\n");
     return argc == 2 ? 0 : 1;
   }
