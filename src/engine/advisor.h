@@ -1,0 +1,95 @@
+// NeuroDB — BackendAdvisor: cost-based backend selection from measured
+// index statistics.
+//
+// The paper's demo shows the same query running on every index side by
+// side; the advisor closes the loop by *choosing* — it estimates the pages
+// a typical workload query would touch on each built backend from the
+// structures those backends actually built (R-tree per-level MBR profiles,
+// FLAT page bounds, grid cell geometry, per-shard populations), and
+// recommends the cheapest one.
+//
+// The estimator is the Kamel–Faloutsos expected-node-access model: for a
+// query cube of side q anchored uniformly in the domain, the probability it
+// intersects a box with extents (sx, sy, sz) is
+//
+//     (sx + q)(sy + q)(sz + q) / (Dx * Dy * Dz)
+//
+// which sums over a set of boxes from four aggregates (Σ volume,
+// Σ face area, Σ extent, count) — exactly what rtree::LevelStats carries
+// and what FLAT's page MBRs / the grid's cell geometry provide. kNN
+// queries are folded in by converting k to an equivalent query side from
+// the measured population density. When the engine has live per-backend
+// query counters (obs metrics), the measured pages/query is reported next
+// to each model estimate — and once EVERY candidate has executed queries,
+// the ranking itself switches to the measurements (the model remains the
+// cold-start path).
+//
+// Entry point: QueryEngine::Advise(profile) — see query_engine.h.
+
+#ifndef NEURODB_ENGINE_ADVISOR_H_
+#define NEURODB_ENGINE_ADVISOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace neurodb {
+namespace engine {
+
+enum class BackendChoice;  // defined in query_engine.h
+
+/// The workload the advisor optimizes for: a mix of range and kNN queries.
+struct WorkloadProfile {
+  /// Relative frequency of range queries (>= 0; weights are normalized).
+  double range_weight = 0.5;
+  /// Relative frequency of kNN queries (>= 0).
+  double knn_weight = 0.5;
+  /// Cube side of a typical range query, in circuit units.
+  float range_side = 10.0f;
+  /// Typical k of a kNN query.
+  size_t knn_k = 8;
+  /// Fraction of queries anchored on the data (neuro::DataCenteredQueries,
+  /// MixedWorkloadOptions::data_centered_fraction) rather than uniformly in
+  /// the domain. Anchored queries land where elements are dense, so the
+  /// expected-intersection denominator shifts from the domain volume toward
+  /// the occupied volume. The default matches MixedWorkloadOptions.
+  double data_centered = 0.5;
+
+  Status Validate() const;
+};
+
+/// One backend's modeled cost for a WorkloadProfile.
+struct BackendCostEstimate {
+  std::string backend;
+  BackendChoice choice;
+  /// Expected pages touched by one range query of profile.range_side.
+  double range_pages = 0.0;
+  /// Expected pages touched by one kNN query of profile.knn_k.
+  double knn_pages = 0.0;
+  /// Weighted blend the ranking uses.
+  double cost = 0.0;
+  /// Mean pages/query this backend measured since load (engine query
+  /// counters), or a negative value when it has not executed any query.
+  double measured_pages_per_query = -1.0;
+};
+
+/// The advisor's answer: the recommended backend plus the full scored
+/// table and a human-readable rationale.
+struct AdvisorDecision {
+  BackendChoice backend;
+  std::string backend_name;
+  /// Every candidate, in engine registration order.
+  std::vector<BackendCostEstimate> estimates;
+  std::string rationale;
+  /// True when every candidate had live pages/query counters and the
+  /// ranking used those measurements; false when the decision came from
+  /// the structural cost model alone (cold engine).
+  bool from_measurements = false;
+};
+
+}  // namespace engine
+}  // namespace neurodb
+
+#endif  // NEURODB_ENGINE_ADVISOR_H_

@@ -47,6 +47,7 @@
 
 #include "cache/result_cache.h"
 #include "common/result.h"
+#include "engine/advisor.h"
 #include "engine/backend.h"
 #include "engine/delta_index.h"
 #include "engine/durability.h"
@@ -476,6 +477,14 @@ class QueryEngine {
 
   /// Join loaded axon segments against dendrite segments (paper Figure 7).
   Result<touch::JoinResult> Execute(const JoinRequest& request);
+
+  /// Rank every built-in backend for `profile` with the cost model in
+  /// engine/advisor.h — expected pages per query, computed from the index
+  /// structures the backends actually built (R-tree level profiles, FLAT
+  /// page bounds, grid geometry, shard populations) — and recommend the
+  /// cheapest. Pure read + a few advisor.* metrics; the engine keeps
+  /// serving every BackendChoice regardless of the recommendation.
+  Result<AdvisorDecision> Advise(const WorkloadProfile& profile);
 
   /// Open an incremental exploration session (Session::Step per query).
   /// The session borrows the engine's FLAT index, page store and resolver:

@@ -5,7 +5,7 @@ namespace engine {
 
 Status PagedRTreeBackend::BuildBase(const geom::ElementVec& elements) {
   NEURODB_ASSIGN_OR_RETURN(rtree::RTree tree,
-                           rtree::RTree::BulkLoadStr(elements, options_));
+                           rtree::RTree::Build(elements, options_));
   NEURODB_ASSIGN_OR_RETURN(rtree::PagedRTree paged,
                            rtree::PagedRTree::Build(std::move(tree), store_));
   tree_.emplace(std::move(paged));

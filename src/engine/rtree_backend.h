@@ -13,10 +13,11 @@
 namespace neurodb {
 namespace engine {
 
-/// Adapter wrapping rtree::PagedRTree: STR bulk load, one disk page per
-/// tree node, every visited node charged as one page fetch. Mutation rides
-/// the inherited base+delta protocol — Compact() STR-rebuilds the tree over
-/// the merged element set rather than updating nodes in place.
+/// Adapter wrapping rtree::PagedRTree: bulk load (STR, Hilbert, or dynamic
+/// insertion per RTreeOptions::build), one disk page per tree node, every
+/// visited node charged as one page fetch. Mutation rides the inherited
+/// base+delta protocol — Compact() rebuilds the tree through the same build
+/// path over the merged element set rather than updating nodes in place.
 class PagedRTreeBackend : public BaseDeltaBackend {
  public:
   explicit PagedRTreeBackend(rtree::RTreeOptions options = rtree::RTreeOptions())

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/parallel_executor.h"
+#include "geom/hilbert.h"
 
 namespace neurodb {
 namespace engine {
@@ -19,6 +20,9 @@ Status ShardedOptions::Validate() const {
   }
   if (num_shards > 256) {
     return Status::InvalidArgument("ShardedOptions: num_shards > 256");
+  }
+  if (inner_index == ShardIndexKind::kRTree) {
+    return inner_rtree.Validate();
   }
   return inner.Validate();
 }
@@ -59,6 +63,30 @@ void SplitRecursive(const geom::ElementVec& elements,
       });
   SplitRecursive(elements, idx, begin, mid, left_parts, runs);
   SplitRecursive(elements, idx, mid, end, right_parts, runs);
+}
+
+/// Hilbert-order assignment: sort element indices by the Hilbert key of
+/// their center (ties by element id) and cut the sorted sequence into
+/// `parts` contiguous near-equal runs. Shards hug the space-filling curve,
+/// so clustered data yields compact shards instead of long median slabs.
+void SplitHilbert(const geom::ElementVec& elements, std::vector<uint32_t>* idx,
+                  size_t parts,
+                  std::vector<std::pair<size_t, size_t>>* runs) {
+  Aabb domain;
+  for (const auto& e : elements) domain.Extend(e.bounds);
+  geom::HilbertMapper mapper(domain);
+  std::vector<uint64_t> keys(elements.size());
+  for (size_t i = 0; i < elements.size(); ++i) {
+    keys[i] = mapper.Key(elements[i].bounds);
+  }
+  std::sort(idx->begin(), idx->end(), [&](uint32_t a, uint32_t b) {
+    if (keys[a] != keys[b]) return keys[a] < keys[b];
+    return elements[a].id < elements[b].id;
+  });
+  const size_t n = idx->size();
+  for (size_t s = 0; s < parts; ++s) {
+    runs->emplace_back(n * s / parts, n * (s + 1) / parts);
+  }
 }
 
 }  // namespace
@@ -139,6 +167,8 @@ Status ShardedBackend::BuildBase(const geom::ElementVec& elements) {
   std::vector<std::pair<size_t, size_t>> runs;
   if (elements.empty()) {
     runs.emplace_back(0, 0);
+  } else if (options_.assignment == ShardAssignment::kHilbert) {
+    SplitHilbert(elements, &idx, shards, &runs);
   } else {
     SplitRecursive(elements, &idx, 0, elements.size(), shards, &runs);
   }
@@ -156,7 +186,7 @@ Status ShardedBackend::BuildBase(const geom::ElementVec& elements) {
       bounds.Extend(part.back().bounds);
       id_to_shard_[part.back().id] = static_cast<uint32_t>(shards_.size());
     }
-    auto shard = std::make_unique<GridBackend>(options_.inner);
+    std::unique_ptr<BaseDeltaBackend> shard = MakeInner();
     if (store_factory_) {
       std::string shard_name =
           std::string(name()) + ".shard" + std::to_string(shards_.size());
@@ -171,6 +201,13 @@ Status ShardedBackend::BuildBase(const geom::ElementVec& elements) {
     shard_sizes_.push_back(end - begin);
   }
   return Status::OK();
+}
+
+std::unique_ptr<BaseDeltaBackend> ShardedBackend::MakeInner() const {
+  if (options_.inner_index == ShardIndexKind::kRTree) {
+    return std::make_unique<PagedRTreeBackend>(options_.inner_rtree);
+  }
+  return std::make_unique<GridBackend>(options_.inner);
 }
 
 Status ShardedBackend::ResetBase() {

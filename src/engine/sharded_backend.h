@@ -16,7 +16,8 @@
 //     merging per-shard answers under the global (distance, id) order and
 //     stopping once no unvisited shard can still beat the k-th hit.
 //
-// Mutation is sharded the same way the data is: each inner GridBackend is a
+// Mutation is sharded the same way the data is: each inner backend (a
+// GridBackend or PagedRTreeBackend per ShardedOptions::inner_index) is a
 // BaseDeltaBackend, so an update routed to a shard lands in that shard's
 // delta. Inserts route by the median-split bounds (the shard whose bounds
 // contain the new center, which then extend to cover the new element so the
@@ -42,25 +43,51 @@
 
 #include "engine/base_delta_backend.h"
 #include "engine/grid_backend.h"
+#include "engine/rtree_backend.h"
 #include "exec/thread_pool.h"
 
 namespace neurodb {
 namespace engine {
+
+/// Inner index hosted by each shard.
+enum class ShardIndexKind {
+  /// Uniform-grid inner index (the historical default; flat circuits).
+  kGrid,
+  /// Paged R-tree inner index (deep/skewed circuits, where the grid's
+  /// uniform cells overfetch dense clusters).
+  kRTree,
+};
+
+/// How elements are assigned to shards at build/compact time.
+enum class ShardAssignment {
+  /// Recursive longest-axis median cuts (deterministic, id tiebreak).
+  kMedian,
+  /// Contiguous equal cuts of the Hilbert-sorted element centers: shards
+  /// follow the space-filling curve, so they stay compact under skew where
+  /// median cuts produce long thin slabs.
+  kHilbert,
+};
 
 /// Sharding configuration.
 struct ShardedOptions {
   /// Spatial shards to cut the domain into (clamped to the element count
   /// at build time so no shard is empty).
   size_t num_shards = 4;
-  /// Inner index configuration, one instance per shard.
+  /// Which index each shard hosts.
+  ShardIndexKind inner_index = ShardIndexKind::kGrid;
+  /// Inner grid configuration (used when inner_index == kGrid).
   GridOptions inner;
+  /// Inner R-tree configuration (used when inner_index == kRTree).
+  rtree::RTreeOptions inner_rtree;
+  /// Shard-assignment key.
+  ShardAssignment assignment = ShardAssignment::kMedian;
 
   Status Validate() const;
 };
 
-/// Domain-sharded backend: K shards, each a GridBackend over its own
-/// PageStore. Stores() exposes one store per shard, so the engine's
-/// PoolSets carry one BufferPool per shard.
+/// Domain-sharded backend: K shards, each an inner BaseDeltaBackend (grid
+/// or paged R-tree) over its own PageStore. Stores() exposes one store per
+/// shard, so the engine's PoolSets carry one BufferPool per shard.
 class ShardedBackend : public BaseDeltaBackend {
  public:
   explicit ShardedBackend(ShardedOptions options = ShardedOptions())
@@ -124,7 +151,7 @@ class ShardedBackend : public BaseDeltaBackend {
   /// centers, boxes extend beyond them — and inserts only ever extend a
   /// shard's bounds further (exact re-tightening happens at Compact).
   const geom::Aabb& shard_bounds(size_t i) const { return shard_bounds_[i]; }
-  const GridBackend& shard(size_t i) const { return *shards_[i]; }
+  const BaseDeltaBackend& shard(size_t i) const { return *shards_[i]; }
   /// Live elements assigned to shard `i` — the per-shard population count
   /// the cost-based shard selection prunes by (zero-population shards are
   /// skipped even when their bounds intersect a query).
@@ -178,11 +205,14 @@ class ShardedBackend : public BaseDeltaBackend {
   /// npos when no shard covers it (the insert spills).
   size_t RouteByBounds(const geom::Vec3& center) const;
 
+  /// One inner backend of the configured kind.
+  std::unique_ptr<BaseDeltaBackend> MakeInner() const;
+
   ShardedOptions options_;
   exec::ThreadPool* thread_pool_ = nullptr;
   StoreFactory store_factory_;
 
-  std::vector<std::unique_ptr<GridBackend>> shards_;
+  std::vector<std::unique_ptr<BaseDeltaBackend>> shards_;
   std::vector<geom::Aabb> shard_bounds_;
   std::vector<size_t> shard_sizes_;
   /// Owning shard of every live element that lives in a shard (spill

@@ -327,5 +327,90 @@ SegmentDataset ClusteredSegments(size_t n, const Aabb& domain, size_t clusters,
   return out;
 }
 
+namespace {
+
+// Clamp a point into `domain` so skewed clouds stay inside the circuit
+// bounding box (Gaussian tails would otherwise leak out and distort the
+// advisor's domain-volume denominator).
+Vec3 ClampInto(const Vec3& p, const Aabb& domain) {
+  auto clamp1 = [](float v, float lo, float hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  };
+  return Vec3(clamp1(p.x, domain.min.x, domain.max.x),
+              clamp1(p.y, domain.min.y, domain.max.y),
+              clamp1(p.z, domain.min.z, domain.max.z));
+}
+
+// Cube element around `center` with side jittered in [0.5, 1.0] * elem_side.
+geom::SpatialElement CloudElement(Pcg32* rng, const Vec3& center,
+                                  const Aabb& domain, float elem_side,
+                                  size_t id) {
+  float side =
+      elem_side * (0.5f + 0.5f * static_cast<float>(rng->NextDouble()));
+  return geom::SpatialElement(static_cast<geom::ElementId>(id),
+                              Aabb::Cube(ClampInto(center, domain), side));
+}
+
+}  // namespace
+
+geom::ElementVec ClusteredElements(size_t n, const Aabb& domain,
+                                   size_t clusters, float sigma,
+                                   float elem_side, uint64_t seed) {
+  Pcg32 rng(seed, 8);
+  std::vector<Vec3> centers;
+  centers.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    centers.push_back(UniformPoint(&rng, domain));
+  }
+  geom::ElementVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Vec3& c = centers[rng.NextBounded(static_cast<uint32_t>(clusters))];
+    Vec3 p(c.x + static_cast<float>(rng.Gaussian(0, sigma)),
+           c.y + static_cast<float>(rng.Gaussian(0, sigma)),
+           c.z + static_cast<float>(rng.Gaussian(0, sigma)));
+    out.push_back(CloudElement(&rng, p, domain, elem_side, i));
+  }
+  return out;
+}
+
+geom::ElementVec PowerLawElements(size_t n, const Aabb& domain,
+                                  size_t clusters, double alpha,
+                                  float sigma_max, float elem_side,
+                                  uint64_t seed) {
+  Pcg32 rng(seed, 9);
+  std::vector<Vec3> centers;
+  std::vector<float> sigmas;
+  std::vector<double> cdf;
+  centers.reserve(clusters);
+  sigmas.reserve(clusters);
+  cdf.reserve(clusters);
+  double total = 0.0;
+  for (size_t r = 0; r < clusters; ++r) {
+    centers.push_back(UniformPoint(&rng, domain));
+    // Low ranks are both more populous (1/(r+1)^alpha of the draws) and
+    // tighter (sigma shrinks with rank): dense cores, long sparse tail.
+    sigmas.push_back(sigma_max *
+                     static_cast<float>(std::pow(r + 1.0, -alpha / 3.0)));
+    total += std::pow(r + 1.0, -alpha);
+    cdf.push_back(total);
+  }
+  geom::ElementVec out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble() * total;
+    size_t r = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (r >= clusters) r = clusters - 1;
+    const Vec3& c = centers[r];
+    const float s = sigmas[r];
+    Vec3 p(c.x + static_cast<float>(rng.Gaussian(0, s)),
+           c.y + static_cast<float>(rng.Gaussian(0, s)),
+           c.z + static_cast<float>(rng.Gaussian(0, s)));
+    out.push_back(CloudElement(&rng, p, domain, elem_side, i));
+  }
+  return out;
+}
+
 }  // namespace neuro
 }  // namespace neurodb

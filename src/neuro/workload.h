@@ -186,6 +186,28 @@ SegmentDataset ClusteredSegments(size_t n, const geom::Aabb& domain,
                                  float length_mean, float radius,
                                  uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Skewed element clouds (backend-advisor discrimination workloads)
+// ---------------------------------------------------------------------------
+
+/// `n` elements (ids 0..n-1) grouped around `clusters` Gaussian cluster
+/// centers with spatial sigma `sigma`; element boxes are cubes with side
+/// uniform in [0.5, 1.0] * elem_side, centers clamped into `domain`. The
+/// clustered circuit where a tight hierarchy (R-tree) wins and a uniform
+/// grid overfetches.
+geom::ElementVec ClusteredElements(size_t n, const geom::Aabb& domain,
+                                   size_t clusters, float sigma,
+                                   float elem_side, uint64_t seed);
+
+/// Power-law density: cluster r (of `clusters`) draws population weight
+/// 1/(r+1)^alpha and shrinks its sigma with rank — a few huge dense cores
+/// plus a long sparse tail, the deep-circuit skew of the paper's dense
+/// datasets. Same element-box shape rules as ClusteredElements.
+geom::ElementVec PowerLawElements(size_t n, const geom::Aabb& domain,
+                                  size_t clusters, double alpha,
+                                  float sigma_max, float elem_side,
+                                  uint64_t seed);
+
 }  // namespace neuro
 }  // namespace neurodb
 

@@ -31,7 +31,34 @@ Status RTreeOptions::Validate() const {
     return Status::InvalidArgument(
         "RTreeOptions: leaf_capacity must be 0 or >= max(2, 2*min_entries)");
   }
+  if (!(fill_factor > 0.0) || fill_factor > 1.0) {
+    return Status::InvalidArgument(
+        "RTreeOptions: fill_factor must be in (0, 1]");
+  }
+  if (reinsert_factor < 0.0 || reinsert_factor > 0.5) {
+    return Status::InvalidArgument(
+        "RTreeOptions: reinsert_factor must be in [0, 0.5]");
+  }
   return Status::OK();
+}
+
+namespace {
+
+size_t PackedCapacity(size_t capacity, double fill_factor, size_t floor) {
+  size_t target = static_cast<size_t>(
+      std::llround(fill_factor * static_cast<double>(capacity)));
+  target = std::max<size_t>(target, std::max<size_t>(floor, 1));
+  return std::min(target, capacity);
+}
+
+}  // namespace
+
+size_t RTreeOptions::PackedLeafCapacity() const {
+  return PackedCapacity(LeafCapacity(), fill_factor, min_entries);
+}
+
+size_t RTreeOptions::PackedFanout() const {
+  return PackedCapacity(max_entries, fill_factor, min_entries);
 }
 
 RTree::RTree(RTreeOptions options) : options_(options) {}
@@ -72,6 +99,7 @@ RTree RTree::PackLevels(std::vector<Node> leaves, RTreeOptions options,
   std::vector<int32_t> current(tree.nodes_.size());
   std::iota(current.begin(), current.end(), 0);
 
+  const size_t fanout = options.PackedFanout();
   int level = 0;
   while (current.size() > 1) {
     ++level;
@@ -82,12 +110,11 @@ RTree RTree::PackLevels(std::vector<Node> leaves, RTreeOptions options,
     for (int32_t id : current) {
       boxes.emplace_back(static_cast<ElementId>(id), tree.nodes_[id].bounds);
     }
-    std::vector<uint32_t> order =
-        storage::StrOrder(boxes, options.max_entries);
+    std::vector<uint32_t> order = storage::StrOrder(boxes, fanout);
 
     std::vector<int32_t> parents;
-    for (size_t at = 0; at < order.size(); at += options.max_entries) {
-      size_t end = std::min(order.size(), at + options.max_entries);
+    for (size_t at = 0; at < order.size(); at += fanout) {
+      size_t end = std::min(order.size(), at + fanout);
       int32_t pid = tree.NewNode(level);
       for (size_t i = at; i < end; ++i) {
         int32_t child = static_cast<int32_t>(boxes[order[i]].id);
@@ -130,10 +157,10 @@ std::vector<RTree::Node> PackLeaves(const ElementVec& elements,
 Result<RTree> RTree::BulkLoadStr(const ElementVec& elements,
                                  RTreeOptions options) {
   NEURODB_RETURN_NOT_OK(options.Validate());
-  std::vector<uint32_t> order =
-      storage::StrOrder(elements, options.LeafCapacity());
-  return PackLevels(PackLeaves(elements, order, options.LeafCapacity()),
-                    options, elements.size());
+  const size_t run = options.PackedLeafCapacity();
+  std::vector<uint32_t> order = storage::StrOrder(elements, run);
+  return PackLevels(PackLeaves(elements, order, run), options,
+                    elements.size());
 }
 
 Result<RTree> RTree::BulkLoadHilbert(const ElementVec& elements,
@@ -151,8 +178,27 @@ Result<RTree> RTree::BulkLoadHilbert(const ElementVec& elements,
   }
   std::vector<uint32_t> order(elements.size());
   for (uint32_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
-  return PackLevels(PackLeaves(elements, order, options.LeafCapacity()),
-                    options, elements.size());
+  return PackLevels(
+      PackLeaves(elements, order, options.PackedLeafCapacity()), options,
+      elements.size());
+}
+
+Result<RTree> RTree::Build(const ElementVec& elements, RTreeOptions options) {
+  switch (options.build) {
+    case BuildAlgorithm::kStrBulk:
+      return BulkLoadStr(elements, options);
+    case BuildAlgorithm::kHilbertBulk:
+      return BulkLoadHilbert(elements, options);
+    case BuildAlgorithm::kDynamicInsert: {
+      NEURODB_RETURN_NOT_OK(options.Validate());
+      RTree tree(options);
+      for (const auto& e : elements) {
+        NEURODB_RETURN_NOT_OK(tree.Insert(e));
+      }
+      return tree;
+    }
+  }
+  return Status::InvalidArgument("RTreeOptions: unknown build algorithm");
 }
 
 // ---------------------------------------------------------------------------
@@ -459,9 +505,106 @@ void RTree::SplitNode(int32_t node_id) {
   nodes_[parent].children.push_back(sibling);
   RecomputeBounds(parent);
   if (nodes_[parent].children.size() > options_.max_entries) {
-    SplitNode(parent);
+    HandleOverflow(parent);
   } else {
     AdjustUpward(parent);
+  }
+}
+
+void RTree::HandleOverflow(int32_t node_id) {
+  const int level = nodes_[node_id].level;
+  const bool may_reinsert =
+      options_.split == SplitAlgorithm::kRStar &&
+      options_.reinsert_factor > 0.0 && node_id != root_ &&
+      (static_cast<size_t>(level) >= reinserted_levels_.size() ||
+       !reinserted_levels_[level]);
+  if (!may_reinsert) {
+    SplitNode(node_id);
+    return;
+  }
+  if (reinserted_levels_.size() <= static_cast<size_t>(level)) {
+    reinserted_levels_.resize(level + 1, 0);
+  }
+  reinserted_levels_[level] = 1;
+  ForcedReinsert(node_id);
+}
+
+void RTree::ForcedReinsert(int32_t node_id) {
+  const bool leaf = nodes_[node_id].IsLeaf();
+  const int level = nodes_[node_id].level;
+  const size_t count = leaf ? nodes_[node_id].entries.size()
+                            : nodes_[node_id].children.size();
+  size_t p = static_cast<size_t>(
+      std::llround(options_.reinsert_factor * static_cast<double>(count)));
+  p = std::max<size_t>(p, 1);
+  p = std::min(p, count - options_.min_entries);
+
+  // Rank entries by squared distance of their center from the node center;
+  // the p farthest are evicted, then re-inserted closest-first ("close
+  // reinsert"). Index tiebreak keeps the pass deterministic.
+  const Vec3 center = nodes_[node_id].bounds.Center();
+  std::vector<std::pair<double, uint32_t>> ranked(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const Aabb& box = leaf ? nodes_[node_id].entries[i].bounds
+                           : nodes_[nodes_[node_id].children[i]].bounds;
+    ranked[i] = {(box.Center() - center).SquaredNorm(), i};
+  }
+  std::sort(ranked.begin(), ranked.end());
+  // ranked[count-p .. count) are the evicted tail, ascending by distance.
+
+  std::vector<bool> evict(count, false);
+  for (size_t i = count - p; i < count; ++i) evict[ranked[i].second] = true;
+
+  if (leaf) {
+    std::vector<SpatialElement> removed;
+    removed.reserve(p);
+    for (size_t i = count - p; i < count; ++i) {
+      removed.push_back(nodes_[node_id].entries[ranked[i].second]);
+    }
+    std::vector<SpatialElement> keep;
+    keep.reserve(count - p);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!evict[i]) keep.push_back(nodes_[node_id].entries[i]);
+    }
+    nodes_[node_id].entries = std::move(keep);
+    RecomputeBounds(node_id);
+    AdjustUpward(node_id);
+    for (const auto& e : removed) {
+      int32_t target = ChooseSubtree(e.bounds, 0);
+      nodes_[target].entries.push_back(e);
+      nodes_[target].bounds.Extend(e.bounds);
+      if (nodes_[target].entries.size() > options_.LeafCapacity()) {
+        HandleOverflow(target);
+      } else {
+        AdjustUpward(target);
+      }
+    }
+  } else {
+    std::vector<int32_t> removed;
+    removed.reserve(p);
+    for (size_t i = count - p; i < count; ++i) {
+      removed.push_back(nodes_[node_id].children[ranked[i].second]);
+    }
+    std::vector<int32_t> keep;
+    keep.reserve(count - p);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!evict[i]) keep.push_back(nodes_[node_id].children[i]);
+    }
+    nodes_[node_id].children = std::move(keep);
+    RecomputeBounds(node_id);
+    AdjustUpward(node_id);
+    for (int32_t child : removed) {
+      // A child of level `level - 1` re-attaches under a node of `level`.
+      int32_t target = ChooseSubtree(nodes_[child].bounds, level);
+      nodes_[target].children.push_back(child);
+      nodes_[child].parent = target;
+      nodes_[target].bounds.Extend(nodes_[child].bounds);
+      if (nodes_[target].children.size() > options_.max_entries) {
+        HandleOverflow(target);
+      } else {
+        AdjustUpward(target);
+      }
+    }
   }
 }
 
@@ -485,8 +628,9 @@ Status RTree::Insert(const SpatialElement& element) {
   nodes_[leaf].entries.push_back(element);
   nodes_[leaf].bounds.Extend(element.bounds);
   ++size_;
+  reinserted_levels_.clear();
   if (nodes_[leaf].entries.size() > options_.LeafCapacity()) {
-    SplitNode(leaf);
+    HandleOverflow(leaf);
   } else {
     AdjustUpward(leaf);
   }
@@ -710,6 +854,88 @@ Status RTree::CheckInvariants() const {
                               std::to_string(size_));
   }
   return Status::OK();
+}
+
+namespace {
+
+// Pairwise overlap volume of `boxes`, exact up to `exact_limit` boxes and
+// estimated from a deterministic stride sample beyond it.
+double PairwiseOverlap(const std::vector<Aabb>& boxes, size_t exact_limit,
+                       bool* sampled) {
+  const size_t n = boxes.size();
+  *sampled = false;
+  if (n < 2) return 0.0;
+  if (n <= exact_limit) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        total += geom::OverlapVolume(boxes[i], boxes[j]);
+      }
+    }
+    return total;
+  }
+  *sampled = true;
+  const size_t stride = (n + exact_limit - 1) / exact_limit;
+  std::vector<Aabb> sample;
+  sample.reserve(exact_limit);
+  for (size_t i = 0; i < n; i += stride) sample.push_back(boxes[i]);
+  const size_t s = sample.size();
+  double total = 0.0;
+  for (size_t i = 0; i < s; ++i) {
+    for (size_t j = i + 1; j < s; ++j) {
+      total += geom::OverlapVolume(sample[i], sample[j]);
+    }
+  }
+  const double pairs = static_cast<double>(n) * (n - 1);
+  const double sample_pairs = static_cast<double>(s) * (s - 1);
+  return total * pairs / sample_pairs;
+}
+
+}  // namespace
+
+std::vector<LevelStats> RTree::LevelProfile() const {
+  std::vector<LevelStats> levels;
+  if (root_ == -1) return levels;
+  levels.resize(nodes_[root_].level + 1);
+  std::vector<std::vector<Aabb>> boxes(levels.size());
+
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    int32_t id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    LevelStats& ls = levels[n.level];
+    ++ls.nodes;
+    boxes[n.level].push_back(n.bounds);
+    ls.total_volume += n.bounds.Volume();
+    const Vec3 ext = n.bounds.Extent();
+    ls.sum_face_area += static_cast<double>(ext.x) * ext.y +
+                        static_cast<double>(ext.y) * ext.z +
+                        static_cast<double>(ext.z) * ext.x;
+    ls.sum_extent +=
+        static_cast<double>(ext.x) + static_cast<double>(ext.y) + ext.z;
+    if (n.IsLeaf()) {
+      ls.entries += n.entries.size();
+    } else {
+      ls.entries += n.children.size();
+      for (int32_t c : n.children) stack.push_back(c);
+    }
+  }
+
+  constexpr size_t kOverlapExactLimit = 1024;
+  for (size_t level = 0; level < levels.size(); ++level) {
+    LevelStats& ls = levels[level];
+    ls.level = static_cast<int>(level);
+    ls.capacity = level == 0 ? options_.LeafCapacity() : options_.max_entries;
+    ls.mean_fill =
+        ls.nodes == 0
+            ? 0.0
+            : static_cast<double>(ls.entries) /
+                  (static_cast<double>(ls.nodes) * ls.capacity);
+    ls.overlap_volume =
+        PairwiseOverlap(boxes[level], kOverlapExactLimit, &ls.overlap_sampled);
+  }
+  return levels;
 }
 
 }  // namespace rtree

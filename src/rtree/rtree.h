@@ -42,6 +42,17 @@ enum class SplitAlgorithm {
   kRStar,
 };
 
+/// Construction path used by RTree::Build (and the paged backend's
+/// Build/Compact rebuilds).
+enum class BuildAlgorithm {
+  /// Sort-Tile-Recursive packing (Leutenegger et al., ICDE'97).
+  kStrBulk,
+  /// Hilbert-curve sort of element centers, packed into runs.
+  kHilbertBulk,
+  /// One-at-a-time insertion through the configured split algorithm.
+  kDynamicInsert,
+};
+
 /// Tuning knobs for RTree.
 struct RTreeOptions {
   /// Maximum entries (or children) per node. 102 entries ≈ one 4 KiB page
@@ -53,12 +64,56 @@ struct RTreeOptions {
   /// large data leaves under a narrower internal fanout.
   size_t leaf_capacity = 0;
   SplitAlgorithm split = SplitAlgorithm::kRStar;
+  /// Construction path taken by Build() (the paged backend routes its
+  /// Build / Compact rebuilds through this).
+  BuildAlgorithm build = BuildAlgorithm::kStrBulk;
+  /// Bulk-load pack fraction in (0, 1]: each packed node receives
+  /// round(fill_factor * capacity) entries (clamped to [min_entries,
+  /// capacity]). 1.0 reproduces the historical fully-packed layout;
+  /// lower values leave headroom for subsequent dynamic inserts.
+  double fill_factor = 1.0;
+  /// R* forced reinsertion (Beckmann et al. §4.3): on the first overflow
+  /// per level per insert, instead of splitting, evict this fraction of
+  /// the node's entries (the ones farthest from the node center) and
+  /// re-insert them closest-first. 0 disables. Only active with
+  /// SplitAlgorithm::kRStar.
+  double reinsert_factor = 0.3;
 
   size_t LeafCapacity() const {
     return leaf_capacity == 0 ? max_entries : leaf_capacity;
   }
 
+  /// Entries packed per leaf / internal node by the bulk loaders after
+  /// applying fill_factor.
+  size_t PackedLeafCapacity() const;
+  size_t PackedFanout() const;
+
   Status Validate() const;
+};
+
+/// Per-level structural profile (level 0 = leaves). Feeds the backend
+/// advisor's cost model, `ndb_inspect tree`, and the micro_rtree bench.
+struct LevelStats {
+  int level = 0;
+  size_t nodes = 0;
+  /// Data entries (leaf level) or child slots (internal levels).
+  size_t entries = 0;
+  /// Per-node capacity at this level.
+  size_t capacity = 0;
+  /// entries / (nodes * capacity).
+  double mean_fill = 0.0;
+  /// Σ node-MBR volume.
+  double total_volume = 0.0;
+  /// Σ over nodes of (ex*ey + ey*ez + ez*ex) — the face-area term of the
+  /// Kamel–Faloutsos expected-node-access formula.
+  double sum_face_area = 0.0;
+  /// Σ over nodes of (ex + ey + ez).
+  double sum_extent = 0.0;
+  /// Σ pairwise overlap volume between node MBRs at this level. Estimated
+  /// from a deterministic sample when the level is large (see
+  /// overlap_sampled).
+  double overlap_volume = 0.0;
+  bool overlap_sampled = false;
 };
 
 /// Per-query instrumentation (the demo shows "for the R-Tree how many nodes
@@ -110,6 +165,11 @@ class RTree {
   static Result<RTree> BulkLoadHilbert(const geom::ElementVec& elements,
                                        RTreeOptions options = RTreeOptions());
 
+  /// Build through the path selected by options.build (STR bulk, Hilbert
+  /// bulk, or repeated dynamic insertion).
+  static Result<RTree> Build(const geom::ElementVec& elements,
+                             RTreeOptions options = RTreeOptions());
+
   /// Insert one element (dynamic path; splits per options.split).
   Status Insert(const geom::SpatialElement& element);
 
@@ -150,6 +210,10 @@ class RTree {
   /// property tests.
   Status CheckInvariants() const;
 
+  /// Per-level structure stats, index 0 = leaf level. Empty for an empty
+  /// tree.
+  std::vector<LevelStats> LevelProfile() const;
+
   const RTreeOptions& options() const { return options_; }
   int32_t root() const { return root_; }
   const Node& node(int32_t id) const { return nodes_[id]; }
@@ -161,6 +225,10 @@ class RTree {
   int32_t ChooseSubtree(const geom::Aabb& box, int target_level) const;
   void SplitNode(int32_t node_id);
   void AdjustUpward(int32_t node_id);
+  // Overflow treatment: forced reinsertion on the first overflow per level
+  // per public Insert (R*), falling back to SplitNode.
+  void HandleOverflow(int32_t node_id);
+  void ForcedReinsert(int32_t node_id);
 
   // Packs `boxed` runs into parent nodes until a single root remains.
   static RTree PackLevels(std::vector<Node> leaves, RTreeOptions options,
@@ -170,6 +238,8 @@ class RTree {
   std::vector<Node> nodes_;
   int32_t root_ = -1;
   size_t size_ = 0;
+  // Levels already granted a forced reinsertion during the current Insert.
+  std::vector<char> reinserted_levels_;
 };
 
 }  // namespace rtree

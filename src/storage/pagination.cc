@@ -53,12 +53,17 @@ std::vector<uint32_t> StrOrder(const geom::ElementVec& elements,
     return center(a, 0) < center(b, 0);
   });
 
-  const size_t slab = (n + s - 1) / s;  // elements per x-slab
+  // Slab and run sizes must be multiples of group_size (Leutenegger et al.:
+  // a slab holds s^2 tiles, a run s tiles). The consumer cuts groups every
+  // group_size elements of the final order — if runs were not aligned, a
+  // group could straddle a run boundary and span the whole z (and possibly
+  // y) extent of the slab, destroying the tiling's low overlap.
+  const size_t slab = s * s * group_size;  // elements per x-slab
+  const size_t run = s * group_size;       // elements per y-run
   for (size_t x0 = 0; x0 < n; x0 += slab) {
     size_t x1 = std::min(n, x0 + slab);
     std::sort(order.begin() + x0, order.begin() + x1,
               [&](uint32_t a, uint32_t b) { return center(a, 1) < center(b, 1); });
-    const size_t run = (x1 - x0 + s - 1) / s;  // elements per y-run
     for (size_t y0 = x0; y0 < x1; y0 += run) {
       size_t y1 = std::min(x1, y0 + run);
       std::sort(order.begin() + y0, order.begin() + y1,

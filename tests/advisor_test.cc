@@ -1,0 +1,150 @@
+// BackendAdvisor: profile validation, the cold structural-model path, and
+// the switch to measured pages/query ranking once every candidate backend
+// has executed queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "engine/query_engine.h"
+#include "neuro/workload.h"
+
+namespace neurodb {
+namespace engine {
+namespace {
+
+using geom::Aabb;
+using geom::Vec3;
+
+TEST(WorkloadProfileTest, ValidateRejectsBadProfiles) {
+  WorkloadProfile ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  WorkloadProfile negative;
+  negative.range_weight = -1.0;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  WorkloadProfile zero;
+  zero.range_weight = 0.0;
+  zero.knn_weight = 0.0;
+  EXPECT_FALSE(zero.Validate().ok());
+
+  WorkloadProfile side;
+  side.range_side = 0.0f;
+  EXPECT_FALSE(side.Validate().ok());
+
+  WorkloadProfile k;
+  k.knn_k = 0;
+  EXPECT_FALSE(k.Validate().ok());
+
+  WorkloadProfile anchored;
+  anchored.data_centered = 1.5;
+  EXPECT_FALSE(anchored.Validate().ok());
+}
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.flat.elems_per_page = 64;
+    options.grid.elems_per_page = 64;
+    db_ = std::make_unique<QueryEngine>(options);
+    const Aabb domain(Vec3(0, 0, 0), Vec3(200, 200, 200));
+    elements_ = neuro::ClusteredElements(6000, domain, /*clusters=*/16,
+                                         /*sigma=*/5.0f, /*elem_side=*/1.5f,
+                                         /*seed=*/41);
+    ASSERT_TRUE(db_->LoadElements(elements_).ok());
+  }
+
+  std::unique_ptr<QueryEngine> db_;
+  geom::ElementVec elements_;
+};
+
+// Fresh engine, no queries executed: the decision must come from the
+// structural model alone, with every candidate scored and no measured
+// counters available.
+TEST_F(AdvisorTest, ColdEngineUsesModel) {
+  WorkloadProfile profile;
+  profile.data_centered = 1.0;
+  auto decision = db_->Advise(profile);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->from_measurements);
+  EXPECT_GE(decision->estimates.size(), 4u);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& est : decision->estimates) {
+    EXPECT_LT(est.measured_pages_per_query, 0.0) << est.backend;
+    EXPECT_GT(est.cost, 0.0) << est.backend;
+    best = std::min(best, est.cost);
+  }
+  // The pick is the modeled argmin.
+  for (const auto& est : decision->estimates) {
+    if (est.backend == decision->backend_name) {
+      EXPECT_DOUBLE_EQ(est.cost, best);
+    }
+  }
+  EXPECT_NE(decision->rationale.find("modeled"), std::string::npos)
+      << decision->rationale;
+}
+
+// After every backend has executed queries, the ranking switches to the
+// live pages/query counters and the pick is the measured argmin.
+TEST_F(AdvisorTest, MeasuredCountersOverrideModel) {
+  auto anchors = neuro::DataCenteredQueries(elements_, 1.0f, 8, 17);
+  for (auto choice : {BackendChoice::kFlat, BackendChoice::kRTree,
+                      BackendChoice::kGrid, BackendChoice::kSharded}) {
+    for (const auto& anchor : anchors) {
+      KnnRequest request;
+      request.point = anchor.Center();
+      request.k = 8;
+      request.backend = choice;
+      request.cache = CachePolicy::kCold;
+      ASSERT_TRUE(db_->Execute(request).ok());
+    }
+  }
+
+  WorkloadProfile profile;
+  profile.range_weight = 0.0;
+  profile.knn_weight = 1.0;
+  profile.knn_k = 8;
+  profile.data_centered = 1.0;
+  auto decision = db_->Advise(profile);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(decision->from_measurements);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& est : decision->estimates) {
+    EXPECT_GE(est.measured_pages_per_query, 0.0) << est.backend;
+    best = std::min(best, est.measured_pages_per_query);
+  }
+  for (const auto& est : decision->estimates) {
+    if (est.backend == decision->backend_name) {
+      EXPECT_DOUBLE_EQ(est.measured_pages_per_query, best);
+    }
+  }
+  EXPECT_NE(decision->rationale.find("measured"), std::string::npos)
+      << decision->rationale;
+}
+
+// A partially-warm engine (some backends queried, some not) must stay on
+// the model: ranking mixed measured/modeled numbers would compare
+// incomparable scales.
+TEST_F(AdvisorTest, PartialCountersStayOnModel) {
+  auto anchors = neuro::DataCenteredQueries(elements_, 1.0f, 4, 19);
+  for (const auto& anchor : anchors) {
+    KnnRequest request;
+    request.point = anchor.Center();
+    request.k = 8;
+    request.backend = BackendChoice::kRTree;
+    request.cache = CachePolicy::kCold;
+    ASSERT_TRUE(db_->Execute(request).ok());
+  }
+  WorkloadProfile profile;
+  profile.data_centered = 1.0;
+  auto decision = db_->Advise(profile);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_FALSE(decision->from_measurements);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace neurodb

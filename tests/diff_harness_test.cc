@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <ctime>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "neuro/circuit_generator.h"
 
@@ -166,6 +168,97 @@ TEST_F(DiffHarnessFixture, SubSeedRegeneratesExactQuery) {
     EXPECT_EQ(again.epsilon, workload[i].epsilon);
   }
 }
+
+// Index-variant rotation: the same seeded Range/Knn workload, zero
+// divergences tolerated, through engines whose R-tree and sharded backends
+// are configured with the new construction paths — Hilbert bulk loading,
+// partial fill factors, R* forced reinsertion, and Hilbert-assigned shards
+// hosting inner R-trees — over skewed element clouds (Gaussian clusters /
+// power-law density) instead of the fixture's circuit. FLAT is always part
+// of the kAll parity set, so every variant is checked byte-identical to
+// the FLAT ground truth as well as brute force. CI runs 1000 queries per
+// variant; the nightly registration scales to 10000 and rotates the seed.
+struct IndexVariant {
+  const char* name;
+  engine::EngineOptions options;
+};
+
+std::vector<IndexVariant> IndexVariants() {
+  std::vector<IndexVariant> out;
+  {
+    IndexVariant v{"HilbertBulkFill80", {}};
+    v.options.rtree.build = rtree::BuildAlgorithm::kHilbertBulk;
+    v.options.rtree.fill_factor = 0.8;
+    out.push_back(v);
+  }
+  {
+    IndexVariant v{"RStarReinsertInsert", {}};
+    v.options.rtree.build = rtree::BuildAlgorithm::kDynamicInsert;
+    v.options.rtree.split = rtree::SplitAlgorithm::kRStar;
+    v.options.rtree.reinsert_factor = 0.3;
+    out.push_back(v);
+  }
+  {
+    IndexVariant v{"StrBulkFill70ShardedHilbertRTree", {}};
+    v.options.rtree.build = rtree::BuildAlgorithm::kStrBulk;
+    v.options.rtree.fill_factor = 0.7;
+    v.options.sharded.assignment = engine::ShardAssignment::kHilbert;
+    v.options.sharded.inner_index = engine::ShardIndexKind::kRTree;
+    out.push_back(v);
+  }
+  {
+    IndexVariant v{"ShardedHilbertGrid", {}};
+    v.options.sharded.assignment = engine::ShardAssignment::kHilbert;
+    v.options.sharded.num_shards = 6;
+    out.push_back(v);
+  }
+  return out;
+}
+
+class IndexVariantDiffTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IndexVariantDiffTest, BuildVariantWorkloadHasNoDivergence) {
+  const IndexVariant variant = IndexVariants()[GetParam()];
+  engine::EngineOptions options = variant.options;
+  options.flat.elems_per_page = 64;
+  options.grid.elems_per_page = 64;
+  options.num_threads =
+      std::max<uint64_t>(1, EnvOr("NEURODB_DIFF_THREADS", 1));
+  engine::QueryEngine db(options);
+
+  // Skewed clouds, not the circuit: the distributions the new build paths
+  // exist for, alternated across variants.
+  const Aabb domain(Vec3(0, 0, 0), Vec3(200, 200, 200));
+  geom::ElementVec elements =
+      GetParam() % 2 == 0
+          ? neuro::ClusteredElements(4000, domain, /*clusters=*/16,
+                                     /*sigma=*/5.0f, /*elem_side=*/1.5f,
+                                     /*seed=*/31)
+          : neuro::PowerLawElements(4000, domain, /*clusters=*/24,
+                                    /*alpha=*/1.1, /*sigma_max=*/30.0f,
+                                    /*elem_side=*/1.5f, /*seed=*/32);
+  ASSERT_TRUE(db.LoadElements(elements).ok());
+
+  neuro::MixedWorkloadOptions workload;
+  workload.knn_fraction = 0.35;
+  workload.join_fraction = 0.0;
+
+  size_t queries = EnvOr("NEURODB_DIFF_QUERIES", 1000);
+  DiffOutcome outcome = RunDifferential(&db, elements, workload, queries,
+                                        DiffSeed() + 100 * (GetParam() + 1));
+  EXPECT_FALSE(outcome.diverged)
+      << variant.name << ": " << outcome.Summary();
+  EXPECT_EQ(outcome.queries_run, queries);
+  EXPECT_GT(outcome.ranges, 0u);
+  EXPECT_GT(outcome.knns, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, IndexVariantDiffTest,
+                         ::testing::Range<size_t>(0, IndexVariants().size()),
+                         [](const auto& info) {
+                           return std::string(
+                               IndexVariants()[info.param].name);
+                         });
 
 // A backend that silently drops the first streamed match of every range
 // query — the class of bug the harness exists to catch.

@@ -1,7 +1,8 @@
 // Property tests: for every construction path (dynamic insertion with both
-// split algorithms, STR and Hilbert bulk loading) and across seeds and
-// dataset shapes, the R-tree must (a) satisfy its structural invariants and
-// (b) answer range queries exactly like brute force.
+// split algorithms — R* with and without forced reinsertion — plus STR and
+// Hilbert bulk loading at full and partial fill factors) and across seeds
+// and dataset shapes, the R-tree must (a) satisfy its structural invariants
+// and (b) answer range queries exactly like brute force.
 
 #include <gtest/gtest.h>
 
@@ -20,7 +21,15 @@ using geom::ElementId;
 using geom::ElementVec;
 using geom::Vec3;
 
-enum class BuildKind { kInsertQuadratic, kInsertRStar, kBulkStr, kBulkHilbert };
+enum class BuildKind {
+  kInsertQuadratic,
+  kInsertRStar,          // R* split, no forced reinsertion
+  kInsertRStarReinsert,  // R* split + 30% forced reinsertion on overflow
+  kBulkStr,
+  kBulkHilbert,
+  kBulkStrFill75,      // STR packing at a partial fill factor
+  kBulkHilbertFill75,  // Hilbert packing at a partial fill factor
+};
 
 std::string BuildKindName(BuildKind k) {
   switch (k) {
@@ -28,10 +37,16 @@ std::string BuildKindName(BuildKind k) {
       return "InsertQuadratic";
     case BuildKind::kInsertRStar:
       return "InsertRStar";
+    case BuildKind::kInsertRStarReinsert:
+      return "InsertRStarReinsert";
     case BuildKind::kBulkStr:
       return "BulkStr";
     case BuildKind::kBulkHilbert:
       return "BulkHilbert";
+    case BuildKind::kBulkStrFill75:
+      return "BulkStrFill75";
+    case BuildKind::kBulkHilbertFill75:
+      return "BulkHilbertFill75";
   }
   return "Unknown";
 }
@@ -120,10 +135,15 @@ TEST_P(RTreeEquivalenceTest, InvariantsHoldAndQueriesMatchBruteForce) {
   RTree tree{options};
   switch (kind) {
     case BuildKind::kInsertQuadratic:
-    case BuildKind::kInsertRStar: {
+    case BuildKind::kInsertRStar:
+    case BuildKind::kInsertRStarReinsert: {
       options.split = kind == BuildKind::kInsertQuadratic
                           ? SplitAlgorithm::kQuadratic
                           : SplitAlgorithm::kRStar;
+      // Pin the reinsertion knob so the two R* variants are genuinely
+      // distinct paths (the default is non-zero).
+      options.reinsert_factor =
+          kind == BuildKind::kInsertRStarReinsert ? 0.3 : 0.0;
       tree = RTree{options};
       for (const auto& e : elements) {
         ASSERT_TRUE(tree.Insert(e).ok());
@@ -138,6 +158,17 @@ TEST_P(RTreeEquivalenceTest, InvariantsHoldAndQueriesMatchBruteForce) {
     }
     case BuildKind::kBulkHilbert: {
       auto built = RTree::BulkLoadHilbert(elements, options);
+      ASSERT_TRUE(built.ok());
+      tree = std::move(built).value();
+      break;
+    }
+    case BuildKind::kBulkStrFill75:
+    case BuildKind::kBulkHilbertFill75: {
+      options.build = kind == BuildKind::kBulkStrFill75
+                          ? BuildAlgorithm::kStrBulk
+                          : BuildAlgorithm::kHilbertBulk;
+      options.fill_factor = 0.75;
+      auto built = RTree::Build(elements, options);
       ASSERT_TRUE(built.ok());
       tree = std::move(built).value();
       break;
@@ -190,8 +221,11 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, RTreeEquivalenceTest,
     ::testing::Combine(::testing::Values(BuildKind::kInsertQuadratic,
                                          BuildKind::kInsertRStar,
+                                         BuildKind::kInsertRStarReinsert,
                                          BuildKind::kBulkStr,
-                                         BuildKind::kBulkHilbert),
+                                         BuildKind::kBulkHilbert,
+                                         BuildKind::kBulkStrFill75,
+                                         BuildKind::kBulkHilbertFill75),
                        ::testing::Values(DataShape::kUniform,
                                          DataShape::kClustered,
                                          DataShape::kSkewedLine),

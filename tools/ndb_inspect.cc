@@ -14,10 +14,15 @@
 //                                   Prometheus text exposition instead) —
 //                                   recovery-time state gauges (epoch,
 //                                   delta records, pool/cache/io totals)
+//   ndb_inspect tree <data-dir>     recover the engine and print the paged
+//                                   R-tree's per-level profile: node count,
+//                                   entries, fill %, pairwise MBR overlap
+//                                   volume, root to leaves
 //
 // The dump commands are read-only: they never create, repair or truncate
-// anything. `stats` runs the real recovery path (QueryEngine::Open), which
-// truncates a torn WAL tail exactly as a restart would. Exit code 0 on a
+// anything. `stats` and `tree` run the real recovery path
+// (QueryEngine::Open), which truncates a torn WAL tail exactly as a
+// restart would. Exit code 0 on a
 // clean dump, 1 on unreadable/corrupt input (after printing what it could).
 
 #include <algorithm>
@@ -206,6 +211,36 @@ int DumpDir(const std::string& dir) {
   return rc;
 }
 
+int DumpTree(const std::string& dir) {
+  engine::RecoveryReport recovery;
+  auto opened = engine::QueryEngine::Open(dir, engine::EngineOptions(),
+                                          &recovery);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s: %s\n", dir.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const rtree::RTree& tree = (*opened)->rtree_backend()->tree().tree();
+  auto profile = tree.LevelProfile();
+  std::printf("%s: R-tree  elements=%zu nodes=%zu height=%d\n", dir.c_str(),
+              tree.size(), tree.NumNodes(), tree.Height());
+  if (profile.empty()) {
+    std::printf("  (empty tree)\n");
+    return 0;
+  }
+  std::printf("  %-6s %-8s %-9s %-9s %-7s %-14s %s\n", "level", "nodes",
+              "entries", "capacity", "fill%", "overlap um^3", "");
+  // LevelProfile is leaf-first; print root-first, the way the tree reads.
+  for (auto it = profile.rbegin(); it != profile.rend(); ++it) {
+    std::string note = it->level == 0 ? "(leaves)" : "";
+    if (it->overlap_sampled) note += " (overlap sampled)";
+    std::printf("  %-6d %-8zu %-9zu %-9zu %-7.1f %-14.0f %s\n", it->level,
+                it->nodes, it->entries, it->capacity, it->mean_fill * 100.0,
+                it->overlap_volume, note.c_str());
+  }
+  return 0;
+}
+
 int DumpStats(const std::string& dir, bool prometheus) {
   engine::RecoveryReport recovery;
   auto opened = engine::QueryEngine::Open(dir, engine::EngineOptions(),
@@ -248,6 +283,13 @@ int main(int argc, char** argv) {
     if (std::filesystem::is_directory(target)) target += "/wal.ndb";
     return DumpWal(target, stats_only);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "tree") == 0) {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: ndb_inspect tree <data-dir>\n");
+      return 1;
+    }
+    return DumpTree(argv[2]);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
     bool prometheus = false;
     std::string dir;
@@ -271,7 +313,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: ndb_inspect <data-dir | file.ndb | file.pages>\n"
                  "       ndb_inspect wal <data-dir | wal.ndb> [--stats]\n"
-                 "       ndb_inspect stats <data-dir> [--prom]\n");
+                 "       ndb_inspect stats <data-dir> [--prom]\n"
+                 "       ndb_inspect tree <data-dir>\n");
     return argc == 2 ? 0 : 1;
   }
   std::string path = argv[1];
